@@ -1,0 +1,18 @@
+// Fig. 10: IPS across seven further models (ResNet50 ... VoxelNet) on
+// Group-DB at 50 Mbps.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  const auto options = bench::parse_args(argc, argv);
+  std::vector<experiments::Scenario> scenarios;
+  for (const auto& model : cnn::zoo_names()) {
+    if (model == "vgg16") continue;  // Fig. 7 covers VGG-16
+    auto s = experiments::group_DB(50.0);
+    s.model_name = model;
+    s.name = model;
+    scenarios.push_back(std::move(s));
+  }
+  bench::run_figure("Fig. 10 — model zoo, Group-DB, 50 Mbps", scenarios, options);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Fig. 11: IPS across seven further models on Group-NA with Nano providers.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  const auto options = bench::parse_args(argc, argv);
+  std::vector<experiments::Scenario> scenarios;
+  for (const auto& model : cnn::zoo_names()) {
+    if (model == "vgg16") continue;
+    auto s = experiments::group_NA(device::DeviceType::kNano);
+    s.model_name = model;
+    s.name = model;
+    scenarios.push_back(std::move(s));
+  }
+  bench::run_figure("Fig. 11 — model zoo, Group-NA, Nano", scenarios, options);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 14: computing latency vs. output width of a ten-layer volume — the
+// nonlinearity evidence behind DistrEdge's design (§V-G). We sweep the
+// output height of a 10-conv-layer volume on each GPU device type; the
+// staircase + sub-linear shape is the point.
+#include <iostream>
+
+#include "cnn/model.hpp"
+#include "cnn/vsl.hpp"
+#include "common/table.hpp"
+#include "device/device.hpp"
+
+int main() {
+  using namespace de;
+
+  // Ten conv3 layers at 352x352x64 (mirrors the figure's "ten layers").
+  cnn::ModelBuilder builder("ten", 352, 352, 64);
+  for (int i = 0; i < 10; ++i) builder.conv_same(64, 3);
+  const auto model = builder.build();
+  const std::span<const cnn::LayerConfig> volume(model.layers());
+
+  Table table("Fig. 14 — volume computing latency (ms) vs output rows");
+  table.set_header({"rows", "Nano", "TX2", "Xavier", "TX2 ms/row"});
+  for (int rows = 50; rows <= 350; rows += 10) {
+    std::vector<double> row;
+    double tx2_ms = 0.0;
+    for (auto type : {device::DeviceType::kNano, device::DeviceType::kTx2,
+                      device::DeviceType::kXavier}) {
+      const auto latency = device::make_latency_model(type);
+      const auto per_layer =
+          cnn::per_layer_output_rows(volume, cnn::RowInterval{0, rows});
+      double total = 0.0;
+      for (std::size_t i = 0; i < volume.size(); ++i) {
+        total += latency->layer_ms(volume[i], per_layer[i].size());
+      }
+      if (type == device::DeviceType::kTx2) tx2_ms = total;
+      row.push_back(total);
+    }
+    row.push_back(tx2_ms / rows);  // nonlinearity: not constant
+    table.add_row(std::to_string(rows), row);
+  }
+  table.print(std::cout);
+  std::cout << "\nA linear device would show constant ms/row; the staircase\n"
+               "and the falling ms/row are what linear-ratio splitters miss.\n";
+  return 0;
+}

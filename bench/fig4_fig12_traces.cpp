@@ -1,0 +1,38 @@
+// Fig. 4: stable shaped-WiFi throughput traces at 50/100/200/300 Mbps.
+// Fig. 12: highly dynamic traces for the four devices of §V-F.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "net/trace.hpp"
+
+int main() {
+  using namespace de;
+
+  Table fig4("Fig. 4 — sampled WiFi throughput (Mbps), per-minute slots");
+  fig4.set_header({"minute", "300Mbps", "200Mbps", "100Mbps", "50Mbps"});
+  std::vector<net::ThroughputTrace> stable;
+  for (Mbps bw : {300.0, 200.0, 100.0, 50.0}) {
+    stable.push_back(net::stable_wifi_trace(bw, 60, 42));
+  }
+  for (int minute = 0; minute < 60; minute += 5) {
+    std::vector<double> row;
+    for (const auto& trace : stable) row.push_back(trace.at(minute * 60.0));
+    fig4.add_row(std::to_string(minute), row, 1);
+  }
+  fig4.print(std::cout);
+  std::cout << std::endl;
+
+  Table fig12("Fig. 12 — highly dynamic throughput (Mbps), per-minute slots");
+  fig12.set_header({"minute", "device1", "device2", "device3", "device4"});
+  std::vector<net::ThroughputTrace> dynamic;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    dynamic.push_back(net::dynamic_trace(60, seed));
+  }
+  for (int minute = 0; minute < 60; minute += 5) {
+    std::vector<double> row;
+    for (const auto& trace : dynamic) row.push_back(trace.at(minute * 60.0));
+    fig12.add_row(std::to_string(minute), row, 1);
+  }
+  fig12.print(std::cout);
+  return 0;
+}

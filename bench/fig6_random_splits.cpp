@@ -1,0 +1,72 @@
+// Fig. 6: IPS stability vs the number of random split decisions |Rs| in
+// LC-PSS. For each |Rs| the partition search is repeated with different
+// random-set seeds; the min / mean / max IPS over the repeats shows how the
+// partition (and hence performance) stabilises once |Rs| >= 100.
+#include <map>
+
+#include "bench_common.hpp"
+#include "common/math_util.hpp"
+#include "common/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  const auto options = bench::parse_args(argc, argv);
+  const int repeats = options.paper_scale ? 50 : 15;
+  const std::vector<int> sizes{25, 50, 75, 100, 125, 150};
+
+  struct Case {
+    std::string name;
+    experiments::Scenario scenario;
+  };
+  const std::vector<Case> cases{
+      {"DB@50Mbps", experiments::group_DB(50.0)},
+      {"NA@Nano", experiments::group_NA(device::DeviceType::kNano)}};
+
+  for (const auto& c : cases) {
+    const auto built = experiments::build(c.scenario);
+    Table table("Fig. 6 — IPS vs |Rs| over " + std::to_string(repeats) +
+                " LC-PSS repetitions (" + c.name + ")");
+    table.set_header({"|Rs|", "min IPS", "mean IPS", "max IPS", "#partitions"});
+
+    for (int size : sizes) {
+      // Run LC-PSS `repeats` times with different random-set seeds; OSDS is
+      // only trained once per distinct partition (cache).
+      std::vector<std::vector<int>> partitions(static_cast<std::size_t>(repeats));
+      ThreadPool::shared().parallel_for(
+          static_cast<std::size_t>(repeats), [&](std::size_t r) {
+            core::LcpssConfig config;
+            config.n_random_splits = size;
+            config.n_devices = c.scenario.num_devices();
+            config.seed = 1000 + r;
+            config.parallel = false;
+            partitions[r] = core::run_lcpss(built.model, config).boundaries;
+          });
+
+      std::map<std::vector<int>, double> ips_by_partition;
+      for (const auto& p : partitions) ips_by_partition.emplace(p, 0.0);
+      std::vector<std::vector<int>> distinct;
+      for (auto& [p, ips] : ips_by_partition) distinct.push_back(p);
+      std::vector<double> distinct_ips(distinct.size());
+      ThreadPool::shared().parallel_for(distinct.size(), [&](std::size_t i) {
+        core::OsdsConfig osds = core::OsdsConfig::fast();
+        osds.max_episodes = options.paper_scale ? 4000 : 300;
+        const auto r = core::run_osds(built.model, distinct[i], built.latency,
+                                      built.network, osds);
+        distinct_ips[i] = 1000.0 / r.best_ms;
+      });
+      for (std::size_t i = 0; i < distinct.size(); ++i) {
+        ips_by_partition[distinct[i]] = distinct_ips[i];
+      }
+
+      std::vector<double> ips;
+      ips.reserve(partitions.size());
+      for (const auto& p : partitions) ips.push_back(ips_by_partition[p]);
+      table.add_row("|Rs|=" + std::to_string(size),
+                    {min_of(ips), mean(ips), max_of(ips),
+                     static_cast<double>(distinct.size())});
+    }
+    table.print(std::cout);
+    std::cout << std::endl;
+  }
+  return 0;
+}

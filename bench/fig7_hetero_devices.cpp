@@ -1,0 +1,17 @@
+// Fig. 7: IPS under heterogeneous device types (Table I groups DA/DB/DC),
+// VGG-16, at 50 and 300 Mbps WiFi.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  const auto options = bench::parse_args(argc, argv);
+  bench::run_figure("Fig. 7(a) — heterogeneous devices, VGG-16, 50 Mbps",
+                    {experiments::group_DA(50), experiments::group_DB(50),
+                     experiments::group_DC(50)},
+                    options);
+  bench::run_figure("Fig. 7(b) — heterogeneous devices, VGG-16, 300 Mbps",
+                    {experiments::group_DA(300), experiments::group_DB(300),
+                     experiments::group_DC(300)},
+                    options);
+  return 0;
+}

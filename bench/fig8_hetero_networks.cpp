@@ -1,0 +1,22 @@
+// Fig. 8: IPS under heterogeneous network bandwidths (Table II groups
+// NA/NB/NC/ND), VGG-16, with all-Nano and all-Xavier providers.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  using device::DeviceType;
+  const auto options = bench::parse_args(argc, argv);
+  bench::run_figure("Fig. 8(a) — heterogeneous networks, VGG-16, Nano",
+                    {experiments::group_NA(DeviceType::kNano),
+                     experiments::group_NB(DeviceType::kNano),
+                     experiments::group_NC(DeviceType::kNano),
+                     experiments::group_ND(DeviceType::kNano)},
+                    options);
+  bench::run_figure("Fig. 8(b) — heterogeneous networks, VGG-16, Xavier",
+                    {experiments::group_NA(DeviceType::kXavier),
+                     experiments::group_NB(DeviceType::kXavier),
+                     experiments::group_NC(DeviceType::kXavier),
+                     experiments::group_ND(DeviceType::kXavier)},
+                    options);
+  return 0;
+}

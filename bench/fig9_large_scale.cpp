@@ -1,0 +1,14 @@
+// Fig. 9: IPS with 16 service providers (Table III groups LA/LB/LC/LD),
+// VGG-16.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  auto options = bench::parse_args(argc, argv);
+  if (!options.paper_scale) options.episodes = 400;  // 16-way cases are heavier
+  bench::run_figure("Fig. 9 — 16-device large-scale groups, VGG-16",
+                    {experiments::group_LA(), experiments::group_LB(),
+                     experiments::group_LC(), experiments::group_LD()},
+                    options);
+  return 0;
+}

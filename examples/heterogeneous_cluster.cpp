@@ -1,0 +1,44 @@
+// Compare all eight methods on one heterogeneous cluster and show the
+// per-device transmission/compute breakdown (the paper's Fig. 15 view).
+//
+//   $ ./heterogeneous_cluster [DA|DB|DC] [bandwidth_mbps] [episodes]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "experiments/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  const std::string group = argc > 1 ? argv[1] : "DC";
+  const double bw = argc > 2 ? std::atof(argv[2]) : 50.0;
+  const int episodes = argc > 3 ? std::atoi(argv[3]) : 500;
+
+  experiments::Scenario scenario = group == "DA"   ? experiments::group_DA(bw)
+                                   : group == "DB" ? experiments::group_DB(bw)
+                                                   : experiments::group_DC(bw);
+  const auto built = experiments::build(scenario);
+  std::cout << "Scenario " << scenario.name << " — devices:";
+  for (const auto& d : built.devices) std::cout << ' ' << d.name;
+  std::cout << "\n\n";
+
+  experiments::HarnessOptions options;
+  options.n_images = 500;
+  options.distredge.osds.max_episodes = episodes;
+
+  Table table("methods on " + scenario.name);
+  table.set_header({"method", "IPS", "latency ms", "volumes", "max tx ms",
+                    "max compute ms"});
+  for (const auto& name : baselines::figure_planner_names()) {
+    const auto r = experiments::run_case(name, built, options);
+    table.add_row(name,
+                  {r.ips, r.breakdown.total_ms,
+                   static_cast<double>(r.strategy.num_volumes()),
+                   *std::max_element(r.breakdown.device_tx_ms.begin(),
+                                     r.breakdown.device_tx_ms.end()),
+                   *std::max_element(r.breakdown.device_compute_ms.begin(),
+                                     r.breakdown.device_compute_ms.end())});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Plan every model in the zoo on one cluster and compare against offloading
+// (the paper's Figs. 10-11 in miniature).
+//
+//   $ ./model_zoo_tour [episodes]
+#include <cstdlib>
+#include <iostream>
+
+#include "experiments/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 300;
+
+  experiments::HarnessOptions options;
+  options.n_images = 200;
+  options.distredge.osds.max_episodes = episodes;
+
+  Table table("model zoo on Group-DB @ 100 Mbps");
+  table.set_header({"model", "GFLOPs", "layers", "DistrEdge IPS", "Offload IPS",
+                    "speedup"});
+  for (const auto& name : cnn::zoo_names()) {
+    auto scenario = experiments::group_DB(100.0);
+    scenario.model_name = name;
+    const auto built = experiments::build(scenario);
+    const auto de_result = experiments::run_case("DistrEdge", built, options);
+    const auto offload = experiments::run_case("Offload", built, options);
+    table.add_row(name, {built.model.total_ops() / 1e9,
+                         static_cast<double>(built.model.num_layers()),
+                         de_result.ips, offload.ips,
+                         de_result.ips / offload.ips});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: plan VGG-16 inference across a heterogeneous edge cluster
+// (Group-DB of the paper: 2x Jetson Xavier + 2x Jetson Nano on 50 Mbps WiFi)
+// with DistrEdge, and compare against single-device offloading.
+//
+//   $ ./quickstart [episodes]
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/baselines.hpp"
+#include "core/distredge.hpp"
+#include "experiments/harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace de;
+
+  const int episodes = argc > 1 ? std::atoi(argv[1]) : 400;
+
+  // 1. Describe the deployment: model + devices + network.
+  const auto built = experiments::build(experiments::group_DB(50.0));
+  const core::PlanContext ctx = built.context();
+  std::cout << "Model: " << built.model.name() << " ("
+            << built.model.num_layers() << " conv/pool layers, "
+            << built.model.total_ops() / 1'000'000'000.0 << " GFLOPs)\n";
+  std::cout << "Devices:";
+  for (const auto& d : built.devices) std::cout << ' ' << d.name;
+  std::cout << "\n\n";
+
+  // 2. Plan with DistrEdge (LC-PSS partition + OSDS DRL splitting).
+  core::DistrEdgeConfig config = core::DistrEdgeConfig::fast();
+  config.osds.max_episodes = episodes;
+  core::DistrEdgePlanner planner(config);
+  const auto strategy = planner.plan(ctx);
+
+  std::cout << "LC-PSS partition (" << strategy.num_volumes() << " layer-volumes):";
+  for (int b : strategy.boundaries) std::cout << ' ' << b;
+  std::cout << "\nOSDS split of the first volume (cumulative rows):";
+  for (int c : strategy.splits.front().cuts) std::cout << ' ' << c;
+  std::cout << "\nPlanning wall time: " << planner.last_plan_wall_ms() / 1000.0
+            << " s\n\n";
+
+  // 3. Evaluate end-to-end against the ground-truth simulator.
+  const auto breakdown = core::evaluate_strategy(ctx, strategy);
+  std::cout << "DistrEdge end-to-end latency: " << breakdown.total_ms << " ms  ("
+            << 1000.0 / breakdown.total_ms << " IPS)\n";
+
+  baselines::OffloadPlanner offload;
+  const auto offload_strategy = offload.plan(ctx);
+  const auto offload_breakdown = core::evaluate_strategy(ctx, offload_strategy);
+  std::cout << "Offload-to-best-device latency: " << offload_breakdown.total_ms
+            << " ms  (" << 1000.0 / offload_breakdown.total_ms << " IPS)\n";
+  std::cout << "Speedup over offload: "
+            << offload_breakdown.total_ms / breakdown.total_ms << "x\n";
+  return 0;
+}

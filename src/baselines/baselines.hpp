@@ -1,0 +1,73 @@
+// The seven baseline planners of the paper's evaluation (§V-B), all
+// producing DistributionStrategy through the common Planner interface:
+//
+//   CoEdge       — layer-by-layer split; linear device + network models
+//   MoDNN        — layer-by-layer split; linear device model (slope only)
+//   MeDNN        — layer-by-layer split; linear device model with intercepts
+//   DeepThings   — the whole conv chain as ONE fused volume; equal split
+//   DeeperThings — multiple fused volumes (at spatial-reduction layers);
+//                  equal split
+//   AOFL         — brute-force fused-partition search scored by a linear
+//                  predictor; linear-ratio splits with network terms
+//   Offload      — everything on the single best device
+#pragma once
+
+#include <memory>
+
+#include "core/planner.hpp"
+
+namespace de::baselines {
+
+class CoEdgePlanner final : public core::Planner {
+ public:
+  std::string name() const override { return "CoEdge"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+};
+
+class MoDnnPlanner final : public core::Planner {
+ public:
+  std::string name() const override { return "MoDNN"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+};
+
+class MeDnnPlanner final : public core::Planner {
+ public:
+  std::string name() const override { return "MeDNN"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+};
+
+class DeepThingsPlanner final : public core::Planner {
+ public:
+  std::string name() const override { return "DeepThings"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+};
+
+class DeeperThingsPlanner final : public core::Planner {
+ public:
+  std::string name() const override { return "DeeperThings"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+};
+
+class AoflPlanner final : public core::Planner {
+ public:
+  /// `max_volumes` bounds the brute-force partition search (cost grows
+  /// combinatorially — the effect the paper's §V-F timing compares against).
+  explicit AoflPlanner(int max_volumes = 4) : max_volumes_(max_volumes) {}
+  std::string name() const override { return "AOFL"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+
+ private:
+  int max_volumes_;
+};
+
+class OffloadPlanner final : public core::Planner {
+ public:
+  std::string name() const override { return "Offload"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+};
+
+/// Boundaries after every layer that reduces spatial height (the natural
+/// fused-block partition DeeperThings uses). Exposed for tests.
+std::vector<int> reduction_boundaries(const cnn::CnnModel& model);
+
+}  // namespace de::baselines

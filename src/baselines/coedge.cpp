@@ -1,0 +1,44 @@
+// CoEdge (Zeng et al., ToN 2020): cooperative DNN inference with adaptive
+// workload partitioning — layer-by-layer splits sized by a *linear* joint
+// model of per-device compute rate and link throughput.
+#include "baselines/baselines.hpp"
+#include "baselines/linear_model.hpp"
+
+namespace de::baselines {
+
+core::DistributionStrategy CoEdgePlanner::plan(const core::PlanContext& ctx) {
+  ctx.validate();
+  const auto& model = *ctx.model;
+  const int n = ctx.num_devices();
+
+  core::DistributionStrategy strategy;
+  strategy.boundaries.push_back(0);
+  for (int l = 0; l < model.num_layers(); ++l) {
+    strategy.boundaries.push_back(l + 1);
+    const auto& layer = model.layer(l);
+
+    std::vector<double> a(static_cast<std::size_t>(n));
+    std::vector<double> s(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto cost = linearize(*ctx.latency[static_cast<std::size_t>(i)], layer);
+      const auto& link = ctx.network->link(i);
+      // Per-row cost: compute + shipping the corresponding input rows
+      // (stride rows of input per output row on average).
+      const double tx_row =
+          tx_ms_per_input_row(layer, link, ctx.plan_time_s) * layer.stride;
+      a[static_cast<std::size_t>(i)] = cost.intercept_ms + link.io_fixed_ms;
+      s[static_cast<std::size_t>(i)] = cost.slope_ms_per_row + tx_row;
+    }
+    const auto shares = waterfill_shares(layer.out_h(), a, s);
+    core::SplitDecision d;
+    d.cuts.resize(static_cast<std::size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i) {
+      d.cuts[static_cast<std::size_t>(i) + 1] =
+          d.cuts[static_cast<std::size_t>(i)] + shares[static_cast<std::size_t>(i)];
+    }
+    strategy.splits.push_back(std::move(d));
+  }
+  return strategy;
+}
+
+}  // namespace de::baselines

@@ -1,0 +1,33 @@
+// DeeperThings (Stahl et al., IJPP 2021): multiple fused blocks, each split
+// equally. Blocks end at spatial-reduction layers (pool / strided conv),
+// the natural fusion boundaries of the original system.
+#include "baselines/baselines.hpp"
+
+namespace de::baselines {
+
+std::vector<int> reduction_boundaries(const cnn::CnnModel& model) {
+  std::vector<int> boundaries = {0};
+  for (int l = 0; l < model.num_layers(); ++l) {
+    const auto& layer = model.layer(l);
+    const bool reduces = layer.out_h() < layer.in_h;
+    if (reduces && l + 1 < model.num_layers()) boundaries.push_back(l + 1);
+  }
+  boundaries.push_back(model.num_layers());
+  return boundaries;
+}
+
+core::DistributionStrategy DeeperThingsPlanner::plan(const core::PlanContext& ctx) {
+  ctx.validate();
+  const auto& model = *ctx.model;
+  core::DistributionStrategy strategy;
+  strategy.boundaries = reduction_boundaries(model);
+  const auto volumes =
+      cnn::volumes_from_boundaries(strategy.boundaries, model.num_layers());
+  for (const auto& v : volumes) {
+    strategy.splits.push_back(
+        core::equal_split(cnn::volume_out_height(model, v), ctx.num_devices()));
+  }
+  return strategy;
+}
+
+}  // namespace de::baselines

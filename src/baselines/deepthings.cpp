@@ -1,0 +1,18 @@
+// DeepThings (Zhao et al., TCAD 2018): fused tile partitioning — the conv
+// stack is fused into a single volume and split *equally* across devices
+// (the homogeneous-device assumption the paper's §V-G calls out).
+#include "baselines/baselines.hpp"
+
+namespace de::baselines {
+
+core::DistributionStrategy DeepThingsPlanner::plan(const core::PlanContext& ctx) {
+  ctx.validate();
+  const auto& model = *ctx.model;
+  core::DistributionStrategy strategy;
+  strategy.boundaries = {0, model.num_layers()};
+  strategy.splits.push_back(
+      core::equal_split(model.layers().back().out_h(), ctx.num_devices()));
+  return strategy;
+}
+
+}  // namespace de::baselines

@@ -1,0 +1,81 @@
+#include "baselines/linear_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace de::baselines {
+
+LinearLayerCost linearize(const device::LatencyModel& model,
+                          const cnn::LayerConfig& layer) {
+  const int h = layer.out_h();
+  const int h_half = std::max(1, h / 2);
+  const double t_full = model.layer_ms(layer, h);
+  LinearLayerCost cost;
+  if (h_half == h) {
+    cost.slope_ms_per_row = t_full / h;
+    cost.intercept_ms = 0.0;
+    return cost;
+  }
+  const double t_half = model.layer_ms(layer, h_half);
+  cost.slope_ms_per_row = (t_full - t_half) / static_cast<double>(h - h_half);
+  cost.slope_ms_per_row = std::max(cost.slope_ms_per_row, 1e-9);
+  cost.intercept_ms = std::max(t_full - cost.slope_ms_per_row * h, 0.0);
+  return cost;
+}
+
+double tx_ms_per_input_row(const cnn::LayerConfig& layer, const net::Link& link,
+                           Seconds t) {
+  const Bytes row_bytes = layer.input_bytes_for_rows(1);
+  return wire_ms(row_bytes, link.rate_at(t)) +
+         link.io_per_mb_ms * (static_cast<double>(row_bytes) / 1e6);
+}
+
+std::vector<int> waterfill_shares(int height, const std::vector<double>& a,
+                                  const std::vector<double>& s) {
+  DE_REQUIRE(height >= 1, "height >= 1");
+  DE_REQUIRE(a.size() == s.size() && !a.empty(), "cost vectors mismatched");
+  const std::size_t n = a.size();
+  for (double v : s) DE_REQUIRE(v > 0.0, "waterfill slope must be positive");
+
+  auto total_at = [&](double t) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += std::max(0.0, (t - a[i]) / s[i]);
+    return sum;
+  };
+  double lo = *std::min_element(a.begin(), a.end());
+  double hi = *std::max_element(a.begin(), a.end()) +
+              height * *std::max_element(s.begin(), s.end());
+  for (int iter = 0; iter < 100; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (total_at(mid) < static_cast<double>(height)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double t = hi;
+
+  // Largest-remainder rounding of the real-valued shares.
+  std::vector<double> exact(n);
+  for (std::size_t i = 0; i < n; ++i) exact[i] = std::max(0.0, (t - a[i]) / s[i]);
+  const double norm = std::max(total_at(t), 1e-12);
+  std::vector<int> shares(n, 0);
+  std::vector<std::pair<double, std::size_t>> rem;
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scaled = exact[i] * height / norm;
+    shares[i] = static_cast<int>(scaled);
+    assigned += shares[i];
+    rem.emplace_back(scaled - shares[i], i);
+  }
+  std::stable_sort(rem.begin(), rem.end(),
+                   [](const auto& x, const auto& y) { return x.first > y.first; });
+  for (int k = 0; k < height - assigned; ++k) {
+    shares[rem[static_cast<std::size_t>(k) % n].second]++;
+  }
+  return shares;
+}
+
+}  // namespace de::baselines

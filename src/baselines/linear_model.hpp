@@ -1,0 +1,41 @@
+// Shared machinery for the linear-model baselines.
+//
+// CoEdge / MoDNN / MeDNN / AOFL all assume computing latency is (affine)
+// linear in the split height and transmission latency is proportional to
+// bytes / throughput (paper §II-B, the assumption DistrEdge drops). This
+// header provides: a two-point linearisation of a (truthfully nonlinear)
+// LatencyModel, the per-row transmission cost of a layer over a link, and
+// the water-filling allocator that balances max_i(a_i + s_i * h_i) subject
+// to sum h_i = H, h_i >= 0.
+#pragma once
+
+#include <vector>
+
+#include "cnn/layer.hpp"
+#include "device/latency_model.hpp"
+#include "net/network.hpp"
+
+namespace de::baselines {
+
+struct LinearLayerCost {
+  double intercept_ms = 0.0;
+  double slope_ms_per_row = 0.0;
+};
+
+/// Two-point (H, H/2) linearisation of a device's latency curve for a layer.
+LinearLayerCost linearize(const device::LatencyModel& model,
+                          const cnn::LayerConfig& layer);
+
+/// Milliseconds to move one *input* row of `layer` over `link` at time `t`
+/// (wire + per-byte I/O; the per-transfer fixed cost is charged to the
+/// intercept by callers that model it).
+double tx_ms_per_input_row(const cnn::LayerConfig& layer, const net::Link& link,
+                           Seconds t);
+
+/// Integer shares h (sum == height, h_i >= 0) minimising
+/// max_{i: h_i > 0} (a[i] + s[i] * h_i). Slow/expensive devices (large a or
+/// s) can end up with zero rows. All s[i] must be > 0.
+std::vector<int> waterfill_shares(int height, const std::vector<double>& a,
+                                  const std::vector<double>& s);
+
+}  // namespace de::baselines

@@ -1,0 +1,39 @@
+// MeDNN (Mao et al., ICCAD 2017): MoDNN with "enhanced partition" — the
+// affine per-device cost (intercept + slope) is balanced exactly via
+// water-filling, so fixed per-layer overheads shift work toward devices
+// that amortise them better. Still layer-by-layer and still linear.
+#include "baselines/baselines.hpp"
+#include "baselines/linear_model.hpp"
+
+namespace de::baselines {
+
+core::DistributionStrategy MeDnnPlanner::plan(const core::PlanContext& ctx) {
+  ctx.validate();
+  const auto& model = *ctx.model;
+  const int n = ctx.num_devices();
+
+  core::DistributionStrategy strategy;
+  strategy.boundaries.push_back(0);
+  for (int l = 0; l < model.num_layers(); ++l) {
+    strategy.boundaries.push_back(l + 1);
+    const auto& layer = model.layer(l);
+    std::vector<double> a(static_cast<std::size_t>(n));
+    std::vector<double> s(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto cost = linearize(*ctx.latency[static_cast<std::size_t>(i)], layer);
+      a[static_cast<std::size_t>(i)] = cost.intercept_ms;
+      s[static_cast<std::size_t>(i)] = cost.slope_ms_per_row;
+    }
+    const auto shares = waterfill_shares(layer.out_h(), a, s);
+    core::SplitDecision d;
+    d.cuts.resize(static_cast<std::size_t>(n) + 1, 0);
+    for (int i = 0; i < n; ++i) {
+      d.cuts[static_cast<std::size_t>(i) + 1] =
+          d.cuts[static_cast<std::size_t>(i)] + shares[static_cast<std::size_t>(i)];
+    }
+    strategy.splits.push_back(std::move(d));
+  }
+  return strategy;
+}
+
+}  // namespace de::baselines

@@ -1,0 +1,29 @@
+// MoDNN (Mao et al., DATE 2017): local distributed mobile computing — each
+// layer split independently, shares proportional to a single per-device
+// "computing capability" value (pure slope, no intercept, no network term).
+#include "baselines/baselines.hpp"
+#include "baselines/linear_model.hpp"
+
+namespace de::baselines {
+
+core::DistributionStrategy MoDnnPlanner::plan(const core::PlanContext& ctx) {
+  ctx.validate();
+  const auto& model = *ctx.model;
+  const int n = ctx.num_devices();
+
+  core::DistributionStrategy strategy;
+  strategy.boundaries.push_back(0);
+  for (int l = 0; l < model.num_layers(); ++l) {
+    strategy.boundaries.push_back(l + 1);
+    const auto& layer = model.layer(l);
+    std::vector<double> capability(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const auto cost = linearize(*ctx.latency[static_cast<std::size_t>(i)], layer);
+      capability[static_cast<std::size_t>(i)] = 1.0 / cost.slope_ms_per_row;
+    }
+    strategy.splits.push_back(core::proportional_split(layer.out_h(), capability));
+  }
+  return strategy;
+}
+
+}  // namespace de::baselines

@@ -1,0 +1,28 @@
+// Offload: the whole model on the provider with the best predicted
+// single-device latency (paper baseline 7 — "the best computing hardware").
+#include "baselines/baselines.hpp"
+
+namespace de::baselines {
+
+core::DistributionStrategy OffloadPlanner::plan(const core::PlanContext& ctx) {
+  ctx.validate();
+  const auto& model = *ctx.model;
+  int best = 0;
+  double best_ms = -1.0;
+  for (int i = 0; i < ctx.num_devices(); ++i) {
+    double total = 0.0;
+    for (const auto& layer : model.layers()) {
+      total += ctx.latency[static_cast<std::size_t>(i)]->layer_ms(layer, layer.out_h());
+    }
+    for (const auto& fc : model.fc_tail()) {
+      total += ctx.latency[static_cast<std::size_t>(i)]->fc_ms(fc);
+    }
+    if (best_ms < 0.0 || total < best_ms) {
+      best_ms = total;
+      best = i;
+    }
+  }
+  return core::single_device_strategy(model, ctx.num_devices(), best);
+}
+
+}  // namespace de::baselines

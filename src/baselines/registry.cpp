@@ -1,0 +1,26 @@
+#include "baselines/registry.hpp"
+
+#include "baselines/baselines.hpp"
+#include "common/require.hpp"
+
+namespace de::baselines {
+
+std::unique_ptr<core::Planner> make_planner(const std::string& name,
+                                            const core::DistrEdgeConfig& config) {
+  if (name == "CoEdge") return std::make_unique<CoEdgePlanner>();
+  if (name == "MoDNN") return std::make_unique<MoDnnPlanner>();
+  if (name == "MeDNN") return std::make_unique<MeDnnPlanner>();
+  if (name == "DeepThings") return std::make_unique<DeepThingsPlanner>();
+  if (name == "DeeperThings") return std::make_unique<DeeperThingsPlanner>();
+  if (name == "AOFL") return std::make_unique<AoflPlanner>();
+  if (name == "Offload") return std::make_unique<OffloadPlanner>();
+  if (name == "DistrEdge") return std::make_unique<core::DistrEdgePlanner>(config);
+  throw Error("unknown planner: " + name);
+}
+
+std::vector<std::string> figure_planner_names() {
+  return {"CoEdge",       "MoDNN", "MeDNN",     "DeepThings",
+          "DeeperThings", "AOFL",  "DistrEdge", "Offload"};
+}
+
+}  // namespace de::baselines

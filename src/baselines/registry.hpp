@@ -1,0 +1,22 @@
+// Planner registry: construction by paper name, and the standard
+// eight-method lineup of the evaluation figures.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/distredge.hpp"
+
+namespace de::baselines {
+
+/// "CoEdge", "MoDNN", "MeDNN", "DeepThings", "DeeperThings", "AOFL",
+/// "Offload", or "DistrEdge" (with the given config). Throws on unknown.
+std::unique_ptr<core::Planner> make_planner(
+    const std::string& name,
+    const core::DistrEdgeConfig& distredge_config = core::DistrEdgeConfig::fast());
+
+/// The figure lineup, in the paper's legend order.
+std::vector<std::string> figure_planner_names();
+
+}  // namespace de::baselines

@@ -1,0 +1,159 @@
+#include "cnn/conv_exec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+
+Tensor::Tensor(int h_, int w_, int c_)
+    : h(h_), w(w_), c(c_),
+      data(static_cast<std::size_t>(h_) * w_ * c_, 0.0f) {
+  DE_REQUIRE(h_ > 0 && w_ > 0 && c_ > 0, "tensor extents positive");
+}
+
+float& Tensor::at(int y, int x, int ch) {
+  return data[(static_cast<std::size_t>(y) * w + x) * c + ch];
+}
+
+float Tensor::at(int y, int x, int ch) const {
+  return data[(static_cast<std::size_t>(y) * w + x) * c + ch];
+}
+
+ConvWeights ConvWeights::random(const LayerConfig& layer, Rng& rng) {
+  DE_REQUIRE(layer.kind == LayerKind::kConv, "weights only for conv layers");
+  ConvWeights w;
+  const std::size_t n = static_cast<std::size_t>(layer.out_c) * layer.in_c *
+                        layer.kernel * layer.kernel;
+  w.weights.resize(n);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(layer.in_c) *
+                                       layer.kernel * layer.kernel);
+  for (auto& v : w.weights) v = static_cast<float>(rng.uniform(-scale, scale));
+  w.bias.resize(static_cast<std::size_t>(layer.out_c));
+  for (auto& v : w.bias) v = static_cast<float>(rng.uniform(-0.1, 0.1));
+  return w;
+}
+
+Tensor conv_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
+                         int in_row_offset, RowInterval out_rows,
+                         const ConvWeights& w) {
+  DE_REQUIRE(layer.kind == LayerKind::kConv, "conv_forward_rows on non-conv");
+  DE_REQUIRE(!out_rows.empty(), "empty output interval");
+  DE_REQUIRE(in_crop.w == layer.in_w && in_crop.c == layer.in_c,
+             "input crop extents mismatch");
+  const RowInterval needed = input_rows_for(layer, out_rows);
+  DE_REQUIRE(in_row_offset <= needed.begin &&
+                 in_row_offset + in_crop.h >= needed.end,
+             "input crop does not cover the required rows");
+
+  const int out_w = layer.out_w();
+  const int k = layer.kernel;
+  Tensor out(out_rows.size(), out_w, layer.out_c);
+  const std::size_t k_in = static_cast<std::size_t>(layer.in_c) * k * k;
+
+  for (int oy = out_rows.begin; oy < out_rows.end; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      const int y0 = oy * layer.stride - layer.padding;
+      const int x0 = ox * layer.stride - layer.padding;
+      for (int oc = 0; oc < layer.out_c; ++oc) {
+        float acc = w.bias[static_cast<std::size_t>(oc)];
+        const float* wk = &w.weights[static_cast<std::size_t>(oc) * k_in];
+        for (int ky = 0; ky < k; ++ky) {
+          const int iy = y0 + ky;
+          if (iy < 0 || iy >= layer.in_h) continue;  // zero padding row
+          const int cy = iy - in_row_offset;
+          for (int kx = 0; kx < k; ++kx) {
+            const int ix = x0 + kx;
+            if (ix < 0 || ix >= layer.in_w) continue;  // zero padding col
+            const float* px = &in_crop.data[(static_cast<std::size_t>(cy) * in_crop.w + ix) *
+                                            in_crop.c];
+            const float* wp = wk + (static_cast<std::size_t>(ky) * k + kx) * layer.in_c;
+            for (int ic = 0; ic < layer.in_c; ++ic) acc += px[ic] * wp[ic];
+          }
+        }
+        if (layer.relu && acc < 0.0f) acc = 0.0f;
+        out.at(oy - out_rows.begin, ox, oc) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor maxpool_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
+                            int in_row_offset, RowInterval out_rows) {
+  DE_REQUIRE(layer.kind == LayerKind::kMaxPool, "maxpool_forward_rows on non-pool");
+  DE_REQUIRE(!out_rows.empty(), "empty output interval");
+  DE_REQUIRE(in_crop.w == layer.in_w && in_crop.c == layer.in_c,
+             "input crop extents mismatch");
+  const RowInterval needed = input_rows_for(layer, out_rows);
+  DE_REQUIRE(in_row_offset <= needed.begin &&
+                 in_row_offset + in_crop.h >= needed.end,
+             "input crop does not cover the required rows");
+
+  const int out_w = layer.out_w();
+  Tensor out(out_rows.size(), out_w, layer.out_c);
+  for (int oy = out_rows.begin; oy < out_rows.end; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      for (int ch = 0; ch < layer.in_c; ++ch) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int ky = 0; ky < layer.kernel; ++ky) {
+          const int iy = oy * layer.stride + ky;
+          if (iy >= layer.in_h) continue;
+          const int cy = iy - in_row_offset;
+          for (int kx = 0; kx < layer.kernel; ++kx) {
+            const int ix = ox * layer.stride + kx;
+            if (ix >= layer.in_w) continue;
+            best = std::max(best, in_crop.at(cy, ix, ch));
+          }
+        }
+        out.at(oy - out_rows.begin, ox, ch) = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor conv_forward(const LayerConfig& layer, const Tensor& in, const ConvWeights& w) {
+  DE_REQUIRE(in.h == layer.in_h, "full conv input height mismatch");
+  return conv_forward_rows(layer, in, 0, RowInterval{0, layer.out_h()}, w);
+}
+
+Tensor maxpool_forward(const LayerConfig& layer, const Tensor& in) {
+  DE_REQUIRE(in.h == layer.in_h, "full pool input height mismatch");
+  return maxpool_forward_rows(layer, in, 0, RowInterval{0, layer.out_h()});
+}
+
+Tensor volume_forward(std::span<const LayerConfig> volume, const Tensor& in,
+                      std::span<const ConvWeights> weights) {
+  DE_REQUIRE(weights.size() == volume.size(), "one weight entry per layer");
+  Tensor cur = in;
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    cur = volume[i].kind == LayerKind::kConv
+              ? conv_forward(volume[i], cur, weights[i])
+              : maxpool_forward(volume[i], cur);
+  }
+  return cur;
+}
+
+Tensor volume_forward_rows(std::span<const LayerConfig> volume, const Tensor& in_crop,
+                           int in_row_offset, RowInterval last_out,
+                           std::span<const ConvWeights> weights) {
+  DE_REQUIRE(weights.size() == volume.size(), "one weight entry per layer");
+  DE_REQUIRE(!last_out.empty(), "empty split-part");
+  const auto per_layer = per_layer_output_rows(volume, last_out);
+
+  Tensor cur = in_crop;
+  int offset = in_row_offset;
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    const RowInterval out_rows = per_layer[i];
+    cur = volume[i].kind == LayerKind::kConv
+              ? conv_forward_rows(volume[i], cur, offset, out_rows, weights[i])
+              : maxpool_forward_rows(volume[i], cur, offset, out_rows);
+    offset = out_rows.begin;
+  }
+  return cur;
+}
+
+}  // namespace de::cnn

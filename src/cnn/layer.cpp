@@ -1,0 +1,111 @@
+#include "cnn/layer.hpp"
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+
+const char* to_string(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kMaxPool: return "maxpool";
+  }
+  return "?";
+}
+
+namespace {
+int out_extent(int in, int kernel, int stride, int padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+}  // namespace
+
+int LayerConfig::out_w() const { return out_extent(in_w, kernel, stride, padding); }
+int LayerConfig::out_h() const { return out_extent(in_h, kernel, stride, padding); }
+
+Ops LayerConfig::ops() const { return ops_for_rows(out_h()); }
+
+Ops LayerConfig::ops_for_rows(int rows) const {
+  if (rows <= 0) return 0;
+  const Ops spatial = static_cast<Ops>(rows) * out_w();
+  if (kind == LayerKind::kConv) {
+    // 2 ops (mul + add) per MAC.
+    return 2 * spatial * out_c * in_c * kernel * kernel;
+  }
+  // One comparison per window element per output cell.
+  return spatial * in_c * kernel * kernel;
+}
+
+Bytes LayerConfig::input_bytes() const { return input_bytes_for_rows(in_h); }
+
+Bytes LayerConfig::output_bytes() const { return output_bytes_for_rows(out_h()); }
+
+Bytes LayerConfig::output_bytes_for_rows(int rows) const {
+  if (rows <= 0) return 0;
+  return static_cast<Bytes>(rows) * out_w() * out_c * kBytesPerElement;
+}
+
+Bytes LayerConfig::input_bytes_for_rows(int rows) const {
+  if (rows <= 0) return 0;
+  return static_cast<Bytes>(rows) * in_w * in_c * kBytesPerElement;
+}
+
+Bytes LayerConfig::weight_bytes() const {
+  if (kind != LayerKind::kConv) return 0;
+  const Bytes weights = static_cast<Bytes>(out_c) * in_c * kernel * kernel;
+  return (weights + out_c) * kBytesPerElement;
+}
+
+LayerConfig LayerConfig::conv(int in_w, int in_h, int in_c, int out_c, int kernel,
+                              int stride, int padding, bool relu) {
+  LayerConfig l;
+  l.kind = LayerKind::kConv;
+  l.in_w = in_w;
+  l.in_h = in_h;
+  l.in_c = in_c;
+  l.out_c = out_c;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  l.relu = relu;
+  l.validate();
+  return l;
+}
+
+LayerConfig LayerConfig::maxpool(int in_w, int in_h, int in_c, int kernel, int stride) {
+  LayerConfig l;
+  l.kind = LayerKind::kMaxPool;
+  l.in_w = in_w;
+  l.in_h = in_h;
+  l.in_c = in_c;
+  l.out_c = in_c;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.padding = 0;
+  l.relu = false;
+  l.validate();
+  return l;
+}
+
+void LayerConfig::validate() const {
+  DE_REQUIRE(in_w > 0 && in_h > 0 && in_c > 0, "layer input extents positive");
+  DE_REQUIRE(out_c > 0, "layer out_c positive");
+  DE_REQUIRE(kernel > 0 && stride > 0 && padding >= 0, "layer kernel config");
+  DE_REQUIRE(kind == LayerKind::kConv || out_c == in_c, "pool keeps depth");
+  DE_REQUIRE(out_w() > 0 && out_h() > 0, "layer output extent non-empty");
+  DE_REQUIRE(kernel <= in_w + 2 * padding && kernel <= in_h + 2 * padding,
+             "kernel fits padded input");
+}
+
+Ops FcConfig::ops() const {
+  return 2 * static_cast<Ops>(in_features) * out_features;
+}
+
+Bytes FcConfig::output_bytes() const {
+  return static_cast<Bytes>(out_features) * kBytesPerElement;
+}
+
+Bytes FcConfig::weight_bytes() const {
+  return (static_cast<Bytes>(in_features) * out_features + out_features) *
+         kBytesPerElement;
+}
+
+}  // namespace de::cnn

@@ -1,0 +1,70 @@
+// Layer configurations (paper §III-B).
+//
+// A CNN model is a sequential chain of convolutional / max-pooling layers
+// (plus an optional fully-connected tail handled by `CnnModel`). A layer is
+// fully described by its input extent, channel counts, kernel, stride and
+// padding; output extents, operation counts and tensor sizes derive from
+// those.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace de::cnn {
+
+enum class LayerKind { kConv, kMaxPool };
+
+const char* to_string(LayerKind kind);
+
+struct LayerConfig {
+  LayerKind kind = LayerKind::kConv;
+  std::string name;
+
+  int in_w = 0;
+  int in_h = 0;
+  int in_c = 0;
+  int out_c = 0;  ///< equals in_c for pooling layers
+  int kernel = 1;
+  int stride = 1;
+  int padding = 0;
+  bool relu = true;  ///< activation after the layer (conv only)
+
+  int out_w() const;
+  int out_h() const;
+
+  /// FLOPs for the whole layer (2*MACs for conv, comparisons for pool).
+  Ops ops() const;
+  /// FLOPs to produce `rows` rows of output height.
+  Ops ops_for_rows(int rows) const;
+
+  Bytes input_bytes() const;
+  Bytes output_bytes() const;
+  /// Bytes of `rows` rows of the *output* tensor.
+  Bytes output_bytes_for_rows(int rows) const;
+  /// Bytes of `rows` rows of the *input* tensor.
+  Bytes input_bytes_for_rows(int rows) const;
+  /// Parameter bytes (conv weights + bias; zero for pooling).
+  Bytes weight_bytes() const;
+
+  /// Factory for a conv layer; input extents are chained by ModelBuilder.
+  static LayerConfig conv(int in_w, int in_h, int in_c, int out_c, int kernel,
+                          int stride, int padding, bool relu = true);
+  static LayerConfig maxpool(int in_w, int in_h, int in_c, int kernel, int stride);
+
+  /// Validates internal consistency (positive dims, non-empty output).
+  void validate() const;
+};
+
+/// Fully-connected layer (runs as an undivided tail, paper §V-A).
+struct FcConfig {
+  std::string name;
+  int in_features = 0;
+  int out_features = 0;
+
+  Ops ops() const;
+  Bytes output_bytes() const;
+  Bytes weight_bytes() const;
+};
+
+}  // namespace de::cnn

@@ -1,0 +1,45 @@
+#include "cnn/layer_volume.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+
+std::vector<LayerVolume> volumes_from_boundaries(const std::vector<int>& boundaries,
+                                                 int n_layers) {
+  DE_REQUIRE(boundaries.size() >= 2, "need at least {0, n} boundaries");
+  DE_REQUIRE(boundaries.front() == 0, "first boundary must be 0");
+  DE_REQUIRE(boundaries.back() == n_layers, "last boundary must be n_layers");
+  DE_REQUIRE(std::is_sorted(boundaries.begin(), boundaries.end()),
+             "boundaries must be sorted");
+  std::vector<LayerVolume> volumes;
+  volumes.reserve(boundaries.size() - 1);
+  for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+    DE_REQUIRE(boundaries[i] < boundaries[i + 1], "duplicate boundary");
+    volumes.push_back(LayerVolume{boundaries[i], boundaries[i + 1]});
+  }
+  return volumes;
+}
+
+std::vector<int> boundaries_from_volumes(const std::vector<LayerVolume>& volumes) {
+  DE_REQUIRE(!volumes.empty(), "no volumes");
+  std::vector<int> b;
+  b.reserve(volumes.size() + 1);
+  b.push_back(volumes.front().first);
+  for (const auto& v : volumes) {
+    DE_REQUIRE(v.first == b.back(), "volumes not contiguous");
+    b.push_back(v.last);
+  }
+  return b;
+}
+
+std::span<const LayerConfig> volume_layers(const CnnModel& model, const LayerVolume& v) {
+  return model.slice(v.first, v.last);
+}
+
+int volume_out_height(const CnnModel& model, const LayerVolume& v) {
+  return model.layer(v.last - 1).out_h();
+}
+
+}  // namespace de::cnn

@@ -1,0 +1,36 @@
+// Layer-volumes (paper term: one or more sequentially connected layers,
+// equivalent to "fused layers" in DeepThings/AOFL).
+//
+// A horizontal partition of an n-layer model is a sorted boundary vector
+// {0 = b_0 < b_1 < ... < b_k = n}; volume j spans layers [b_j, b_{j+1}).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cnn/model.hpp"
+
+namespace de::cnn {
+
+struct LayerVolume {
+  int first = 0;  ///< index of the first layer (inclusive)
+  int last = 0;   ///< index past the last layer (exclusive)
+
+  int size() const { return last - first; }
+  bool operator==(const LayerVolume&) const = default;
+};
+
+/// Builds volumes from a boundary vector; validates sortedness / coverage.
+std::vector<LayerVolume> volumes_from_boundaries(const std::vector<int>& boundaries,
+                                                 int n_layers);
+
+/// Inverse of volumes_from_boundaries.
+std::vector<int> boundaries_from_volumes(const std::vector<LayerVolume>& volumes);
+
+/// Span of model layers covered by `v`.
+std::span<const LayerConfig> volume_layers(const CnnModel& model, const LayerVolume& v);
+
+/// Output height of the last layer in the volume (the split dimension).
+int volume_out_height(const CnnModel& model, const LayerVolume& v);
+
+}  // namespace de::cnn

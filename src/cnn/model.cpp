@@ -1,0 +1,125 @@
+#include "cnn/model.hpp"
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+
+CnnModel::CnnModel(std::string name, std::vector<LayerConfig> layers,
+                   std::vector<FcConfig> fc_tail)
+    : name_(std::move(name)), layers_(std::move(layers)), fc_tail_(std::move(fc_tail)) {
+  validate();
+}
+
+const LayerConfig& CnnModel::layer(int i) const {
+  DE_REQUIRE(i >= 0 && i < num_layers(), "layer index out of range");
+  return layers_[static_cast<std::size_t>(i)];
+}
+
+std::span<const LayerConfig> CnnModel::slice(int first, int last) const {
+  DE_REQUIRE(0 <= first && first < last && last <= num_layers(),
+             "invalid layer slice [" + std::to_string(first) + "," +
+                 std::to_string(last) + ")");
+  return std::span<const LayerConfig>(layers_).subspan(
+      static_cast<std::size_t>(first), static_cast<std::size_t>(last - first));
+}
+
+Bytes CnnModel::input_bytes() const {
+  return layers_.front().input_bytes();
+}
+
+Bytes CnnModel::result_bytes() const {
+  if (!fc_tail_.empty()) return fc_tail_.back().output_bytes();
+  return layers_.back().output_bytes();
+}
+
+Ops CnnModel::total_ops() const { return conv_chain_ops() + fc_ops(); }
+
+Ops CnnModel::conv_chain_ops() const {
+  Ops total = 0;
+  for (const auto& l : layers_) total += l.ops();
+  return total;
+}
+
+Ops CnnModel::fc_ops() const {
+  Ops total = 0;
+  for (const auto& f : fc_tail_) total += f.ops();
+  return total;
+}
+
+void CnnModel::validate() const {
+  DE_REQUIRE(!layers_.empty(), "model has no layers");
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i].validate();
+    if (i > 0) {
+      const auto& prev = layers_[i - 1];
+      const auto& cur = layers_[i];
+      DE_REQUIRE(prev.out_w() == cur.in_w && prev.out_h() == cur.in_h &&
+                     prev.out_c == cur.in_c,
+                 "layer " + std::to_string(i) + " (" + cur.name +
+                     ") does not chain from layer " + std::to_string(i - 1));
+    }
+  }
+  if (!fc_tail_.empty()) {
+    const auto& last = layers_.back();
+    const int features = last.out_w() * last.out_h() * last.out_c;
+    DE_REQUIRE(fc_tail_.front().in_features == features,
+               "FC tail does not chain from the conv output");
+    for (std::size_t i = 1; i < fc_tail_.size(); ++i) {
+      DE_REQUIRE(fc_tail_[i].in_features == fc_tail_[i - 1].out_features,
+                 "FC layer " + std::to_string(i) + " does not chain");
+    }
+  }
+}
+
+ModelBuilder::ModelBuilder(std::string name, int in_w, int in_h, int in_c)
+    : name_(std::move(name)), w_(in_w), h_(in_h), c_(in_c) {}
+
+ModelBuilder& ModelBuilder::conv(int out_c, int kernel, int stride, int padding,
+                                 bool relu) {
+  DE_REQUIRE(fc_features_ == 0, "conv after fc tail started");
+  auto l = LayerConfig::conv(w_, h_, c_, out_c, kernel, stride, padding, relu);
+  l.name = "conv" + std::to_string(layers_.size());
+  w_ = l.out_w();
+  h_ = l.out_h();
+  c_ = l.out_c;
+  layers_.push_back(std::move(l));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::conv_same(int out_c, int kernel) {
+  DE_REQUIRE(kernel % 2 == 1, "conv_same requires an odd kernel");
+  return conv(out_c, kernel, 1, kernel / 2);
+}
+
+ModelBuilder& ModelBuilder::conv_same_n(int times, int out_c, int kernel) {
+  for (int i = 0; i < times; ++i) conv_same(out_c, kernel);
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::maxpool(int kernel, int stride) {
+  DE_REQUIRE(fc_features_ == 0, "pool after fc tail started");
+  auto l = LayerConfig::maxpool(w_, h_, c_, kernel, stride);
+  l.name = "pool" + std::to_string(layers_.size());
+  w_ = l.out_w();
+  h_ = l.out_h();
+  c_ = l.out_c;
+  layers_.push_back(std::move(l));
+  return *this;
+}
+
+ModelBuilder& ModelBuilder::fc(int out_features) {
+  if (fc_features_ == 0) fc_features_ = w_ * h_ * c_;
+  FcConfig f;
+  f.name = "fc" + std::to_string(fc_.size());
+  f.in_features = fc_features_;
+  f.out_features = out_features;
+  fc_features_ = out_features;
+  fc_.push_back(f);
+  return *this;
+}
+
+CnnModel ModelBuilder::build() {
+  return CnnModel(std::move(name_), std::move(layers_), std::move(fc_));
+}
+
+}  // namespace de::cnn

@@ -1,0 +1,78 @@
+// Sequential CNN model + fluent builder.
+//
+// Models are chains of conv/pool layers followed by an optional
+// fully-connected tail. The builder chains input extents automatically so a
+// zoo entry only lists (out_c, kernel, stride, padding).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cnn/layer.hpp"
+
+namespace de::cnn {
+
+class CnnModel {
+ public:
+  CnnModel() = default;
+  CnnModel(std::string name, std::vector<LayerConfig> layers,
+           std::vector<FcConfig> fc_tail);
+
+  const std::string& name() const { return name_; }
+  const std::vector<LayerConfig>& layers() const { return layers_; }
+  const std::vector<FcConfig>& fc_tail() const { return fc_tail_; }
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerConfig& layer(int i) const;
+
+  /// View of layers [first, last).
+  std::span<const LayerConfig> slice(int first, int last) const;
+
+  int input_w() const { return layers_.front().in_w; }
+  int input_h() const { return layers_.front().in_h; }
+  int input_c() const { return layers_.front().in_c; }
+
+  Bytes input_bytes() const;
+  /// Bytes of the final network output (FC tail output, or last conv output).
+  Bytes result_bytes() const;
+
+  Ops total_ops() const;      ///< conv/pool chain + FC tail
+  Ops conv_chain_ops() const; ///< conv/pool chain only
+  Ops fc_ops() const;
+
+  /// Checks the dimension chaining of consecutive layers and the FC tail.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<LayerConfig> layers_;
+  std::vector<FcConfig> fc_tail_;
+};
+
+/// Fluent construction with automatic extent chaining.
+class ModelBuilder {
+ public:
+  ModelBuilder(std::string name, int in_w, int in_h, int in_c);
+
+  ModelBuilder& conv(int out_c, int kernel, int stride, int padding,
+                     bool relu = true);
+  /// kernel x kernel conv, stride 1, "same" padding (odd kernels).
+  ModelBuilder& conv_same(int out_c, int kernel);
+  ModelBuilder& maxpool(int kernel, int stride);
+  ModelBuilder& fc(int out_features);
+
+  /// `times` repetitions of conv_same(out_c, kernel).
+  ModelBuilder& conv_same_n(int times, int out_c, int kernel);
+
+  CnnModel build();
+
+ private:
+  std::string name_;
+  int w_, h_, c_;
+  std::vector<LayerConfig> layers_;
+  std::vector<FcConfig> fc_;
+  int fc_features_ = 0;  // current feature count once FC started, 0 = not yet
+};
+
+}  // namespace de::cnn

@@ -1,0 +1,215 @@
+#include "cnn/model_zoo.hpp"
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+
+CnnModel vgg16() {
+  return ModelBuilder("vgg16", 224, 224, 3)
+      .conv_same_n(2, 64, 3)
+      .maxpool(2, 2)
+      .conv_same_n(2, 128, 3)
+      .maxpool(2, 2)
+      .conv_same_n(3, 256, 3)
+      .maxpool(2, 2)
+      .conv_same_n(3, 512, 3)
+      .maxpool(2, 2)
+      .conv_same_n(3, 512, 3)
+      .maxpool(2, 2)
+      .fc(4096)
+      .fc(4096)
+      .fc(1000)
+      .build();
+}
+
+namespace {
+/// One ResNet bottleneck as a sequential 1x1 -> 3x3 -> 1x1 triple.
+void bottleneck(ModelBuilder& b, int mid_c, int out_c, int stride) {
+  b.conv(mid_c, 1, 1, 0);
+  b.conv(mid_c, 3, stride, 1);
+  b.conv(out_c, 1, 1, 0);
+}
+}  // namespace
+
+CnnModel resnet50() {
+  ModelBuilder b("resnet50", 224, 224, 3);
+  b.conv(64, 7, 2, 3);       // stem: 112x112x64
+  b.maxpool(3, 2);           // 55x55 (floor) — close enough to the 56 grid
+  for (int i = 0; i < 3; ++i) bottleneck(b, 64, 256, 1);
+  bottleneck(b, 128, 512, 2);
+  for (int i = 0; i < 3; ++i) bottleneck(b, 128, 512, 1);
+  bottleneck(b, 256, 1024, 2);
+  for (int i = 0; i < 5; ++i) bottleneck(b, 256, 1024, 1);
+  bottleneck(b, 512, 2048, 2);
+  for (int i = 0; i < 2; ++i) bottleneck(b, 512, 2048, 1);
+  b.fc(1000);
+  return b.build();
+}
+
+CnnModel inception_v3() {
+  ModelBuilder b("inception_v3", 299, 299, 3);
+  b.conv(32, 3, 2, 0);   // 149
+  b.conv(32, 3, 1, 0);   // 147
+  b.conv(64, 3, 1, 1);   // 147
+  b.maxpool(3, 2);       // 73
+  b.conv(80, 1, 1, 0);
+  b.conv(192, 3, 1, 0);  // 71
+  b.maxpool(3, 2);       // 35
+  // Three Inception-A blocks (chain-equivalent convs at 35x35, 256->288 ch).
+  b.conv_same(256, 3);
+  b.conv_same(288, 3);
+  b.conv_same(288, 3);
+  b.conv(768, 3, 2, 0);  // grid reduction -> 17x17x768
+  // Four Inception-B blocks at 17x17x768.
+  b.conv_same_n(4, 768, 3);
+  b.conv(1280, 3, 2, 0);  // grid reduction -> 8x8
+  // Two Inception-C blocks at 8x8.
+  b.conv_same(2048, 3);
+  b.conv_same(2048, 3);
+  b.fc(1000);
+  return b.build();
+}
+
+CnnModel yolov2() {
+  ModelBuilder b("yolov2", 416, 416, 3);
+  b.conv_same(32, 3);
+  b.maxpool(2, 2);  // 208
+  b.conv_same(64, 3);
+  b.maxpool(2, 2);  // 104
+  b.conv_same(128, 3);
+  b.conv(64, 1, 1, 0);
+  b.conv_same(128, 3);
+  b.maxpool(2, 2);  // 52
+  b.conv_same(256, 3);
+  b.conv(128, 1, 1, 0);
+  b.conv_same(256, 3);
+  b.maxpool(2, 2);  // 26
+  b.conv_same(512, 3);
+  b.conv(256, 1, 1, 0);
+  b.conv_same(512, 3);
+  b.conv(256, 1, 1, 0);
+  b.conv_same(512, 3);
+  b.maxpool(2, 2);  // 13
+  b.conv_same(1024, 3);
+  b.conv(512, 1, 1, 0);
+  b.conv_same(1024, 3);
+  b.conv(512, 1, 1, 0);
+  b.conv_same(1024, 3);
+  // Detection head.
+  b.conv_same(1024, 3);
+  b.conv_same(1024, 3);
+  b.conv(425, 1, 1, 0, /*relu=*/false);
+  return b.build();
+}
+
+CnnModel ssd_vgg16() {
+  ModelBuilder b("ssd_vgg16", 300, 300, 3);
+  b.conv_same_n(2, 64, 3);
+  b.maxpool(2, 2);  // 150
+  b.conv_same_n(2, 128, 3);
+  b.maxpool(2, 2);  // 75
+  b.conv_same_n(3, 256, 3);
+  b.maxpool(2, 2);  // 37
+  b.conv_same_n(3, 512, 3);
+  b.maxpool(2, 2);  // 18
+  b.conv_same_n(3, 512, 3);
+  b.maxpool(3, 1);  // pool5: 3x3 stride 1 -> 16
+  b.conv_same(1024, 3);    // fc6 as conv
+  b.conv(1024, 1, 1, 0);   // fc7 as conv
+  b.conv(256, 1, 1, 0);    // conv8_1
+  b.conv(512, 3, 2, 1);    // conv8_2 -> 8
+  b.conv(128, 1, 1, 0);    // conv9_1
+  b.conv(256, 3, 2, 1);    // conv9_2 -> 4
+  b.conv(128, 1, 1, 0);    // conv10_1
+  b.conv(256, 3, 1, 0);    // conv10_2 -> 2
+  return b.build();
+}
+
+CnnModel ssd_resnet50() {
+  ModelBuilder b("ssd_resnet50", 300, 300, 3);
+  b.conv(64, 7, 2, 3);  // 150
+  b.maxpool(3, 2);      // 74
+  for (int i = 0; i < 3; ++i) bottleneck(b, 64, 256, 1);
+  bottleneck(b, 128, 512, 2);  // 37
+  for (int i = 0; i < 3; ++i) bottleneck(b, 128, 512, 1);
+  bottleneck(b, 256, 1024, 2);  // 19
+  for (int i = 0; i < 5; ++i) bottleneck(b, 256, 1024, 1);
+  // SSD extra feature layers.
+  b.conv(256, 1, 1, 0);
+  b.conv(512, 3, 2, 1);  // 10
+  b.conv(128, 1, 1, 0);
+  b.conv(256, 3, 2, 1);  // 5
+  b.conv(128, 1, 1, 0);
+  b.conv(256, 3, 1, 0);  // 3
+  return b.build();
+}
+
+CnnModel openpose() {
+  ModelBuilder b("openpose", 368, 368, 3);
+  // VGG-19 front-end through conv4_2.
+  b.conv_same_n(2, 64, 3);
+  b.maxpool(2, 2);  // 184
+  b.conv_same_n(2, 128, 3);
+  b.maxpool(2, 2);  // 92
+  b.conv_same_n(4, 256, 3);
+  b.maxpool(2, 2);  // 46
+  b.conv_same_n(2, 512, 3);
+  // CPM feature adaptation.
+  b.conv_same(256, 3);
+  b.conv_same(128, 3);
+  // Stage 1 (both branches merged into one chain of matching width).
+  b.conv_same_n(3, 128, 3);
+  b.conv(512, 1, 1, 0);
+  b.conv(57, 1, 1, 0, /*relu=*/false);  // 38 PAFs + 19 heatmaps
+  // Stage 2 refinement (7x7 receptive blocks).
+  b.conv(128, 7, 1, 3);
+  b.conv(128, 7, 1, 3);
+  b.conv(128, 7, 1, 3);
+  b.conv(128, 7, 1, 3);
+  b.conv(128, 7, 1, 3);
+  b.conv(128, 1, 1, 0);
+  b.conv(57, 1, 1, 0, /*relu=*/false);
+  return b.build();
+}
+
+CnnModel voxelnet() {
+  // BEV pseudo-image after the voxel feature encoder (the VFE output is a
+  // 400x352x128 dense tensor); the chain below is the middle conv extractor
+  // + region-proposal network, with 3D convs flattened to their 2D
+  // per-BEV-cell equivalents.
+  ModelBuilder b("voxelnet", 352, 400, 128);
+  b.conv_same(64, 3);
+  b.conv(64, 3, 2, 1);  // 200
+  b.conv_same(64, 3);
+  // RPN block 1.
+  b.conv(128, 3, 2, 1);  // 100
+  b.conv_same_n(3, 128, 3);
+  // RPN block 2.
+  b.conv(128, 3, 2, 1);  // 50
+  b.conv_same_n(5, 128, 3);
+  // RPN block 3.
+  b.conv(256, 3, 2, 1);  // 25
+  b.conv_same_n(5, 256, 3);
+  // Heads (score + regression as one chain tail).
+  b.conv(14, 1, 1, 0, /*relu=*/false);
+  return b.build();
+}
+
+CnnModel model_by_name(const std::string& name) {
+  if (name == "vgg16") return vgg16();
+  if (name == "resnet50") return resnet50();
+  if (name == "inception_v3") return inception_v3();
+  if (name == "yolov2") return yolov2();
+  if (name == "ssd_vgg16") return ssd_vgg16();
+  if (name == "ssd_resnet50") return ssd_resnet50();
+  if (name == "openpose") return openpose();
+  if (name == "voxelnet") return voxelnet();
+  throw Error("unknown model: " + name);
+}
+
+std::vector<std::string> zoo_names() {
+  return {"vgg16",      "resnet50",     "inception_v3", "yolov2",
+          "ssd_vgg16",  "ssd_resnet50", "openpose",     "voxelnet"};
+}
+
+}  // namespace de::cnn

@@ -1,0 +1,56 @@
+// Small numeric helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace de {
+
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  DE_REQUIRE(b > 0, "ceil_div by non-positive");
+  return (a + b - 1) / b;
+}
+
+inline double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+inline double stddev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+inline double min_of(const std::vector<double>& v) {
+  DE_REQUIRE(!v.empty(), "min of empty");
+  return *std::min_element(v.begin(), v.end());
+}
+
+inline double max_of(const std::vector<double>& v) {
+  DE_REQUIRE(!v.empty(), "max of empty");
+  return *std::max_element(v.begin(), v.end());
+}
+
+/// Linear interpolation of y at x given sorted xs/ys tables (clamped ends).
+inline double lerp_table(const std::vector<double>& xs, const std::vector<double>& ys,
+                         double x) {
+  DE_REQUIRE(xs.size() == ys.size() && !xs.empty(), "lerp table shape");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  auto it = std::upper_bound(xs.begin(), xs.end(), x);
+  const std::size_t hi = static_cast<std::size_t>(it - xs.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+}  // namespace de

@@ -1,0 +1,44 @@
+// Precondition / invariant checking used across the library.
+//
+// DE_REQUIRE is for API preconditions (always on, throws de::Error so callers
+// can test misuse); DE_ASSERT is for internal invariants (also always on —
+// this library's hot paths are dominated by simulation arithmetic, not by
+// checks, and a silently-corrupt plan is worse than a throw).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace de {
+
+/// Exception thrown on contract violations anywhere in the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void fail(const char* kind, const char* expr,
+                              const char* file, int line,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace de
+
+#define DE_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::de::detail::fail("precondition", #cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define DE_ASSERT(cond, msg)                                               \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::de::detail::fail("invariant", #cond, __FILE__, __LINE__, (msg));   \
+  } while (0)

@@ -1,0 +1,37 @@
+// ASCII table / CSV reporting used by the benchmark harness to print
+// figure-shaped result grids (rows = methods, columns = groups/series).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace de {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  void set_header(std::vector<std::string> cols);
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: row label + numeric cells with fixed precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 2);
+
+  /// Render with aligned columns and a rule under the header.
+  void print(std::ostream& os) const;
+
+  /// Comma-separated rendering (header first) for machine consumption.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (helper shared with benches).
+std::string fmt_double(double v, int precision = 2);
+
+}  // namespace de

@@ -1,0 +1,101 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+#include "common/require.hpp"
+
+namespace de {
+
+namespace {
+// Set while a pool worker runs a task; nested parallel_for calls from inside
+// a worker execute inline instead of re-entering the (possibly exhausted)
+// pool, which would deadlock.
+thread_local bool t_inside_pool_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::thread::hardware_concurrency();
+    if (n_threads == 0) n_threads = 4;
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  auto fut = task.get_future();
+  {
+    std::lock_guard lk(mu_);
+    DE_REQUIRE(!stop_, "submit on stopped pool");
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  // Run inline for small loops (dispatch overhead) and when already inside a
+  // pool worker (re-entering could deadlock with all workers blocked).
+  if (n == 1 || workers_.size() == 1 || t_inside_pool_worker) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+  const std::size_t n_tasks = std::min(n, workers_.size());
+  std::vector<std::future<void>> futs;
+  futs.reserve(n_tasks);
+  for (std::size_t t = 0; t < n_tasks; ++t) {
+    futs.push_back(submit([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    }));
+  }
+  for (auto& f : futs) f.wait();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    t_inside_pool_worker = true;
+    task();
+    t_inside_pool_worker = false;
+  }
+}
+
+}  // namespace de

@@ -1,0 +1,52 @@
+// Fixed-size thread pool with a parallel_for helper.
+//
+// Used for (i) scoring the |Rs| random splits inside LC-PSS, (ii) running
+// planner x scenario matrices in the benches, and (iii) any other
+// embarrassingly-parallel sweeps. Tasks must not throw out of the pool;
+// parallel_for rethrows the first captured exception on the caller thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace de {
+
+class ThreadPool {
+ public:
+  /// n_threads == 0 picks std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> fn);
+
+  /// Run fn(i) for i in [0, n) across the pool; blocks until all done.
+  /// Rethrows the first exception thrown by any iteration.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, hardware concurrency).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace de

@@ -1,0 +1,32 @@
+// Unit conventions used throughout the library.
+//
+//  * Latency / durations:  double, milliseconds (`Ms`).
+//  * Wall-clock positions: double, seconds since stream start (`Seconds`).
+//  * Data sizes:           std::int64_t bytes (`Bytes`).
+//  * Throughput:           double, megabits per second (`Mbps`).
+//  * Operation counts:     std::int64_t multiply-accumulate*2 (FLOPs).
+#pragma once
+
+#include <cstdint>
+
+namespace de {
+
+using Ms = double;
+using Seconds = double;
+using Bytes = std::int64_t;
+using Mbps = double;
+using Ops = std::int64_t;
+
+/// All activations/weights travel and compute in FP16 (paper: TensorRT FP16).
+inline constexpr Bytes kBytesPerElement = 2;
+
+/// Milliseconds needed to push `bytes` through a `mbps` pipe (no overheads).
+inline Ms wire_ms(Bytes bytes, Mbps mbps) {
+  // bits / (Mbit/s) = microseconds; /1000 -> ms.
+  return (static_cast<double>(bytes) * 8.0) / (mbps * 1000.0);
+}
+
+inline Seconds ms_to_s(Ms ms) { return ms / 1000.0; }
+inline Ms s_to_ms(Seconds s) { return s * 1000.0; }
+
+}  // namespace de

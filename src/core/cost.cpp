@@ -1,0 +1,187 @@
+#include "core/cost.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cnn/vsl.hpp"
+#include "common/require.hpp"
+
+namespace de::core {
+
+StrategyTotals strategy_totals(const cnn::CnnModel& model,
+                               const std::vector<cnn::LayerVolume>& volumes,
+                               const std::vector<std::vector<int>>& cuts) {
+  DE_REQUIRE(volumes.size() == cuts.size(), "one cut vector per volume");
+  DE_REQUIRE(!volumes.empty(), "no volumes");
+  const int n_devices = static_cast<int>(cuts.front().size()) - 1;
+
+  StrategyTotals totals;
+  // Per-phase endpoint accumulation.
+  std::vector<Bytes> dev_bytes(static_cast<std::size_t>(n_devices));
+  std::vector<int> dev_count(static_cast<std::size_t>(n_devices));
+  PhaseTx phase;
+  auto begin_phase = [&] {
+    std::fill(dev_bytes.begin(), dev_bytes.end(), 0);
+    std::fill(dev_count.begin(), dev_count.end(), 0);
+    phase = PhaseTx{};
+  };
+  auto add_transfer = [&](int src, int dst, Bytes bytes) {
+    if (bytes <= 0) return;
+    totals.tx_bytes += bytes;
+    totals.n_transfers += 1;
+    for (int e : {src, dst}) {
+      if (e < 0) {
+        phase.requester_bytes += bytes;
+        phase.requester_transfers += 1;
+      } else {
+        dev_bytes[static_cast<std::size_t>(e)] += bytes;
+        dev_count[static_cast<std::size_t>(e)] += 1;
+      }
+    }
+  };
+  auto end_phase = [&] {
+    for (int i = 0; i < n_devices; ++i) {
+      if (dev_bytes[static_cast<std::size_t>(i)] > phase.max_device_bytes) {
+        phase.max_device_bytes = dev_bytes[static_cast<std::size_t>(i)];
+        phase.max_device_transfers = dev_count[static_cast<std::size_t>(i)];
+      }
+    }
+    if (phase.max_device_bytes > 0 || phase.requester_bytes > 0) {
+      totals.phases.push_back(phase);
+    }
+  };
+
+  // held[i]: rows of the previous volume's output on device i.
+  std::vector<cnn::RowInterval> held(static_cast<std::size_t>(n_devices));
+  bool from_requester = true;
+
+  for (std::size_t l = 0; l < volumes.size(); ++l) {
+    const auto layers = cnn::volume_layers(model, volumes[l]);
+    const cnn::LayerConfig& input_layer = model.layer(volumes[l].first);
+    std::vector<cnn::RowInterval> next_held(static_cast<std::size_t>(n_devices));
+    begin_phase();
+    for (int i = 0; i < n_devices; ++i) {
+      const cnn::RowInterval part{cuts[l][static_cast<std::size_t>(i)],
+                                  cuts[l][static_cast<std::size_t>(i) + 1]};
+      next_held[static_cast<std::size_t>(i)] = part;
+      if (part.empty()) continue;
+      totals.ops += cnn::split_part_ops(layers, part);
+      const auto need = cnn::required_input_rows(layers, part);
+      if (from_requester) {
+        add_transfer(-1, i, input_layer.input_bytes_for_rows(need.size()));
+      } else {
+        for (int j = 0; j < n_devices; ++j) {
+          if (j == i) continue;
+          const auto chunk = need.intersect(held[static_cast<std::size_t>(j)]);
+          add_transfer(j, i, input_layer.input_bytes_for_rows(chunk.size()));
+        }
+      }
+    }
+    end_phase();
+    held = std::move(next_held);
+    from_requester = false;
+  }
+
+  // Gather: FC tail runs on the largest-share device, others ship their
+  // rows there; without a tail, everything returns to the requester.
+  const cnn::LayerConfig& last_layer = model.layer(model.num_layers() - 1);
+  begin_phase();
+  if (!model.fc_tail().empty()) {
+    int fc_dev = 0;
+    int best_rows = -1;
+    for (int i = 0; i < n_devices; ++i) {
+      if (held[static_cast<std::size_t>(i)].size() > best_rows) {
+        best_rows = held[static_cast<std::size_t>(i)].size();
+        fc_dev = i;
+      }
+    }
+    for (int j = 0; j < n_devices; ++j) {
+      if (j == fc_dev || held[static_cast<std::size_t>(j)].empty()) continue;
+      add_transfer(j, fc_dev,
+                   last_layer.output_bytes_for_rows(held[static_cast<std::size_t>(j)].size()));
+    }
+    totals.ops += model.fc_ops();
+    add_transfer(fc_dev, -1, model.result_bytes());
+  } else {
+    for (int j = 0; j < n_devices; ++j) {
+      if (held[static_cast<std::size_t>(j)].empty()) continue;
+      add_transfer(j, -1,
+                   last_layer.output_bytes_for_rows(held[static_cast<std::size_t>(j)].size()));
+    }
+  }
+  end_phase();
+  return totals;
+}
+
+RandomSplitSet::RandomSplitSet(int n_decisions, int n_devices, std::uint64_t seed)
+    : n_decisions_(n_decisions), n_devices_(n_devices), seed_(seed) {
+  DE_REQUIRE(n_decisions_ >= 1, "need at least one random decision");
+  DE_REQUIRE(n_devices_ >= 1, "need at least one device");
+}
+
+std::vector<int> RandomSplitSet::cuts_for(int decision, int height) const {
+  DE_REQUIRE(decision >= 0 && decision < n_decisions_, "decision out of range");
+  DE_REQUIRE(height >= 1, "height >= 1");
+  // Deterministic per-decision stream (same fractions for every volume).
+  Rng rng(seed_ ^ (static_cast<std::uint64_t>(decision) * 0x9e3779b97f4a7c15ULL));
+  std::vector<double> fractions(static_cast<std::size_t>(n_devices_ - 1));
+  for (auto& f : fractions) f = rng.uniform();
+  std::sort(fractions.begin(), fractions.end());
+
+  std::vector<int> cuts(static_cast<std::size_t>(n_devices_) + 1);
+  cuts.front() = 0;
+  cuts.back() = height;
+  for (int i = 1; i < n_devices_; ++i) {
+    cuts[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::lround(fractions[static_cast<std::size_t>(i - 1)] * height));
+  }
+  for (int i = 1; i <= n_devices_; ++i) {
+    cuts[static_cast<std::size_t>(i)] =
+        std::max(cuts[static_cast<std::size_t>(i)], cuts[static_cast<std::size_t>(i - 1)]);
+  }
+  return cuts;
+}
+
+double cp_score(const cnn::CnnModel& model,
+                const std::vector<cnn::LayerVolume>& volumes,
+                const std::vector<std::vector<int>>& cuts, double alpha,
+                const TxCostParams& params) {
+  DE_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha in [0,1]");
+  DE_REQUIRE(params.rate_mbps > 0 && params.io_fixed_ms >= 0, "tx cost params");
+  const StrategyTotals totals = strategy_totals(model, volumes, cuts);
+  const double o_base = static_cast<double>(model.total_ops());
+  const double o_hat = static_cast<double>(totals.ops) / o_base;
+  // Transmission critical path: per phase, the slower of the busiest device
+  // radio and the requester radio (streams across endpoints are parallel).
+  Ms t_ms = 0.0;
+  for (const auto& phase : totals.phases) {
+    const Ms dev_ms = wire_ms(phase.max_device_bytes, params.rate_mbps) +
+                      phase.max_device_transfers * params.io_fixed_ms;
+    const Ms req_ms = wire_ms(phase.requester_bytes, params.requester_rate_mbps) +
+                      phase.requester_transfers * params.io_fixed_ms;
+    t_ms += std::max(dev_ms, req_ms);
+  }
+  const Ms t_base = wire_ms(model.input_bytes(), params.rate_mbps) +
+                    wire_ms(model.result_bytes(), params.rate_mbps) +
+                    2 * params.io_fixed_ms;
+  const double t_hat = t_ms / t_base;
+  return alpha * t_hat + (1.0 - alpha) * o_hat;
+}
+
+double mean_cp_score(const cnn::CnnModel& model, const std::vector<int>& boundaries,
+                     const RandomSplitSet& splits, double alpha,
+                     const TxCostParams& params) {
+  const auto volumes = cnn::volumes_from_boundaries(boundaries, model.num_layers());
+  double sum = 0.0;
+  for (int d = 0; d < splits.size(); ++d) {
+    std::vector<std::vector<int>> cuts;
+    cuts.reserve(volumes.size());
+    for (const auto& v : volumes) {
+      cuts.push_back(splits.cuts_for(d, cnn::volume_out_height(model, v)));
+    }
+    sum += cp_score(model, volumes, cuts, alpha, params);
+  }
+  return sum / splits.size();
+}
+
+}  // namespace de::core

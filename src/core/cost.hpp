@@ -1,0 +1,95 @@
+// LC-PSS score model (paper Eq. 3-4).
+//
+//   Cp = alpha * T_hat + (1 - alpha) * O_hat
+//
+// O = total FLOPs actually executed under a strategy (halo rows are
+// recomputed by every device whose split-part needs them — fusing more
+// layers grows O). T = total bytes transmitted (input scatter with halo
+// duplication, per-boundary redistribution, FC gather + result — splitting
+// into more volumes grows T). Both are normalised by their single-device
+// values so alpha trades off unit-free quantities.
+//
+// Random split decisions are drawn as device-share *fractions* so the same
+// decision set can be applied to any candidate partition (Alg. 1 reuses one
+// set across the whole greedy search).
+#pragma once
+
+#include <vector>
+
+#include "cnn/layer_volume.hpp"
+#include "cnn/model.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace de::core {
+
+/// Transfer traffic of one communication phase (scatter, one inter-volume
+/// redistribution, or the final gather), aggregated per endpoint so the
+/// bottleneck endpoint's time can be estimated (transfers within a phase
+/// run in parallel across endpoints).
+struct PhaseTx {
+  Bytes max_device_bytes = 0;    ///< busiest device radio: bytes through it
+  int max_device_transfers = 0;  ///< and its transfer count
+  Bytes requester_bytes = 0;     ///< bytes through the requester radio
+  int requester_transfers = 0;
+};
+
+/// Ops + transmitted bytes of one (partition, splits) combination.
+struct StrategyTotals {
+  Ops ops = 0;
+  Bytes tx_bytes = 0;
+  int n_transfers = 0;  ///< scatter + redistribution + gather transfer count
+  std::vector<PhaseTx> phases;
+};
+
+/// Converts transfer totals into milliseconds: wire time at a representative
+/// link rate plus the fixed per-transfer I/O overhead the paper calls out
+/// (§II-B). Makes the T term commensurable with the O term.
+struct TxCostParams {
+  Mbps rate_mbps = 100.0;            ///< representative device link rate
+  Mbps requester_rate_mbps = 276.0;  ///< requester link rate
+  Ms io_fixed_ms = 1.6;              ///< fixed cost per transfer (both endpoints)
+};
+
+/// `cuts[l]` is the cumulative cut vector of volume l.
+StrategyTotals strategy_totals(const cnn::CnnModel& model,
+                               const std::vector<cnn::LayerVolume>& volumes,
+                               const std::vector<std::vector<int>>& cuts);
+
+/// Partition-agnostic random split decisions: decision i is one sorted
+/// device-fraction vector; applied to a volume of height H it cuts at
+/// round(fractions * H). The same fractions are used for every volume of a
+/// candidate partition (cuts aligned across volumes, as any sensible
+/// splitter produces — misaligned cuts would move whole activations instead
+/// of halo rows and would make every multi-volume partition look
+/// artificially transmission-heavy).
+class RandomSplitSet {
+ public:
+  RandomSplitSet(int n_decisions, int n_devices, std::uint64_t seed);
+
+  int size() const { return n_decisions_; }
+  int n_devices() const { return n_devices_; }
+
+  /// Cumulative cut vector of decision `i` for a volume of height `height`.
+  std::vector<int> cuts_for(int decision, int height) const;
+
+ private:
+  int n_decisions_;
+  int n_devices_;
+  std::uint64_t seed_;
+};
+
+/// Mean Cp over the random split set for a candidate partition (Eq. 4 body).
+double mean_cp_score(const cnn::CnnModel& model, const std::vector<int>& boundaries,
+                     const RandomSplitSet& splits, double alpha,
+                     const TxCostParams& params = {});
+
+/// Cp of a single concrete strategy (Eq. 3). O is normalised by the model's
+/// total FLOPs, T (in ms) by the offload transmission time (input + result),
+/// so both terms are ~1 for single-device offloading.
+double cp_score(const cnn::CnnModel& model,
+                const std::vector<cnn::LayerVolume>& volumes,
+                const std::vector<std::vector<int>>& cuts, double alpha,
+                const TxCostParams& params = {});
+
+}  // namespace de::core

@@ -1,0 +1,95 @@
+#include "core/distredge.hpp"
+
+#include <chrono>
+
+#include "common/require.hpp"
+
+namespace de::core {
+
+void PlanContext::validate() const {
+  DE_REQUIRE(model != nullptr, "PlanContext.model unset");
+  DE_REQUIRE(network != nullptr, "PlanContext.network unset");
+  DE_REQUIRE(!latency.empty(), "PlanContext.latency empty");
+  for (const auto& m : latency) DE_REQUIRE(m != nullptr, "null latency model");
+  DE_REQUIRE(network->num_devices() >= num_devices(), "network smaller than cluster");
+}
+
+sim::ExecBreakdown evaluate_strategy(const PlanContext& ctx,
+                                     const DistributionStrategy& strategy,
+                                     Seconds start_s) {
+  ctx.validate();
+  strategy.validate(*ctx.model, ctx.num_devices());
+  sim::ExecOptions options;
+  options.start_s = start_s;
+  return sim::execute_strategy(*ctx.model, strategy.to_raw(*ctx.model), ctx.latency,
+                               *ctx.network, options);
+}
+
+DistrEdgePlanner::DistrEdgePlanner(DistrEdgeConfig config) : config_(config) {}
+
+DistributionStrategy DistrEdgePlanner::plan(const PlanContext& ctx) {
+  return run(ctx, nullptr, std::nullopt);
+}
+
+DistributionStrategy DistrEdgePlanner::replan(const PlanContext& ctx,
+                                              int finetune_episodes) {
+  if (!osds_ || osds_->agent == nullptr ||
+      osds_->agent->config().state_dim !=
+          static_cast<std::size_t>(ctx.num_devices()) + 4) {
+    return plan(ctx);
+  }
+  // Keep the trained agent alive across run() (which overwrites osds_).
+  const std::shared_ptr<rl::Ddpg> warm = osds_->agent;
+  return run(ctx, warm.get(), finetune_episodes);
+}
+
+DistributionStrategy DistrEdgePlanner::run(const PlanContext& ctx,
+                                           const rl::Ddpg* warm_agent,
+                                           std::optional<int> episode_override) {
+  ctx.validate();
+  const auto t0 = std::chrono::steady_clock::now();
+
+  LcpssConfig lcpss_config;
+  lcpss_config.alpha = config_.alpha;
+  lcpss_config.n_random_splits = config_.n_random_splits;
+  lcpss_config.n_devices = ctx.num_devices();
+  lcpss_config.seed = config_.seed;
+  // Representative transmission cost from the monitored link rates.
+  double rate_sum = 0.0;
+  double io_sum = 0.0;
+  for (int i = 0; i < ctx.num_devices(); ++i) {
+    rate_sum += ctx.network->device_rate(i, ctx.plan_time_s);
+    io_sum += ctx.network->link(i).io_fixed_ms;
+  }
+  lcpss_config.tx.rate_mbps = rate_sum / ctx.num_devices();
+  lcpss_config.tx.io_fixed_ms =
+      io_sum / ctx.num_devices() + ctx.network->link(net::kRequester).io_fixed_ms;
+  lcpss_ = run_lcpss(*ctx.model, lcpss_config);
+
+  OsdsConfig osds_config = config_.osds;
+  osds_config.seed = config_.seed + 1;
+  if (episode_override) osds_config.max_episodes = *episode_override;
+  osds_ = run_osds(*ctx.model, lcpss_->boundaries, ctx.latency, *ctx.network,
+                   osds_config, warm_agent, ctx.plan_time_s);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  plan_wall_ms_ = std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  DistributionStrategy strategy;
+  strategy.boundaries = lcpss_->boundaries;
+  strategy.splits = osds_->best_splits;
+  strategy.validate(*ctx.model, ctx.num_devices());
+  return strategy;
+}
+
+const LcpssResult& DistrEdgePlanner::last_lcpss() const {
+  DE_REQUIRE(lcpss_.has_value(), "plan() has not run");
+  return *lcpss_;
+}
+
+const OsdsResult& DistrEdgePlanner::last_osds() const {
+  DE_REQUIRE(osds_.has_value(), "plan() has not run");
+  return *osds_;
+}
+
+}  // namespace de::core

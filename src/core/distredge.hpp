@@ -1,0 +1,62 @@
+// DistrEdge planner facade (paper §IV): LC-PSS horizontal partition followed
+// by OSDS vertical splitting, plus the online-adaptation path of §V-F
+// (re-run the lightweight LC-PSS on significant network change, then
+// fine-tune the existing actor instead of training from scratch).
+#pragma once
+
+#include <optional>
+
+#include "core/lcpss.hpp"
+#include "core/osds.hpp"
+#include "core/planner.hpp"
+
+namespace de::core {
+
+struct DistrEdgeConfig {
+  /// Cp trade-off. The paper found 0.75 best on its physical testbed; on
+  /// this repo's synthetic testbed the sweet spot sits at 0.25 (halo rows
+  /// of deep-channel layers are pricier relative to compute here) — see
+  /// EXPERIMENTS.md (Fig. 5). bench_fig5_alpha regenerates the sweep.
+  double alpha = 0.25;
+  int n_random_splits = 100;  // paper §V
+  std::uint64_t seed = 7;
+  OsdsConfig osds = OsdsConfig::fast();
+
+  static DistrEdgeConfig fast() { return DistrEdgeConfig{}; }
+  static DistrEdgeConfig paper() {
+    DistrEdgeConfig c;
+    c.osds = OsdsConfig::paper();
+    return c;
+  }
+};
+
+class DistrEdgePlanner final : public Planner {
+ public:
+  explicit DistrEdgePlanner(DistrEdgeConfig config = DistrEdgeConfig::fast());
+
+  std::string name() const override { return "DistrEdge"; }
+
+  /// Full plan: LC-PSS then OSDS from scratch.
+  DistributionStrategy plan(const PlanContext& ctx) override;
+
+  /// Online update: re-runs LC-PSS; fine-tunes the previously trained actor
+  /// for `finetune_episodes` (falls back to plan() if never planned or the
+  /// device count changed). Much cheaper than plan() — paper §V-F.
+  DistributionStrategy replan(const PlanContext& ctx, int finetune_episodes);
+
+  const LcpssResult& last_lcpss() const;
+  const OsdsResult& last_osds() const;
+  /// Wall-clock cost of the last plan()/replan() call (controller time).
+  Ms last_plan_wall_ms() const { return plan_wall_ms_; }
+
+ private:
+  DistributionStrategy run(const PlanContext& ctx, const rl::Ddpg* warm_agent,
+                           std::optional<int> episode_override);
+
+  DistrEdgeConfig config_;
+  std::optional<LcpssResult> lcpss_;
+  std::optional<OsdsResult> osds_;
+  Ms plan_wall_ms_ = 0.0;
+};
+
+}  // namespace de::core

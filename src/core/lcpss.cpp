@@ -1,0 +1,63 @@
+#include "core/lcpss.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace de::core {
+
+LcpssResult run_lcpss(const cnn::CnnModel& model, const LcpssConfig& config) {
+  DE_REQUIRE(config.n_devices >= 1, "need devices");
+  const int n = model.num_layers();
+  const RandomSplitSet splits(config.n_random_splits, config.n_devices, config.seed);
+
+  std::vector<int> boundaries = {0, n};
+  double current_score =
+      mean_cp_score(model, boundaries, splits, config.alpha, config.tx);
+
+  LcpssResult result;
+  for (;;) {
+    ++result.rounds;
+    // For each current volume, find the best interior insertion point.
+    std::vector<int> to_insert;
+    for (std::size_t seg = 0; seg + 1 < boundaries.size(); ++seg) {
+      const int lo = boundaries[seg];
+      const int hi = boundaries[seg + 1];
+      if (hi - lo < 2) continue;  // no interior point
+
+      std::vector<int> candidates;
+      for (int j = lo + 1; j < hi; ++j) candidates.push_back(j);
+      std::vector<double> scores(candidates.size());
+      auto eval = [&](std::size_t k) {
+        std::vector<int> trial = boundaries;
+        trial.insert(std::upper_bound(trial.begin(), trial.end(), candidates[k]),
+                     candidates[k]);
+        scores[k] = mean_cp_score(model, trial, splits, config.alpha, config.tx);
+      };
+      if (config.parallel) {
+        ThreadPool::shared().parallel_for(candidates.size(), eval);
+      } else {
+        for (std::size_t k = 0; k < candidates.size(); ++k) eval(k);
+      }
+      const auto best =
+          std::min_element(scores.begin(), scores.end()) - scores.begin();
+      if (scores[static_cast<std::size_t>(best)] + 1e-12 < current_score) {
+        to_insert.push_back(candidates[static_cast<std::size_t>(best)]);
+      }
+    }
+    if (to_insert.empty()) break;
+
+    for (int j : to_insert) {
+      boundaries.insert(std::upper_bound(boundaries.begin(), boundaries.end(), j), j);
+    }
+    current_score = mean_cp_score(model, boundaries, splits, config.alpha, config.tx);
+  }
+
+  result.boundaries = std::move(boundaries);
+  result.score = current_score;
+  return result;
+}
+
+}  // namespace de::core

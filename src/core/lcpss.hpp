@@ -1,0 +1,35 @@
+// LC-PSS — Layer-Configuration based Partition Scheme Search (paper Alg. 1).
+//
+// Greedy insertion: starting from one volume spanning the whole model, each
+// round tries every insertion position inside every current volume, keeps
+// the per-volume argmin of the mean Cp score over the random split set, and
+// stops when no insertion improves the score. Candidate scoring is
+// parallelised over the thread pool (the |Rs|-sample mean is the hot loop).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cnn/model.hpp"
+#include "core/cost.hpp"
+
+namespace de::core {
+
+struct LcpssConfig {
+  double alpha = 0.25;        // see DistrEdgeConfig::alpha
+  int n_random_splits = 100;  // paper §V (|Rs|)
+  int n_devices = 4;
+  std::uint64_t seed = 7;
+  bool parallel = true;
+  TxCostParams tx;            ///< set from the observed network by callers
+};
+
+struct LcpssResult {
+  std::vector<int> boundaries;  ///< optimal partition scheme {0,...,n}
+  double score = 0.0;           ///< mean Cp of the final scheme
+  int rounds = 0;               ///< greedy rounds until convergence
+};
+
+LcpssResult run_lcpss(const cnn::CnnModel& model, const LcpssConfig& config);
+
+}  // namespace de::core

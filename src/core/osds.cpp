@@ -1,0 +1,327 @@
+#include "core/osds.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace de::core {
+
+OsdsConfig OsdsConfig::paper() {
+  OsdsConfig c;
+  c.max_episodes = 4000;
+  c.delta_eps = 1.0 / 250.0;
+  c.sigma = std::sqrt(0.1);
+  c.actor_hidden = {400, 200, 100};
+  c.critic_hidden = {400, 200, 100, 100};
+  c.batch_size = 64;
+  c.replay_capacity = 100000;
+  c.local_search_prob = 0.0;  // strictly Alg. 2
+  return c;
+}
+
+OsdsConfig OsdsConfig::fast() { return OsdsConfig{}; }
+
+namespace {
+
+/// Per-volume device weights proportional to 1 / full-volume latency —
+/// the capability-heuristic warm-start split.
+std::vector<double> capability_weights(const cnn::CnnModel& model,
+                                       const cnn::LayerVolume& volume,
+                                       const sim::ClusterLatency& latency) {
+  const auto layers = cnn::volume_layers(model, volume);
+  std::vector<double> weights(latency.size(), 0.0);
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    Ms total = 0.0;
+    for (const auto& layer : layers) total += latency[i]->layer_ms(layer, layer.out_h());
+    weights[i] = total > 0.0 ? 1.0 / total : 0.0;
+  }
+  return weights;
+}
+
+/// Integer shares minimising max_i(a_i + s_i h_i), sum == height (the
+/// linear-baseline allocation; used as one more warm-start heuristic so the
+/// AOFL/CoEdge basin is a floor, not a competitor).
+std::vector<int> waterfill(int height, const std::vector<double>& a,
+                           const std::vector<double>& s) {
+  const std::size_t n = a.size();
+  auto total_at = [&](double t) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += std::max(0.0, (t - a[i]) / s[i]);
+    return sum;
+  };
+  double lo = *std::min_element(a.begin(), a.end());
+  double hi = *std::max_element(a.begin(), a.end()) +
+              height * *std::max_element(s.begin(), s.end());
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    (total_at(mid) < height ? lo : hi) = mid;
+  }
+  std::vector<double> weights(n);
+  for (std::size_t i = 0; i < n; ++i) weights[i] = std::max(0.0, (hi - a[i]) / s[i]);
+  if (*std::max_element(weights.begin(), weights.end()) <= 0.0) weights[0] = 1.0;
+  return proportional_split(height, weights).cuts;
+}
+
+/// Affine per-volume device costs: intercept = one-row split-part latency,
+/// slope from the full-volume latency, plus per-row input shipping cost at
+/// the device's current link rate.
+void volume_affine_costs(const cnn::CnnModel& model, const cnn::LayerVolume& volume,
+                         const sim::ClusterLatency& latency,
+                         const net::Network& network, Seconds plan_time_s,
+                         std::vector<double>& a, std::vector<double>& s) {
+  const auto layers = cnn::volume_layers(model, volume);
+  const int height = cnn::volume_out_height(model, volume);
+  const cnn::LayerConfig& input_layer = model.layer(volume.first);
+  const double in_rows_per_out_row =
+      static_cast<double>(input_layer.in_h) / height;
+  a.assign(latency.size(), 0.0);
+  s.assign(latency.size(), 0.0);
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    const auto one_rows = cnn::per_layer_output_rows(layers, cnn::RowInterval{0, 1});
+    double one = 0.0, full = 0.0;
+    for (std::size_t k = 0; k < layers.size(); ++k) {
+      one += latency[i]->layer_ms(layers[k], one_rows[k].size());
+      full += latency[i]->layer_ms(layers[k], layers[k].out_h());
+    }
+    a[i] = one;
+    const double tx_row =
+        wire_ms(input_layer.input_bytes_for_rows(1),
+                network.device_rate(static_cast<int>(i), plan_time_s)) *
+        in_rows_per_out_row;
+    s[i] = std::max((full - one) / std::max(height - 1, 1), 1e-9) + tx_row;
+  }
+}
+
+/// Rough scale of end-to-end latency: the fastest device running everything.
+Ms latency_norm_estimate(const cnn::CnnModel& model, const sim::ClusterLatency& latency) {
+  Ms best = 0.0;
+  bool first = true;
+  for (const auto& dev : latency) {
+    Ms total = 0.0;
+    for (const auto& layer : model.layers()) total += dev->layer_ms(layer, layer.out_h());
+    for (const auto& fc : model.fc_tail()) total += dev->fc_ms(fc);
+    if (first || total < best) {
+      best = total;
+      first = false;
+    }
+  }
+  return std::max(best, 1.0);
+}
+
+}  // namespace
+
+std::pair<std::vector<SplitDecision>, Ms> greedy_rollout(rl::Ddpg& agent,
+                                                         SplitEnv& env) {
+  std::vector<SplitDecision> splits;
+  std::vector<float> state = env.reset();
+  for (int l = 0; l < env.num_volumes(); ++l) {
+    const auto raw = agent.act(state);
+    auto cuts = action_to_cuts(raw, env.upcoming_height());
+    auto result = env.step(cuts);
+    splits.push_back(SplitDecision{std::move(cuts)});
+    state = std::move(result.state);
+  }
+  return {std::move(splits), env.total_ms()};
+}
+
+OsdsResult run_osds(const cnn::CnnModel& model, const std::vector<int>& boundaries,
+                    const sim::ClusterLatency& latency, const net::Network& network,
+                    const OsdsConfig& config, const rl::Ddpg* warm_agent,
+                    Seconds plan_time_s) {
+  const auto volumes = cnn::volumes_from_boundaries(boundaries, model.num_layers());
+  const int n_devices = static_cast<int>(latency.size());
+  DE_REQUIRE(n_devices >= 1, "need devices");
+
+  OsdsResult result;
+
+  // Degenerate single-device case: nothing to split.
+  if (n_devices == 1) {
+    sim::RawStrategy raw;
+    raw.volumes = volumes;
+    for (const auto& v : volumes) {
+      const int h = cnn::volume_out_height(model, v);
+      raw.cuts.push_back({0, h});
+      result.best_splits.push_back(SplitDecision{{0, h}});
+    }
+    sim::ExecOptions eo;
+    eo.start_s = plan_time_s;
+    result.best_ms = execute_strategy(model, raw, latency, network, eo).total_ms;
+    return result;
+  }
+
+  SplitEnvConfig env_config;
+  env_config.latency_norm_ms = latency_norm_estimate(model, latency);
+  env_config.start_s = plan_time_s;
+  env_config.reward_scale = config.reward_scale;
+  SplitEnv env(model, volumes, latency, network, env_config);
+
+  Rng rng(config.seed);
+  rl::DdpgConfig ddpg_config;
+  ddpg_config.state_dim = env.state_dim();
+  ddpg_config.action_dim = env.action_dim();
+  ddpg_config.actor_hidden = config.actor_hidden;
+  ddpg_config.critic_hidden = config.critic_hidden;
+  ddpg_config.actor_lr = config.actor_lr;
+  ddpg_config.critic_lr = config.critic_lr;
+  ddpg_config.gamma = config.gamma;
+  ddpg_config.tau = config.tau;
+  ddpg_config.batch_size = config.batch_size;
+
+  auto agent = std::make_shared<rl::Ddpg>(ddpg_config, rng);
+  if (warm_agent != nullptr) {
+    agent->actor().copy_from(warm_agent->actor());
+    agent->critic().copy_from(warm_agent->critic());
+  }
+
+  rl::ReplayBuffer buffer(config.replay_capacity, env.state_dim(), env.action_dim());
+
+  Ms best_ms = -1.0;
+  std::vector<SplitDecision> best_splits;
+
+  // One episode: roll the MDP with the supplied per-volume action chooser.
+  auto run_episode = [&](auto&& choose_action, bool train) -> Ms {
+    std::vector<float> state = env.reset();
+    std::vector<SplitDecision> episode_splits;
+    for (int l = 0; l < env.num_volumes(); ++l) {
+      const int height = env.upcoming_height();
+      std::vector<float> raw = choose_action(state, l, height);
+      for (auto& v : raw) v = std::clamp(v, -1.0f, 1.0f);
+      auto cuts = action_to_cuts(raw, height);
+      auto sr = env.step(cuts);
+      episode_splits.push_back(SplitDecision{std::move(cuts)});
+
+      rl::Transition t;
+      t.state = std::move(state);
+      t.action = std::move(raw);
+      t.reward = sr.reward;
+      t.next_state = sr.state;
+      t.terminal = sr.done;
+      buffer.push(std::move(t));
+      state = std::move(sr.state);
+
+      if (train) agent->train_step(buffer, rng);
+    }
+    const Ms total = env.total_ms();
+    if (best_ms < 0.0 || total < best_ms) {
+      best_ms = total;
+      best_splits = std::move(episode_splits);
+    }
+    return total;
+  };
+
+  // Warm-start episodes: equal split and capability-proportional split,
+  // stored with their inverse-mapped raw actions.
+  // (also when fine-tuning: cheap, and they floor the result at the best
+  // heuristic even if the partition changed under the warm agent)
+  if (config.warm_start) {
+    run_episode(
+        [&](const std::vector<float>&, int, int height) {
+          return cuts_to_action(equal_split(height, n_devices).cuts, height);
+        },
+        /*train=*/false);
+    run_episode(
+        [&](const std::vector<float>&, int l, int height) {
+          const auto w = capability_weights(model, volumes[static_cast<std::size_t>(l)],
+                                            latency);
+          return cuts_to_action(proportional_split(height, w).cuts, height);
+        },
+        /*train=*/false);
+    // Top-k fastest devices, equal split, cuts aligned across volumes (same
+    // fractions per volume -> only halo rows move between volumes). k = 1 is
+    // single-device offloading, so OSDS is never worse than Offload.
+    std::vector<double> speed(static_cast<std::size_t>(n_devices), 0.0);
+    {
+      cnn::LayerVolume whole{0, model.num_layers()};
+      const auto w = capability_weights(model, whole, latency);
+      speed = w;
+    }
+    std::vector<std::size_t> order(speed.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return speed[a] > speed[b]; });
+    for (int k = 1; k <= n_devices; ++k) {
+      std::vector<double> mask(static_cast<std::size_t>(n_devices), 0.0);
+      for (int j = 0; j < k; ++j) mask[order[static_cast<std::size_t>(j)]] = 1.0;
+      run_episode(
+          [&](const std::vector<float>&, int, int height) {
+            return cuts_to_action(proportional_split(height, mask).cuts, height);
+          },
+          /*train=*/false);
+    }
+    // Top-k fastest devices with capability-proportional (still aligned)
+    // shares - the better basin when the fast devices are unequal.
+    for (int k = 2; k <= n_devices; ++k) {
+      std::vector<double> mask(static_cast<std::size_t>(n_devices), 0.0);
+      for (int j = 0; j < k; ++j) {
+        mask[order[static_cast<std::size_t>(j)]] = speed[order[static_cast<std::size_t>(j)]];
+      }
+      run_episode(
+          [&](const std::vector<float>&, int, int height) {
+            return cuts_to_action(proportional_split(height, mask).cuts, height);
+          },
+          /*train=*/false);
+    }
+    // Per-volume water-filled affine allocation (compute + network): the
+    // basin the linear baselines (MeDNN/CoEdge/AOFL) occupy.
+    run_episode(
+        [&](const std::vector<float>&, int l, int height) {
+          std::vector<double> a, s;
+          volume_affine_costs(model, volumes[static_cast<std::size_t>(l)], latency,
+                              network, plan_time_s, a, s);
+          return cuts_to_action(waterfill(height, a, s), height);
+        },
+        /*train=*/false);
+  }
+
+  for (int episode = 1; episode <= config.max_episodes; ++episode) {
+    const double eps =
+        std::clamp(1.0 - std::pow(episode * config.delta_eps, 2.0), 0.0, 1.0);
+    const bool hill_climb = !best_splits.empty() &&
+                            rng.uniform() < config.local_search_prob;
+    if (hill_climb) {
+      // Perturb the best-seen decisions by a few rows per cut.
+      const auto reference = best_splits;  // best_splits mutates on improvement
+      run_episode(
+          [&](const std::vector<float>&, int l, int height) {
+            auto cuts = reference[static_cast<std::size_t>(l)].cuts;
+            for (std::size_t i = 1; i + 1 < cuts.size(); ++i) {
+              cuts[i] += rng.uniform_int(-config.local_search_radius,
+                                         config.local_search_radius);
+              cuts[i] = std::clamp(cuts[i], 0, height);
+            }
+            std::sort(cuts.begin(), cuts.end());
+            return cuts_to_action(cuts, height);
+          },
+          /*train=*/true);
+    } else {
+      run_episode(
+          [&](const std::vector<float>& s, int, int) {
+            std::vector<float> raw = agent->act(s);
+            if (rng.uniform() < eps) {
+              for (auto& v : raw) {
+                v += static_cast<float>(rng.normal(0.0, config.sigma));
+              }
+            }
+            return raw;
+          },
+          /*train=*/true);
+    }
+    result.best_ms_curve.push_back(best_ms);
+  }
+  result.episodes = config.max_episodes;
+
+  // Also consider the final deterministic policy (Alg. 2 keeps the best).
+  auto [policy_splits, policy_ms] = greedy_rollout(*agent, env);
+  if (policy_ms < best_ms) {
+    best_ms = policy_ms;
+    best_splits = std::move(policy_splits);
+  }
+
+  result.best_splits = std::move(best_splits);
+  result.best_ms = best_ms;
+  result.agent = std::move(agent);
+  return result;
+}
+
+}  // namespace de::core

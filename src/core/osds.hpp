@@ -1,0 +1,75 @@
+// OSDS — Optimal Split Decision Search (paper Alg. 2).
+//
+// Trains a DDPG agent on the SplitEnv MDP: each episode splits every
+// layer-volume once, exploration follows the paper's schedule
+// eps = 1 - (episode * delta_eps)^2 with Gaussian action noise, the raw
+// (unsorted, unmapped) actions go into the replay buffer, and the best
+// end-to-end latency seen across all episodes is kept together with its
+// split decisions and actor snapshot.
+//
+// Extensions over the paper (documented in DESIGN.md), both disabled by
+// `warm_start = false` / `local_search_prob = 0` for a strictly
+// paper-faithful run:
+//  * warm-start episodes seed the replay buffer with heuristic splits
+//    (equal, capability-proportional, top-k-fastest aligned), guaranteeing
+//    OSDS never returns something worse than those;
+//  * a fraction of episodes perturbs the best-seen decisions by a few rows
+//    (hill climbing) — on a deterministic environment this polishes cut
+//    alignment much faster than Gaussian actor noise alone.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/split_env.hpp"
+#include "rl/ddpg.hpp"
+
+namespace de::core {
+
+struct OsdsConfig {
+  int max_episodes = 500;
+  double delta_eps = 1.0 / 150.0;  ///< paper: 1/250 at 4000 episodes
+  double sigma = 0.3162;           ///< paper: sigma^2 = 0.1 (1.0 at 16 devices)
+  std::vector<std::size_t> actor_hidden = {96, 64};
+  std::vector<std::size_t> critic_hidden = {128, 96, 48};
+  double actor_lr = 1e-4;   // paper
+  double critic_lr = 1e-3;  // paper
+  double gamma = 0.99;      // paper
+  double tau = 0.005;
+  std::size_t batch_size = 32;
+  std::size_t replay_capacity = 20000;
+  std::uint64_t seed = 1;
+  bool warm_start = true;
+  double local_search_prob = 0.25;  ///< episodes exploring around best-seen
+  int local_search_radius = 3;      ///< max row perturbation per cut
+  double reward_scale = 1000.0;     ///< reward = IPS
+
+  /// The published hyper-parameters (§V): 4000 episodes, nets {400,200,100}
+  /// / {400,200,100,100}, batch 64, delta_eps 1/250.
+  static OsdsConfig paper();
+  /// Benchmark-friendly settings (defaults above).
+  static OsdsConfig fast();
+};
+
+struct OsdsResult {
+  std::vector<SplitDecision> best_splits;  ///< R*_s
+  Ms best_ms = 0.0;                        ///< T*
+  std::vector<Ms> best_ms_curve;           ///< best-so-far after each episode
+  std::shared_ptr<rl::Ddpg> agent;         ///< trained agent (Actor*/Critic*)
+  int episodes = 0;
+};
+
+/// Trains split decisions for the given partition. `warm_agent`, if set,
+/// initialises the networks (online fine-tuning, paper §V-F); it must have
+/// been trained on an environment with the same state/action dims.
+OsdsResult run_osds(const cnn::CnnModel& model, const std::vector<int>& boundaries,
+                    const sim::ClusterLatency& latency, const net::Network& network,
+                    const OsdsConfig& config, const rl::Ddpg* warm_agent = nullptr,
+                    Seconds plan_time_s = 0.0);
+
+/// Greedy (noise-free) rollout of an agent's actor over the volumes; returns
+/// the induced split decisions and their simulated latency.
+std::pair<std::vector<SplitDecision>, Ms> greedy_rollout(
+    rl::Ddpg& agent, SplitEnv& env);
+
+}  // namespace de::core

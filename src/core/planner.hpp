@@ -1,0 +1,43 @@
+// Planner interface shared by DistrEdge and the seven baselines.
+//
+// A planner sees: the model, per-device latency knowledge (profiled tables,
+// regressors, or ground truth — planner's choice of fidelity), and the
+// network (it may sample current link rates). It produces a full
+// DistributionStrategy. Evaluation against ground truth happens elsewhere
+// (experiments harness), identically for every planner.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/strategy.hpp"
+#include "net/network.hpp"
+
+namespace de::core {
+
+struct PlanContext {
+  const cnn::CnnModel* model = nullptr;
+  sim::ClusterLatency latency;           ///< planner's latency knowledge
+  const net::Network* network = nullptr;
+  Seconds plan_time_s = 0.0;             ///< stream time when planning happens
+
+  int num_devices() const { return static_cast<int>(latency.size()); }
+
+  void validate() const;
+};
+
+class Planner {
+ public:
+  virtual ~Planner() = default;
+
+  virtual std::string name() const = 0;
+  virtual DistributionStrategy plan(const PlanContext& ctx) = 0;
+};
+
+/// Ground-truth evaluation of a strategy (end-to-end latency of one image
+/// starting at `start_s`).
+sim::ExecBreakdown evaluate_strategy(const PlanContext& ctx,
+                                     const DistributionStrategy& strategy,
+                                     Seconds start_s = 0.0);
+
+}  // namespace de::core

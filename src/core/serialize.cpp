@@ -1,0 +1,112 @@
+#include "core/serialize.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace de::core {
+
+void save_strategy(std::ostream& os, const DistributionStrategy& strategy,
+                   const std::string& model_name, int n_devices) {
+  DE_REQUIRE(!strategy.boundaries.empty(), "empty strategy");
+  DE_REQUIRE(strategy.num_volumes() ==
+                 static_cast<int>(strategy.boundaries.size()) - 1,
+             "boundaries/splits mismatch");
+  os << "distredge-strategy v1\n";
+  os << "model " << model_name << "\n";
+  os << "devices " << n_devices << "\n";
+  os << "boundaries";
+  for (int b : strategy.boundaries) os << ' ' << b;
+  os << "\nsplits " << strategy.num_volumes() << "\n";
+  for (const auto& split : strategy.splits) {
+    DE_REQUIRE(split.cuts.size() == static_cast<std::size_t>(n_devices) + 1,
+               "cut vector width mismatch");
+    for (std::size_t i = 0; i < split.cuts.size(); ++i) {
+      if (i) os << ' ';
+      os << split.cuts[i];
+    }
+    os << "\n";
+  }
+}
+
+namespace {
+/// Next non-empty, non-comment line.
+std::string next_line(std::istream& is) {
+  std::string line;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    return line;
+  }
+  throw Error("strategy file truncated");
+}
+}  // namespace
+
+LoadedStrategy load_strategy(std::istream& is) {
+  LoadedStrategy loaded;
+  {
+    std::istringstream header(next_line(is));
+    std::string magic, version;
+    header >> magic >> version;
+    DE_REQUIRE(magic == "distredge-strategy" && version == "v1",
+               "not a v1 distredge strategy file");
+  }
+  {
+    std::istringstream line(next_line(is));
+    std::string key;
+    line >> key >> loaded.model_name;
+    DE_REQUIRE(key == "model" && !loaded.model_name.empty(), "missing model line");
+  }
+  {
+    std::istringstream line(next_line(is));
+    std::string key;
+    line >> key >> loaded.n_devices;
+    DE_REQUIRE(key == "devices" && loaded.n_devices >= 1, "missing devices line");
+  }
+  {
+    std::istringstream line(next_line(is));
+    std::string key;
+    line >> key;
+    DE_REQUIRE(key == "boundaries", "missing boundaries line");
+    int b;
+    while (line >> b) loaded.strategy.boundaries.push_back(b);
+    DE_REQUIRE(loaded.strategy.boundaries.size() >= 2, "need >= 2 boundaries");
+  }
+  int n_volumes = 0;
+  {
+    std::istringstream line(next_line(is));
+    std::string key;
+    line >> key >> n_volumes;
+    DE_REQUIRE(key == "splits", "missing splits line");
+    DE_REQUIRE(n_volumes ==
+                   static_cast<int>(loaded.strategy.boundaries.size()) - 1,
+               "splits count does not match boundaries");
+  }
+  for (int v = 0; v < n_volumes; ++v) {
+    std::istringstream line(next_line(is));
+    SplitDecision split;
+    int cut;
+    while (line >> cut) split.cuts.push_back(cut);
+    DE_REQUIRE(split.cuts.size() ==
+                   static_cast<std::size_t>(loaded.n_devices) + 1,
+               "cut vector width mismatch in volume " + std::to_string(v));
+    loaded.strategy.splits.push_back(std::move(split));
+  }
+  return loaded;
+}
+
+std::string strategy_to_string(const DistributionStrategy& strategy,
+                               const std::string& model_name, int n_devices) {
+  std::ostringstream os;
+  save_strategy(os, strategy, model_name, n_devices);
+  return os.str();
+}
+
+LoadedStrategy strategy_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return load_strategy(is);
+}
+
+}  // namespace de::core

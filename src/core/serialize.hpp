@@ -1,0 +1,41 @@
+// Text (de)serialisation of distribution strategies.
+//
+// Once planned (LC-PSS + OSDS can take minutes at paper scale), a strategy
+// is plain data; the controller stores it and ships it to the requester /
+// providers. Format (line-oriented, whitespace-separated, '#' comments):
+//
+//   distredge-strategy v1
+//   model <name>
+//   devices <n>
+//   boundaries <b0> <b1> ... <bk>
+//   splits <volume-count>
+//   <cut0> <cut1> ... <cutD>          # one line per volume
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/strategy.hpp"
+
+namespace de::core {
+
+/// Writes `strategy` for `model` on `n_devices` devices.
+void save_strategy(std::ostream& os, const DistributionStrategy& strategy,
+                   const std::string& model_name, int n_devices);
+
+/// Parsed strategy plus its header metadata.
+struct LoadedStrategy {
+  DistributionStrategy strategy;
+  std::string model_name;
+  int n_devices = 0;
+};
+
+/// Parses a strategy; throws de::Error on malformed input.
+LoadedStrategy load_strategy(std::istream& is);
+
+/// Convenience string round-trip helpers.
+std::string strategy_to_string(const DistributionStrategy& strategy,
+                               const std::string& model_name, int n_devices);
+LoadedStrategy strategy_from_string(const std::string& text);
+
+}  // namespace de::core

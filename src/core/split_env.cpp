@@ -1,0 +1,104 @@
+#include "core/split_env.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace de::core {
+
+namespace {
+constexpr float kA = -1.0f;  // activation bounds of the actor (tanh)
+constexpr float kB = 1.0f;
+}  // namespace
+
+std::vector<int> action_to_cuts(std::span<const float> raw, int height) {
+  DE_REQUIRE(height >= 1, "height >= 1");
+  std::vector<float> sorted(raw.begin(), raw.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<int> cuts(sorted.size() + 2);
+  cuts.front() = 0;
+  cuts.back() = height;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const float clamped = std::clamp(sorted[i], kA, kB);
+    const double frac = (clamped - kA) / (kB - kA);
+    cuts[i + 1] = static_cast<int>(std::lround(frac * height));
+  }
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    cuts[i] = std::max(cuts[i], cuts[i - 1]);
+  }
+  return cuts;
+}
+
+std::vector<float> cuts_to_action(std::span<const int> cuts, int height) {
+  DE_REQUIRE(cuts.size() >= 2, "cumulative cuts expected");
+  std::vector<float> raw(cuts.size() - 2);
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const double frac = static_cast<double>(cuts[i + 1]) / height;
+    raw[i] = static_cast<float>(kA + frac * (kB - kA));
+  }
+  return raw;
+}
+
+SplitEnv::SplitEnv(const cnn::CnnModel& model, std::vector<cnn::LayerVolume> volumes,
+                   sim::ClusterLatency latency, const net::Network& network,
+                   SplitEnvConfig config)
+    : model_(model),
+      volumes_(std::move(volumes)),
+      latency_(std::move(latency)),
+      network_(network),
+      config_(config) {
+  DE_REQUIRE(latency_.size() >= 2, "splitting needs at least two devices");
+  DE_REQUIRE(config_.latency_norm_ms > 0, "latency norm positive");
+}
+
+std::vector<float> SplitEnv::reset() {
+  sim::ExecOptions options;
+  options.start_s = config_.start_s;
+  exec_ = std::make_unique<sim::StrategyExecution>(model_, volumes_, latency_,
+                                                   network_, options);
+  total_ms_ = -1.0;
+  return make_state();
+}
+
+std::vector<float> SplitEnv::make_state() const {
+  DE_REQUIRE(exec_ != nullptr, "reset() before stepping");
+  std::vector<float> s(state_dim(), 0.0f);
+  const auto& acc = exec_->breakdown().accumulated;
+  if (!acc.empty()) {
+    for (int i = 0; i < num_devices(); ++i) {
+      s[static_cast<std::size_t>(i)] = static_cast<float>(
+          acc.back()[static_cast<std::size_t>(i)] / config_.latency_norm_ms);
+    }
+  }
+  if (!exec_->done()) {
+    const auto& last = exec_->upcoming_last_layer();
+    const std::size_t base = static_cast<std::size_t>(num_devices());
+    s[base + 0] = static_cast<float>(last.out_h()) / 256.0f;
+    s[base + 1] = static_cast<float>(last.out_c) / 2048.0f;
+    s[base + 2] = static_cast<float>(last.kernel) / 7.0f;
+    s[base + 3] = static_cast<float>(last.stride) / 4.0f;
+  }
+  return s;
+}
+
+SplitEnv::StepResult SplitEnv::step(std::span<const int> cuts) {
+  DE_REQUIRE(exec_ != nullptr, "reset() before stepping");
+  DE_REQUIRE(!exec_->done(), "episode already finished");
+  exec_->step(cuts);
+  StepResult result;
+  result.done = exec_->done();
+  if (result.done) {
+    total_ms_ = exec_->finish();
+    result.reward = static_cast<float>(config_.reward_scale / total_ms_);
+  }
+  result.state = make_state();
+  return result;
+}
+
+Ms SplitEnv::total_ms() const {
+  DE_REQUIRE(total_ms_ >= 0.0, "episode not finished");
+  return total_ms_;
+}
+
+}  // namespace de::core

@@ -1,0 +1,90 @@
+#include "core/strategy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace de::core {
+
+sim::RawStrategy DistributionStrategy::to_raw(const cnn::CnnModel& model) const {
+  sim::RawStrategy raw;
+  raw.volumes = cnn::volumes_from_boundaries(boundaries, model.num_layers());
+  DE_REQUIRE(raw.volumes.size() == splits.size(), "one split per volume");
+  raw.cuts.reserve(splits.size());
+  for (const auto& s : splits) raw.cuts.push_back(s.cuts);
+  return raw;
+}
+
+void DistributionStrategy::validate(const cnn::CnnModel& model, int n_devices) const {
+  const auto volumes = cnn::volumes_from_boundaries(boundaries, model.num_layers());
+  DE_REQUIRE(volumes.size() == splits.size(), "one split per volume");
+  for (std::size_t l = 0; l < volumes.size(); ++l) {
+    sim::validate_cuts(splits[l].cuts, n_devices,
+                       cnn::volume_out_height(model, volumes[l]));
+  }
+}
+
+SplitDecision equal_split(int height, int n_devices) {
+  DE_REQUIRE(height >= 1 && n_devices >= 1, "equal_split arguments");
+  SplitDecision d;
+  d.cuts.resize(static_cast<std::size_t>(n_devices) + 1);
+  for (int i = 0; i <= n_devices; ++i) {
+    d.cuts[static_cast<std::size_t>(i)] =
+        static_cast<int>((static_cast<long long>(height) * i) / n_devices);
+  }
+  return d;
+}
+
+SplitDecision proportional_split(int height, const std::vector<double>& weights) {
+  DE_REQUIRE(height >= 1 && !weights.empty(), "proportional_split arguments");
+  double total = 0.0;
+  for (double w : weights) {
+    DE_REQUIRE(w >= 0.0, "negative split weight");
+    total += w;
+  }
+  DE_REQUIRE(total > 0.0, "all split weights zero");
+
+  const int n = static_cast<int>(weights.size());
+  // Largest-remainder apportionment of `height` rows.
+  std::vector<int> share(static_cast<std::size_t>(n), 0);
+  std::vector<std::pair<double, int>> remainders;
+  int assigned = 0;
+  for (int i = 0; i < n; ++i) {
+    const double exact = height * weights[static_cast<std::size_t>(i)] / total;
+    share[static_cast<std::size_t>(i)] = static_cast<int>(exact);
+    assigned += share[static_cast<std::size_t>(i)];
+    remainders.emplace_back(exact - static_cast<int>(exact), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (int k = 0; k < height - assigned; ++k) {
+    share[static_cast<std::size_t>(remainders[static_cast<std::size_t>(k % n)].second)]++;
+  }
+
+  SplitDecision d;
+  d.cuts.resize(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i) {
+    d.cuts[static_cast<std::size_t>(i) + 1] =
+        d.cuts[static_cast<std::size_t>(i)] + share[static_cast<std::size_t>(i)];
+  }
+  DE_ASSERT(d.cuts.back() == height, "proportional split does not cover height");
+  return d;
+}
+
+DistributionStrategy single_device_strategy(const cnn::CnnModel& model,
+                                            int n_devices, int device) {
+  DE_REQUIRE(device >= 0 && device < n_devices, "device out of range");
+  DistributionStrategy s;
+  s.boundaries = {0, model.num_layers()};
+  const int height = model.layers().back().out_h();
+  SplitDecision d;
+  d.cuts.assign(static_cast<std::size_t>(n_devices) + 1, 0);
+  for (int i = device; i < n_devices; ++i) {
+    d.cuts[static_cast<std::size_t>(i) + 1] = height;
+  }
+  s.splits.push_back(std::move(d));
+  return s;
+}
+
+}  // namespace de::core

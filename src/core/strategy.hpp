@@ -1,0 +1,44 @@
+// Distribution-strategy types shared by DistrEdge and all baselines
+// (paper §III-A terms: partition scheme + split decisions).
+#pragma once
+
+#include <vector>
+
+#include "cnn/layer_volume.hpp"
+#include "cnn/model.hpp"
+#include "sim/exec_sim.hpp"
+
+namespace de::core {
+
+/// Vertical split of one layer-volume: cumulative cut vector on the output
+/// height of the volume's last layer; device i gets rows [cuts[i], cuts[i+1]).
+struct SplitDecision {
+  std::vector<int> cuts;
+};
+
+/// A full strategy: horizontal partition (boundaries) + one split per volume.
+struct DistributionStrategy {
+  std::vector<int> boundaries;         ///< {0, ..., n_layers}, sorted
+  std::vector<SplitDecision> splits;   ///< one per volume
+
+  int num_volumes() const { return static_cast<int>(splits.size()); }
+
+  /// Lowers to the simulator representation.
+  sim::RawStrategy to_raw(const cnn::CnnModel& model) const;
+
+  /// Checks boundaries/cuts against the model and device count.
+  void validate(const cnn::CnnModel& model, int n_devices) const;
+};
+
+/// Equal split of `height` rows over `n_devices` (DeepThings-style).
+SplitDecision equal_split(int height, int n_devices);
+
+/// Split with shares proportional to `weights` (>= 0, not all zero);
+/// weight 0 gives an empty share (largest-remainder rounding).
+SplitDecision proportional_split(int height, const std::vector<double>& weights);
+
+/// Whole model as one volume entirely on `device` (single-device offload).
+DistributionStrategy single_device_strategy(const cnn::CnnModel& model,
+                                            int n_devices, int device);
+
+}  // namespace de::core

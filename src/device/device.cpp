@@ -1,0 +1,43 @@
+#include "device/device.hpp"
+
+#include "common/require.hpp"
+
+namespace de::device {
+
+const char* to_string(DeviceType type) {
+  switch (type) {
+    case DeviceType::kPi3: return "Pi3";
+    case DeviceType::kNano: return "Nano";
+    case DeviceType::kTx2: return "TX2";
+    case DeviceType::kXavier: return "Xavier";
+  }
+  return "?";
+}
+
+DeviceType device_type_by_name(const std::string& name) {
+  if (name == "Pi3") return DeviceType::kPi3;
+  if (name == "Nano") return DeviceType::kNano;
+  if (name == "TX2") return DeviceType::kTx2;
+  if (name == "Xavier") return DeviceType::kXavier;
+  throw Error("unknown device type: " + name);
+}
+
+Device make_device(int id, DeviceType type) {
+  Device d;
+  d.id = id;
+  d.type = type;
+  d.name = std::string(to_string(type)) + "#" + std::to_string(id);
+  d.latency = make_latency_model(type);
+  return d;
+}
+
+std::vector<Device> make_devices(const std::vector<DeviceType>& types) {
+  std::vector<Device> devices;
+  devices.reserve(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    devices.push_back(make_device(static_cast<int>(i), types[i]));
+  }
+  return devices;
+}
+
+}  // namespace de::device

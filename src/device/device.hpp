@@ -1,0 +1,35 @@
+// Edge-device identities: the four service-provider types of the testbed
+// (paper Fig. 3) plus factory helpers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/latency_model.hpp"
+
+namespace de::device {
+
+enum class DeviceType { kPi3, kNano, kTx2, kXavier };
+
+const char* to_string(DeviceType type);
+DeviceType device_type_by_name(const std::string& name);
+
+struct Device {
+  int id = 0;
+  std::string name;
+  DeviceType type = DeviceType::kNano;
+  std::shared_ptr<const LatencyModel> latency;
+};
+
+/// The calibrated synthetic latency model for a device type (see profiles.cpp
+/// for the calibration rationale).
+std::shared_ptr<const LatencyModel> make_latency_model(DeviceType type);
+
+/// Device with the standard synthetic model attached.
+Device make_device(int id, DeviceType type);
+
+/// n devices of the given types (ids 0..n-1).
+std::vector<Device> make_devices(const std::vector<DeviceType>& types);
+
+}  // namespace de::device

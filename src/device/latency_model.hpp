@@ -1,0 +1,30 @@
+// Latency-model interface: milliseconds to run (part of) a layer on a device.
+//
+// Everything above this interface — profiler, simulator, planners — is
+// agnostic to whether the numbers come from the synthetic device models
+// (this repo's stand-in for real hardware), from a profiled lookup table, or
+// from a fitted regressor (the "various forms" of paper §IV).
+#pragma once
+
+#include "cnn/layer.hpp"
+#include "common/units.hpp"
+
+namespace de::device {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// Time to compute `out_rows` output-height rows of `layer` (0 rows -> 0).
+  virtual Ms layer_ms(const cnn::LayerConfig& layer, int out_rows) const = 0;
+
+  /// Time to compute a fully-connected layer (undivided).
+  virtual Ms fc_ms(const cnn::FcConfig& fc) const = 0;
+};
+
+/// Stable identity of a layer configuration, used as a profiling key: two
+/// layers with equal signatures have identical latency curves on a device.
+std::string layer_signature(const cnn::LayerConfig& layer);
+std::string fc_signature(const cnn::FcConfig& fc);
+
+}  // namespace de::device

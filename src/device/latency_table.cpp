@@ -1,0 +1,46 @@
+#include "device/latency_table.hpp"
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+
+namespace de::device {
+
+void LatencyTable::add_sample(const cnn::LayerConfig& layer, int rows, Ms ms) {
+  DE_REQUIRE(rows >= 1 && rows <= layer.out_h(), "sample rows out of range");
+  DE_REQUIRE(ms >= 0.0, "negative latency sample");
+  auto& curve = curves_[layer_signature(layer)];
+  DE_REQUIRE(curve.rows.empty() || curve.rows.back() < rows,
+             "samples must be added in increasing row order");
+  curve.rows.push_back(static_cast<double>(rows));
+  curve.ms.push_back(ms);
+}
+
+void LatencyTable::set_fc(const cnn::FcConfig& fc, Ms ms) {
+  fc_[fc_signature(fc)] = ms;
+}
+
+Ms LatencyTable::layer_ms(const cnn::LayerConfig& layer, int out_rows) const {
+  DE_REQUIRE(out_rows >= 0 && out_rows <= layer.out_h(), "rows out of range");
+  if (out_rows == 0) return 0.0;
+  const auto& c = curve(layer);
+  return lerp_table(c.rows, c.ms, static_cast<double>(out_rows));
+}
+
+Ms LatencyTable::fc_ms(const cnn::FcConfig& fc) const {
+  auto it = fc_.find(fc_signature(fc));
+  DE_REQUIRE(it != fc_.end(), "fc layer was not profiled: " + fc_signature(fc));
+  return it->second;
+}
+
+bool LatencyTable::has_layer(const cnn::LayerConfig& layer) const {
+  return curves_.count(layer_signature(layer)) != 0;
+}
+
+const LatencyTable::Curve& LatencyTable::curve(const cnn::LayerConfig& layer) const {
+  auto it = curves_.find(layer_signature(layer));
+  DE_REQUIRE(it != curves_.end(),
+             "layer was not profiled: " + layer_signature(layer));
+  return it->second;
+}
+
+}  // namespace de::device

@@ -1,0 +1,42 @@
+// Profiled latency lookup table — the "measured data table of computing
+// latencies with different layer configurations" form of paper §IV.
+//
+// Curves are keyed by layer signature; queries interpolate linearly between
+// profiled heights (and clamp at the ends). Unknown signatures throw: a
+// planner must not silently invent latencies for layers it never profiled.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/latency_model.hpp"
+
+namespace de::device {
+
+class LatencyTable final : public LatencyModel {
+ public:
+  struct Curve {
+    std::vector<double> rows;  ///< sorted sample heights
+    std::vector<double> ms;    ///< measured latency per sample
+  };
+
+  /// Records one measurement (appends; samples must arrive in row order).
+  void add_sample(const cnn::LayerConfig& layer, int rows, Ms ms);
+  void set_fc(const cnn::FcConfig& fc, Ms ms);
+
+  Ms layer_ms(const cnn::LayerConfig& layer, int out_rows) const override;
+  Ms fc_ms(const cnn::FcConfig& fc) const override;
+
+  bool has_layer(const cnn::LayerConfig& layer) const;
+  const Curve& curve(const cnn::LayerConfig& layer) const;
+
+  const std::map<std::string, Curve>& curves() const { return curves_; }
+  const std::map<std::string, Ms>& fc_entries() const { return fc_; }
+
+ private:
+  std::map<std::string, Curve> curves_;
+  std::map<std::string, Ms> fc_;
+};
+
+}  // namespace de::device

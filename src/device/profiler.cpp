@@ -1,0 +1,49 @@
+#include "device/profiler.hpp"
+
+#include "common/require.hpp"
+
+namespace de::device {
+
+LatencyTable profile_model(const cnn::CnnModel& model, const LatencyModel& device_model,
+                           const ProfilerOptions& options, Rng* rng) {
+  DE_REQUIRE(options.granularity >= 1, "granularity >= 1");
+  DE_REQUIRE(options.repeats >= 1, "repeats >= 1");
+  DE_REQUIRE(options.noise_sd_frac == 0.0 || rng != nullptr,
+             "noisy profiling needs an Rng");
+
+  LatencyTable table;
+  for (const auto& layer : model.layers()) {
+    if (table.has_layer(layer)) continue;  // identical signature already swept
+    const int out_h = layer.out_h();
+    for (int rows = options.granularity; rows <= out_h; rows += options.granularity) {
+      // Always include the full height even if granularity skips past it.
+      const int r = (rows + options.granularity > out_h && rows != out_h) ? out_h : rows;
+      const Ms truth = device_model.layer_ms(layer, r);
+      double sum = 0.0;
+      for (int k = 0; k < options.repeats; ++k) {
+        double factor = 1.0;
+        if (options.noise_sd_frac > 0.0) {
+          factor = std::max(0.0, 1.0 + rng->normal(0.0, options.noise_sd_frac));
+        }
+        sum += truth * factor;
+      }
+      table.add_sample(layer, r, sum / options.repeats);
+      if (r == out_h) break;
+    }
+  }
+  for (const auto& fc : model.fc_tail()) {
+    const Ms truth = device_model.fc_ms(fc);
+    double sum = 0.0;
+    for (int k = 0; k < options.repeats; ++k) {
+      double factor = 1.0;
+      if (options.noise_sd_frac > 0.0) {
+        factor = std::max(0.0, 1.0 + rng->normal(0.0, options.noise_sd_frac));
+      }
+      sum += truth * factor;
+    }
+    table.set_fc(fc, sum / options.repeats);
+  }
+  return table;
+}
+
+}  // namespace de::device

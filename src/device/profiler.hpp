@@ -1,0 +1,25 @@
+// Profiler — the TensorRT-Profiler stand-in (paper §V-A).
+//
+// Sweeps every layer of a model across output heights (granularity 1 by
+// default, like the paper), repeating each measurement `repeats` times
+// against a ground-truth LatencyModel with optional multiplicative
+// measurement noise, and records the means in a LatencyTable.
+#pragma once
+
+#include "cnn/model.hpp"
+#include "common/rng.hpp"
+#include "device/latency_table.hpp"
+
+namespace de::device {
+
+struct ProfilerOptions {
+  int granularity = 1;        ///< profile every k-th height (paper: 1)
+  int repeats = 100;          ///< measurements averaged per point (paper: 100)
+  double noise_sd_frac = 0.0; ///< per-measurement relative noise (0 = exact)
+};
+
+/// Profiles all conv/pool layers and the FC tail of `model` on `device_model`.
+LatencyTable profile_model(const cnn::CnnModel& model, const LatencyModel& device_model,
+                           const ProfilerOptions& options = {}, Rng* rng = nullptr);
+
+}  // namespace de::device

@@ -1,0 +1,62 @@
+// Calibration of the synthetic device models.
+//
+// Targets (from public NVIDIA Jetson benchmarks and the paper's ordering
+// Pi3 << Nano < TX2 < Xavier):
+//   * Pi3    — CPU-only, a few GFLOP/s: VGG-16 takes tens of seconds.
+//   * Nano   — ~472 GFLOPS FP16 peak; VGG-16 single image ~140-160 ms.
+//   * TX2    — ~1.3 TFLOPS FP16 peak; VGG-16 ~45-55 ms.
+//   * Xavier — ~11 TFLOPS FP16; VGG-16 ~8-10 ms.
+// Effective GFLOP/s below are de-rated from the datasheet peaks to match
+// those end-to-end times; wave/utilisation parameters set the *shape* of the
+// latency-vs-rows curve (staircase + sub-linear scaling), which is what the
+// paper's nonlinearity argument needs.
+#include "common/require.hpp"
+#include "device/device.hpp"
+#include "device/synthetic.hpp"
+
+namespace de::device {
+
+std::shared_ptr<const LatencyModel> make_latency_model(DeviceType type) {
+  switch (type) {
+    case DeviceType::kPi3: {
+      CpuCaps caps;
+      caps.gflops = 4.0;
+      caps.mem_gbps = 2.0;
+      caps.per_layer_overhead_ms = 1.0;
+      return std::make_shared<SyntheticCpuModel>(caps);
+    }
+    case DeviceType::kNano: {
+      GpuCaps caps;
+      caps.peak_gflops = 260.0;
+      caps.mem_gbps = 18.0;
+      caps.launch_overhead_ms = 0.30;
+      caps.wave_rows = 16;
+      caps.util_floor = 0.30;
+      caps.rows_saturate = 28.0;
+      return std::make_shared<SyntheticGpuModel>(caps);
+    }
+    case DeviceType::kTx2: {
+      GpuCaps caps;
+      caps.peak_gflops = 750.0;
+      caps.mem_gbps = 45.0;
+      caps.launch_overhead_ms = 0.25;
+      caps.wave_rows = 16;
+      caps.util_floor = 0.22;
+      caps.rows_saturate = 40.0;
+      return std::make_shared<SyntheticGpuModel>(caps);
+    }
+    case DeviceType::kXavier: {
+      GpuCaps caps;
+      caps.peak_gflops = 5200.0;
+      caps.mem_gbps = 110.0;
+      caps.launch_overhead_ms = 0.20;
+      caps.wave_rows = 32;
+      caps.util_floor = 0.12;
+      caps.rows_saturate = 72.0;
+      return std::make_shared<SyntheticGpuModel>(caps);
+    }
+  }
+  throw Error("unknown device type");
+}
+
+}  // namespace de::device

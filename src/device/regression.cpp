@@ -1,0 +1,123 @@
+#include "device/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace de::device {
+
+namespace {
+
+FittedLatencyModel::Line least_squares(const std::vector<double>& xs,
+                                       const std::vector<double>& ys,
+                                       std::size_t lo, std::size_t hi) {
+  DE_ASSERT(hi > lo, "empty fit range");
+  const double n = static_cast<double>(hi - lo);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = lo; i < hi; ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  FittedLatencyModel::Line line;
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    line.slope = 0.0;
+    line.intercept = sy / n;
+  } else {
+    line.slope = (n * sxy - sx * sy) / denom;
+    line.intercept = (sy - line.slope * sx) / n;
+  }
+  return line;
+}
+
+}  // namespace
+
+FittedLatencyModel FittedLatencyModel::fit(const LatencyTable& table,
+                                           RegressionKind kind, int param) {
+  DE_REQUIRE(param >= 1, "fit parameter >= 1");
+  FittedLatencyModel m(kind, param);
+  for (const auto& [sig, curve] : table.curves()) {
+    Entry e;
+    const std::size_t n = curve.rows.size();
+    DE_REQUIRE(n >= 1, "empty profile curve");
+    switch (kind) {
+      case RegressionKind::kLinear: {
+        e.segments.push_back(
+            Segment{curve.rows.back(), least_squares(curve.rows, curve.ms, 0, n)});
+        break;
+      }
+      case RegressionKind::kPiecewiseLinear: {
+        const std::size_t segs = std::min<std::size_t>(static_cast<std::size_t>(param),
+                                                       std::max<std::size_t>(n / 2, 1));
+        for (std::size_t s = 0; s < segs; ++s) {
+          const std::size_t lo = s * n / segs;
+          const std::size_t hi = std::max((s + 1) * n / segs, lo + 1);
+          e.segments.push_back(
+              Segment{curve.rows[hi - 1], least_squares(curve.rows, curve.ms, lo, hi)});
+        }
+        break;
+      }
+      case RegressionKind::kKnn: {
+        e.sample_rows = curve.rows;
+        e.sample_ms = curve.ms;
+        break;
+      }
+    }
+    m.entries_[sig] = std::move(e);
+  }
+  for (const auto& [sig, ms] : table.fc_entries()) m.fc_[sig] = ms;
+  return m;
+}
+
+const FittedLatencyModel::Entry& FittedLatencyModel::entry(
+    const cnn::LayerConfig& layer) const {
+  auto it = entries_.find(layer_signature(layer));
+  DE_REQUIRE(it != entries_.end(), "layer not in fitted model: " + layer_signature(layer));
+  return it->second;
+}
+
+Ms FittedLatencyModel::layer_ms(const cnn::LayerConfig& layer, int out_rows) const {
+  DE_REQUIRE(out_rows >= 0 && out_rows <= layer.out_h(), "rows out of range");
+  if (out_rows == 0) return 0.0;
+  const Entry& e = entry(layer);
+  const double x = static_cast<double>(out_rows);
+
+  if (kind_ == RegressionKind::kKnn) {
+    // Average of the k nearest profiled heights.
+    const int k = std::min<int>(param_, static_cast<int>(e.sample_rows.size()));
+    std::vector<std::pair<double, double>> by_dist;
+    by_dist.reserve(e.sample_rows.size());
+    for (std::size_t i = 0; i < e.sample_rows.size(); ++i) {
+      by_dist.emplace_back(std::abs(e.sample_rows[i] - x), e.sample_ms[i]);
+    }
+    std::partial_sort(by_dist.begin(), by_dist.begin() + k, by_dist.end());
+    double sum = 0;
+    for (int i = 0; i < k; ++i) sum += by_dist[static_cast<std::size_t>(i)].second;
+    return std::max(0.0, sum / k);
+  }
+
+  for (const auto& seg : e.segments) {
+    if (x <= seg.row_end + 1e-9) {
+      return std::max(0.0, seg.line.intercept + seg.line.slope * x);
+    }
+  }
+  const auto& last = e.segments.back().line;
+  return std::max(0.0, last.intercept + last.slope * x);
+}
+
+Ms FittedLatencyModel::fc_ms(const cnn::FcConfig& fc) const {
+  auto it = fc_.find(fc_signature(fc));
+  DE_REQUIRE(it != fc_.end(), "fc layer not in fitted model");
+  return it->second;
+}
+
+FittedLatencyModel::Line FittedLatencyModel::linear_params(
+    const cnn::LayerConfig& layer) const {
+  DE_REQUIRE(kind_ == RegressionKind::kLinear, "linear_params on non-linear fit");
+  return entry(layer).segments.front().line;
+}
+
+}  // namespace de::device

@@ -1,0 +1,59 @@
+// Regression forms of profiling results (paper §IV: "linear regression,
+// piece-wise linear regression, k-nearest-neighbor").
+//
+// Fitted from a LatencyTable; each implements LatencyModel so planners can
+// swap representation without code changes. The linear form is also what the
+// linear-model baselines (CoEdge / MoDNN / MeDNN / AOFL) consume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/latency_table.hpp"
+
+namespace de::device {
+
+enum class RegressionKind { kLinear, kPiecewiseLinear, kKnn };
+
+class FittedLatencyModel final : public LatencyModel {
+ public:
+  /// `param` means: segments for piecewise-linear (>=1), k for kNN (>=1);
+  /// ignored for plain linear.
+  static FittedLatencyModel fit(const LatencyTable& table, RegressionKind kind,
+                                int param = 4);
+
+  Ms layer_ms(const cnn::LayerConfig& layer, int out_rows) const override;
+  Ms fc_ms(const cnn::FcConfig& fc) const override;
+
+  RegressionKind kind() const { return kind_; }
+
+  /// Least-squares slope/intercept of the fitted line for a layer
+  /// (linear kind only) — the "computing capability" view of a device.
+  struct Line {
+    double intercept = 0;
+    double slope = 0;
+  };
+  Line linear_params(const cnn::LayerConfig& layer) const;
+
+ private:
+  struct Segment {
+    double row_end;  ///< segment covers rows <= row_end
+    Line line;
+  };
+  struct Entry {
+    std::vector<Segment> segments;       // linear: 1 segment; pw: many
+    std::vector<double> sample_rows;     // knn only
+    std::vector<double> sample_ms;       // knn only
+  };
+
+  FittedLatencyModel(RegressionKind kind, int param) : kind_(kind), param_(param) {}
+  const Entry& entry(const cnn::LayerConfig& layer) const;
+
+  RegressionKind kind_;
+  int param_;
+  std::map<std::string, Entry> entries_;
+  std::map<std::string, Ms> fc_;
+};
+
+}  // namespace de::device

@@ -1,0 +1,82 @@
+#include "device/synthetic.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "cnn/vsl.hpp"
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+
+namespace de::device {
+
+std::string layer_signature(const cnn::LayerConfig& l) {
+  std::ostringstream os;
+  os << to_string(l.kind) << '|' << l.in_w << 'x' << l.in_h << 'x' << l.in_c
+     << "->" << l.out_c << "|k" << l.kernel << "s" << l.stride << "p" << l.padding;
+  return os.str();
+}
+
+std::string fc_signature(const cnn::FcConfig& fc) {
+  std::ostringstream os;
+  os << "fc|" << fc.in_features << "->" << fc.out_features;
+  return os.str();
+}
+
+SyntheticGpuModel::SyntheticGpuModel(GpuCaps caps) : caps_(caps) {
+  DE_REQUIRE(caps_.peak_gflops > 0 && caps_.mem_gbps > 0, "gpu caps positive");
+  DE_REQUIRE(caps_.wave_rows >= 1, "wave_rows >= 1");
+  DE_REQUIRE(caps_.util_floor > 0 && caps_.util_floor <= 1.0, "util floor in (0,1]");
+}
+
+double SyntheticGpuModel::utilisation(int rows) const {
+  const double x = static_cast<double>(rows) / caps_.rows_saturate;
+  return caps_.util_floor + (1.0 - caps_.util_floor) * (1.0 - std::exp(-x));
+}
+
+Ms SyntheticGpuModel::layer_ms(const cnn::LayerConfig& layer, int out_rows) const {
+  DE_REQUIRE(out_rows >= 0 && out_rows <= layer.out_h(), "rows out of range");
+  if (out_rows == 0) return 0.0;
+  // Rows are scheduled in full waves: 33 rows at wave 32 cost two waves.
+  const int waves = static_cast<int>(ceil_div(out_rows, caps_.wave_rows));
+  const int eff_rows = std::min(waves * caps_.wave_rows, layer.out_h());
+  const double flops = static_cast<double>(layer.ops_for_rows(eff_rows));
+  const double compute_ms = flops / (caps_.peak_gflops * utilisation(eff_rows) * 1e6);
+  // Memory floor: inputs read + outputs written for the sliced workload.
+  const auto in_rows = cnn::input_rows_for(layer, cnn::RowInterval{0, out_rows});
+  const double bytes = static_cast<double>(layer.input_bytes_for_rows(in_rows.size()) +
+                                           layer.output_bytes_for_rows(out_rows));
+  const double memory_ms = bytes / (caps_.mem_gbps * 1e6);
+  return caps_.launch_overhead_ms + std::max(compute_ms, memory_ms);
+}
+
+Ms SyntheticGpuModel::fc_ms(const cnn::FcConfig& fc) const {
+  const double compute_ms = static_cast<double>(fc.ops()) / (caps_.peak_gflops * 1e6);
+  // FC inference at batch 1 is weight-bandwidth bound.
+  const double memory_ms = static_cast<double>(fc.weight_bytes()) / (caps_.mem_gbps * 1e6);
+  return caps_.launch_overhead_ms + std::max(compute_ms, memory_ms);
+}
+
+SyntheticCpuModel::SyntheticCpuModel(CpuCaps caps) : caps_(caps) {
+  DE_REQUIRE(caps_.gflops > 0 && caps_.mem_gbps > 0, "cpu caps positive");
+}
+
+Ms SyntheticCpuModel::layer_ms(const cnn::LayerConfig& layer, int out_rows) const {
+  DE_REQUIRE(out_rows >= 0 && out_rows <= layer.out_h(), "rows out of range");
+  if (out_rows == 0) return 0.0;
+  const double compute_ms =
+      static_cast<double>(layer.ops_for_rows(out_rows)) / (caps_.gflops * 1e6);
+  const auto in_rows = cnn::input_rows_for(layer, cnn::RowInterval{0, out_rows});
+  const double bytes = static_cast<double>(layer.input_bytes_for_rows(in_rows.size()) +
+                                           layer.output_bytes_for_rows(out_rows));
+  const double memory_ms = bytes / (caps_.mem_gbps * 1e6);
+  return caps_.per_layer_overhead_ms + std::max(compute_ms, memory_ms);
+}
+
+Ms SyntheticCpuModel::fc_ms(const cnn::FcConfig& fc) const {
+  const double compute_ms = static_cast<double>(fc.ops()) / (caps_.gflops * 1e6);
+  const double memory_ms = static_cast<double>(fc.weight_bytes()) / (caps_.mem_gbps * 1e6);
+  return caps_.per_layer_overhead_ms + std::max(compute_ms, memory_ms);
+}
+
+}  // namespace de::device

@@ -1,0 +1,60 @@
+// Synthetic device latency models (the repo's substitute for profiling real
+// Pi3 / Jetson hardware — see DESIGN.md).
+//
+// GPU model: kernel-launch overhead + max(compute, memory) time, where the
+// compute term quantises rows to full GPU "waves" (tiles) and applies a
+// saturating utilisation curve. This reproduces the two nonlinearities the
+// paper leans on (§V-G, Fig. 14): a staircase in rows, and
+// latency(h/2) > latency(h)/2 (small slices under-utilise the device).
+//
+// CPU model: near-linear ops/throughput plus per-layer overhead (Raspberry
+// Pi-class behaviour).
+#pragma once
+
+#include "device/latency_model.hpp"
+
+namespace de::device {
+
+struct GpuCaps {
+  double peak_gflops = 0;      ///< effective FP16 GFLOP/s at full utilisation
+  double mem_gbps = 0;         ///< effective memory bandwidth, GB/s
+  Ms launch_overhead_ms = 0;   ///< fixed per-kernel cost
+  int wave_rows = 16;          ///< rows are computed in multiples of this
+  double util_floor = 0.2;     ///< utilisation at tiny workloads
+  double rows_saturate = 48;   ///< rows at which utilisation approaches peak
+};
+
+class SyntheticGpuModel final : public LatencyModel {
+ public:
+  explicit SyntheticGpuModel(GpuCaps caps);
+
+  Ms layer_ms(const cnn::LayerConfig& layer, int out_rows) const override;
+  Ms fc_ms(const cnn::FcConfig& fc) const override;
+
+  const GpuCaps& caps() const { return caps_; }
+
+ private:
+  double utilisation(int rows) const;
+  GpuCaps caps_;
+};
+
+struct CpuCaps {
+  double gflops = 0;          ///< sustained GFLOP/s
+  double mem_gbps = 0;        ///< memory bandwidth, GB/s
+  Ms per_layer_overhead_ms = 0;
+};
+
+class SyntheticCpuModel final : public LatencyModel {
+ public:
+  explicit SyntheticCpuModel(CpuCaps caps);
+
+  Ms layer_ms(const cnn::LayerConfig& layer, int out_rows) const override;
+  Ms fc_ms(const cnn::FcConfig& fc) const override;
+
+  const CpuCaps& caps() const { return caps_; }
+
+ private:
+  CpuCaps caps_;
+};
+
+}  // namespace de::device

@@ -1,0 +1,87 @@
+#include "experiments/harness.hpp"
+
+#include "common/require.hpp"
+#include "common/thread_pool.hpp"
+
+namespace de::experiments {
+
+CaseResult run_case(const std::string& planner_name, const BuiltScenario& scenario,
+                    const HarnessOptions& options) {
+  core::DistrEdgeConfig de_config = options.distredge;
+  de_config.seed = options.seed;
+  de_config.osds.seed = options.seed + 1;
+  auto planner = baselines::make_planner(planner_name, de_config);
+
+  core::PlanContext ctx = scenario.context();
+  CaseResult result;
+  result.planner = planner_name;
+  result.scenario = scenario.scenario.name;
+  result.strategy = planner->plan(ctx);
+  if (auto* de = dynamic_cast<core::DistrEdgePlanner*>(planner.get())) {
+    result.plan_wall_ms = de->last_plan_wall_ms();
+  }
+
+  result.breakdown = core::evaluate_strategy(ctx, result.strategy, 0.0);
+
+  sim::StreamOptions stream_options;
+  stream_options.n_images = options.n_images;
+  const auto stream = sim::stream_images(scenario.model,
+                                         result.strategy.to_raw(scenario.model),
+                                         scenario.latency, scenario.network,
+                                         stream_options);
+  result.ips = stream.ips;
+  result.mean_latency_ms = stream.mean_ms;
+  return result;
+}
+
+std::vector<CaseResult> run_matrix(const std::vector<std::string>& planner_names,
+                                   const std::vector<Scenario>& scenarios,
+                                   const HarnessOptions& options) {
+  std::vector<BuiltScenario> built;
+  built.reserve(scenarios.size());
+  for (const auto& s : scenarios) built.push_back(build(s));
+
+  const std::size_t n_cases = planner_names.size() * scenarios.size();
+  std::vector<CaseResult> results(n_cases);
+  auto eval = [&](std::size_t k) {
+    const std::size_t p = k / scenarios.size();
+    const std::size_t s = k % scenarios.size();
+    results[k] = run_case(planner_names[p], built[s], options);
+  };
+  if (options.parallel) {
+    ThreadPool::shared().parallel_for(n_cases, eval);
+  } else {
+    for (std::size_t k = 0; k < n_cases; ++k) eval(k);
+  }
+  return results;
+}
+
+Table ips_table(const std::vector<CaseResult>& results,
+                const std::vector<std::string>& planner_names,
+                const std::vector<std::string>& scenario_names,
+                const std::string& title) {
+  Table table(title);
+  std::vector<std::string> header = {"method (IPS)"};
+  header.insert(header.end(), scenario_names.begin(), scenario_names.end());
+  table.set_header(std::move(header));
+  for (const auto& planner : planner_names) {
+    std::vector<double> row;
+    for (const auto& scenario : scenario_names) {
+      double ips = 0.0;
+      bool found = false;
+      for (const auto& r : results) {
+        if (r.planner == planner && r.scenario == scenario) {
+          ips = r.ips;
+          found = true;
+          break;
+        }
+      }
+      DE_REQUIRE(found, "missing case " + planner + " x " + scenario);
+      row.push_back(ips);
+    }
+    table.add_row(planner, row);
+  }
+  return table;
+}
+
+}  // namespace de::experiments

@@ -1,0 +1,51 @@
+// Planner x scenario evaluation harness behind every figure bench.
+//
+// For each case: build the scenario, let the planner produce a strategy,
+// then measure IPS by streaming images through the ground-truth simulator
+// (paper §V-A: sequential stream, image k+1 departs when result k returns).
+// Cases run in parallel on the shared thread pool; every case constructs its
+// own planner instance (planners are stateful).
+#pragma once
+
+#include <functional>
+
+#include "baselines/registry.hpp"
+#include "common/table.hpp"
+#include "experiments/scenarios.hpp"
+#include "sim/stream_sim.hpp"
+
+namespace de::experiments {
+
+struct CaseResult {
+  std::string planner;
+  std::string scenario;
+  double ips = 0.0;
+  Ms mean_latency_ms = 0.0;
+  Ms plan_wall_ms = 0.0;
+  core::DistributionStrategy strategy;
+  sim::ExecBreakdown breakdown;  ///< single-image breakdown (first image)
+};
+
+struct HarnessOptions {
+  int n_images = 1000;  ///< images streamed per IPS measurement
+  core::DistrEdgeConfig distredge = core::DistrEdgeConfig::fast();
+  std::uint64_t seed = 7;
+  bool parallel = true;
+};
+
+/// Plans with a fresh `planner_name` instance and measures IPS.
+CaseResult run_case(const std::string& planner_name, const BuiltScenario& scenario,
+                    const HarnessOptions& options = {});
+
+/// Full methods x scenarios matrix (parallel over cases).
+std::vector<CaseResult> run_matrix(const std::vector<std::string>& planner_names,
+                                   const std::vector<Scenario>& scenarios,
+                                   const HarnessOptions& options = {});
+
+/// Figure-shaped table: one row per planner, one column per scenario, IPS.
+Table ips_table(const std::vector<CaseResult>& results,
+                const std::vector<std::string>& planner_names,
+                const std::vector<std::string>& scenario_names,
+                const std::string& title);
+
+}  // namespace de::experiments

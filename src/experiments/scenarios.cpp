@@ -1,0 +1,141 @@
+#include "experiments/scenarios.hpp"
+
+#include "common/require.hpp"
+
+namespace de::experiments {
+
+namespace {
+using device::DeviceType;
+
+Scenario make(std::string name, std::vector<DeviceType> types, std::vector<Mbps> bws,
+              std::string model = "vgg16") {
+  DE_REQUIRE(types.size() == bws.size(), "types/bandwidths size mismatch");
+  Scenario s;
+  s.name = std::move(name);
+  s.device_types = std::move(types);
+  s.bandwidths_mbps = std::move(bws);
+  s.model_name = std::move(model);
+  return s;
+}
+
+std::string bw_tag(Mbps bw) { return std::to_string(static_cast<int>(bw)); }
+}  // namespace
+
+Scenario group_DA(Mbps bw) {
+  return make("DA@" + bw_tag(bw) + "Mbps",
+              {DeviceType::kTx2, DeviceType::kTx2, DeviceType::kNano, DeviceType::kNano},
+              {bw, bw, bw, bw});
+}
+
+Scenario group_DB(Mbps bw) {
+  return make("DB@" + bw_tag(bw) + "Mbps",
+              {DeviceType::kXavier, DeviceType::kXavier, DeviceType::kNano,
+               DeviceType::kNano},
+              {bw, bw, bw, bw});
+}
+
+Scenario group_DC(Mbps bw) {
+  return make("DC@" + bw_tag(bw) + "Mbps",
+              {DeviceType::kXavier, DeviceType::kTx2, DeviceType::kNano,
+               DeviceType::kPi3},
+              {bw, bw, bw, bw});
+}
+
+Scenario group_NA(DeviceType t) {
+  return make(std::string("NA@") + device::to_string(t), {t, t, t, t},
+              {50, 50, 200, 200});
+}
+
+Scenario group_NB(DeviceType t) {
+  return make(std::string("NB@") + device::to_string(t), {t, t, t, t},
+              {100, 100, 200, 200});
+}
+
+Scenario group_NC(DeviceType t) {
+  return make(std::string("NC@") + device::to_string(t), {t, t, t, t},
+              {200, 200, 300, 300});
+}
+
+Scenario group_ND(DeviceType t) {
+  return make(std::string("ND@") + device::to_string(t), {t, t, t, t},
+              {50, 100, 200, 300});
+}
+
+namespace {
+Scenario large_scale(std::string name,
+                     const std::vector<std::pair<Mbps, DeviceType>>& quad) {
+  std::vector<DeviceType> types;
+  std::vector<Mbps> bws;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (const auto& [bw, t] : quad) {
+      types.push_back(t);
+      bws.push_back(bw);
+    }
+  }
+  return make(std::move(name), std::move(types), std::move(bws));
+}
+}  // namespace
+
+Scenario group_LA() {
+  return large_scale("LA", {{300, DeviceType::kNano},
+                            {200, DeviceType::kNano},
+                            {100, DeviceType::kNano},
+                            {50, DeviceType::kNano}});
+}
+
+Scenario group_LB() {
+  return large_scale("LB", {{300, DeviceType::kPi3},
+                            {200, DeviceType::kNano},
+                            {100, DeviceType::kTx2},
+                            {50, DeviceType::kXavier}});
+}
+
+Scenario group_LC() {
+  return large_scale("LC", {{200, DeviceType::kPi3},
+                            {200, DeviceType::kNano},
+                            {200, DeviceType::kTx2},
+                            {200, DeviceType::kXavier}});
+}
+
+Scenario group_LD() {
+  return large_scale("LD", {{50, DeviceType::kPi3},
+                            {100, DeviceType::kNano},
+                            {200, DeviceType::kTx2},
+                            {300, DeviceType::kXavier}});
+}
+
+Scenario homogeneous(DeviceType type, Mbps bw, int n) {
+  std::vector<DeviceType> types(static_cast<std::size_t>(n), type);
+  std::vector<Mbps> bws(static_cast<std::size_t>(n), bw);
+  return make(std::string("homog-") + device::to_string(type) + "@" + bw_tag(bw),
+              std::move(types), std::move(bws));
+}
+
+core::PlanContext BuiltScenario::context() const {
+  core::PlanContext ctx;
+  ctx.model = &model;
+  ctx.latency = latency;
+  ctx.network = &network;
+  return ctx;
+}
+
+BuiltScenario build(const Scenario& scenario) {
+  DE_REQUIRE(!scenario.device_types.empty(), "scenario without devices");
+  BuiltScenario built{scenario,
+                      cnn::model_by_name(scenario.model_name),
+                      device::make_devices(scenario.device_types),
+                      net::Network(scenario.num_devices()),
+                      {}};
+  for (int i = 0; i < scenario.num_devices(); ++i) {
+    auto trace = net::stable_wifi_trace(
+        scenario.bandwidths_mbps[static_cast<std::size_t>(i)], scenario.trace_minutes,
+        scenario.seed + static_cast<std::uint64_t>(i) * 101);
+    built.network.set_device_link(i, net::Link::with_trace(std::move(trace)));
+    built.latency.push_back(built.devices[static_cast<std::size_t>(i)].latency);
+  }
+  built.network.set_requester_link(net::Link::with_trace(
+      net::stable_wifi_trace(300.0, scenario.trace_minutes, scenario.seed ^ 0xdead)));
+  return built;
+}
+
+}  // namespace de::experiments

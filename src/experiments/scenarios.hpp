@@ -1,0 +1,66 @@
+// The evaluation scenarios of the paper: Table I (heterogeneous device
+// types), Table II (heterogeneous network bandwidths), Table III (16-device
+// large-scale groups), plus homogeneous control groups.
+//
+// A Scenario is declarative (types + nominal bandwidths + model name);
+// build() materialises devices with calibrated latency models and a network
+// with stable-WiFi traces (Fig. 4) seeded deterministically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cnn/model_zoo.hpp"
+#include "core/planner.hpp"
+#include "device/device.hpp"
+#include "net/network.hpp"
+
+namespace de::experiments {
+
+struct Scenario {
+  std::string name;
+  std::vector<device::DeviceType> device_types;
+  std::vector<Mbps> bandwidths_mbps;  ///< nominal, one per device
+  std::string model_name = "vgg16";
+  int trace_minutes = 60;
+  std::uint64_t seed = 42;
+
+  int num_devices() const { return static_cast<int>(device_types.size()); }
+};
+
+// --- Table I: heterogeneous device types (all links at `bw`). ---
+Scenario group_DA(Mbps bw);  ///< TX2 x2 + Nano x2
+Scenario group_DB(Mbps bw);  ///< Xavier x2 + Nano x2
+Scenario group_DC(Mbps bw);  ///< Xavier + TX2 + Nano + Pi3
+
+// --- Table II: heterogeneous bandwidths (all devices of type `t`). ---
+Scenario group_NA(device::DeviceType t);  ///< 50x2 + 200x2
+Scenario group_NB(device::DeviceType t);  ///< 100x2 + 200x2
+Scenario group_NC(device::DeviceType t);  ///< 200x2 + 300x2
+Scenario group_ND(device::DeviceType t);  ///< 50 + 100 + 200 + 300
+
+// --- Table III: 16-device large-scale cases. ---
+Scenario group_LA();  ///< {(300..50) x Nano} x 4
+Scenario group_LB();  ///< {(300,Pi3),(200,Nano),(100,TX2),(50,Xavier)} x 4
+Scenario group_LC();  ///< {200 x (Pi3,Nano,TX2,Xavier)} x 4
+Scenario group_LD();  ///< {(50,Pi3),(100,Nano),(200,TX2),(300,Xavier)} x 4
+
+/// n devices of one type, one bandwidth (the Fig. 5(a) control).
+Scenario homogeneous(device::DeviceType type, Mbps bw, int n = 4);
+
+/// Materialised scenario ready for planning + evaluation.
+struct BuiltScenario {
+  Scenario scenario;
+  cnn::CnnModel model;
+  std::vector<device::Device> devices;
+  net::Network network;
+  sim::ClusterLatency latency;  ///< calibrated ground-truth models
+
+  /// Planner view of this scenario (planners see ground-truth latency;
+  /// exact profiling reproduces it — see DESIGN.md).
+  core::PlanContext context() const;
+};
+
+BuiltScenario build(const Scenario& scenario);
+
+}  // namespace de::experiments

@@ -1,0 +1,21 @@
+#include "net/link.hpp"
+
+namespace de::net {
+
+Link Link::constant(Mbps rate) {
+  Link l;
+  l.trace = ThroughputTrace::constant(rate);
+  return l;
+}
+
+Link Link::with_trace(ThroughputTrace trace) {
+  Link l;
+  l.trace = std::move(trace);
+  return l;
+}
+
+Ms Link::io_overhead_ms(Bytes bytes) const {
+  return io_fixed_ms + io_per_mb_ms * (static_cast<double>(bytes) / 1e6);
+}
+
+}  // namespace de::net

@@ -1,0 +1,28 @@
+// A device's link to the wireless router.
+//
+// Transmission latency = fixed I/O overhead (socket + compute-unit
+// read/write on both endpoints, paper §II-B) + per-MB serialisation cost +
+// wire time at the current trace throughput. The paper stresses that pure
+// throughput division underestimates latency; the overhead terms are why.
+#pragma once
+
+#include "common/units.hpp"
+#include "net/trace.hpp"
+
+namespace de::net {
+
+struct Link {
+  ThroughputTrace trace;
+  Ms io_fixed_ms = 0.8;    ///< per-transfer fixed cost at this endpoint
+  double io_per_mb_ms = 1.5;  ///< memory read/write cost per megabyte
+
+  static Link constant(Mbps rate);
+  static Link with_trace(ThroughputTrace trace);
+
+  Mbps rate_at(Seconds t) const { return trace.at(t); }
+
+  /// Endpoint-side overhead for a transfer of `bytes`.
+  Ms io_overhead_ms(Bytes bytes) const;
+};
+
+}  // namespace de::net

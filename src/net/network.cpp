@@ -1,0 +1,45 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace de::net {
+
+Network::Network(int n_devices, Mbps default_mbps, Mbps requester_mbps)
+    : requester_link_(Link::constant(requester_mbps)) {
+  DE_REQUIRE(n_devices >= 1, "need at least one device");
+  device_links_.reserve(static_cast<std::size_t>(n_devices));
+  for (int i = 0; i < n_devices; ++i) {
+    device_links_.push_back(Link::constant(default_mbps));
+  }
+}
+
+void Network::set_device_link(int device, Link link) {
+  DE_REQUIRE(device >= 0 && device < num_devices(), "device out of range");
+  device_links_[static_cast<std::size_t>(device)] = std::move(link);
+}
+
+void Network::set_requester_link(Link link) { requester_link_ = std::move(link); }
+
+const Link& Network::link(int endpoint) const {
+  if (endpoint == kRequester) return requester_link_;
+  DE_REQUIRE(endpoint >= 0 && endpoint < num_devices(), "endpoint out of range");
+  return device_links_[static_cast<std::size_t>(endpoint)];
+}
+
+Ms Network::transfer_ms(int src, int dst, Bytes bytes, Seconds t) const {
+  DE_REQUIRE(src != dst, "self transfer has no cost");
+  DE_REQUIRE(bytes >= 0, "negative transfer size");
+  if (bytes == 0) return 0.0;
+  const Link& a = link(src);
+  const Link& b = link(dst);
+  const Mbps rate = std::min(a.rate_at(t), b.rate_at(t));
+  return a.io_overhead_ms(bytes) + b.io_overhead_ms(bytes) + wire_ms(bytes, rate);
+}
+
+Mbps Network::device_rate(int device, Seconds t) const {
+  return link(device).rate_at(t);
+}
+
+}  // namespace de::net

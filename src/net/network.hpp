@@ -1,0 +1,44 @@
+// Network model: every device (and the service requester) hangs off one
+// wireless router via its own shaped link (testbed of paper Fig. 3).
+//
+// A transfer i -> j is bottlenecked by min(rate_i, rate_j) at its start time
+// and pays both endpoints' I/O overheads. Endpoint exclusivity (a radio
+// serves one transfer at a time) is enforced by the execution simulator's
+// link scheduler, not here.
+#pragma once
+
+#include <vector>
+
+#include "net/link.hpp"
+
+namespace de::net {
+
+/// Endpoint id: 0..n-1 are service providers; kRequester is the requester.
+inline constexpr int kRequester = -1;
+
+class Network {
+ public:
+  /// All device links at `default_mbps`; requester at `requester_mbps`.
+  Network(int n_devices, Mbps default_mbps = 300.0, Mbps requester_mbps = 300.0);
+
+  int num_devices() const { return static_cast<int>(device_links_.size()); }
+
+  void set_device_link(int device, Link link);
+  void set_requester_link(Link link);
+
+  const Link& link(int endpoint) const;  ///< endpoint may be kRequester
+
+  /// Pure transfer duration for `bytes` from `src` to `dst` starting at
+  /// absolute stream time `t` (I/O overheads + bottleneck wire time).
+  Ms transfer_ms(int src, int dst, Bytes bytes, Seconds t) const;
+
+  /// Observable throughput of a device's link at time t (what an online
+  /// planner monitors).
+  Mbps device_rate(int device, Seconds t) const;
+
+ private:
+  std::vector<Link> device_links_;
+  Link requester_link_;
+};
+
+}  // namespace de::net

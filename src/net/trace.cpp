@@ -1,0 +1,76 @@
+#include "net/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace de::net {
+
+ThroughputTrace::ThroughputTrace(Seconds slot_s, std::vector<Mbps> samples)
+    : slot_s_(slot_s), samples_(std::move(samples)) {
+  DE_REQUIRE(slot_s_ > 0, "slot length positive");
+  DE_REQUIRE(!samples_.empty(), "trace needs at least one sample");
+  for (Mbps m : samples_) DE_REQUIRE(m > 0, "throughput samples positive");
+}
+
+ThroughputTrace ThroughputTrace::constant(Mbps rate) {
+  return ThroughputTrace(1.0, {rate});
+}
+
+Mbps ThroughputTrace::at(Seconds t) const {
+  if (t <= 0) return samples_.front();
+  auto idx = static_cast<std::size_t>(t / slot_s_);
+  if (idx >= samples_.size()) idx = samples_.size() - 1;
+  return samples_[idx];
+}
+
+Seconds ThroughputTrace::duration() const {
+  return slot_s_ * static_cast<double>(samples_.size());
+}
+
+Mbps ThroughputTrace::mean(Seconds t0, Seconds t1) const {
+  DE_REQUIRE(t0 < t1, "mean over empty window");
+  double sum = 0.0;
+  int n = 0;
+  for (Seconds t = t0; t < t1; t += slot_s_) {
+    sum += at(t);
+    ++n;
+  }
+  return sum / std::max(n, 1);
+}
+
+ThroughputTrace stable_wifi_trace(Mbps nominal, int minutes, std::uint64_t seed) {
+  DE_REQUIRE(nominal > 0 && minutes >= 1, "trace parameters");
+  Rng rng(seed ^ static_cast<std::uint64_t>(nominal * 1000));
+  std::vector<Mbps> samples;
+  samples.reserve(static_cast<std::size_t>(minutes));
+  const double base = 0.92 * nominal;
+  for (int m = 0; m < minutes; ++m) {
+    double v = base * (1.0 + rng.normal(0.0, 0.03));
+    if (rng.uniform() < 0.05) v *= rng.uniform(0.75, 0.9);  // occasional dip
+    v = std::clamp(v, 0.25 * nominal, nominal);
+    samples.push_back(v);
+  }
+  return ThroughputTrace(60.0, std::move(samples));
+}
+
+ThroughputTrace dynamic_trace(int minutes, std::uint64_t seed, Mbps lo, Mbps hi) {
+  DE_REQUIRE(lo > 0 && hi > lo && minutes >= 1, "trace parameters");
+  Rng rng(seed);
+  std::vector<Mbps> samples;
+  samples.reserve(static_cast<std::size_t>(minutes));
+  double regime = rng.uniform(lo, hi);
+  int until = rng.uniform_int(8, 20);
+  for (int m = 0; m < minutes; ++m) {
+    if (m >= until) {
+      regime = rng.uniform(lo, hi);
+      until = m + rng.uniform_int(8, 20);
+    }
+    double v = regime + rng.normal(0.0, (hi - lo) * 0.05);
+    samples.push_back(std::clamp(v, lo * 0.8, hi * 1.1));
+  }
+  return ThroughputTrace(60.0, std::move(samples));
+}
+
+}  // namespace de::net

@@ -1,0 +1,47 @@
+// Network throughput traces (paper Fig. 4 / Fig. 12).
+//
+// A trace is piecewise-constant throughput over fixed-length slots. The
+// stable-WiFi generator reproduces Fig. 4 (a shaped link delivers slightly
+// under its nominal bandwidth with small fluctuation and occasional dips);
+// the dynamic generator reproduces Fig. 12 (regime-switching walks between
+// ~40 and ~100 Mbps).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace de::net {
+
+class ThroughputTrace {
+ public:
+  ThroughputTrace() = default;
+  ThroughputTrace(Seconds slot_s, std::vector<Mbps> samples);
+
+  /// Constant-rate trace (single slot stretched forever).
+  static ThroughputTrace constant(Mbps rate);
+
+  /// Throughput at time t (clamped to the last slot).
+  Mbps at(Seconds t) const;
+
+  Seconds slot_seconds() const { return slot_s_; }
+  const std::vector<Mbps>& samples() const { return samples_; }
+  Seconds duration() const;
+
+  /// Mean over [t0, t1) (slot-weighted).
+  Mbps mean(Seconds t0, Seconds t1) const;
+
+ private:
+  Seconds slot_s_ = 1.0;
+  std::vector<Mbps> samples_;
+};
+
+/// Stable shaped-WiFi trace: mean ~0.92x nominal, ~3% jitter, rare dips.
+ThroughputTrace stable_wifi_trace(Mbps nominal, int minutes, std::uint64_t seed);
+
+/// Highly dynamic trace: regime changes every few minutes in [lo, hi] Mbps.
+ThroughputTrace dynamic_trace(int minutes, std::uint64_t seed, Mbps lo = 40.0,
+                              Mbps hi = 100.0);
+
+}  // namespace de::net

@@ -1,0 +1,41 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace de::nn {
+
+Adam::Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, Config config)
+    : params_(std::move(params)), grads_(std::move(grads)), config_(config) {
+  DE_REQUIRE(params_.size() == grads_.size(), "params/grads size mismatch");
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    DE_REQUIRE(params_[i]->size() == grads_[i]->size(), "param/grad shape mismatch");
+    m_[i].assign(params_[i]->size(), 0.0f);
+    v_[i].assign(params_[i]->size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    float* p = params_[i]->data();
+    const float* g = grads_[i]->data();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t j = 0; j < params_[i]->size(); ++j) {
+      m[j] = static_cast<float>(config_.beta1 * m[j] + (1.0 - config_.beta1) * g[j]);
+      v[j] = static_cast<float>(config_.beta2 * v[j] +
+                                (1.0 - config_.beta2) * g[j] * g[j]);
+      const double m_hat = m[j] / bc1;
+      const double v_hat = v[j] / bc2;
+      p[j] -= static_cast<float>(config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps));
+    }
+  }
+}
+
+}  // namespace de::nn

@@ -1,0 +1,36 @@
+// Adam optimiser over a fixed set of parameter/gradient matrix pairs.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace de::nn {
+
+class Adam {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+  };
+
+  /// Binds to parameters/gradients (must stay alive; shapes fixed).
+  Adam(std::vector<Matrix*> params, std::vector<Matrix*> grads, Config config);
+
+  /// One update step from the currently accumulated gradients.
+  void step();
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::vector<Matrix*> params_;
+  std::vector<Matrix*> grads_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  Config config_;
+  long t_ = 0;
+};
+
+}  // namespace de::nn

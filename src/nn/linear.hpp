@@ -1,0 +1,46 @@
+// Fully-connected layer with manual backprop: Y = X * W + b.
+// Shapes: X [batch, in], W [in, out], b [1, out].
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace de::nn {
+
+class Linear {
+ public:
+  Linear(std::size_t in, std::size_t out, Rng& rng);
+
+  /// Forward pass; caches X for backward.
+  const Matrix& forward(const Matrix& x);
+
+  /// Given dL/dY, accumulates dW/db and returns dL/dX.
+  const Matrix& backward(const Matrix& dy);
+
+  void zero_grad();
+
+  Matrix& weight() { return w_; }
+  Matrix& bias() { return b_; }
+  const Matrix& weight() const { return w_; }
+  const Matrix& bias() const { return b_; }
+  Matrix& weight_grad() { return dw_; }
+  Matrix& bias_grad() { return db_; }
+
+  std::size_t in_features() const { return w_.rows(); }
+  std::size_t out_features() const { return w_.cols(); }
+
+ private:
+  Matrix w_, b_;
+  Matrix dw_, db_;
+  Matrix x_cache_;
+  Matrix y_, dx_;
+};
+
+/// Activation functions applied element-wise, with backward.
+enum class Activation { kNone, kRelu, kTanh };
+
+void apply_activation(Activation act, Matrix& m);
+/// dL/dpre = dL/dpost ⊙ act'(post)  (uses post-activation values).
+void activation_backward(Activation act, const Matrix& post, Matrix& dpost);
+
+}  // namespace de::nn

@@ -1,0 +1,92 @@
+#include "nn/matrix.hpp"
+
+#include "common/require.hpp"
+
+namespace de::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+void Matrix::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols, float value) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, value);
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& out) {
+  DE_REQUIRE(a.cols() == b.rows(), "gemm shape mismatch");
+  out.resize(a.rows(), b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    float* out_row = out.data() + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a(i, p);
+      if (av == 0.0f) continue;
+      const float* b_row = b.data() + p * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out) {
+  DE_REQUIRE(a.rows() == b.rows(), "gemm_at_b shape mismatch");
+  out.resize(a.cols(), b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* a_row = a.data() + p * m;
+    const float* b_row = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = a_row[i];
+      if (av == 0.0f) continue;
+      float* out_row = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out) {
+  DE_REQUIRE(a.cols() == b.cols(), "gemm_a_bt shape mismatch");
+  out.resize(a.rows(), b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* a_row = a.data() + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* b_row = b.data() + j * k;
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out(i, j) = acc;
+    }
+  }
+}
+
+void add_row_vector(Matrix& m, const Matrix& bias) {
+  DE_REQUIRE(bias.rows() == 1 && bias.cols() == m.cols(), "bias shape mismatch");
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    float* row = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) row[j] += bias(0, j);
+  }
+}
+
+void col_sums(const Matrix& m, Matrix& out) {
+  out.resize(1, m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const float* row = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) out(0, j) += row[j];
+  }
+}
+
+Matrix hcat(const Matrix& a, const Matrix& b) {
+  DE_REQUIRE(a.rows() == b.rows(), "hcat row mismatch");
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out(i, j) = a(i, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) out(i, a.cols() + j) = b(i, j);
+  }
+  return out;
+}
+
+}  // namespace de::nn

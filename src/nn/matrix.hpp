@@ -1,0 +1,51 @@
+// Minimal dense row-major float matrix with the GEMM variants a hand-rolled
+// MLP needs. Deliberately simple: DDPG's networks are tiny ({400,200,100}
+// hidden), so clarity beats blocking/vectorisation tricks here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace de::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, float value = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void fill(float value);
+  void resize(std::size_t rows, std::size_t cols, float value = 0.0f);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a * b                  [m,k] x [k,n] -> [m,n]
+void gemm(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a^T * b                [k,m] x [k,n] -> [m,n]
+void gemm_at_b(const Matrix& a, const Matrix& b, Matrix& out);
+/// out = a * b^T                [m,k] x [n,k] -> [m,n]
+void gemm_a_bt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Adds row vector `bias` ([1,n]) to every row of `m` ([*,n]).
+void add_row_vector(Matrix& m, const Matrix& bias);
+/// out[0,j] = sum_i m(i,j)  (column sums into a [1,n] row vector).
+void col_sums(const Matrix& m, Matrix& out);
+
+/// Horizontal concatenation [m, a.cols + b.cols].
+Matrix hcat(const Matrix& a, const Matrix& b);
+
+}  // namespace de::nn

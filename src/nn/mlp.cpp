@@ -1,0 +1,81 @@
+#include "nn/mlp.hpp"
+
+#include "common/require.hpp"
+
+namespace de::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& dims, Activation output_activation, Rng& rng)
+    : output_activation_(output_activation) {
+  DE_REQUIRE(dims.size() >= 2, "mlp needs at least input and output dims");
+  layers_.reserve(dims.size() - 1);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+  post_.resize(layers_.size());
+}
+
+const Matrix& Mlp::forward(const Matrix& x) {
+  const Matrix* cur = &x;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    post_[i] = layers_[i].forward(*cur);
+    const Activation act =
+        (i + 1 == layers_.size()) ? output_activation_ : Activation::kRelu;
+    apply_activation(act, post_[i]);
+    cur = &post_[i];
+  }
+  return post_.back();
+}
+
+Matrix Mlp::backward(const Matrix& doutput) {
+  Matrix grad = doutput;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Activation act =
+        (i + 1 == layers_.size()) ? output_activation_ : Activation::kRelu;
+    activation_backward(act, post_[i], grad);
+    grad = layers_[i].backward(grad);
+  }
+  return grad;
+}
+
+void Mlp::zero_grad() {
+  for (auto& l : layers_) l.zero_grad();
+}
+
+std::vector<Matrix*> Mlp::parameters() {
+  std::vector<Matrix*> params;
+  params.reserve(layers_.size() * 2);
+  for (auto& l : layers_) {
+    params.push_back(&l.weight());
+    params.push_back(&l.bias());
+  }
+  return params;
+}
+
+std::vector<Matrix*> Mlp::gradients() {
+  std::vector<Matrix*> grads;
+  grads.reserve(layers_.size() * 2);
+  for (auto& l : layers_) {
+    grads.push_back(&l.weight_grad());
+    grads.push_back(&l.bias_grad());
+  }
+  return grads;
+}
+
+void Mlp::soft_update_from(const Mlp& other, double tau) {
+  DE_REQUIRE(layers_.size() == other.layers_.size(), "architecture mismatch");
+  auto mix = [tau](Matrix& dst, const Matrix& src) {
+    DE_REQUIRE(dst.size() == src.size(), "parameter shape mismatch");
+    const float t = static_cast<float>(tau);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst.data()[i] = t * src.data()[i] + (1.0f - t) * dst.data()[i];
+    }
+  };
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    mix(layers_[i].weight(), other.layers_[i].weight());
+    mix(layers_[i].bias(), other.layers_[i].bias());
+  }
+}
+
+void Mlp::copy_from(const Mlp& other) { soft_update_from(other, 1.0); }
+
+}  // namespace de::nn

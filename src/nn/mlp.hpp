@@ -1,0 +1,42 @@
+// Multi-layer perceptron: Linear layers with ReLU hidden activations and a
+// configurable output activation (tanh for the DDPG actor, none for the
+// critic). Supports full forward/backward and parameter iteration for the
+// optimiser and for soft target updates.
+#pragma once
+
+#include <vector>
+
+#include "nn/linear.hpp"
+
+namespace de::nn {
+
+class Mlp {
+ public:
+  /// dims = {in, h1, ..., out}; hidden activations are ReLU.
+  Mlp(const std::vector<std::size_t>& dims, Activation output_activation, Rng& rng);
+
+  const Matrix& forward(const Matrix& x);
+  /// Backward from dL/dOutput; returns dL/dInput; accumulates all grads.
+  Matrix backward(const Matrix& doutput);
+
+  void zero_grad();
+
+  /// Parameters (weights then bias per layer) and their gradients, aligned.
+  std::vector<Matrix*> parameters();
+  std::vector<Matrix*> gradients();
+
+  /// this = tau * other + (1 - tau) * this (soft target update).
+  void soft_update_from(const Mlp& other, double tau);
+  /// this = other (hard copy; architectures must match).
+  void copy_from(const Mlp& other);
+
+  std::size_t in_features() const { return layers_.front().in_features(); }
+  std::size_t out_features() const { return layers_.back().out_features(); }
+
+ private:
+  std::vector<Linear> layers_;
+  std::vector<Matrix> post_;  ///< cached post-activation outputs per layer
+  Activation output_activation_;
+};
+
+}  // namespace de::nn

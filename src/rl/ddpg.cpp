@@ -1,0 +1,101 @@
+#include "rl/ddpg.hpp"
+
+#include "common/require.hpp"
+
+namespace de::rl {
+
+namespace {
+std::vector<std::size_t> arch(std::size_t in, const std::vector<std::size_t>& hidden,
+                              std::size_t out) {
+  std::vector<std::size_t> dims;
+  dims.reserve(hidden.size() + 2);
+  dims.push_back(in);
+  for (auto h : hidden) dims.push_back(h);
+  dims.push_back(out);
+  return dims;
+}
+}  // namespace
+
+Ddpg::Ddpg(DdpgConfig config, Rng& rng) : config_(config) {
+  DE_REQUIRE(config_.state_dim >= 1 && config_.action_dim >= 1, "ddpg dims");
+  actor_ = std::make_unique<nn::Mlp>(
+      arch(config_.state_dim, config_.actor_hidden, config_.action_dim),
+      nn::Activation::kTanh, rng);
+  critic_ = std::make_unique<nn::Mlp>(
+      arch(config_.state_dim + config_.action_dim, config_.critic_hidden, 1),
+      nn::Activation::kNone, rng);
+  actor_target_ = std::make_unique<nn::Mlp>(*actor_);
+  critic_target_ = std::make_unique<nn::Mlp>(*critic_);
+  actor_opt_ = std::make_unique<nn::Adam>(actor_->parameters(), actor_->gradients(),
+                                          nn::Adam::Config{.lr = config_.actor_lr});
+  critic_opt_ = std::make_unique<nn::Adam>(critic_->parameters(), critic_->gradients(),
+                                           nn::Adam::Config{.lr = config_.critic_lr});
+}
+
+std::vector<float> Ddpg::act(const std::vector<float>& state) {
+  DE_REQUIRE(state.size() == config_.state_dim, "state width mismatch");
+  nn::Matrix x(1, config_.state_dim);
+  for (std::size_t j = 0; j < state.size(); ++j) x(0, j) = state[j];
+  const nn::Matrix& y = actor_->forward(x);
+  std::vector<float> out(config_.action_dim);
+  for (std::size_t j = 0; j < config_.action_dim; ++j) out[j] = y(0, j);
+  return out;
+}
+
+double Ddpg::train_step(const ReplayBuffer& buffer, Rng& rng) {
+  if (buffer.size() == 0) return 0.0;
+  const Batch batch = buffer.sample(config_.batch_size, rng);
+  const std::size_t b = batch.states.rows();
+
+  // ---- Critic update: y = r + gamma * (1 - done) * Q'(s', mu'(s')). ----
+  const nn::Matrix& next_actions = actor_target_->forward(batch.next_states);
+  const nn::Matrix next_q =
+      critic_target_->forward(nn::hcat(batch.next_states, next_actions));
+  nn::Matrix targets(b, 1);
+  for (std::size_t i = 0; i < b; ++i) {
+    const float not_done = 1.0f - batch.terminals(i, 0);
+    targets(i, 0) = batch.rewards(i, 0) +
+                    static_cast<float>(config_.gamma) * not_done * next_q(i, 0);
+  }
+
+  critic_->zero_grad();
+  const nn::Matrix& q = critic_->forward(nn::hcat(batch.states, batch.actions));
+  nn::Matrix dq(b, 1);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < b; ++i) {
+    const float diff = q(i, 0) - targets(i, 0);
+    loss += diff * diff;
+    dq(i, 0) = 2.0f * diff / static_cast<float>(b);
+  }
+  loss /= static_cast<double>(b);
+  critic_->backward(dq);
+  critic_opt_->step();
+
+  // ---- Actor update: maximise Q(s, mu(s)) => grad = -dQ/da via critic. ----
+  actor_->zero_grad();
+  critic_->zero_grad();  // discard policy-pass critic grads
+  const nn::Matrix& pred_actions = actor_->forward(batch.states);
+  critic_->forward(nn::hcat(batch.states, pred_actions));
+  nn::Matrix dout(b, 1);
+  dout.fill(-1.0f / static_cast<float>(b));
+  const nn::Matrix dinput = critic_->backward(dout);
+  nn::Matrix dactions(b, config_.action_dim);
+  for (std::size_t i = 0; i < b; ++i) {
+    for (std::size_t j = 0; j < config_.action_dim; ++j) {
+      dactions(i, j) = dinput(i, config_.state_dim + j);
+    }
+  }
+  actor_->backward(dactions);
+  actor_opt_->step();
+  critic_->zero_grad();
+
+  // ---- Soft target updates. ----
+  actor_target_->soft_update_from(*actor_, config_.tau);
+  critic_target_->soft_update_from(*critic_, config_.tau);
+
+  return loss;
+}
+
+void Ddpg::restore_actor(const nn::Mlp& snapshot) { actor_->copy_from(snapshot); }
+
+}  // namespace de::rl

@@ -1,0 +1,62 @@
+// DDPG (Lillicrap et al. 2015), the continuous-action actor-critic used by
+// OSDS (paper Alg. 2).
+//
+// Actor:  state -> tanh action in [-1, 1]^action_dim
+//         (paper: three FC layers {400, 200, 100})
+// Critic: (state, action) -> Q
+//         (paper: four FC layers {400, 200, 100, 100})
+// Targets are soft-updated with rate tau each training step.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/adam.hpp"
+#include "nn/mlp.hpp"
+#include "rl/replay_buffer.hpp"
+
+namespace de::rl {
+
+struct DdpgConfig {
+  std::size_t state_dim = 0;
+  std::size_t action_dim = 0;
+  std::vector<std::size_t> actor_hidden = {400, 200, 100};
+  std::vector<std::size_t> critic_hidden = {400, 200, 100, 100};
+  double actor_lr = 1e-4;   // paper §V
+  double critic_lr = 1e-3;  // paper §V
+  double gamma = 0.99;      // paper §V
+  double tau = 0.005;
+  std::size_t batch_size = 64;  // paper §V (Nb)
+};
+
+class Ddpg {
+ public:
+  Ddpg(DdpgConfig config, Rng& rng);
+
+  /// Deterministic policy output for one state (length action_dim,
+  /// components in [-1, 1]).
+  std::vector<float> act(const std::vector<float>& state);
+
+  /// One gradient update from a replay sample (Alg. 2 lines 19-22).
+  /// Returns the critic's TD loss (for diagnostics). No-op (returns 0)
+  /// until the buffer holds at least one transition.
+  double train_step(const ReplayBuffer& buffer, Rng& rng);
+
+  /// Snapshot / restore of the actor (Alg. 2 keeps the best-seen networks).
+  nn::Mlp actor_snapshot() const { return *actor_; }
+  void restore_actor(const nn::Mlp& snapshot);
+
+  const DdpgConfig& config() const { return config_; }
+  nn::Mlp& actor() { return *actor_; }
+  nn::Mlp& critic() { return *critic_; }
+  const nn::Mlp& actor() const { return *actor_; }
+  const nn::Mlp& critic() const { return *critic_; }
+
+ private:
+  DdpgConfig config_;
+  std::unique_ptr<nn::Mlp> actor_, critic_;
+  std::unique_ptr<nn::Mlp> actor_target_, critic_target_;
+  std::unique_ptr<nn::Adam> actor_opt_, critic_opt_;
+};
+
+}  // namespace de::rl

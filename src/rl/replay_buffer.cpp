@@ -1,0 +1,46 @@
+#include "rl/replay_buffer.hpp"
+
+#include "common/require.hpp"
+
+namespace de::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity, std::size_t state_dim,
+                           std::size_t action_dim)
+    : capacity_(capacity), state_dim_(state_dim), action_dim_(action_dim) {
+  DE_REQUIRE(capacity_ >= 1, "replay capacity >= 1");
+  storage_.resize(capacity_);
+}
+
+void ReplayBuffer::push(Transition t) {
+  DE_REQUIRE(t.state.size() == state_dim_ && t.next_state.size() == state_dim_,
+             "transition state width mismatch");
+  DE_REQUIRE(t.action.size() == action_dim_, "transition action width mismatch");
+  storage_[head_] = std::move(t);
+  head_ = (head_ + 1) % capacity_;
+  if (count_ < capacity_) ++count_;
+}
+
+Batch ReplayBuffer::sample(std::size_t batch_size, Rng& rng) const {
+  DE_REQUIRE(count_ >= 1, "sampling from empty buffer");
+  DE_REQUIRE(batch_size >= 1, "batch size >= 1");
+  Batch b;
+  b.states.resize(batch_size, state_dim_);
+  b.actions.resize(batch_size, action_dim_);
+  b.rewards.resize(batch_size, 1);
+  b.next_states.resize(batch_size, state_dim_);
+  b.terminals.resize(batch_size, 1);
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    const auto& t =
+        storage_[static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(count_) - 1))];
+    for (std::size_t j = 0; j < state_dim_; ++j) {
+      b.states(i, j) = t.state[j];
+      b.next_states(i, j) = t.next_state[j];
+    }
+    for (std::size_t j = 0; j < action_dim_; ++j) b.actions(i, j) = t.action[j];
+    b.rewards(i, 0) = t.reward;
+    b.terminals(i, 0) = t.terminal ? 1.0f : 0.0f;
+  }
+  return b;
+}
+
+}  // namespace de::rl

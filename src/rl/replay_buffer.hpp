@@ -1,0 +1,53 @@
+// Uniform experience replay for DDPG (paper Alg. 2 lines 18-19).
+//
+// Transitions store the *raw* (pre-sort, pre-mapping) action vector, exactly
+// as Alg. 2 line 18 prescribes — the network is trained in its own action
+// space, the environment sees the sorted/rounded cuts.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace de::rl {
+
+struct Transition {
+  std::vector<float> state;
+  std::vector<float> action;
+  float reward = 0.0f;
+  std::vector<float> next_state;
+  bool terminal = false;
+};
+
+/// A sampled minibatch in matrix form, ready for network consumption.
+struct Batch {
+  nn::Matrix states;       // [b, state_dim]
+  nn::Matrix actions;      // [b, action_dim]
+  nn::Matrix rewards;      // [b, 1]
+  nn::Matrix next_states;  // [b, state_dim]
+  nn::Matrix terminals;    // [b, 1] (1.0 if terminal)
+};
+
+class ReplayBuffer {
+ public:
+  ReplayBuffer(std::size_t capacity, std::size_t state_dim, std::size_t action_dim);
+
+  void push(Transition t);
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Uniform sample with replacement. Requires size() >= 1.
+  Batch sample(std::size_t batch_size, Rng& rng) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t state_dim_;
+  std::size_t action_dim_;
+  std::vector<Transition> storage_;
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace de::rl

@@ -1,0 +1,40 @@
+// In-process distributed runtime: one worker thread per service provider,
+// real tensor chunks flowing through mailboxes, real conv/pool arithmetic.
+//
+// This is the data-plane counterpart of the event simulator: it executes a
+// RawStrategy end-to-end (scatter -> per-volume split-part compute -> halo
+// redistribution -> gather) with genuine concurrency, and its gathered
+// output must equal the single-device reference forward bit-for-bit — the
+// system-level proof of the Vertical-Splitting Law and of the transfer
+// planning logic. Timing remains the simulator's job (DESIGN.md).
+#pragma once
+
+#include <vector>
+
+#include "cnn/conv_exec.hpp"
+#include "sim/exec_sim.hpp"
+
+namespace de::runtime {
+
+struct ClusterResult {
+  cnn::Tensor output;        ///< stitched output of the last volume
+  int messages_exchanged = 0;
+  Bytes bytes_moved = 0;     ///< payload bytes across all chunk messages
+};
+
+/// Runs `strategy` on `n_devices` worker threads. `weights[l]` must hold the
+/// conv weights for layer l (ignored entries for pooling layers).
+ClusterResult run_distributed(const cnn::CnnModel& model,
+                              const sim::RawStrategy& strategy,
+                              const std::vector<cnn::ConvWeights>& weights,
+                              const cnn::Tensor& input, int n_devices);
+
+/// Reference single-device forward of the conv chain (for cross-checking).
+cnn::Tensor run_reference(const cnn::CnnModel& model,
+                          const std::vector<cnn::ConvWeights>& weights,
+                          const cnn::Tensor& input);
+
+/// Random per-layer weights for a model (pool layers get empty entries).
+std::vector<cnn::ConvWeights> random_weights(const cnn::CnnModel& model, Rng& rng);
+
+}  // namespace de::runtime

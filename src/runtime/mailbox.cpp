@@ -1,0 +1,2 @@
+// Mailbox is header-only; this TU anchors the library target.
+#include "runtime/mailbox.hpp"

@@ -1,0 +1,53 @@
+// Blocking MPSC mailbox used by the in-process cluster workers
+// (the "data receiving" thread role of paper §V-A).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace de::runtime {
+
+template <typename T>
+class Mailbox {
+ public:
+  void send(T value) {
+    {
+      std::lock_guard lk(mu_);
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message arrives or the mailbox is closed (nullopt).
+  std::optional<T> receive() {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t pending() {
+    std::lock_guard lk(mu_);
+    return queue_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace de::runtime

@@ -1,0 +1,333 @@
+#include "sim/exec_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace de::sim {
+
+void validate_cuts(std::span<const int> cuts, int n_devices, int height) {
+  DE_REQUIRE(static_cast<int>(cuts.size()) == n_devices + 1,
+             "cut vector must have n_devices + 1 entries");
+  DE_REQUIRE(cuts.front() == 0, "cuts must start at 0");
+  DE_REQUIRE(cuts.back() == height, "cuts must end at the volume height");
+  DE_REQUIRE(std::is_sorted(cuts.begin(), cuts.end()), "cuts must be sorted");
+}
+
+StrategyExecution::StrategyExecution(const cnn::CnnModel& model,
+                                     std::vector<cnn::LayerVolume> volumes,
+                                     ClusterLatency latency,
+                                     const net::Network& network, ExecOptions options)
+    : model_(model),
+      volumes_(std::move(volumes)),
+      latency_(std::move(latency)),
+      network_(network),
+      options_(options) {
+  DE_REQUIRE(!volumes_.empty(), "strategy needs at least one volume");
+  DE_REQUIRE(!latency_.empty(), "need at least one device");
+  for (const auto& m : latency_) DE_REQUIRE(m != nullptr, "null latency model");
+  DE_REQUIRE(network_.num_devices() >= num_devices(),
+             "network smaller than cluster");
+  DE_REQUIRE(volumes_.front().first == 0 &&
+                 volumes_.back().last == model_.num_layers(),
+             "volumes must cover the model");
+
+  const int n = num_devices();
+  device_done_.assign(static_cast<std::size_t>(n), 0.0);
+  held_.assign(static_cast<std::size_t>(n), cnn::RowInterval{0, 0});
+  breakdown_.device_compute_ms.assign(static_cast<std::size_t>(n), 0.0);
+  breakdown_.device_tx_ms.assign(static_cast<std::size_t>(n), 0.0);
+}
+
+int StrategyExecution::upcoming_height() const {
+  DE_REQUIRE(!done(), "all volumes already executed");
+  return cnn::volume_out_height(model_, volumes_[static_cast<std::size_t>(step_)]);
+}
+
+const cnn::LayerConfig& StrategyExecution::upcoming_last_layer() const {
+  DE_REQUIRE(!done(), "all volumes already executed");
+  return model_.layer(volumes_[static_cast<std::size_t>(step_)].last - 1);
+}
+
+// Fluid (max-min fair) transfer scheduling: every active transfer gets a
+// rate via progressive filling over the endpoint capacities, so concurrent
+// streams to different devices proceed in parallel (shared-medium WiFi
+// through a fast router), while streams contending for one radio share it.
+// I/O read/write overheads (fixed + per-MB at both endpoints, paper §II-B)
+// are added on top of the wire completion time.
+StrategyExecution::TransferOutcome StrategyExecution::run_transfers(
+    std::vector<TransferRequest> requests) {
+  TransferOutcome outcome;
+  outcome.arrival.assign(static_cast<std::size_t>(num_devices()), 0.0);
+  outcome.requester_arrival = 0.0;
+  if (requests.empty()) return outcome;
+
+  struct Stream {
+    int src, dst;
+    double bits_left;
+    Ms ready;
+    Ms wire_done = -1.0;
+  };
+  std::vector<Stream> streams;
+  streams.reserve(requests.size());
+  for (const auto& req : requests) {
+    DE_ASSERT(req.bytes > 0, "zero-byte transfer scheduled");
+    streams.push_back(Stream{req.src, req.dst,
+                             static_cast<double>(req.bytes) * 8.0, req.ready_ms});
+  }
+
+  // Endpoint index: 0..n-1 devices, n = requester.
+  const int n = num_devices();
+  const int n_endpoints = n + 1;
+  auto ep = [n](int endpoint) { return endpoint == net::kRequester ? n : endpoint; };
+
+  Ms t = std::numeric_limits<Ms>::infinity();
+  for (const auto& s : streams) t = std::min(t, s.ready);
+
+  std::size_t remaining = streams.size();
+  while (remaining > 0) {
+    // Active set at time t.
+    std::vector<std::size_t> active;
+    Ms next_ready = std::numeric_limits<Ms>::infinity();
+    for (std::size_t k = 0; k < streams.size(); ++k) {
+      if (streams[k].wire_done >= 0.0) continue;
+      if (streams[k].ready <= t + 1e-12) {
+        active.push_back(k);
+      } else {
+        next_ready = std::min(next_ready, streams[k].ready);
+      }
+    }
+    if (active.empty()) {
+      t = next_ready;
+      continue;
+    }
+
+    // Capacities in bits/ms at the current instant.
+    std::vector<double> cap(static_cast<std::size_t>(n_endpoints));
+    std::vector<int> load(static_cast<std::size_t>(n_endpoints), 0);
+    const Seconds now_s = options_.start_s + ms_to_s(t);
+    for (int e = 0; e < n; ++e) {
+      cap[static_cast<std::size_t>(e)] = network_.link(e).rate_at(now_s) * 1000.0;
+    }
+    cap[static_cast<std::size_t>(n)] =
+        network_.link(net::kRequester).rate_at(now_s) * 1000.0;
+    for (std::size_t k : active) {
+      load[static_cast<std::size_t>(ep(streams[k].src))]++;
+      load[static_cast<std::size_t>(ep(streams[k].dst))]++;
+    }
+
+    // Progressive filling.
+    std::vector<double> rate(streams.size(), 0.0);
+    std::vector<bool> fixed(streams.size(), false);
+    std::size_t unfixed = active.size();
+    while (unfixed > 0) {
+      double bottleneck_share = std::numeric_limits<double>::infinity();
+      int bottleneck = -1;
+      for (int e = 0; e < n_endpoints; ++e) {
+        if (load[static_cast<std::size_t>(e)] == 0) continue;
+        const double share =
+            cap[static_cast<std::size_t>(e)] / load[static_cast<std::size_t>(e)];
+        if (share < bottleneck_share) {
+          bottleneck_share = share;
+          bottleneck = e;
+        }
+      }
+      DE_ASSERT(bottleneck >= 0, "no bottleneck endpoint found");
+      for (std::size_t k : active) {
+        if (fixed[k]) continue;
+        if (ep(streams[k].src) == bottleneck || ep(streams[k].dst) == bottleneck) {
+          rate[k] = bottleneck_share;
+          fixed[k] = true;
+          --unfixed;
+          for (int e : {ep(streams[k].src), ep(streams[k].dst)}) {
+            if (e == bottleneck) continue;
+            cap[static_cast<std::size_t>(e)] -= bottleneck_share;
+            load[static_cast<std::size_t>(e)]--;
+          }
+        }
+      }
+      cap[static_cast<std::size_t>(bottleneck)] = 0.0;
+      load[static_cast<std::size_t>(bottleneck)] = 0;
+    }
+
+    // Advance to the next event (a completion or a new arrival).
+    Ms dt = next_ready - t;
+    for (std::size_t k : active) {
+      DE_ASSERT(rate[k] > 0.0, "active stream with zero rate");
+      dt = std::min(dt, streams[k].bits_left / rate[k]);
+    }
+    DE_ASSERT(dt > 0.0, "fluid scheduler stalled");
+    for (std::size_t k : active) {
+      streams[k].bits_left -= rate[k] * dt;
+      if (streams[k].bits_left <= 1e-6) {
+        streams[k].wire_done = t + dt;
+        --remaining;
+      }
+    }
+    t += dt;
+  }
+
+  // Completion = wire + both endpoints' I/O overheads; accounting.
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    const auto& req = requests[k];
+    const Ms io = network_.link(req.src).io_overhead_ms(req.bytes) +
+                  network_.link(req.dst).io_overhead_ms(req.bytes);
+    const Ms done = streams[k].wire_done + io;
+    const Ms duration = done - req.ready_ms;
+    if (req.src != net::kRequester) {
+      breakdown_.device_tx_ms[static_cast<std::size_t>(req.src)] += duration;
+    }
+    if (req.dst != net::kRequester) {
+      breakdown_.device_tx_ms[static_cast<std::size_t>(req.dst)] += duration;
+      outcome.arrival[static_cast<std::size_t>(req.dst)] =
+          std::max(outcome.arrival[static_cast<std::size_t>(req.dst)], done);
+    } else {
+      outcome.requester_arrival = std::max(outcome.requester_arrival, done);
+    }
+    breakdown_.bytes_transmitted += req.bytes;
+  }
+  return outcome;
+}
+
+const std::vector<Ms>& StrategyExecution::step(std::span<const int> cuts) {
+  DE_REQUIRE(!done(), "all volumes already executed");
+  const auto& volume = volumes_[static_cast<std::size_t>(step_)];
+  const auto layers = cnn::volume_layers(model_, volume);
+  const int height = cnn::volume_out_height(model_, volume);
+  const int n = num_devices();
+  validate_cuts(cuts, n, height);
+
+  const bool from_requester = (step_ == 0);
+  const cnn::LayerConfig& input_layer = model_.layer(volume.first);
+
+  std::vector<cnn::RowInterval> parts(static_cast<std::size_t>(n));
+  std::vector<TransferRequest> requests;
+  for (int i = 0; i < n; ++i) {
+    parts[static_cast<std::size_t>(i)] =
+        cnn::RowInterval{cuts[static_cast<std::size_t>(i)],
+                         cuts[static_cast<std::size_t>(i) + 1]};
+    const auto& part = parts[static_cast<std::size_t>(i)];
+    if (part.empty()) continue;
+    const auto need = cnn::required_input_rows(layers, part);
+    if (from_requester) {
+      requests.push_back(TransferRequest{
+          net::kRequester, i, input_layer.input_bytes_for_rows(need.size()), 0.0});
+    } else {
+      for (int j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const auto chunk = need.intersect(held_[static_cast<std::size_t>(j)]);
+        if (chunk.empty()) continue;
+        requests.push_back(TransferRequest{
+            j, i, input_layer.input_bytes_for_rows(chunk.size()),
+            device_done_[static_cast<std::size_t>(j)]});
+      }
+    }
+  }
+
+  const TransferOutcome transfers = run_transfers(std::move(requests));
+
+  for (int i = 0; i < n; ++i) {
+    const auto& part = parts[static_cast<std::size_t>(i)];
+    if (part.empty()) {
+      held_[static_cast<std::size_t>(i)] = cnn::RowInterval{0, 0};
+      continue;  // device_done_ unchanged: the device stays free
+    }
+    // Starts when its remote inputs arrived and its own previous volume
+    // (which also provides its local input rows) is finished.
+    Ms start = std::max(device_done_[static_cast<std::size_t>(i)],
+                        transfers.arrival[static_cast<std::size_t>(i)]);
+    Ms compute = 0.0;
+    const auto per_layer = cnn::per_layer_output_rows(layers, part);
+    for (std::size_t k = 0; k < layers.size(); ++k) {
+      compute += latency_[static_cast<std::size_t>(i)]->layer_ms(layers[k],
+                                                                 per_layer[k].size());
+      breakdown_.ops_executed += layers[k].ops_for_rows(per_layer[k].size());
+    }
+    device_done_[static_cast<std::size_t>(i)] = start + compute;
+    breakdown_.device_compute_ms[static_cast<std::size_t>(i)] += compute;
+    held_[static_cast<std::size_t>(i)] = part;
+  }
+
+  breakdown_.accumulated.push_back(device_done_);
+  ++step_;
+  return breakdown_.accumulated.back();
+}
+
+Ms StrategyExecution::finish() {
+  DE_REQUIRE(done(), "finish() before all volumes executed");
+  DE_REQUIRE(!finished_, "finish() called twice");
+  finished_ = true;
+
+  const int n = num_devices();
+  const cnn::LayerConfig& last_layer = model_.layer(model_.num_layers() - 1);
+
+  Ms total = 0.0;
+  if (!model_.fc_tail().empty()) {
+    // FC tail on the device with the largest share of the last volume.
+    int fc_dev = 0;
+    int best_rows = -1;
+    for (int i = 0; i < n; ++i) {
+      const int rows = held_[static_cast<std::size_t>(i)].size();
+      if (rows > best_rows) {
+        best_rows = rows;
+        fc_dev = i;
+      }
+    }
+    DE_ASSERT(best_rows > 0, "no device holds the final volume output");
+    breakdown_.fc_device = fc_dev;
+
+    std::vector<TransferRequest> requests;
+    for (int j = 0; j < n; ++j) {
+      if (j == fc_dev || held_[static_cast<std::size_t>(j)].empty()) continue;
+      requests.push_back(TransferRequest{
+          j, fc_dev,
+          last_layer.output_bytes_for_rows(held_[static_cast<std::size_t>(j)].size()),
+          device_done_[static_cast<std::size_t>(j)]});
+    }
+    const auto gather = run_transfers(std::move(requests));
+    const Ms start = std::max(device_done_[static_cast<std::size_t>(fc_dev)],
+                              gather.arrival[static_cast<std::size_t>(fc_dev)]);
+    Ms fc_compute = 0.0;
+    for (const auto& fc : model_.fc_tail()) {
+      fc_compute += latency_[static_cast<std::size_t>(fc_dev)]->fc_ms(fc);
+      breakdown_.ops_executed += fc.ops();
+    }
+    const Ms fc_done = start + fc_compute;
+    breakdown_.device_compute_ms[static_cast<std::size_t>(fc_dev)] += fc_compute;
+    device_done_[static_cast<std::size_t>(fc_dev)] = fc_done;
+
+    std::vector<TransferRequest> result_req;
+    result_req.push_back(
+        TransferRequest{fc_dev, net::kRequester, model_.result_bytes(), fc_done});
+    total = run_transfers(std::move(result_req)).requester_arrival;
+  } else {
+    // No FC tail: gather the final feature map at the requester.
+    std::vector<TransferRequest> requests;
+    for (int j = 0; j < n; ++j) {
+      if (held_[static_cast<std::size_t>(j)].empty()) continue;
+      requests.push_back(TransferRequest{
+          j, net::kRequester,
+          last_layer.output_bytes_for_rows(held_[static_cast<std::size_t>(j)].size()),
+          device_done_[static_cast<std::size_t>(j)]});
+    }
+    DE_ASSERT(!requests.empty(), "no device holds the final volume output");
+    total = run_transfers(std::move(requests)).requester_arrival;
+  }
+
+  breakdown_.total_ms = total;
+  return total;
+}
+
+ExecBreakdown execute_strategy(const cnn::CnnModel& model, const RawStrategy& strategy,
+                               const ClusterLatency& latency,
+                               const net::Network& network, ExecOptions options) {
+  DE_REQUIRE(strategy.volumes.size() == strategy.cuts.size(),
+             "one cut vector per volume");
+  StrategyExecution exec(model, strategy.volumes, latency, network, options);
+  for (const auto& cuts : strategy.cuts) exec.step(cuts);
+  exec.finish();
+  return exec.breakdown();
+}
+
+}  // namespace de::sim

@@ -1,0 +1,136 @@
+// Discrete-event execution simulator for one inference of a distributed CNN.
+//
+// Semantics (paper §IV-C / §V-A):
+//  * A strategy = layer-volumes + per-volume split decisions. Split
+//    decision for volume l is a cumulative cut vector
+//    {0 = x_0 <= x_1 <= ... <= x_|D| = H_l}; device i produces output rows
+//    [x_{i-1}, x_i) of the volume's last layer (possibly empty, §VI-2).
+//  * The requester initially holds the input image; volume-1 inputs are
+//    scattered to the devices over their links.
+//  * Between volumes, each device fetches the input rows it needs from
+//    whichever devices hold them (halo redistribution). Its own rows are
+//    free; remote rows pay transmission + both endpoints' I/O overheads.
+//  * Transfers share the medium max-min fairly: concurrent streams through
+//    different shaped links proceed in parallel (the router backbone is
+//    fast), while streams contending for one endpoint's radio split its
+//    capacity (fluid progressive-filling scheduler).
+//  * A device starts computing volume l when all its inputs arrived and it
+//    finished volume l-1; compute time is the sum of per-(sub-)layer
+//    latencies from its LatencyModel (rx/tx threads overlap with compute on
+//    *other* messages, which this event structure captures naturally).
+//  * The FC tail runs undivided on the device with the largest share of the
+//    last volume; the final result returns to the requester. Without an FC
+//    tail the conv output is gathered at the requester.
+//
+// The per-volume `step()` API exposes exactly the accumulated latencies
+// T^l that OSDS uses as its MDP state.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cnn/layer_volume.hpp"
+#include "cnn/model.hpp"
+#include "cnn/vsl.hpp"
+#include "device/latency_model.hpp"
+#include "net/network.hpp"
+
+namespace de::sim {
+
+/// Latency models of the service providers, indexed by device id.
+using ClusterLatency = std::vector<std::shared_ptr<const device::LatencyModel>>;
+
+/// A fully-resolved strategy in simulator terms.
+struct RawStrategy {
+  std::vector<cnn::LayerVolume> volumes;
+  /// cuts[l] is the cumulative cut vector of volume l (size n_devices + 1).
+  std::vector<std::vector<int>> cuts;
+};
+
+struct ExecOptions {
+  Seconds start_s = 0.0;  ///< stream time at which this image starts
+};
+
+struct ExecBreakdown {
+  Ms total_ms = 0;                      ///< end-to-end (result at requester)
+  std::vector<Ms> device_compute_ms;    ///< total compute busy per device
+  std::vector<Ms> device_tx_ms;         ///< total transfer busy per device
+  Bytes bytes_transmitted = 0;          ///< all transfers, including gather
+  Ops ops_executed = 0;                 ///< includes halo recompute + FC
+  /// accumulated[l][i]: completion time of device i after volume l (T^l).
+  std::vector<std::vector<Ms>> accumulated;
+  int fc_device = -1;                   ///< device that ran the FC tail (-1 none)
+};
+
+/// Step-by-step execution of a partition scheme (used by the OSDS MDP env
+/// and by `execute_strategy`).
+class StrategyExecution {
+ public:
+  StrategyExecution(const cnn::CnnModel& model, std::vector<cnn::LayerVolume> volumes,
+                    ClusterLatency latency, const net::Network& network,
+                    ExecOptions options = {});
+
+  int num_devices() const { return static_cast<int>(latency_.size()); }
+  int num_volumes() const { return static_cast<int>(volumes_.size()); }
+  /// Index of the volume the next step() will execute.
+  int next_volume() const { return step_; }
+  bool done() const { return step_ >= num_volumes(); }
+
+  /// Output height of the last layer of the upcoming volume.
+  int upcoming_height() const;
+  /// Last layer of the upcoming volume (for the MDP state features).
+  const cnn::LayerConfig& upcoming_last_layer() const;
+
+  /// Executes the next volume with the given cumulative cuts
+  /// (size num_devices()+1, cuts.front()==0, cuts.back()==H, sorted).
+  /// Returns accumulated per-device completion times T^l in ms.
+  const std::vector<Ms>& step(std::span<const int> cuts);
+
+  /// FC tail + result gather; returns end-to-end latency. Call once, after
+  /// all volumes are stepped.
+  Ms finish();
+
+  /// Valid after finish().
+  const ExecBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  struct TransferRequest {
+    int src;  ///< endpoint id (kRequester allowed)
+    int dst;
+    Bytes bytes;
+    Ms ready_ms;  ///< earliest time the data exists at src
+  };
+
+  struct TransferOutcome {
+    std::vector<Ms> arrival;   ///< per device: completion of its last inbound
+    Ms requester_arrival = 0;  ///< completion of the last inbound at requester
+  };
+
+  /// Max-min-fair fluid scheduling of a batch of transfers over the endpoint
+  /// capacities (see .cpp for the model); returns per-destination completion
+  /// times and updates the breakdown accounting.
+  TransferOutcome run_transfers(std::vector<TransferRequest> requests);
+
+  const cnn::CnnModel& model_;
+  std::vector<cnn::LayerVolume> volumes_;
+  ClusterLatency latency_;
+  const net::Network& network_;
+  ExecOptions options_;
+
+  int step_ = 0;
+  bool finished_ = false;
+  std::vector<Ms> device_done_;            ///< completion of last computed volume
+  std::vector<cnn::RowInterval> held_;     ///< rows of the last volume output held
+  ExecBreakdown breakdown_;
+};
+
+/// Convenience: run a complete strategy, return the breakdown.
+ExecBreakdown execute_strategy(const cnn::CnnModel& model, const RawStrategy& strategy,
+                               const ClusterLatency& latency,
+                               const net::Network& network, ExecOptions options = {});
+
+/// Validates a cumulative cut vector against a height / device count.
+void validate_cuts(std::span<const int> cuts, int n_devices, int height);
+
+}  // namespace de::sim

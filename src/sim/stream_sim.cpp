@@ -1,0 +1,59 @@
+#include "sim/stream_sim.hpp"
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+
+namespace de::sim {
+
+StreamResult stream_images(const cnn::CnnModel& model, const RawStrategy& strategy,
+                           const ClusterLatency& latency, const net::Network& network,
+                           const StreamOptions& options) {
+  return stream_with_replanning(model, strategy, latency, network, options,
+                                [](Seconds) { return std::nullopt; });
+}
+
+StreamResult stream_with_replanning(const cnn::CnnModel& model,
+                                    const RawStrategy& initial,
+                                    const ClusterLatency& latency,
+                                    const net::Network& network,
+                                    const StreamOptions& options,
+                                    const ReplanCallback& replan) {
+  DE_REQUIRE(options.n_images >= 1, "need at least one image");
+  StreamResult result;
+  result.per_image_ms.reserve(static_cast<std::size_t>(options.n_images));
+  result.image_start_s.reserve(static_cast<std::size_t>(options.n_images));
+
+  RawStrategy current = initial;
+  std::optional<StrategyUpdate> pending;
+  Seconds now = options.start_s;
+  Seconds next_poll = options.start_s;
+
+  for (int k = 0; k < options.n_images; ++k) {
+    if (now >= next_poll) {
+      // One replanning job at a time: while an update is pending (the
+      // planner is "still computing"), do not start another one — otherwise
+      // frequent polls would push available_at out forever.
+      if (!pending) {
+        if (auto update = replan(now)) pending = std::move(update);
+      }
+      next_poll += options.replan_poll_s;
+    }
+    if (pending && now >= pending->available_at) {
+      current = std::move(pending->strategy);
+      pending.reset();
+    }
+    ExecOptions eo;
+    eo.start_s = now;
+    const ExecBreakdown b = execute_strategy(model, current, latency, network, eo);
+    result.per_image_ms.push_back(b.total_ms);
+    result.image_start_s.push_back(now);
+    now += ms_to_s(b.total_ms);
+  }
+
+  result.mean_ms = mean(result.per_image_ms);
+  const Seconds elapsed = now - options.start_s;
+  result.ips = static_cast<double>(options.n_images) / elapsed;
+  return result;
+}
+
+}  // namespace de::sim

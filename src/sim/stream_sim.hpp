@@ -1,0 +1,54 @@
+// Streaming evaluation (paper §V-A): images are streamed one at a time —
+// image k+1 leaves the requester only after the result of image k returned —
+// over trace time, yielding the images-per-second (IPS) metric.
+//
+// `stream_with_replanning` additionally models online strategy updates
+// (paper §V-F): a callback is polled periodically with the current stream
+// time; it may hand back a new strategy together with the wall-clock moment
+// it becomes available (planning takes time — the old strategy keeps
+// serving until then).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "sim/exec_sim.hpp"
+
+namespace de::sim {
+
+struct StreamOptions {
+  int n_images = 5000;       ///< paper streams 5000 images
+  Seconds start_s = 0.0;
+  Seconds replan_poll_s = 60.0;  ///< how often the replan callback is polled
+};
+
+struct StreamResult {
+  double ips = 0;
+  Ms mean_ms = 0;
+  std::vector<Ms> per_image_ms;
+  std::vector<Seconds> image_start_s;
+};
+
+StreamResult stream_images(const cnn::CnnModel& model, const RawStrategy& strategy,
+                           const ClusterLatency& latency, const net::Network& network,
+                           const StreamOptions& options = {});
+
+/// A strategy update produced by an online planner: usable from
+/// `available_at` (stream seconds) onwards.
+struct StrategyUpdate {
+  RawStrategy strategy;
+  Seconds available_at = 0.0;
+};
+
+/// Callback polled every `replan_poll_s` of stream time. Arguments: current
+/// stream time. Return a pending update, or nullopt to keep the current one.
+using ReplanCallback = std::function<std::optional<StrategyUpdate>(Seconds now)>;
+
+StreamResult stream_with_replanning(const cnn::CnnModel& model,
+                                    const RawStrategy& initial,
+                                    const ClusterLatency& latency,
+                                    const net::Network& network,
+                                    const StreamOptions& options,
+                                    const ReplanCallback& replan);
+
+}  // namespace de::sim

@@ -1,0 +1,169 @@
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/linear_model.hpp"
+#include "baselines/registry.hpp"
+#include "experiments/scenarios.hpp"
+#include "common/require.hpp"
+
+namespace de::baselines {
+namespace {
+
+experiments::BuiltScenario scenario() {
+  return experiments::build(experiments::group_DC(100.0));  // all four types
+}
+
+TEST(Waterfill, BalancesAffineCosts) {
+  // Two identical devices: equal shares.
+  const auto equal = waterfill_shares(100, {0.0, 0.0}, {1.0, 1.0});
+  EXPECT_EQ(equal, (std::vector<int>{50, 50}));
+  // 3x faster device gets 3x rows.
+  const auto fast = waterfill_shares(100, {0.0, 0.0}, {1.0, 3.0});
+  EXPECT_EQ(fast, (std::vector<int>{75, 25}));
+}
+
+TEST(Waterfill, ExpensiveDeviceGetsNothing) {
+  // Device with a huge intercept cannot pay off within the water level.
+  const auto shares = waterfill_shares(10, {0.0, 1000.0}, {1.0, 1.0});
+  EXPECT_EQ(shares, (std::vector<int>{10, 0}));
+}
+
+TEST(Waterfill, InterceptsShiftShares) {
+  const auto shares = waterfill_shares(100, {10.0, 0.0}, {1.0, 1.0});
+  EXPECT_LT(shares[0], shares[1]);
+  EXPECT_EQ(shares[0] + shares[1], 100);
+}
+
+TEST(Waterfill, Validation) {
+  EXPECT_THROW(waterfill_shares(0, {0.0}, {1.0}), Error);
+  EXPECT_THROW(waterfill_shares(10, {0.0}, {0.0}), Error);
+  EXPECT_THROW(waterfill_shares(10, {0.0, 0.0}, {1.0}), Error);
+}
+
+TEST(Linearize, RecoversAffineDevice) {
+  const auto pi3 = device::make_latency_model(device::DeviceType::kPi3);
+  const auto layer = cnn::LayerConfig::conv(64, 64, 8, 8, 3, 1, 1);
+  const auto cost = linearize(*pi3, layer);
+  EXPECT_GT(cost.slope_ms_per_row, 0.0);
+  // Pi3: latency = 1.0 + ops/rate, affine in rows -> intercept ~= 1 ms.
+  EXPECT_NEAR(cost.intercept_ms, 1.0, 0.2);
+  const double predicted = cost.intercept_ms + cost.slope_ms_per_row * 17;
+  EXPECT_NEAR(predicted, pi3->layer_ms(layer, 17), 0.05 * predicted);
+}
+
+class EveryPlanner : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryPlanner, ProducesValidEvaluableStrategy) {
+  const auto built = scenario();
+  const auto ctx = built.context();
+  core::DistrEdgeConfig config;
+  config.osds.max_episodes = 30;  // keep DistrEdge quick in this sweep
+  auto planner = make_planner(GetParam(), config);
+  EXPECT_EQ(planner->name(), GetParam());
+  const auto strategy = planner->plan(ctx);
+  EXPECT_NO_THROW(strategy.validate(*ctx.model, ctx.num_devices()));
+  const auto b = core::evaluate_strategy(ctx, strategy);
+  EXPECT_GT(b.total_ms, 0.0);
+  EXPECT_LT(b.total_ms, 60'000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryPlanner,
+                         ::testing::ValuesIn(figure_planner_names()));
+
+TEST(Registry, UnknownPlannerThrows) {
+  EXPECT_THROW(make_planner("SkyNet"), Error);
+  EXPECT_EQ(figure_planner_names().size(), 8u);
+}
+
+TEST(CoEdge, LayerByLayerBoundaries) {
+  const auto built = scenario();
+  CoEdgePlanner planner;
+  const auto s = planner.plan(built.context());
+  EXPECT_EQ(s.boundaries.size(),
+            static_cast<std::size_t>(built.model.num_layers()) + 1);
+}
+
+TEST(MoDnnAndMeDnn, LayerByLayerToo) {
+  const auto built = scenario();
+  EXPECT_EQ(MoDnnPlanner().plan(built.context()).boundaries.size(),
+            static_cast<std::size_t>(built.model.num_layers()) + 1);
+  EXPECT_EQ(MeDnnPlanner().plan(built.context()).boundaries.size(),
+            static_cast<std::size_t>(built.model.num_layers()) + 1);
+}
+
+TEST(MoDnn, SharesFollowCapability) {
+  const auto built = scenario();  // Xavier, TX2, Nano, Pi3
+  const auto s = MoDnnPlanner().plan(built.context());
+  // In every layer the Xavier share >= Nano share >= Pi3 share.
+  for (const auto& split : s.splits) {
+    const int xavier = split.cuts[1] - split.cuts[0];
+    const int nano = split.cuts[3] - split.cuts[2];
+    const int pi3 = split.cuts[4] - split.cuts[3];
+    EXPECT_GE(xavier, nano);
+    EXPECT_GE(nano, pi3);
+  }
+}
+
+TEST(DeepThings, OneFusedVolumeEqualSplit) {
+  const auto built = scenario();
+  const auto s = DeepThingsPlanner().plan(built.context());
+  EXPECT_EQ(s.boundaries, (std::vector<int>{0, built.model.num_layers()}));
+  const auto& cuts = s.splits[0].cuts;
+  const int h = built.model.layers().back().out_h();
+  for (std::size_t i = 1; i < cuts.size(); ++i) {
+    EXPECT_NEAR(cuts[i] - cuts[i - 1], h / 4.0, 1.0);
+  }
+}
+
+TEST(DeeperThings, BoundariesAtReductions) {
+  const auto built = scenario();
+  const auto bounds = reduction_boundaries(built.model);
+  EXPECT_GT(bounds.size(), 2u);
+  const auto s = DeeperThingsPlanner().plan(built.context());
+  EXPECT_EQ(s.boundaries, bounds);
+  // VGG-16: blocks end after pool1..pool4 (pool5 is the final layer, which
+  // closes the last block) -> 5 volumes.
+  EXPECT_EQ(s.splits.size(), 5u);
+}
+
+TEST(Aofl, RespectsMaxVolumes) {
+  const auto built = scenario();
+  AoflPlanner planner(3);
+  const auto s = planner.plan(built.context());
+  EXPECT_LE(s.splits.size(), 3u);
+  EXPECT_GE(s.splits.size(), 1u);
+}
+
+TEST(Aofl, PrunedSearchMatchesItself) {
+  const auto built = scenario();
+  AoflPlanner a(3), b(3);
+  EXPECT_EQ(a.plan(built.context()).boundaries, b.plan(built.context()).boundaries);
+}
+
+TEST(Offload, PicksTheFastestDevice) {
+  const auto built = scenario();  // device 0 is the Xavier
+  const auto s = OffloadPlanner().plan(built.context());
+  EXPECT_EQ(s.splits[0].cuts[1] - s.splits[0].cuts[0],
+            built.model.layers().back().out_h());
+}
+
+TEST(Pi3, GetsEmptyShareFromLinearPlanners) {
+  // Paper §VI-2: the Pi3 in Group-DC ends up with no work under sensible
+  // planners because of its intercept + slope.
+  const auto built = scenario();
+  const auto s = MeDnnPlanner().plan(built.context());
+  int pi3_rows = 0;
+  for (const auto& split : s.splits) {
+    pi3_rows += split.cuts[4] - split.cuts[3];
+  }
+  const int total = [&] {
+    int t = 0;
+    for (const auto& split : s.splits) t += split.cuts.back();
+    return t;
+  }();
+  EXPECT_LT(pi3_rows, total / 20);  // well under 5% of all rows
+}
+
+}  // namespace
+}  // namespace de::baselines

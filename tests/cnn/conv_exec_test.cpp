@@ -1,0 +1,178 @@
+// Numerical ground truth for the Vertical-Splitting Law: executing a volume
+// as stitched split-parts (each given only its required input rows) must be
+// bit-identical to the unsplit forward pass.
+#include "cnn/conv_exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/layer_volume.hpp"
+#include "cnn/model.hpp"
+#include "common/require.hpp"
+
+namespace de::cnn {
+namespace {
+
+Tensor random_input(int h, int w, int c, Rng& rng) {
+  Tensor t(h, w, c);
+  for (auto& v : t.data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+CnnModel mini_model() {
+  return ModelBuilder("mini", 24, 24, 3)
+      .conv_same(6, 3)
+      .conv_same(6, 3)
+      .maxpool(2, 2)
+      .conv_same(12, 3)
+      .conv(12, 3, 2, 1)
+      .build();
+}
+
+std::vector<ConvWeights> weights_for(const CnnModel& m, Rng& rng) {
+  std::vector<ConvWeights> weights;
+  for (const auto& l : m.layers()) {
+    weights.push_back(l.kind == LayerKind::kConv ? ConvWeights::random(l, rng)
+                                                 : ConvWeights{});
+  }
+  return weights;
+}
+
+TEST(ConvExec, FullConvMatchesHandComputedCell) {
+  // 1x1 input extents keep the arithmetic checkable by hand.
+  const auto l = LayerConfig::conv(3, 3, 1, 1, 3, 1, 1, /*relu=*/false);
+  Tensor in(3, 3, 1);
+  for (int y = 0; y < 3; ++y)
+    for (int x = 0; x < 3; ++x) in.at(y, x, 0) = static_cast<float>(y * 3 + x + 1);
+  ConvWeights w;
+  w.weights.assign(9, 1.0f);  // box filter
+  w.bias.assign(1, 0.5f);
+  const auto out = conv_forward(l, in, w);
+  // Centre cell: sum of all inputs (1..9 = 45) + bias.
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 45.5f);
+  // Corner cell: 1+2+4+5 + bias (padding contributes zeros).
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 12.5f);
+}
+
+TEST(ConvExec, ReluClamps) {
+  const auto l = LayerConfig::conv(2, 2, 1, 1, 1, 1, 0, /*relu=*/true);
+  Tensor in(2, 2, 1);
+  in.at(0, 0, 0) = -5.0f;
+  in.at(1, 1, 0) = 3.0f;
+  ConvWeights w;
+  w.weights.assign(1, 1.0f);
+  w.bias.assign(1, 0.0f);
+  const auto out = conv_forward(l, in, w);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 3.0f);
+}
+
+TEST(ConvExec, MaxPoolPicksMaxima) {
+  const auto p = LayerConfig::maxpool(4, 4, 1, 2, 2);
+  Tensor in(4, 4, 1);
+  for (int y = 0; y < 4; ++y)
+    for (int x = 0; x < 4; ++x) in.at(y, x, 0) = static_cast<float>(y * 4 + x);
+  const auto out = maxpool_forward(p, in);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(1, 1, 0), 15.0f);
+}
+
+TEST(ConvExec, RowSliceMatchesFullLayer) {
+  Rng rng(1);
+  const auto l = LayerConfig::conv(16, 16, 3, 5, 3, 1, 1);
+  const auto in = random_input(16, 16, 3, rng);
+  const auto w = ConvWeights::random(l, rng);
+  const auto full = conv_forward(l, in, w);
+
+  const RowInterval out_rows{5, 11};
+  const auto need = input_rows_for(l, out_rows);
+  Tensor crop(need.size(), 16, 3);
+  for (int y = need.begin; y < need.end; ++y)
+    for (int x = 0; x < 16; ++x)
+      for (int c = 0; c < 3; ++c) crop.at(y - need.begin, x, c) = in.at(y, x, c);
+
+  const auto part = conv_forward_rows(l, crop, need.begin, out_rows, w);
+  ASSERT_EQ(part.h, out_rows.size());
+  for (int y = 0; y < part.h; ++y)
+    for (int x = 0; x < 16; ++x)
+      for (int c = 0; c < 5; ++c)
+        EXPECT_FLOAT_EQ(part.at(y, x, c), full.at(y + out_rows.begin, x, c));
+}
+
+struct SplitCase {
+  int n_parts;
+  int first_layer;
+  int last_layer;  // volume = [first_layer, last_layer)
+};
+
+class VolumeSplitEquivalence : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(VolumeSplitEquivalence, StitchedPartsEqualFullForward) {
+  const auto c = GetParam();
+  Rng rng(7);
+  const auto m = mini_model();
+  const auto in_full = random_input(m.input_h(), m.input_w(), m.input_c(), rng);
+  const auto weights = weights_for(m, rng);
+
+  // Reference: full forward through the whole model.
+  std::span<const LayerConfig> all_layers(m.layers());
+  std::span<const ConvWeights> all_weights(weights);
+  Tensor volume_input = in_full;
+  if (c.first_layer > 0) {
+    volume_input = volume_forward(all_layers.subspan(0, c.first_layer), in_full,
+                                  all_weights.subspan(0, c.first_layer));
+  }
+  const auto layers = all_layers.subspan(c.first_layer, c.last_layer - c.first_layer);
+  const auto wts = all_weights.subspan(c.first_layer, c.last_layer - c.first_layer);
+  const auto reference = volume_forward(layers, volume_input, wts);
+
+  // Distributed: n_parts split-parts stitched back together.
+  const int height = layers.back().out_h();
+  Tensor stitched(reference.h, reference.w, reference.c);
+  for (int p = 0; p < c.n_parts; ++p) {
+    const RowInterval part{height * p / c.n_parts, height * (p + 1) / c.n_parts};
+    if (part.empty()) continue;
+    const auto need = required_input_rows(layers, part);
+    Tensor crop(need.size(), volume_input.w, volume_input.c);
+    for (int y = need.begin; y < need.end; ++y)
+      for (int x = 0; x < volume_input.w; ++x)
+        for (int ch = 0; ch < volume_input.c; ++ch)
+          crop.at(y - need.begin, x, ch) = volume_input.at(y, x, ch);
+    const auto out = volume_forward_rows(layers, crop, need.begin, part, wts);
+    for (int y = 0; y < out.h; ++y)
+      for (int x = 0; x < out.w; ++x)
+        for (int ch = 0; ch < out.c; ++ch)
+          stitched.at(y + part.begin, x, ch) = out.at(y, x, ch);
+  }
+  ASSERT_EQ(stitched.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(stitched.data[i], reference.data[i]) << "mismatch at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VolumeSplitEquivalence,
+    ::testing::Values(SplitCase{2, 0, 2},   // two convs, 2 parts
+                      SplitCase{3, 0, 3},   // conv conv pool
+                      SplitCase{4, 0, 5},   // the whole model, 4 parts
+                      SplitCase{2, 2, 5},   // pool conv strided-conv
+                      SplitCase{5, 0, 5},   // more parts than some heights
+                      SplitCase{3, 3, 5},   // tail volume
+                      SplitCase{7, 0, 4},   // uneven small parts
+                      SplitCase{1, 0, 5})); // degenerate single part
+
+TEST(ConvExec, CropTooSmallRejected) {
+  Rng rng(3);
+  const auto l = LayerConfig::conv(8, 8, 2, 2, 3, 1, 1);
+  const auto w = ConvWeights::random(l, rng);
+  Tensor crop(2, 8, 2);  // needs 4 rows for out rows {2,5}
+  EXPECT_THROW(conv_forward_rows(l, crop, 1, RowInterval{2, 5}, w), Error);
+}
+
+TEST(ConvExec, WeightsForPoolRejected) {
+  Rng rng(3);
+  const auto p = LayerConfig::maxpool(8, 8, 2, 2, 2);
+  EXPECT_THROW(ConvWeights::random(p, rng), Error);
+}
+
+}  // namespace
+}  // namespace de::cnn

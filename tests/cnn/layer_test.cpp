@@ -1,0 +1,103 @@
+#include "cnn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+namespace {
+
+TEST(Layer, ConvOutputExtents) {
+  const auto l = LayerConfig::conv(224, 224, 3, 64, 3, 1, 1);
+  EXPECT_EQ(l.out_w(), 224);
+  EXPECT_EQ(l.out_h(), 224);
+  const auto strided = LayerConfig::conv(224, 224, 3, 64, 7, 2, 3);
+  EXPECT_EQ(strided.out_h(), 112);
+  const auto valid = LayerConfig::conv(32, 32, 8, 16, 5, 1, 0);
+  EXPECT_EQ(valid.out_h(), 28);
+}
+
+TEST(Layer, PoolOutputExtents) {
+  const auto p = LayerConfig::maxpool(224, 224, 64, 2, 2);
+  EXPECT_EQ(p.out_h(), 112);
+  EXPECT_EQ(p.out_c, 64);
+  const auto odd = LayerConfig::maxpool(75, 75, 8, 2, 2);
+  EXPECT_EQ(odd.out_h(), 37);  // floor semantics
+}
+
+TEST(Layer, ConvOpsFormula) {
+  const auto l = LayerConfig::conv(10, 10, 4, 8, 3, 1, 1);
+  // 2 * H * W * Cout * Cin * K * K
+  EXPECT_EQ(l.ops(), 2LL * 10 * 10 * 8 * 4 * 3 * 3);
+  EXPECT_EQ(l.ops_for_rows(1), l.ops() / 10);
+  EXPECT_EQ(l.ops_for_rows(0), 0);
+}
+
+TEST(Layer, PoolOpsFormula) {
+  const auto p = LayerConfig::maxpool(10, 10, 4, 2, 2);
+  EXPECT_EQ(p.ops(), 1LL * 5 * 5 * 4 * 2 * 2);
+}
+
+TEST(Layer, BytesFormulas) {
+  const auto l = LayerConfig::conv(16, 20, 4, 8, 3, 1, 1);
+  EXPECT_EQ(l.input_bytes(), 20LL * 16 * 4 * kBytesPerElement);
+  EXPECT_EQ(l.output_bytes(), 20LL * 16 * 8 * kBytesPerElement);
+  EXPECT_EQ(l.input_bytes_for_rows(3), 3LL * 16 * 4 * kBytesPerElement);
+  EXPECT_EQ(l.output_bytes_for_rows(0), 0);
+  EXPECT_EQ(l.weight_bytes(), (8LL * 4 * 9 + 8) * kBytesPerElement);
+}
+
+TEST(Layer, PoolHasNoWeights) {
+  EXPECT_EQ(LayerConfig::maxpool(8, 8, 2, 2, 2).weight_bytes(), 0);
+}
+
+TEST(Layer, ValidationRejectsBadConfigs) {
+  EXPECT_THROW(LayerConfig::conv(0, 10, 3, 8, 3, 1, 1), Error);
+  EXPECT_THROW(LayerConfig::conv(10, 10, 3, 0, 3, 1, 1), Error);
+  EXPECT_THROW(LayerConfig::conv(10, 10, 3, 8, 0, 1, 1), Error);
+  EXPECT_THROW(LayerConfig::conv(10, 10, 3, 8, 3, 0, 1), Error);
+  EXPECT_THROW(LayerConfig::conv(10, 10, 3, 8, 3, 1, -1), Error);
+  // Kernel larger than padded input.
+  EXPECT_THROW(LayerConfig::conv(4, 4, 3, 8, 7, 1, 0), Error);
+}
+
+TEST(Layer, FcOpsAndBytes) {
+  FcConfig fc;
+  fc.in_features = 100;
+  fc.out_features = 10;
+  EXPECT_EQ(fc.ops(), 2000);
+  EXPECT_EQ(fc.output_bytes(), 10 * kBytesPerElement);
+  EXPECT_EQ(fc.weight_bytes(), (100LL * 10 + 10) * kBytesPerElement);
+}
+
+TEST(Layer, KindNames) {
+  EXPECT_STREQ(to_string(LayerKind::kConv), "conv");
+  EXPECT_STREQ(to_string(LayerKind::kMaxPool), "maxpool");
+}
+
+struct ExtentCase {
+  int in, k, s, p, expect;
+};
+
+class ConvExtentSweep : public ::testing::TestWithParam<ExtentCase> {};
+
+TEST_P(ConvExtentSweep, MatchesFormula) {
+  const auto c = GetParam();
+  const auto l = LayerConfig::conv(c.in, c.in, 3, 4, c.k, c.s, c.p);
+  EXPECT_EQ(l.out_h(), c.expect);
+  EXPECT_EQ(l.out_w(), c.expect);
+  EXPECT_GE(l.out_h(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Extents, ConvExtentSweep,
+                         ::testing::Values(ExtentCase{224, 3, 1, 1, 224},
+                                           ExtentCase{224, 3, 2, 1, 112},
+                                           ExtentCase{299, 3, 2, 0, 149},
+                                           ExtentCase{147, 3, 1, 0, 145},
+                                           ExtentCase{112, 5, 1, 2, 112},
+                                           ExtentCase{56, 7, 1, 3, 56},
+                                           ExtentCase{16, 3, 2, 1, 8},
+                                           ExtentCase{7, 7, 1, 3, 7}));
+
+}  // namespace
+}  // namespace de::cnn

@@ -1,0 +1,99 @@
+#include "cnn/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+namespace {
+
+CnnModel tiny() {
+  return ModelBuilder("tiny", 32, 32, 3)
+      .conv_same(8, 3)
+      .maxpool(2, 2)
+      .conv_same(16, 3)
+      .fc(10)
+      .build();
+}
+
+TEST(Model, BuilderChainsExtents) {
+  const auto m = tiny();
+  EXPECT_EQ(m.num_layers(), 3);
+  EXPECT_EQ(m.layer(0).in_h, 32);
+  EXPECT_EQ(m.layer(1).in_h, 32);
+  EXPECT_EQ(m.layer(1).in_c, 8);
+  EXPECT_EQ(m.layer(2).in_h, 16);
+  EXPECT_EQ(m.layer(2).in_c, 8);
+  EXPECT_EQ(m.layer(2).out_c, 16);
+}
+
+TEST(Model, FcTailChains) {
+  const auto m = tiny();
+  ASSERT_EQ(m.fc_tail().size(), 1u);
+  EXPECT_EQ(m.fc_tail()[0].in_features, 16 * 16 * 16);
+  EXPECT_EQ(m.fc_tail()[0].out_features, 10);
+  EXPECT_EQ(m.result_bytes(), 10 * kBytesPerElement);
+}
+
+TEST(Model, ResultBytesWithoutFcIsLastOutput) {
+  const auto m = ModelBuilder("noFC", 8, 8, 2).conv_same(4, 3).build();
+  EXPECT_EQ(m.result_bytes(), 8LL * 8 * 4 * kBytesPerElement);
+}
+
+TEST(Model, OpsTotals) {
+  const auto m = tiny();
+  Ops conv = 0;
+  for (const auto& l : m.layers()) conv += l.ops();
+  EXPECT_EQ(m.conv_chain_ops(), conv);
+  EXPECT_EQ(m.total_ops(), conv + m.fc_tail()[0].ops());
+}
+
+TEST(Model, SliceBounds) {
+  const auto m = tiny();
+  EXPECT_EQ(m.slice(0, 2).size(), 2u);
+  EXPECT_EQ(m.slice(1, 3).size(), 2u);
+  EXPECT_THROW(m.slice(2, 2), Error);
+  EXPECT_THROW(m.slice(-1, 2), Error);
+  EXPECT_THROW(m.slice(0, 4), Error);
+}
+
+TEST(Model, ValidateRejectsBrokenChain) {
+  auto good = tiny();
+  std::vector<LayerConfig> layers(good.layers().begin(), good.layers().end());
+  layers[1].in_c = 99;  // break the chain
+  EXPECT_THROW(CnnModel("broken", layers, {}), Error);
+}
+
+TEST(Model, ValidateRejectsBrokenFc) {
+  auto good = tiny();
+  std::vector<FcConfig> fc(good.fc_tail().begin(), good.fc_tail().end());
+  fc[0].in_features = 1;
+  EXPECT_THROW(CnnModel("broken",
+                        std::vector<LayerConfig>(good.layers().begin(),
+                                                 good.layers().end()),
+                        fc),
+               Error);
+}
+
+TEST(Model, EmptyModelRejected) {
+  EXPECT_THROW(CnnModel("empty", {}, {}), Error);
+}
+
+TEST(Model, ConvAfterFcRejected) {
+  ModelBuilder b("bad", 8, 8, 3);
+  b.conv_same(4, 3).fc(10);
+  EXPECT_THROW(b.conv_same(4, 3), Error);
+}
+
+TEST(Model, ConvSameRequiresOddKernel) {
+  ModelBuilder b("bad", 8, 8, 3);
+  EXPECT_THROW(b.conv_same(4, 2), Error);
+}
+
+TEST(Model, InputBytes) {
+  const auto m = tiny();
+  EXPECT_EQ(m.input_bytes(), 32LL * 32 * 3 * kBytesPerElement);
+}
+
+}  // namespace
+}  // namespace de::cnn

@@ -1,0 +1,92 @@
+#include "cnn/model_zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+namespace {
+
+class ZooModel : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooModel, ValidatesAndHasSaneShape) {
+  const auto m = model_by_name(GetParam());
+  EXPECT_EQ(m.name(), GetParam());
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_GE(m.num_layers(), 10);
+  // Every model in the zoo is at least a GFLOP of work.
+  EXPECT_GT(m.total_ops(), 1'000'000'000LL);
+  // Final spatial extent is much smaller than the input (full backbones;
+  // OpenPose stays at stride 8 -> 46 rows).
+  EXPECT_LE(m.layers().back().out_h(), 64);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooModel, ::testing::ValuesIn(zoo_names()));
+
+TEST(ModelZoo, Vgg16Shape) {
+  const auto m = vgg16();
+  EXPECT_EQ(m.num_layers(), 18);  // 13 conv + 5 pool
+  EXPECT_EQ(m.input_h(), 224);
+  EXPECT_EQ(m.layers().back().out_h(), 7);
+  EXPECT_EQ(m.fc_tail().size(), 3u);
+  EXPECT_EQ(m.fc_tail().back().out_features, 1000);
+  // The canonical VGG-16 conv stack is ~30.7 GFLOPs (2*MACs).
+  EXPECT_NEAR(static_cast<double>(m.conv_chain_ops()), 30.7e9, 0.5e9);
+}
+
+TEST(ModelZoo, ResNet50Shape) {
+  const auto m = resnet50();
+  EXPECT_EQ(m.input_h(), 224);
+  EXPECT_EQ(m.fc_tail().size(), 1u);
+  EXPECT_EQ(m.layers().back().out_c, 2048);
+  // 16 bottlenecks x 3 convs + stem conv + pool = 50 layers.
+  EXPECT_EQ(m.num_layers(), 50);
+}
+
+TEST(ModelZoo, InceptionV3Shape) {
+  const auto m = inception_v3();
+  EXPECT_EQ(m.input_h(), 299);
+  EXPECT_EQ(m.layers().back().out_h(), 8);
+  EXPECT_EQ(m.layers().back().out_c, 2048);
+}
+
+TEST(ModelZoo, Yolov2HasNoFcTail) {
+  const auto m = yolov2();
+  EXPECT_EQ(m.input_h(), 416);
+  EXPECT_TRUE(m.fc_tail().empty());
+  EXPECT_EQ(m.layers().back().out_c, 425);
+  EXPECT_EQ(m.layers().back().out_h(), 13);
+}
+
+TEST(ModelZoo, SsdVariantsHaveNoFcTail) {
+  EXPECT_TRUE(ssd_vgg16().fc_tail().empty());
+  EXPECT_TRUE(ssd_resnet50().fc_tail().empty());
+  EXPECT_EQ(ssd_vgg16().input_h(), 300);
+  EXPECT_EQ(ssd_resnet50().input_h(), 300);
+}
+
+TEST(ModelZoo, OpenPoseOutputsPafsAndHeatmaps) {
+  const auto m = openpose();
+  EXPECT_EQ(m.input_h(), 368);
+  EXPECT_EQ(m.layers().back().out_c, 57);  // 38 PAFs + 19 heatmaps
+}
+
+TEST(ModelZoo, VoxelnetBevInput) {
+  const auto m = voxelnet();
+  EXPECT_EQ(m.input_c(), 128);
+  EXPECT_TRUE(m.fc_tail().empty());
+}
+
+TEST(ModelZoo, UnknownNameThrows) {
+  EXPECT_THROW(model_by_name("alexnet"), Error);
+}
+
+TEST(ModelZoo, ZooNamesRoundTrip) {
+  for (const auto& name : zoo_names()) {
+    EXPECT_EQ(model_by_name(name).name(), name);
+  }
+  EXPECT_EQ(zoo_names().size(), 8u);
+}
+
+}  // namespace
+}  // namespace de::cnn

@@ -1,0 +1,170 @@
+#include "cnn/vsl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model_zoo.hpp"
+#include "common/require.hpp"
+
+namespace de::cnn {
+namespace {
+
+std::vector<LayerConfig> small_volume() {
+  // conv3 s1 p1 -> pool2 s2 -> conv3 s1 p1 on a 32x32 input.
+  CnnModel m = ModelBuilder("v", 32, 32, 4)
+                   .conv_same(8, 3)
+                   .maxpool(2, 2)
+                   .conv_same(8, 3)
+                   .build();
+  return {m.layers().begin(), m.layers().end()};
+}
+
+TEST(RowInterval, BasicOps) {
+  RowInterval a{2, 8};
+  EXPECT_EQ(a.size(), 6);
+  EXPECT_FALSE(a.empty());
+  EXPECT_TRUE((RowInterval{3, 3}.empty()));
+  EXPECT_EQ((a.intersect(RowInterval{5, 10})), (RowInterval{5, 8}));
+  EXPECT_TRUE((a.intersect(RowInterval{9, 12}).empty()));
+  EXPECT_TRUE(a.contains(RowInterval{3, 5}));
+  EXPECT_FALSE(a.contains(RowInterval{0, 5}));
+  EXPECT_TRUE(a.contains(RowInterval{7, 7}));  // empty is contained anywhere
+}
+
+TEST(Vsl, InputRowsInteriorMatchesFormula) {
+  const auto conv = LayerConfig::conv(32, 32, 4, 8, 3, 1, 1);
+  // Interior rows: [a*S - P, (b-1)*S + F - P).
+  // lo = 10*1 - 1 = 9, hi = (20-1)*1 + 3 - 1 = 21.
+  const auto in = input_rows_for(conv, RowInterval{10, 20});
+  EXPECT_EQ(in, (RowInterval{9, 21}));
+}
+
+TEST(Vsl, InputRowsClipsAtBorders) {
+  const auto conv = LayerConfig::conv(32, 32, 4, 8, 3, 1, 1);
+  EXPECT_EQ(input_rows_for(conv, RowInterval{0, 4}), (RowInterval{0, 5}));
+  EXPECT_EQ(input_rows_for(conv, RowInterval{28, 32}), (RowInterval{27, 32}));
+  EXPECT_EQ(input_rows_for(conv, RowInterval{0, 32}), (RowInterval{0, 32}));
+}
+
+TEST(Vsl, InputRowsForPool) {
+  const auto pool = LayerConfig::maxpool(32, 32, 4, 2, 2);
+  EXPECT_EQ(input_rows_for(pool, RowInterval{4, 8}), (RowInterval{8, 16}));
+}
+
+TEST(Vsl, InputRowsEmptyInEmptyOut) {
+  const auto conv = LayerConfig::conv(32, 32, 4, 8, 3, 1, 1);
+  EXPECT_TRUE(input_rows_for(conv, RowInterval{5, 5}).empty());
+}
+
+TEST(Vsl, InputRowsRejectsOutOfRange) {
+  const auto conv = LayerConfig::conv(32, 32, 4, 8, 3, 1, 1);
+  EXPECT_THROW(input_rows_for(conv, RowInterval{0, 33}), Error);
+}
+
+TEST(Vsl, Eq12MatchesIntervalFormForInteriorSplits) {
+  const auto volume = small_volume();
+  // The paper's unclipped recurrence equals the interval width for interior
+  // split-parts (no border clipping, padding ignored): use a single row in
+  // the middle and a padding-free volume.
+  CnnModel nopad = ModelBuilder("np", 64, 64, 2)
+                       .conv(4, 3, 1, 0)
+                       .conv(4, 3, 1, 0)
+                       .maxpool(2, 2)
+                       .build();
+  std::span<const LayerConfig> layers(nopad.layers());
+  const int h_out = nopad.layers().back().out_h();
+  const RowInterval mid{h_out / 2, h_out / 2 + 3};
+  const auto interval = required_input_rows(layers, mid);
+  EXPECT_EQ(interval.size(), vsl_input_height(layers, mid.size()));
+}
+
+TEST(Vsl, Eq12OnVgg16FirstBlock) {
+  const auto vgg = vgg16();
+  const auto layers = vgg.slice(0, 3);  // conv, conv, pool
+  // One output row of pool1 needs (1-1)*2+2 = 2 rows of conv2 output,
+  // (2-1)*1+3 = 4 rows of conv1 output, (4-1)*1+3 = 6 input rows.
+  EXPECT_EQ(vsl_input_height(layers, 1), 6);
+}
+
+TEST(Vsl, PerLayerRowsBackToFront) {
+  const auto volume = small_volume();
+  const auto rows = per_layer_output_rows(volume, RowInterval{4, 10});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[2], (RowInterval{4, 10}));            // conv2 output
+  EXPECT_EQ(rows[1], input_rows_for(volume[2], rows[2]));  // pool output
+  EXPECT_EQ(rows[0], input_rows_for(volume[1], rows[1]));  // conv1 output
+  // Full-height split-part covers everything at every layer.
+  const auto full = per_layer_output_rows(volume, RowInterval{0, 16});
+  EXPECT_EQ(full[0], (RowInterval{0, 32}));
+  EXPECT_EQ(full[1], (RowInterval{0, 16}));
+}
+
+TEST(Vsl, SplitPartOpsFullEqualsLayerSum) {
+  const auto volume = small_volume();
+  Ops expect = 0;
+  for (const auto& l : volume) expect += l.ops();
+  EXPECT_EQ(split_part_ops(volume, RowInterval{0, 16}), expect);
+}
+
+TEST(Vsl, HaloMakesPartsSuperadditive) {
+  const auto volume = small_volume();
+  const Ops full = split_part_ops(volume, RowInterval{0, 16});
+  const Ops a = split_part_ops(volume, RowInterval{0, 8});
+  const Ops b = split_part_ops(volume, RowInterval{8, 16});
+  // Halo rows are computed by both parts: sum exceeds the unsplit volume.
+  EXPECT_GT(a + b, full);
+}
+
+TEST(Vsl, SingleLayerSplitIsExactlyAdditive) {
+  const auto conv = LayerConfig::conv(32, 32, 4, 8, 3, 1, 1);
+  std::vector<LayerConfig> volume{conv};
+  const Ops full = split_part_ops(volume, RowInterval{0, 32});
+  const Ops a = split_part_ops(volume, RowInterval{0, 11});
+  const Ops b = split_part_ops(volume, RowInterval{11, 32});
+  // Output rows of a single layer partition exactly (ops count output rows).
+  EXPECT_EQ(a + b, full);
+}
+
+TEST(Vsl, OpsPerLayerMatchesTotal) {
+  const auto volume = small_volume();
+  const auto per_layer = split_part_ops_per_layer(volume, RowInterval{2, 9});
+  Ops sum = 0;
+  for (Ops o : per_layer) sum += o;
+  EXPECT_EQ(sum, split_part_ops(volume, RowInterval{2, 9}));
+}
+
+TEST(Vsl, DeeperVolumeNeedsMoreInputRows) {
+  const auto vgg = vgg16();
+  const RowInterval one_row{3, 4};
+  int prev = 0;
+  for (int last = 1; last <= 7; ++last) {
+    const auto need = required_input_rows(vgg.slice(0, last),
+                                          RowInterval{0, 1});
+    EXPECT_GE(need.size(), prev);  // receptive field grows with depth
+    prev = need.size();
+  }
+  (void)one_row;
+}
+
+class ZooVolumeVsl : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ZooVolumeVsl, IntervalInvariantsHoldAcrossTheModel) {
+  const auto m = cnn::model_by_name(GetParam());
+  // For every prefix volume, interval propagation stays within extents and
+  // the full-height part always maps to the full input.
+  for (int last = 1; last <= std::min(m.num_layers(), 12); ++last) {
+    const auto layers = m.slice(0, last);
+    const int h = layers.back().out_h();
+    const auto full = required_input_rows(layers, RowInterval{0, h});
+    EXPECT_EQ(full, (RowInterval{0, m.input_h()}));
+    const auto half = required_input_rows(layers, RowInterval{0, (h + 1) / 2});
+    EXPECT_GE(half.size(), (m.input_h() + 1) / 2 - 1);
+    EXPECT_LE(half.end, m.input_h());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, ZooVolumeVsl,
+                         ::testing::Values("vgg16", "resnet50", "yolov2",
+                                           "openpose"));
+
+}  // namespace
+}  // namespace de::cnn

@@ -1,0 +1,61 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+#include "common/units.hpp"
+
+namespace de {
+namespace {
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div(1, 1), 1);
+  EXPECT_THROW(ceil_div(1, 0), Error);
+  EXPECT_THROW(ceil_div(1, -2), Error);
+}
+
+TEST(MathUtil, MeanAndStddev) {
+  std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+}
+
+TEST(MathUtil, MinMax) {
+  std::vector<double> v{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+  EXPECT_THROW(min_of({}), Error);
+  EXPECT_THROW(max_of({}), Error);
+}
+
+TEST(MathUtil, LerpTableInterpolates) {
+  std::vector<double> xs{0.0, 10.0, 20.0};
+  std::vector<double> ys{0.0, 100.0, 110.0};
+  EXPECT_DOUBLE_EQ(lerp_table(xs, ys, 5.0), 50.0);
+  EXPECT_DOUBLE_EQ(lerp_table(xs, ys, 15.0), 105.0);
+  EXPECT_DOUBLE_EQ(lerp_table(xs, ys, 10.0), 100.0);
+}
+
+TEST(MathUtil, LerpTableClampsAtEnds) {
+  std::vector<double> xs{1.0, 2.0};
+  std::vector<double> ys{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(lerp_table(xs, ys, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(lerp_table(xs, ys, 9.0), 20.0);
+}
+
+TEST(MathUtil, LerpTableShapeMismatchThrows) {
+  EXPECT_THROW(lerp_table({1.0}, {1.0, 2.0}, 1.0), Error);
+  EXPECT_THROW(lerp_table({}, {}, 1.0), Error);
+}
+
+TEST(MathUtil, WireMs) {
+  // 1 MB over 8 Mbps = 1 second.
+  EXPECT_NEAR(wire_ms(1'000'000, 8.0), 1000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(wire_ms(0, 100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace de

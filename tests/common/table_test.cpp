@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace de {
+namespace {
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t("demo");
+  t.set_header({"method", "ips"});
+  t.add_row({"CoEdge", "3.1"});
+  t.add_row("DistrEdge", {12.5});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("method"), std::string::npos);
+  EXPECT_NE(out.find("CoEdge"), std::string::npos);
+  EXPECT_NE(out.find("12.50"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t;
+  t.set_header({"a", "b"});
+  t.add_row({"1", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, FmtDoublePrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+  EXPECT_EQ(fmt_double(-1.5, 1), "-1.5");
+}
+
+TEST(Table, NumericRowPrecision) {
+  Table t;
+  t.set_header({"name", "x", "y"});
+  t.add_row("r", {1.234, 5.678}, 1);
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("1.2"), std::string::npos);
+  EXPECT_NE(os.str().find("5.7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace de

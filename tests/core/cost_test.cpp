@@ -1,0 +1,142 @@
+#include "core/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model_zoo.hpp"
+#include "core/strategy.hpp"
+#include "common/require.hpp"
+
+namespace de::core {
+namespace {
+
+cnn::CnnModel model() {
+  return cnn::ModelBuilder("m", 32, 32, 3)
+      .conv_same(8, 3)
+      .maxpool(2, 2)
+      .conv_same(16, 3)
+      .fc(10)
+      .build();
+}
+
+TEST(StrategyTotals, SingleDeviceOpsEqualModelOps) {
+  const auto m = model();
+  const auto s = single_device_strategy(m, 3, 0).to_raw(m);
+  const auto totals = strategy_totals(m, s.volumes, s.cuts);
+  EXPECT_EQ(totals.ops, m.total_ops());
+  // Scatter + fc-result transfers only.
+  EXPECT_EQ(totals.n_transfers, 2);
+  EXPECT_EQ(totals.tx_bytes, m.input_bytes() + m.result_bytes());
+}
+
+TEST(StrategyTotals, PerLayerPartitionHasNoHaloOps) {
+  const auto m = model();
+  const auto volumes = cnn::volumes_from_boundaries({0, 1, 2, 3}, 3);
+  std::vector<std::vector<int>> cuts;
+  for (const auto& v : volumes) {
+    cuts.push_back(equal_split(cnn::volume_out_height(m, v), 2).cuts);
+  }
+  const auto totals = strategy_totals(m, volumes, cuts);
+  // Each layer's output rows partition exactly: no duplicated compute.
+  EXPECT_EQ(totals.ops, m.total_ops());
+}
+
+TEST(StrategyTotals, FusedEqualSplitDuplicatesOps) {
+  const auto m = model();
+  const auto volumes = cnn::volumes_from_boundaries({0, 3}, 3);
+  std::vector<std::vector<int>> cuts{equal_split(16, 2).cuts};
+  const auto totals = strategy_totals(m, volumes, cuts);
+  EXPECT_GT(totals.ops, m.total_ops());  // halo recompute
+}
+
+TEST(StrategyTotals, MoreVolumesMoreTransfers) {
+  const auto m = model();
+  const auto one = strategy_totals(
+      m, cnn::volumes_from_boundaries({0, 3}, 3), {equal_split(16, 2).cuts});
+  const auto volumes = cnn::volumes_from_boundaries({0, 1, 2, 3}, 3);
+  std::vector<std::vector<int>> cuts;
+  for (const auto& v : volumes) {
+    cuts.push_back(equal_split(cnn::volume_out_height(m, v), 2).cuts);
+  }
+  const auto three = strategy_totals(m, volumes, cuts);
+  EXPECT_GT(three.n_transfers, one.n_transfers);
+  EXPECT_GE(three.phases.size(), one.phases.size());
+}
+
+TEST(StrategyTotals, PhasesTrackBusiestEndpoint) {
+  const auto m = model();
+  const auto s = single_device_strategy(m, 2, 0).to_raw(m);
+  const auto totals = strategy_totals(m, s.volumes, s.cuts);
+  ASSERT_EQ(totals.phases.size(), 2u);  // scatter + result
+  EXPECT_EQ(totals.phases[0].max_device_bytes, m.input_bytes());
+  EXPECT_EQ(totals.phases[0].requester_bytes, m.input_bytes());
+  EXPECT_EQ(totals.phases[1].max_device_bytes, m.result_bytes());
+}
+
+TEST(CpScore, OffloadScoresNearOne) {
+  const auto m = model();
+  const auto s = single_device_strategy(m, 2, 0).to_raw(m);
+  // alpha=1: pure transmission, normalised by offload transmission -> ~1.
+  const double t_only = cp_score(m, s.volumes, s.cuts, 1.0);
+  EXPECT_NEAR(t_only, 1.0, 0.15);
+  // alpha=0: pure ops, normalised by model ops -> exactly 1.
+  EXPECT_DOUBLE_EQ(cp_score(m, s.volumes, s.cuts, 0.0), 1.0);
+}
+
+TEST(CpScore, AlphaBlendsMonotonically) {
+  const auto m = model();
+  const auto volumes = cnn::volumes_from_boundaries({0, 3}, 3);
+  std::vector<std::vector<int>> cuts{equal_split(16, 4).cuts};
+  const double a0 = cp_score(m, volumes, cuts, 0.0);
+  const double a5 = cp_score(m, volumes, cuts, 0.5);
+  const double a1 = cp_score(m, volumes, cuts, 1.0);
+  EXPECT_NEAR(a5, 0.5 * (a0 + a1), 1e-9);
+  EXPECT_THROW(cp_score(m, volumes, cuts, 1.5), Error);
+}
+
+TEST(RandomSplitSet, DeterministicAndSorted) {
+  RandomSplitSet set(10, 4, 99);
+  for (int d = 0; d < set.size(); ++d) {
+    const auto a = set.cuts_for(d, 57);
+    const auto b = set.cuts_for(d, 57);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.front(), 0);
+    EXPECT_EQ(a.back(), 57);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    EXPECT_EQ(a.size(), 5u);
+  }
+}
+
+TEST(RandomSplitSet, AlignedAcrossHeights) {
+  // Decision fractions are height-independent: cuts for H and 2H align.
+  RandomSplitSet set(5, 3, 1);
+  for (int d = 0; d < 5; ++d) {
+    const auto small = set.cuts_for(d, 50);
+    const auto large = set.cuts_for(d, 100);
+    for (std::size_t i = 0; i < small.size(); ++i) {
+      EXPECT_NEAR(2.0 * small[i], static_cast<double>(large[i]), 2.0);
+    }
+  }
+}
+
+TEST(RandomSplitSet, DecisionsDiffer) {
+  RandomSplitSet set(20, 4, 5);
+  int distinct = 0;
+  const auto first = set.cuts_for(0, 200);
+  for (int d = 1; d < 20; ++d) {
+    if (set.cuts_for(d, 200) != first) ++distinct;
+  }
+  EXPECT_GT(distinct, 15);
+}
+
+TEST(MeanCpScore, AveragesOverDecisions) {
+  const auto m = cnn::vgg16();
+  RandomSplitSet set(20, 4, 3);
+  const double coarse = mean_cp_score(m, {0, m.num_layers()}, set, 0.25);
+  const double fine = mean_cp_score(m, {0, 14, m.num_layers()}, set, 0.25);
+  EXPECT_GT(coarse, 0.0);
+  EXPECT_GT(fine, 0.0);
+  EXPECT_NE(coarse, fine);
+}
+
+}  // namespace
+}  // namespace de::core

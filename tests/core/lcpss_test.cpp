@@ -1,0 +1,101 @@
+#include "core/lcpss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model_zoo.hpp"
+#include "common/require.hpp"
+
+namespace de::core {
+namespace {
+
+TEST(Lcpss, BoundariesAreValidPartition) {
+  const auto m = cnn::vgg16();
+  LcpssConfig config;
+  config.n_random_splits = 30;
+  const auto r = run_lcpss(m, config);
+  EXPECT_GE(r.boundaries.size(), 2u);
+  EXPECT_EQ(r.boundaries.front(), 0);
+  EXPECT_EQ(r.boundaries.back(), m.num_layers());
+  EXPECT_TRUE(std::is_sorted(r.boundaries.begin(), r.boundaries.end()));
+  EXPECT_GT(r.rounds, 0);
+  EXPECT_GT(r.score, 0.0);
+}
+
+TEST(Lcpss, Deterministic) {
+  const auto m = cnn::vgg16();
+  LcpssConfig config;
+  config.n_random_splits = 30;
+  const auto a = run_lcpss(m, config);
+  const auto b = run_lcpss(m, config);
+  EXPECT_EQ(a.boundaries, b.boundaries);
+  EXPECT_DOUBLE_EQ(a.score, b.score);
+}
+
+TEST(Lcpss, ParallelMatchesSerial) {
+  const auto m = cnn::vgg16();
+  LcpssConfig par, ser;
+  par.n_random_splits = ser.n_random_splits = 25;
+  par.parallel = true;
+  ser.parallel = false;
+  EXPECT_EQ(run_lcpss(m, par).boundaries, run_lcpss(m, ser).boundaries);
+}
+
+TEST(Lcpss, AlphaZeroSplitsFinely) {
+  // alpha = 0 scores by operations only: duplicated halo compute is the only
+  // cost, so the search partitions layer-by-layer (paper Fig. 5 discussion).
+  const auto m = cnn::vgg16();
+  LcpssConfig config;
+  config.alpha = 0.0;
+  config.n_random_splits = 25;
+  const auto r = run_lcpss(m, config);
+  EXPECT_GE(r.boundaries.size(), 10u);
+}
+
+TEST(Lcpss, AlphaOneFusesCoarsely) {
+  const auto m = cnn::vgg16();
+  LcpssConfig config;
+  config.alpha = 1.0;
+  config.n_random_splits = 25;
+  const auto r = run_lcpss(m, config);
+  EXPECT_LE(r.boundaries.size(), 5u);
+}
+
+TEST(Lcpss, MoreVolumesAtLowerAlpha) {
+  const auto m = cnn::vgg16();
+  LcpssConfig lo, hi;
+  lo.n_random_splits = hi.n_random_splits = 25;
+  lo.alpha = 0.0;
+  hi.alpha = 1.0;
+  EXPECT_GE(run_lcpss(m, lo).boundaries.size(), run_lcpss(m, hi).boundaries.size());
+}
+
+TEST(Lcpss, FinalScoreIsLocalOptimum) {
+  // No single extra boundary improves the final score (greedy fixpoint).
+  const auto m = cnn::vgg16();
+  LcpssConfig config;
+  config.n_random_splits = 25;
+  const auto r = run_lcpss(m, config);
+  RandomSplitSet splits(config.n_random_splits, config.n_devices, config.seed);
+  for (int j = 1; j < m.num_layers(); ++j) {
+    if (std::find(r.boundaries.begin(), r.boundaries.end(), j) != r.boundaries.end()) {
+      continue;
+    }
+    auto trial = r.boundaries;
+    trial.insert(std::upper_bound(trial.begin(), trial.end(), j), j);
+    EXPECT_GE(mean_cp_score(m, trial, splits, config.alpha, config.tx) + 1e-12,
+              r.score);
+  }
+}
+
+TEST(Lcpss, WorksAcrossZooModels) {
+  LcpssConfig config;
+  config.n_random_splits = 15;
+  for (const auto& name : {"resnet50", "yolov2", "voxelnet"}) {
+    const auto m = cnn::model_by_name(name);
+    const auto r = run_lcpss(m, config);
+    EXPECT_EQ(r.boundaries.back(), m.num_layers()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace de::core

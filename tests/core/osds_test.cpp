@@ -1,0 +1,160 @@
+#include "core/osds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model.hpp"
+#include "device/device.hpp"
+#include "common/require.hpp"
+
+namespace de::core {
+namespace {
+
+cnn::CnnModel model() {
+  return cnn::ModelBuilder("m", 48, 48, 3)
+      .conv_same(8, 3)
+      .maxpool(2, 2)
+      .conv_same(16, 3)
+      .conv_same(16, 3)
+      .fc(10)
+      .build();
+}
+
+sim::ClusterLatency hetero_cluster() {
+  return {device::make_latency_model(device::DeviceType::kXavier),
+          device::make_latency_model(device::DeviceType::kNano)};
+}
+
+OsdsConfig quick() {
+  OsdsConfig c = OsdsConfig::fast();
+  c.max_episodes = 120;
+  c.actor_hidden = {32, 16};
+  c.critic_hidden = {48, 32};
+  c.batch_size = 16;
+  return c;
+}
+
+Ms offload_ms(const cnn::CnnModel& m, const sim::ClusterLatency& latency,
+              const net::Network& network) {
+  Ms best = -1.0;
+  for (std::size_t d = 0; d < latency.size(); ++d) {
+    sim::RawStrategy s;
+    s.volumes = {cnn::LayerVolume{0, m.num_layers()}};
+    std::vector<int> cuts(latency.size() + 1, 0);
+    for (std::size_t i = d; i < latency.size(); ++i) {
+      cuts[i + 1] = m.layers().back().out_h();
+    }
+    s.cuts = {cuts};
+    const Ms t = sim::execute_strategy(m, s, latency, network).total_ms;
+    if (best < 0 || t < best) best = t;
+  }
+  return best;
+}
+
+TEST(Osds, ProducesValidSplits) {
+  const auto m = model();
+  net::Network network(2);
+  const auto r = run_osds(m, {0, 2, 4}, hetero_cluster(), network, quick());
+  ASSERT_EQ(r.best_splits.size(), 2u);
+  EXPECT_GT(r.best_ms, 0.0);
+  EXPECT_EQ(r.best_splits[0].cuts.size(), 3u);
+  EXPECT_EQ(r.episodes, 120);
+  ASSERT_NE(r.agent, nullptr);
+}
+
+TEST(Osds, NeverWorseThanOffload) {
+  const auto m = model();
+  net::Network network(2);
+  const auto latency = hetero_cluster();
+  const auto r = run_osds(m, {0, 2, 4}, latency, network, quick());
+  EXPECT_LE(r.best_ms, offload_ms(m, latency, network) + 1e-6);
+}
+
+TEST(Osds, BestCurveIsNonIncreasing) {
+  const auto m = model();
+  net::Network network(2);
+  const auto r = run_osds(m, {0, 4}, hetero_cluster(), network, quick());
+  for (std::size_t i = 1; i < r.best_ms_curve.size(); ++i) {
+    EXPECT_LE(r.best_ms_curve[i], r.best_ms_curve[i - 1] + 1e-12);
+  }
+  EXPECT_LE(r.best_ms, r.best_ms_curve.back() + 1e-12);
+}
+
+TEST(Osds, DeterministicGivenSeed) {
+  const auto m = model();
+  net::Network network(2);
+  auto config = quick();
+  config.max_episodes = 40;
+  const auto a = run_osds(m, {0, 2, 4}, hetero_cluster(), network, config);
+  const auto b = run_osds(m, {0, 2, 4}, hetero_cluster(), network, config);
+  EXPECT_DOUBLE_EQ(a.best_ms, b.best_ms);
+}
+
+TEST(Osds, SingleDeviceDegenerates) {
+  const auto m = model();
+  net::Network network(1);
+  sim::ClusterLatency one{device::make_latency_model(device::DeviceType::kTx2)};
+  const auto r = run_osds(m, {0, 4}, one, network, quick());
+  ASSERT_EQ(r.best_splits.size(), 1u);
+  EXPECT_EQ(r.best_splits[0].cuts, (std::vector<int>{0, m.layers().back().out_h()}));
+  EXPECT_GT(r.best_ms, 0.0);
+}
+
+TEST(Osds, WarmStartBeatsColdAtTinyBudget) {
+  const auto m = model();
+  net::Network network(2);
+  auto cold = quick();
+  cold.max_episodes = 10;
+  cold.warm_start = false;
+  cold.local_search_prob = 0.0;
+  auto warm = cold;
+  warm.warm_start = true;
+  const auto latency = hetero_cluster();
+  const auto rc = run_osds(m, {0, 2, 4}, latency, network, cold);
+  const auto rw = run_osds(m, {0, 2, 4}, latency, network, warm);
+  EXPECT_LE(rw.best_ms, rc.best_ms + 1e-9);
+}
+
+TEST(Osds, FinetuneFromWarmAgentWorks) {
+  const auto m = model();
+  net::Network network(2);
+  const auto latency = hetero_cluster();
+  const auto first = run_osds(m, {0, 2, 4}, latency, network, quick());
+  auto finetune_config = quick();
+  finetune_config.max_episodes = 20;
+  const auto tuned = run_osds(m, {0, 2, 4}, latency, network, finetune_config,
+                              first.agent.get());
+  EXPECT_GT(tuned.best_ms, 0.0);
+  // Fine-tuning explores around a trained policy: stays close to the
+  // original optimum even at a tiny budget.
+  EXPECT_LE(tuned.best_ms, first.best_ms * 1.5);
+}
+
+TEST(Osds, GreedyRolloutMatchesEnvSemantics) {
+  const auto m = model();
+  net::Network network(2);
+  const auto latency = hetero_cluster();
+  const auto r = run_osds(m, {0, 2, 4}, latency, network, quick());
+  SplitEnvConfig env_config;
+  SplitEnv env(m, cnn::volumes_from_boundaries({0, 2, 4}, 4), latency, network,
+               env_config);
+  auto [splits, ms] = greedy_rollout(*r.agent, env);
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_GT(ms, 0.0);
+  // Rolling out twice is deterministic.
+  auto [splits2, ms2] = greedy_rollout(*r.agent, env);
+  EXPECT_EQ(splits[0].cuts, splits2[0].cuts);
+  EXPECT_DOUBLE_EQ(ms, ms2);
+}
+
+TEST(Osds, PaperConfigCarriesPublishedValues) {
+  const auto paper = OsdsConfig::paper();
+  EXPECT_EQ(paper.max_episodes, 4000);
+  EXPECT_DOUBLE_EQ(paper.delta_eps, 1.0 / 250.0);
+  EXPECT_EQ(paper.actor_hidden, (std::vector<std::size_t>{400, 200, 100}));
+  EXPECT_EQ(paper.critic_hidden, (std::vector<std::size_t>{400, 200, 100, 100}));
+  EXPECT_EQ(paper.batch_size, 64u);
+  EXPECT_DOUBLE_EQ(paper.local_search_prob, 0.0);  // strictly Alg. 2
+}
+
+}  // namespace
+}  // namespace de::core

@@ -1,0 +1,87 @@
+#include "core/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model_zoo.hpp"
+#include "common/require.hpp"
+
+namespace de::core {
+namespace {
+
+DistributionStrategy sample() {
+  DistributionStrategy s;
+  s.boundaries = {0, 10, 14, 18};
+  s.splits = {SplitDecision{{0, 14, 28, 28, 28}}, SplitDecision{{0, 7, 14, 14, 14}},
+              SplitDecision{{0, 4, 7, 7, 7}}};
+  return s;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const auto s = sample();
+  const auto text = strategy_to_string(s, "vgg16", 4);
+  const auto loaded = strategy_from_string(text);
+  EXPECT_EQ(loaded.model_name, "vgg16");
+  EXPECT_EQ(loaded.n_devices, 4);
+  EXPECT_EQ(loaded.strategy.boundaries, s.boundaries);
+  ASSERT_EQ(loaded.strategy.splits.size(), s.splits.size());
+  for (std::size_t i = 0; i < s.splits.size(); ++i) {
+    EXPECT_EQ(loaded.strategy.splits[i].cuts, s.splits[i].cuts);
+  }
+}
+
+TEST(Serialize, LoadedStrategyValidatesAgainstModel) {
+  const auto loaded =
+      strategy_from_string(strategy_to_string(sample(), "vgg16", 4));
+  const auto model = cnn::model_by_name(loaded.model_name);
+  EXPECT_NO_THROW(loaded.strategy.validate(model, loaded.n_devices));
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# stored by the controller\n"
+      "distredge-strategy v1\n"
+      "\n"
+      "model vgg16   # the workload\n"
+      "devices 2\n"
+      "boundaries 0 18\n"
+      "splits 1\n"
+      "0 4 7\n";
+  const auto loaded = strategy_from_string(text);
+  EXPECT_EQ(loaded.n_devices, 2);
+  EXPECT_EQ(loaded.strategy.splits[0].cuts, (std::vector<int>{0, 4, 7}));
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  EXPECT_THROW(strategy_from_string("not-a-strategy v1\n"), Error);
+}
+
+TEST(Serialize, RejectsTruncatedFile) {
+  const std::string text =
+      "distredge-strategy v1\nmodel vgg16\ndevices 4\nboundaries 0 18\nsplits 1\n";
+  EXPECT_THROW(strategy_from_string(text), Error);
+}
+
+TEST(Serialize, RejectsWidthMismatch) {
+  const std::string text =
+      "distredge-strategy v1\nmodel vgg16\ndevices 4\n"
+      "boundaries 0 18\nsplits 1\n0 4 7\n";  // 3 cuts for 4 devices
+  EXPECT_THROW(strategy_from_string(text), Error);
+}
+
+TEST(Serialize, RejectsSplitCountMismatch) {
+  const std::string text =
+      "distredge-strategy v1\nmodel vgg16\ndevices 2\n"
+      "boundaries 0 9 18\nsplits 1\n0 4 7\n";
+  EXPECT_THROW(strategy_from_string(text), Error);
+}
+
+TEST(Serialize, SaveRejectsMalformedStrategy) {
+  DistributionStrategy bad;
+  bad.boundaries = {0, 18};
+  // No splits.
+  std::ostringstream os;
+  EXPECT_THROW(save_strategy(os, bad, "vgg16", 4), Error);
+}
+
+}  // namespace
+}  // namespace de::core

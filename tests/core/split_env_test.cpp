@@ -1,0 +1,131 @@
+#include "core/split_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model.hpp"
+#include "device/device.hpp"
+#include "common/require.hpp"
+
+namespace de::core {
+namespace {
+
+cnn::CnnModel model() {
+  return cnn::ModelBuilder("m", 32, 32, 3)
+      .conv_same(8, 3)
+      .maxpool(2, 2)
+      .conv_same(16, 3)
+      .fc(10)
+      .build();
+}
+
+sim::ClusterLatency cluster() {
+  return {device::make_latency_model(device::DeviceType::kNano),
+          device::make_latency_model(device::DeviceType::kNano)};
+}
+
+TEST(ActionMapping, Eq9SortedAndRounded) {
+  // raw {0.5, -0.5} -> sorted {-0.5, 0.5} -> fractions {0.25, 0.75} of H=16.
+  const auto cuts = action_to_cuts(std::vector<float>{0.5f, -0.5f}, 16);
+  EXPECT_EQ(cuts, (std::vector<int>{0, 4, 12, 16}));
+}
+
+TEST(ActionMapping, ClampsOutOfRange) {
+  const auto cuts = action_to_cuts(std::vector<float>{5.0f, -7.0f}, 10);
+  EXPECT_EQ(cuts, (std::vector<int>{0, 0, 10, 10}));
+}
+
+TEST(ActionMapping, MonotonicityEnforced) {
+  const auto cuts = action_to_cuts(std::vector<float>{0.0f, 0.0f, 0.0f}, 9);
+  EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+  EXPECT_EQ(cuts.front(), 0);
+  EXPECT_EQ(cuts.back(), 9);
+}
+
+TEST(ActionMapping, InverseRoundTrips) {
+  const std::vector<int> cuts{0, 3, 11, 16};
+  const auto raw = cuts_to_action(cuts, 16);
+  EXPECT_EQ(action_to_cuts(raw, 16), cuts);
+}
+
+TEST(SplitEnv, DimsAndInitialState) {
+  const auto m = model();
+  SplitEnv env(m, cnn::volumes_from_boundaries({0, 2, 3}, 3), cluster(),
+               net::Network(2), {});
+  EXPECT_EQ(env.num_devices(), 2);
+  EXPECT_EQ(env.num_volumes(), 2);
+  EXPECT_EQ(env.state_dim(), 6u);   // 2 latencies + 4 layer features
+  EXPECT_EQ(env.action_dim(), 1u);  // |D| - 1
+  const auto s1 = env.reset();
+  ASSERT_EQ(s1.size(), 6u);
+  EXPECT_FLOAT_EQ(s1[0], 0.0f);  // no accumulated latency yet
+  EXPECT_FLOAT_EQ(s1[1], 0.0f);
+  EXPECT_GT(s1[2], 0.0f);  // H feature of the first volume's last layer
+}
+
+TEST(SplitEnv, RewardOnlyAtEnd) {
+  const auto m = model();
+  net::Network network(2);
+  SplitEnv env(m, cnn::volumes_from_boundaries({0, 2, 3}, 3), cluster(), network, {});
+  env.reset();
+  auto r1 = env.step(std::vector<int>{0, 8, 16});
+  EXPECT_FLOAT_EQ(r1.reward, 0.0f);
+  EXPECT_FALSE(r1.done);
+  auto r2 = env.step(std::vector<int>{0, 8, 16});
+  EXPECT_TRUE(r2.done);
+  EXPECT_GT(r2.reward, 0.0f);
+  EXPECT_NEAR(r2.reward, 1000.0 / env.total_ms(), 1e-4);
+}
+
+TEST(SplitEnv, AccumulatedLatencyEntersState) {
+  const auto m = model();
+  net::Network network(2);
+  SplitEnv env(m, cnn::volumes_from_boundaries({0, 2, 3}, 3), cluster(), network, {});
+  env.reset();
+  const auto mid = env.step(std::vector<int>{0, 8, 16});
+  EXPECT_GT(mid.state[0], 0.0f);  // device 0 accumulated latency
+  EXPECT_GT(mid.state[1], 0.0f);
+}
+
+TEST(SplitEnv, TerminalStateHasZeroLayerFeatures) {
+  const auto m = model();
+  net::Network network(2);
+  SplitEnv env(m, cnn::volumes_from_boundaries({0, 3}, 3), cluster(), network, {});
+  env.reset();
+  const auto end = env.step(std::vector<int>{0, 8, 16});
+  ASSERT_TRUE(end.done);
+  EXPECT_FLOAT_EQ(end.state[2], 0.0f);
+  EXPECT_FLOAT_EQ(end.state[3], 0.0f);
+}
+
+TEST(SplitEnv, TotalMatchesExecuteStrategy) {
+  const auto m = model();
+  net::Network network(2);
+  const auto latency = cluster();
+  SplitEnv env(m, cnn::volumes_from_boundaries({0, 2, 3}, 3), latency, network, {});
+  env.reset();
+  env.step(std::vector<int>{0, 4, 16});
+  env.step(std::vector<int>{0, 10, 16});
+  sim::RawStrategy raw;
+  raw.volumes = cnn::volumes_from_boundaries({0, 2, 3}, 3);
+  raw.cuts = {{0, 4, 16}, {0, 10, 16}};
+  const auto b = sim::execute_strategy(m, raw, latency, network);
+  EXPECT_NEAR(env.total_ms(), b.total_ms, 1e-9);
+}
+
+TEST(SplitEnv, MisuseRejected) {
+  const auto m = model();
+  net::Network network(2);
+  SplitEnv env(m, cnn::volumes_from_boundaries({0, 3}, 3), cluster(), network, {});
+  EXPECT_THROW(env.step(std::vector<int>{0, 8, 16}), Error);  // before reset
+  EXPECT_THROW(env.total_ms(), Error);
+  env.reset();
+  env.step(std::vector<int>{0, 8, 16});
+  EXPECT_THROW(env.step(std::vector<int>{0, 8, 16}), Error);  // done
+  // Single-device env rejected (nothing to split).
+  sim::ClusterLatency one{device::make_latency_model(device::DeviceType::kNano)};
+  EXPECT_THROW(SplitEnv(m, cnn::volumes_from_boundaries({0, 3}, 3), one, network, {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace de::core

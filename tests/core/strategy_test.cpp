@@ -1,0 +1,93 @@
+#include "core/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::core {
+namespace {
+
+cnn::CnnModel model() {
+  return cnn::ModelBuilder("m", 32, 32, 3).conv_same(8, 3).conv_same(8, 3).build();
+}
+
+TEST(EqualSplit, ExactCoverage) {
+  const auto d = equal_split(16, 4);
+  EXPECT_EQ(d.cuts, (std::vector<int>{0, 4, 8, 12, 16}));
+  const auto odd = equal_split(7, 3);
+  EXPECT_EQ(odd.cuts.front(), 0);
+  EXPECT_EQ(odd.cuts.back(), 7);
+  EXPECT_TRUE(std::is_sorted(odd.cuts.begin(), odd.cuts.end()));
+}
+
+TEST(EqualSplit, MoreDevicesThanRows) {
+  const auto d = equal_split(2, 5);
+  EXPECT_EQ(d.cuts.size(), 6u);
+  EXPECT_EQ(d.cuts.back(), 2);
+  int total = 0;
+  for (std::size_t i = 1; i < d.cuts.size(); ++i) total += d.cuts[i] - d.cuts[i - 1];
+  EXPECT_EQ(total, 2);
+}
+
+TEST(ProportionalSplit, FollowsWeights) {
+  const auto d = proportional_split(100, {3.0, 1.0});
+  EXPECT_EQ(d.cuts, (std::vector<int>{0, 75, 100}));
+}
+
+TEST(ProportionalSplit, ZeroWeightGetsNothing) {
+  const auto d = proportional_split(10, {1.0, 0.0, 1.0});
+  EXPECT_EQ(d.cuts[1] - d.cuts[0], 5);
+  EXPECT_EQ(d.cuts[2] - d.cuts[1], 0);
+  EXPECT_EQ(d.cuts[3] - d.cuts[2], 5);
+}
+
+TEST(ProportionalSplit, LargestRemainderSumsExactly) {
+  const auto d = proportional_split(10, {1.0, 1.0, 1.0});
+  EXPECT_EQ(d.cuts.back(), 10);
+  std::vector<int> shares;
+  for (std::size_t i = 1; i < d.cuts.size(); ++i) shares.push_back(d.cuts[i] - d.cuts[i - 1]);
+  std::sort(shares.begin(), shares.end());
+  EXPECT_EQ(shares, (std::vector<int>{3, 3, 4}));
+}
+
+TEST(ProportionalSplit, Validation) {
+  EXPECT_THROW(proportional_split(10, {}), Error);
+  EXPECT_THROW(proportional_split(10, {0.0, 0.0}), Error);
+  EXPECT_THROW(proportional_split(10, {-1.0, 2.0}), Error);
+  EXPECT_THROW(proportional_split(0, {1.0}), Error);
+}
+
+TEST(SingleDeviceStrategy, AllRowsOnChosenDevice) {
+  const auto m = model();
+  const auto s = single_device_strategy(m, 3, 1);
+  EXPECT_EQ(s.boundaries, (std::vector<int>{0, 2}));
+  ASSERT_EQ(s.splits.size(), 1u);
+  EXPECT_EQ(s.splits[0].cuts, (std::vector<int>{0, 0, 32, 32}));
+  EXPECT_THROW(single_device_strategy(m, 3, 5), Error);
+}
+
+TEST(DistributionStrategy, ToRawAndValidate) {
+  const auto m = model();
+  DistributionStrategy s;
+  s.boundaries = {0, 1, 2};
+  s.splits = {equal_split(32, 2), equal_split(32, 2)};
+  EXPECT_NO_THROW(s.validate(m, 2));
+  const auto raw = s.to_raw(m);
+  EXPECT_EQ(raw.volumes.size(), 2u);
+  EXPECT_EQ(raw.cuts[0], s.splits[0].cuts);
+}
+
+TEST(DistributionStrategy, ValidateCatchesMismatches) {
+  const auto m = model();
+  DistributionStrategy s;
+  s.boundaries = {0, 2};
+  s.splits = {equal_split(32, 2), equal_split(32, 2)};  // too many splits
+  EXPECT_THROW(s.validate(m, 2), Error);
+  s.splits = {equal_split(16, 2)};  // wrong height
+  EXPECT_THROW(s.validate(m, 2), Error);
+  s.splits = {equal_split(32, 3)};  // wrong device count
+  EXPECT_THROW(s.validate(m, 2), Error);
+}
+
+}  // namespace
+}  // namespace de::core

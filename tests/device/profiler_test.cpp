@@ -1,0 +1,112 @@
+#include "device/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model.hpp"
+#include "device/device.hpp"
+#include "common/require.hpp"
+
+namespace de::device {
+namespace {
+
+cnn::CnnModel tiny() {
+  return cnn::ModelBuilder("tiny", 32, 32, 3)
+      .conv_same(8, 3)
+      .maxpool(2, 2)
+      .conv_same(8, 3)
+      .fc(10)
+      .build();
+}
+
+TEST(Profiler, ExactProfilingReproducesTheModel) {
+  const auto truth = make_latency_model(DeviceType::kNano);
+  const auto m = tiny();
+  const auto table = profile_model(m, *truth, {.granularity = 1, .repeats = 1});
+  for (const auto& layer : m.layers()) {
+    for (int rows = 1; rows <= layer.out_h(); ++rows) {
+      EXPECT_NEAR(table.layer_ms(layer, rows), truth->layer_ms(layer, rows), 1e-9);
+    }
+  }
+  for (const auto& fc : m.fc_tail()) {
+    EXPECT_NEAR(table.fc_ms(fc), truth->fc_ms(fc), 1e-9);
+  }
+}
+
+TEST(Profiler, GranularityStillCoversFullHeight) {
+  const auto truth = make_latency_model(DeviceType::kTx2);
+  const auto m = tiny();
+  const auto table = profile_model(m, *truth, {.granularity = 5, .repeats = 1});
+  const auto& layer = m.layers().front();
+  // The exact full-height sample must be present even if 5 does not divide it.
+  EXPECT_NEAR(table.layer_ms(layer, layer.out_h()),
+              truth->layer_ms(layer, layer.out_h()), 1e-9);
+}
+
+TEST(Profiler, InterpolatesBetweenSamples) {
+  const auto truth = make_latency_model(DeviceType::kPi3);  // linear device
+  const auto m = tiny();
+  const auto table = profile_model(m, *truth, {.granularity = 8, .repeats = 1});
+  const auto& layer = m.layers().front();
+  // Linear ground truth -> linear interpolation is near-exact off-grid too
+  // (up to the per-layer overhead structure).
+  EXPECT_NEAR(table.layer_ms(layer, 12), truth->layer_ms(layer, 12),
+              0.1 * truth->layer_ms(layer, 12) + 1e-6);
+}
+
+TEST(Profiler, RepeatsAverageOutNoise) {
+  const auto truth = make_latency_model(DeviceType::kNano);
+  const auto m = tiny();
+  Rng rng1(1), rng2(2);
+  const auto noisy1 =
+      profile_model(m, *truth, {.granularity = 4, .repeats = 1, .noise_sd_frac = 0.2},
+                    &rng1);
+  const auto noisy100 =
+      profile_model(m, *truth, {.granularity = 4, .repeats = 100, .noise_sd_frac = 0.2},
+                    &rng2);
+  const auto& layer = m.layers().front();
+  const double t = truth->layer_ms(layer, layer.out_h());
+  const double err1 = std::abs(noisy1.layer_ms(layer, layer.out_h()) - t) / t;
+  const double err100 = std::abs(noisy100.layer_ms(layer, layer.out_h()) - t) / t;
+  EXPECT_LT(err100, 0.05);
+  EXPECT_LT(err100, err1 + 0.05);
+}
+
+TEST(Profiler, NoiseWithoutRngRejected) {
+  const auto truth = make_latency_model(DeviceType::kNano);
+  EXPECT_THROW(
+      profile_model(tiny(), *truth, {.granularity = 1, .repeats = 1, .noise_sd_frac = 0.1}),
+      Error);
+}
+
+TEST(LatencyTable, UnknownLayerThrows) {
+  LatencyTable table;
+  const auto layer = cnn::LayerConfig::conv(8, 8, 2, 2, 3, 1, 1);
+  EXPECT_THROW(table.layer_ms(layer, 1), Error);
+  EXPECT_FALSE(table.has_layer(layer));
+}
+
+TEST(LatencyTable, SamplesMustBeOrdered) {
+  LatencyTable table;
+  const auto layer = cnn::LayerConfig::conv(8, 8, 2, 2, 3, 1, 1);
+  table.add_sample(layer, 2, 1.0);
+  EXPECT_THROW(table.add_sample(layer, 2, 1.0), Error);
+  EXPECT_THROW(table.add_sample(layer, 1, 1.0), Error);
+  table.add_sample(layer, 4, 2.0);
+  EXPECT_DOUBLE_EQ(table.layer_ms(layer, 3), 1.5);  // interpolation
+  EXPECT_DOUBLE_EQ(table.layer_ms(layer, 8), 2.0);  // clamp
+  EXPECT_DOUBLE_EQ(table.layer_ms(layer, 0), 0.0);
+}
+
+TEST(LatencyTable, SharedSignatureLayersShareCurves) {
+  // Two VGG conv3-512 layers at 28x28 have identical signatures: profiling
+  // one provides the other.
+  const auto a = cnn::LayerConfig::conv(28, 28, 512, 512, 3, 1, 1);
+  const auto b = cnn::LayerConfig::conv(28, 28, 512, 512, 3, 1, 1);
+  LatencyTable table;
+  table.add_sample(a, 28, 3.0);
+  EXPECT_TRUE(table.has_layer(b));
+  EXPECT_DOUBLE_EQ(table.layer_ms(b, 28), 3.0);
+}
+
+}  // namespace
+}  // namespace de::device

@@ -1,0 +1,121 @@
+#include "device/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model.hpp"
+#include "device/device.hpp"
+#include "device/profiler.hpp"
+#include "common/require.hpp"
+
+namespace de::device {
+namespace {
+
+cnn::CnnModel tiny() {
+  return cnn::ModelBuilder("tiny", 48, 48, 3)
+      .conv_same(8, 3)
+      .maxpool(2, 2)
+      .conv_same(16, 3)
+      .fc(10)
+      .build();
+}
+
+LatencyTable profiled(DeviceType type) {
+  const auto truth = make_latency_model(type);
+  return profile_model(tiny(), *truth, {.granularity = 1, .repeats = 1});
+}
+
+TEST(Regression, LinearFitsLinearDeviceExactly) {
+  const auto table = profiled(DeviceType::kPi3);  // Pi3 is affine in rows
+  const auto fit = FittedLatencyModel::fit(table, RegressionKind::kLinear);
+  const auto truth = make_latency_model(DeviceType::kPi3);
+  const auto m = tiny();
+  for (const auto& layer : m.layers()) {
+    for (int rows : {1, 7, 13, layer.out_h()}) {
+      if (rows > layer.out_h()) continue;
+      const double t = truth->layer_ms(layer, rows);
+      EXPECT_NEAR(fit.layer_ms(layer, rows), t, 0.05 * t + 1e-6);
+    }
+  }
+}
+
+TEST(Regression, PiecewiseBeatsLinearOnStaircaseDevice) {
+  const auto table = profiled(DeviceType::kNano);  // staircase + saturation
+  const auto linear = FittedLatencyModel::fit(table, RegressionKind::kLinear);
+  const auto piecewise =
+      FittedLatencyModel::fit(table, RegressionKind::kPiecewiseLinear, 6);
+  const auto truth = make_latency_model(DeviceType::kNano);
+  const auto m = tiny();
+  double linear_err = 0.0, pw_err = 0.0;
+  for (const auto& layer : m.layers()) {
+    for (int rows = 1; rows <= layer.out_h(); ++rows) {
+      const double t = truth->layer_ms(layer, rows);
+      linear_err += std::abs(linear.layer_ms(layer, rows) - t);
+      pw_err += std::abs(piecewise.layer_ms(layer, rows) - t);
+    }
+  }
+  EXPECT_LT(pw_err, linear_err);
+}
+
+TEST(Regression, KnnExactAtSamplePoints) {
+  const auto table = profiled(DeviceType::kTx2);
+  const auto knn = FittedLatencyModel::fit(table, RegressionKind::kKnn, 1);
+  const auto truth = make_latency_model(DeviceType::kTx2);
+  const auto m = tiny();
+  const auto& layer = m.layers().front();
+  for (int rows : {1, 10, 24, 48}) {
+    EXPECT_NEAR(knn.layer_ms(layer, rows), truth->layer_ms(layer, rows), 1e-9);
+  }
+}
+
+TEST(Regression, KnnAveragesNeighbours) {
+  LatencyTable table;
+  const auto layer = cnn::LayerConfig::conv(8, 8, 2, 2, 3, 1, 1);
+  table.add_sample(layer, 2, 1.0);
+  table.add_sample(layer, 4, 3.0);
+  const auto knn = FittedLatencyModel::fit(table, RegressionKind::kKnn, 2);
+  EXPECT_DOUBLE_EQ(knn.layer_ms(layer, 3), 2.0);
+}
+
+TEST(Regression, FcPassThrough) {
+  const auto table = profiled(DeviceType::kNano);
+  const auto fit = FittedLatencyModel::fit(table, RegressionKind::kLinear);
+  const auto truth = make_latency_model(DeviceType::kNano);
+  for (const auto& fc : tiny().fc_tail()) {
+    EXPECT_NEAR(fit.fc_ms(fc), truth->fc_ms(fc), 1e-9);
+  }
+}
+
+TEST(Regression, LinearParamsExposed) {
+  const auto table = profiled(DeviceType::kPi3);
+  const auto fit = FittedLatencyModel::fit(table, RegressionKind::kLinear);
+  const auto m = tiny();
+  const auto line = fit.linear_params(m.layers().front());
+  EXPECT_GT(line.slope, 0.0);
+  // Pi3 has a 1 ms per-layer overhead -> intercept close to it.
+  EXPECT_NEAR(line.intercept, 1.0, 0.3);
+}
+
+TEST(Regression, LinearParamsOnNonLinearKindRejected) {
+  const auto table = profiled(DeviceType::kPi3);
+  const auto knn = FittedLatencyModel::fit(table, RegressionKind::kKnn, 3);
+  EXPECT_THROW(knn.linear_params(tiny().layers().front()), Error);
+}
+
+TEST(Regression, UnknownLayerThrows) {
+  const auto table = profiled(DeviceType::kPi3);
+  const auto fit = FittedLatencyModel::fit(table, RegressionKind::kLinear);
+  const auto stranger = cnn::LayerConfig::conv(100, 100, 7, 7, 5, 1, 2);
+  EXPECT_THROW(fit.layer_ms(stranger, 1), Error);
+}
+
+TEST(Regression, ZeroRowsIsFree) {
+  const auto table = profiled(DeviceType::kNano);
+  for (auto kind : {RegressionKind::kLinear, RegressionKind::kPiecewiseLinear,
+                    RegressionKind::kKnn}) {
+    const auto fit = FittedLatencyModel::fit(table, kind, 3);
+    EXPECT_DOUBLE_EQ(fit.layer_ms(tiny().layers().front(), 0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace de::device

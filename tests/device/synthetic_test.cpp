@@ -1,0 +1,137 @@
+#include "device/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model_zoo.hpp"
+#include "device/device.hpp"
+#include "common/require.hpp"
+
+namespace de::device {
+namespace {
+
+cnn::LayerConfig ref_layer() { return cnn::LayerConfig::conv(224, 224, 64, 64, 3, 1, 1); }
+
+TEST(SyntheticGpu, ZeroRowsZeroLatency) {
+  const auto m = make_latency_model(DeviceType::kXavier);
+  EXPECT_DOUBLE_EQ(m->layer_ms(ref_layer(), 0), 0.0);
+}
+
+TEST(SyntheticGpu, MonotoneInRows) {
+  const auto m = make_latency_model(DeviceType::kNano);
+  const auto l = ref_layer();
+  double prev = 0.0;
+  for (int rows = 1; rows <= l.out_h(); rows += 7) {
+    const double t = m->layer_ms(l, rows);
+    EXPECT_GE(t, prev - 1e-12);
+    prev = t;
+  }
+}
+
+TEST(SyntheticGpu, StaircaseWithinAWave) {
+  // Latency is flat inside a wave and jumps at wave boundaries.
+  GpuCaps caps;
+  caps.peak_gflops = 500;
+  caps.mem_gbps = 1e6;  // disable the memory floor for this test
+  caps.launch_overhead_ms = 0.1;
+  caps.wave_rows = 16;
+  caps.util_floor = 0.5;
+  caps.rows_saturate = 1e9;  // effectively constant utilisation
+  SyntheticGpuModel m(caps);
+  const auto l = ref_layer();
+  EXPECT_DOUBLE_EQ(m.layer_ms(l, 1), m.layer_ms(l, 16));
+  EXPECT_LT(m.layer_ms(l, 16), m.layer_ms(l, 17));
+  EXPECT_DOUBLE_EQ(m.layer_ms(l, 17), m.layer_ms(l, 32));
+}
+
+TEST(SyntheticGpu, SubLinearScaling) {
+  // Half the rows cost more than half the time (launch overhead +
+  // under-utilisation) — the nonlinearity of paper Fig. 14.
+  const auto m = make_latency_model(DeviceType::kTx2);
+  const auto l = ref_layer();
+  const double full = m->layer_ms(l, l.out_h());
+  const double half = m->layer_ms(l, l.out_h() / 2);
+  EXPECT_GT(half, 0.5 * full);
+}
+
+TEST(SyntheticGpu, LaunchOverheadIsFloor) {
+  const auto m = make_latency_model(DeviceType::kXavier);
+  const auto tiny = cnn::LayerConfig::conv(7, 7, 8, 8, 1, 1, 0);
+  EXPECT_GE(m->layer_ms(tiny, 1), 0.2);  // Xavier launch overhead
+}
+
+TEST(SyntheticGpu, RejectsOutOfRangeRows) {
+  const auto m = make_latency_model(DeviceType::kNano);
+  EXPECT_THROW(m->layer_ms(ref_layer(), -1), Error);
+  EXPECT_THROW(m->layer_ms(ref_layer(), ref_layer().out_h() + 1), Error);
+}
+
+TEST(SyntheticCpu, NearLinearInRows) {
+  const auto m = make_latency_model(DeviceType::kPi3);
+  const auto l = ref_layer();
+  const double full = m->layer_ms(l, 224) - 1.0;   // strip overhead
+  const double half = m->layer_ms(l, 112) - 1.0;
+  EXPECT_NEAR(half / full, 0.5, 0.02);
+}
+
+TEST(DeviceOrdering, Pi3MuchSlowerThanJetsons) {
+  const auto vgg = cnn::vgg16();
+  auto total = [&](DeviceType t) {
+    const auto m = make_latency_model(t);
+    double sum = 0.0;
+    for (const auto& l : vgg.layers()) sum += m->layer_ms(l, l.out_h());
+    return sum;
+  };
+  const double pi3 = total(DeviceType::kPi3);
+  const double nano = total(DeviceType::kNano);
+  const double tx2 = total(DeviceType::kTx2);
+  const double xavier = total(DeviceType::kXavier);
+  EXPECT_GT(pi3, 10.0 * nano);  // Pi3 << Nano
+  EXPECT_GT(nano, tx2);
+  EXPECT_GT(tx2, xavier);
+  // Calibration targets (DESIGN.md): rough end-to-end windows.
+  EXPECT_GT(xavier, 5.0);
+  EXPECT_LT(xavier, 40.0);
+  EXPECT_GT(nano, 100.0);
+  EXPECT_LT(nano, 300.0);
+}
+
+TEST(DeviceFactory, NamesAndTypes) {
+  const auto d = make_device(3, DeviceType::kTx2);
+  EXPECT_EQ(d.id, 3);
+  EXPECT_EQ(d.name, "TX2#3");
+  EXPECT_NE(d.latency, nullptr);
+  EXPECT_EQ(device_type_by_name("Xavier"), DeviceType::kXavier);
+  EXPECT_THROW(device_type_by_name("RTX4090"), Error);
+}
+
+TEST(DeviceFactory, MakeDevicesAssignsIds) {
+  const auto devices = make_devices({DeviceType::kNano, DeviceType::kPi3});
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[0].id, 0);
+  EXPECT_EQ(devices[1].id, 1);
+  EXPECT_EQ(devices[1].type, DeviceType::kPi3);
+}
+
+TEST(FcLatency, PositiveAndOrdered) {
+  cnn::FcConfig fc;
+  fc.in_features = 25088;
+  fc.out_features = 4096;
+  const double xavier = make_latency_model(DeviceType::kXavier)->fc_ms(fc);
+  const double nano = make_latency_model(DeviceType::kNano)->fc_ms(fc);
+  EXPECT_GT(xavier, 0.0);
+  EXPECT_GT(nano, xavier);
+}
+
+TEST(Signatures, DistinguishLayers) {
+  const auto a = cnn::LayerConfig::conv(32, 32, 4, 8, 3, 1, 1);
+  auto b = a;
+  b.out_c = 16;
+  EXPECT_NE(layer_signature(a), layer_signature(b));
+  EXPECT_EQ(layer_signature(a), layer_signature(a));
+  cnn::FcConfig f1{.name = "", .in_features = 10, .out_features = 5};
+  cnn::FcConfig f2{.name = "", .in_features = 10, .out_features = 6};
+  EXPECT_NE(fc_signature(f1), fc_signature(f2));
+}
+
+}  // namespace
+}  // namespace de::device

@@ -1,0 +1,92 @@
+#include "experiments/scenarios.hpp"
+
+#include <gtest/gtest.h>
+#include "common/require.hpp"
+
+namespace de::experiments {
+namespace {
+
+using device::DeviceType;
+
+TEST(Scenarios, TableIGroups) {
+  const auto da = group_DA(50.0);
+  EXPECT_EQ(da.device_types,
+            (std::vector<DeviceType>{DeviceType::kTx2, DeviceType::kTx2,
+                                     DeviceType::kNano, DeviceType::kNano}));
+  EXPECT_EQ(da.bandwidths_mbps, (std::vector<Mbps>{50, 50, 50, 50}));
+
+  const auto db = group_DB(300.0);
+  EXPECT_EQ(db.device_types[0], DeviceType::kXavier);
+  EXPECT_EQ(db.bandwidths_mbps[3], 300.0);
+
+  const auto dc = group_DC(50.0);
+  EXPECT_EQ(dc.device_types,
+            (std::vector<DeviceType>{DeviceType::kXavier, DeviceType::kTx2,
+                                     DeviceType::kNano, DeviceType::kPi3}));
+}
+
+TEST(Scenarios, TableIIGroups) {
+  EXPECT_EQ(group_NA(DeviceType::kNano).bandwidths_mbps,
+            (std::vector<Mbps>{50, 50, 200, 200}));
+  EXPECT_EQ(group_NB(DeviceType::kNano).bandwidths_mbps,
+            (std::vector<Mbps>{100, 100, 200, 200}));
+  EXPECT_EQ(group_NC(DeviceType::kXavier).bandwidths_mbps,
+            (std::vector<Mbps>{200, 200, 300, 300}));
+  EXPECT_EQ(group_ND(DeviceType::kXavier).bandwidths_mbps,
+            (std::vector<Mbps>{50, 100, 200, 300}));
+  for (auto t : group_NA(DeviceType::kTx2).device_types) {
+    EXPECT_EQ(t, DeviceType::kTx2);
+  }
+}
+
+TEST(Scenarios, TableIIILargeScaleGroups) {
+  for (const auto& s : {group_LA(), group_LB(), group_LC(), group_LD()}) {
+    EXPECT_EQ(s.num_devices(), 16);
+    EXPECT_EQ(s.bandwidths_mbps.size(), 16u);
+  }
+  const auto lb = group_LB();
+  EXPECT_EQ(lb.device_types[0], DeviceType::kPi3);
+  EXPECT_EQ(lb.bandwidths_mbps[0], 300.0);
+  EXPECT_EQ(lb.device_types[3], DeviceType::kXavier);
+  EXPECT_EQ(lb.bandwidths_mbps[3], 50.0);
+  // Four identical quads.
+  EXPECT_EQ(lb.device_types[4], lb.device_types[0]);
+  EXPECT_EQ(lb.bandwidths_mbps[11], lb.bandwidths_mbps[7]);
+}
+
+TEST(Scenarios, HomogeneousControl) {
+  const auto s = homogeneous(DeviceType::kNano, 200.0, 4);
+  EXPECT_EQ(s.num_devices(), 4);
+  for (auto t : s.device_types) EXPECT_EQ(t, DeviceType::kNano);
+}
+
+TEST(Scenarios, BuildMaterialisesEverything) {
+  const auto built = build(group_ND(DeviceType::kNano));
+  EXPECT_EQ(built.devices.size(), 4u);
+  EXPECT_EQ(built.latency.size(), 4u);
+  EXPECT_EQ(built.network.num_devices(), 4);
+  EXPECT_EQ(built.model.name(), "vgg16");
+  // Shaped traces deliver below nominal but in the right ordering.
+  EXPECT_LT(built.network.device_rate(0, 0.0), 50.0);
+  EXPECT_GT(built.network.device_rate(3, 0.0), 200.0);
+  const auto ctx = built.context();
+  EXPECT_NO_THROW(ctx.validate());
+}
+
+TEST(Scenarios, BuildIsDeterministic) {
+  const auto a = build(group_NA(DeviceType::kNano));
+  const auto b = build(group_NA(DeviceType::kNano));
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.network.device_rate(i, 120.0), b.network.device_rate(i, 120.0));
+  }
+}
+
+TEST(Scenarios, ModelNameRespected) {
+  auto s = group_DB(50.0);
+  s.model_name = "yolov2";
+  const auto built = build(s);
+  EXPECT_EQ(built.model.name(), "yolov2");
+}
+
+}  // namespace
+}  // namespace de::experiments

@@ -1,0 +1,102 @@
+// Full-pipeline integration: planners x scenarios through the harness, the
+// paper's headline ordering, and online replanning — on a reduced budget so
+// the suite stays fast (the benches run the full-scale versions).
+#include <gtest/gtest.h>
+
+#include "experiments/harness.hpp"
+#include "common/require.hpp"
+
+namespace de::experiments {
+namespace {
+
+HarnessOptions quick_options() {
+  HarnessOptions opt;
+  opt.n_images = 50;
+  opt.distredge.osds.max_episodes = 250;
+  return opt;
+}
+
+TEST(EndToEnd, DistrEdgeBeatsOrTiesEveryBaselineOnGroupDB) {
+  const auto built = build(group_DB(50.0));
+  const auto opt = quick_options();
+  const auto distredge = run_case("DistrEdge", built, opt);
+  for (const auto& name : baselines::figure_planner_names()) {
+    if (name == "DistrEdge") continue;
+    const auto other = run_case(name, built, opt);
+    EXPECT_GE(distredge.ips, other.ips * 0.99)
+        << "DistrEdge lost to " << name << " (" << distredge.ips << " vs "
+        << other.ips << ")";
+  }
+}
+
+TEST(EndToEnd, DistrEdgeBeatsOffloadOnComputeBoundGroup) {
+  // Four Nanos: compute-bound, distribution must pay off clearly.
+  const auto built = build(group_NA(device::DeviceType::kNano));
+  const auto opt = quick_options();
+  const auto distredge = run_case("DistrEdge", built, opt);
+  const auto offload = run_case("Offload", built, opt);
+  EXPECT_GT(distredge.ips, offload.ips * 1.15);
+}
+
+TEST(EndToEnd, RunMatrixCoversAllCases) {
+  auto opt = quick_options();
+  opt.n_images = 20;
+  opt.distredge.osds.max_episodes = 60;
+  const std::vector<std::string> planners{"DeepThings", "AOFL", "Offload"};
+  const std::vector<Scenario> scenarios{group_DA(50.0), group_DB(300.0)};
+  const auto results = run_matrix(planners, scenarios, opt);
+  EXPECT_EQ(results.size(), 6u);
+  for (const auto& r : results) {
+    EXPECT_GT(r.ips, 0.0);
+    EXPECT_GT(r.mean_latency_ms, 0.0);
+  }
+  const auto table = ips_table(results, planners, {"DA@50Mbps", "DB@300Mbps"},
+                               "integration");
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("AOFL"), std::string::npos);
+}
+
+TEST(EndToEnd, StreamedIpsMatchesBreakdownLatency) {
+  const auto built = build(group_DB(300.0));
+  auto opt = quick_options();
+  opt.distredge.osds.max_episodes = 60;
+  const auto r = run_case("DeepThings", built, opt);
+  // Stable traces: streaming IPS close to the single-image reciprocal.
+  EXPECT_NEAR(r.ips, 1000.0 / r.breakdown.total_ms, 0.15 * r.ips);
+}
+
+TEST(EndToEnd, ReplanAdaptsToBandwidthDrop) {
+  // Plan on a fast network, then replan when the link degrades: the updated
+  // strategy must be at least as good as the stale one under the new traces.
+  auto scenario = group_DB(300.0);
+  auto built = build(scenario);
+  core::DistrEdgeConfig config;
+  config.osds.max_episodes = 200;
+  core::DistrEdgePlanner planner(config);
+  const auto ctx_fast = built.context();
+  const auto fast_strategy = planner.plan(ctx_fast);
+
+  // Degrade every link to 50 Mbps.
+  auto degraded = build(group_DB(50.0));
+  auto ctx_slow = degraded.context();
+  const auto stale_ms = core::evaluate_strategy(ctx_slow, fast_strategy).total_ms;
+  const auto replanned = planner.replan(ctx_slow, 150);
+  const auto fresh_ms = core::evaluate_strategy(ctx_slow, replanned).total_ms;
+  EXPECT_LE(fresh_ms, stale_ms * 1.02);
+}
+
+TEST(EndToEnd, SixteenDeviceGroupRuns) {
+  auto opt = quick_options();
+  opt.n_images = 20;
+  opt.distredge.osds.max_episodes = 100;
+  opt.distredge.osds.sigma = 1.0;  // paper: sigma^2 = 1 at 16 providers
+  const auto built = build(group_LC());
+  const auto r = run_case("DistrEdge", built, opt);
+  EXPECT_GT(r.ips, 0.0);
+  const auto offload = run_case("Offload", built, opt);
+  EXPECT_GE(r.ips, offload.ips * 0.99);
+}
+
+}  // namespace
+}  // namespace de::experiments

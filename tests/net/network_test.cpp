@@ -1,0 +1,73 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::net {
+namespace {
+
+TEST(Link, IoOverheadFormula) {
+  Link link = Link::constant(100.0);
+  link.io_fixed_ms = 0.5;
+  link.io_per_mb_ms = 2.0;
+  EXPECT_DOUBLE_EQ(link.io_overhead_ms(1'000'000), 2.5);
+  EXPECT_DOUBLE_EQ(link.io_overhead_ms(0), 0.5);
+}
+
+TEST(Network, TransferBottleneckedByMinRate) {
+  Network net(2, /*default=*/100.0, /*requester=*/300.0);
+  net.set_device_link(0, Link::constant(50.0));
+  net.set_device_link(1, Link::constant(200.0));
+  const Bytes bytes = 1'000'000;
+  const Ms t01 = net.transfer_ms(0, 1, bytes, 0.0);
+  // Wire at min(50, 200) = 50 Mbps -> 160 ms, plus both ends' I/O.
+  const Ms io = net.link(0).io_overhead_ms(bytes) + net.link(1).io_overhead_ms(bytes);
+  EXPECT_NEAR(t01, 160.0 + io, 1e-9);
+  // Symmetric.
+  EXPECT_DOUBLE_EQ(net.transfer_ms(1, 0, bytes, 0.0), t01);
+}
+
+TEST(Network, RequesterEndpoint) {
+  Network net(1, 100.0, 300.0);
+  const Bytes bytes = 1'000'000;
+  // Bottleneck is the device's 100 Mbps.
+  const Ms t = net.transfer_ms(kRequester, 0, bytes, 0.0);
+  const Ms io =
+      net.link(kRequester).io_overhead_ms(bytes) + net.link(0).io_overhead_ms(bytes);
+  EXPECT_NEAR(t, 80.0 + io, 1e-9);
+}
+
+TEST(Network, ZeroBytesFree) {
+  Network net(2);
+  EXPECT_DOUBLE_EQ(net.transfer_ms(0, 1, 0, 0.0), 0.0);
+}
+
+TEST(Network, TraceSampledAtStartTime) {
+  Network net(2, 100.0);
+  net.set_device_link(0, Link::with_trace(ThroughputTrace(60.0, {100.0, 10.0})));
+  const Bytes bytes = 125'000;  // 1 Mbit
+  const Ms early = net.transfer_ms(kRequester, 0, bytes, 0.0);
+  const Ms late = net.transfer_ms(kRequester, 0, bytes, 70.0);
+  EXPECT_LT(early, late);
+  EXPECT_DOUBLE_EQ(net.device_rate(0, 70.0), 10.0);
+}
+
+TEST(Network, Validation) {
+  EXPECT_THROW(Network(0), Error);
+  Network net(2);
+  EXPECT_THROW(net.set_device_link(5, Link::constant(10.0)), Error);
+  EXPECT_THROW(net.link(7), Error);
+  EXPECT_THROW(net.transfer_ms(0, 0, 10, 0.0), Error);  // self transfer
+  EXPECT_THROW(net.transfer_ms(0, 1, -1, 0.0), Error);
+}
+
+TEST(Network, DefaultsApplied) {
+  Network net(3, 150.0, 250.0);
+  EXPECT_EQ(net.num_devices(), 3);
+  EXPECT_DOUBLE_EQ(net.device_rate(2, 0.0), 150.0);
+  EXPECT_DOUBLE_EQ(net.link(kRequester).rate_at(0.0), 250.0);
+}
+
+}  // namespace
+}  // namespace de::net

@@ -1,0 +1,86 @@
+#include "net/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "common/require.hpp"
+
+namespace de::net {
+namespace {
+
+TEST(Trace, AtSamplesSlots) {
+  ThroughputTrace trace(60.0, {10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(trace.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(59.9), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(60.0), 20.0);
+  EXPECT_DOUBLE_EQ(trace.at(125.0), 30.0);
+}
+
+TEST(Trace, ClampsBeyondEnds) {
+  ThroughputTrace trace(60.0, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(trace.at(-5.0), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(1e6), 20.0);
+}
+
+TEST(Trace, ConstantTrace) {
+  const auto trace = ThroughputTrace::constant(42.0);
+  EXPECT_DOUBLE_EQ(trace.at(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(trace.at(9999.0), 42.0);
+}
+
+TEST(Trace, MeanOverWindow) {
+  ThroughputTrace trace(60.0, {10.0, 30.0});
+  EXPECT_DOUBLE_EQ(trace.mean(0.0, 120.0), 20.0);
+  EXPECT_THROW(trace.mean(10.0, 10.0), Error);
+}
+
+TEST(Trace, RejectsBadConstruction) {
+  EXPECT_THROW(ThroughputTrace(0.0, {1.0}), Error);
+  EXPECT_THROW(ThroughputTrace(1.0, {}), Error);
+  EXPECT_THROW(ThroughputTrace(1.0, {1.0, 0.0}), Error);
+}
+
+TEST(StableWifi, StatisticsMatchFig4) {
+  for (Mbps nominal : {50.0, 100.0, 200.0, 300.0}) {
+    const auto trace = stable_wifi_trace(nominal, 60, 42);
+    EXPECT_EQ(trace.samples().size(), 60u);
+    const double mean = trace.mean(0.0, trace.duration());
+    // Shaped links deliver slightly under nominal with small fluctuation.
+    EXPECT_GT(mean, 0.80 * nominal);
+    EXPECT_LT(mean, 1.00 * nominal);
+    for (Mbps s : trace.samples()) {
+      EXPECT_GT(s, 0.2 * nominal);
+      EXPECT_LE(s, nominal);
+    }
+  }
+}
+
+TEST(StableWifi, Deterministic) {
+  const auto a = stable_wifi_trace(200.0, 30, 7);
+  const auto b = stable_wifi_trace(200.0, 30, 7);
+  EXPECT_EQ(a.samples(), b.samples());
+  const auto c = stable_wifi_trace(200.0, 30, 8);
+  EXPECT_NE(a.samples(), c.samples());
+}
+
+TEST(DynamicTrace, StaysInBandAndShifts) {
+  const auto trace = dynamic_trace(60, 3, 40.0, 100.0);
+  EXPECT_EQ(trace.samples().size(), 60u);
+  double lo = 1e9, hi = 0;
+  for (Mbps s : trace.samples()) {
+    EXPECT_GE(s, 0.8 * 40.0);
+    EXPECT_LE(s, 1.1 * 100.0);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  // Regime switching: the trace spans a substantial part of the band
+  // (a stable trace would not).
+  EXPECT_GT(hi - lo, 20.0);
+}
+
+TEST(DynamicTrace, DifferentSeedsDiffer) {
+  EXPECT_NE(dynamic_trace(60, 1).samples(), dynamic_trace(60, 2).samples());
+}
+
+}  // namespace
+}  // namespace de::net

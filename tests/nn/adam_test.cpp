@@ -1,0 +1,54 @@
+#include "nn/adam.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::nn {
+namespace {
+
+TEST(Adam, MinimisesQuadraticBowl) {
+  // f(x) = sum (x_i - t_i)^2, grad = 2 (x - t).
+  Matrix x(1, 4, 0.0f);
+  Matrix g(1, 4, 0.0f);
+  const float target[4] = {1.0f, -2.0f, 0.5f, 3.0f};
+  Adam opt({&x}, {&g}, {.lr = 0.05});
+  for (int step = 0; step < 2000; ++step) {
+    for (int i = 0; i < 4; ++i) g(0, i) = 2.0f * (x(0, i) - target[i]);
+    opt.step();
+  }
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(x(0, i), target[i], 1e-2f);
+}
+
+TEST(Adam, BiasCorrectionMakesFirstStepLrSized) {
+  Matrix x(1, 1, 0.0f);
+  Matrix g(1, 1, 100.0f);  // any gradient magnitude
+  Adam opt({&x}, {&g}, {.lr = 0.01});
+  opt.step();
+  // With bias correction, the first step is ~lr regardless of |g|.
+  EXPECT_NEAR(std::abs(x(0, 0)), 0.01f, 1e-4f);
+}
+
+TEST(Adam, ShapeMismatchRejected) {
+  Matrix x(1, 2);
+  Matrix g(1, 3);
+  EXPECT_THROW(Adam({&x}, {&g}, {}), Error);
+  Matrix g2(1, 2);
+  EXPECT_THROW(Adam({&x}, {&g2, &g2}, {}), Error);
+}
+
+TEST(Adam, MultipleParameterGroups) {
+  Matrix a(1, 1, 5.0f), ga(1, 1, 0.0f);
+  Matrix b(1, 1, -5.0f), gb(1, 1, 0.0f);
+  Adam opt({&a, &b}, {&ga, &gb}, {.lr = 0.1});
+  for (int step = 0; step < 1000; ++step) {
+    ga(0, 0) = 2.0f * a(0, 0);
+    gb(0, 0) = 2.0f * b(0, 0);
+    opt.step();
+  }
+  EXPECT_NEAR(a(0, 0), 0.0f, 1e-2f);
+  EXPECT_NEAR(b(0, 0), 0.0f, 1e-2f);
+}
+
+}  // namespace
+}  // namespace de::nn

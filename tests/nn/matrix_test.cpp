@@ -1,0 +1,126 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace de::nn {
+namespace {
+
+Matrix random(std::size_t r, std::size_t c, Rng& rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return m;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix out(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += double(a(i, k)) * b(k, j);
+      out(i, j) = static_cast<float>(acc);
+    }
+  return out;
+}
+
+void expect_near(const Matrix& a, const Matrix& b, float tol = 1e-4f) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol);
+  }
+}
+
+TEST(Matrix, GemmMatchesNaive) {
+  Rng rng(1);
+  const auto a = random(7, 13, rng);
+  const auto b = random(13, 5, rng);
+  Matrix out;
+  gemm(a, b, out);
+  expect_near(out, naive_gemm(a, b));
+}
+
+TEST(Matrix, GemmAtBMatchesTransposedNaive) {
+  Rng rng(2);
+  const auto a = random(9, 6, rng);   // a^T is [6,9]
+  const auto b = random(9, 4, rng);
+  Matrix out;
+  gemm_at_b(a, b, out);
+  Matrix at(6, 9);
+  for (std::size_t i = 0; i < 9; ++i)
+    for (std::size_t j = 0; j < 6; ++j) at(j, i) = a(i, j);
+  expect_near(out, naive_gemm(at, b));
+}
+
+TEST(Matrix, GemmABtMatchesTransposedNaive) {
+  Rng rng(3);
+  const auto a = random(5, 8, rng);
+  const auto b = random(7, 8, rng);  // b^T is [8,7]
+  Matrix out;
+  gemm_a_bt(a, b, out);
+  Matrix bt(8, 7);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 8; ++j) bt(j, i) = b(i, j);
+  expect_near(out, naive_gemm(a, bt));
+}
+
+TEST(Matrix, GemmShapeMismatchRejected) {
+  Matrix a(2, 3), b(4, 5), out;
+  EXPECT_THROW(gemm(a, b, out), Error);
+  EXPECT_THROW(gemm_at_b(a, b, out), Error);
+  EXPECT_THROW(gemm_a_bt(a, b, out), Error);
+}
+
+TEST(Matrix, AddRowVector) {
+  Matrix m(2, 3, 1.0f);
+  Matrix bias(1, 3);
+  bias(0, 0) = 1;
+  bias(0, 1) = 2;
+  bias(0, 2) = 3;
+  add_row_vector(m, bias);
+  EXPECT_FLOAT_EQ(m(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(m(1, 2), 4.0f);
+  Matrix bad(1, 2);
+  EXPECT_THROW(add_row_vector(m, bad), Error);
+}
+
+TEST(Matrix, ColSums) {
+  Matrix m(3, 2);
+  m(0, 0) = 1;
+  m(1, 0) = 2;
+  m(2, 0) = 3;
+  m(0, 1) = -1;
+  Matrix out;
+  col_sums(m, out);
+  EXPECT_FLOAT_EQ(out(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(out(0, 1), -1.0f);
+}
+
+TEST(Matrix, Hcat) {
+  Matrix a(2, 2, 1.0f), b(2, 3, 2.0f);
+  const auto c = hcat(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 5u);
+  EXPECT_FLOAT_EQ(c(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(c(1, 4), 2.0f);
+  Matrix bad(3, 1);
+  EXPECT_THROW(hcat(a, bad), Error);
+}
+
+TEST(Matrix, ResizeAndFill) {
+  Matrix m(2, 2, 5.0f);
+  EXPECT_FLOAT_EQ(m(1, 1), 5.0f);
+  m.fill(0.0f);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  m.resize(3, 4, 1.0f);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FLOAT_EQ(m(2, 3), 1.0f);
+}
+
+}  // namespace
+}  // namespace de::nn

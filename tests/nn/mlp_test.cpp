@@ -1,0 +1,151 @@
+// Gradient correctness via central finite differences — the make-or-break
+// test for the hand-written backprop that DDPG relies on.
+#include "nn/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include "common/require.hpp"
+
+namespace de::nn {
+namespace {
+
+/// Scalar loss L = sum(output) for gradient checking.
+float loss_of(Mlp& mlp, const Matrix& x) {
+  const Matrix& y = mlp.forward(x);
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < y.size(); ++i) sum += y.data()[i];
+  return sum;
+}
+
+TEST(Linear, ForwardShapeAndBias) {
+  Rng rng(1);
+  Linear layer(3, 2, rng);
+  layer.weight().fill(0.0f);
+  layer.bias()(0, 0) = 1.5f;
+  layer.bias()(0, 1) = -0.5f;
+  Matrix x(4, 3, 1.0f);
+  const Matrix& y = layer.forward(x);
+  EXPECT_EQ(y.rows(), 4u);
+  EXPECT_EQ(y.cols(), 2u);
+  EXPECT_FLOAT_EQ(y(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y(3, 1), -0.5f);
+}
+
+TEST(Activations, ReluAndTanhForward) {
+  Matrix m(1, 3);
+  m(0, 0) = -2.0f;
+  m(0, 1) = 0.0f;
+  m(0, 2) = 2.0f;
+  Matrix r = m;
+  apply_activation(Activation::kRelu, r);
+  EXPECT_FLOAT_EQ(r(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(r(0, 2), 2.0f);
+  Matrix t = m;
+  apply_activation(Activation::kTanh, t);
+  EXPECT_NEAR(t(0, 0), std::tanh(-2.0), 1e-6);
+  EXPECT_NEAR(t(0, 2), std::tanh(2.0), 1e-6);
+}
+
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  Rng rng(42);
+  Mlp mlp({4, 8, 6, 3}, Activation::kTanh, rng);
+  Rng xrng(7);
+  Matrix x(5, 4);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(xrng.uniform(-1.0, 1.0));
+  }
+
+  // Analytic gradients of L = sum(outputs).
+  mlp.zero_grad();
+  const Matrix& y = mlp.forward(x);
+  Matrix dy(y.rows(), y.cols(), 1.0f);
+  mlp.backward(dy);
+
+  const auto params = mlp.parameters();
+  const auto grads = mlp.gradients();
+  const float eps = 1e-3f;
+  int checked = 0;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    // Spot-check a handful of coordinates per parameter tensor.
+    for (std::size_t idx = 0; idx < params[p]->size();
+         idx += std::max<std::size_t>(params[p]->size() / 5, 1)) {
+      const float orig = params[p]->data()[idx];
+      params[p]->data()[idx] = orig + eps;
+      const float up = loss_of(mlp, x);
+      params[p]->data()[idx] = orig - eps;
+      const float down = loss_of(mlp, x);
+      params[p]->data()[idx] = orig;
+      const float numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(grads[p]->data()[idx], numeric, 2e-2f)
+          << "param " << p << " index " << idx;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 20);
+}
+
+TEST(Mlp, InputGradientMatchesFiniteDifferences) {
+  Rng rng(3);
+  Mlp mlp({3, 6, 2}, Activation::kNone, rng);
+  Matrix x(2, 3);
+  Rng xrng(9);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(xrng.uniform(-1.0, 1.0));
+  }
+  mlp.zero_grad();
+  const Matrix& y = mlp.forward(x);
+  Matrix dy(y.rows(), y.cols(), 1.0f);
+  const Matrix dx = mlp.backward(dy);
+
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Matrix xp = x, xm = x;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const float up = loss_of(mlp, xp);
+    const float down = loss_of(mlp, xm);
+    EXPECT_NEAR(dx.data()[i], (up - down) / (2 * eps), 2e-2f);
+  }
+}
+
+TEST(Mlp, GradAccumulationAndZero) {
+  Rng rng(5);
+  Mlp mlp({2, 4, 1}, Activation::kNone, rng);
+  Matrix x(1, 2, 1.0f);
+  mlp.zero_grad();
+  mlp.forward(x);
+  Matrix dy(1, 1, 1.0f);
+  mlp.backward(dy);
+  const float g1 = mlp.gradients()[0]->data()[0];
+  mlp.forward(x);
+  mlp.backward(dy);
+  EXPECT_NEAR(mlp.gradients()[0]->data()[0], 2 * g1, 1e-5f);
+  mlp.zero_grad();
+  EXPECT_FLOAT_EQ(mlp.gradients()[0]->data()[0], 0.0f);
+}
+
+TEST(Mlp, SoftUpdateBlends) {
+  Rng rng(1);
+  Mlp a({2, 3, 1}, Activation::kNone, rng);
+  Mlp b({2, 3, 1}, Activation::kNone, rng);
+  const float pa = a.parameters()[0]->data()[0];
+  const float pb = b.parameters()[0]->data()[0];
+  b.soft_update_from(a, 0.25);
+  EXPECT_NEAR(b.parameters()[0]->data()[0], 0.25f * pa + 0.75f * pb, 1e-6f);
+  b.copy_from(a);
+  EXPECT_FLOAT_EQ(b.parameters()[0]->data()[0], pa);
+}
+
+TEST(Mlp, TanhOutputBounded) {
+  Rng rng(8);
+  Mlp mlp({3, 16, 4}, Activation::kTanh, rng);
+  Matrix x(1, 3, 100.0f);  // large inputs
+  const Matrix& y = mlp.forward(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_LE(std::abs(y.data()[i]), 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace de::nn

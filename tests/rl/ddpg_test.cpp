@@ -1,0 +1,121 @@
+#include "rl/ddpg.hpp"
+
+#include <gtest/gtest.h>
+#include "common/require.hpp"
+
+namespace de::rl {
+namespace {
+
+DdpgConfig small_config(std::size_t state_dim, std::size_t action_dim) {
+  DdpgConfig c;
+  c.state_dim = state_dim;
+  c.action_dim = action_dim;
+  c.actor_hidden = {32, 16};
+  c.critic_hidden = {32, 16};
+  c.actor_lr = 1e-3;
+  c.critic_lr = 1e-2;
+  c.batch_size = 32;
+  c.tau = 0.01;
+  return c;
+}
+
+TEST(Ddpg, ActShapeAndBounds) {
+  Rng rng(1);
+  Ddpg agent(small_config(3, 2), rng);
+  const auto a = agent.act({0.1f, -0.2f, 0.3f});
+  ASSERT_EQ(a.size(), 2u);
+  for (float v : a) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Ddpg, DeterministicPolicy) {
+  Rng rng(1);
+  Ddpg agent(small_config(2, 1), rng);
+  const std::vector<float> s{0.5f, -0.5f};
+  EXPECT_EQ(agent.act(s), agent.act(s));
+}
+
+TEST(Ddpg, TrainOnEmptyBufferIsNoop) {
+  Rng rng(1);
+  Ddpg agent(small_config(2, 1), rng);
+  ReplayBuffer buffer(16, 2, 1);
+  EXPECT_DOUBLE_EQ(agent.train_step(buffer, rng), 0.0);
+}
+
+TEST(Ddpg, LearnsContinuousBandit) {
+  // One-step environment: state is irrelevant, reward = 1 - (a - 0.6)^2.
+  // The optimal deterministic policy outputs a = 0.6.
+  Rng rng(7);
+  auto config = small_config(1, 1);
+  Ddpg agent(config, rng);
+  ReplayBuffer buffer(4096, 1, 1);
+
+  for (int episode = 0; episode < 1500; ++episode) {
+    const std::vector<float> s{1.0f};
+    auto a = agent.act(s);
+    // Exploration noise.
+    a[0] = std::clamp(a[0] + static_cast<float>(rng.normal(0.0, 0.3)), -1.0f, 1.0f);
+    const float reward = 1.0f - (a[0] - 0.6f) * (a[0] - 0.6f);
+    Transition t;
+    t.state = s;
+    t.action = a;
+    t.reward = reward;
+    t.next_state = s;
+    t.terminal = true;
+    buffer.push(std::move(t));
+    agent.train_step(buffer, rng);
+  }
+  const auto a = agent.act({1.0f});
+  EXPECT_NEAR(a[0], 0.6f, 0.15f);
+}
+
+TEST(Ddpg, CriticLossDecreasesOnStationaryData) {
+  Rng rng(3);
+  auto config = small_config(2, 1);
+  Ddpg agent(config, rng);
+  ReplayBuffer buffer(512, 2, 1);
+  for (int i = 0; i < 256; ++i) {
+    Transition t;
+    const float x = static_cast<float>(rng.uniform(-1.0, 1.0));
+    const float a = static_cast<float>(rng.uniform(-1.0, 1.0));
+    t.state = {x, -x};
+    t.action = {a};
+    t.reward = x * a;  // simple bilinear reward
+    t.next_state = {x, -x};
+    t.terminal = true;
+    buffer.push(std::move(t));
+  }
+  double early = 0.0, late = 0.0;
+  for (int step = 0; step < 400; ++step) {
+    const double loss = agent.train_step(buffer, rng);
+    if (step < 50) early += loss;
+    if (step >= 350) late += loss;
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(Ddpg, SnapshotRestoreRoundTrip) {
+  Rng rng(1);
+  Ddpg agent(small_config(2, 1), rng);
+  const auto snapshot = agent.actor_snapshot();
+  const auto before = agent.act({0.3f, 0.3f});
+  // Perturb the actor.
+  agent.actor().parameters()[0]->data()[0] += 1.0f;
+  const auto perturbed = agent.act({0.3f, 0.3f});
+  EXPECT_NE(before, perturbed);
+  agent.restore_actor(snapshot);
+  EXPECT_EQ(agent.act({0.3f, 0.3f}), before);
+}
+
+TEST(Ddpg, RejectsBadDims) {
+  Rng rng(1);
+  DdpgConfig c;
+  c.state_dim = 0;
+  c.action_dim = 1;
+  EXPECT_THROW(Ddpg(c, rng), Error);
+}
+
+}  // namespace
+}  // namespace de::rl

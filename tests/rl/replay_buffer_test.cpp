@@ -1,0 +1,93 @@
+#include "rl/replay_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::rl {
+namespace {
+
+Transition make_transition(float tag) {
+  Transition t;
+  t.state = {tag, tag};
+  t.action = {tag};
+  t.reward = tag;
+  t.next_state = {tag + 1, tag + 1};
+  t.terminal = false;
+  return t;
+}
+
+TEST(ReplayBuffer, SizeGrowsUntilCapacity) {
+  ReplayBuffer buf(3, 2, 1);
+  EXPECT_EQ(buf.size(), 0u);
+  for (int i = 0; i < 5; ++i) buf.push(make_transition(static_cast<float>(i)));
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.capacity(), 3u);
+}
+
+TEST(ReplayBuffer, RingOverwritesOldest) {
+  ReplayBuffer buf(2, 2, 1);
+  buf.push(make_transition(0));
+  buf.push(make_transition(1));
+  buf.push(make_transition(2));  // overwrites tag 0
+  Rng rng(1);
+  bool saw_old = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto batch = buf.sample(1, rng);
+    if (batch.rewards(0, 0) == 0.0f) saw_old = true;
+  }
+  EXPECT_FALSE(saw_old);
+}
+
+TEST(ReplayBuffer, SampleShapes) {
+  ReplayBuffer buf(10, 3, 2);
+  Transition t;
+  t.state = {1, 2, 3};
+  t.action = {4, 5};
+  t.reward = 6;
+  t.next_state = {7, 8, 9};
+  t.terminal = true;
+  buf.push(t);
+  Rng rng(2);
+  const auto batch = buf.sample(4, rng);
+  EXPECT_EQ(batch.states.rows(), 4u);
+  EXPECT_EQ(batch.states.cols(), 3u);
+  EXPECT_EQ(batch.actions.cols(), 2u);
+  EXPECT_EQ(batch.rewards.cols(), 1u);
+  EXPECT_EQ(batch.next_states.cols(), 3u);
+  EXPECT_FLOAT_EQ(batch.terminals(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(batch.states(2, 1), 2.0f);
+  EXPECT_FLOAT_EQ(batch.next_states(3, 2), 9.0f);
+}
+
+TEST(ReplayBuffer, RejectsWrongWidths) {
+  ReplayBuffer buf(4, 2, 1);
+  Transition bad = make_transition(0);
+  bad.state = {1.0f};
+  EXPECT_THROW(buf.push(bad), Error);
+  Transition bad2 = make_transition(0);
+  bad2.action = {1.0f, 2.0f};
+  EXPECT_THROW(buf.push(bad2), Error);
+}
+
+TEST(ReplayBuffer, SamplingEmptyRejected) {
+  ReplayBuffer buf(4, 2, 1);
+  Rng rng(1);
+  EXPECT_THROW(buf.sample(1, rng), Error);
+}
+
+TEST(ReplayBuffer, SamplesSpanTheBuffer) {
+  ReplayBuffer buf(8, 2, 1);
+  for (int i = 0; i < 8; ++i) buf.push(make_transition(static_cast<float>(i)));
+  Rng rng(5);
+  std::set<float> seen;
+  for (int i = 0; i < 400; ++i) {
+    const auto batch = buf.sample(2, rng);
+    seen.insert(batch.rewards(0, 0));
+    seen.insert(batch.rewards(1, 0));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+}  // namespace
+}  // namespace de::rl

@@ -1,0 +1,103 @@
+#include "sim/stream_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model.hpp"
+#include "common/require.hpp"
+
+namespace de::sim {
+namespace {
+
+class FlatModel final : public device::LatencyModel {
+ public:
+  explicit FlatModel(Ms per_row) : per_row_(per_row) {}
+  Ms layer_ms(const cnn::LayerConfig&, int out_rows) const override {
+    return per_row_ * out_rows;
+  }
+  Ms fc_ms(const cnn::FcConfig&) const override { return 1.0; }
+
+ private:
+  Ms per_row_;
+};
+
+cnn::CnnModel model() {
+  return cnn::ModelBuilder("m", 16, 16, 2).conv_same(4, 3).conv_same(4, 3).build();
+}
+
+RawStrategy strategy(const cnn::CnnModel& m) {
+  RawStrategy s;
+  s.volumes = {cnn::LayerVolume{0, m.num_layers()}};
+  s.cuts = {{0, 8, 16}};
+  return s;
+}
+
+TEST(StreamSim, SequentialIpsMatchesMeanLatency) {
+  const auto m = model();
+  ClusterLatency cluster{std::make_shared<FlatModel>(1.0),
+                         std::make_shared<FlatModel>(1.0)};
+  net::Network network(2);
+  StreamOptions options;
+  options.n_images = 100;
+  const auto r = stream_images(m, strategy(m), cluster, network, options);
+  ASSERT_EQ(r.per_image_ms.size(), 100u);
+  // Sequential streaming: IPS == 1000 / mean latency.
+  EXPECT_NEAR(r.ips, 1000.0 / r.mean_ms, 1e-6);
+  // Constant traces: every image identical.
+  EXPECT_NEAR(r.per_image_ms.front(), r.per_image_ms.back(), 1e-9);
+}
+
+TEST(StreamSim, ImageStartTimesAdvance) {
+  const auto m = model();
+  ClusterLatency cluster{std::make_shared<FlatModel>(1.0),
+                         std::make_shared<FlatModel>(1.0)};
+  net::Network network(2);
+  StreamOptions options;
+  options.n_images = 10;
+  const auto r = stream_images(m, strategy(m), cluster, network, options);
+  for (std::size_t k = 1; k < r.image_start_s.size(); ++k) {
+    EXPECT_NEAR(r.image_start_s[k] - r.image_start_s[k - 1],
+                ms_to_s(r.per_image_ms[k - 1]), 1e-9);
+  }
+}
+
+TEST(StreamSim, ReplanningAppliesAtAvailableTime) {
+  const auto m = model();
+  // Device 1 is far slower: the initial all-on-1 strategy is bad, the
+  // replanned all-on-0 strategy is good.
+  ClusterLatency cluster{std::make_shared<FlatModel>(0.1),
+                         std::make_shared<FlatModel>(10.0)};
+  net::Network network(2);
+  RawStrategy slow;
+  slow.volumes = {cnn::LayerVolume{0, 2}};
+  slow.cuts = {{0, 0, 16}};  // everything on slow device 1
+  RawStrategy fast = slow;
+  fast.cuts = {{0, 16, 16}};  // everything on fast device 0
+
+  StreamOptions options;
+  options.n_images = 200;
+  options.replan_poll_s = 1.0;
+  int polls = 0;
+  const auto r = stream_with_replanning(
+      m, slow, cluster, network, options,
+      [&](Seconds now) -> std::optional<StrategyUpdate> {
+        ++polls;
+        if (now < 5.0) return std::nullopt;
+        return StrategyUpdate{fast, now + 2.0};  // planning takes 2 s
+      });
+  EXPECT_GT(polls, 1);
+  // Early images slow, late images fast.
+  EXPECT_GT(r.per_image_ms.front(), r.per_image_ms.back() * 2.0);
+}
+
+TEST(StreamSim, RejectsZeroImages) {
+  const auto m = model();
+  ClusterLatency cluster{std::make_shared<FlatModel>(1.0),
+                         std::make_shared<FlatModel>(1.0)};
+  net::Network network(2);
+  StreamOptions options;
+  options.n_images = 0;
+  EXPECT_THROW(stream_images(m, strategy(m), cluster, network, options), Error);
+}
+
+}  // namespace
+}  // namespace de::sim
