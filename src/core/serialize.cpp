@@ -1,10 +1,77 @@
 #include "core/serialize.hpp"
 
+#include <bit>
+#include <cstring>
 #include <sstream>
 
 #include "common/require.hpp"
 
 namespace de::core {
+
+void ByteWriter::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
+  bytes_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    bytes_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void ByteWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+void ByteWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
+
+void ByteWriter::f32_span(std::span<const float> values) {
+  static_assert(sizeof(float) == 4);
+  if constexpr (std::endian::native == std::endian::little) {
+    // Tensor payloads dominate the data plane; on little-endian hosts the
+    // in-memory floats already match the wire layout byte for byte.
+    const auto* raw = reinterpret_cast<const std::uint8_t*>(values.data());
+    bytes_.insert(bytes_.end(), raw, raw + values.size() * 4);
+  } else {
+    bytes_.reserve(bytes_.size() + values.size() * 4);
+    for (float v : values) f32(v);
+  }
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (remaining() < n) throw Error("byte stream truncated");
+}
+
+std::uint16_t ByteReader::u16() {
+  need(2);
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      bytes_[pos_] | (static_cast<std::uint16_t>(bytes_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::int32_t ByteReader::i32() { return static_cast<std::int32_t>(u32()); }
+
+float ByteReader::f32() { return std::bit_cast<float>(u32()); }
+
+void ByteReader::f32_span(std::span<float> out) {
+  need(out.size() * 4);
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out.data(), bytes_.data() + pos_, out.size() * 4);
+    pos_ += out.size() * 4;
+  } else {
+    for (auto& v : out) v = f32();
+  }
+}
 
 void save_strategy(std::ostream& os, const DistributionStrategy& strategy,
                    const std::string& model_name, int n_devices) {

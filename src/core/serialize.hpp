@@ -1,23 +1,70 @@
-// Text (de)serialisation of distribution strategies.
+// (De)serialisation helpers.
 //
-// Once planned (LC-PSS + OSDS can take minutes at paper scale), a strategy
-// is plain data; the controller stores it and ships it to the requester /
-// providers. Format (line-oriented, whitespace-separated, '#' comments):
+// Two layers live here:
+//  * Text strategies — once planned (LC-PSS + OSDS can take minutes at paper
+//    scale), a strategy is plain data; the controller stores it and ships it
+//    to the requester / providers. Format (line-oriented, whitespace-
+//    separated, '#' comments):
 //
-//   distredge-strategy v1
-//   model <name>
-//   devices <n>
-//   boundaries <b0> <b1> ... <bk>
-//   splits <volume-count>
-//   <cut0> <cut1> ... <cutD>          # one line per volume
+//      distredge-strategy v1
+//      model <name>
+//      devices <n>
+//      boundaries <b0> <b1> ... <bk>
+//      splits <volume-count>
+//      <cut0> <cut1> ... <cutD>          # one line per volume
+//
+//  * ByteWriter / ByteReader — little-endian binary primitives shared by the
+//    rpc wire format (src/rpc/wire.*) and any future on-disk binary formats.
+//    Floats travel as raw IEEE-754 bit patterns so round-trips are bit-exact.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "core/strategy.hpp"
 
 namespace de::core {
+
+/// Appends little-endian primitives to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void i32(std::int32_t v);
+  void f32(float v);
+  void f32_span(std::span<const float> values);
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Consumes little-endian primitives from a byte span; throws de::Error on
+/// underrun (never reads past the span).
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::int32_t i32();
+  float f32();
+  void f32_span(std::span<float> out);
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return remaining() == 0; }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
 
 /// Writes `strategy` for `model` on `n_devices` devices.
 void save_strategy(std::ostream& os, const DistributionStrategy& strategy,

@@ -1,0 +1,38 @@
+// Addressable endpoints of the message-passing runtime (DESIGN.md §rpc).
+//
+// A cluster is a set of nodes (service providers plus the requester), each
+// hosting numbered mailboxes. An Address names one mailbox on one node;
+// it is plain data and travels freely between nodes.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace de::rpc {
+
+/// Node index within a cluster run. Providers are 0..n_devices-1; by runtime
+/// convention the requester is node n_devices.
+using NodeId = std::int32_t;
+
+/// Mailbox index within a node.
+using MailboxId = std::int32_t;
+
+inline constexpr NodeId kNilNode = -1;
+inline constexpr MailboxId kNilMailbox = -1;
+
+/// The data-plane inbox every cluster node opens (chunk traffic).
+inline constexpr MailboxId kDataMailbox = 0;
+
+struct Address {
+  NodeId node = kNilNode;
+  MailboxId mailbox = kNilMailbox;
+
+  bool is_nil() const { return node == kNilNode || mailbox == kNilMailbox; }
+  bool operator==(const Address&) const = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Address& a) {
+  return os << a.node << ':' << a.mailbox;
+}
+
+}  // namespace de::rpc

@@ -1,0 +1,68 @@
+#include "rpc/inproc_transport.hpp"
+
+#include "common/require.hpp"
+
+namespace de::rpc {
+
+Address InProcTransport::open_mailbox(MailboxId id) {
+  DE_REQUIRE(id >= 0, "mailbox id must be non-negative");
+  std::lock_guard lk(mu_);
+  DE_REQUIRE(!down_, "transport already shut down");
+  auto& slot = mailboxes_[id];
+  if (!slot) slot = std::make_unique<runtime::Mailbox<Payload>>();
+  return Address{node_, id};
+}
+
+runtime::Mailbox<Payload>* InProcTransport::find_mailbox(MailboxId id) {
+  std::lock_guard lk(mu_);
+  if (down_) return nullptr;
+  auto it = mailboxes_.find(id);
+  return it == mailboxes_.end() ? nullptr : it->second.get();
+}
+
+void InProcTransport::send(const Address& to, Payload payload) {
+  if (to.is_nil()) return;
+  if (to.node < 0 || to.node >= fabric_->num_nodes()) return;  // dead peer
+  auto* box = fabric_->endpoint(to.node).find_mailbox(to.mailbox);
+  if (box == nullptr || box->closed()) return;  // silent fail
+  box->send(std::move(payload));
+}
+
+std::optional<Payload> InProcTransport::receive(MailboxId id) {
+  auto* box = find_mailbox(id);
+  if (box == nullptr) return std::nullopt;
+  return box->receive();
+}
+
+std::optional<Payload> InProcTransport::try_receive(MailboxId id) {
+  auto* box = find_mailbox(id);
+  if (box == nullptr) return std::nullopt;
+  return box->try_receive();
+}
+
+void InProcTransport::shutdown() {
+  std::lock_guard lk(mu_);
+  down_ = true;
+  for (auto& [id, box] : mailboxes_) box->close();
+}
+
+InProcFabric::InProcFabric(int n_nodes) {
+  DE_REQUIRE(n_nodes >= 1, "fabric needs at least one node");
+  endpoints_.reserve(static_cast<std::size_t>(n_nodes));
+  for (NodeId node = 0; node < n_nodes; ++node) {
+    endpoints_.emplace_back(new InProcTransport(this, node));
+  }
+}
+
+InProcFabric::~InProcFabric() { shutdown_all(); }
+
+InProcTransport& InProcFabric::endpoint(NodeId node) {
+  DE_REQUIRE(node >= 0 && node < num_nodes(), "node id out of range");
+  return *endpoints_[static_cast<std::size_t>(node)];
+}
+
+void InProcFabric::shutdown_all() {
+  for (auto& ep : endpoints_) ep->shutdown();
+}
+
+}  // namespace de::rpc

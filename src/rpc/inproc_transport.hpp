@@ -1,0 +1,60 @@
+// Shared-memory Transport backend: all nodes live in one process and the
+// "wire" is a runtime::Mailbox<Payload> per (node, mailbox). Messages still
+// pass through the binary wire format, so the in-process cluster exercises
+// exactly the same encode/decode path as the TCP data plane.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "rpc/transport.hpp"
+#include "runtime/mailbox.hpp"
+
+namespace de::rpc {
+
+class InProcFabric;
+
+/// One node's view of the fabric.
+class InProcTransport final : public Transport {
+ public:
+  NodeId local_node() const override { return node_; }
+  Address open_mailbox(MailboxId id) override;
+  void send(const Address& to, Payload payload) override;
+  std::optional<Payload> receive(MailboxId id) override;
+  std::optional<Payload> try_receive(MailboxId id) override;
+  void shutdown() override;
+
+ private:
+  friend class InProcFabric;
+  InProcTransport(InProcFabric* fabric, NodeId node)
+      : fabric_(fabric), node_(node) {}
+
+  runtime::Mailbox<Payload>* find_mailbox(MailboxId id);
+
+  InProcFabric* fabric_;
+  NodeId node_;
+  mutable std::mutex mu_;
+  bool down_ = false;
+  std::map<MailboxId, std::unique_ptr<runtime::Mailbox<Payload>>> mailboxes_;
+};
+
+/// Owns the endpoints of an n-node in-process cluster.
+class InProcFabric {
+ public:
+  explicit InProcFabric(int n_nodes);
+  ~InProcFabric();
+
+  int num_nodes() const { return static_cast<int>(endpoints_.size()); }
+  InProcTransport& endpoint(NodeId node);
+
+  /// Shuts every endpoint down (also run by the destructor).
+  void shutdown_all();
+
+ private:
+  friend class InProcTransport;
+  std::vector<std::unique_ptr<InProcTransport>> endpoints_;
+};
+
+}  // namespace de::rpc

@@ -1,0 +1,252 @@
+#include "rpc/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/require.hpp"
+
+namespace de::rpc {
+
+namespace {
+
+bool write_all(int fd, const void* data, std::size_t len) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    // MSG_NOSIGNAL: a peer-closed socket must surface as EPIPE (silent send
+    // failure), never as a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool read_all(int fd, void* data, std::size_t len) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::read(fd, p, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;  // EOF or error
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+TcpTransport::TcpTransport(NodeId local, std::uint16_t port) : node_(local) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DE_REQUIRE(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("tcp transport: cannot bind loopback listener");
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::set_peers(std::map<NodeId, PeerEndpoint> peers) {
+  std::lock_guard lk(mu_);
+  DE_REQUIRE(!down_, "transport already shut down");
+  for (auto& [node, endpoint] : peers) {
+    auto& slot = peers_[node];
+    if (!slot) slot = std::make_unique<Peer>();
+    slot->endpoint = std::move(endpoint);
+  }
+}
+
+Address TcpTransport::open_mailbox(MailboxId id) {
+  DE_REQUIRE(id >= 0, "mailbox id must be non-negative");
+  std::lock_guard lk(mu_);
+  DE_REQUIRE(!down_, "transport already shut down");
+  auto& slot = mailboxes_[id];
+  if (!slot) slot = std::make_unique<runtime::Mailbox<Payload>>();
+  return Address{node_, id};
+}
+
+runtime::Mailbox<Payload>* TcpTransport::find_mailbox(MailboxId id) {
+  std::lock_guard lk(mu_);
+  if (down_) return nullptr;
+  auto it = mailboxes_.find(id);
+  return it == mailboxes_.end() ? nullptr : it->second.get();
+}
+
+void TcpTransport::deliver_local(MailboxId id, Payload payload) {
+  auto* box = find_mailbox(id);
+  if (box == nullptr || box->closed()) return;  // silent drop
+  box->send(std::move(payload));
+}
+
+int TcpTransport::peer_fd_locked(Peer& peer) {
+  if (peer.dead) return -1;
+  if (peer.fd >= 0) return peer.fd;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    peer.dead = true;
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(peer.endpoint.port);
+  if (::inet_pton(AF_INET, peer.endpoint.host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    peer.dead = true;
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  peer.fd = fd;
+  return fd;
+}
+
+void TcpTransport::send(const Address& to, Payload payload) {
+  if (to.is_nil()) return;
+  if (payload.size() > kMaxFrameBytes) return;  // refuse oversized frames
+  if (to.node == node_) {
+    deliver_local(to.mailbox, std::move(payload));
+    return;
+  }
+
+  Peer* peer = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    if (down_) return;
+    auto it = peers_.find(to.node);
+    if (it == peers_.end()) return;  // undeclared peer: silent fail
+    peer = it->second.get();
+  }
+
+  std::lock_guard plk(peer->mu);
+  const int fd = peer_fd_locked(*peer);
+  if (fd < 0) return;  // dead peer: silent fail
+
+  std::uint8_t header[8];
+  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header + 4, static_cast<std::uint32_t>(to.mailbox));
+  if (!write_all(fd, header, sizeof(header)) ||
+      !write_all(fd, payload.data(), payload.size())) {
+    ::close(peer->fd);
+    peer->fd = -1;
+    peer->dead = true;
+  }
+}
+
+std::optional<Payload> TcpTransport::receive(MailboxId id) {
+  auto* box = find_mailbox(id);
+  if (box == nullptr) return std::nullopt;
+  return box->receive();
+}
+
+std::optional<Payload> TcpTransport::try_receive(MailboxId id) {
+  auto* box = find_mailbox(id);
+  if (box == nullptr) return std::nullopt;
+  return box->try_receive();
+}
+
+void TcpTransport::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed (shutdown) or fatal error
+    }
+    std::lock_guard lk(mu_);
+    if (down_) {
+      ::close(fd);
+      return;
+    }
+    rx_fds_.push_back(fd);
+    rx_threads_.emplace_back([this, fd] { rx_loop(fd); });
+  }
+}
+
+void TcpTransport::rx_loop(int fd) {
+  for (;;) {
+    std::uint8_t header[8];
+    if (!read_all(fd, header, sizeof(header))) break;
+    const std::uint32_t length = get_u32(header);
+    const std::uint32_t mailbox = get_u32(header + 4);
+    if (length > kMaxFrameBytes) break;  // malformed stream: drop the peer
+    Payload payload(length);
+    if (length > 0 && !read_all(fd, payload.data(), length)) break;
+    deliver_local(static_cast<MailboxId>(mailbox), std::move(payload));
+  }
+  // Deregister before closing so shutdown() never touches a recycled fd.
+  std::lock_guard lk(mu_);
+  std::erase(rx_fds_, fd);
+  ::close(fd);
+}
+
+void TcpTransport::shutdown() {
+  std::vector<std::thread> rx;
+  {
+    std::lock_guard lk(mu_);
+    if (down_) {
+      // Idempotent: a second call must not re-join threads.
+      return;
+    }
+    down_ = true;
+    for (auto& [id, box] : mailboxes_) box->close();
+    for (auto& [node, peer] : peers_) {
+      std::lock_guard plk(peer->mu);
+      if (peer->fd >= 0) {
+        ::close(peer->fd);
+        peer->fd = -1;
+      }
+      peer->dead = true;
+    }
+    // Wake rx threads blocked in read(); they close their fd themselves.
+    for (int fd : rx_fds_) ::shutdown(fd, SHUT_RDWR);
+    rx = std::move(rx_threads_);
+  }
+  // Wake accept() with ::shutdown only; the fd is closed *after* the join so
+  // the accept thread never reads a recycled fd number (closing first races
+  // with its next accept() and, on Linux, would not even wake a blocked one).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& t : rx) t.join();
+}
+
+}  // namespace de::rpc

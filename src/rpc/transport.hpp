@@ -1,0 +1,56 @@
+// Transport: the byte-level message plane a cluster node talks through.
+//
+// Mailbox-layer semantics in the style of RethinkDB's rpc/mailbox: a node
+// opens numbered mailboxes, and anyone holding an Address can `send()` to it.
+// send() never blocks and silently drops the payload if the destination
+// mailbox does not exist or the peer is unreachable/dead — delivery is
+// at-most-once, and anything stronger is the caller's protocol concern.
+// There is no failure detector: a peer that dies mid-protocol stalls
+// counterparties waiting on its messages until the run owner shuts the
+// fabric down (see ClusterFabric's provider barrier); liveness timeouts are
+// future work.
+//
+// Backends: InProcTransport (shared-memory, zero-copy queues) and
+// TcpTransport (length-prefixed frames over POSIX sockets).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rpc/address.hpp"
+
+namespace de::rpc {
+
+/// Opaque message body; the cluster runtime fills these via rpc/wire.
+using Payload = std::vector<std::uint8_t>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// The node this endpoint speaks for.
+  virtual NodeId local_node() const = 0;
+
+  /// Opens local mailbox `id` (idempotent). Payloads addressed to
+  /// {local_node(), id} queue there from this point on; sends to an unopened
+  /// mailbox are dropped. Returns the mailbox's address.
+  virtual Address open_mailbox(MailboxId id) = 0;
+
+  /// Non-blocking post of `payload` to `to`. Silently fails if the address
+  /// is nil, the mailbox is not open, or the peer is dead.
+  virtual void send(const Address& to, Payload payload) = 0;
+
+  /// Blocks until a payload arrives in local mailbox `id` or the transport
+  /// shuts down (nullopt).
+  virtual std::optional<Payload> receive(MailboxId id) = 0;
+
+  /// Non-blocking poll of local mailbox `id`; nullopt when empty or closed.
+  virtual std::optional<Payload> try_receive(MailboxId id) = 0;
+
+  /// Graceful teardown: wakes blocked receivers (they return nullopt), stops
+  /// accepting traffic, and joins any backend threads. Idempotent.
+  virtual void shutdown() = 0;
+};
+
+}  // namespace de::rpc

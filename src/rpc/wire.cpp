@@ -1,0 +1,119 @@
+#include "rpc/wire.hpp"
+
+#include <limits>
+
+#include "common/require.hpp"
+#include "core/serialize.hpp"
+
+namespace de::rpc {
+
+namespace {
+
+void write_header(core::ByteWriter& w, MsgType type) {
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+}
+
+MsgType read_header(core::ByteReader& r) {
+  DE_REQUIRE(r.u32() == kWireMagic, "wire: bad magic");
+  DE_REQUIRE(r.u16() == kWireVersion, "wire: unsupported version");
+  const auto raw = r.u16();
+  DE_REQUIRE(raw >= static_cast<std::uint16_t>(MsgType::kScatter) &&
+                 raw <= static_cast<std::uint16_t>(MsgType::kShutdown),
+             "wire: unknown message type");
+  return static_cast<MsgType>(raw);
+}
+
+bool is_chunk_type(MsgType t) {
+  return t == MsgType::kScatter || t == MsgType::kHaloRows ||
+         t == MsgType::kGather;
+}
+
+}  // namespace
+
+MsgType peek_type(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  return read_header(r);
+}
+
+Payload encode_chunk(const ChunkMsg& msg) {
+  DE_REQUIRE(is_chunk_type(msg.type), "wire: not a chunk message type");
+  DE_REQUIRE(msg.rows.size() ==
+                 static_cast<std::size_t>(msg.rows.h) *
+                     static_cast<std::size_t>(msg.rows.w) *
+                     static_cast<std::size_t>(msg.rows.c),
+             "wire: tensor extents disagree with data size");
+  core::ByteWriter w;
+  write_header(w, msg.type);
+  w.i32(msg.seq);
+  w.i32(msg.volume);
+  w.i32(msg.row_offset);
+  w.i32(msg.rows.h);
+  w.i32(msg.rows.w);
+  w.i32(msg.rows.c);
+  w.f32_span(msg.rows.data);
+  return w.take();
+}
+
+Payload encode_halo_request(const HaloRequestMsg& msg) {
+  core::ByteWriter w;
+  write_header(w, MsgType::kHaloRequest);
+  w.i32(msg.seq);
+  w.i32(msg.volume);
+  w.i32(msg.begin);
+  w.i32(msg.end);
+  w.i32(msg.from_node);
+  return w.take();
+}
+
+Payload encode_shutdown() {
+  core::ByteWriter w;
+  write_header(w, MsgType::kShutdown);
+  return w.take();
+}
+
+ChunkMsg decode_chunk(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  ChunkMsg msg;
+  msg.type = read_header(r);
+  DE_REQUIRE(is_chunk_type(msg.type), "wire: frame is not a tensor chunk");
+  msg.seq = r.i32();
+  msg.volume = r.i32();
+  msg.row_offset = r.i32();
+  const std::int32_t h = r.i32();
+  const std::int32_t w = r.i32();
+  const std::int32_t c = r.i32();
+  DE_REQUIRE(msg.seq >= 0 && msg.volume >= 0 && msg.row_offset >= 0,
+             "wire: negative chunk coordinates");
+  DE_REQUIRE(h > 0 && w > 0 && c > 0, "wire: non-positive tensor extents");
+  const std::size_t elems = static_cast<std::size_t>(h) *
+                            static_cast<std::size_t>(w) *
+                            static_cast<std::size_t>(c);
+  DE_REQUIRE(elems <= std::numeric_limits<std::int32_t>::max() / 4,
+             "wire: tensor extents overflow");
+  DE_REQUIRE(r.remaining() == elems * 4,
+             "wire: payload size disagrees with tensor extents");
+  msg.rows = cnn::Tensor(h, w, c);
+  r.f32_span(msg.rows.data);
+  return msg;
+}
+
+HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r) == MsgType::kHaloRequest,
+             "wire: frame is not a halo request");
+  HaloRequestMsg msg;
+  msg.seq = r.i32();
+  msg.volume = r.i32();
+  msg.begin = r.i32();
+  msg.end = r.i32();
+  msg.from_node = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after halo request");
+  DE_REQUIRE(msg.seq >= 0 && msg.volume >= 0 && msg.begin >= 0 &&
+                 msg.end >= msg.begin && msg.from_node >= 0,
+             "wire: malformed halo request fields");
+  return msg;
+}
+
+}  // namespace de::rpc

@@ -1,0 +1,77 @@
+// Binary wire format of the cluster data plane (DESIGN.md §wire-format).
+//
+// Every payload starts with an 8-byte header:
+//
+//   u32 magic   = 0x44454447  ("DEDG")
+//   u16 version = kWireVersion
+//   u16 type    (MsgType)
+//
+// followed by the type-specific body, all little-endian:
+//
+//   kScatter / kHaloRows / kGather (tensor chunk):
+//     i32 seq          image sequence number within a stream
+//     i32 volume       destination layer-volume index
+//     i32 row_offset   absolute first row within that volume's input/output
+//     i32 h, i32 w, i32 c
+//     f32 * (h*w*c)    row-major HWC floats as raw IEEE-754 bit patterns
+//   kHaloRequest:
+//     i32 seq, i32 volume, i32 begin, i32 end, i32 from_node
+//   kShutdown:
+//     (empty body)
+//
+// decode_* throws de::Error on malformed input (bad magic/version/type,
+// truncated body, trailing garbage, negative or overflowing extents); a
+// frame accepted by decode re-encodes to the identical byte string.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "cnn/conv_exec.hpp"
+#include "rpc/address.hpp"
+#include "rpc/transport.hpp"
+
+namespace de::rpc {
+
+inline constexpr std::uint32_t kWireMagic = 0x44454447;  // "DEDG"
+inline constexpr std::uint16_t kWireVersion = 1;
+
+enum class MsgType : std::uint16_t {
+  kScatter = 1,      ///< requester -> provider: volume-0 input rows
+  kHaloRequest = 2,  ///< provider -> provider: pull request for halo rows
+  kHaloRows = 3,     ///< provider -> provider: halo rows between volumes
+  kGather = 4,       ///< provider -> requester: final-volume output rows
+  kShutdown = 5,     ///< requester -> provider: end of stream
+};
+
+/// A horizontal slice of some volume's tensor, tagged with the image it
+/// belongs to. Used by kScatter, kHaloRows, and kGather.
+struct ChunkMsg {
+  MsgType type = MsgType::kHaloRows;
+  std::int32_t seq = 0;
+  std::int32_t volume = 0;
+  std::int32_t row_offset = 0;
+  cnn::Tensor rows;
+};
+
+/// Pull request for rows [begin, end) of volume `volume`'s input; the
+/// holder answers with a kHaloRows chunk addressed to `from_node`.
+struct HaloRequestMsg {
+  std::int32_t seq = 0;
+  std::int32_t volume = 0;
+  std::int32_t begin = 0;
+  std::int32_t end = 0;
+  NodeId from_node = kNilNode;
+};
+
+/// Header peek without decoding the body; throws on bad magic/version.
+MsgType peek_type(std::span<const std::uint8_t> frame);
+
+Payload encode_chunk(const ChunkMsg& msg);
+Payload encode_halo_request(const HaloRequestMsg& msg);
+Payload encode_shutdown();
+
+ChunkMsg decode_chunk(std::span<const std::uint8_t> frame);
+HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame);
+
+}  // namespace de::rpc

@@ -1,39 +1,50 @@
 #include "runtime/cluster.hpp"
 
-#include <atomic>
 #include <map>
-#include <thread>
 
 #include "common/require.hpp"
-#include "runtime/mailbox.hpp"
+#include "runtime/fabric.hpp"
 
 namespace de::runtime {
 
 namespace {
 
-/// A horizontal slice of some volume's input tensor in absolute rows.
-struct ChunkMsg {
-  int volume = 0;       ///< destination volume index
-  int row_offset = 0;   ///< absolute first row within that volume's input
-  cnn::Tensor rows;
-};
+/// Single-image run over either transport backend.
+ClusterResult run_once(const cnn::CnnModel& model,
+                       const sim::RawStrategy& strategy,
+                       const std::vector<cnn::ConvWeights>& weights,
+                       const cnn::Tensor& input, int n_devices, bool use_tcp) {
+  validate_cluster_inputs(model, weights, input);
+  const auto plan = build_transfer_plan(model, strategy, n_devices);
 
-/// Copies rows [src_begin, src_end) (absolute) from `src` (whose row 0 is
-/// absolute row `src_offset`) into `dst` (whose row 0 is `dst_offset`).
-void blit_rows(const cnn::Tensor& src, int src_offset, int src_begin, int src_end,
-               cnn::Tensor& dst, int dst_offset) {
-  DE_ASSERT(src.w == dst.w && src.c == dst.c, "blit extent mismatch");
-  for (int y = src_begin; y < src_end; ++y) {
-    const float* from = &src.data[static_cast<std::size_t>(y - src_offset) * src.w * src.c];
-    float* to = &dst.data[static_cast<std::size_t>(y - dst_offset) * dst.w * dst.c];
-    std::copy(from, from + static_cast<std::size_t>(src.w) * src.c, to);
+  auto fabric = make_fabric(n_devices, use_tcp);
+  DataPlaneStats stats;
+  auto threads =
+      spawn_providers(fabric, model, strategy, weights, plan, /*n_images=*/1, stats);
+
+  scatter_image(fabric.requester(), /*seq=*/0, input, plan, stats);
+
+  std::map<int, std::vector<rpc::ChunkMsg>> stash;
+  cnn::Tensor output;
+  const bool ok =
+      gather_image(fabric.requester(), /*seq=*/0, model, plan, stash, output);
+  if (!ok) {
+    // A provider failed (its barrier shut the requester down) or a peer sent
+    // plan-mismatched chunks. Tear the fabric down and join before throwing —
+    // never unwind past live threads.
+    fabric.shutdown_all();
+    for (auto& t : threads) t.join();
+    throw Error("cluster transport shut down mid-gather");
   }
-}
 
-cnn::Tensor slice_rows(const cnn::Tensor& src, int src_offset, int begin, int end) {
-  cnn::Tensor out(end - begin, src.w, src.c);
-  blit_rows(src, src_offset, begin, end, out, begin);
-  return out;
+  for (auto& t : threads) t.join();
+  fabric.shutdown_all();
+
+  ClusterResult result;
+  result.output = std::move(output);
+  result.messages_exchanged = stats.messages.load();
+  result.bytes_moved = stats.bytes.load();
+  return result;
 }
 
 }  // namespace
@@ -61,185 +72,14 @@ ClusterResult run_distributed(const cnn::CnnModel& model,
                               const sim::RawStrategy& strategy,
                               const std::vector<cnn::ConvWeights>& weights,
                               const cnn::Tensor& input, int n_devices) {
-  DE_REQUIRE(strategy.volumes.size() == strategy.cuts.size(), "strategy shape");
-  DE_REQUIRE(weights.size() == static_cast<std::size_t>(model.num_layers()),
-             "one weight entry per layer");
-  DE_REQUIRE(input.h == model.input_h() && input.w == model.input_w() &&
-                 input.c == model.input_c(),
-             "input extents mismatch");
-  const int n_volumes = static_cast<int>(strategy.volumes.size());
+  return run_once(model, strategy, weights, input, n_devices, /*use_tcp=*/false);
+}
 
-  // --- Static transfer plan (same interval algebra as the simulator). ---
-  // parts[l][i] / needs[l][i]: output rows device i produces for volume l and
-  // the volume-input rows it requires. expected[l][i]: number of incoming
-  // chunk messages for volume l at device i.
-  std::vector<std::vector<cnn::RowInterval>> parts(
-      static_cast<std::size_t>(n_volumes));
-  std::vector<std::vector<cnn::RowInterval>> needs(
-      static_cast<std::size_t>(n_volumes));
-  std::vector<std::vector<int>> expected(
-      static_cast<std::size_t>(n_volumes),
-      std::vector<int>(static_cast<std::size_t>(n_devices), 0));
-
-  for (int l = 0; l < n_volumes; ++l) {
-    const auto layers = cnn::volume_layers(model, strategy.volumes[static_cast<std::size_t>(l)]);
-    const int height = cnn::volume_out_height(model, strategy.volumes[static_cast<std::size_t>(l)]);
-    sim::validate_cuts(strategy.cuts[static_cast<std::size_t>(l)], n_devices, height);
-    auto& lp = parts[static_cast<std::size_t>(l)];
-    auto& ln = needs[static_cast<std::size_t>(l)];
-    lp.resize(static_cast<std::size_t>(n_devices));
-    ln.resize(static_cast<std::size_t>(n_devices));
-    for (int i = 0; i < n_devices; ++i) {
-      lp[static_cast<std::size_t>(i)] =
-          cnn::RowInterval{strategy.cuts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
-                           strategy.cuts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i) + 1]};
-      if (!lp[static_cast<std::size_t>(i)].empty()) {
-        ln[static_cast<std::size_t>(i)] =
-            cnn::required_input_rows(layers, lp[static_cast<std::size_t>(i)]);
-      }
-    }
-  }
-  for (int l = 0; l < n_volumes; ++l) {
-    for (int i = 0; i < n_devices; ++i) {
-      const auto& need = needs[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-      if (need.empty()) continue;
-      if (l == 0) {
-        expected[0][static_cast<std::size_t>(i)] = 1;  // from the requester
-        continue;
-      }
-      for (int j = 0; j < n_devices; ++j) {
-        if (j == i) continue;
-        if (!need.intersect(parts[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(j)])
-                 .empty()) {
-          expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)]++;
-        }
-      }
-    }
-  }
-
-  std::vector<Mailbox<ChunkMsg>> inboxes(static_cast<std::size_t>(n_devices));
-  Mailbox<ChunkMsg> gather_box;
-  std::atomic<int> messages{0};
-  std::atomic<Bytes> bytes_moved{0};
-
-  auto post = [&](Mailbox<ChunkMsg>& box, ChunkMsg msg) {
-    messages.fetch_add(1, std::memory_order_relaxed);
-    bytes_moved.fetch_add(
-        static_cast<Bytes>(msg.rows.size()) * static_cast<Bytes>(sizeof(float)),
-        std::memory_order_relaxed);
-    box.send(std::move(msg));
-  };
-
-  auto worker = [&](int i) {
-    cnn::Tensor prev_out;                      // output rows of my last part
-    cnn::RowInterval prev_rows{0, 0};          // which rows those are
-    std::map<int, std::vector<ChunkMsg>> stash;  // early chunks by volume
-
-    for (int l = 0; l < n_volumes; ++l) {
-      const auto volume = strategy.volumes[static_cast<std::size_t>(l)];
-      const auto layers = cnn::volume_layers(model, volume);
-      const auto part = parts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-      const auto need = needs[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-
-      cnn::Tensor out;
-      if (!part.empty()) {
-        const auto& first_layer = model.layer(volume.first);
-        cnn::Tensor crop(need.size(), first_layer.in_w, first_layer.in_c);
-
-        // Local contribution from my previous part.
-        if (l > 0 && !prev_rows.empty()) {
-          const auto own = need.intersect(prev_rows);
-          if (!own.empty()) {
-            blit_rows(prev_out, prev_rows.begin, own.begin, own.end, crop, need.begin);
-          }
-        }
-        // Remote chunks (may arrive interleaved with later-volume chunks).
-        int remaining = expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-        if (auto it = stash.find(l); it != stash.end()) {
-          for (auto& msg : it->second) {
-            blit_rows(msg.rows, msg.row_offset, msg.row_offset,
-                      msg.row_offset + msg.rows.h, crop, need.begin);
-            --remaining;
-          }
-          stash.erase(it);
-        }
-        while (remaining > 0) {
-          auto msg = inboxes[static_cast<std::size_t>(i)].receive();
-          DE_ASSERT(msg.has_value(), "inbox closed mid-inference");
-          if (msg->volume != l) {
-            stash[msg->volume].push_back(std::move(*msg));
-            continue;
-          }
-          blit_rows(msg->rows, msg->row_offset, msg->row_offset,
-                    msg->row_offset + msg->rows.h, crop, need.begin);
-          --remaining;
-        }
-
-        out = cnn::volume_forward_rows(layers, crop, need.begin, part,
-                                       std::span<const cnn::ConvWeights>(weights).subspan(
-                                           static_cast<std::size_t>(volume.first),
-                                           static_cast<std::size_t>(volume.size())));
-      }
-
-      // Ship my output where the next stage needs it.
-      if (!part.empty()) {
-        if (l + 1 < n_volumes) {
-          for (int k = 0; k < n_devices; ++k) {
-            if (k == i) continue;
-            const auto& kneed =
-                needs[static_cast<std::size_t>(l + 1)][static_cast<std::size_t>(k)];
-            const auto chunk = kneed.intersect(part);
-            if (chunk.empty()) continue;
-            post(inboxes[static_cast<std::size_t>(k)],
-                 ChunkMsg{l + 1, chunk.begin,
-                          slice_rows(out, part.begin, chunk.begin, chunk.end)});
-          }
-        } else {
-          post(gather_box, ChunkMsg{n_volumes, part.begin, out});
-        }
-      }
-      prev_out = std::move(out);
-      prev_rows = part;
-    }
-  };
-
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n_devices));
-  for (int i = 0; i < n_devices; ++i) threads.emplace_back(worker, i);
-
-  // Requester: scatter volume-0 inputs.
-  for (int i = 0; i < n_devices; ++i) {
-    const auto& need = needs[0][static_cast<std::size_t>(i)];
-    if (need.empty()) continue;
-    post(inboxes[static_cast<std::size_t>(i)],
-         ChunkMsg{0, need.begin, slice_rows(input, 0, need.begin, need.end)});
-  }
-
-  // Gather the last volume's output.
-  const auto& last_layer = model.layer(model.num_layers() - 1);
-  cnn::Tensor output(last_layer.out_h(), last_layer.out_w(), last_layer.out_c);
-  int holders = 0;
-  for (int i = 0; i < n_devices; ++i) {
-    if (!parts[static_cast<std::size_t>(n_volumes - 1)][static_cast<std::size_t>(i)].empty()) {
-      ++holders;
-    }
-  }
-  for (int k = 0; k < holders; ++k) {
-    auto msg = gather_box.receive();
-    DE_ASSERT(msg.has_value(), "gather box closed early");
-    blit_rows(msg->rows, msg->row_offset, msg->row_offset,
-              msg->row_offset + msg->rows.h, output, 0);
-  }
-
-  for (auto& t : threads) t.join();
-  for (auto& box : inboxes) box.close();
-  gather_box.close();
-
-  ClusterResult result;
-  result.output = std::move(output);
-  result.messages_exchanged = messages.load();
-  result.bytes_moved = bytes_moved.load();
-  return result;
+ClusterResult run_distributed_tcp(const cnn::CnnModel& model,
+                                  const sim::RawStrategy& strategy,
+                                  const std::vector<cnn::ConvWeights>& weights,
+                                  const cnn::Tensor& input, int n_devices) {
+  return run_once(model, strategy, weights, input, n_devices, /*use_tcp=*/true);
 }
 
 }  // namespace de::runtime

@@ -1,12 +1,15 @@
-// In-process distributed runtime: one worker thread per service provider,
-// real tensor chunks flowing through mailboxes, real conv/pool arithmetic.
+// Distributed runtime: one worker per service provider, real tensor chunks
+// flowing through an rpc::Transport, real conv/pool arithmetic.
 //
 // This is the data-plane counterpart of the event simulator: it executes a
 // RawStrategy end-to-end (scatter -> per-volume split-part compute -> halo
 // redistribution -> gather) with genuine concurrency, and its gathered
 // output must equal the single-device reference forward bit-for-bit — the
 // system-level proof of the Vertical-Splitting Law and of the transfer
-// planning logic. Timing remains the simulator's job (DESIGN.md).
+// planning logic. The same worker loops run over shared memory
+// (run_distributed) or a loopback TCP cluster (run_distributed_tcp); both
+// push every chunk through the binary wire format. Timing remains the
+// simulator's job (DESIGN.md).
 #pragma once
 
 #include <vector>
@@ -22,12 +25,22 @@ struct ClusterResult {
   Bytes bytes_moved = 0;     ///< payload bytes across all chunk messages
 };
 
-/// Runs `strategy` on `n_devices` worker threads. `weights[l]` must hold the
-/// conv weights for layer l (ignored entries for pooling layers).
+/// Runs `strategy` on `n_devices` worker threads over the in-process
+/// transport. `weights[l]` must hold the conv weights for layer l (ignored
+/// entries for pooling layers).
 ClusterResult run_distributed(const cnn::CnnModel& model,
                               const sim::RawStrategy& strategy,
                               const std::vector<cnn::ConvWeights>& weights,
                               const cnn::Tensor& input, int n_devices);
+
+/// Same execution, but every node gets its own TcpTransport endpoint on
+/// loopback: chunks genuinely cross the kernel's TCP stack as
+/// length-prefixed wire frames. Must reproduce run_reference bit-for-bit,
+/// exactly like the in-process path.
+ClusterResult run_distributed_tcp(const cnn::CnnModel& model,
+                                  const sim::RawStrategy& strategy,
+                                  const std::vector<cnn::ConvWeights>& weights,
+                                  const cnn::Tensor& input, int n_devices);
 
 /// Reference single-device forward of the conv chain (for cross-checking).
 cnn::Tensor run_reference(const cnn::CnnModel& model,

@@ -1,0 +1,61 @@
+#include "runtime/fabric.hpp"
+
+#include <map>
+
+namespace de::runtime {
+
+void ClusterFabric::shutdown_all() {
+  for (auto* ep : endpoints) ep->shutdown();
+}
+
+ClusterFabric make_fabric(int n_devices, bool use_tcp) {
+  ClusterFabric fabric;
+  const int n_nodes = n_devices + 1;
+  if (use_tcp) {
+    std::map<rpc::NodeId, rpc::PeerEndpoint> directory;
+    fabric.tcp_nodes.reserve(static_cast<std::size_t>(n_nodes));
+    for (rpc::NodeId node = 0; node < n_nodes; ++node) {
+      fabric.tcp_nodes.push_back(std::make_unique<rpc::TcpTransport>(node));
+      directory[node] =
+          rpc::PeerEndpoint{"127.0.0.1", fabric.tcp_nodes.back()->port()};
+    }
+    for (auto& node : fabric.tcp_nodes) {
+      node->set_peers(directory);
+      fabric.endpoints.push_back(node.get());
+    }
+  } else {
+    fabric.inproc = std::make_unique<rpc::InProcFabric>(n_nodes);
+    for (rpc::NodeId node = 0; node < n_nodes; ++node) {
+      fabric.endpoints.push_back(&fabric.inproc->endpoint(node));
+    }
+  }
+  for (auto* ep : fabric.endpoints) ep->open_mailbox(rpc::kDataMailbox);
+  return fabric;
+}
+
+std::vector<std::thread> spawn_providers(
+    ClusterFabric& fabric, const cnn::CnnModel& model,
+    const sim::RawStrategy& strategy,
+    const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
+    int n_images, DataPlaneStats& stats) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(plan.n_devices));
+  for (int i = 0; i < plan.n_devices; ++i) {
+    threads.emplace_back([&fabric, &model, &strategy, &weights, &plan,
+                          n_images, &stats, i] {
+      try {
+        provider_loop(*fabric.endpoints[static_cast<std::size_t>(i)], i, model,
+                      strategy, weights, plan, n_images, stats);
+      } catch (...) {
+        // Tear down the whole fabric, not just the requester: a downed
+        // requester transport drops the end-of-stream frames, which would
+        // leave the other providers blocked in receive() and deadlock the
+        // join. shutdown() is idempotent, so racing barriers are fine.
+        fabric.shutdown_all();
+      }
+    });
+  }
+  return threads;
+}
+
+}  // namespace de::runtime

@@ -30,6 +30,16 @@ class Mailbox {
     return value;
   }
 
+  /// Non-blocking poll: nullopt when the queue is empty (or closed and
+  /// drained). Used by pipelined serving loops that interleave mailboxes.
+  std::optional<T> try_receive() {
+    std::lock_guard lk(mu_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
   void close() {
     {
       std::lock_guard lk(mu_);
@@ -38,13 +48,18 @@ class Mailbox {
     cv_.notify_all();
   }
 
-  std::size_t pending() {
+  bool closed() const {
+    std::lock_guard lk(mu_);
+    return closed_;
+  }
+
+  std::size_t pending() const {
     std::lock_guard lk(mu_);
     return queue_.size();
   }
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> queue_;
   bool closed_ = false;

@@ -1,0 +1,80 @@
+#include "runtime/serve.hpp"
+
+#include <chrono>
+#include <map>
+
+#include "common/require.hpp"
+#include "runtime/fabric.hpp"
+
+namespace de::runtime {
+
+ServeResult serve_stream(const cnn::CnnModel& model,
+                         const sim::RawStrategy& strategy,
+                         const std::vector<cnn::ConvWeights>& weights,
+                         std::span<const cnn::Tensor> inputs, int n_devices,
+                         const ServeOptions& options) {
+  DE_REQUIRE(!inputs.empty(), "serve_stream needs at least one image");
+  DE_REQUIRE(options.inflight >= 1, "need at least one image in flight");
+  for (const auto& input : inputs) {
+    validate_cluster_inputs(model, weights, input);
+  }
+  const auto plan = build_transfer_plan(model, strategy, n_devices);
+  const int n_images = static_cast<int>(inputs.size());
+
+  auto fabric = make_fabric(n_devices, options.use_tcp);
+  DataPlaneStats stats;
+  auto threads = spawn_providers(fabric, model, strategy, weights, plan,
+                                 /*n_images=*/-1, stats);
+
+  ServeResult result;
+  result.images = n_images;
+  auto& requester = fabric.requester();
+  std::map<int, std::vector<rpc::ChunkMsg>> stash;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  int next_scatter = 0;
+  for (int done = 0; done < n_images; ++done) {
+    while (next_scatter < n_images && next_scatter < done + options.inflight) {
+      scatter_image(requester, next_scatter,
+                    inputs[static_cast<std::size_t>(next_scatter)], plan, stats);
+      ++next_scatter;
+    }
+    cnn::Tensor output;
+    const bool ok = gather_image(requester, done, model, plan, stash, output);
+    if (!ok) {
+      // A provider failed (its barrier shut the requester down) or a peer
+      // sent plan-mismatched chunks. Tear the fabric down and join before
+      // throwing — never unwind past live threads.
+      fabric.shutdown_all();
+      for (auto& t : threads) t.join();
+      throw Error("stream transport shut down mid-gather");
+    }
+    if (options.keep_outputs) result.outputs.push_back(std::move(output));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  // End of stream: tell every provider to stop, then tear the fabric down.
+  for (int i = 0; i < n_devices; ++i) {
+    requester.send(data_addr(i), rpc::encode_shutdown());
+  }
+  for (auto& t : threads) t.join();
+  fabric.shutdown_all();
+
+  result.wall_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  result.measured_ips =
+      result.wall_s > 0 ? static_cast<double>(n_images) / result.wall_s : 0.0;
+  result.messages_exchanged = stats.messages.load();
+  result.bytes_moved = stats.bytes.load();
+
+  if (options.latency != nullptr && options.network != nullptr) {
+    sim::StreamOptions stream;
+    stream.n_images = n_images;
+    const auto predicted = sim::stream_images(model, strategy, *options.latency,
+                                              *options.network, stream);
+    result.predicted_ips = predicted.ips;
+  }
+  return result;
+}
+
+}  // namespace de::runtime

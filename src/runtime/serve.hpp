@@ -1,0 +1,47 @@
+// Pipelined serving (paper §V-A streaming, but on the real data plane):
+// the requester keeps up to K images in flight across the transport —
+// scattering image seq+K while seq is still being computed — and reports the
+// measured wall-clock images/second next to the event simulator's
+// prediction for the same strategy. Providers run a shutdown-terminated
+// stream loop, so image count is the requester's business alone.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "runtime/cluster.hpp"
+#include "sim/stream_sim.hpp"
+
+namespace de::runtime {
+
+struct ServeOptions {
+  int inflight = 4;          ///< K: images concurrently in the pipeline
+  bool use_tcp = false;      ///< loopback TCP instead of in-process transport
+  bool keep_outputs = false; ///< retain every gathered output (tests)
+
+  /// When both are set, `predicted_ips` is filled from sim::stream_images
+  /// (sequential-stream semantics — the pipeline should beat it).
+  const sim::ClusterLatency* latency = nullptr;
+  const net::Network* network = nullptr;
+};
+
+struct ServeResult {
+  int images = 0;
+  Seconds wall_s = 0;        ///< first scatter -> last gather
+  double measured_ips = 0;
+  double predicted_ips = 0;  ///< 0 when no simulator inputs were given
+  int messages_exchanged = 0;
+  Bytes bytes_moved = 0;
+  std::vector<cnn::Tensor> outputs;  ///< filled iff keep_outputs
+};
+
+/// Streams `inputs` through the cluster with `options.inflight` images in
+/// flight. Every input must match the model's input extents.
+ServeResult serve_stream(const cnn::CnnModel& model,
+                         const sim::RawStrategy& strategy,
+                         const std::vector<cnn::ConvWeights>& weights,
+                         std::span<const cnn::Tensor> inputs, int n_devices,
+                         const ServeOptions& options = {});
+
+}  // namespace de::runtime

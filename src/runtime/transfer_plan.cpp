@@ -1,0 +1,110 @@
+#include "runtime/transfer_plan.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace de::runtime {
+
+int TransferPlan::holders_of_last() const {
+  const auto& last = parts.back();
+  return static_cast<int>(std::count_if(
+      last.begin(), last.end(),
+      [](const cnn::RowInterval& p) { return !p.empty(); }));
+}
+
+bool TransferPlan::device_active(int i) const {
+  for (int l = 0; l < num_volumes(); ++l) {
+    if (!parts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)].empty() ||
+        expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)] > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void blit_rows(const cnn::Tensor& src, int src_offset, int src_begin,
+               int src_end, cnn::Tensor& dst, int dst_offset) {
+  DE_ASSERT(src.w == dst.w && src.c == dst.c, "blit extent mismatch");
+  for (int y = src_begin; y < src_end; ++y) {
+    const float* from =
+        &src.data[static_cast<std::size_t>(y - src_offset) * src.w * src.c];
+    float* to = &dst.data[static_cast<std::size_t>(y - dst_offset) * dst.w * dst.c];
+    std::copy(from, from + static_cast<std::size_t>(src.w) * src.c, to);
+  }
+}
+
+cnn::Tensor slice_rows(const cnn::Tensor& src, int src_offset, int begin, int end) {
+  cnn::Tensor out(end - begin, src.w, src.c);
+  blit_rows(src, src_offset, begin, end, out, begin);
+  return out;
+}
+
+void validate_cluster_inputs(const cnn::CnnModel& model,
+                             const std::vector<cnn::ConvWeights>& weights,
+                             const cnn::Tensor& input) {
+  DE_REQUIRE(weights.size() == static_cast<std::size_t>(model.num_layers()),
+             "one weight entry per layer");
+  DE_REQUIRE(input.h == model.input_h() && input.w == model.input_w() &&
+                 input.c == model.input_c(),
+             "input extents mismatch");
+}
+
+TransferPlan build_transfer_plan(const cnn::CnnModel& model,
+                                 const sim::RawStrategy& strategy,
+                                 int n_devices) {
+  DE_REQUIRE(n_devices >= 1, "need at least one device");
+  DE_REQUIRE(strategy.volumes.size() == strategy.cuts.size(), "strategy shape");
+  const int n_volumes = static_cast<int>(strategy.volumes.size());
+  DE_REQUIRE(n_volumes >= 1, "strategy has no volumes");
+
+  TransferPlan plan;
+  plan.n_devices = n_devices;
+  plan.parts.resize(static_cast<std::size_t>(n_volumes));
+  plan.needs.resize(static_cast<std::size_t>(n_volumes));
+  plan.expected.assign(static_cast<std::size_t>(n_volumes),
+                       std::vector<int>(static_cast<std::size_t>(n_devices), 0));
+
+  for (int l = 0; l < n_volumes; ++l) {
+    const auto layers =
+        cnn::volume_layers(model, strategy.volumes[static_cast<std::size_t>(l)]);
+    const int height =
+        cnn::volume_out_height(model, strategy.volumes[static_cast<std::size_t>(l)]);
+    sim::validate_cuts(strategy.cuts[static_cast<std::size_t>(l)], n_devices, height);
+    auto& lp = plan.parts[static_cast<std::size_t>(l)];
+    auto& ln = plan.needs[static_cast<std::size_t>(l)];
+    lp.resize(static_cast<std::size_t>(n_devices));
+    ln.resize(static_cast<std::size_t>(n_devices));
+    for (int i = 0; i < n_devices; ++i) {
+      lp[static_cast<std::size_t>(i)] = cnn::RowInterval{
+          strategy.cuts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)],
+          strategy.cuts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i) + 1]};
+      if (!lp[static_cast<std::size_t>(i)].empty()) {
+        ln[static_cast<std::size_t>(i)] =
+            cnn::required_input_rows(layers, lp[static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+  for (int l = 0; l < n_volumes; ++l) {
+    for (int i = 0; i < n_devices; ++i) {
+      const auto& need =
+          plan.needs[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+      if (need.empty()) continue;
+      if (l == 0) {
+        plan.expected[0][static_cast<std::size_t>(i)] = 1;  // from the requester
+        continue;
+      }
+      for (int j = 0; j < n_devices; ++j) {
+        if (j == i) continue;
+        if (!need.intersect(
+                     plan.parts[static_cast<std::size_t>(l - 1)][static_cast<std::size_t>(j)])
+                 .empty()) {
+          plan.expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)]++;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace de::runtime

@@ -1,0 +1,55 @@
+// Static transfer plan of a strategy: which output rows each device produces
+// per volume, which input rows it needs, and how many inbound chunk messages
+// it should expect. Shared by the in-process and TCP data planes and by the
+// pipelined serving loop — the plan depends only on the strategy, never on
+// the transport.
+#pragma once
+
+#include <vector>
+
+#include "cnn/conv_exec.hpp"
+#include "rpc/address.hpp"
+#include "sim/exec_sim.hpp"
+
+namespace de::runtime {
+
+struct TransferPlan {
+  int n_devices = 0;
+  /// parts[l][i]: output rows device i produces for volume l (maybe empty).
+  std::vector<std::vector<cnn::RowInterval>> parts;
+  /// needs[l][i]: volume-l input rows device i requires.
+  std::vector<std::vector<cnn::RowInterval>> needs;
+  /// expected[l][i]: inbound chunk messages for volume l at device i.
+  std::vector<std::vector<int>> expected;
+
+  int num_volumes() const { return static_cast<int>(parts.size()); }
+  /// The requester's node id on the transport (providers are 0..n-1).
+  rpc::NodeId requester_node() const { return n_devices; }
+  /// Devices holding a non-empty share of the final volume (gather senders).
+  int holders_of_last() const;
+  /// True when device i ever computes or receives anything for one image.
+  bool device_active(int i) const;
+};
+
+/// Validates `strategy` against `model` and builds the plan (same interval
+/// algebra as the event simulator).
+TransferPlan build_transfer_plan(const cnn::CnnModel& model,
+                                 const sim::RawStrategy& strategy,
+                                 int n_devices);
+
+/// Shared precondition checks of every cluster entry point: one weight
+/// entry per layer, input extents matching the model.
+void validate_cluster_inputs(const cnn::CnnModel& model,
+                             const std::vector<cnn::ConvWeights>& weights,
+                             const cnn::Tensor& input);
+
+/// Copies rows [src_begin, src_end) (absolute) from `src` (whose row 0 is
+/// absolute row `src_offset`) into `dst` (whose row 0 is `dst_offset`).
+void blit_rows(const cnn::Tensor& src, int src_offset, int src_begin,
+               int src_end, cnn::Tensor& dst, int dst_offset);
+
+/// Extracts absolute rows [begin, end) of `src` whose row 0 is `src_offset`.
+cnn::Tensor slice_rows(const cnn::Tensor& src, int src_offset, int begin,
+                       int end);
+
+}  // namespace de::runtime

@@ -1,0 +1,249 @@
+#include "runtime/worker.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace de::runtime {
+
+namespace {
+
+/// Receive outcome of one frame: a chunk, end-of-stream, or skip (dropped
+/// control/malformed frame — caller should keep receiving).
+enum class RxKind { kChunk, kStop, kSkip };
+
+RxKind receive_frame(rpc::Transport& transport, rpc::ChunkMsg& out) {
+  auto payload = transport.receive(rpc::kDataMailbox);
+  if (!payload.has_value()) return RxKind::kStop;  // transport shut down
+  try {
+    const auto type = rpc::peek_type(*payload);
+    if (type == rpc::MsgType::kShutdown) return RxKind::kStop;
+    if (type == rpc::MsgType::kHaloRequest) return RxKind::kSkip;  // push-based plan
+    out = rpc::decode_chunk(*payload);
+    return RxKind::kChunk;
+  } catch (const Error&) {
+    return RxKind::kSkip;  // malformed frame: drop, keep the node alive
+  }
+}
+
+/// True when `msg`'s rows are sane to blit into a destination of width `w`,
+/// channels `c`, covering absolute rows `bounds`. Wire decoding only proves
+/// the frame is self-consistent; a frame from a mismatched plan (or a
+/// hostile loopback connection) can still claim rows far outside the
+/// destination, which would write out of bounds. Because such a chunk
+/// occupies a *counted* slot, silently dropping it would hang the run —
+/// callers fail the image loudly instead.
+bool chunk_fits(const rpc::ChunkMsg& msg, const cnn::RowInterval& bounds,
+                int w, int c) {
+  // 64-bit sum: row_offset near INT32_MAX decodes fine, and a signed int
+  // overflow here would wrap negative and let the hostile chunk through.
+  return msg.rows.w == w && msg.rows.c == c && msg.row_offset >= bounds.begin &&
+         static_cast<std::int64_t>(msg.row_offset) + msg.rows.h <= bounds.end;
+}
+
+/// Farthest ahead of the current image a stashed chunk may be. Legitimate
+/// pipelines are bounded by ServeOptions::inflight (single digits); anything
+/// beyond this is a mismatched or hostile peer trying to grow the stash
+/// without bound.
+constexpr int kMaxImagesAhead = 4096;
+
+[[noreturn]] void fail_geometry(const rpc::ChunkMsg& msg) {
+  throw Error("chunk geometry disagrees with the local transfer plan (seq " +
+              std::to_string(msg.seq) + ", volume " + std::to_string(msg.volume) +
+              ", rows [" + std::to_string(msg.row_offset) + ", " +
+              std::to_string(msg.row_offset + msg.rows.h) +
+              ")) — mismatched strategy or hostile peer");
+}
+
+}  // namespace
+
+void post_chunk(rpc::Transport& transport, const rpc::Address& to,
+                const rpc::ChunkMsg& msg, DataPlaneStats& stats) {
+  stats.messages.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes.fetch_add(
+      static_cast<Bytes>(msg.rows.size()) * static_cast<Bytes>(sizeof(float)),
+      std::memory_order_relaxed);
+  transport.send(to, rpc::encode_chunk(msg));
+}
+
+void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
+                   const sim::RawStrategy& strategy,
+                   const std::vector<cnn::ConvWeights>& weights,
+                   const TransferPlan& plan, int n_images,
+                   DataPlaneStats& stats) {
+  const int n_volumes = plan.num_volumes();
+  const bool active = plan.device_active(i);
+
+  if (!active) {
+    if (n_images >= 0) return;  // finite run: nothing will ever arrive
+    // Streaming run: wait for the requester's shutdown frame.
+    rpc::ChunkMsg ignored;
+    while (receive_frame(transport, ignored) != RxKind::kStop) {}
+    return;
+  }
+
+  // Chunks that arrived ahead of their (image, volume) slot.
+  std::map<std::pair<int, int>, std::vector<rpc::ChunkMsg>> stash;
+
+  for (int seq = 0; n_images < 0 || seq < n_images; ++seq) {
+    cnn::Tensor prev_out;              // output rows of my last part
+    cnn::RowInterval prev_rows{0, 0};  // which rows those are
+
+    for (int l = 0; l < n_volumes; ++l) {
+      const auto volume = strategy.volumes[static_cast<std::size_t>(l)];
+      const auto layers = cnn::volume_layers(model, volume);
+      const auto part =
+          plan.parts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+      const auto need =
+          plan.needs[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+
+      cnn::Tensor out;
+      if (!part.empty()) {
+        const auto& first_layer = model.layer(volume.first);
+        cnn::Tensor crop(need.size(), first_layer.in_w, first_layer.in_c);
+
+        // Local contribution from my previous part.
+        if (l > 0 && !prev_rows.empty()) {
+          const auto own = need.intersect(prev_rows);
+          if (!own.empty()) {
+            blit_rows(prev_out, prev_rows.begin, own.begin, own.end, crop,
+                      need.begin);
+          }
+        }
+        // Remote chunks (may arrive interleaved with later slots).
+        int remaining =
+            plan.expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+        if (auto it = stash.find({seq, l}); it != stash.end()) {
+          for (auto& msg : it->second) {
+            if (!chunk_fits(msg, need, crop.w, crop.c)) fail_geometry(msg);
+            blit_rows(msg.rows, msg.row_offset, msg.row_offset,
+                      msg.row_offset + msg.rows.h, crop, need.begin);
+            --remaining;
+          }
+          stash.erase(it);
+        }
+        while (remaining > 0) {
+          rpc::ChunkMsg msg;
+          switch (receive_frame(transport, msg)) {
+            case RxKind::kStop:
+              return;  // shutdown mid-inference: abandon the image
+            case RxKind::kSkip:
+              continue;
+            case RxKind::kChunk:
+              break;
+          }
+          // Chunks that can never be consumed would park in the stash for
+          // the life of the stream; treat them as protocol violations.
+          const bool off_plan =
+              msg.volume >= n_volumes ||
+              plan.expected[static_cast<std::size_t>(msg.volume)]
+                           [static_cast<std::size_t>(i)] == 0 ||
+              msg.seq < seq || (msg.seq == seq && msg.volume < l) ||
+              (n_images >= 0 && msg.seq >= n_images) ||
+              msg.seq - seq > kMaxImagesAhead;
+          if (off_plan) fail_geometry(msg);
+          if (msg.seq != seq || msg.volume != l) {
+            stash[{msg.seq, msg.volume}].push_back(std::move(msg));
+            continue;
+          }
+          if (!chunk_fits(msg, need, crop.w, crop.c)) fail_geometry(msg);
+          blit_rows(msg.rows, msg.row_offset, msg.row_offset,
+                    msg.row_offset + msg.rows.h, crop, need.begin);
+          --remaining;
+        }
+
+        out = cnn::volume_forward_rows(
+            layers, crop, need.begin, part,
+            std::span<const cnn::ConvWeights>(weights).subspan(
+                static_cast<std::size_t>(volume.first),
+                static_cast<std::size_t>(volume.size())));
+      }
+
+      // Ship my output where the next stage needs it.
+      if (!part.empty()) {
+        if (l + 1 < n_volumes) {
+          for (int k = 0; k < plan.n_devices; ++k) {
+            if (k == i) continue;
+            const auto& kneed = plan.needs[static_cast<std::size_t>(l + 1)]
+                                          [static_cast<std::size_t>(k)];
+            const auto chunk = kneed.intersect(part);
+            if (chunk.empty()) continue;
+            post_chunk(transport, data_addr(k),
+                       rpc::ChunkMsg{rpc::MsgType::kHaloRows, seq, l + 1,
+                                     chunk.begin,
+                                     slice_rows(out, part.begin, chunk.begin,
+                                                chunk.end)},
+                       stats);
+          }
+        } else {
+          // Final volume: `out` is not needed locally again, so move it.
+          post_chunk(transport, data_addr(plan.requester_node()),
+                     rpc::ChunkMsg{rpc::MsgType::kGather, seq, n_volumes,
+                                   part.begin, std::move(out)},
+                     stats);
+        }
+      }
+      prev_out = std::move(out);
+      prev_rows = part;
+    }
+  }
+}
+
+void scatter_image(rpc::Transport& transport, int seq, const cnn::Tensor& input,
+                   const TransferPlan& plan, DataPlaneStats& stats) {
+  for (int i = 0; i < plan.n_devices; ++i) {
+    const auto& need = plan.needs[0][static_cast<std::size_t>(i)];
+    if (need.empty()) continue;
+    post_chunk(transport, data_addr(i),
+               rpc::ChunkMsg{rpc::MsgType::kScatter, seq, 0, need.begin,
+                             slice_rows(input, 0, need.begin, need.end)},
+               stats);
+  }
+}
+
+bool gather_image(rpc::Transport& transport, int seq, const cnn::CnnModel& model,
+                  const TransferPlan& plan,
+                  std::map<int, std::vector<rpc::ChunkMsg>>& stash,
+                  cnn::Tensor& output) {
+  const auto& last_layer = model.layer(model.num_layers() - 1);
+  output = cnn::Tensor(last_layer.out_h(), last_layer.out_w(), last_layer.out_c);
+
+  const cnn::RowInterval bounds{0, output.h};
+  int remaining = plan.holders_of_last();
+  if (auto it = stash.find(seq); it != stash.end()) {
+    for (auto& msg : it->second) {
+      // Runs on the requester thread with provider threads live, so a
+      // geometry mismatch reports failure instead of throwing past them.
+      if (!chunk_fits(msg, bounds, output.w, output.c)) return false;
+      blit_rows(msg.rows, msg.row_offset, msg.row_offset,
+                msg.row_offset + msg.rows.h, output, 0);
+      --remaining;
+    }
+    stash.erase(it);
+  }
+  while (remaining > 0) {
+    rpc::ChunkMsg msg;
+    switch (receive_frame(transport, msg)) {
+      case RxKind::kStop:
+        return false;
+      case RxKind::kSkip:
+        continue;
+      case RxKind::kChunk:
+        break;
+    }
+    // Same stash-growth bound as the provider side: a gather for a past
+    // image is a duplicate, one absurdly far ahead is off-plan.
+    if (msg.seq < seq || msg.seq - seq > kMaxImagesAhead) return false;
+    if (msg.seq != seq) {
+      stash[msg.seq].push_back(std::move(msg));
+      continue;
+    }
+    if (!chunk_fits(msg, bounds, output.w, output.c)) return false;
+    blit_rows(msg.rows, msg.row_offset, msg.row_offset,
+              msg.row_offset + msg.rows.h, output, 0);
+    --remaining;
+  }
+  return true;
+}
+
+}  // namespace de::runtime

@@ -1,0 +1,55 @@
+// Transport-facing event loops of the cluster data plane (paper §V-A):
+// the provider worker (split-compute + halo redistribution) and the
+// requester's scatter/gather halves. All chunk traffic is wire-encoded, so
+// the same loops run unchanged over shared memory or TCP.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <vector>
+
+#include "rpc/transport.hpp"
+#include "rpc/wire.hpp"
+#include "runtime/transfer_plan.hpp"
+
+namespace de::runtime {
+
+/// Chunk-message accounting shared by all nodes of one run.
+struct DataPlaneStats {
+  std::atomic<int> messages{0};
+  std::atomic<Bytes> bytes{0};  ///< tensor payload bytes (not frame bytes)
+};
+
+/// The data-plane address of a cluster node.
+inline rpc::Address data_addr(rpc::NodeId node) {
+  return rpc::Address{node, rpc::kDataMailbox};
+}
+
+/// Encodes and posts a chunk, updating `stats`.
+void post_chunk(rpc::Transport& transport, const rpc::Address& to,
+                const rpc::ChunkMsg& msg, DataPlaneStats& stats);
+
+/// Provider event loop for device `i`: executes its split-parts image after
+/// image, pulling inputs from the data mailbox and pushing halos/gathers.
+/// Processes exactly `n_images` images when n_images >= 0; with
+/// n_images < 0 it serves until a kShutdown frame arrives or the transport
+/// shuts down. Malformed frames are dropped.
+void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
+                   const sim::RawStrategy& strategy,
+                   const std::vector<cnn::ConvWeights>& weights,
+                   const TransferPlan& plan, int n_images,
+                   DataPlaneStats& stats);
+
+/// Requester half: scatters image `seq`'s volume-0 inputs to the providers.
+void scatter_image(rpc::Transport& transport, int seq, const cnn::Tensor& input,
+                   const TransferPlan& plan, DataPlaneStats& stats);
+
+/// Requester half: collects the holders' kGather chunks of image `seq` into
+/// `output` (sized from `model`). Chunks of other images park in `stash`
+/// (keyed by seq). Returns false if the transport shut down mid-gather.
+bool gather_image(rpc::Transport& transport, int seq, const cnn::CnnModel& model,
+                  const TransferPlan& plan,
+                  std::map<int, std::vector<rpc::ChunkMsg>>& stash,
+                  cnn::Tensor& output);
+
+}  // namespace de::runtime

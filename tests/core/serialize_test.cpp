@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <vector>
+
 #include "cnn/model_zoo.hpp"
 #include "common/require.hpp"
 
@@ -81,6 +85,50 @@ TEST(Serialize, SaveRejectsMalformedStrategy) {
   // No splits.
   std::ostringstream os;
   EXPECT_THROW(save_strategy(os, bad, "vgg16", 4), Error);
+}
+
+TEST(ByteStream, PrimitivesRoundTripLittleEndian) {
+  ByteWriter w;
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.i32(-7);
+  w.f32(1.5f);
+  const auto& bytes = w.bytes();
+  ASSERT_EQ(bytes.size(), 14u);
+  // Spot-check the declared little-endian layout.
+  EXPECT_EQ(bytes[0], 0x34);
+  EXPECT_EQ(bytes[1], 0x12);
+  EXPECT_EQ(bytes[2], 0xef);
+  EXPECT_EQ(bytes[5], 0xde);
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.i32(), -7);
+  EXPECT_EQ(r.f32(), 1.5f);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteStream, FloatSpansAreBitExact) {
+  const std::vector<float> values{0.0f, -0.0f, 3.25f, -1e-30f, 1e30f};
+  ByteWriter w;
+  w.f32_span(values);
+  ByteReader r(w.bytes());
+  std::vector<float> back(values.size());
+  r.f32_span(back);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(back[i]),
+              std::bit_cast<std::uint32_t>(values[i]));
+  }
+}
+
+TEST(ByteStream, ReaderThrowsOnUnderrun) {
+  ByteWriter w;
+  w.u16(1);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.u32(), Error);  // only 2 bytes available
+  EXPECT_EQ(r.u16(), 1);         // failed read consumed nothing
+  EXPECT_THROW(r.u16(), Error);
 }
 
 }  // namespace

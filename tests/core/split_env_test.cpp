@@ -49,8 +49,9 @@ TEST(ActionMapping, InverseRoundTrips) {
 
 TEST(SplitEnv, DimsAndInitialState) {
   const auto m = model();
+  net::Network network(2);
   SplitEnv env(m, cnn::volumes_from_boundaries({0, 2, 3}, 3), cluster(),
-               net::Network(2), {});
+               network, {});
   EXPECT_EQ(env.num_devices(), 2);
   EXPECT_EQ(env.num_volumes(), 2);
   EXPECT_EQ(env.state_dim(), 6u);   // 2 latencies + 4 layer features

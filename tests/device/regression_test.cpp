@@ -80,7 +80,8 @@ TEST(Regression, FcPassThrough) {
   const auto table = profiled(DeviceType::kNano);
   const auto fit = FittedLatencyModel::fit(table, RegressionKind::kLinear);
   const auto truth = make_latency_model(DeviceType::kNano);
-  for (const auto& fc : tiny().fc_tail()) {
+  const auto m = tiny();  // keep the model alive across the loop
+  for (const auto& fc : m.fc_tail()) {
     EXPECT_NEAR(fit.fc_ms(fc), truth->fc_ms(fc), 1e-9);
   }
 }

@@ -1,0 +1,162 @@
+// Wire-format contract: decode(encode(m)) == m bit-for-bit (floats travel as
+// raw IEEE-754 bit patterns), and every class of malformed frame is rejected
+// with de::Error instead of being misread.
+#include "rpc/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace de::rpc {
+namespace {
+
+ChunkMsg sample_chunk(MsgType type) {
+  ChunkMsg msg;
+  msg.type = type;
+  msg.seq = 7;
+  msg.volume = 2;
+  msg.row_offset = 11;
+  msg.rows = cnn::Tensor(3, 4, 2);
+  for (std::size_t i = 0; i < msg.rows.data.size(); ++i) {
+    msg.rows.data[i] = 0.25f * static_cast<float>(i) - 1.5f;
+  }
+  return msg;
+}
+
+TEST(Wire, ChunkRoundTripsBitExact) {
+  for (const auto type :
+       {MsgType::kScatter, MsgType::kHaloRows, MsgType::kGather}) {
+    const auto msg = sample_chunk(type);
+    const auto frame = encode_chunk(msg);
+    EXPECT_EQ(peek_type(frame), type);
+    const auto back = decode_chunk(frame);
+    EXPECT_EQ(back.type, msg.type);
+    EXPECT_EQ(back.seq, msg.seq);
+    EXPECT_EQ(back.volume, msg.volume);
+    EXPECT_EQ(back.row_offset, msg.row_offset);
+    ASSERT_EQ(back.rows.h, msg.rows.h);
+    ASSERT_EQ(back.rows.w, msg.rows.w);
+    ASSERT_EQ(back.rows.c, msg.rows.c);
+    for (std::size_t i = 0; i < msg.rows.data.size(); ++i) {
+      // Bit equality, not value equality: the data plane promises the
+      // distributed output is indistinguishable from the reference.
+      EXPECT_EQ(std::bit_cast<std::uint32_t>(back.rows.data[i]),
+                std::bit_cast<std::uint32_t>(msg.rows.data[i]));
+    }
+  }
+}
+
+TEST(Wire, SpecialFloatsSurviveTheWire) {
+  auto msg = sample_chunk(MsgType::kHaloRows);
+  msg.rows.data[0] = std::numeric_limits<float>::quiet_NaN();
+  msg.rows.data[1] = std::numeric_limits<float>::infinity();
+  msg.rows.data[2] = -0.0f;
+  msg.rows.data[3] = std::numeric_limits<float>::denorm_min();
+  const auto back = decode_chunk(encode_chunk(msg));
+  EXPECT_TRUE(std::isnan(back.rows.data[0]));
+  EXPECT_EQ(back.rows.data[1], std::numeric_limits<float>::infinity());
+  EXPECT_EQ(std::bit_cast<std::uint32_t>(back.rows.data[2]),
+            std::bit_cast<std::uint32_t>(-0.0f));
+  EXPECT_EQ(back.rows.data[3], std::numeric_limits<float>::denorm_min());
+}
+
+TEST(Wire, ReencodeIsIdentical) {
+  const auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
+  const auto again = encode_chunk(decode_chunk(frame));
+  EXPECT_EQ(frame, again);
+}
+
+TEST(Wire, HaloRequestRoundTrips) {
+  HaloRequestMsg msg{/*seq=*/3, /*volume=*/1, /*begin=*/4, /*end=*/9,
+                     /*from_node=*/2};
+  const auto frame = encode_halo_request(msg);
+  EXPECT_EQ(peek_type(frame), MsgType::kHaloRequest);
+  const auto back = decode_halo_request(frame);
+  EXPECT_EQ(back.seq, msg.seq);
+  EXPECT_EQ(back.volume, msg.volume);
+  EXPECT_EQ(back.begin, msg.begin);
+  EXPECT_EQ(back.end, msg.end);
+  EXPECT_EQ(back.from_node, msg.from_node);
+}
+
+TEST(Wire, ShutdownIsHeaderOnly) {
+  const auto frame = encode_shutdown();
+  EXPECT_EQ(frame.size(), 8u);
+  EXPECT_EQ(peek_type(frame), MsgType::kShutdown);
+}
+
+TEST(Wire, RejectsBadMagic) {
+  auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
+  frame[0] ^= 0xff;
+  EXPECT_THROW(peek_type(frame), Error);
+  EXPECT_THROW(decode_chunk(frame), Error);
+}
+
+TEST(Wire, RejectsWrongVersion) {
+  auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
+  frame[4] = 0x7f;  // version lives at bytes 4-5
+  EXPECT_THROW(decode_chunk(frame), Error);
+}
+
+TEST(Wire, RejectsUnknownType) {
+  auto frame = encode_shutdown();
+  frame[6] = 0x63;  // type lives at bytes 6-7
+  EXPECT_THROW(peek_type(frame), Error);
+}
+
+TEST(Wire, RejectsTruncatedFrames) {
+  const auto frame = encode_chunk(sample_chunk(MsgType::kHaloRows));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                                std::size_t{20}, frame.size() - 1}) {
+    const Payload truncated(frame.begin(),
+                            frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_chunk(truncated), Error) << "cut at " << cut;
+  }
+}
+
+TEST(Wire, RejectsTrailingGarbage) {
+  auto frame = encode_chunk(sample_chunk(MsgType::kGather));
+  frame.push_back(0x00);
+  EXPECT_THROW(decode_chunk(frame), Error);
+
+  auto req = encode_halo_request({0, 0, 0, 0, 0});
+  req.push_back(0x00);
+  EXPECT_THROW(decode_halo_request(req), Error);
+}
+
+TEST(Wire, RejectsHostileTensorExtents) {
+  auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
+  // h lives at bytes 20-23; claim a huge height with the same tiny payload.
+  frame[20] = 0xff;
+  frame[21] = 0xff;
+  frame[22] = 0xff;
+  frame[23] = 0x00;
+  EXPECT_THROW(decode_chunk(frame), Error);
+  // A negative height must be rejected too, not wrapped into a size_t.
+  frame[23] = 0xff;
+  EXPECT_THROW(decode_chunk(frame), Error);
+}
+
+TEST(Wire, RejectsTypeConfusion) {
+  EXPECT_THROW(decode_chunk(encode_shutdown()), Error);
+  EXPECT_THROW(decode_chunk(encode_halo_request({0, 0, 0, 0, 0})), Error);
+  EXPECT_THROW(
+      decode_halo_request(encode_chunk(sample_chunk(MsgType::kScatter))),
+      Error);
+}
+
+TEST(Wire, EncodeRejectsInconsistentTensor) {
+  auto msg = sample_chunk(MsgType::kScatter);
+  msg.rows.data.pop_back();
+  EXPECT_THROW(encode_chunk(msg), Error);
+  msg = sample_chunk(MsgType::kScatter);
+  msg.type = MsgType::kShutdown;  // not a chunk type
+  EXPECT_THROW(encode_chunk(msg), Error);
+}
+
+}  // namespace
+}  // namespace de::rpc

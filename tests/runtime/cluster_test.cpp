@@ -6,7 +6,6 @@
 #include <gtest/gtest.h>
 
 #include "core/strategy.hpp"
-#include "runtime/mailbox.hpp"
 #include "common/require.hpp"
 
 namespace de::runtime {
@@ -122,24 +121,7 @@ TEST(Cluster, StressManyIterationsStayConsistent) {
   }
 }
 
-TEST(Mailbox, FifoAndClose) {
-  Mailbox<int> box;
-  box.send(1);
-  box.send(2);
-  EXPECT_EQ(box.pending(), 2u);
-  EXPECT_EQ(box.receive().value(), 1);
-  EXPECT_EQ(box.receive().value(), 2);
-  box.close();
-  EXPECT_FALSE(box.receive().has_value());
-}
-
-TEST(Mailbox, CloseWakesBlockedReceiver) {
-  Mailbox<int> box;
-  std::thread t([&] { EXPECT_FALSE(box.receive().has_value()); });
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  box.close();
-  t.join();
-}
+// Mailbox-level tests live in tests/runtime/mailbox_test.cpp.
 
 }  // namespace
 }  // namespace de::runtime
