@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_osds.dir/bench/ablation_osds.cpp.o"
+  "CMakeFiles/bench_ablation_osds.dir/bench/ablation_osds.cpp.o.d"
+  "bench_ablation_osds"
+  "bench_ablation_osds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_osds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_models_db.dir/bench/fig10_models_db.cpp.o"
+  "CMakeFiles/bench_fig10_models_db.dir/bench/fig10_models_db.cpp.o.d"
+  "bench_fig10_models_db"
+  "bench_fig10_models_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_models_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_models_na.dir/bench/fig11_models_na.cpp.o"
+  "CMakeFiles/bench_fig11_models_na.dir/bench/fig11_models_na.cpp.o.d"
+  "bench_fig11_models_na"
+  "bench_fig11_models_na.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_models_na.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_nonlinear.dir/bench/fig14_nonlinear.cpp.o"
+  "CMakeFiles/bench_fig14_nonlinear.dir/bench/fig14_nonlinear.cpp.o.d"
+  "bench_fig14_nonlinear"
+  "bench_fig14_nonlinear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_nonlinear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

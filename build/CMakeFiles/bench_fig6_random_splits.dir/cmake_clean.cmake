@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_random_splits.dir/bench/fig6_random_splits.cpp.o"
+  "CMakeFiles/bench_fig6_random_splits.dir/bench/fig6_random_splits.cpp.o.d"
+  "bench_fig6_random_splits"
+  "bench_fig6_random_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_random_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hetero_devices.dir/bench/fig7_hetero_devices.cpp.o"
+  "CMakeFiles/bench_fig7_hetero_devices.dir/bench/fig7_hetero_devices.cpp.o.d"
+  "bench_fig7_hetero_devices"
+  "bench_fig7_hetero_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hetero_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_hetero_devices.
+# This may be replaced when dependencies are built.

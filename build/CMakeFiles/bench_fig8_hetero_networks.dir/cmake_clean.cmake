@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hetero_networks.dir/bench/fig8_hetero_networks.cpp.o"
+  "CMakeFiles/bench_fig8_hetero_networks.dir/bench/fig8_hetero_networks.cpp.o.d"
+  "bench_fig8_hetero_networks"
+  "bench_fig8_hetero_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hetero_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

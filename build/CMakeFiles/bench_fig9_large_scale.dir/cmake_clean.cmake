@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_large_scale.dir/bench/fig9_large_scale.cpp.o"
+  "CMakeFiles/bench_fig9_large_scale.dir/bench/fig9_large_scale.cpp.o.d"
+  "bench_fig9_large_scale"
+  "bench_fig9_large_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_large_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

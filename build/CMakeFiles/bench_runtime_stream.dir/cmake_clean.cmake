@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_stream.dir/bench/runtime_stream.cpp.o"
+  "CMakeFiles/bench_runtime_stream.dir/bench/runtime_stream.cpp.o.d"
+  "bench_runtime_stream"
+  "bench_runtime_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_update_time.dir/bench/update_time.cpp.o"
+  "CMakeFiles/bench_update_time.dir/bench/update_time.cpp.o.d"
+  "bench_update_time"
+  "bench_update_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_conv_exec_test.dir/tests/cnn/conv_exec_test.cpp.o"
+  "CMakeFiles/cnn_conv_exec_test.dir/tests/cnn/conv_exec_test.cpp.o.d"
+  "cnn_conv_exec_test"
+  "cnn_conv_exec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_conv_exec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_layer_test.dir/tests/cnn/layer_test.cpp.o"
+  "CMakeFiles/cnn_layer_test.dir/tests/cnn/layer_test.cpp.o.d"
+  "cnn_layer_test"
+  "cnn_layer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_layer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

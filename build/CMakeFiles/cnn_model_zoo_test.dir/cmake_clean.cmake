@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_model_zoo_test.dir/tests/cnn/model_zoo_test.cpp.o"
+  "CMakeFiles/cnn_model_zoo_test.dir/tests/cnn/model_zoo_test.cpp.o.d"
+  "cnn_model_zoo_test"
+  "cnn_model_zoo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_model_zoo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

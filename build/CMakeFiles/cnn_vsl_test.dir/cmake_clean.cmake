@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_vsl_test.dir/tests/cnn/vsl_test.cpp.o"
+  "CMakeFiles/cnn_vsl_test.dir/tests/cnn/vsl_test.cpp.o.d"
+  "cnn_vsl_test"
+  "cnn_vsl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_vsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_math_util_test.dir/tests/common/math_util_test.cpp.o"
+  "CMakeFiles/common_math_util_test.dir/tests/common/math_util_test.cpp.o.d"
+  "common_math_util_test"
+  "common_math_util_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_math_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cost_test.dir/tests/core/cost_test.cpp.o"
+  "CMakeFiles/core_cost_test.dir/tests/core/cost_test.cpp.o.d"
+  "core_cost_test"
+  "core_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_lcpss_test.dir/tests/core/lcpss_test.cpp.o"
+  "CMakeFiles/core_lcpss_test.dir/tests/core/lcpss_test.cpp.o.d"
+  "core_lcpss_test"
+  "core_lcpss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_lcpss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

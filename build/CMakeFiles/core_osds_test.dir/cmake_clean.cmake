@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_osds_test.dir/tests/core/osds_test.cpp.o"
+  "CMakeFiles/core_osds_test.dir/tests/core/osds_test.cpp.o.d"
+  "core_osds_test"
+  "core_osds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_osds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

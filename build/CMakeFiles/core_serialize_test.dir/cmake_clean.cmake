@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_serialize_test.dir/tests/core/serialize_test.cpp.o"
+  "CMakeFiles/core_serialize_test.dir/tests/core/serialize_test.cpp.o.d"
+  "core_serialize_test"
+  "core_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

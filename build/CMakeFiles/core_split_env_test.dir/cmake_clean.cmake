@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_split_env_test.dir/tests/core/split_env_test.cpp.o"
+  "CMakeFiles/core_split_env_test.dir/tests/core/split_env_test.cpp.o.d"
+  "core_split_env_test"
+  "core_split_env_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_split_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_strategy_test.dir/tests/core/strategy_test.cpp.o"
+  "CMakeFiles/core_strategy_test.dir/tests/core/strategy_test.cpp.o.d"
+  "core_strategy_test"
+  "core_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/aofl.cpp" "CMakeFiles/de_baselines.dir/src/baselines/aofl.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/aofl.cpp.o.d"
+  "/root/repo/src/baselines/coedge.cpp" "CMakeFiles/de_baselines.dir/src/baselines/coedge.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/coedge.cpp.o.d"
+  "/root/repo/src/baselines/deeperthings.cpp" "CMakeFiles/de_baselines.dir/src/baselines/deeperthings.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/deeperthings.cpp.o.d"
+  "/root/repo/src/baselines/deepthings.cpp" "CMakeFiles/de_baselines.dir/src/baselines/deepthings.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/deepthings.cpp.o.d"
+  "/root/repo/src/baselines/linear_model.cpp" "CMakeFiles/de_baselines.dir/src/baselines/linear_model.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/linear_model.cpp.o.d"
+  "/root/repo/src/baselines/mednn.cpp" "CMakeFiles/de_baselines.dir/src/baselines/mednn.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/mednn.cpp.o.d"
+  "/root/repo/src/baselines/modnn.cpp" "CMakeFiles/de_baselines.dir/src/baselines/modnn.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/modnn.cpp.o.d"
+  "/root/repo/src/baselines/offload.cpp" "CMakeFiles/de_baselines.dir/src/baselines/offload.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/offload.cpp.o.d"
+  "/root/repo/src/baselines/registry.cpp" "CMakeFiles/de_baselines.dir/src/baselines/registry.cpp.o" "gcc" "CMakeFiles/de_baselines.dir/src/baselines/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_baselines.dir/src/baselines/aofl.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/aofl.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/coedge.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/coedge.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/deeperthings.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/deeperthings.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/deepthings.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/deepthings.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/linear_model.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/linear_model.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/mednn.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/mednn.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/modnn.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/modnn.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/offload.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/offload.cpp.o.d"
+  "CMakeFiles/de_baselines.dir/src/baselines/registry.cpp.o"
+  "CMakeFiles/de_baselines.dir/src/baselines/registry.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cnn/conv_exec.cpp" "CMakeFiles/de_cnn.dir/src/cnn/conv_exec.cpp.o" "gcc" "CMakeFiles/de_cnn.dir/src/cnn/conv_exec.cpp.o.d"
+  "/root/repo/src/cnn/layer.cpp" "CMakeFiles/de_cnn.dir/src/cnn/layer.cpp.o" "gcc" "CMakeFiles/de_cnn.dir/src/cnn/layer.cpp.o.d"
+  "/root/repo/src/cnn/layer_volume.cpp" "CMakeFiles/de_cnn.dir/src/cnn/layer_volume.cpp.o" "gcc" "CMakeFiles/de_cnn.dir/src/cnn/layer_volume.cpp.o.d"
+  "/root/repo/src/cnn/model.cpp" "CMakeFiles/de_cnn.dir/src/cnn/model.cpp.o" "gcc" "CMakeFiles/de_cnn.dir/src/cnn/model.cpp.o.d"
+  "/root/repo/src/cnn/model_zoo.cpp" "CMakeFiles/de_cnn.dir/src/cnn/model_zoo.cpp.o" "gcc" "CMakeFiles/de_cnn.dir/src/cnn/model_zoo.cpp.o.d"
+  "/root/repo/src/cnn/vsl.cpp" "CMakeFiles/de_cnn.dir/src/cnn/vsl.cpp.o" "gcc" "CMakeFiles/de_cnn.dir/src/cnn/vsl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_cnn.dir/src/cnn/conv_exec.cpp.o"
+  "CMakeFiles/de_cnn.dir/src/cnn/conv_exec.cpp.o.d"
+  "CMakeFiles/de_cnn.dir/src/cnn/layer.cpp.o"
+  "CMakeFiles/de_cnn.dir/src/cnn/layer.cpp.o.d"
+  "CMakeFiles/de_cnn.dir/src/cnn/layer_volume.cpp.o"
+  "CMakeFiles/de_cnn.dir/src/cnn/layer_volume.cpp.o.d"
+  "CMakeFiles/de_cnn.dir/src/cnn/model.cpp.o"
+  "CMakeFiles/de_cnn.dir/src/cnn/model.cpp.o.d"
+  "CMakeFiles/de_cnn.dir/src/cnn/model_zoo.cpp.o"
+  "CMakeFiles/de_cnn.dir/src/cnn/model_zoo.cpp.o.d"
+  "CMakeFiles/de_cnn.dir/src/cnn/vsl.cpp.o"
+  "CMakeFiles/de_cnn.dir/src/cnn/vsl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_cnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

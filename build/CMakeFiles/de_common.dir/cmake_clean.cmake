@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_common.dir/src/common/rng.cpp.o"
+  "CMakeFiles/de_common.dir/src/common/rng.cpp.o.d"
+  "CMakeFiles/de_common.dir/src/common/table.cpp.o"
+  "CMakeFiles/de_common.dir/src/common/table.cpp.o.d"
+  "CMakeFiles/de_common.dir/src/common/thread_pool.cpp.o"
+  "CMakeFiles/de_common.dir/src/common/thread_pool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost.cpp" "CMakeFiles/de_core.dir/src/core/cost.cpp.o" "gcc" "CMakeFiles/de_core.dir/src/core/cost.cpp.o.d"
+  "/root/repo/src/core/distredge.cpp" "CMakeFiles/de_core.dir/src/core/distredge.cpp.o" "gcc" "CMakeFiles/de_core.dir/src/core/distredge.cpp.o.d"
+  "/root/repo/src/core/lcpss.cpp" "CMakeFiles/de_core.dir/src/core/lcpss.cpp.o" "gcc" "CMakeFiles/de_core.dir/src/core/lcpss.cpp.o.d"
+  "/root/repo/src/core/osds.cpp" "CMakeFiles/de_core.dir/src/core/osds.cpp.o" "gcc" "CMakeFiles/de_core.dir/src/core/osds.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "CMakeFiles/de_core.dir/src/core/serialize.cpp.o" "gcc" "CMakeFiles/de_core.dir/src/core/serialize.cpp.o.d"
+  "/root/repo/src/core/split_env.cpp" "CMakeFiles/de_core.dir/src/core/split_env.cpp.o" "gcc" "CMakeFiles/de_core.dir/src/core/split_env.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "CMakeFiles/de_core.dir/src/core/strategy.cpp.o" "gcc" "CMakeFiles/de_core.dir/src/core/strategy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_core.dir/src/core/cost.cpp.o"
+  "CMakeFiles/de_core.dir/src/core/cost.cpp.o.d"
+  "CMakeFiles/de_core.dir/src/core/distredge.cpp.o"
+  "CMakeFiles/de_core.dir/src/core/distredge.cpp.o.d"
+  "CMakeFiles/de_core.dir/src/core/lcpss.cpp.o"
+  "CMakeFiles/de_core.dir/src/core/lcpss.cpp.o.d"
+  "CMakeFiles/de_core.dir/src/core/osds.cpp.o"
+  "CMakeFiles/de_core.dir/src/core/osds.cpp.o.d"
+  "CMakeFiles/de_core.dir/src/core/serialize.cpp.o"
+  "CMakeFiles/de_core.dir/src/core/serialize.cpp.o.d"
+  "CMakeFiles/de_core.dir/src/core/split_env.cpp.o"
+  "CMakeFiles/de_core.dir/src/core/split_env.cpp.o.d"
+  "CMakeFiles/de_core.dir/src/core/strategy.cpp.o"
+  "CMakeFiles/de_core.dir/src/core/strategy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device.cpp" "CMakeFiles/de_device.dir/src/device/device.cpp.o" "gcc" "CMakeFiles/de_device.dir/src/device/device.cpp.o.d"
+  "/root/repo/src/device/latency_table.cpp" "CMakeFiles/de_device.dir/src/device/latency_table.cpp.o" "gcc" "CMakeFiles/de_device.dir/src/device/latency_table.cpp.o.d"
+  "/root/repo/src/device/profiler.cpp" "CMakeFiles/de_device.dir/src/device/profiler.cpp.o" "gcc" "CMakeFiles/de_device.dir/src/device/profiler.cpp.o.d"
+  "/root/repo/src/device/profiles.cpp" "CMakeFiles/de_device.dir/src/device/profiles.cpp.o" "gcc" "CMakeFiles/de_device.dir/src/device/profiles.cpp.o.d"
+  "/root/repo/src/device/regression.cpp" "CMakeFiles/de_device.dir/src/device/regression.cpp.o" "gcc" "CMakeFiles/de_device.dir/src/device/regression.cpp.o.d"
+  "/root/repo/src/device/synthetic.cpp" "CMakeFiles/de_device.dir/src/device/synthetic.cpp.o" "gcc" "CMakeFiles/de_device.dir/src/device/synthetic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

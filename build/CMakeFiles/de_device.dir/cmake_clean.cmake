@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_device.dir/src/device/device.cpp.o"
+  "CMakeFiles/de_device.dir/src/device/device.cpp.o.d"
+  "CMakeFiles/de_device.dir/src/device/latency_table.cpp.o"
+  "CMakeFiles/de_device.dir/src/device/latency_table.cpp.o.d"
+  "CMakeFiles/de_device.dir/src/device/profiler.cpp.o"
+  "CMakeFiles/de_device.dir/src/device/profiler.cpp.o.d"
+  "CMakeFiles/de_device.dir/src/device/profiles.cpp.o"
+  "CMakeFiles/de_device.dir/src/device/profiles.cpp.o.d"
+  "CMakeFiles/de_device.dir/src/device/regression.cpp.o"
+  "CMakeFiles/de_device.dir/src/device/regression.cpp.o.d"
+  "CMakeFiles/de_device.dir/src/device/synthetic.cpp.o"
+  "CMakeFiles/de_device.dir/src/device/synthetic.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

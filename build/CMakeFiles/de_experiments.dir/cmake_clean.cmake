@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_experiments.dir/src/experiments/harness.cpp.o"
+  "CMakeFiles/de_experiments.dir/src/experiments/harness.cpp.o.d"
+  "CMakeFiles/de_experiments.dir/src/experiments/scenarios.cpp.o"
+  "CMakeFiles/de_experiments.dir/src/experiments/scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_net.dir/src/net/link.cpp.o"
+  "CMakeFiles/de_net.dir/src/net/link.cpp.o.d"
+  "CMakeFiles/de_net.dir/src/net/network.cpp.o"
+  "CMakeFiles/de_net.dir/src/net/network.cpp.o.d"
+  "CMakeFiles/de_net.dir/src/net/trace.cpp.o"
+  "CMakeFiles/de_net.dir/src/net/trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

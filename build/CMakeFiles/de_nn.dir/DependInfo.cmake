@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "CMakeFiles/de_nn.dir/src/nn/adam.cpp.o" "gcc" "CMakeFiles/de_nn.dir/src/nn/adam.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "CMakeFiles/de_nn.dir/src/nn/linear.cpp.o" "gcc" "CMakeFiles/de_nn.dir/src/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/matrix.cpp" "CMakeFiles/de_nn.dir/src/nn/matrix.cpp.o" "gcc" "CMakeFiles/de_nn.dir/src/nn/matrix.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "CMakeFiles/de_nn.dir/src/nn/mlp.cpp.o" "gcc" "CMakeFiles/de_nn.dir/src/nn/mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_nn.dir/src/nn/adam.cpp.o"
+  "CMakeFiles/de_nn.dir/src/nn/adam.cpp.o.d"
+  "CMakeFiles/de_nn.dir/src/nn/linear.cpp.o"
+  "CMakeFiles/de_nn.dir/src/nn/linear.cpp.o.d"
+  "CMakeFiles/de_nn.dir/src/nn/matrix.cpp.o"
+  "CMakeFiles/de_nn.dir/src/nn/matrix.cpp.o.d"
+  "CMakeFiles/de_nn.dir/src/nn/mlp.cpp.o"
+  "CMakeFiles/de_nn.dir/src/nn/mlp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

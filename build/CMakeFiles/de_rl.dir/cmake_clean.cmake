@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_rl.dir/src/rl/ddpg.cpp.o"
+  "CMakeFiles/de_rl.dir/src/rl/ddpg.cpp.o.d"
+  "CMakeFiles/de_rl.dir/src/rl/replay_buffer.cpp.o"
+  "CMakeFiles/de_rl.dir/src/rl/replay_buffer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

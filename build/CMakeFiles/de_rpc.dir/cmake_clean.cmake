@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_rpc.dir/src/rpc/inproc_transport.cpp.o"
+  "CMakeFiles/de_rpc.dir/src/rpc/inproc_transport.cpp.o.d"
+  "CMakeFiles/de_rpc.dir/src/rpc/tcp_transport.cpp.o"
+  "CMakeFiles/de_rpc.dir/src/rpc/tcp_transport.cpp.o.d"
+  "CMakeFiles/de_rpc.dir/src/rpc/wire.cpp.o"
+  "CMakeFiles/de_rpc.dir/src/rpc/wire.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/cluster.cpp" "CMakeFiles/de_runtime.dir/src/runtime/cluster.cpp.o" "gcc" "CMakeFiles/de_runtime.dir/src/runtime/cluster.cpp.o.d"
+  "/root/repo/src/runtime/fabric.cpp" "CMakeFiles/de_runtime.dir/src/runtime/fabric.cpp.o" "gcc" "CMakeFiles/de_runtime.dir/src/runtime/fabric.cpp.o.d"
+  "/root/repo/src/runtime/mailbox.cpp" "CMakeFiles/de_runtime.dir/src/runtime/mailbox.cpp.o" "gcc" "CMakeFiles/de_runtime.dir/src/runtime/mailbox.cpp.o.d"
+  "/root/repo/src/runtime/serve.cpp" "CMakeFiles/de_runtime.dir/src/runtime/serve.cpp.o" "gcc" "CMakeFiles/de_runtime.dir/src/runtime/serve.cpp.o.d"
+  "/root/repo/src/runtime/transfer_plan.cpp" "CMakeFiles/de_runtime.dir/src/runtime/transfer_plan.cpp.o" "gcc" "CMakeFiles/de_runtime.dir/src/runtime/transfer_plan.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "CMakeFiles/de_runtime.dir/src/runtime/worker.cpp.o" "gcc" "CMakeFiles/de_runtime.dir/src/runtime/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_runtime.dir/src/runtime/cluster.cpp.o"
+  "CMakeFiles/de_runtime.dir/src/runtime/cluster.cpp.o.d"
+  "CMakeFiles/de_runtime.dir/src/runtime/fabric.cpp.o"
+  "CMakeFiles/de_runtime.dir/src/runtime/fabric.cpp.o.d"
+  "CMakeFiles/de_runtime.dir/src/runtime/mailbox.cpp.o"
+  "CMakeFiles/de_runtime.dir/src/runtime/mailbox.cpp.o.d"
+  "CMakeFiles/de_runtime.dir/src/runtime/serve.cpp.o"
+  "CMakeFiles/de_runtime.dir/src/runtime/serve.cpp.o.d"
+  "CMakeFiles/de_runtime.dir/src/runtime/transfer_plan.cpp.o"
+  "CMakeFiles/de_runtime.dir/src/runtime/transfer_plan.cpp.o.d"
+  "CMakeFiles/de_runtime.dir/src/runtime/worker.cpp.o"
+  "CMakeFiles/de_runtime.dir/src/runtime/worker.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

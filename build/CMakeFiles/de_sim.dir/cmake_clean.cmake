@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/de_sim.dir/src/sim/exec_sim.cpp.o"
+  "CMakeFiles/de_sim.dir/src/sim/exec_sim.cpp.o.d"
+  "CMakeFiles/de_sim.dir/src/sim/stream_sim.cpp.o"
+  "CMakeFiles/de_sim.dir/src/sim/stream_sim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/de_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

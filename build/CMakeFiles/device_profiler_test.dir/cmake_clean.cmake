@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_profiler_test.dir/tests/device/profiler_test.cpp.o"
+  "CMakeFiles/device_profiler_test.dir/tests/device/profiler_test.cpp.o.d"
+  "device_profiler_test"
+  "device_profiler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

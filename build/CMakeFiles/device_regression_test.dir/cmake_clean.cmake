@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_regression_test.dir/tests/device/regression_test.cpp.o"
+  "CMakeFiles/device_regression_test.dir/tests/device/regression_test.cpp.o.d"
+  "device_regression_test"
+  "device_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_synthetic_test.dir/tests/device/synthetic_test.cpp.o"
+  "CMakeFiles/device_synthetic_test.dir/tests/device/synthetic_test.cpp.o.d"
+  "device_synthetic_test"
+  "device_synthetic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_synthetic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

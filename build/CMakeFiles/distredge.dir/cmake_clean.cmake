@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "libdistredge.a"
+  "libdistredge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distredge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_device_profile.dir/examples/custom_device_profile.cpp.o"
+  "CMakeFiles/example_custom_device_profile.dir/examples/custom_device_profile.cpp.o.d"
+  "example_custom_device_profile"
+  "example_custom_device_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_device_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

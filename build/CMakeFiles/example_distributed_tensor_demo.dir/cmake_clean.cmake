@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_tensor_demo.dir/examples/distributed_tensor_demo.cpp.o"
+  "CMakeFiles/example_distributed_tensor_demo.dir/examples/distributed_tensor_demo.cpp.o.d"
+  "example_distributed_tensor_demo"
+  "example_distributed_tensor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_tensor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_network.dir/examples/dynamic_network.cpp.o"
+  "CMakeFiles/example_dynamic_network.dir/examples/dynamic_network.cpp.o.d"
+  "example_dynamic_network"
+  "example_dynamic_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heterogeneous_cluster.dir/examples/heterogeneous_cluster.cpp.o"
+  "CMakeFiles/example_heterogeneous_cluster.dir/examples/heterogeneous_cluster.cpp.o.d"
+  "example_heterogeneous_cluster"
+  "example_heterogeneous_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heterogeneous_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_model_zoo_tour.dir/examples/model_zoo_tour.cpp.o"
+  "CMakeFiles/example_model_zoo_tour.dir/examples/model_zoo_tour.cpp.o.d"
+  "example_model_zoo_tour"
+  "example_model_zoo_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_model_zoo_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tcp_cluster_demo.dir/examples/tcp_cluster_demo.cpp.o"
+  "CMakeFiles/example_tcp_cluster_demo.dir/examples/tcp_cluster_demo.cpp.o.d"
+  "example_tcp_cluster_demo"
+  "example_tcp_cluster_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tcp_cluster_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

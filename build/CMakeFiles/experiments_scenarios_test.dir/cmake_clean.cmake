@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiments_scenarios_test.dir/tests/experiments/scenarios_test.cpp.o"
+  "CMakeFiles/experiments_scenarios_test.dir/tests/experiments/scenarios_test.cpp.o.d"
+  "experiments_scenarios_test"
+  "experiments_scenarios_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiments_scenarios_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

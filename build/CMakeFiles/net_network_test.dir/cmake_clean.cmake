@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_network_test.dir/tests/net/network_test.cpp.o"
+  "CMakeFiles/net_network_test.dir/tests/net/network_test.cpp.o.d"
+  "net_network_test"
+  "net_network_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

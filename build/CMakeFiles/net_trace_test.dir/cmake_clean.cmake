@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_trace_test.dir/tests/net/trace_test.cpp.o"
+  "CMakeFiles/net_trace_test.dir/tests/net/trace_test.cpp.o.d"
+  "net_trace_test"
+  "net_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_adam_test.dir/tests/nn/adam_test.cpp.o"
+  "CMakeFiles/nn_adam_test.dir/tests/nn/adam_test.cpp.o.d"
+  "nn_adam_test"
+  "nn_adam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_adam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

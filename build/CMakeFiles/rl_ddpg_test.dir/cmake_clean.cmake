@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_ddpg_test.dir/tests/rl/ddpg_test.cpp.o"
+  "CMakeFiles/rl_ddpg_test.dir/tests/rl/ddpg_test.cpp.o.d"
+  "rl_ddpg_test"
+  "rl_ddpg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_ddpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

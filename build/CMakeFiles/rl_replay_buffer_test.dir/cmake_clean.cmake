@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_replay_buffer_test.dir/tests/rl/replay_buffer_test.cpp.o"
+  "CMakeFiles/rl_replay_buffer_test.dir/tests/rl/replay_buffer_test.cpp.o.d"
+  "rl_replay_buffer_test"
+  "rl_replay_buffer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_replay_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_tcp_cluster_test.dir/tests/rpc/tcp_cluster_test.cpp.o"
+  "CMakeFiles/rpc_tcp_cluster_test.dir/tests/rpc/tcp_cluster_test.cpp.o.d"
+  "rpc_tcp_cluster_test"
+  "rpc_tcp_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_tcp_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

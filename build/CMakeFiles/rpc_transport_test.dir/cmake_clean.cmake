@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_transport_test.dir/tests/rpc/transport_test.cpp.o"
+  "CMakeFiles/rpc_transport_test.dir/tests/rpc/transport_test.cpp.o.d"
+  "rpc_transport_test"
+  "rpc_transport_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

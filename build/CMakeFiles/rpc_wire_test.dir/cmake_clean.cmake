@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_wire_test.dir/tests/rpc/wire_test.cpp.o"
+  "CMakeFiles/rpc_wire_test.dir/tests/rpc/wire_test.cpp.o.d"
+  "rpc_wire_test"
+  "rpc_wire_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

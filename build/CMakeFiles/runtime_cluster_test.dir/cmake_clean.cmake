@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_cluster_test.dir/tests/runtime/cluster_test.cpp.o"
+  "CMakeFiles/runtime_cluster_test.dir/tests/runtime/cluster_test.cpp.o.d"
+  "runtime_cluster_test"
+  "runtime_cluster_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

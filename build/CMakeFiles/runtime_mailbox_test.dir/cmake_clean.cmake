@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_mailbox_test.dir/tests/runtime/mailbox_test.cpp.o"
+  "CMakeFiles/runtime_mailbox_test.dir/tests/runtime/mailbox_test.cpp.o.d"
+  "runtime_mailbox_test"
+  "runtime_mailbox_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_mailbox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
