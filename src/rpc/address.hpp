@@ -23,6 +23,11 @@ inline constexpr MailboxId kNilMailbox = -1;
 /// The data-plane inbox every cluster node opens (chunk traffic).
 inline constexpr MailboxId kDataMailbox = 0;
 
+/// The control inbox of the reliability layer (ack/nack traffic). Kept
+/// separate from the data mailbox so retransmit bookkeeping never queues
+/// behind multi-megabyte tensor chunks.
+inline constexpr MailboxId kCtrlMailbox = 1;
+
 struct Address {
   NodeId node = kNilNode;
   MailboxId mailbox = kNilMailbox;

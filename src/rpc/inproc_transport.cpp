@@ -1,6 +1,7 @@
 #include "rpc/inproc_transport.hpp"
 
 #include "common/require.hpp"
+#include "rpc/mailbox_recv.hpp"
 
 namespace de::rpc {
 
@@ -38,6 +39,11 @@ std::optional<Payload> InProcTransport::try_receive(MailboxId id) {
   auto* box = find_mailbox(id);
   if (box == nullptr) return std::nullopt;
   return box->try_receive();
+}
+
+RecvStatus InProcTransport::receive_for(MailboxId id, int timeout_ms,
+                                        Payload& out) {
+  return mailbox_receive_for(find_mailbox(id), timeout_ms, out);
 }
 
 void InProcTransport::shutdown() {

@@ -24,6 +24,7 @@ class InProcTransport final : public Transport {
   void send(const Address& to, Payload payload) override;
   std::optional<Payload> receive(MailboxId id) override;
   std::optional<Payload> try_receive(MailboxId id) override;
+  RecvStatus receive_for(MailboxId id, int timeout_ms, Payload& out) override;
   void shutdown() override;
 
  private:

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/require.hpp"
+#include "rpc/mailbox_recv.hpp"
 
 namespace de::rpc {
 
@@ -179,6 +180,11 @@ std::optional<Payload> TcpTransport::try_receive(MailboxId id) {
   auto* box = find_mailbox(id);
   if (box == nullptr) return std::nullopt;
   return box->try_receive();
+}
+
+RecvStatus TcpTransport::receive_for(MailboxId id, int timeout_ms,
+                                     Payload& out) {
+  return mailbox_receive_for(find_mailbox(id), timeout_ms, out);
 }
 
 void TcpTransport::accept_loop() {

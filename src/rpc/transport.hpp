@@ -4,14 +4,15 @@
 // opens numbered mailboxes, and anyone holding an Address can `send()` to it.
 // send() never blocks and silently drops the payload if the destination
 // mailbox does not exist or the peer is unreachable/dead — delivery is
-// at-most-once, and anything stronger is the caller's protocol concern.
-// There is no failure detector: a peer that dies mid-protocol stalls
-// counterparties waiting on its messages until the run owner shuts the
-// fabric down (see ClusterFabric's provider barrier); liveness timeouts are
-// future work.
+// at-most-once, and anything stronger is the caller's protocol concern
+// (the cluster runtime layers ack/retransmit/dedup on top, DESIGN.md
+// §fault-model). receive_for() bounds a wait so callers can implement
+// liveness timeouts instead of stalling on a dead counterparty forever.
 //
-// Backends: InProcTransport (shared-memory, zero-copy queues) and
-// TcpTransport (length-prefixed frames over POSIX sockets).
+// Backends: InProcTransport (shared-memory, zero-copy queues),
+// TcpTransport (length-prefixed frames over POSIX sockets), and
+// FaultInjectingTransport (a decorator that deterministically degrades any
+// of the others for resilience testing).
 #pragma once
 
 #include <cstdint>
@@ -24,6 +25,10 @@ namespace de::rpc {
 
 /// Opaque message body; the cluster runtime fills these via rpc/wire.
 using Payload = std::vector<std::uint8_t>;
+
+/// Outcome of a bounded receive: a payload, nothing within the deadline, or
+/// a transport that shut down (nothing will ever arrive again).
+enum class RecvStatus { kOk, kTimeout, kClosed };
 
 class Transport {
  public:
@@ -47,6 +52,11 @@ class Transport {
 
   /// Non-blocking poll of local mailbox `id`; nullopt when empty or closed.
   virtual std::optional<Payload> try_receive(MailboxId id) = 0;
+
+  /// Blocks up to `timeout_ms` for a payload in local mailbox `id`. Fills
+  /// `out` on kOk; kTimeout means keep waiting (or give up — caller's
+  /// policy), kClosed means the mailbox/transport is gone.
+  virtual RecvStatus receive_for(MailboxId id, int timeout_ms, Payload& out) = 0;
 
   /// Graceful teardown: wakes blocked receivers (they return nullopt), stops
   /// accepting traffic, and joins any backend threads. Idempotent.

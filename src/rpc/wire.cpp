@@ -15,26 +15,39 @@ void write_header(core::ByteWriter& w, MsgType type) {
   w.u16(static_cast<std::uint16_t>(type));
 }
 
-MsgType read_header(core::ByteReader& r) {
+struct Header {
+  std::uint16_t version = 0;
+  MsgType type = MsgType::kShutdown;
+};
+
+Header read_header(core::ByteReader& r) {
   DE_REQUIRE(r.u32() == kWireMagic, "wire: bad magic");
-  DE_REQUIRE(r.u16() == kWireVersion, "wire: unsupported version");
+  Header h;
+  h.version = r.u16();
+  DE_REQUIRE(h.version == 1 || h.version == kWireVersion,
+             "wire: unsupported version");
   const auto raw = r.u16();
+  // v1 streams end at kShutdown; the ack/nack control types are v2-only.
+  const auto max_type = h.version == 1
+                            ? static_cast<std::uint16_t>(MsgType::kShutdown)
+                            : static_cast<std::uint16_t>(MsgType::kNack);
   DE_REQUIRE(raw >= static_cast<std::uint16_t>(MsgType::kScatter) &&
-                 raw <= static_cast<std::uint16_t>(MsgType::kShutdown),
+                 raw <= max_type,
              "wire: unknown message type");
-  return static_cast<MsgType>(raw);
+  h.type = static_cast<MsgType>(raw);
+  return h;
 }
+
+}  // namespace
 
 bool is_chunk_type(MsgType t) {
   return t == MsgType::kScatter || t == MsgType::kHaloRows ||
          t == MsgType::kGather;
 }
 
-}  // namespace
-
 MsgType peek_type(std::span<const std::uint8_t> frame) {
   core::ByteReader r(frame);
-  return read_header(r);
+  return read_header(r).type;
 }
 
 Payload encode_chunk(const ChunkMsg& msg) {
@@ -49,6 +62,8 @@ Payload encode_chunk(const ChunkMsg& msg) {
   w.i32(msg.seq);
   w.i32(msg.volume);
   w.i32(msg.row_offset);
+  w.i32(msg.from_node);
+  w.u32(msg.chunk_id);
   w.i32(msg.rows.h);
   w.i32(msg.rows.w);
   w.i32(msg.rows.c);
@@ -73,25 +88,57 @@ Payload encode_shutdown() {
   return w.take();
 }
 
+Payload encode_ack(const AckMsg& msg) {
+  core::ByteWriter w;
+  write_header(w, MsgType::kAck);
+  w.i32(msg.from_node);
+  w.u32(msg.chunk_id);
+  return w.take();
+}
+
+Payload encode_nack(const NackMsg& msg) {
+  core::ByteWriter w;
+  write_header(w, MsgType::kNack);
+  w.i32(msg.from_node);
+  w.i32(msg.seq);
+  w.i32(msg.volume);
+  return w.take();
+}
+
 ChunkMsg decode_chunk(std::span<const std::uint8_t> frame) {
   core::ByteReader r(frame);
+  const Header header = read_header(r);
   ChunkMsg msg;
-  msg.type = read_header(r);
+  msg.type = header.type;
   DE_REQUIRE(is_chunk_type(msg.type), "wire: frame is not a tensor chunk");
   msg.seq = r.i32();
   msg.volume = r.i32();
   msg.row_offset = r.i32();
+  if (header.version >= 2) {
+    msg.from_node = r.i32();
+    msg.chunk_id = r.u32();
+    DE_REQUIRE(msg.from_node >= kNilNode, "wire: malformed chunk sender");
+    DE_REQUIRE(msg.chunk_id == 0 || msg.from_node != kNilNode,
+               "wire: tracked chunk without a sender");
+  }
   const std::int32_t h = r.i32();
   const std::int32_t w = r.i32();
   const std::int32_t c = r.i32();
   DE_REQUIRE(msg.seq >= 0 && msg.volume >= 0 && msg.row_offset >= 0,
              "wire: negative chunk coordinates");
   DE_REQUIRE(h > 0 && w > 0 && c > 0, "wire: non-positive tensor extents");
-  const std::size_t elems = static_cast<std::size_t>(h) *
-                            static_cast<std::size_t>(w) *
-                            static_cast<std::size_t>(c);
-  DE_REQUIRE(elems <= std::numeric_limits<std::int32_t>::max() / 4,
-             "wire: tensor extents overflow");
+  // Overflow-safe product: bound h*w before multiplying in c, so a crafted
+  // triple whose full product wraps mod 2^64 (e.g. 2^21 * 2^21 * 2^22)
+  // cannot slip past the cap as a tiny wrapped value.
+  constexpr std::size_t kMaxElems =
+      std::numeric_limits<std::int32_t>::max() / 4;
+  const std::size_t plane =
+      static_cast<std::size_t>(h) * static_cast<std::size_t>(w);
+  DE_REQUIRE(plane <= kMaxElems, "wire: tensor extents overflow");
+  const std::size_t elems = plane * static_cast<std::size_t>(c);
+  DE_REQUIRE(elems <= kMaxElems, "wire: tensor extents overflow");
+  // Size check before the allocation: a frame claiming huge extents is
+  // rejected here, so hostile input can never drive a huge allocation.
   DE_REQUIRE(r.remaining() == elems * 4,
              "wire: payload size disagrees with tensor extents");
   msg.rows = cnn::Tensor(h, w, c);
@@ -101,7 +148,7 @@ ChunkMsg decode_chunk(std::span<const std::uint8_t> frame) {
 
 HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame) {
   core::ByteReader r(frame);
-  DE_REQUIRE(read_header(r) == MsgType::kHaloRequest,
+  DE_REQUIRE(read_header(r).type == MsgType::kHaloRequest,
              "wire: frame is not a halo request");
   HaloRequestMsg msg;
   msg.seq = r.i32();
@@ -113,6 +160,33 @@ HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame) {
   DE_REQUIRE(msg.seq >= 0 && msg.volume >= 0 && msg.begin >= 0 &&
                  msg.end >= msg.begin && msg.from_node >= 0,
              "wire: malformed halo request fields");
+  return msg;
+}
+
+AckMsg decode_ack(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kAck,
+             "wire: frame is not an ack");
+  AckMsg msg;
+  msg.from_node = r.i32();
+  msg.chunk_id = r.u32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after ack");
+  DE_REQUIRE(msg.from_node >= 0 && msg.chunk_id > 0,
+             "wire: malformed ack fields");
+  return msg;
+}
+
+NackMsg decode_nack(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kNack,
+             "wire: frame is not a nack");
+  NackMsg msg;
+  msg.from_node = r.i32();
+  msg.seq = r.i32();
+  msg.volume = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after nack");
+  DE_REQUIRE(msg.from_node >= 0 && msg.seq >= 0 && msg.volume >= 0,
+             "wire: malformed nack fields");
   return msg;
 }
 

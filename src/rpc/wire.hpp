@@ -3,7 +3,7 @@
 // Every payload starts with an 8-byte header:
 //
 //   u32 magic   = 0x44454447  ("DEDG")
-//   u16 version = kWireVersion
+//   u16 version = 1 or 2 (encoders emit kWireVersion = 2; decoders accept both)
 //   u16 type    (MsgType)
 //
 // followed by the type-specific body, all little-endian:
@@ -12,16 +12,24 @@
 //     i32 seq          image sequence number within a stream
 //     i32 volume       destination layer-volume index
 //     i32 row_offset   absolute first row within that volume's input/output
+//     [v2] i32 from_node   sending node (kNilNode when untracked)
+//     [v2] u32 chunk_id    per-link id for ack/dedup (0 = untracked)
 //     i32 h, i32 w, i32 c
 //     f32 * (h*w*c)    row-major HWC floats as raw IEEE-754 bit patterns
 //   kHaloRequest:
 //     i32 seq, i32 volume, i32 begin, i32 end, i32 from_node
 //   kShutdown:
 //     (empty body)
+//   kAck (v2):
+//     i32 from_node (the acker), u32 chunk_id
+//   kNack (v2):
+//     i32 from_node (the complainer), i32 seq, i32 volume
 //
 // decode_* throws de::Error on malformed input (bad magic/version/type,
 // truncated body, trailing garbage, negative or overflowing extents); a
-// frame accepted by decode re-encodes to the identical byte string.
+// v2 frame accepted by decode re-encodes to the identical byte string, and
+// chunk decoding never allocates before the claimed extents are proven
+// consistent with the frame length.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +42,7 @@
 namespace de::rpc {
 
 inline constexpr std::uint32_t kWireMagic = 0x44454447;  // "DEDG"
-inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::uint16_t kWireVersion = 2;
 
 enum class MsgType : std::uint16_t {
   kScatter = 1,      ///< requester -> provider: volume-0 input rows
@@ -42,15 +50,23 @@ enum class MsgType : std::uint16_t {
   kHaloRows = 3,     ///< provider -> provider: halo rows between volumes
   kGather = 4,       ///< provider -> requester: final-volume output rows
   kShutdown = 5,     ///< requester -> provider: end of stream
+  kAck = 6,          ///< receiver -> sender: chunk `chunk_id` arrived (v2)
+  kNack = 7,         ///< receiver -> peers: still missing (seq, volume) (v2)
 };
 
 /// A horizontal slice of some volume's tensor, tagged with the image it
-/// belongs to. Used by kScatter, kHaloRows, and kGather.
+/// belongs to. Used by kScatter, kHaloRows, and kGather. `from_node` and
+/// `chunk_id` are the v2 reliability handles: a chunk with chunk_id > 0 asks
+/// the receiver to ack it back to {from_node, kCtrlMailbox} and to drop
+/// repeats of the same (from_node, chunk_id). Ids count up gaplessly per
+/// sender->receiver link, so a receiver's dedup watermark keeps advancing.
 struct ChunkMsg {
   MsgType type = MsgType::kHaloRows;
   std::int32_t seq = 0;
   std::int32_t volume = 0;
   std::int32_t row_offset = 0;
+  NodeId from_node = kNilNode;
+  std::uint32_t chunk_id = 0;
   cnn::Tensor rows;
 };
 
@@ -64,14 +80,38 @@ struct HaloRequestMsg {
   NodeId from_node = kNilNode;
 };
 
+/// "Chunk `chunk_id` from you reached me" — sent to the original sender's
+/// control mailbox; the sender stops retransmitting it.
+struct AckMsg {
+  NodeId from_node = kNilNode;  ///< the acker
+  std::uint32_t chunk_id = 0;
+};
+
+/// "I am still waiting on input chunks for (seq, volume)" — broadcast to
+/// peers' control mailboxes after a receive timeout; holders of unacked
+/// chunks destined to `from_node` retransmit immediately.
+struct NackMsg {
+  NodeId from_node = kNilNode;  ///< the complainer
+  std::int32_t seq = 0;
+  std::int32_t volume = 0;
+};
+
 /// Header peek without decoding the body; throws on bad magic/version.
 MsgType peek_type(std::span<const std::uint8_t> frame);
+
+/// True for the tensor-carrying types (kScatter/kHaloRows/kGather) — the
+/// frames decode_chunk accepts.
+bool is_chunk_type(MsgType t);
 
 Payload encode_chunk(const ChunkMsg& msg);
 Payload encode_halo_request(const HaloRequestMsg& msg);
 Payload encode_shutdown();
+Payload encode_ack(const AckMsg& msg);
+Payload encode_nack(const NackMsg& msg);
 
 ChunkMsg decode_chunk(std::span<const std::uint8_t> frame);
 HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame);
+AckMsg decode_ack(std::span<const std::uint8_t> frame);
+NackMsg decode_nack(std::span<const std::uint8_t> frame);
 
 }  // namespace de::rpc

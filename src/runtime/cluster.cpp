@@ -1,6 +1,7 @@
 #include "runtime/cluster.hpp"
 
 #include <map>
+#include <memory>
 
 #include "common/require.hpp"
 #include "runtime/fabric.hpp"
@@ -13,37 +14,61 @@ namespace {
 ClusterResult run_once(const cnn::CnnModel& model,
                        const sim::RawStrategy& strategy,
                        const std::vector<cnn::ConvWeights>& weights,
-                       const cnn::Tensor& input, int n_devices, bool use_tcp) {
+                       const cnn::Tensor& input, int n_devices, bool use_tcp,
+                       const RunOptions& options) {
   validate_cluster_inputs(model, weights, input);
+  DE_REQUIRE(options.faults == nullptr || options.reliability.enabled,
+             "fault injection without the reliability protocol would hang "
+             "the chunk accounting — enable RunOptions::reliability");
   const auto plan = build_transfer_plan(model, strategy, n_devices);
 
-  auto fabric = make_fabric(n_devices, use_tcp);
+  auto fabric = make_fabric(n_devices, use_tcp, options.faults);
   DataPlaneStats stats;
-  auto threads =
-      spawn_providers(fabric, model, strategy, weights, plan, /*n_images=*/1, stats);
+  auto threads = spawn_providers(fabric, model, strategy, weights, plan,
+                                 /*n_images=*/1, stats, options.reliability);
 
-  scatter_image(fabric.requester(), /*seq=*/0, input, plan, stats);
+  RequesterContext ctx(fabric.requester(), plan, stats, options.reliability);
+  std::unique_ptr<Retransmitter> rtx;
+  if (options.reliability.enabled) {
+    rtx = std::make_unique<Retransmitter>(fabric.requester(),
+                                          options.reliability, stats);
+    ctx.rtx = rtx.get();
+  }
 
-  std::map<int, std::vector<rpc::ChunkMsg>> stash;
+  scatter_image(ctx, /*seq=*/0, input);
+
   cnn::Tensor output;
-  const bool ok =
-      gather_image(fabric.requester(), /*seq=*/0, model, plan, stash, output);
+  const bool ok = gather_image(ctx, /*seq=*/0, model, output);
   if (!ok) {
-    // A provider failed (its barrier shut the requester down) or a peer sent
-    // plan-mismatched chunks. Tear the fabric down and join before throwing —
-    // never unwind past live threads.
+    // A provider failed (its barrier shut the fabric down), a peer sent
+    // plan-mismatched chunks, or the gather starved past its timeout
+    // budget. Tear the fabric down and join before throwing — never unwind
+    // past live threads.
+    if (rtx) rtx->stop();
     fabric.shutdown_all();
     for (auto& t : threads) t.join();
     throw Error("cluster transport shut down mid-gather");
   }
 
+  if (options.reliability.enabled) {
+    // Release the providers from their outbox drain: the gather is
+    // complete, nothing they still hold matters. Best-effort — a lost
+    // release frame just costs them their bounded attempt budget.
+    for (int i = 0; i < n_devices; ++i) {
+      fabric.requester().send(data_addr(i), rpc::encode_shutdown());
+    }
+  }
   for (auto& t : threads) t.join();
+  if (rtx) rtx->stop();
   fabric.shutdown_all();
 
   ClusterResult result;
   result.output = std::move(output);
   result.messages_exchanged = stats.messages.load();
   result.bytes_moved = stats.bytes.load();
+  result.retransmits = stats.retransmits.load();
+  result.duplicates_dropped = stats.duplicates_dropped.load();
+  result.recv_timeouts = stats.recv_timeouts.load();
   return result;
 }
 
@@ -71,15 +96,19 @@ cnn::Tensor run_reference(const cnn::CnnModel& model,
 ClusterResult run_distributed(const cnn::CnnModel& model,
                               const sim::RawStrategy& strategy,
                               const std::vector<cnn::ConvWeights>& weights,
-                              const cnn::Tensor& input, int n_devices) {
-  return run_once(model, strategy, weights, input, n_devices, /*use_tcp=*/false);
+                              const cnn::Tensor& input, int n_devices,
+                              const RunOptions& options) {
+  return run_once(model, strategy, weights, input, n_devices, /*use_tcp=*/false,
+                  options);
 }
 
 ClusterResult run_distributed_tcp(const cnn::CnnModel& model,
                                   const sim::RawStrategy& strategy,
                                   const std::vector<cnn::ConvWeights>& weights,
-                                  const cnn::Tensor& input, int n_devices) {
-  return run_once(model, strategy, weights, input, n_devices, /*use_tcp=*/true);
+                                  const cnn::Tensor& input, int n_devices,
+                                  const RunOptions& options) {
+  return run_once(model, strategy, weights, input, n_devices, /*use_tcp=*/true,
+                  options);
 }
 
 }  // namespace de::runtime

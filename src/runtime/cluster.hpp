@@ -8,21 +8,37 @@
 // system-level proof of the Vertical-Splitting Law and of the transfer
 // planning logic. The same worker loops run over shared memory
 // (run_distributed) or a loopback TCP cluster (run_distributed_tcp); both
-// push every chunk through the binary wire format. Timing remains the
-// simulator's job (DESIGN.md).
+// push every chunk through the binary wire format. With RunOptions::faults
+// the fabric is degraded by a FaultInjectingTransport and the wire-v2
+// reliability protocol must still reproduce the reference bit-for-bit —
+// the adversarial-scheduling proof. Timing remains the simulator's job
+// (DESIGN.md).
 #pragma once
 
 #include <vector>
 
 #include "cnn/conv_exec.hpp"
+#include "rpc/fault_transport.hpp"
+#include "runtime/reliable.hpp"
 #include "sim/exec_sim.hpp"
 
 namespace de::runtime {
+
+/// Knobs of one cluster run. Fault injection requires the reliability
+/// protocol: lost frames with no retransmission would hang the plan's
+/// chunk accounting (the pre-v2 behaviour this layer exists to fix).
+struct RunOptions {
+  ReliabilityOptions reliability;
+  const rpc::FaultSpec* faults = nullptr;  ///< not owned; may be null
+};
 
 struct ClusterResult {
   cnn::Tensor output;        ///< stitched output of the last volume
   int messages_exchanged = 0;
   Bytes bytes_moved = 0;     ///< payload bytes across all chunk messages
+  int retransmits = 0;       ///< chunk resends by the reliability layer
+  int duplicates_dropped = 0;///< repeats absorbed by receive-side dedup
+  int recv_timeouts = 0;     ///< bounded waits that expired (nack rounds)
 };
 
 /// Runs `strategy` on `n_devices` worker threads over the in-process
@@ -31,7 +47,8 @@ struct ClusterResult {
 ClusterResult run_distributed(const cnn::CnnModel& model,
                               const sim::RawStrategy& strategy,
                               const std::vector<cnn::ConvWeights>& weights,
-                              const cnn::Tensor& input, int n_devices);
+                              const cnn::Tensor& input, int n_devices,
+                              const RunOptions& options = {});
 
 /// Same execution, but every node gets its own TcpTransport endpoint on
 /// loopback: chunks genuinely cross the kernel's TCP stack as
@@ -40,7 +57,8 @@ ClusterResult run_distributed(const cnn::CnnModel& model,
 ClusterResult run_distributed_tcp(const cnn::CnnModel& model,
                                   const sim::RawStrategy& strategy,
                                   const std::vector<cnn::ConvWeights>& weights,
-                                  const cnn::Tensor& input, int n_devices);
+                                  const cnn::Tensor& input, int n_devices,
+                                  const RunOptions& options = {});
 
 /// Reference single-device forward of the conv chain (for cross-checking).
 cnn::Tensor run_reference(const cnn::CnnModel& model,

@@ -8,7 +8,8 @@ void ClusterFabric::shutdown_all() {
   for (auto* ep : endpoints) ep->shutdown();
 }
 
-ClusterFabric make_fabric(int n_devices, bool use_tcp) {
+ClusterFabric make_fabric(int n_devices, bool use_tcp,
+                          const rpc::FaultSpec* faults) {
   ClusterFabric fabric;
   const int n_nodes = n_devices + 1;
   if (use_tcp) {
@@ -29,7 +30,18 @@ ClusterFabric make_fabric(int n_devices, bool use_tcp) {
       fabric.endpoints.push_back(&fabric.inproc->endpoint(node));
     }
   }
-  for (auto* ep : fabric.endpoints) ep->open_mailbox(rpc::kDataMailbox);
+  if (faults != nullptr) {
+    fabric.faulty.reserve(static_cast<std::size_t>(n_nodes));
+    for (std::size_t k = 0; k < fabric.endpoints.size(); ++k) {
+      fabric.faulty.push_back(std::make_unique<rpc::FaultInjectingTransport>(
+          *fabric.endpoints[k], *faults));
+      fabric.endpoints[k] = fabric.faulty.back().get();
+    }
+  }
+  for (auto* ep : fabric.endpoints) {
+    ep->open_mailbox(rpc::kDataMailbox);
+    ep->open_mailbox(rpc::kCtrlMailbox);
+  }
   return fabric;
 }
 
@@ -37,15 +49,16 @@ std::vector<std::thread> spawn_providers(
     ClusterFabric& fabric, const cnn::CnnModel& model,
     const sim::RawStrategy& strategy,
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
-    int n_images, DataPlaneStats& stats) {
+    int n_images, DataPlaneStats& stats,
+    const ReliabilityOptions& reliability) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(plan.n_devices));
   for (int i = 0; i < plan.n_devices; ++i) {
     threads.emplace_back([&fabric, &model, &strategy, &weights, &plan,
-                          n_images, &stats, i] {
+                          n_images, &stats, reliability, i] {
       try {
         provider_loop(*fabric.endpoints[static_cast<std::size_t>(i)], i, model,
-                      strategy, weights, plan, n_images, stats);
+                      strategy, weights, plan, n_images, stats, reliability);
       } catch (...) {
         // Tear down the whole fabric, not just the requester: a downed
         // requester transport drops the end-of-stream frames, which would

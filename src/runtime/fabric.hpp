@@ -1,14 +1,17 @@
 // Cluster fabric wiring shared by run_distributed{,_tcp} and serve_stream:
 // one transport endpoint per node (providers 0..n-1, requester at index n),
-// data mailboxes opened, TCP nodes fully meshed over loopback — plus the
-// provider-thread spawner with its exception barrier. Protocol logic lives
-// in worker.cpp; this file only builds and tears down the plumbing.
+// data + control mailboxes opened, TCP nodes fully meshed over loopback —
+// plus the provider-thread spawner with its exception barrier. When a
+// FaultSpec is given, every endpoint is wrapped in a FaultInjectingTransport
+// so all inter-node traffic crosses the degraded "wire". Protocol logic
+// lives in worker.cpp; this file only builds and tears down the plumbing.
 #pragma once
 
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "rpc/fault_transport.hpp"
 #include "rpc/inproc_transport.hpp"
 #include "rpc/tcp_transport.hpp"
 #include "runtime/worker.hpp"
@@ -19,6 +22,8 @@ namespace de::runtime {
 struct ClusterFabric {
   std::unique_ptr<rpc::InProcFabric> inproc;
   std::vector<std::unique_ptr<rpc::TcpTransport>> tcp_nodes;
+  /// Fault decorators, one per node, when the run was built with faults.
+  std::vector<std::unique_ptr<rpc::FaultInjectingTransport>> faulty;
   std::vector<rpc::Transport*> endpoints;  ///< size n_devices + 1
 
   rpc::Transport& requester() { return *endpoints.back(); }
@@ -27,17 +32,21 @@ struct ClusterFabric {
 
 /// Builds the fabric for `n_devices` providers plus the requester. TCP nodes
 /// bind ephemeral loopback ports and learn the full peer directory; every
-/// node's data mailbox is open before this returns, so no scatter can race
-/// mailbox creation.
-ClusterFabric make_fabric(int n_devices, bool use_tcp);
+/// node's data and control mailboxes are open before this returns, so no
+/// scatter can race mailbox creation. With `faults` set every endpoint is
+/// wrapped in a FaultInjectingTransport sharing that spec (fault decisions
+/// still differ per link — the hash keys on src/dst node ids).
+ClusterFabric make_fabric(int n_devices, bool use_tcp,
+                          const rpc::FaultSpec* faults = nullptr);
 
 /// One provider thread per device. An exception escaping a provider would
-/// std::terminate the process; the barrier instead shuts the requester's
-/// endpoint down so the blocked gather fails in an orderly way.
+/// std::terminate the process; the barrier instead shuts the whole fabric
+/// down so blocked counterparties fail in an orderly way.
 std::vector<std::thread> spawn_providers(
     ClusterFabric& fabric, const cnn::CnnModel& model,
     const sim::RawStrategy& strategy,
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
-    int n_images, DataPlaneStats& stats);
+    int n_images, DataPlaneStats& stats,
+    const ReliabilityOptions& reliability = {});
 
 }  // namespace de::runtime

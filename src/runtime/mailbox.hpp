@@ -2,12 +2,17 @@
 // (the "data receiving" thread role of paper §V-A).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
 
 namespace de::runtime {
+
+/// Outcome of a bounded wait on a mailbox: a message, nothing within the
+/// deadline, or the mailbox closed (and drained) underneath the waiter.
+enum class MailboxRecvStatus { kOk, kTimeout, kClosed };
 
 template <typename T>
 class Mailbox {
@@ -28,6 +33,20 @@ class Mailbox {
     T value = std::move(queue_.front());
     queue_.pop_front();
     return value;
+  }
+
+  /// Waits up to `timeout` for a message. kTimeout leaves `out` untouched;
+  /// kClosed means the mailbox closed with nothing left to drain. Queued
+  /// messages are still delivered after close() (kOk), matching receive().
+  MailboxRecvStatus receive_for(T& out, std::chrono::milliseconds timeout) {
+    std::unique_lock lk(mu_);
+    cv_.wait_for(lk, timeout, [this] { return closed_ || !queue_.empty(); });
+    if (!queue_.empty()) {
+      out = std::move(queue_.front());
+      queue_.pop_front();
+      return MailboxRecvStatus::kOk;
+    }
+    return closed_ ? MailboxRecvStatus::kClosed : MailboxRecvStatus::kTimeout;
   }
 
   /// Non-blocking poll: nullopt when the queue is empty (or closed and

@@ -1,0 +1,151 @@
+#include "runtime/reliable.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace de::runtime {
+
+bool ChunkDedup::fresh(rpc::NodeId sender, std::uint32_t chunk_id) {
+  if (chunk_id == 0) return true;  // untracked chunks are never deduped
+  Window& w = seen_[sender];
+  if (chunk_id <= w.contiguous) return false;
+  if (!w.sparse.insert(chunk_id).second) return false;
+  // Advance the watermark over any now-contiguous prefix.
+  while (!w.sparse.empty() && *w.sparse.begin() == w.contiguous + 1) {
+    ++w.contiguous;
+    w.sparse.erase(w.sparse.begin());
+  }
+  return true;
+}
+
+Retransmitter::Retransmitter(rpc::Transport& transport,
+                             const ReliabilityOptions& options,
+                             DataPlaneStats& stats)
+    : transport_(transport), options_(options), stats_(stats) {
+  DE_REQUIRE(options_.rto_ms > 0 && options_.max_attempts >= 1,
+             "retransmitter needs a positive rto and attempt budget");
+  thread_ = std::thread([this] { ctrl_loop(); });
+}
+
+Retransmitter::~Retransmitter() { stop(); }
+
+std::uint32_t Retransmitter::next_chunk_id(rpc::NodeId to) {
+  std::lock_guard lk(mu_);
+  return ++next_id_[to];
+}
+
+void Retransmitter::track(const rpc::Address& to, std::uint32_t chunk_id,
+                          rpc::Payload frame) {
+  std::lock_guard lk(mu_);
+  outbox_.emplace(LinkChunk{to.node, chunk_id},
+                  Entry{to, std::move(frame), 1,
+                        std::chrono::steady_clock::now()});
+}
+
+bool Retransmitter::idle() const {
+  std::lock_guard lk(mu_);
+  return outbox_.empty();
+}
+
+Retransmitter::Resend Retransmitter::stage_resend_locked(Entry& entry) {
+  ++entry.attempts;
+  entry.last_send = std::chrono::steady_clock::now();
+  stats_.retransmits.fetch_add(1, std::memory_order_relaxed);
+  return Resend{entry.to, entry.frame};  // copy: the outbox keeps the frame
+}
+
+void Retransmitter::ctrl_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    rpc::Payload payload;
+    const auto status =
+        transport_.receive_for(rpc::kCtrlMailbox, options_.rto_ms, payload);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (status == rpc::RecvStatus::kClosed) return;
+
+    // Frames staged under the lock, sent after it: send() can block for a
+    // whole large tensor frame (TCP), and worker threads take mu_ in
+    // next_chunk_id()/track() on their hot path.
+    std::vector<Resend> burst;
+
+    if (status == rpc::RecvStatus::kOk) {
+      try {
+        switch (rpc::peek_type(payload)) {
+          case rpc::MsgType::kAck: {
+            // The acker's node id names the link; ids are per-link.
+            const auto ack = rpc::decode_ack(payload);
+            std::lock_guard lk(mu_);
+            if (outbox_.erase(LinkChunk{ack.from_node, ack.chunk_id}) > 0) {
+              stats_.acks.fetch_add(1, std::memory_order_relaxed);
+            }
+            break;
+          }
+          case rpc::MsgType::kNack: {
+            // The complainer is starving: resend everything still unacked
+            // on its link right now rather than waiting out the rto.
+            const auto nack = rpc::decode_nack(payload);
+            std::lock_guard lk(mu_);
+            auto it = outbox_.lower_bound(LinkChunk{nack.from_node, 0});
+            while (it != outbox_.end() && it->first.first == nack.from_node) {
+              if (it->second.attempts >= options_.max_attempts) {
+                stats_.chunks_abandoned.fetch_add(1, std::memory_order_relaxed);
+                it = outbox_.erase(it);
+                continue;
+              }
+              burst.push_back(stage_resend_locked(it->second));
+              ++it;
+            }
+            break;
+          }
+          default:
+            break;  // stray frame on the control mailbox: ignore
+        }
+      } catch (const Error&) {
+        // Malformed control frame (or the wake-up frame stop() posts):
+        // drop it and keep the loop alive.
+      }
+    }
+
+    // Timer pass: resend anything unacked past the rto, abandon anything
+    // over budget.
+    {
+      const auto now = std::chrono::steady_clock::now();
+      std::lock_guard lk(mu_);
+      for (auto it = outbox_.begin(); it != outbox_.end();) {
+        const auto age =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                now - it->second.last_send)
+                .count();
+        if (age < options_.rto_ms) {
+          ++it;
+          continue;
+        }
+        if (it->second.attempts >= options_.max_attempts) {
+          stats_.chunks_abandoned.fetch_add(1, std::memory_order_relaxed);
+          it = outbox_.erase(it);
+          continue;
+        }
+        burst.push_back(stage_resend_locked(it->second));
+        ++it;
+      }
+    }
+
+    for (auto& resend : burst) {
+      transport_.send(resend.to, std::move(resend.frame));
+    }
+  }
+}
+
+void Retransmitter::stop() {
+  // Not a synchronisation point between threads: the owner (loop thread's
+  // spawner) calls stop()/~Retransmitter; the first call joins.
+  if (stop_.exchange(true, std::memory_order_acq_rel)) return;
+  // Best-effort wake-up so the join does not wait out a full rto: an empty
+  // frame fails to decode and is discarded by the loop.
+  transport_.send(rpc::Address{transport_.local_node(), rpc::kCtrlMailbox},
+                  rpc::Payload{});
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace de::runtime

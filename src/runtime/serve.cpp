@@ -1,10 +1,11 @@
 #include "runtime/serve.hpp"
 
 #include <chrono>
-#include <map>
+#include <memory>
 
 #include "common/require.hpp"
 #include "runtime/fabric.hpp"
+#include "sim/fault_model.hpp"
 
 namespace de::runtime {
 
@@ -15,50 +16,70 @@ ServeResult serve_stream(const cnn::CnnModel& model,
                          const ServeOptions& options) {
   DE_REQUIRE(!inputs.empty(), "serve_stream needs at least one image");
   DE_REQUIRE(options.inflight >= 1, "need at least one image in flight");
+  DE_REQUIRE(options.faults == nullptr || options.reliability.enabled,
+             "fault injection without the reliability protocol would hang "
+             "the chunk accounting — enable ServeOptions::reliability");
   for (const auto& input : inputs) {
     validate_cluster_inputs(model, weights, input);
   }
   const auto plan = build_transfer_plan(model, strategy, n_devices);
   const int n_images = static_cast<int>(inputs.size());
 
-  auto fabric = make_fabric(n_devices, options.use_tcp);
+  auto fabric = make_fabric(n_devices, options.use_tcp, options.faults);
   DataPlaneStats stats;
   auto threads = spawn_providers(fabric, model, strategy, weights, plan,
-                                 /*n_images=*/-1, stats);
+                                 /*n_images=*/-1, stats, options.reliability);
 
   ServeResult result;
   result.images = n_images;
-  auto& requester = fabric.requester();
-  std::map<int, std::vector<rpc::ChunkMsg>> stash;
+  result.per_image.reserve(static_cast<std::size_t>(n_images));
+
+  RequesterContext ctx(fabric.requester(), plan, stats, options.reliability);
+  std::unique_ptr<Retransmitter> rtx;
+  if (options.reliability.enabled) {
+    rtx = std::make_unique<Retransmitter>(fabric.requester(),
+                                          options.reliability, stats);
+    ctx.rtx = rtx.get();
+  }
 
   const auto t0 = std::chrono::steady_clock::now();
   int next_scatter = 0;
   for (int done = 0; done < n_images; ++done) {
     while (next_scatter < n_images && next_scatter < done + options.inflight) {
-      scatter_image(requester, next_scatter,
-                    inputs[static_cast<std::size_t>(next_scatter)], plan, stats);
+      scatter_image(ctx, next_scatter,
+                    inputs[static_cast<std::size_t>(next_scatter)]);
       ++next_scatter;
     }
     cnn::Tensor output;
-    const bool ok = gather_image(requester, done, model, plan, stash, output);
+    ImageRetryStats retry;
+    const bool ok = gather_image(ctx, done, model, output, &retry);
     if (!ok) {
-      // A provider failed (its barrier shut the requester down) or a peer
-      // sent plan-mismatched chunks. Tear the fabric down and join before
-      // throwing — never unwind past live threads.
+      // A provider failed (its barrier shut the fabric down), a peer sent
+      // plan-mismatched chunks, or the gather starved past its timeout
+      // budget. Tear the fabric down and join before throwing — never
+      // unwind past live threads.
+      if (rtx) rtx->stop();
       fabric.shutdown_all();
       for (auto& t : threads) t.join();
-      throw Error("stream transport shut down mid-gather");
+      throw Error("stream transport shut down or starved mid-gather (image " +
+                  std::to_string(done) + " of " + std::to_string(n_images) +
+                  ")");
     }
+    result.per_image.push_back(retry);
     if (options.keep_outputs) result.outputs.push_back(std::move(output));
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  // End of stream: tell every provider to stop, then tear the fabric down.
+  // End of stream: tell every provider to stop (best-effort — the frame may
+  // be faulted away), then close the fabric, which releases any provider
+  // that missed the frame. Only then join: a provider blocked on a lost
+  // shutdown frame would otherwise starve for its full timeout budget.
   for (int i = 0; i < n_devices; ++i) {
-    requester.send(data_addr(i), rpc::encode_shutdown());
+    fabric.requester().send(data_addr(i), rpc::encode_shutdown());
   }
-  for (auto& t : threads) t.join();
+  if (rtx) rtx->stop();
   fabric.shutdown_all();
+  for (auto& t : threads) t.join();
 
   result.wall_s =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
@@ -66,10 +87,26 @@ ServeResult serve_stream(const cnn::CnnModel& model,
       result.wall_s > 0 ? static_cast<double>(n_images) / result.wall_s : 0.0;
   result.messages_exchanged = stats.messages.load();
   result.bytes_moved = stats.bytes.load();
+  result.retransmits = stats.retransmits.load();
+  result.duplicates_dropped = stats.duplicates_dropped.load();
+  result.recv_timeouts = stats.recv_timeouts.load();
+  result.nacks = stats.nacks.load();
+  result.chunks_abandoned = stats.chunks_abandoned.load();
 
   if (options.latency != nullptr && options.network != nullptr) {
     sim::StreamOptions stream;
     stream.n_images = n_images;
+    sim::LinkFaultModel mirror;
+    if (options.faults != nullptr) {
+      mirror = sim::mirror_faults(options.faults->drop_prob,
+                                  options.faults->dup_prob,
+                                  options.faults->delay_prob,
+                                  0.5 * (options.faults->delay_min_ms +
+                                         options.faults->delay_max_ms),
+                                  options.reliability.rto_ms,
+                                  options.reliability.max_attempts);
+      stream.faults = &mirror;
+    }
     const auto predicted = sim::stream_images(model, strategy, *options.latency,
                                               *options.network, stream);
     result.predicted_ips = predicted.ips;

@@ -4,6 +4,13 @@
 // measured wall-clock images/second next to the event simulator's
 // prediction for the same strategy. Providers run a shutdown-terminated
 // stream loop, so image count is the requester's business alone.
+//
+// With ServeOptions::faults the stream runs over a deterministically
+// degraded fabric (drops/duplicates/delays/partitions) and the wire-v2
+// reliability protocol keeps it bit-exact; per-image retry/timeout stats
+// land in ServeResult::per_image, and a stream that genuinely cannot make
+// progress (e.g. a link severed past the retransmit budget) fails loudly
+// within a bounded time instead of hanging.
 #pragma once
 
 #include <span>
@@ -11,6 +18,7 @@
 
 #include "net/network.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/worker.hpp"
 #include "sim/stream_sim.hpp"
 
 namespace de::runtime {
@@ -20,8 +28,15 @@ struct ServeOptions {
   bool use_tcp = false;      ///< loopback TCP instead of in-process transport
   bool keep_outputs = false; ///< retain every gathered output (tests)
 
+  /// Reliability protocol knobs; must be enabled when `faults` is set.
+  ReliabilityOptions reliability;
+  /// Fault plan applied to every node's sends (not owned; may be null).
+  const rpc::FaultSpec* faults = nullptr;
+
   /// When both are set, `predicted_ips` is filled from sim::stream_images
-  /// (sequential-stream semantics — the pipeline should beat it).
+  /// (sequential-stream semantics — the pipeline should beat it). A fault
+  /// plan is mirrored into the simulator's analytic loss model so the
+  /// prediction stays comparable to the degraded measurement.
   const sim::ClusterLatency* latency = nullptr;
   const net::Network* network = nullptr;
 };
@@ -33,6 +48,14 @@ struct ServeResult {
   double predicted_ips = 0;  ///< 0 when no simulator inputs were given
   int messages_exchanged = 0;
   Bytes bytes_moved = 0;
+  /// Reliability-layer totals across the stream (all zero on a clean run).
+  int retransmits = 0;
+  int duplicates_dropped = 0;
+  int recv_timeouts = 0;
+  int nacks = 0;
+  int chunks_abandoned = 0;
+  /// Per-image retry/timeout stats observed by the requester's gather.
+  std::vector<ImageRetryStats> per_image;
   std::vector<cnn::Tensor> outputs;  ///< filled iff keep_outputs
 };
 

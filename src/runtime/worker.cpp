@@ -1,5 +1,6 @@
 #include "runtime/worker.hpp"
 
+#include <memory>
 #include <utility>
 
 #include "common/require.hpp"
@@ -8,21 +9,87 @@ namespace de::runtime {
 
 namespace {
 
-/// Receive outcome of one frame: a chunk, end-of-stream, or skip (dropped
-/// control/malformed frame — caller should keep receiving).
-enum class RxKind { kChunk, kStop, kSkip };
+/// Receive outcome of one frame: a chunk, end-of-stream, skip (dropped
+/// control/malformed/duplicate frame — caller should keep receiving), or an
+/// expired bounded wait (reliable mode only).
+enum class RxKind { kChunk, kStop, kSkip, kTimeout };
 
-RxKind receive_frame(rpc::Transport& transport, rpc::ChunkMsg& out) {
-  auto payload = transport.receive(rpc::kDataMailbox);
-  if (!payload.has_value()) return RxKind::kStop;  // transport shut down
+/// Receive-side state of one node, shared by the provider and gather loops.
+/// The dedup window is borrowed from the loop owner: it must span the whole
+/// run (chunk ids are per-sender monotonic across images), never one image.
+struct RxState {
+  rpc::Transport& transport;
+  const ReliabilityOptions& reliability;
+  DataPlaneStats& stats;
+  ChunkDedup& dedup;
+};
+
+RxKind receive_frame(RxState& rx, rpc::ChunkMsg& out) {
+  rpc::Payload payload;
+  if (!rx.reliability.enabled) {
+    auto received = rx.transport.receive(rpc::kDataMailbox);
+    if (!received.has_value()) return RxKind::kStop;  // transport shut down
+    payload = std::move(*received);
+  } else {
+    switch (rx.transport.receive_for(rpc::kDataMailbox,
+                                     rx.reliability.recv_timeout_ms, payload)) {
+      case rpc::RecvStatus::kClosed:
+        return RxKind::kStop;
+      case rpc::RecvStatus::kTimeout:
+        return RxKind::kTimeout;
+      case rpc::RecvStatus::kOk:
+        break;
+    }
+  }
   try {
-    const auto type = rpc::peek_type(*payload);
+    const auto type = rpc::peek_type(payload);
     if (type == rpc::MsgType::kShutdown) return RxKind::kStop;
-    if (type == rpc::MsgType::kHaloRequest) return RxKind::kSkip;  // push-based plan
-    out = rpc::decode_chunk(*payload);
-    return RxKind::kChunk;
+    if (!rpc::is_chunk_type(type)) {
+      return RxKind::kSkip;  // halo requests (push-based plan), stray control
+    }
+    out = rpc::decode_chunk(payload);
   } catch (const Error&) {
     return RxKind::kSkip;  // malformed frame: drop, keep the node alive
+  }
+  if (out.chunk_id > 0 && out.from_node != rpc::kNilNode) {
+    // Ack before dedup: a repeat usually means our previous ack was lost.
+    rx.transport.send(ctrl_addr(out.from_node),
+                      rpc::encode_ack(rpc::AckMsg{
+                          rx.transport.local_node(), out.chunk_id}));
+    if (!rx.dedup.fresh(out.from_node, out.chunk_id)) {
+      rx.stats.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+      return RxKind::kSkip;
+    }
+  }
+  return RxKind::kChunk;
+}
+
+/// "Still waiting on (seq, volume)" to every other node's control mailbox;
+/// holders of unacked chunks for us retransmit immediately. Inactive
+/// providers are skipped: they never send a chunk, so they hold nothing to
+/// retransmit — and they run no Retransmitter, so frames posted to their
+/// control mailbox would just pile up for the life of the stream.
+void broadcast_nack(rpc::Transport& transport, const TransferPlan& plan,
+                    int seq, int volume, DataPlaneStats& stats) {
+  const auto self = transport.local_node();
+  const auto frame =
+      rpc::encode_nack(rpc::NackMsg{self, seq, volume});
+  for (rpc::NodeId node = 0; node <= plan.requester_node(); ++node) {
+    if (node == self) continue;
+    if (node < plan.n_devices && !plan.device_active(node)) continue;
+    transport.send(ctrl_addr(node), frame);
+  }
+  stats.nacks.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// After a finite reliable run: keep servicing acks for our last chunks
+/// until the outbox drains, the requester releases us (kShutdown), or the
+/// transport closes. Bounded either way — unreachable receivers exhaust the
+/// attempt budget and the entries are abandoned.
+void drain_outbox(RxState& rx, Retransmitter& rtx) {
+  rpc::ChunkMsg ignored;
+  while (!rtx.idle()) {
+    if (receive_frame(rx, ignored) == RxKind::kStop) return;
   }
 }
 
@@ -55,14 +122,29 @@ constexpr int kMaxImagesAhead = 4096;
               ")) — mismatched strategy or hostile peer");
 }
 
+[[noreturn]] void fail_starved(int node, int seq, int volume, int rounds) {
+  throw Error("node " + std::to_string(node) + " starved waiting for chunks of"
+              " image " + std::to_string(seq) + ", volume " +
+              std::to_string(volume) + " (" + std::to_string(rounds) +
+              " timeout rounds) — peer dead or link severed past recovery");
+}
+
 }  // namespace
 
 void post_chunk(rpc::Transport& transport, const rpc::Address& to,
-                const rpc::ChunkMsg& msg, DataPlaneStats& stats) {
+                rpc::ChunkMsg msg, DataPlaneStats& stats, Retransmitter* rtx) {
   stats.messages.fetch_add(1, std::memory_order_relaxed);
   stats.bytes.fetch_add(
       static_cast<Bytes>(msg.rows.size()) * static_cast<Bytes>(sizeof(float)),
       std::memory_order_relaxed);
+  if (rtx != nullptr) {
+    msg.from_node = transport.local_node();
+    msg.chunk_id = rtx->next_chunk_id(to.node);
+    auto frame = rpc::encode_chunk(msg);
+    rtx->track(to, msg.chunk_id, frame);  // keeps its own copy
+    transport.send(to, std::move(frame));
+    return;
+  }
   transport.send(to, rpc::encode_chunk(msg));
 }
 
@@ -70,16 +152,25 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const sim::RawStrategy& strategy,
                    const std::vector<cnn::ConvWeights>& weights,
                    const TransferPlan& plan, int n_images,
-                   DataPlaneStats& stats) {
+                   DataPlaneStats& stats,
+                   const ReliabilityOptions& reliability) {
   const int n_volumes = plan.num_volumes();
   const bool active = plan.device_active(i);
+  ChunkDedup dedup;
+  RxState rx{transport, reliability, stats, dedup};
 
   if (!active) {
     if (n_images >= 0) return;  // finite run: nothing will ever arrive
-    // Streaming run: wait for the requester's shutdown frame.
+    // Streaming run: wait for the requester's shutdown frame (timeouts on
+    // an idle device are expected, not starvation).
     rpc::ChunkMsg ignored;
-    while (receive_frame(transport, ignored) != RxKind::kStop) {}
+    while (receive_frame(rx, ignored) != RxKind::kStop) {}
     return;
+  }
+
+  std::unique_ptr<Retransmitter> rtx;
+  if (reliability.enabled) {
+    rtx = std::make_unique<Retransmitter>(transport, reliability, stats);
   }
 
   // Chunks that arrived ahead of their (image, volume) slot.
@@ -122,16 +213,25 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
           }
           stash.erase(it);
         }
+        int timeout_rounds = 0;
         while (remaining > 0) {
           rpc::ChunkMsg msg;
-          switch (receive_frame(transport, msg)) {
+          switch (receive_frame(rx, msg)) {
             case RxKind::kStop:
               return;  // shutdown mid-inference: abandon the image
             case RxKind::kSkip:
               continue;
+            case RxKind::kTimeout:
+              stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
+              broadcast_nack(transport, plan, seq, l, stats);
+              if (++timeout_rounds > reliability.max_recv_timeouts) {
+                fail_starved(i, seq, l, timeout_rounds);
+              }
+              continue;
             case RxKind::kChunk:
               break;
           }
+          timeout_rounds = 0;
           // Chunks that can never be consumed would park in the stash for
           // the life of the stream; treat them as protocol violations.
           const bool off_plan =
@@ -170,47 +270,50 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
             if (chunk.empty()) continue;
             post_chunk(transport, data_addr(k),
                        rpc::ChunkMsg{rpc::MsgType::kHaloRows, seq, l + 1,
-                                     chunk.begin,
+                                     chunk.begin, rpc::kNilNode, 0,
                                      slice_rows(out, part.begin, chunk.begin,
                                                 chunk.end)},
-                       stats);
+                       stats, rtx.get());
           }
         } else {
           // Final volume: `out` is not needed locally again, so move it.
           post_chunk(transport, data_addr(plan.requester_node()),
                      rpc::ChunkMsg{rpc::MsgType::kGather, seq, n_volumes,
-                                   part.begin, std::move(out)},
-                     stats);
+                                   part.begin, rpc::kNilNode, 0,
+                                   std::move(out)},
+                     stats, rtx.get());
         }
       }
       prev_out = std::move(out);
       prev_rows = part;
     }
   }
+
+  // Finite reliable run: our final gathers may still be unacked; keep the
+  // link serviced until they are (or the budget runs out).
+  if (rtx != nullptr && n_images >= 0) drain_outbox(rx, *rtx);
 }
 
-void scatter_image(rpc::Transport& transport, int seq, const cnn::Tensor& input,
-                   const TransferPlan& plan, DataPlaneStats& stats) {
-  for (int i = 0; i < plan.n_devices; ++i) {
-    const auto& need = plan.needs[0][static_cast<std::size_t>(i)];
+void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
+  for (int i = 0; i < ctx.plan.n_devices; ++i) {
+    const auto& need = ctx.plan.needs[0][static_cast<std::size_t>(i)];
     if (need.empty()) continue;
-    post_chunk(transport, data_addr(i),
+    post_chunk(ctx.transport, data_addr(i),
                rpc::ChunkMsg{rpc::MsgType::kScatter, seq, 0, need.begin,
+                             rpc::kNilNode, 0,
                              slice_rows(input, 0, need.begin, need.end)},
-               stats);
+               ctx.stats, ctx.rtx);
   }
 }
 
-bool gather_image(rpc::Transport& transport, int seq, const cnn::CnnModel& model,
-                  const TransferPlan& plan,
-                  std::map<int, std::vector<rpc::ChunkMsg>>& stash,
-                  cnn::Tensor& output) {
+bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
+                  cnn::Tensor& output, ImageRetryStats* retry) {
   const auto& last_layer = model.layer(model.num_layers() - 1);
   output = cnn::Tensor(last_layer.out_h(), last_layer.out_w(), last_layer.out_c);
 
   const cnn::RowInterval bounds{0, output.h};
-  int remaining = plan.holders_of_last();
-  if (auto it = stash.find(seq); it != stash.end()) {
+  int remaining = ctx.plan.holders_of_last();
+  if (auto it = ctx.stash.find(seq); it != ctx.stash.end()) {
     for (auto& msg : it->second) {
       // Runs on the requester thread with provider threads live, so a
       // geometry mismatch reports failure instead of throwing past them.
@@ -219,23 +322,33 @@ bool gather_image(rpc::Transport& transport, int seq, const cnn::CnnModel& model
                 msg.row_offset + msg.rows.h, output, 0);
       --remaining;
     }
-    stash.erase(it);
+    ctx.stash.erase(it);
   }
+  RxState rx{ctx.transport, ctx.reliability, ctx.stats, ctx.dedup};
+  int timeout_rounds = 0;
   while (remaining > 0) {
     rpc::ChunkMsg msg;
-    switch (receive_frame(transport, msg)) {
+    switch (receive_frame(rx, msg)) {
       case RxKind::kStop:
         return false;
       case RxKind::kSkip:
         continue;
+      case RxKind::kTimeout:
+        ctx.stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
+        broadcast_nack(ctx.transport, ctx.plan, seq, ctx.plan.num_volumes(),
+                       ctx.stats);
+        if (retry != nullptr) ++retry->recv_timeouts;
+        if (++timeout_rounds > ctx.reliability.max_recv_timeouts) return false;
+        continue;
       case RxKind::kChunk:
         break;
     }
+    timeout_rounds = 0;
     // Same stash-growth bound as the provider side: a gather for a past
     // image is a duplicate, one absurdly far ahead is off-plan.
     if (msg.seq < seq || msg.seq - seq > kMaxImagesAhead) return false;
     if (msg.seq != seq) {
-      stash[msg.seq].push_back(std::move(msg));
+      ctx.stash[msg.seq].push_back(std::move(msg));
       continue;
     }
     if (!chunk_fits(msg, bounds, output.w, output.c)) return false;

@@ -2,54 +2,89 @@
 // the provider worker (split-compute + halo redistribution) and the
 // requester's scatter/gather halves. All chunk traffic is wire-encoded, so
 // the same loops run unchanged over shared memory or TCP.
+//
+// With ReliabilityOptions::enabled the loops speak the wire-v2 reliability
+// protocol (DESIGN.md §fault-model): every chunk is tracked by a
+// Retransmitter until acked, receivers dedup and ack, data waits are
+// bounded by recv_timeout_ms with nack rounds in between, and a starved
+// wait fails loudly after max_recv_timeouts rounds instead of hanging.
 #pragma once
 
-#include <atomic>
 #include <map>
 #include <vector>
 
 #include "rpc/transport.hpp"
 #include "rpc/wire.hpp"
+#include "runtime/reliable.hpp"
 #include "runtime/transfer_plan.hpp"
 
 namespace de::runtime {
-
-/// Chunk-message accounting shared by all nodes of one run.
-struct DataPlaneStats {
-  std::atomic<int> messages{0};
-  std::atomic<Bytes> bytes{0};  ///< tensor payload bytes (not frame bytes)
-};
 
 /// The data-plane address of a cluster node.
 inline rpc::Address data_addr(rpc::NodeId node) {
   return rpc::Address{node, rpc::kDataMailbox};
 }
 
-/// Encodes and posts a chunk, updating `stats`.
+/// The control address (acks/nacks) of a cluster node.
+inline rpc::Address ctrl_addr(rpc::NodeId node) {
+  return rpc::Address{node, rpc::kCtrlMailbox};
+}
+
+/// Encodes and posts a chunk, updating `stats`. With `rtx` set the chunk is
+/// stamped (from_node, chunk_id) and tracked for retransmission until acked.
 void post_chunk(rpc::Transport& transport, const rpc::Address& to,
-                const rpc::ChunkMsg& msg, DataPlaneStats& stats);
+                rpc::ChunkMsg msg, DataPlaneStats& stats,
+                Retransmitter* rtx = nullptr);
 
 /// Provider event loop for device `i`: executes its split-parts image after
 /// image, pulling inputs from the data mailbox and pushing halos/gathers.
 /// Processes exactly `n_images` images when n_images >= 0; with
 /// n_images < 0 it serves until a kShutdown frame arrives or the transport
-/// shuts down. Malformed frames are dropped.
+/// shuts down. Malformed frames are dropped. With reliability enabled the
+/// provider owns a Retransmitter and, after a finite run, drains its outbox
+/// (bounded by the attempt budget) before returning, so late acks/losses on
+/// its last chunks are still recovered.
 void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const sim::RawStrategy& strategy,
                    const std::vector<cnn::ConvWeights>& weights,
                    const TransferPlan& plan, int n_images,
-                   DataPlaneStats& stats);
+                   DataPlaneStats& stats,
+                   const ReliabilityOptions& reliability = {});
+
+/// Per-image reliability events observed by the requester while gathering.
+struct ImageRetryStats {
+  /// Bounded data waits that expired; each expiry also broadcast one nack
+  /// round to the providers.
+  int recv_timeouts = 0;
+};
+
+/// Requester-side state reused across the images of one run or stream.
+struct RequesterContext {
+  RequesterContext(rpc::Transport& transport_, const TransferPlan& plan_,
+                   DataPlaneStats& stats_, ReliabilityOptions reliability_ = {})
+      : transport(transport_), plan(plan_), stats(stats_),
+        reliability(reliability_) {}
+
+  rpc::Transport& transport;
+  const TransferPlan& plan;
+  DataPlaneStats& stats;
+  ReliabilityOptions reliability;
+  Retransmitter* rtx = nullptr;  ///< set by the run owner when reliable
+  ChunkDedup dedup;
+  /// Gather chunks of images not yet collected, keyed by seq.
+  std::map<int, std::vector<rpc::ChunkMsg>> stash;
+};
 
 /// Requester half: scatters image `seq`'s volume-0 inputs to the providers.
-void scatter_image(rpc::Transport& transport, int seq, const cnn::Tensor& input,
-                   const TransferPlan& plan, DataPlaneStats& stats);
+void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input);
 
 /// Requester half: collects the holders' kGather chunks of image `seq` into
-/// `output` (sized from `model`). Chunks of other images park in `stash`
-/// (keyed by seq). Returns false if the transport shut down mid-gather.
-bool gather_image(rpc::Transport& transport, int seq, const cnn::CnnModel& model,
-                  const TransferPlan& plan,
-                  std::map<int, std::vector<rpc::ChunkMsg>>& stash,
-                  cnn::Tensor& output);
+/// `output` (sized from `model`). Chunks of other images park in the
+/// context's stash. Returns false if the transport shut down mid-gather, a
+/// peer sent plan-mismatched chunks, or (reliable mode) the gather starved
+/// past the timeout budget. `retry`, when given, receives this image's
+/// timeout/nack counts.
+bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
+                  cnn::Tensor& output, ImageRetryStats* retry = nullptr);
 
 }  // namespace de::runtime

@@ -71,10 +71,18 @@ StrategyExecution::TransferOutcome StrategyExecution::run_transfers(
   };
   std::vector<Stream> streams;
   streams.reserve(requests.size());
+  // Degraded-link mirror: every chunk costs its expected number of
+  // transmissions in bandwidth and waits out the expected recovery latency
+  // (retransmit timeouts + injected delays) before the medium sees it.
+  const double send_factor =
+      options_.faults != nullptr ? options_.faults->expected_sends() : 1.0;
+  const Ms recovery_ms =
+      options_.faults != nullptr ? options_.faults->expected_recovery_ms() : 0.0;
   for (const auto& req : requests) {
     DE_ASSERT(req.bytes > 0, "zero-byte transfer scheduled");
     streams.push_back(Stream{req.src, req.dst,
-                             static_cast<double>(req.bytes) * 8.0, req.ready_ms});
+                             static_cast<double>(req.bytes) * 8.0 * send_factor,
+                             req.ready_ms + recovery_ms});
   }
 
   // Endpoint index: 0..n-1 devices, n = requester.

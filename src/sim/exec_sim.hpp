@@ -35,6 +35,7 @@
 #include "cnn/vsl.hpp"
 #include "device/latency_model.hpp"
 #include "net/network.hpp"
+#include "sim/fault_model.hpp"
 
 namespace de::sim {
 
@@ -50,6 +51,9 @@ struct RawStrategy {
 
 struct ExecOptions {
   Seconds start_s = 0.0;  ///< stream time at which this image starts
+  /// Degraded-link mirror (not owned; may be null): transfers cost
+  /// expected_sends() times the bytes and start expected_recovery_ms later.
+  const LinkFaultModel* faults = nullptr;
 };
 
 struct ExecBreakdown {

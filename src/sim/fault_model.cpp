@@ -1,0 +1,44 @@
+#include "sim/fault_model.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace de::sim {
+
+double LinkFaultModel::expected_sends() const {
+  DE_REQUIRE(drop_prob >= 0.0 && drop_prob < 1.0,
+             "drop probability must be in [0, 1)");
+  // Attempts until first success, truncated at max_attempts:
+  // E[A] = (1 - p^m) / (1 - p).
+  const double p = drop_prob;
+  const double m = static_cast<double>(max_attempts);
+  const double attempts =
+      p == 0.0 ? 1.0 : (1.0 - std::pow(p, m)) / (1.0 - p);
+  return attempts * (1.0 + dup_prob);
+}
+
+Ms LinkFaultModel::expected_recovery_ms() const {
+  // Each failed attempt parks the chunk for ~one retransmit timeout:
+  // E[failures] = p * (1 - p^{m-1}) / (1 - p) ~= p / (1 - p).
+  const double p = drop_prob;
+  const double m = static_cast<double>(max_attempts);
+  const double failures =
+      p == 0.0 ? 0.0 : p * (1.0 - std::pow(p, m - 1.0)) / (1.0 - p);
+  return failures * rto_ms + delay_prob * mean_delay_ms;
+}
+
+LinkFaultModel mirror_faults(double drop_prob, double dup_prob,
+                             double delay_prob, Ms mean_delay_ms, Ms rto_ms,
+                             int max_attempts) {
+  LinkFaultModel model;
+  model.drop_prob = drop_prob;
+  model.dup_prob = dup_prob;
+  model.delay_prob = delay_prob;
+  model.mean_delay_ms = mean_delay_ms;
+  model.rto_ms = rto_ms;
+  model.max_attempts = max_attempts;
+  return model;
+}
+
+}  // namespace de::sim

@@ -1,0 +1,41 @@
+// Analytic mirror of the data plane's fault injection + recovery
+// (rpc::FaultSpec degrading the wire, runtime's ack/retransmit protocol
+// repairing it), so simulator-predicted IPS stays comparable to a degraded
+// measurement (DESIGN.md §fault-model).
+//
+// The mirror is deliberately first-order: drops multiply the bytes a chunk
+// costs on the medium by the expected number of transmissions, and each
+// failed attempt parks the chunk for one retransmit timeout on the critical
+// path. Duplicates cost bandwidth but no latency; delays add their mean
+// directly. This matches the runtime's sender-driven ARQ in expectation —
+// good enough to keep the measured-vs-predicted comparison honest, not a
+// packet-level co-simulation.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace de::sim {
+
+struct LinkFaultModel {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  Ms mean_delay_ms = 0.0;
+  Ms rto_ms = 25.0;
+  int max_attempts = 40;
+
+  /// Mean frames on the medium per delivered chunk: truncated-geometric
+  /// attempts under drop_prob, each possibly duplicated.
+  double expected_sends() const;
+
+  /// Mean added critical-path latency per chunk: one rto per failed
+  /// attempt, plus the injector's mean hold time for delayed frames.
+  Ms expected_recovery_ms() const;
+};
+
+/// Builds the mirror of a runtime fault + reliability configuration.
+LinkFaultModel mirror_faults(double drop_prob, double dup_prob,
+                             double delay_prob, Ms mean_delay_ms, Ms rto_ms,
+                             int max_attempts);
+
+}  // namespace de::sim

@@ -44,6 +44,7 @@ StreamResult stream_with_replanning(const cnn::CnnModel& model,
     }
     ExecOptions eo;
     eo.start_s = now;
+    eo.faults = options.faults;
     const ExecBreakdown b = execute_strategy(model, current, latency, network, eo);
     result.per_image_ms.push_back(b.total_ms);
     result.image_start_s.push_back(now);

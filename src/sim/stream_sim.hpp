@@ -20,6 +20,9 @@ struct StreamOptions {
   int n_images = 5000;       ///< paper streams 5000 images
   Seconds start_s = 0.0;
   Seconds replan_poll_s = 60.0;  ///< how often the replan callback is polled
+  /// Degraded-link mirror forwarded to every image's execution (not owned;
+  /// may be null). Keeps predicted IPS comparable to a fault-injected run.
+  const LinkFaultModel* faults = nullptr;
 };
 
 struct StreamResult {

@@ -1,0 +1,181 @@
+// Fuzz/property tests for the wire decoders: random truncation, bit flips,
+// hostile length/extent claims, and pure garbage must always surface as a
+// de::Error — never a crash, a misread, or a huge speculative allocation.
+// Deterministic (seeded Rng), so a failure reproduces exactly.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "core/serialize.hpp"
+#include "rpc/wire.hpp"
+
+namespace de::rpc {
+namespace {
+
+ChunkMsg sample_chunk(Rng& rng) {
+  ChunkMsg msg;
+  msg.type = MsgType::kHaloRows;
+  msg.seq = rng.uniform_int(0, 100);
+  msg.volume = rng.uniform_int(0, 7);
+  msg.row_offset = rng.uniform_int(0, 50);
+  msg.from_node = rng.uniform_int(0, 4);
+  msg.chunk_id = static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 20));
+  msg.rows = cnn::Tensor(rng.uniform_int(1, 6), rng.uniform_int(1, 6),
+                         rng.uniform_int(1, 4));
+  for (auto& v : msg.rows.data) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return msg;
+}
+
+/// Every decoder applied to `frame`; each must either succeed or throw
+/// de::Error. Anything else (segfault, std::bad_alloc from a hostile length,
+/// a different exception type) fails the test.
+void decode_must_not_crash(const Payload& frame) {
+  const auto probe = [&](auto&& decode) {
+    try {
+      decode(frame);
+    } catch (const Error&) {
+      // expected for malformed frames
+    }
+    // Any other exception escapes and fails the test loudly.
+  };
+  probe([](const Payload& f) { peek_type(f); });
+  probe([](const Payload& f) { decode_chunk(f); });
+  probe([](const Payload& f) { decode_halo_request(f); });
+  probe([](const Payload& f) { decode_ack(f); });
+  probe([](const Payload& f) { decode_nack(f); });
+}
+
+TEST(WireFuzz, RandomTruncationAlwaysErrors) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto frame = encode_chunk(sample_chunk(rng));
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(frame.size()) - 1));
+    const Payload truncated(frame.begin(),
+                            frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_chunk(truncated), Error) << "cut at " << cut;
+    decode_must_not_crash(truncated);
+  }
+}
+
+TEST(WireFuzz, RandomBitFlipsNeverCrash) {
+  Rng rng(4711);
+  int survived = 0;
+  for (int iter = 0; iter < 600; ++iter) {
+    auto frame = encode_chunk(sample_chunk(rng));
+    const int flips = rng.uniform_int(1, 8);
+    for (int f = 0; f < flips; ++f) {
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(frame.size()) - 1));
+      frame[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    decode_must_not_crash(frame);
+    try {
+      (void)decode_chunk(frame);
+      ++survived;  // flip landed in the float payload — legitimate
+    } catch (const Error&) {
+    }
+  }
+  // Most flips hit the payload (it dominates the frame), so a healthy
+  // decoder accepts many mutants; the point is it never dies on the rest.
+  EXPECT_GT(survived, 0);
+}
+
+TEST(WireFuzz, PureGarbageNeverCrashes) {
+  Rng rng(99);
+  for (int iter = 0; iter < 600; ++iter) {
+    Payload garbage(static_cast<std::size_t>(rng.uniform_int(0, 64)));
+    for (auto& b : garbage) {
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    decode_must_not_crash(garbage);
+  }
+}
+
+TEST(WireFuzz, GarbageWithValidHeaderNeverCrashes) {
+  Rng rng(31337);
+  for (int iter = 0; iter < 600; ++iter) {
+    core::ByteWriter w;
+    w.u32(kWireMagic);
+    w.u16(rng.uniform_int(0, 1) == 0 ? 1 : kWireVersion);
+    w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 9)));
+    const int body = rng.uniform_int(0, 48);
+    for (int k = 0; k < body; ++k) {
+      w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff)));
+    }
+    decode_must_not_crash(w.bytes());
+  }
+}
+
+TEST(WireFuzz, OversizedExtentClaimsRejectedBeforeAllocation) {
+  // Claimed extents whose product stays under the overflow cap but far
+  // exceeds the actual payload: the length cross-check must reject the
+  // frame before any tensor allocation happens. If the decoder allocated
+  // from the claim, these iterations would try to reserve terabytes in
+  // total and the test would OOM rather than pass.
+  Rng rng(555);
+  for (int iter = 0; iter < 200; ++iter) {
+    core::ByteWriter w;
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(static_cast<std::uint16_t>(MsgType::kScatter));
+    w.i32(0);                          // seq
+    w.i32(0);                          // volume
+    w.i32(0);                          // row_offset
+    w.i32(0);                          // from_node
+    w.u32(1);                          // chunk_id
+    w.i32(rng.uniform_int(1 << 10, 1 << 14));  // h
+    w.i32(rng.uniform_int(1 << 10, 1 << 14));  // w: h*w*c ~ 2^20..2^28 elems
+    w.i32(rng.uniform_int(1, 4));      // c
+    w.f32(0.0f);                       // but only 4 bytes of payload
+    EXPECT_THROW(decode_chunk(w.bytes()), Error);
+  }
+}
+
+TEST(WireFuzz, ExtentOverflowRejected) {
+  const auto hostile_frame = [](std::int32_t h, std::int32_t w_extent,
+                                std::int32_t c) {
+    core::ByteWriter w;
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(static_cast<std::uint16_t>(MsgType::kGather));
+    w.i32(0);
+    w.i32(0);
+    w.i32(0);
+    w.i32(0);
+    w.u32(1);
+    w.i32(h);
+    w.i32(w_extent);
+    w.i32(c);
+    return w.take();
+  };
+  constexpr auto kMax = std::numeric_limits<std::int32_t>::max();
+  EXPECT_THROW(decode_chunk(hostile_frame(kMax, kMax, kMax)), Error);
+  // Extents whose full product wraps mod 2^64 to exactly 0: a naive
+  // h*w*c product would pass both the cap and the (empty) payload-length
+  // check and hand back a tensor whose extents disagree with its storage.
+  EXPECT_THROW(decode_chunk(hostile_frame(1 << 21, 1 << 21, 1 << 22)), Error);
+  // A neighbouring triple that wraps to a nonzero value is equally hostile.
+  EXPECT_THROW(decode_chunk(hostile_frame(1 << 21, 1 << 21, (1 << 22) + 1)),
+               Error);
+}
+
+TEST(WireFuzz, TruncatedControlFramesError) {
+  const auto ack = encode_ack(AckMsg{1, 99});
+  const auto nack = encode_nack(NackMsg{2, 3, 1});
+  for (const auto& frame : {ack, nack}) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      const Payload t(frame.begin(),
+                      frame.begin() + static_cast<std::ptrdiff_t>(cut));
+      decode_must_not_crash(t);
+      EXPECT_THROW(decode_ack(t), Error);
+      EXPECT_THROW(decode_nack(t), Error);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace de::rpc

@@ -10,6 +10,7 @@
 #include <limits>
 
 #include "common/require.hpp"
+#include "core/serialize.hpp"
 
 namespace de::rpc {
 namespace {
@@ -89,6 +90,76 @@ TEST(Wire, ShutdownIsHeaderOnly) {
   EXPECT_EQ(peek_type(frame), MsgType::kShutdown);
 }
 
+TEST(Wire, TrackedChunkCarriesReliabilityHandles) {
+  auto msg = sample_chunk(MsgType::kHaloRows);
+  msg.from_node = 3;
+  msg.chunk_id = 42;
+  const auto back = decode_chunk(encode_chunk(msg));
+  EXPECT_EQ(back.from_node, 3);
+  EXPECT_EQ(back.chunk_id, 42u);
+  // Tracked-by-nobody is malformed: chunk_id without a sender.
+  auto frame = encode_chunk(msg);
+  // from_node lives at bytes 20-23: overwrite with kNilNode (-1).
+  frame[20] = frame[21] = frame[22] = frame[23] = 0xff;
+  EXPECT_THROW(decode_chunk(frame), Error);
+}
+
+TEST(Wire, AckAndNackRoundTrip) {
+  const auto ack_frame = encode_ack(AckMsg{/*from_node=*/2, /*chunk_id=*/77});
+  EXPECT_EQ(peek_type(ack_frame), MsgType::kAck);
+  const auto ack = decode_ack(ack_frame);
+  EXPECT_EQ(ack.from_node, 2);
+  EXPECT_EQ(ack.chunk_id, 77u);
+
+  const auto nack_frame =
+      encode_nack(NackMsg{/*from_node=*/4, /*seq=*/9, /*volume=*/1});
+  EXPECT_EQ(peek_type(nack_frame), MsgType::kNack);
+  const auto nack = decode_nack(nack_frame);
+  EXPECT_EQ(nack.from_node, 4);
+  EXPECT_EQ(nack.seq, 9);
+  EXPECT_EQ(nack.volume, 1);
+
+  // Zero chunk ids are reserved for untracked chunks; an ack for one is
+  // malformed.
+  EXPECT_THROW(decode_ack(encode_ack(AckMsg{2, 0})), Error);
+  EXPECT_THROW(decode_chunk(ack_frame), Error);
+  EXPECT_THROW(decode_ack(nack_frame), Error);
+}
+
+TEST(Wire, V1ChunkStillDecodes) {
+  // A v1 peer's chunk (no from_node/chunk_id fields) must decode with the
+  // reliability handles defaulted to "untracked".
+  const auto msg = sample_chunk(MsgType::kScatter);
+  core::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(1);  // wire version 1
+  w.u16(static_cast<std::uint16_t>(MsgType::kScatter));
+  w.i32(msg.seq);
+  w.i32(msg.volume);
+  w.i32(msg.row_offset);
+  w.i32(msg.rows.h);
+  w.i32(msg.rows.w);
+  w.i32(msg.rows.c);
+  w.f32_span(msg.rows.data);
+  const auto back = decode_chunk(w.bytes());
+  EXPECT_EQ(back.seq, msg.seq);
+  EXPECT_EQ(back.from_node, kNilNode);
+  EXPECT_EQ(back.chunk_id, 0u);
+  ASSERT_EQ(back.rows.data.size(), msg.rows.data.size());
+  EXPECT_EQ(back.rows.data, msg.rows.data);
+}
+
+TEST(Wire, V1RejectsV2ControlTypes) {
+  // kAck/kNack did not exist in v1; a v1 frame claiming one is malformed.
+  core::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(1);
+  w.u16(static_cast<std::uint16_t>(MsgType::kAck));
+  w.i32(0);
+  w.u32(1);
+  EXPECT_THROW(peek_type(w.bytes()), Error);
+}
+
 TEST(Wire, RejectsBadMagic) {
   auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
   frame[0] ^= 0xff;
@@ -130,14 +201,15 @@ TEST(Wire, RejectsTrailingGarbage) {
 
 TEST(Wire, RejectsHostileTensorExtents) {
   auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
-  // h lives at bytes 20-23; claim a huge height with the same tiny payload.
-  frame[20] = 0xff;
-  frame[21] = 0xff;
-  frame[22] = 0xff;
-  frame[23] = 0x00;
+  // In a v2 chunk h lives at bytes 28-31 (after seq, volume, row_offset,
+  // from_node, chunk_id); claim a huge height with the same tiny payload.
+  frame[28] = 0xff;
+  frame[29] = 0xff;
+  frame[30] = 0xff;
+  frame[31] = 0x00;
   EXPECT_THROW(decode_chunk(frame), Error);
   // A negative height must be rejected too, not wrapped into a size_t.
-  frame[23] = 0xff;
+  frame[31] = 0xff;
   EXPECT_THROW(decode_chunk(frame), Error);
 }
 

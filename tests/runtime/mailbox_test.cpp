@@ -101,5 +101,61 @@ TEST(Mailbox, MultiProducerStress) {
   }
 }
 
+TEST(Mailbox, ReceiveForTimesOutOnEmptyQueue) {
+  Mailbox<int> box;
+  int out = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(box.receive_for(out, std::chrono::milliseconds(20)),
+            MailboxRecvStatus::kTimeout);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, std::chrono::milliseconds(15));  // really waited
+}
+
+TEST(Mailbox, ReceiveForReturnsQueuedImmediately) {
+  Mailbox<int> box;
+  box.send(7);
+  int out = 0;
+  EXPECT_EQ(box.receive_for(out, std::chrono::milliseconds(1000)),
+            MailboxRecvStatus::kOk);
+  EXPECT_EQ(out, 7);
+}
+
+TEST(Mailbox, ReceiveForWokenBySend) {
+  Mailbox<int> box;
+  std::thread sender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.send(42);
+  });
+  int out = 0;
+  EXPECT_EQ(box.receive_for(out, std::chrono::milliseconds(5000)),
+            MailboxRecvStatus::kOk);
+  EXPECT_EQ(out, 42);
+  sender.join();
+}
+
+TEST(Mailbox, ReceiveForDrainsQueueBeforeReportingClosed) {
+  Mailbox<int> box;
+  box.send(1);
+  box.close();
+  int out = 0;
+  EXPECT_EQ(box.receive_for(out, std::chrono::milliseconds(10)),
+            MailboxRecvStatus::kOk);
+  EXPECT_EQ(out, 1);
+  EXPECT_EQ(box.receive_for(out, std::chrono::milliseconds(10)),
+            MailboxRecvStatus::kClosed);
+}
+
+TEST(Mailbox, ReceiveForWokenByClose) {
+  Mailbox<int> box;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.close();
+  });
+  int out = 0;
+  EXPECT_EQ(box.receive_for(out, std::chrono::milliseconds(5000)),
+            MailboxRecvStatus::kClosed);
+  closer.join();
+}
+
 }  // namespace
 }  // namespace de::runtime

@@ -1,0 +1,94 @@
+// Analytic mirror of the fault-injected data plane: expected transmission
+// counts and recovery latency must match the closed forms, and plugging the
+// model into the stream simulator must slow predicted IPS down — that is
+// the whole point of mirroring (measured and predicted numbers stay
+// comparable under degradation).
+#include "sim/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cnn/model.hpp"
+#include "common/require.hpp"
+#include "device/device.hpp"
+#include "sim/stream_sim.hpp"
+
+namespace de::sim {
+namespace {
+
+TEST(LinkFaultModel, CleanLinkIsFree) {
+  LinkFaultModel model;
+  EXPECT_DOUBLE_EQ(model.expected_sends(), 1.0);
+  EXPECT_DOUBLE_EQ(model.expected_recovery_ms(), 0.0);
+}
+
+TEST(LinkFaultModel, ExpectedSendsMatchesGeometricSeries) {
+  LinkFaultModel model;
+  model.drop_prob = 0.5;
+  model.max_attempts = 1000;  // effectively untruncated
+  EXPECT_NEAR(model.expected_sends(), 2.0, 1e-9);  // 1/(1-p)
+  model.dup_prob = 0.25;  // every attempt may be duplicated
+  EXPECT_NEAR(model.expected_sends(), 2.5, 1e-9);
+}
+
+TEST(LinkFaultModel, TruncationCapsTheAttemptBudget) {
+  LinkFaultModel model;
+  model.drop_prob = 0.9;
+  model.max_attempts = 1;
+  // A single attempt means exactly one send no matter the loss rate.
+  EXPECT_NEAR(model.expected_sends(), 1.0, 1e-9);
+}
+
+TEST(LinkFaultModel, RecoveryLatencyGrowsWithLossAndDelay) {
+  LinkFaultModel model;
+  model.rto_ms = 10.0;
+  model.drop_prob = 0.5;
+  model.max_attempts = 1000;
+  // E[failures] ~= p / (1 - p) = 1 -> one rto of recovery.
+  EXPECT_NEAR(model.expected_recovery_ms(), 10.0, 1e-6);
+  model.delay_prob = 0.5;
+  model.mean_delay_ms = 4.0;
+  EXPECT_NEAR(model.expected_recovery_ms(), 12.0, 1e-6);
+
+  LinkFaultModel worse = model;
+  worse.drop_prob = 0.8;
+  EXPECT_GT(worse.expected_recovery_ms(), model.expected_recovery_ms());
+}
+
+TEST(LinkFaultModel, RejectsCertainLoss) {
+  LinkFaultModel model;
+  model.drop_prob = 1.0;
+  EXPECT_THROW(model.expected_sends(), Error);
+}
+
+TEST(LinkFaultModel, DegradedStreamPredictsLowerIps) {
+  const auto model = cnn::ModelBuilder("m", 32, 32, 3)
+                         .conv_same(8, 3)
+                         .conv_same(8, 3)
+                         .build();
+  RawStrategy strategy;
+  strategy.volumes = cnn::volumes_from_boundaries({0, 2}, model.num_layers());
+  strategy.cuts.push_back({0, 16, 32});
+
+  ClusterLatency latency;
+  for (int i = 0; i < 2; ++i) {
+    latency.push_back(device::make_latency_model(device::DeviceType::kNano));
+  }
+  const net::Network network(2);
+
+  StreamOptions options;
+  options.n_images = 50;
+  const auto clean = stream_images(model, strategy, latency, network, options);
+
+  LinkFaultModel faults = mirror_faults(/*drop_prob=*/0.1, /*dup_prob=*/0.05,
+                                        /*delay_prob=*/0.1,
+                                        /*mean_delay_ms=*/3.0, /*rto_ms=*/20.0,
+                                        /*max_attempts=*/40);
+  options.faults = &faults;
+  const auto degraded = stream_images(model, strategy, latency, network, options);
+
+  EXPECT_LT(degraded.ips, clean.ips);
+  EXPECT_GT(degraded.ips, 0.0);
+}
+
+}  // namespace
+}  // namespace de::sim
