@@ -1,0 +1,164 @@
+// Kernel-scaling benchmark: reference vs fast conv engine on a model-zoo
+// layer, at 1/2/4 row-band threads, written to BENCH_kernel.json — the
+// perf-trajectory record for the execution engine (ISSUE 3 acceptance:
+// >= 3x single-thread speedup, near-linear row-band scaling where the host
+// has the cores for it).
+//
+//   bench_kernel_scaling [--quick] [--out PATH]
+//
+// --quick picks a smaller layer and a smaller timing budget (CI smoke).
+// No google-benchmark dependency: plain steady_clock, best-of-N.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cnn/exec_engine.hpp"
+#include "cnn/model_zoo.hpp"
+#include "common/require.hpp"
+
+namespace {
+
+using namespace de;
+
+double time_best_s(double budget_s, const std::function<cnn::Tensor()>& fn) {
+  double best = 1e100;
+  double spent = 0.0;
+  int reps = 0;
+  volatile float sink = 0.0f;
+  while (reps < 2 || spent < budget_s) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto out = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    sink = sink + out.data[0];
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    best = std::min(best, s);
+    spent += s;
+    ++reps;
+  }
+  return best;
+}
+
+/// First conv layer of vgg16 with the requested input width (the zoo's
+/// conv4 block at 28, conv5 block at 14 — both 512 channels deep).
+cnn::LayerConfig pick_layer(int want_in_w) {
+  const auto m = cnn::vgg16();
+  for (const auto& l : m.layers()) {
+    if (l.kind == cnn::LayerKind::kConv && l.in_w == want_in_w) return l;
+  }
+  throw Error("no vgg16 conv layer at input width " + std::to_string(want_in_w));
+}
+
+bool bit_exact(const cnn::Tensor& a, const cnn::Tensor& b) {
+  if (a.h != b.h || a.w != b.w || a.c != b.c) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.data[i] != b.data[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_kernel.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const auto layer = pick_layer(quick ? 14 : 28);
+  const double budget_s = quick ? 0.2 : 1.0;
+  const double gflop = static_cast<double>(layer.ops()) * 1e-9;
+  std::printf("layer %s: %dx%dx%d -> %dx%dx%d, k%d s%d p%d (%.3f GFLOP)\n",
+              layer.name.c_str(), layer.in_h, layer.in_w, layer.in_c,
+              layer.out_h(), layer.out_w(), layer.out_c, layer.kernel,
+              layer.stride, layer.padding, gflop);
+
+  Rng rng(7);
+  cnn::Tensor input(layer.in_h, layer.in_w, layer.in_c);
+  for (auto& v : input.data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto weights = cnn::ConvWeights::random(layer, rng);
+  const cnn::RowInterval all_rows{0, layer.out_h()};
+
+  // One cache across all fast contexts: the bench measures the steady-state
+  // kernel, with the weights packed once (as the streaming data plane runs).
+  cnn::ExecCache cache;
+  const auto run = [&](cnn::ExecContext ctx) {
+    ctx.cache = &cache;
+    return cnn::conv_forward_rows(layer, input, 0, all_rows, weights, ctx);
+  };
+
+  const bool exact = bit_exact(run(cnn::ExecContext::fast()),
+                               run(cnn::ExecContext::reference()));
+  const double ref_s = time_best_s(budget_s, [&] {
+    return run(cnn::ExecContext::reference());
+  });
+  std::printf("reference      : %8.2f ms  %6.2f GFLOP/s\n", ref_s * 1e3,
+              gflop / ref_s);
+
+  struct Point {
+    int threads;
+    double seconds;
+  };
+  std::vector<Point> fast;
+  for (const int threads : {1, 2, 4}) {
+    // One thread runs the fast kernel inline — no pool, no dispatch.
+    ThreadPool pool(static_cast<std::size_t>(threads));
+    const auto ctx =
+        threads == 1 ? cnn::ExecContext::fast() : cnn::ExecContext::fast(&pool);
+    const double s = time_best_s(budget_s, [&] { return run(ctx); });
+    fast.push_back({threads, s});
+    std::printf("fast %d thread%s : %8.2f ms  %6.2f GFLOP/s  speedup %5.2fx  "
+                "scaling vs 1T %4.2fx\n",
+                threads, threads == 1 ? " " : "s", s * 1e3, gflop / s,
+                ref_s / s, fast.front().seconds / s);
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"kernel_scaling\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(f,
+               "  \"layer\": {\"model\": \"vgg16\", \"name\": \"%s\", "
+               "\"in\": [%d, %d, %d], \"out_c\": %d, \"kernel\": %d, "
+               "\"stride\": %d, \"padding\": %d},\n",
+               layer.name.c_str(), layer.in_h, layer.in_w, layer.in_c,
+               layer.out_c, layer.kernel, layer.stride, layer.padding);
+  std::fprintf(f, "  \"gflop\": %.6f,\n", gflop);
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"bit_exact_vs_reference\": %s,\n",
+               exact ? "true" : "false");
+  std::fprintf(f,
+               "  \"reference\": {\"ms\": %.3f, \"gflops\": %.3f},\n",
+               ref_s * 1e3, gflop / ref_s);
+  std::fprintf(f, "  \"fast\": [\n");
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    const auto& p = fast[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"ms\": %.3f, \"gflops\": %.3f, "
+                 "\"speedup_vs_reference\": %.3f, \"scaling_vs_1t\": %.3f}%s\n",
+                 p.threads, p.seconds * 1e3, gflop / p.seconds,
+                 ref_s / p.seconds, fast.front().seconds / p.seconds,
+                 i + 1 < fast.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return exact ? 0 : 1;
+}

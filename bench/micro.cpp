@@ -2,6 +2,7 @@
 // strategy simulation, Cp scoring, DDPG training steps, GEMM, LC-PSS.
 #include <benchmark/benchmark.h>
 
+#include "cnn/exec_engine.hpp"
 #include "cnn/model_zoo.hpp"
 #include "core/cost.hpp"
 #include "core/lcpss.hpp"
@@ -96,6 +97,35 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<long>(2 * n * n * n));
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// The two conv engines head to head on one mid-VGG row band (same arithmetic
+// bit for bit; bench/kernel_scaling has the full scaling story).
+void BM_ConvRows(benchmark::State& state, cnn::ExecEngine engine) {
+  Rng rng(5);
+  const auto layer = cnn::LayerConfig::conv(56, 56, 128, 128, 3, 1, 1);
+  cnn::Tensor input(layer.in_h, layer.in_w, layer.in_c);
+  for (auto& v : input.data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const auto weights = cnn::ConvWeights::random(layer, rng);
+  const cnn::RowInterval rows{0, 8};
+  // Cache as the data plane runs: weights pack once, not per iteration.
+  cnn::ExecCache cache;
+  cnn::ExecContext ctx{engine, nullptr};
+  ctx.cache = &cache;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cnn::conv_forward_rows(layer, input, 0, rows, weights, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(layer.ops_for_rows(rows.size())));
+}
+void BM_ConvRowsReference(benchmark::State& state) {
+  BM_ConvRows(state, cnn::ExecEngine::kReference);
+}
+void BM_ConvRowsFast(benchmark::State& state) {
+  BM_ConvRows(state, cnn::ExecEngine::kFast);
+}
+BENCHMARK(BM_ConvRowsReference);
+BENCHMARK(BM_ConvRowsFast);
 
 void BM_VslRequiredInput(benchmark::State& state) {
   const auto model = cnn::vgg16();

@@ -31,7 +31,7 @@ struct Tensor {
   std::size_t size() const { return data.size(); }
 };
 
-/// Conv parameters: weights layout [out_c][in_c][ky][kx], bias [out_c].
+/// Conv parameters: weights layout [out_c][ky][kx][in_c], bias [out_c].
 struct ConvWeights {
   std::vector<float> weights;
   std::vector<float> bias;

@@ -1,0 +1,441 @@
+// Fast conv/pool execution. Kernel structure (DESIGN.md §execution-engine):
+//
+//   pack   — conv weights [out_c][ky][kx][in_c] are repacked per block of
+//            kOcBlock output channels into [block][ky][kx*in_c][kOcBlock], so
+//            the innermost dimension is independent accumulator lanes the
+//            compiler can keep in one or two vector registers.
+//   gather — per output row, the input patches of a tile of output columns
+//            are copied into a contiguous panel (im2col on a row band). A
+//            panel row holds the valid ky rows back to back, so an interior
+//            column's whole patch is a single contiguous run.
+//   madd   — for each (column, block): lanes start at the bias and run
+//            acc[b] += panel[j] * packed[j][b] over the patch. j walks
+//            ky→kx→ic ascending, i.e. the reference accumulation order.
+//
+// Padding taps are *skipped* exactly like the reference skips them (ky and kx
+// clamp to the in-bounds range), never multiplied in as zeros: x + 0.0f is
+// not an identity for x == -0.0f, and the bit-exactness contract is absolute.
+// The build compiles this directory with -ffp-contract=off so neither engine
+// can be fma-contracted differently from the other.
+#include "cnn/exec_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <vector>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "common/require.hpp"
+
+namespace de::cnn {
+
+const char* to_string(ExecEngine engine) {
+  switch (engine) {
+    case ExecEngine::kReference: return "reference";
+    case ExecEngine::kFast: return "fast";
+  }
+  return "?";
+}
+
+ExecEngine exec_engine_from_string(const std::string& name) {
+  if (name == "reference") return ExecEngine::kReference;
+  if (name == "fast") return ExecEngine::kFast;
+  throw Error("unknown exec engine: \"" + name + "\" (want reference|fast)");
+}
+
+namespace detail {
+
+constexpr int kOcBlock = 8;  ///< accumulator lanes per packed weight block
+
+/// Conv weights repacked for the fast kernel: lanes innermost, one block per
+/// kOcBlock output channels, short blocks zero-padded (the junk lanes are
+/// computed and discarded — they share no accumulator with real ones).
+struct PackedKernel {
+  int k = 0;
+  int row_len = 0;  ///< kernel * in_c: one ky row of a patch
+  int blocks = 0;
+  std::vector<float> data;  ///< [block][ky][kx*in_c][kOcBlock]
+  std::vector<float> bias;  ///< [block][kOcBlock]
+
+  const float* block_weights(int blk) const {
+    return &data[static_cast<std::size_t>(blk) * k * row_len * kOcBlock];
+  }
+  const float* block_bias(int blk) const {
+    return &bias[static_cast<std::size_t>(blk) * kOcBlock];
+  }
+};
+
+PackedKernel pack_weights(const LayerConfig& l, const ConvWeights& w) {
+  PackedKernel p;
+  p.k = l.kernel;
+  p.row_len = l.kernel * l.in_c;
+  p.blocks = (l.out_c + kOcBlock - 1) / kOcBlock;
+  p.data.assign(static_cast<std::size_t>(p.blocks) * l.kernel * p.row_len *
+                    kOcBlock,
+                0.0f);
+  p.bias.assign(static_cast<std::size_t>(p.blocks) * kOcBlock, 0.0f);
+  const std::size_t k_in =
+      static_cast<std::size_t>(l.in_c) * l.kernel * l.kernel;
+  for (int oc = 0; oc < l.out_c; ++oc) {
+    const int blk = oc / kOcBlock;
+    const int lane = oc % kOcBlock;
+    p.bias[static_cast<std::size_t>(blk) * kOcBlock + lane] =
+        w.bias[static_cast<std::size_t>(oc)];
+    const float* src = &w.weights[static_cast<std::size_t>(oc) * k_in];
+    for (std::size_t j = 0; j < k_in; ++j) {
+      p.data[(static_cast<std::size_t>(blk) * l.kernel * p.row_len + j) *
+                 kOcBlock +
+             lane] = src[j];
+    }
+  }
+  return p;
+}
+
+}  // namespace detail
+
+struct ExecCache::Impl {
+  std::map<const ConvWeights*, detail::PackedKernel> packed;
+};
+
+ExecCache::ExecCache() : impl_(std::make_unique<Impl>()) {}
+ExecCache::~ExecCache() = default;
+ExecCache::ExecCache(ExecCache&&) noexcept = default;
+ExecCache& ExecCache::operator=(ExecCache&&) noexcept = default;
+
+namespace {
+
+using detail::kOcBlock;
+using detail::PackedKernel;
+
+constexpr int kOxTile = 48;  ///< output columns gathered per panel
+
+/// The packed form of `w`: from the cache when the context carries one
+/// (packing each weights object at most once per cache), else freshly packed
+/// into `scratch`. The cache key is the weights object's address — valid
+/// because a ConvWeights belongs to one layer for its whole life in this
+/// codebase; the extent assert catches a violation of that assumption.
+const PackedKernel& packed_for(const LayerConfig& l, const ConvWeights& w,
+                               const ExecContext& ctx, PackedKernel& scratch) {
+  if (ctx.cache == nullptr) {
+    scratch = detail::pack_weights(l, w);
+    return scratch;
+  }
+  PackedKernel& slot = ctx.cache->impl().packed[&w];
+  if (slot.blocks == 0) slot = detail::pack_weights(l, w);
+  DE_ASSERT(slot.k == l.kernel && slot.row_len == l.kernel * l.in_c &&
+                slot.blocks == (l.out_c + kOcBlock - 1) / kOcBlock,
+            "cached packed weights belong to a different layer config");
+  return slot;
+}
+
+/// acc[c][b] += x[c * x_stride + j] * w[j][b] for C output columns at once.
+/// Every (c, b) accumulator is an independent chain — the compiler may
+/// vectorize across b and pipeline across c without reassociating any single
+/// accumulator, so per-pixel accumulation order is untouched. Larger C
+/// amortizes the weight loads and hides the float-add latency behind more
+/// chains; C is capped by register pressure (C=4 → 32 accumulator floats).
+template <int C>
+inline void madd_run(const float* __restrict x, std::size_t x_stride,
+                     const float* __restrict w, int len,
+                     float (&__restrict acc)[C][kOcBlock]) {
+#if defined(__SSE2__)
+  // Hand-placed SSE2 (baseline on x86-64): mulps/addps are plain IEEE
+  // single-precision multiplies and adds — bit-identical to the scalar
+  // reference ops and never fma-contracted. The explicit form matters: GCC's
+  // auto-vectorizer turns the generic loop below into a shuffle-transpose
+  // across j that runs ~5x slower than this.
+  static_assert(kOcBlock == 8, "two 4-lane vectors per block");
+  __m128 a[C][2];
+  for (int c = 0; c < C; ++c) {
+    a[c][0] = _mm_loadu_ps(acc[c]);
+    a[c][1] = _mm_loadu_ps(acc[c] + 4);
+  }
+  for (int j = 0; j < len; ++j) {
+    const float* wr = w + static_cast<std::size_t>(j) * kOcBlock;
+    const __m128 w0 = _mm_loadu_ps(wr);
+    const __m128 w1 = _mm_loadu_ps(wr + 4);
+    for (int c = 0; c < C; ++c) {
+      const __m128 v = _mm_set1_ps(x[static_cast<std::size_t>(c) * x_stride + j]);
+      a[c][0] = _mm_add_ps(a[c][0], _mm_mul_ps(v, w0));
+      a[c][1] = _mm_add_ps(a[c][1], _mm_mul_ps(v, w1));
+    }
+  }
+  for (int c = 0; c < C; ++c) {
+    _mm_storeu_ps(acc[c], a[c][0]);
+    _mm_storeu_ps(acc[c] + 4, a[c][1]);
+  }
+#else
+  for (int j = 0; j < len; ++j) {
+    const float* wr = w + static_cast<std::size_t>(j) * kOcBlock;
+    for (int c = 0; c < C; ++c) {
+      const float v = x[static_cast<std::size_t>(c) * x_stride + j];
+      for (int b = 0; b < kOcBlock; ++b) acc[c][b] += v * wr[b];
+    }
+  }
+#endif
+}
+
+/// Fast conv of output rows `band` into `out`, whose row 0 is absolute
+/// output row `out_top`. Rows of distinct bands are disjoint, so concurrent
+/// band calls on one `out` never touch the same bytes.
+void conv_band(const LayerConfig& l, const Tensor& in_crop, int in_row_offset,
+               RowInterval band, int out_top, const PackedKernel& pk,
+               Tensor& out) {
+  const int k = l.kernel;
+  const int in_c = l.in_c;
+  const int out_w = l.out_w();
+  const int out_c = l.out_c;
+  const int row_len = pk.row_len;
+
+  std::vector<float> panel(static_cast<std::size_t>(kOxTile) * k * row_len);
+  int seg_lo[kOxTile];
+  int seg_hi[kOxTile];
+
+  // Output columns in [ox_int_lo, ox_int_hi] have their whole kx range in
+  // bounds; everything outside clips against the left/right zero padding.
+  const int ox_int_lo = (l.padding + l.stride - 1) / l.stride;
+  const int ox_int_hi = (l.in_w - k + l.padding) / l.stride;
+
+  for (int oy = band.begin; oy < band.end; ++oy) {
+    const int y0 = oy * l.stride - l.padding;
+    const int ky_lo = std::clamp(-y0, 0, k);
+    const int ky_hi = std::clamp(l.in_h - y0, ky_lo, k);
+    const int n_ky = ky_hi - ky_lo;
+    float* out_row =
+        &out.data[static_cast<std::size_t>(oy - out_top) * out_w * out_c];
+
+    for (int tx0 = 0; tx0 < out_w; tx0 += kOxTile) {
+      const int tn = std::min(kOxTile, out_w - tx0);
+
+      // Gather the tile's patches. Only in-bounds taps are copied; the
+      // compute below reads exactly the bytes written here.
+      for (int t = 0; t < tn; ++t) {
+        const int x0 = (tx0 + t) * l.stride - l.padding;
+        const int kx_lo = std::clamp(-x0, 0, k);
+        const int kx_hi = std::clamp(l.in_w - x0, kx_lo, k);
+        seg_lo[t] = kx_lo;
+        seg_hi[t] = kx_hi;
+        // With padding >= kernel a column can sit entirely in the zero
+        // padding (kx_hi == kx_lo); x0 + kx_lo is then out of bounds, so
+        // don't even form the source address (the reference path likewise
+        // never touches such taps).
+        if (kx_hi <= kx_lo) continue;
+        float* dst = &panel[static_cast<std::size_t>(t) * k * row_len];
+        for (int kyi = 0; kyi < n_ky; ++kyi) {
+          const int cy = y0 + ky_lo + kyi - in_row_offset;
+          const float* src =
+              &in_crop.data[(static_cast<std::size_t>(cy) * l.in_w + x0 +
+                             kx_lo) *
+                            in_c];
+          std::copy_n(src, static_cast<std::size_t>(kx_hi - kx_lo) * in_c,
+                      dst + static_cast<std::size_t>(kyi) * row_len +
+                          static_cast<std::size_t>(kx_lo) * in_c);
+        }
+      }
+
+      // Columns whose full kx range is in bounds (`seg_lo == 0 && seg_hi ==
+      // k`) form one contiguous t-range of the tile; their whole patch is a
+      // single contiguous run, computed in groups of 4/2/1 columns.
+      int il = std::clamp(ox_int_lo - tx0, 0, tn);
+      int ih = std::clamp(ox_int_hi + 1 - tx0, 0, tn);
+      if (ih < il) il = ih = tn;  // no interior columns: all boundary
+
+      // Compute: weight blocks outer so one packed block stays hot across
+      // the whole tile of gathered patches.
+      const std::size_t col_stride = static_cast<std::size_t>(k) * row_len;
+      for (int blk = 0; blk < pk.blocks; ++blk) {
+        const float* wblk = pk.block_weights(blk);
+        const float* wrun =
+            wblk + static_cast<std::size_t>(ky_lo) * row_len * kOcBlock;
+        const float* bias = pk.block_bias(blk);
+        const int oc0 = blk * kOcBlock;
+        const int lanes = std::min(kOcBlock, out_c - oc0);
+
+        const auto finish = [&](const float (&acc)[kOcBlock], int t) {
+          float* dst = out_row + static_cast<std::size_t>(tx0 + t) * out_c + oc0;
+          if (l.relu) {
+            for (int b = 0; b < lanes; ++b)
+              dst[b] = acc[b] < 0.0f ? 0.0f : acc[b];
+          } else {
+            for (int b = 0; b < lanes; ++b) dst[b] = acc[b];
+          }
+        };
+        const auto interior = [&]<int C>(int t) {
+          float acc[C][kOcBlock];
+          for (int c = 0; c < C; ++c)
+            for (int b = 0; b < kOcBlock; ++b) acc[c][b] = bias[b];
+          madd_run<C>(&panel[static_cast<std::size_t>(t) * col_stride],
+                      col_stride, wrun, n_ky * row_len, acc);
+          for (int c = 0; c < C; ++c) finish(acc[c], t + c);
+        };
+        const auto boundary = [&](int t) {
+          float acc[1][kOcBlock];
+          for (int b = 0; b < kOcBlock; ++b) acc[0][b] = bias[b];
+          const float* patch = &panel[static_cast<std::size_t>(t) * col_stride];
+          const int jb = seg_lo[t] * in_c;
+          const int seg = (seg_hi[t] - seg_lo[t]) * in_c;
+          for (int kyi = 0; kyi < n_ky; ++kyi) {
+            madd_run<1>(
+                patch + static_cast<std::size_t>(kyi) * row_len + jb, 0,
+                wblk + (static_cast<std::size_t>(ky_lo + kyi) * row_len + jb) *
+                           kOcBlock,
+                seg, acc);
+          }
+          finish(acc[0], t);
+        };
+
+        for (int t = 0; t < il; ++t) boundary(t);
+        int t = il;
+        for (; t + 4 <= ih; t += 4) interior.operator()<4>(t);
+        for (; t + 2 <= ih; t += 2) interior.operator()<2>(t);
+        for (; t < ih; ++t) interior.operator()<1>(t);
+        for (t = ih; t < tn; ++t) boundary(t);
+      }
+    }
+  }
+}
+
+/// Fast maxpool of `band` into `out` (row 0 == absolute row `out_top`).
+/// Identical comparisons in identical order as maxpool_forward_rows.
+void maxpool_band(const LayerConfig& l, const Tensor& in_crop,
+                  int in_row_offset, RowInterval band, int out_top,
+                  Tensor& out) {
+  const int out_w = l.out_w();
+  for (int oy = band.begin; oy < band.end; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      for (int ch = 0; ch < l.in_c; ++ch) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int ky = 0; ky < l.kernel; ++ky) {
+          const int iy = oy * l.stride + ky;
+          if (iy >= l.in_h) continue;
+          const int cy = iy - in_row_offset;
+          for (int kx = 0; kx < l.kernel; ++kx) {
+            const int ix = ox * l.stride + kx;
+            if (ix >= l.in_w) continue;
+            best = std::max(best, in_crop.at(cy, ix, ch));
+          }
+        }
+        out.at(oy - out_top, ox, ch) = best;
+      }
+    }
+  }
+}
+
+/// Splits `rows` output rows into bands for `ctx.pool`. A few bands per
+/// worker lets the pool's dynamic chunking absorb uneven band cost.
+int band_count(const ExecContext& ctx, int rows) {
+  if (ctx.pool == nullptr || ctx.pool->size() <= 1) return 1;
+  return std::min(rows, static_cast<int>(ctx.pool->size()) * 4);
+}
+
+RowInterval band_of(RowInterval out_rows, int b, int nb) {
+  const int rows = out_rows.size();
+  return RowInterval{out_rows.begin + rows * b / nb,
+                     out_rows.begin + rows * (b + 1) / nb};
+}
+
+template <typename BandFn>
+void run_banded(const ExecContext& ctx, RowInterval out_rows,
+                const BandFn& fn) {
+  const int nb = band_count(ctx, out_rows.size());
+  if (nb <= 1) {
+    fn(out_rows);
+    return;
+  }
+  ctx.pool->parallel_for(static_cast<std::size_t>(nb), [&](std::size_t b) {
+    fn(band_of(out_rows, static_cast<int>(b), nb));
+  });
+}
+
+void require_crop_covers(const LayerConfig& layer, const Tensor& in_crop,
+                         int in_row_offset, RowInterval out_rows) {
+  DE_REQUIRE(!out_rows.empty(), "empty output interval");
+  DE_REQUIRE(in_crop.w == layer.in_w && in_crop.c == layer.in_c,
+             "input crop extents mismatch");
+  const RowInterval needed = input_rows_for(layer, out_rows);
+  DE_REQUIRE(in_row_offset <= needed.begin &&
+                 in_row_offset + in_crop.h >= needed.end,
+             "input crop does not cover the required rows");
+}
+
+}  // namespace
+
+Tensor conv_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
+                         int in_row_offset, RowInterval out_rows,
+                         const ConvWeights& w, const ExecContext& ctx) {
+  if (ctx.engine == ExecEngine::kReference) {
+    return conv_forward_rows(layer, in_crop, in_row_offset, out_rows, w);
+  }
+  DE_REQUIRE(layer.kind == LayerKind::kConv, "conv_forward_rows on non-conv");
+  require_crop_covers(layer, in_crop, in_row_offset, out_rows);
+
+  Tensor out(out_rows.size(), layer.out_w(), layer.out_c);
+  PackedKernel scratch;
+  const PackedKernel& pk = packed_for(layer, w, ctx, scratch);
+  run_banded(ctx, out_rows, [&](RowInterval band) {
+    conv_band(layer, in_crop, in_row_offset, band, out_rows.begin, pk, out);
+  });
+  return out;
+}
+
+Tensor maxpool_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
+                            int in_row_offset, RowInterval out_rows,
+                            const ExecContext& ctx) {
+  if (ctx.engine == ExecEngine::kReference) {
+    return maxpool_forward_rows(layer, in_crop, in_row_offset, out_rows);
+  }
+  DE_REQUIRE(layer.kind == LayerKind::kMaxPool,
+             "maxpool_forward_rows on non-pool");
+  require_crop_covers(layer, in_crop, in_row_offset, out_rows);
+
+  Tensor out(out_rows.size(), layer.out_w(), layer.out_c);
+  run_banded(ctx, out_rows, [&](RowInterval band) {
+    maxpool_band(layer, in_crop, in_row_offset, band, out_rows.begin, out);
+  });
+  return out;
+}
+
+Tensor volume_forward_rows(std::span<const LayerConfig> volume,
+                           const Tensor& in_crop, int in_row_offset,
+                           RowInterval last_out,
+                           std::span<const ConvWeights> weights,
+                           const ExecContext& ctx) {
+  if (ctx.engine == ExecEngine::kReference) {
+    return volume_forward_rows(volume, in_crop, in_row_offset, last_out,
+                               weights);
+  }
+  DE_REQUIRE(weights.size() == volume.size(), "one weight entry per layer");
+  DE_REQUIRE(!last_out.empty(), "empty split-part");
+  const auto per_layer = per_layer_output_rows(volume, last_out);
+
+  Tensor cur = in_crop;
+  int offset = in_row_offset;
+  for (std::size_t i = 0; i < volume.size(); ++i) {
+    const RowInterval out_rows = per_layer[i];
+    cur = volume[i].kind == LayerKind::kConv
+              ? conv_forward_rows(volume[i], cur, offset, out_rows, weights[i],
+                                  ctx)
+              : maxpool_forward_rows(volume[i], cur, offset, out_rows, ctx);
+    offset = out_rows.begin;
+  }
+  return cur;
+}
+
+Tensor volume_forward(std::span<const LayerConfig> volume, const Tensor& in,
+                      std::span<const ConvWeights> weights,
+                      const ExecContext& ctx) {
+  if (ctx.engine == ExecEngine::kReference) {
+    return volume_forward(volume, in, weights);
+  }
+  DE_REQUIRE(weights.size() == volume.size(), "one weight entry per layer");
+  DE_REQUIRE(!volume.empty(), "empty volume");
+  DE_REQUIRE(in.h == volume.front().in_h, "full forward input height mismatch");
+  return volume_forward_rows(volume, in, 0,
+                             RowInterval{0, volume.back().out_h()}, weights,
+                             ctx);
+}
+
+}  // namespace de::cnn

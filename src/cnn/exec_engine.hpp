@@ -1,0 +1,98 @@
+// Convolution execution engines: the naive reference path and a fast path
+// (packed kernels + im2col-style row panels + ThreadPool row bands) that is
+// bit-exact with it.
+//
+// kReference is the scalar 7-deep loop of conv_exec.cpp — the numerical
+// ground truth. kFast repacks the conv weights so output channels are the
+// innermost (vector-lane) dimension, gathers each output row's input patches
+// into a contiguous panel, and runs a cache-tiled multiply-accumulate over
+// both. Bit-exactness is by construction, not by tolerance: for every output
+// pixel the fast kernel performs exactly the reference's float operations in
+// exactly the reference's order — bias first, then ky→kx→ic ascending with
+// the same zero-padding taps *skipped* (never added as +0.0f) — and the only
+// reordering is across independent output pixels / channels, which share no
+// accumulator. Row-band parallelism partitions output rows across a
+// ThreadPool; bands write disjoint rows, so threading cannot change results
+// either. DESIGN.md §execution-engine has the full argument.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "cnn/conv_exec.hpp"
+#include "common/thread_pool.hpp"
+
+namespace de::cnn {
+
+enum class ExecEngine {
+  kReference,  ///< conv_exec.cpp scalar loops, single-threaded
+  kFast,       ///< packed kernels + row panels + optional row-band threading
+};
+
+const char* to_string(ExecEngine engine);
+/// Parses "reference" / "fast" (as printed by to_string). Throws on unknown.
+ExecEngine exec_engine_from_string(const std::string& name);
+
+/// Per-worker cache of packed conv weights, keyed by ConvWeights identity
+/// (object address). Packing is cheap next to one band's FLOPs but not next
+/// to a whole stream's: with a cache the data plane packs each layer once
+/// per run instead of once per image. Every weights object used through a
+/// cache-bearing context must outlive the cache — a weights object that dies
+/// and another allocated at its address would alias its entry (a geometry
+/// mismatch is caught by an assert; same-shape aliasing is not). Not
+/// thread-safe — give each worker thread its own; the row-band tasks only
+/// read entries the owning thread already populated.
+class ExecCache {
+ public:
+  ExecCache();
+  ~ExecCache();
+  ExecCache(ExecCache&&) noexcept;
+  ExecCache& operator=(ExecCache&&) noexcept;
+
+  /// Internal state (defined in exec_engine.cpp; not part of the API).
+  struct Impl;
+  Impl& impl() const { return *impl_; }
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+/// How to execute conv/pool forwards: which engine, (fast engine only) which
+/// pool to spread output-row bands across, and an optional packed-weight
+/// cache. A null pool runs the fast kernel single-threaded; the reference
+/// engine never threads and never packs.
+struct ExecContext {
+  ExecEngine engine = ExecEngine::kReference;
+  ThreadPool* pool = nullptr;   ///< not owned; row-band parallelism when set
+  ExecCache* cache = nullptr;   ///< not owned; packed-weight reuse when set
+
+  static ExecContext reference() { return {}; }
+  static ExecContext fast(ThreadPool* pool = nullptr) {
+    return {ExecEngine::kFast, pool};
+  }
+  /// Fast engine on the process-wide shared pool — what the cluster runtime
+  /// defaults to.
+  static ExecContext fast_shared() {
+    return {ExecEngine::kFast, &ThreadPool::shared()};
+  }
+};
+
+/// Engine-dispatched counterparts of the conv_exec.hpp entry points. With
+/// ExecContext::reference() they call the reference path verbatim; with the
+/// fast engine they produce bit-identical tensors (tests/cnn/exec_engine_test).
+Tensor conv_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
+                         int in_row_offset, RowInterval out_rows,
+                         const ConvWeights& w, const ExecContext& ctx);
+Tensor maxpool_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
+                            int in_row_offset, RowInterval out_rows,
+                            const ExecContext& ctx);
+Tensor volume_forward(std::span<const LayerConfig> volume, const Tensor& in,
+                      std::span<const ConvWeights> weights,
+                      const ExecContext& ctx);
+Tensor volume_forward_rows(std::span<const LayerConfig> volume,
+                           const Tensor& in_crop, int in_row_offset,
+                           RowInterval last_out,
+                           std::span<const ConvWeights> weights,
+                           const ExecContext& ctx);
+
+}  // namespace de::cnn

@@ -1,11 +1,20 @@
 // Profiler — the TensorRT-Profiler stand-in (paper §V-A).
 //
-// Sweeps every layer of a model across output heights (granularity 1 by
-// default, like the paper), repeating each measurement `repeats` times
-// against a ground-truth LatencyModel with optional multiplicative
-// measurement noise, and records the means in a LatencyTable.
+// Two forms:
+//   profile_model          — sweeps layers against a ground-truth
+//                            LatencyModel (synthetic devices), with optional
+//                            multiplicative measurement noise.
+//   profile_model_measured — actually executes every distinct layer
+//                            signature with a chosen ExecContext and records
+//                            wall-clock milliseconds. A plan computed from
+//                            kReference timings would mis-partition a
+//                            cluster whose workers run kFast; profiling must
+//                            use the same engine the data plane executes.
 #pragma once
 
+#include <cstdint>
+
+#include "cnn/exec_engine.hpp"
 #include "cnn/model.hpp"
 #include "common/rng.hpp"
 #include "device/latency_table.hpp"
@@ -21,5 +30,26 @@ struct ProfilerOptions {
 /// Profiles all conv/pool layers and the FC tail of `model` on `device_model`.
 LatencyTable profile_model(const cnn::CnnModel& model, const LatencyModel& device_model,
                            const ProfilerOptions& options = {}, Rng* rng = nullptr);
+
+struct MeasuredProfileOptions {
+  /// Row step of the height sweep; the full height is always included. Real
+  /// execution is costly, so the default is far coarser than the synthetic
+  /// profiler's granularity-1 sweep.
+  int granularity = 8;
+  int repeats = 2;            ///< timed runs per point; the minimum is kept
+  /// Engine + pool the cluster will execute with. Defaults to the same
+  /// context the runtime's RunOptions/ServeOptions default to — profiling
+  /// the reference engine for a fast-engine cluster would hand the planner
+  /// ~an-order-of-magnitude-wrong latencies.
+  cnn::ExecContext exec = cnn::ExecContext::fast_shared();
+  std::uint64_t seed = 0x5eed;///< weights/input randomization
+};
+
+/// Profiles by executing: every distinct conv/pool signature of `model` runs
+/// on this machine with `options.exec`, and the FC tail runs as a dense
+/// matrix-vector product. Returns a LatencyTable interchangeable with the
+/// synthetic one.
+LatencyTable profile_model_measured(const cnn::CnnModel& model,
+                                    const MeasuredProfileOptions& options = {});
 
 }  // namespace de::device

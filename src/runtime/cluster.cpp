@@ -25,7 +25,8 @@ ClusterResult run_once(const cnn::CnnModel& model,
   auto fabric = make_fabric(n_devices, use_tcp, options.faults);
   DataPlaneStats stats;
   auto threads = spawn_providers(fabric, model, strategy, weights, plan,
-                                 /*n_images=*/1, stats, options.reliability);
+                                 /*n_images=*/1, stats, options.reliability,
+                                 options.exec);
 
   RequesterContext ctx(fabric.requester(), plan, stats, options.reliability);
   std::unique_ptr<Retransmitter> rtx;

@@ -17,7 +17,7 @@
 
 #include <vector>
 
-#include "cnn/conv_exec.hpp"
+#include "cnn/exec_engine.hpp"
 #include "rpc/fault_transport.hpp"
 #include "runtime/reliable.hpp"
 #include "sim/exec_sim.hpp"
@@ -30,6 +30,11 @@ namespace de::runtime {
 struct RunOptions {
   ReliabilityOptions reliability;
   const rpc::FaultSpec* faults = nullptr;  ///< not owned; may be null
+  /// Conv/pool engine the provider workers execute with. The fast engine is
+  /// bit-exact vs the reference (tests/cnn/exec_engine_test.cpp), so the
+  /// gathered output is engine-independent; it defaults on so every worker
+  /// uses the packed kernels + shared-pool row bands.
+  cnn::ExecContext exec = cnn::ExecContext::fast_shared();
 };
 
 struct ClusterResult {

@@ -50,15 +50,16 @@ std::vector<std::thread> spawn_providers(
     const sim::RawStrategy& strategy,
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
     int n_images, DataPlaneStats& stats,
-    const ReliabilityOptions& reliability) {
+    const ReliabilityOptions& reliability, const cnn::ExecContext& exec) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(plan.n_devices));
   for (int i = 0; i < plan.n_devices; ++i) {
     threads.emplace_back([&fabric, &model, &strategy, &weights, &plan,
-                          n_images, &stats, reliability, i] {
+                          n_images, &stats, reliability, exec, i] {
       try {
         provider_loop(*fabric.endpoints[static_cast<std::size_t>(i)], i, model,
-                      strategy, weights, plan, n_images, stats, reliability);
+                      strategy, weights, plan, n_images, stats, reliability,
+                      exec);
       } catch (...) {
         // Tear down the whole fabric, not just the requester: a downed
         // requester transport drops the end-of-stream frames, which would

@@ -47,6 +47,7 @@ std::vector<std::thread> spawn_providers(
     const sim::RawStrategy& strategy,
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
     int n_images, DataPlaneStats& stats,
-    const ReliabilityOptions& reliability = {});
+    const ReliabilityOptions& reliability = {},
+    const cnn::ExecContext& exec = {});
 
 }  // namespace de::runtime

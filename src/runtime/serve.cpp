@@ -28,7 +28,8 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   auto fabric = make_fabric(n_devices, options.use_tcp, options.faults);
   DataPlaneStats stats;
   auto threads = spawn_providers(fabric, model, strategy, weights, plan,
-                                 /*n_images=*/-1, stats, options.reliability);
+                                 /*n_images=*/-1, stats, options.reliability,
+                                 options.exec);
 
   ServeResult result;
   result.images = n_images;

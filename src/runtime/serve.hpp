@@ -33,6 +33,10 @@ struct ServeOptions {
   /// Fault plan applied to every node's sends (not owned; may be null).
   const rpc::FaultSpec* faults = nullptr;
 
+  /// Conv/pool engine of the provider workers (bit-exact either way; the
+  /// fast default is what makes measured IPS track what the hardware allows).
+  cnn::ExecContext exec = cnn::ExecContext::fast_shared();
+
   /// When both are set, `predicted_ips` is filled from sim::stream_images
   /// (sequential-stream semantics — the pipeline should beat it). A fault
   /// plan is mirrored into the simulator's analytic loss model so the

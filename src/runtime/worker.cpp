@@ -153,7 +153,8 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const std::vector<cnn::ConvWeights>& weights,
                    const TransferPlan& plan, int n_images,
                    DataPlaneStats& stats,
-                   const ReliabilityOptions& reliability) {
+                   const ReliabilityOptions& reliability,
+                   const cnn::ExecContext& exec) {
   const int n_volumes = plan.num_volumes();
   const bool active = plan.device_active(i);
   ChunkDedup dedup;
@@ -172,6 +173,11 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
   if (reliability.enabled) {
     rtx = std::make_unique<Retransmitter>(transport, reliability, stats);
   }
+
+  // Pack each conv layer's weights once for the run, not once per image.
+  cnn::ExecCache exec_cache;
+  cnn::ExecContext exec_ctx = exec;
+  exec_ctx.cache = &exec_cache;
 
   // Chunks that arrived ahead of their (image, volume) slot.
   std::map<std::pair<int, int>, std::vector<rpc::ChunkMsg>> stash;
@@ -256,7 +262,8 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
             layers, crop, need.begin, part,
             std::span<const cnn::ConvWeights>(weights).subspan(
                 static_cast<std::size_t>(volume.first),
-                static_cast<std::size_t>(volume.size())));
+                static_cast<std::size_t>(volume.size())),
+            exec_ctx);
       }
 
       // Ship my output where the next stage needs it.

@@ -13,6 +13,7 @@
 #include <map>
 #include <vector>
 
+#include "cnn/exec_engine.hpp"
 #include "rpc/transport.hpp"
 #include "rpc/wire.hpp"
 #include "runtime/reliable.hpp"
@@ -49,7 +50,8 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const std::vector<cnn::ConvWeights>& weights,
                    const TransferPlan& plan, int n_images,
                    DataPlaneStats& stats,
-                   const ReliabilityOptions& reliability = {});
+                   const ReliabilityOptions& reliability = {},
+                   const cnn::ExecContext& exec = {});
 
 /// Per-image reliability events observed by the requester while gathering.
 struct ImageRetryStats {

@@ -1,0 +1,289 @@
+// Reference-oracle conformance suite for the fast execution engine: every
+// tensor the fast path produces must be bit-identical (ASSERT_EQ on floats,
+// no tolerance) to the reference scalar path — across every distinct conv
+// layer configuration in the model zoo, across randomized layer geometries,
+// and across degenerate row bands (1-row intervals, boundary rows, slack
+// crops), with and without ThreadPool row-band parallelism.
+#include "cnn/exec_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "cnn/layer_volume.hpp"
+#include "cnn/model.hpp"
+#include "cnn/model_zoo.hpp"
+#include "common/require.hpp"
+#include "device/latency_model.hpp"
+
+namespace de::cnn {
+namespace {
+
+Tensor random_tensor(int h, int w, int c, Rng& rng) {
+  Tensor t(h, w, c);
+  for (auto& v : t.data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+void expect_bitexact(const Tensor& got, const Tensor& want,
+                     const std::string& what) {
+  ASSERT_EQ(got.h, want.h) << what;
+  ASSERT_EQ(got.w, want.w) << what;
+  ASSERT_EQ(got.c, want.c) << what;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(got.data[i], want.data[i])
+        << what << " — flat index " << i << " of " << want.size();
+  }
+}
+
+/// Runs one conv layer over `out_rows` with the minimal required crop (plus
+/// `slack` extra leading rows) and checks fast == reference, both serially
+/// and banded across `pool`.
+void check_conv_rows(const LayerConfig& l, RowInterval out_rows, Rng& rng,
+                     ThreadPool* pool, const std::string& what,
+                     int slack = 0) {
+  const auto need = input_rows_for(l, out_rows);
+  const int offset = std::max(0, need.begin - slack);
+  // A band entirely inside the zero padding needs no input rows at all
+  // (`need` is empty); a 1-row buffer still satisfies the coverage contract.
+  const auto crop =
+      random_tensor(std::max(1, need.end - offset), l.in_w, l.in_c, rng);
+  const auto w = ConvWeights::random(l, rng);
+
+  const auto ref = conv_forward_rows(l, crop, offset, out_rows, w);
+  const auto fast =
+      conv_forward_rows(l, crop, offset, out_rows, w, ExecContext::fast());
+  expect_bitexact(fast, ref, what + " serial");
+  if (pool != nullptr) {
+    const auto banded =
+        conv_forward_rows(l, crop, offset, out_rows, w, ExecContext::fast(pool));
+    expect_bitexact(banded, ref, what + " banded");
+  }
+}
+
+// Every distinct conv configuration that appears anywhere in the paper's
+// eight-model zoo, exercised on a first-row band, a mid band, and a last-row
+// band (the minimal crop of a band is the interesting case: the fast
+// kernel's ky clamping and crop-offset arithmetic both engage).
+TEST(ExecEngineZoo, EveryConvConfigBitExact) {
+  ThreadPool pool(3);
+  Rng rng(2024);
+  std::map<std::string, LayerConfig> configs;
+  for (const auto& name : zoo_names()) {
+    const auto m = model_by_name(name);
+    for (const auto& l : m.layers()) {
+      if (l.kind == LayerKind::kConv) configs.emplace(device::layer_signature(l), l);
+    }
+  }
+  ASSERT_GT(configs.size(), 20u);  // the zoo is genuinely diverse
+  for (const auto& [sig, l] : configs) {
+    const int out_h = l.out_h();
+    check_conv_rows(l, RowInterval{0, 1}, rng, nullptr, sig + " first-row");
+    const int mid = out_h / 2;
+    check_conv_rows(l, RowInterval{mid, std::min(out_h, mid + 2)}, rng, &pool,
+                    sig + " mid-band");
+    check_conv_rows(l, RowInterval{out_h - 1, out_h}, rng, nullptr,
+                    sig + " last-row");
+  }
+}
+
+// Zoo pooling configs, same treatment (the fast pool path threads too).
+TEST(ExecEngineZoo, EveryPoolConfigBitExact) {
+  ThreadPool pool(3);
+  Rng rng(77);
+  std::map<std::string, LayerConfig> configs;
+  for (const auto& name : zoo_names()) {
+    const auto m = model_by_name(name);
+    for (const auto& l : m.layers()) {
+      if (l.kind == LayerKind::kMaxPool)
+        configs.emplace(device::layer_signature(l), l);
+    }
+  }
+  ASSERT_FALSE(configs.empty());
+  for (const auto& [sig, l] : configs) {
+    const int out_h = l.out_h();
+    const RowInterval out_rows{out_h / 3, std::min(out_h, out_h / 3 + 3)};
+    const auto need = input_rows_for(l, out_rows);
+    const auto crop = random_tensor(need.size(), l.in_w, l.in_c, rng);
+    const auto ref = maxpool_forward_rows(l, crop, need.begin, out_rows);
+    expect_bitexact(maxpool_forward_rows(l, crop, need.begin, out_rows,
+                                         ExecContext::fast(&pool)),
+                    ref, sig);
+  }
+}
+
+// Randomized geometry sweep: kernel/stride/padding/channel combinations the
+// zoo never hits, including out_c that is smaller than / not a multiple of
+// the packed-lane width, 1x1 kernels, strides that skip input rows, padding
+// wider than the kernel overhang, and relu on/off. Each case is run over a
+// random row interval, a 1-row band, and with a slack crop (the crop starts
+// above the first required row).
+TEST(ExecEngineProperty, RandomizedConfigsBitExact) {
+  ThreadPool pool(3);
+  Rng rng(0xC0FFEE);
+  for (int iter = 0; iter < 60; ++iter) {
+    const int kernel = rng.uniform_int(1, 5);
+    const int stride = rng.uniform_int(1, 3);
+    // padding < kernel: a band fully inside the zero padding is rejected by
+    // input_rows_for itself (vsl.cpp clips to a non-empty interval), so every
+    // legal 1-row band must keep at least one valid tap.
+    const int padding = rng.uniform_int(0, kernel - 1);
+    const int in_c = rng.uniform_int(1, 7);
+    const int out_c = rng.uniform_int(1, 19);
+    const int in_h = rng.uniform_int(kernel + stride, 20);
+    const int in_w = rng.uniform_int(kernel + stride, 20);
+    LayerConfig l;
+    try {
+      l = LayerConfig::conv(in_w, in_h, in_c, out_c, kernel, stride, padding,
+                            /*relu=*/iter % 2 == 0);
+      l.validate();
+    } catch (const Error&) {
+      continue;  // geometry with empty output — not a runnable layer
+    }
+    const int out_h = l.out_h();
+    const std::string what = "iter " + std::to_string(iter) + " k" +
+                             std::to_string(kernel) + " s" +
+                             std::to_string(stride) + " p" +
+                             std::to_string(padding);
+
+    const int a = rng.uniform_int(0, out_h - 1);
+    const int b = rng.uniform_int(a + 1, out_h);
+    check_conv_rows(l, RowInterval{a, b}, rng, &pool, what + " rand-band");
+    const int r = rng.uniform_int(0, out_h - 1);
+    check_conv_rows(l, RowInterval{r, r + 1}, rng, nullptr, what + " one-row");
+    check_conv_rows(l, RowInterval{a, b}, rng, &pool, what + " slack",
+                    /*slack=*/rng.uniform_int(1, 3));
+  }
+}
+
+// Full-tensor forwards and stitched split-parts through a mixed conv/pool
+// volume: the fast engine must agree with the reference through layer
+// chaining, not just per layer.
+TEST(ExecEngineVolume, ForwardAndSplitPartsBitExact) {
+  ThreadPool pool(3);
+  Rng rng(9);
+  const auto m = ModelBuilder("mini", 24, 24, 3)
+                     .conv_same(6, 3)
+                     .conv_same(6, 3)
+                     .maxpool(2, 2)
+                     .conv_same(12, 3)
+                     .conv(12, 3, 2, 1)
+                     .build();
+  std::vector<ConvWeights> weights;
+  for (const auto& l : m.layers()) {
+    weights.push_back(l.kind == LayerKind::kConv ? ConvWeights::random(l, rng)
+                                                 : ConvWeights{});
+  }
+  const auto in = random_tensor(m.input_h(), m.input_w(), m.input_c(), rng);
+  const std::span<const LayerConfig> layers(m.layers());
+  const std::span<const ConvWeights> wts(weights);
+
+  const auto ref = volume_forward(layers, in, wts);
+  expect_bitexact(volume_forward(layers, in, wts, ExecContext::fast(&pool)),
+                  ref, "full forward");
+
+  const int height = layers.back().out_h();
+  for (int n_parts : {2, 5, height}) {  // height parts == every band is 1 row
+    for (int p = 0; p < n_parts; ++p) {
+      const RowInterval part{height * p / n_parts, height * (p + 1) / n_parts};
+      if (part.empty()) continue;
+      const auto need = required_input_rows(layers, part);
+      Tensor crop(need.size(), in.w, in.c);
+      for (int y = need.begin; y < need.end; ++y)
+        for (int x = 0; x < in.w; ++x)
+          for (int ch = 0; ch < in.c; ++ch)
+            crop.at(y - need.begin, x, ch) = in.at(y, x, ch);
+      const auto ref_part = volume_forward_rows(layers, crop, need.begin, part, wts);
+      expect_bitexact(
+          volume_forward_rows(layers, crop, need.begin, part, wts,
+                              ExecContext::fast(&pool)),
+          ref_part,
+          "part " + std::to_string(p) + "/" + std::to_string(n_parts));
+    }
+  }
+}
+
+TEST(ExecEngineProperty, PaddingWiderThanKernelBitExact) {
+  // padding >= kernel is legal (validate only requires the kernel to fit the
+  // padded input) and makes the outermost output columns consist of zero
+  // taps only — the fast gather must skip them without ever forming an input
+  // address. Rows 0 and out_h-1 are all-padding too and rejected by
+  // input_rows_for itself, so the sweep covers the interior rows.
+  ThreadPool pool(3);
+  Rng rng(88);
+  for (const auto& l :
+       {LayerConfig::conv(4, 4, 2, 3, /*kernel=*/1, 1, /*padding=*/1),
+        LayerConfig::conv(6, 5, 3, 9, /*kernel=*/2, 1, /*padding=*/2),
+        LayerConfig::conv(7, 7, 1, 8, /*kernel=*/3, 2, /*padding=*/3)}) {
+    const int out_h = l.out_h();
+    for (int oy = 0; oy < out_h; ++oy) {
+      const RowInterval band{oy, oy + 1};
+      bool legal_band = true;
+      try {
+        input_rows_for(l, band);
+      } catch (const Error&) {
+        legal_band = false;  // band entirely inside the padding
+      }
+      if (!legal_band) continue;
+      check_conv_rows(l, band, rng, &pool,
+                      "wide-pad k" + std::to_string(l.kernel) + " row " +
+                          std::to_string(oy));
+    }
+  }
+}
+
+TEST(ExecEngine, CachedPackedWeightsStayBitExact) {
+  // One ExecCache across many calls with the same weights (the data plane's
+  // per-run pattern): the cached pack must serve every row interval with
+  // results identical to fresh packing and to the reference.
+  Rng rng(12);
+  const auto l = LayerConfig::conv(17, 17, 5, 11, 3, 1, 1);
+  const auto in = random_tensor(17, 17, 5, rng);
+  const auto w = ConvWeights::random(l, rng);
+  ExecCache cache;
+  ExecContext ctx = ExecContext::fast();
+  ctx.cache = &cache;
+  for (const RowInterval rows :
+       {RowInterval{0, l.out_h()}, RowInterval{0, 1}, RowInterval{5, 9},
+        RowInterval{l.out_h() - 1, l.out_h()}}) {
+    const auto ref = conv_forward_rows(l, in, 0, rows, w);
+    expect_bitexact(conv_forward_rows(l, in, 0, rows, w, ctx), ref,
+                    "cached rows [" + std::to_string(rows.begin) + "," +
+                        std::to_string(rows.end) + ")");
+  }
+}
+
+TEST(ExecEngine, ReferenceContextIsTheReferencePath) {
+  Rng rng(4);
+  const auto l = LayerConfig::conv(9, 9, 2, 3, 3, 1, 1);
+  const auto in = random_tensor(9, 9, 2, rng);
+  const auto w = ConvWeights::random(l, rng);
+  expect_bitexact(conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()}, w,
+                                    ExecContext::reference()),
+                  conv_forward(l, in, w), "reference dispatch");
+}
+
+TEST(ExecEngine, NamesRoundTrip) {
+  EXPECT_STREQ(to_string(ExecEngine::kReference), "reference");
+  EXPECT_STREQ(to_string(ExecEngine::kFast), "fast");
+  EXPECT_EQ(exec_engine_from_string("reference"), ExecEngine::kReference);
+  EXPECT_EQ(exec_engine_from_string("fast"), ExecEngine::kFast);
+  EXPECT_THROW(exec_engine_from_string("warp"), Error);
+}
+
+TEST(ExecEngine, FastPathValidatesLikeReference) {
+  Rng rng(3);
+  const auto l = LayerConfig::conv(8, 8, 2, 2, 3, 1, 1);
+  const auto w = ConvWeights::random(l, rng);
+  Tensor crop(2, 8, 2);  // needs 4 rows for out rows {2,5}
+  EXPECT_THROW(
+      conv_forward_rows(l, crop, 1, RowInterval{2, 5}, w, ExecContext::fast()),
+      Error);
+  EXPECT_THROW(conv_forward_rows(l, crop, 1, RowInterval{2, 2}, w,
+                                 ExecContext::fast()),
+               Error);
+}
+
+}  // namespace
+}  // namespace de::cnn

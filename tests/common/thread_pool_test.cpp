@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "common/require.hpp"
 
@@ -63,6 +65,103 @@ TEST(ThreadPool, SharedPoolIsSingleton) {
 TEST(ThreadPool, SizeMatchesRequested) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+// --- Hardening: the row-band execution engine leans on all of these. ---
+
+TEST(ThreadPoolHardening, SubmitFutureRethrowsTaskException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw Error("task boom"); });
+  EXPECT_THROW(fut.get(), Error);
+  // The worker that ran the throwing task must survive it.
+  auto ok = pool.submit([] {});
+  EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPoolHardening, PoolUsableAfterParallelForException) {
+  ThreadPool pool(4);
+  for (int wave = 0; wave < 3; ++wave) {
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     if (i % 7 == 3) throw Error("boom");
+                                   }),
+                 Error);
+    std::atomic<int> counter{0};
+    pool.parallel_for(64, [&](std::size_t) { counter.fetch_add(1); });
+    EXPECT_EQ(counter.load(), 64);
+  }
+}
+
+TEST(ThreadPoolHardening, ReuseAcrossManySubmitWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 200; ++wave) {
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(pool.submit([&] { counter.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.wait();
+    ASSERT_EQ(counter.load(), (wave + 1) * 8);
+  }
+}
+
+TEST(ThreadPoolHardening, OversubscriptionCompletesAllTasks) {
+  // Far more queued tasks than workers, each long enough that the queue
+  // genuinely backs up; every task must still run exactly once.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      counter.fetch_add(1);
+    }));
+  }
+  for (auto& f : futures) f.wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPoolHardening, ParallelForOversubscribed) {
+  // n far beyond the worker count exercises the dynamic index chunking.
+  ThreadPool pool(2);
+  std::vector<int> hits(5000, 0);
+  pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (int h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPoolHardening, ConcurrentParallelForCallers) {
+  // Multiple external threads sharing one pool, as the cluster's provider
+  // workers share the process pool for row bands. Every caller must see its
+  // own loop complete exactly.
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([&] {
+      for (int wave = 0; wave < 20; ++wave) {
+        std::atomic<int> mine{0};
+        pool.parallel_for(32, [&](std::size_t) { mine.fetch_add(1); });
+        ASSERT_EQ(mine.load(), 32);
+        total.fetch_add(mine.load());
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 32);
+}
+
+TEST(ThreadPoolHardening, ExceptionDoesNotAbandonOtherIterations) {
+  // Every non-throwing iteration still runs even when one throws: the
+  // parallel_for contract is "first error rethrown", not "loop truncated".
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(256);
+  EXPECT_THROW(pool.parallel_for(hits.size(),
+                                 [&](std::size_t i) {
+                                   hits[i].fetch_add(1);
+                                   if (i == 100) throw Error("boom");
+                                 }),
+               Error);
+  for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
 }
 
 }  // namespace

@@ -78,6 +78,48 @@ TEST(Profiler, NoiseWithoutRngRejected) {
       Error);
 }
 
+TEST(MeasuredProfiler, CoversEveryLayerAndTheFcTail) {
+  const auto m = tiny();
+  MeasuredProfileOptions options;
+  options.granularity = 16;  // full height + one interior point
+  options.repeats = 1;
+  options.exec = cnn::ExecContext::fast();
+  const auto table = profile_model_measured(m, options);
+  for (const auto& layer : m.layers()) {
+    ASSERT_TRUE(table.has_layer(layer));
+    // Wall-clock measurements: positive, and queryable at any height.
+    EXPECT_GT(table.layer_ms(layer, layer.out_h()), 0.0);
+    EXPECT_GT(table.layer_ms(layer, 1), 0.0);
+  }
+  for (const auto& fc : m.fc_tail()) EXPECT_GT(table.fc_ms(fc), 0.0);
+}
+
+TEST(MeasuredProfiler, EngineChoiceIsProfiled) {
+  // Both engines produce complete, usable tables. (The *ratio* between them
+  // is the whole point of measured profiling, but wall-clock assertions on
+  // a loaded CI box would flake — structure is asserted, speed is not.)
+  const auto m = tiny();
+  MeasuredProfileOptions options;
+  options.granularity = 30;
+  options.repeats = 1;
+  options.exec = cnn::ExecContext::reference();
+  const auto ref = profile_model_measured(m, options);
+  options.exec = cnn::ExecContext::fast_shared();
+  const auto fast = profile_model_measured(m, options);
+  for (const auto& layer : m.layers()) {
+    ASSERT_TRUE(ref.has_layer(layer));
+    ASSERT_TRUE(fast.has_layer(layer));
+    EXPECT_GT(ref.layer_ms(layer, layer.out_h()), 0.0);
+    EXPECT_GT(fast.layer_ms(layer, layer.out_h()), 0.0);
+  }
+}
+
+TEST(MeasuredProfiler, RejectsBadOptions) {
+  EXPECT_THROW(profile_model_measured(tiny(), {.granularity = 0}), Error);
+  EXPECT_THROW(
+      profile_model_measured(tiny(), {.granularity = 1, .repeats = 0}), Error);
+}
+
 TEST(LatencyTable, UnknownLayerThrows) {
   LatencyTable table;
   const auto layer = cnn::LayerConfig::conv(8, 8, 2, 2, 3, 1, 1);
