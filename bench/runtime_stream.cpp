@@ -1,43 +1,113 @@
-// Pipelined serving throughput on the real data plane: measured wall-clock
-// IPS over the in-process and loopback-TCP transports as the number of
-// in-flight images K grows, next to the event simulator's (sequential-
-// stream) prediction for the same strategy. K = 1 approximates the
-// simulator's semantics; larger K overlaps scatter/compute/gather and
-// should beat it on multi-core hosts.
+// Streaming throughput of the real data plane, A/B'd in one run: the PR-3
+// serial copying chunk path (kSerialCopy — receive-all -> compute-all ->
+// send-all, slice/encode/decode/blit copies, per-chunk allocations) versus
+// the zero-copy halo-first overlapped plane (kOverlapZeroCopy — arena
+// frames, wire-byte blits, boundary-band-first compute with a dedicated
+// sender thread). Both paths are bit-exact by construction (the outputs are
+// cross-checked here too), so the only difference is data-plane cost.
 //
-//   $ ./bench_runtime_stream [--images N]
+// The workload is the zoo's edge tier (edgenet by default) under a
+// DistrEdge-style network-adaptive strategy: every layer is its own volume
+// and consecutive volumes use staggered cuts, so each boundary genuinely
+// redistributes rows between devices — the regime edge clusters live in,
+// where the data plane (not FLOPs) bounds IPS. Results land in
+// BENCH_stream.json: measured IPS both ways, speedup, wire bytes, copies
+// per halo byte, and frame-buffer allocations per image.
+//
+//   bench_runtime_stream [--quick] [--out PATH] [--images N]
+//                        [--model NAME] [--devices N] [--inflight K]
+//
+// --quick shrinks the image count (CI smoke). Loopback TCP throughout —
+// chunks really cross the kernel's TCP stack.
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
-#include <iostream>
 #include <string>
 #include <vector>
 
-#include "common/table.hpp"
-#include "core/strategy.hpp"
-#include "device/device.hpp"
+#include "cnn/model_zoo.hpp"
+#include "common/require.hpp"
 #include "runtime/serve.hpp"
 
-int main(int argc, char** argv) {
-  using namespace de;
+namespace {
 
-  int n_images = 64;
+using namespace de;
+
+/// Per-layer volumes with staggered equal splits: even volumes cut at
+/// j*h/n, odd volumes at the midpoints ((2j-1)*h)/(2n) — so every volume
+/// boundary moves most rows to a different device, like re-planned splits
+/// on a heterogeneous cluster do (paper §IV: per-volume split decisions).
+sim::RawStrategy staggered_strategy(const cnn::CnnModel& m, int n_devices) {
+  sim::RawStrategy strategy;
+  std::vector<int> boundaries;
+  for (int l = 0; l <= m.num_layers(); ++l) boundaries.push_back(l);
+  strategy.volumes =
+      cnn::volumes_from_boundaries(boundaries, m.num_layers());
+  for (std::size_t v = 0; v < strategy.volumes.size(); ++v) {
+    const int h = cnn::volume_out_height(m, strategy.volumes[v]);
+    std::vector<int> cuts{0};
+    for (int j = 1; j < n_devices; ++j) {
+      const int at = v % 2 == 0 ? j * h / n_devices
+                                : std::min(h, ((2 * j - 1) * h + n_devices) /
+                                                  (2 * n_devices));
+      cuts.push_back(std::clamp(at, cuts.back(), h));
+    }
+    cuts.push_back(h);
+    strategy.cuts.push_back(std::move(cuts));
+  }
+  return strategy;
+}
+
+struct ModeResult {
+  double ips = 0;
+  double wall_s = 0;
+  runtime::ServeResult serve;
+};
+
+bool outputs_equal(const std::vector<cnn::Tensor>& a,
+                   const std::vector<cnn::Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].data != b[k].data) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_stream.json";
+  std::string model_name = "edgenet";
+  int n_images = 0;
+  int n_devices = 6;  // the paper-scale edge cluster (fig. 7-9 tier)
+  int inflight = 4;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--images") == 0 && i + 1 < argc) {
-      n_images = std::max(1, std::atoi(argv[i + 1]));
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--images") == 0 && i + 1 < argc) {
+      n_images = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      n_devices = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
+      inflight = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--images N] "
+                   "[--model NAME] [--devices N] [--inflight K]\n",
+                   argv[0]);
+      return 2;
     }
   }
-  const int n_devices = 4;
+  if (n_images == 0) n_images = quick ? 16 : 96;
 
-  const auto model = cnn::ModelBuilder("bench", 96, 96, 3)
-                         .conv_same(16, 3)
-                         .conv_same(16, 3)
-                         .maxpool(2, 2)
-                         .conv_same(32, 3)
-                         .conv_same(32, 3)
-                         .maxpool(2, 2)
-                         .conv_same(64, 3)
-                         .conv_same(64, 3)
-                         .build();
+  const auto model = cnn::model_by_name(model_name);
+  const auto strategy = staggered_strategy(model, n_devices);
 
   Rng rng(123);
   const auto weights = runtime::random_weights(model, rng);
@@ -49,49 +119,106 @@ int main(int argc, char** argv) {
     images.push_back(std::move(t));
   }
 
-  sim::RawStrategy strategy;
-  strategy.volumes =
-      cnn::volumes_from_boundaries({0, 5, model.num_layers()}, model.num_layers());
-  for (const auto& v : strategy.volumes) {
-    strategy.cuts.push_back(
-        core::equal_split(cnn::volume_out_height(model, v), n_devices).cuts);
-  }
+  std::printf("model %s: %dx%dx%d, %d layers, %.3f GFLOP/image\n",
+              model.name().c_str(), model.input_h(), model.input_w(),
+              model.input_c(), model.num_layers(),
+              static_cast<double>(model.conv_chain_ops()) * 1e-9);
+  std::printf("strategy: %d per-layer volumes, staggered cuts, %d devices, "
+              "K=%d in flight, %d images, loopback TCP\n\n",
+              static_cast<int>(strategy.volumes.size()), n_devices, inflight,
+              n_images);
 
-  sim::ClusterLatency latency;
-  for (int i = 0; i < n_devices; ++i) {
-    latency.push_back(device::make_latency_model(device::DeviceType::kNano));
-  }
-  net::Network network(n_devices);
+  const auto run_mode = [&](runtime::DataPlaneMode mode) {
+    runtime::ServeOptions options;
+    options.use_tcp = true;
+    options.inflight = inflight;
+    options.keep_outputs = true;  // cross-checked below
+    options.data_plane = mode;
+    ModeResult r;
+    r.serve = runtime::serve_stream(model, strategy, weights, images,
+                                    n_devices, options);
+    r.ips = r.serve.measured_ips;
+    r.wall_s = r.serve.wall_s;
+    return r;
+  };
 
-  const std::vector<int> inflight{1, 2, 4, 8};
-  Table table("Pipelined serving: measured IPS vs in-flight images K (" +
-              std::to_string(n_images) + " images, 4 devices)");
-  std::vector<std::string> header{"transport"};
-  for (int k : inflight) header.push_back("K=" + std::to_string(k));
-  header.push_back("sim-predicted");
-  table.set_header(std::move(header));
-
-  double predicted = 0;
-  for (const bool use_tcp : {false, true}) {
-    std::vector<double> row;
-    for (int k : inflight) {
-      runtime::ServeOptions options;
-      options.use_tcp = use_tcp;
-      options.inflight = k;
-      if (!use_tcp && k == inflight.front()) {
-        options.latency = &latency;
-        options.network = &network;
-      }
-      const auto served = runtime::serve_stream(model, strategy, weights,
-                                                images, n_devices, options);
-      if (served.predicted_ips > 0) predicted = served.predicted_ips;
-      row.push_back(served.measured_ips);
-    }
-    row.push_back(predicted);
-    table.add_row(use_tcp ? "tcp" : "inproc", row);
+  // Warm-up lap (page cache, TCP handshakes, malloc arenas), then measure
+  // both planes interleaved, best-of-N each — the same discipline
+  // bench_kernel_scaling uses, so one noisy lap on a busy host cannot skew
+  // the A/B ratio either way.
+  (void)run_mode(runtime::DataPlaneMode::kOverlapZeroCopy);
+  const int laps = quick ? 1 : 3;
+  ModeResult serial, overlap;
+  for (int lap = 0; lap < laps; ++lap) {
+    auto s = run_mode(runtime::DataPlaneMode::kSerialCopy);
+    auto o = run_mode(runtime::DataPlaneMode::kOverlapZeroCopy);
+    if (lap == 0 || s.ips > serial.ips) serial = std::move(s);
+    if (lap == 0 || o.ips > overlap.ips) overlap = std::move(o);
   }
-  table.print(std::cout);
-  std::cout << "(prediction uses calibrated Jetson-Nano latency models; the\n"
-               " measured numbers are this host's cores doing real float conv)\n";
-  return 0;
+  const bool exact = outputs_equal(serial.serve.outputs, overlap.serve.outputs);
+  const double speedup = serial.ips > 0 ? overlap.ips / serial.ips : 0.0;
+
+  const auto describe = [&](const char* name, const ModeResult& r) {
+    const double copies =
+        r.serve.bytes_moved > 0
+            ? static_cast<double>(r.serve.bytes_copied) /
+                  static_cast<double>(r.serve.bytes_moved)
+            : 0.0;
+    std::printf("%-18s: %7.2f IPS  wall %.3fs  %d msgs  %.2f MiB payload  "
+                "%.2f MiB wire  %.2f copies/halo-byte  %lld frame allocs "
+                "(%.2f/image)\n",
+                name, r.ips, r.wall_s, r.serve.messages_exchanged,
+                static_cast<double>(r.serve.bytes_moved) / (1 << 20),
+                static_cast<double>(r.serve.wire_bytes) / (1 << 20), copies,
+                static_cast<long long>(r.serve.frame_allocs),
+                static_cast<double>(r.serve.frame_allocs) / n_images);
+    return copies;
+  };
+  const double serial_copies = describe("serial-copy", serial);
+  const double overlap_copies = describe("overlap-zero-copy", overlap);
+  std::printf("\nspeedup (overlap-zero-copy vs serial-copy): %.2fx, "
+              "bit-exact outputs: %s\n",
+              speedup, exact ? "yes" : "NO");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"runtime_stream\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(f,
+               "  \"workload\": {\"model\": \"%s\", \"gflop_per_image\": %.6f, "
+               "\"images\": %d, \"devices\": %d, \"inflight\": %d, "
+               "\"volumes\": %d, \"transport\": \"tcp-loopback\", "
+               "\"strategy\": \"per-layer volumes, staggered cuts\"},\n",
+               model.name().c_str(),
+               static_cast<double>(model.conv_chain_ops()) * 1e-9, n_images,
+               n_devices, inflight, static_cast<int>(strategy.volumes.size()));
+  std::fprintf(f, "  \"bit_exact_across_modes\": %s,\n",
+               exact ? "true" : "false");
+  const auto emit = [&](const char* key, const ModeResult& r, double copies) {
+    std::fprintf(f,
+                 "  \"%s\": {\"ips\": %.3f, \"wall_s\": %.4f, "
+                 "\"messages\": %d, \"payload_bytes\": %lld, "
+                 "\"wire_bytes\": %lld, \"bytes_copied\": %lld, "
+                 "\"copies_per_halo_byte\": %.3f, \"frame_allocs\": %lld, "
+                 "\"frame_allocs_per_image\": %.3f}",
+                 key, r.ips, r.wall_s, r.serve.messages_exchanged,
+                 static_cast<long long>(r.serve.bytes_moved),
+                 static_cast<long long>(r.serve.wire_bytes),
+                 static_cast<long long>(r.serve.bytes_copied), copies,
+                 static_cast<long long>(r.serve.frame_allocs),
+                 static_cast<double>(r.serve.frame_allocs) / n_images);
+  };
+  emit("serial_copy_baseline", serial, serial_copies);
+  std::fprintf(f, ",\n");
+  emit("overlap_zero_copy", overlap, overlap_copies);
+  std::fprintf(f, ",\n");
+  std::fprintf(f, "  \"speedup_overlap_vs_serial\": %.3f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return exact ? 0 : 1;
 }

@@ -361,6 +361,26 @@ void require_crop_covers(const LayerConfig& layer, const Tensor& in_crop,
              "input crop does not cover the required rows");
 }
 
+void require_dst_covers(const LayerConfig& layer, const Tensor& dst,
+                        int dst_top, RowInterval out_rows) {
+  DE_REQUIRE(dst.w == layer.out_w() && dst.c == layer.out_c,
+             "destination extents mismatch");
+  DE_REQUIRE(out_rows.begin >= dst_top && out_rows.end - dst_top <= dst.h,
+             "destination does not cover the output band");
+}
+
+/// Copies absolute rows `rows` of `src` (row 0 == `src_top`) into `dst`
+/// (row 0 == `dst_top`); the reference-engine fallback of the _into paths.
+void copy_band(const Tensor& src, int src_top, RowInterval rows, Tensor& dst,
+               int dst_top) {
+  const std::size_t row_floats =
+      static_cast<std::size_t>(src.w) * static_cast<std::size_t>(src.c);
+  std::copy_n(
+      src.data.data() + static_cast<std::size_t>(rows.begin - src_top) * row_floats,
+      static_cast<std::size_t>(rows.size()) * row_floats,
+      dst.data.data() + static_cast<std::size_t>(rows.begin - dst_top) * row_floats);
+}
+
 }  // namespace
 
 Tensor conv_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
@@ -398,6 +418,86 @@ Tensor maxpool_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
   return out;
 }
 
+void conv_forward_rows_into(const LayerConfig& layer, const Tensor& in_crop,
+                            int in_row_offset, RowInterval out_rows,
+                            const ConvWeights& w, const ExecContext& ctx,
+                            Tensor& dst, int dst_top) {
+  require_dst_covers(layer, dst, dst_top, out_rows);
+  if (ctx.engine == ExecEngine::kReference) {
+    const Tensor band =
+        conv_forward_rows(layer, in_crop, in_row_offset, out_rows, w);
+    copy_band(band, out_rows.begin, out_rows, dst, dst_top);
+    return;
+  }
+  DE_REQUIRE(layer.kind == LayerKind::kConv, "conv_forward_rows on non-conv");
+  require_crop_covers(layer, in_crop, in_row_offset, out_rows);
+  PackedKernel scratch;
+  const PackedKernel& pk = packed_for(layer, w, ctx, scratch);
+  run_banded(ctx, out_rows, [&](RowInterval band) {
+    conv_band(layer, in_crop, in_row_offset, band, dst_top, pk, dst);
+  });
+}
+
+void maxpool_forward_rows_into(const LayerConfig& layer, const Tensor& in_crop,
+                               int in_row_offset, RowInterval out_rows,
+                               const ExecContext& ctx, Tensor& dst,
+                               int dst_top) {
+  require_dst_covers(layer, dst, dst_top, out_rows);
+  if (ctx.engine == ExecEngine::kReference) {
+    const Tensor band =
+        maxpool_forward_rows(layer, in_crop, in_row_offset, out_rows);
+    copy_band(band, out_rows.begin, out_rows, dst, dst_top);
+    return;
+  }
+  DE_REQUIRE(layer.kind == LayerKind::kMaxPool,
+             "maxpool_forward_rows on non-pool");
+  require_crop_covers(layer, in_crop, in_row_offset, out_rows);
+  run_banded(ctx, out_rows, [&](RowInterval band) {
+    maxpool_band(layer, in_crop, in_row_offset, band, dst_top, dst);
+  });
+}
+
+void volume_forward_rows_into(std::span<const LayerConfig> volume,
+                              const Tensor& in_crop, int in_row_offset,
+                              RowInterval last_out,
+                              std::span<const ConvWeights> weights,
+                              const ExecContext& ctx, Tensor& dst,
+                              int dst_top) {
+  DE_REQUIRE(weights.size() == volume.size(), "one weight entry per layer");
+  DE_REQUIRE(!last_out.empty(), "empty split-part");
+  if (ctx.engine == ExecEngine::kReference) {
+    const Tensor band =
+        volume_forward_rows(volume, in_crop, in_row_offset, last_out, weights);
+    require_dst_covers(volume.back(), dst, dst_top, last_out);
+    copy_band(band, last_out.begin, last_out, dst, dst_top);
+    return;
+  }
+  const auto per_layer = per_layer_output_rows(volume, last_out);
+
+  // The first layer reads the caller's crop in place; only intermediate
+  // layers own their activations, and the last lands in `dst` — the volume
+  // adds zero copies of its own.
+  const Tensor* cur = &in_crop;
+  Tensor held;
+  int offset = in_row_offset;
+  for (std::size_t i = 0; i + 1 < volume.size(); ++i) {
+    const RowInterval out_rows = per_layer[i];
+    held = volume[i].kind == LayerKind::kConv
+               ? conv_forward_rows(volume[i], *cur, offset, out_rows,
+                                   weights[i], ctx)
+               : maxpool_forward_rows(volume[i], *cur, offset, out_rows, ctx);
+    cur = &held;
+    offset = out_rows.begin;
+  }
+  const auto& last = volume.back();
+  if (last.kind == LayerKind::kConv) {
+    conv_forward_rows_into(last, *cur, offset, last_out, weights.back(), ctx,
+                           dst, dst_top);
+  } else {
+    maxpool_forward_rows_into(last, *cur, offset, last_out, ctx, dst, dst_top);
+  }
+}
+
 Tensor volume_forward_rows(std::span<const LayerConfig> volume,
                            const Tensor& in_crop, int in_row_offset,
                            RowInterval last_out,
@@ -407,21 +507,12 @@ Tensor volume_forward_rows(std::span<const LayerConfig> volume,
     return volume_forward_rows(volume, in_crop, in_row_offset, last_out,
                                weights);
   }
-  DE_REQUIRE(weights.size() == volume.size(), "one weight entry per layer");
+  DE_REQUIRE(!volume.empty(), "empty volume");
   DE_REQUIRE(!last_out.empty(), "empty split-part");
-  const auto per_layer = per_layer_output_rows(volume, last_out);
-
-  Tensor cur = in_crop;
-  int offset = in_row_offset;
-  for (std::size_t i = 0; i < volume.size(); ++i) {
-    const RowInterval out_rows = per_layer[i];
-    cur = volume[i].kind == LayerKind::kConv
-              ? conv_forward_rows(volume[i], cur, offset, out_rows, weights[i],
-                                  ctx)
-              : maxpool_forward_rows(volume[i], cur, offset, out_rows, ctx);
-    offset = out_rows.begin;
-  }
-  return cur;
+  Tensor out(last_out.size(), volume.back().out_w(), volume.back().out_c);
+  volume_forward_rows_into(volume, in_crop, in_row_offset, last_out, weights,
+                           ctx, out, last_out.begin);
+  return out;
 }
 
 Tensor volume_forward(std::span<const LayerConfig> volume, const Tensor& in,

@@ -95,4 +95,29 @@ Tensor volume_forward_rows(std::span<const LayerConfig> volume,
                            std::span<const ConvWeights> weights,
                            const ExecContext& ctx);
 
+/// In-place band entries for the halo-first data plane: identical math to
+/// the allocating counterparts, but the (final-layer) output rows land
+/// directly in `dst`, whose row 0 is absolute output row `dst_top` — so a
+/// part tensor can be filled band by band (boundary bands first, interior
+/// later) with zero stitching copies. Disjoint `out_rows`/`last_out` bands
+/// write disjoint bytes of `dst`, and a part computed as any row partition
+/// of bands is bit-identical to one whole-part call: bands only re-cut the
+/// row loop, and both engines are order-exact per output pixel. With the
+/// reference engine the band is materialized and copied in (the reference
+/// path stays byte-for-byte the conv_exec.cpp ground truth).
+void conv_forward_rows_into(const LayerConfig& layer, const Tensor& in_crop,
+                            int in_row_offset, RowInterval out_rows,
+                            const ConvWeights& w, const ExecContext& ctx,
+                            Tensor& dst, int dst_top);
+void maxpool_forward_rows_into(const LayerConfig& layer, const Tensor& in_crop,
+                               int in_row_offset, RowInterval out_rows,
+                               const ExecContext& ctx, Tensor& dst,
+                               int dst_top);
+void volume_forward_rows_into(std::span<const LayerConfig> volume,
+                              const Tensor& in_crop, int in_row_offset,
+                              RowInterval last_out,
+                              std::span<const ConvWeights> weights,
+                              const ExecContext& ctx, Tensor& dst,
+                              int dst_top);
+
 }  // namespace de::cnn

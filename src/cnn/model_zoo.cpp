@@ -195,6 +195,28 @@ CnnModel voxelnet() {
   return b.build();
 }
 
+CnnModel edgenet() {
+  // SqueezeNet-style pointwise-dominated chain (fire modules flattened to
+  // sequential squeeze-1x1 / expand-1x1 pairs): the edge-inference family
+  // whose FLOPs per activation byte are tiny, so a cluster serving it is
+  // bound by the data plane rather than the conv kernels.
+  ModelBuilder b("edgenet", 160, 160, 3);
+  b.conv(24, 3, 2, 1);  // stem: 80x80x24
+  b.conv(12, 1, 1, 0);  // fire 1
+  b.conv(48, 1, 1, 0);
+  b.conv(12, 1, 1, 0);  // fire 2
+  b.conv(48, 1, 1, 0);
+  b.maxpool(2, 2);      // 40x40
+  b.conv(16, 1, 1, 0);  // fire 3
+  b.conv(64, 1, 1, 0);
+  b.conv(16, 1, 1, 0);  // fire 4
+  b.conv(64, 1, 1, 0);
+  b.maxpool(2, 2);      // 20x20
+  b.conv(24, 1, 1, 0);  // fire 5: squeeze, then a 3x3 expand head
+  b.conv(96, 3, 1, 1);
+  return b.build();
+}
+
 CnnModel model_by_name(const std::string& name) {
   if (name == "vgg16") return vgg16();
   if (name == "resnet50") return resnet50();
@@ -204,12 +226,14 @@ CnnModel model_by_name(const std::string& name) {
   if (name == "ssd_resnet50") return ssd_resnet50();
   if (name == "openpose") return openpose();
   if (name == "voxelnet") return voxelnet();
+  if (name == "edgenet") return edgenet();
   throw Error("unknown model: " + name);
 }
 
 std::vector<std::string> zoo_names() {
   return {"vgg16",      "resnet50",     "inception_v3", "yolov2",
-          "ssd_vgg16",  "ssd_resnet50", "openpose",     "voxelnet"};
+          "ssd_vgg16",  "ssd_resnet50", "openpose",     "voxelnet",
+          "edgenet"};
 }
 
 }  // namespace de::cnn

@@ -25,6 +25,13 @@ CnnModel ssd_vgg16();      ///< 300x300x3, VGG base + extra feature layers
 CnnModel ssd_resnet50();   ///< 300x300x3, ResNet base + extra feature layers
 CnnModel openpose();       ///< 368x368x3, VGG19 front + CPM stages
 CnnModel voxelnet();       ///< 400x352 BEV pseudo-image + RPN chain
+/// Compact edge-tier streaming classifier (160x160x3, ~0.07 GFLOP; a
+/// SqueezeNet-style pointwise-dominated chain). Unlike the paper-era
+/// heavyweights above, its FLOPs are small next to its activation
+/// footprint — the regime where the cluster's data plane, not the conv
+/// kernels, bounds end-to-end IPS. bench/runtime_stream and the CI
+/// streaming smoke run on it.
+CnnModel edgenet();
 
 /// Lookup by canonical name ("vgg16", "resnet50", ...). Throws on unknown.
 CnnModel model_by_name(const std::string& name);

@@ -9,13 +9,13 @@
 namespace de::core {
 
 void ByteWriter::u16(std::uint16_t v) {
-  bytes_.push_back(static_cast<std::uint8_t>(v & 0xff));
-  bytes_.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+  out_->push_back(static_cast<std::uint8_t>(v & 0xff));
+  out_->push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
 }
 
 void ByteWriter::u32(std::uint32_t v) {
   for (int shift = 0; shift < 32; shift += 8) {
-    bytes_.push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+    out_->push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
   }
 }
 
@@ -29,11 +29,16 @@ void ByteWriter::f32_span(std::span<const float> values) {
     // Tensor payloads dominate the data plane; on little-endian hosts the
     // in-memory floats already match the wire layout byte for byte.
     const auto* raw = reinterpret_cast<const std::uint8_t*>(values.data());
-    bytes_.insert(bytes_.end(), raw, raw + values.size() * 4);
+    out_->insert(out_->end(), raw, raw + values.size() * 4);
   } else {
-    bytes_.reserve(bytes_.size() + values.size() * 4);
+    out_->reserve(out_->size() + values.size() * 4);
     for (float v : values) f32(v);
   }
+}
+
+std::vector<std::uint8_t> ByteWriter::take() {
+  DE_REQUIRE(out_ == &own_, "ByteWriter::take() on a borrowed buffer");
+  return std::move(own_);
 }
 
 void ByteReader::need(std::size_t n) const {

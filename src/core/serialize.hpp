@@ -28,20 +28,31 @@
 
 namespace de::core {
 
-/// Appends little-endian primitives to a growing byte buffer.
+/// Appends little-endian primitives to a growing byte buffer — its own by
+/// default, or a caller-provided one (borrowed mode), which lets encoders
+/// write straight into a recycled buffer whose capacity survives reuse.
 class ByteWriter {
  public:
+  ByteWriter() : out_(&own_) {}
+  /// Borrowed mode: appends into `external` (not owned; must outlive the
+  /// writer). take() is not available in this mode.
+  explicit ByteWriter(std::vector<std::uint8_t>& external) : out_(&external) {}
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void i32(std::int32_t v);
   void f32(float v);
   void f32_span(std::span<const float> values);
 
-  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
-  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  const std::vector<std::uint8_t>& bytes() const { return *out_; }
+  std::vector<std::uint8_t> take();
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* out_;
 };
 
 /// Consumes little-endian primitives from a byte span; throws de::Error on

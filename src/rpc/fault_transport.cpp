@@ -68,11 +68,11 @@ FaultStats FaultInjectingTransport::stats() const {
   return stats_;
 }
 
-void FaultInjectingTransport::send(const Address& to, Payload payload) {
+void FaultInjectingTransport::send(const Address& to, Frame frame) {
   const NodeId src = inner_.local_node();
   if (to.is_nil() || to.node == src) {
     // Loopback is exempt: a process does not lose frames to itself.
-    inner_.send(to, std::move(payload));
+    inner_.send(to, std::move(frame));
     return;
   }
 
@@ -104,19 +104,19 @@ void FaultInjectingTransport::send(const Address& to, Payload payload) {
       spec_.delay_prob > 0.0 &&
       frame_u01(spec_.seed, src, to.node, seq, 2) < spec_.delay_prob;
 
-  Payload copy;
-  if (dup) copy = payload;  // the extra copy always goes out immediately
+  Frame dup_frame;
+  if (dup) dup_frame = frame;  // refcount share: a duplicate is the same bytes
 
   if (delay) {
     const double width = frame_u01(spec_.seed, src, to.node, seq, 3);
     const int span = spec_.delay_max_ms - spec_.delay_min_ms;
     const int delay_ms =
         spec_.delay_min_ms + static_cast<int>(width * (span > 0 ? span + 1 : 1));
-    enqueue_delayed(to, std::move(payload), delay_ms);
+    enqueue_delayed(to, std::move(frame), delay_ms);
     std::lock_guard lk(mu_);
     ++stats_.delayed;
   } else {
-    inner_.send(to, std::move(payload));
+    inner_.send(to, std::move(frame));
     std::lock_guard lk(mu_);
     ++stats_.forwarded;
   }
@@ -124,7 +124,7 @@ void FaultInjectingTransport::send(const Address& to, Payload payload) {
   if (dup) {
     // When the original was delayed, the duplicate overtakes it — a genuine
     // reordering on top of the duplication.
-    inner_.send(to, std::move(copy));
+    inner_.send(to, std::move(dup_frame));
     std::lock_guard lk(mu_);
     ++stats_.duplicated;
     ++stats_.forwarded;
@@ -132,12 +132,12 @@ void FaultInjectingTransport::send(const Address& to, Payload payload) {
 }
 
 void FaultInjectingTransport::enqueue_delayed(const Address& to,
-                                              Payload payload, int delay_ms) {
+                                              Frame frame, int delay_ms) {
   {
     std::lock_guard lk(delay_mu_);
     held_.push(Held{std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(delay_ms),
-                    to, std::move(payload)});
+                    to, std::move(frame)});
   }
   delay_cv_.notify_one();
 }
@@ -159,7 +159,7 @@ void FaultInjectingTransport::delay_loop() {
     Held item = std::move(const_cast<Held&>(held_.top()));
     held_.pop();
     lk.unlock();
-    inner_.send(item.to, std::move(item.payload));
+    inner_.send(item.to, std::move(item.frame));
     {
       std::lock_guard slk(mu_);
       ++stats_.forwarded;

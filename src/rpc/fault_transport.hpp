@@ -76,14 +76,14 @@ class FaultInjectingTransport final : public Transport {
 
   NodeId local_node() const override { return inner_.local_node(); }
   Address open_mailbox(MailboxId id) override { return inner_.open_mailbox(id); }
-  void send(const Address& to, Payload payload) override;
-  std::optional<Payload> receive(MailboxId id) override {
+  void send(const Address& to, Frame frame) override;
+  std::optional<Frame> receive(MailboxId id) override {
     return inner_.receive(id);
   }
-  std::optional<Payload> try_receive(MailboxId id) override {
+  std::optional<Frame> try_receive(MailboxId id) override {
     return inner_.try_receive(id);
   }
-  RecvStatus receive_for(MailboxId id, int timeout_ms, Payload& out) override {
+  RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override {
     return inner_.receive_for(id, timeout_ms, out);
   }
 
@@ -103,12 +103,12 @@ class FaultInjectingTransport final : public Transport {
   struct Held {
     std::chrono::steady_clock::time_point due;
     Address to;
-    Payload payload;
+    Frame frame;
     bool operator>(const Held& other) const { return due > other.due; }
   };
 
   bool link_severed_locked(NodeId to, std::uint64_t link_seq) const;
-  void enqueue_delayed(const Address& to, Payload payload, int delay_ms);
+  void enqueue_delayed(const Address& to, Frame frame, int delay_ms);
   void delay_loop();
 
   Transport& inner_;

@@ -1,0 +1,60 @@
+#include "rpc/frame.hpp"
+
+namespace de::rpc {
+
+namespace {
+
+/// shared_ptr deleter that returns the buffer to its arena's free list (or
+/// frees it when the arena is gone / full).
+struct Recycle {
+  std::shared_ptr<void> pool_erased;  // keeps the Pool alive
+  void (*release)(void*, Payload*);
+
+  void operator()(Payload* buf) const { release(pool_erased.get(), buf); }
+};
+
+}  // namespace
+
+FrameArena::~FrameArena() {
+  std::lock_guard lk(pool_->mu);
+  pool_->dead = true;
+  pool_->free.clear();
+}
+
+Frame FrameArena::acquire() {
+  std::unique_ptr<Payload> buf;
+  {
+    std::lock_guard lk(pool_->mu);
+    ++pool_->acquired;
+    if (!pool_->free.empty()) {
+      buf = std::move(pool_->free.back());
+      pool_->free.pop_back();
+    } else {
+      ++pool_->allocated;
+    }
+  }
+  if (!buf) buf = std::make_unique<Payload>();
+  // The buffer keeps its previous size *and* contents: encoders clear it
+  // themselves, and the TCP rx path resizes to the incoming length — which
+  // in steady state (same-shaped chunks) is a no-op, where a clear here
+  // would force resize() to zero-fill the whole payload before the socket
+  // read overwrites it.
+
+  const auto release = +[](void* pool_raw, Payload* p) {
+    auto* pool = static_cast<Pool*>(pool_raw);
+    std::unique_ptr<Payload> owned(p);
+    std::lock_guard lk(pool->mu);
+    if (!pool->dead && pool->free.size() < kMaxPooled) {
+      pool->free.push_back(std::move(owned));
+    }
+  };
+  return Frame(std::shared_ptr<Payload>(buf.release(),
+                                        Recycle{pool_, release}));
+}
+
+FrameArena::Stats FrameArena::stats() const {
+  std::lock_guard lk(pool_->mu);
+  return Stats{pool_->acquired, pool_->allocated};
+}
+
+}  // namespace de::rpc

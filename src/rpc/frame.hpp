@@ -1,0 +1,129 @@
+// Refcounted, arena-pooled wire frames — the unit of ownership of the
+// zero-copy data plane (DESIGN.md §data-plane-memory-discipline).
+//
+// A Frame wraps one byte buffer behind a shared_ptr. While a frame is
+// uniquely owned (freshly acquired from an arena, or freshly adopted from a
+// Payload) its buffer may be filled in place; the moment it is shared —
+// posted to a transport, handed to the retransmitter's outbox, parked in a
+// receive stash — it is logically immutable and every holder reads the same
+// bytes. Sharing is a refcount bump, never a copy: the retransmitter's
+// in-flight entry, a fault injector's duplicate, and the in-process mailbox
+// all alias one allocation. The buffer's address is stable across moves and
+// shares, so spans into a frame (rpc::ChunkView) stay valid for as long as
+// any Frame referencing it lives.
+//
+// A FrameArena recycles buffers: when the last Frame referencing an
+// arena-acquired buffer dies, the buffer (capacity intact) returns to the
+// arena's free list instead of the heap. Steady-state streaming therefore
+// allocates nothing per chunk — every encode and every TCP receive reuses a
+// warm buffer. The arena is thread-safe (frames are released on whatever
+// thread drops the last reference) and may die before its frames: buffers
+// released after the arena's destruction are simply freed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace de::rpc {
+
+/// Opaque message body bytes; the cluster runtime fills these via rpc/wire.
+using Payload = std::vector<std::uint8_t>;
+
+/// One wire frame. Cheap to copy (refcount); default-constructed frames are
+/// empty and carry no buffer.
+class Frame {
+ public:
+  Frame() = default;
+  /// Adopts a heap buffer (non-pooled). Implicit on purpose: every legacy
+  /// call site that built a Payload and sent it keeps working unchanged.
+  Frame(Payload bytes)
+      : buf_(std::make_shared<Payload>(std::move(bytes))) {}
+
+  std::size_t size() const { return buf_ ? buf_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const std::uint8_t* data() const { return buf_ ? buf_->data() : nullptr; }
+  std::span<const std::uint8_t> view() const { return {data(), size()}; }
+  operator std::span<const std::uint8_t>() const { return view(); }
+
+  /// Mutable buffer for filling (encoders) or receiving (transport rx).
+  /// Only meaningful while this frame is the sole owner of its buffer; a
+  /// frame without a buffer grows a fresh non-pooled one on first use.
+  Payload& bytes() {
+    if (!buf_) buf_ = std::make_shared<Payload>();
+    return *buf_;
+  }
+
+  /// Number of Frames sharing this buffer (0 for an empty frame). Tests use
+  /// this to prove outbox/in-flight sharing never copies.
+  long use_count() const { return buf_ ? buf_.use_count() : 0; }
+
+  /// Bounds-checked byte access (throws on an empty frame like vector::at —
+  /// unlike the other accessors this one has no meaningful empty answer).
+  std::uint8_t at(std::size_t i) const {
+    if (!buf_) throw std::out_of_range("empty frame");
+    return buf_->at(i);
+  }
+  std::uint8_t operator[](std::size_t i) const { return at(i); }
+
+  /// Byte-wise equality (two empty frames are equal regardless of buffers).
+  friend bool operator==(const Frame& a, const Frame& b) {
+    return std::equal(a.view().begin(), a.view().end(), b.view().begin(),
+                      b.view().end());
+  }
+  friend bool operator==(const Frame& a, const Payload& b) {
+    return std::equal(a.view().begin(), a.view().end(), b.begin(), b.end());
+  }
+
+ private:
+  friend class FrameArena;
+  explicit Frame(std::shared_ptr<Payload> buf) : buf_(std::move(buf)) {}
+
+  std::shared_ptr<Payload> buf_;
+};
+
+/// Thread-safe recycling pool of frame buffers. acquire() on the owning
+/// node's hot path, release from wherever the last reference dies.
+class FrameArena {
+ public:
+  FrameArena() : pool_(std::make_shared<Pool>()) {}
+  ~FrameArena();
+
+  FrameArena(const FrameArena&) = delete;
+  FrameArena& operator=(const FrameArena&) = delete;
+
+  /// A frame whose buffer goes back to this arena when the last Frame
+  /// referencing it is dropped. The buffer's capacity — and its stale size
+  /// and contents — survive recycling; the consumer sets the size (encoders
+  /// clear(), the TCP rx resizes to the frame length), so a same-sized
+  /// reuse never pays a zero-fill.
+  Frame acquire();
+
+  struct Stats {
+    std::int64_t acquired = 0;   ///< total acquire() calls
+    std::int64_t allocated = 0;  ///< acquires that had to create a buffer
+  };
+  Stats stats() const;
+
+ private:
+  /// Held via shared_ptr by the arena and by every outstanding buffer's
+  /// deleter, so late releases (after ~FrameArena) stay safe.
+  struct Pool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Payload>> free;
+    bool dead = false;  ///< arena destroyed: stop pooling, just free
+    std::int64_t acquired = 0;
+    std::int64_t allocated = 0;
+  };
+  /// Free-list cap: bounds arena memory if a consumer leaks pace (the data
+  /// plane's working set is inflight-images × chunks, far below this).
+  static constexpr std::size_t kMaxPooled = 256;
+
+  std::shared_ptr<Pool> pool_;
+};
+
+}  // namespace de::rpc

@@ -10,39 +10,39 @@ Address InProcTransport::open_mailbox(MailboxId id) {
   std::lock_guard lk(mu_);
   DE_REQUIRE(!down_, "transport already shut down");
   auto& slot = mailboxes_[id];
-  if (!slot) slot = std::make_unique<runtime::Mailbox<Payload>>();
+  if (!slot) slot = std::make_unique<runtime::Mailbox<Frame>>();
   return Address{node_, id};
 }
 
-runtime::Mailbox<Payload>* InProcTransport::find_mailbox(MailboxId id) {
+runtime::Mailbox<Frame>* InProcTransport::find_mailbox(MailboxId id) {
   std::lock_guard lk(mu_);
   if (down_) return nullptr;
   auto it = mailboxes_.find(id);
   return it == mailboxes_.end() ? nullptr : it->second.get();
 }
 
-void InProcTransport::send(const Address& to, Payload payload) {
+void InProcTransport::send(const Address& to, Frame frame) {
   if (to.is_nil()) return;
   if (to.node < 0 || to.node >= fabric_->num_nodes()) return;  // dead peer
   auto* box = fabric_->endpoint(to.node).find_mailbox(to.mailbox);
   if (box == nullptr || box->closed()) return;  // silent fail
-  box->send(std::move(payload));
+  box->send(std::move(frame));
 }
 
-std::optional<Payload> InProcTransport::receive(MailboxId id) {
+std::optional<Frame> InProcTransport::receive(MailboxId id) {
   auto* box = find_mailbox(id);
   if (box == nullptr) return std::nullopt;
   return box->receive();
 }
 
-std::optional<Payload> InProcTransport::try_receive(MailboxId id) {
+std::optional<Frame> InProcTransport::try_receive(MailboxId id) {
   auto* box = find_mailbox(id);
   if (box == nullptr) return std::nullopt;
   return box->try_receive();
 }
 
 RecvStatus InProcTransport::receive_for(MailboxId id, int timeout_ms,
-                                        Payload& out) {
+                                        Frame& out) {
   return mailbox_receive_for(find_mailbox(id), timeout_ms, out);
 }
 

@@ -1,7 +1,9 @@
 // Shared-memory Transport backend: all nodes live in one process and the
-// "wire" is a runtime::Mailbox<Payload> per (node, mailbox). Messages still
-// pass through the binary wire format, so the in-process cluster exercises
-// exactly the same encode/decode path as the TCP data plane.
+// "wire" is a runtime::Mailbox<Frame> per (node, mailbox). A send moves the
+// frame's refcount into the destination queue — the bytes never move.
+// Messages still pass through the binary wire format, so the in-process
+// cluster exercises exactly the same encode/decode path as the TCP data
+// plane.
 #pragma once
 
 #include <map>
@@ -21,10 +23,10 @@ class InProcTransport final : public Transport {
  public:
   NodeId local_node() const override { return node_; }
   Address open_mailbox(MailboxId id) override;
-  void send(const Address& to, Payload payload) override;
-  std::optional<Payload> receive(MailboxId id) override;
-  std::optional<Payload> try_receive(MailboxId id) override;
-  RecvStatus receive_for(MailboxId id, int timeout_ms, Payload& out) override;
+  void send(const Address& to, Frame frame) override;
+  std::optional<Frame> receive(MailboxId id) override;
+  std::optional<Frame> try_receive(MailboxId id) override;
+  RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override;
   void shutdown() override;
 
  private:
@@ -32,13 +34,13 @@ class InProcTransport final : public Transport {
   InProcTransport(InProcFabric* fabric, NodeId node)
       : fabric_(fabric), node_(node) {}
 
-  runtime::Mailbox<Payload>* find_mailbox(MailboxId id);
+  runtime::Mailbox<Frame>* find_mailbox(MailboxId id);
 
   InProcFabric* fabric_;
   NodeId node_;
   mutable std::mutex mu_;
   bool down_ = false;
-  std::map<MailboxId, std::unique_ptr<runtime::Mailbox<Payload>>> mailboxes_;
+  std::map<MailboxId, std::unique_ptr<runtime::Mailbox<Frame>>> mailboxes_;
 };
 
 /// Owns the endpoints of an n-node in-process cluster.

@@ -1,7 +1,7 @@
 // Shared bridge for mailbox-backed Transport implementations: maps a
 // bounded runtime::Mailbox wait onto the Transport::receive_for contract.
 // Used by the InProc and TCP backends (both route frames into a
-// Mailbox<Payload> per mailbox id).
+// Mailbox<Frame> per mailbox id).
 #pragma once
 
 #include <chrono>
@@ -13,8 +13,8 @@ namespace de::rpc {
 
 /// A missing mailbox (never opened, or transport already down) reads as
 /// closed: nothing will ever arrive there.
-inline RecvStatus mailbox_receive_for(runtime::Mailbox<Payload>* box,
-                                      int timeout_ms, Payload& out) {
+inline RecvStatus mailbox_receive_for(runtime::Mailbox<Frame>* box,
+                                      int timeout_ms, Frame& out) {
   if (box == nullptr) return RecvStatus::kClosed;
   switch (box->receive_for(out, std::chrono::milliseconds(timeout_ms))) {
     case runtime::MailboxRecvStatus::kOk:

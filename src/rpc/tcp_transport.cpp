@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -16,18 +17,29 @@ namespace de::rpc {
 
 namespace {
 
-bool write_all(int fd, const void* data, std::size_t len) {
-  const auto* p = static_cast<const std::uint8_t*>(data);
-  while (len > 0) {
-    // MSG_NOSIGNAL: a peer-closed socket must surface as EPIPE (silent send
-    // failure), never as a process-wide SIGPIPE.
-    const ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+/// Vectored write of `iov[0..iov_n)` in as few syscalls as the kernel
+/// allows (normally one for a header + payload pair). MSG_NOSIGNAL: a
+/// peer-closed socket must surface as EPIPE (silent send failure), never as
+/// a process-wide SIGPIPE.
+bool write_all_vec(int fd, iovec* iov, int iov_n) {
+  while (iov_n > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iov_n);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
     }
-    p += n;
-    len -= static_cast<std::size_t>(n);
+    while (iov_n > 0 && n >= static_cast<ssize_t>(iov[0].iov_len)) {
+      n -= static_cast<ssize_t>(iov[0].iov_len);
+      ++iov;
+      --iov_n;
+    }
+    if (iov_n > 0 && n > 0) {
+      iov[0].iov_base = static_cast<std::uint8_t*>(iov[0].iov_base) + n;
+      iov[0].iov_len -= static_cast<std::size_t>(n);
+    }
   }
   return true;
 }
@@ -58,7 +70,8 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 
 }  // namespace
 
-TcpTransport::TcpTransport(NodeId local, std::uint16_t port) : node_(local) {
+TcpTransport::TcpTransport(NodeId local, std::uint16_t port, bool legacy_io)
+    : node_(local), legacy_io_(legacy_io) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   DE_REQUIRE(listen_fd_ >= 0, "socket() failed");
   const int one = 1;
@@ -97,21 +110,21 @@ Address TcpTransport::open_mailbox(MailboxId id) {
   std::lock_guard lk(mu_);
   DE_REQUIRE(!down_, "transport already shut down");
   auto& slot = mailboxes_[id];
-  if (!slot) slot = std::make_unique<runtime::Mailbox<Payload>>();
+  if (!slot) slot = std::make_unique<runtime::Mailbox<Frame>>();
   return Address{node_, id};
 }
 
-runtime::Mailbox<Payload>* TcpTransport::find_mailbox(MailboxId id) {
+runtime::Mailbox<Frame>* TcpTransport::find_mailbox(MailboxId id) {
   std::lock_guard lk(mu_);
   if (down_) return nullptr;
   auto it = mailboxes_.find(id);
   return it == mailboxes_.end() ? nullptr : it->second.get();
 }
 
-void TcpTransport::deliver_local(MailboxId id, Payload payload) {
+void TcpTransport::deliver_local(MailboxId id, Frame frame) {
   auto* box = find_mailbox(id);
   if (box == nullptr || box->closed()) return;  // silent drop
-  box->send(std::move(payload));
+  box->send(std::move(frame));
 }
 
 int TcpTransport::peer_fd_locked(Peer& peer) {
@@ -138,11 +151,11 @@ int TcpTransport::peer_fd_locked(Peer& peer) {
   return fd;
 }
 
-void TcpTransport::send(const Address& to, Payload payload) {
+void TcpTransport::send(const Address& to, Frame frame) {
   if (to.is_nil()) return;
-  if (payload.size() > kMaxFrameBytes) return;  // refuse oversized frames
+  if (frame.size() > kMaxFrameBytes) return;  // refuse oversized frames
   if (to.node == node_) {
-    deliver_local(to.mailbox, std::move(payload));
+    deliver_local(to.mailbox, std::move(frame));
     return;
   }
 
@@ -159,31 +172,43 @@ void TcpTransport::send(const Address& to, Payload payload) {
   const int fd = peer_fd_locked(*peer);
   if (fd < 0) return;  // dead peer: silent fail
 
+  // One vectored write per frame: the socket header and the frame bytes go
+  // out together, read directly from the shared buffer — no staging copy.
   std::uint8_t header[8];
-  put_u32(header, static_cast<std::uint32_t>(payload.size()));
+  put_u32(header, static_cast<std::uint32_t>(frame.size()));
   put_u32(header + 4, static_cast<std::uint32_t>(to.mailbox));
-  if (!write_all(fd, header, sizeof(header)) ||
-      !write_all(fd, payload.data(), payload.size())) {
+  iovec iov[2];
+  iov[0] = {header, sizeof(header)};
+  iov[1] = {const_cast<std::uint8_t*>(frame.data()), frame.size()};
+  bool ok;
+  if (legacy_io_) {
+    // Pre-change framing: header and payload as separate writes.
+    ok = write_all_vec(fd, iov, 1) &&
+         (frame.empty() || write_all_vec(fd, iov + 1, 1));
+  } else {
+    ok = write_all_vec(fd, iov, frame.empty() ? 1 : 2);
+  }
+  if (!ok) {
     ::close(peer->fd);
     peer->fd = -1;
     peer->dead = true;
   }
 }
 
-std::optional<Payload> TcpTransport::receive(MailboxId id) {
+std::optional<Frame> TcpTransport::receive(MailboxId id) {
   auto* box = find_mailbox(id);
   if (box == nullptr) return std::nullopt;
   return box->receive();
 }
 
-std::optional<Payload> TcpTransport::try_receive(MailboxId id) {
+std::optional<Frame> TcpTransport::try_receive(MailboxId id) {
   auto* box = find_mailbox(id);
   if (box == nullptr) return std::nullopt;
   return box->try_receive();
 }
 
 RecvStatus TcpTransport::receive_for(MailboxId id, int timeout_ms,
-                                     Payload& out) {
+                                     Frame& out) {
   return mailbox_receive_for(find_mailbox(id), timeout_ms, out);
 }
 
@@ -211,9 +236,14 @@ void TcpTransport::rx_loop(int fd) {
     const std::uint32_t length = get_u32(header);
     const std::uint32_t mailbox = get_u32(header + 4);
     if (length > kMaxFrameBytes) break;  // malformed stream: drop the peer
-    Payload payload(length);
-    if (length > 0 && !read_all(fd, payload.data(), length)) break;
-    deliver_local(static_cast<MailboxId>(mailbox), std::move(payload));
+    // Receive into a recycled buffer: once the runtime drops the delivered
+    // frame, the buffer comes back here instead of the heap. (Legacy I/O
+    // mode allocates a fresh zero-initialized buffer per frame, as the
+    // pre-change transport did.)
+    Frame frame = legacy_io_ ? Frame(Payload(length)) : rx_arena_.acquire();
+    frame.bytes().resize(length);
+    if (length > 0 && !read_all(fd, frame.bytes().data(), length)) break;
+    deliver_local(static_cast<MailboxId>(mailbox), std::move(frame));
   }
   // Deregister before closing so shutdown() never touches a recycled fd.
   std::lock_guard lk(mu_);

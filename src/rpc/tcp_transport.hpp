@@ -10,6 +10,12 @@
 //   u32 mailbox_id
 //   payload_length bytes
 //
+// The socket header and the frame bytes go out in one vectored write
+// (sendmsg), straight from the caller's refcounted frame — the transport
+// never copies a payload on send. Each rx thread reads payloads into
+// buffers recycled through a per-transport FrameArena, so a steady-state
+// receiver allocates nothing per frame.
+//
 // send() is non-blocking from the protocol's point of view: on any connect
 // or write failure the peer is marked dead and the payload is dropped
 // silently, matching the Transport contract. shutdown() closes the listener
@@ -42,7 +48,12 @@ class TcpTransport final : public Transport {
  public:
   /// Binds a listening socket on 127.0.0.1:`port` (0 = ephemeral) and starts
   /// the accept loop. Throws de::Error if the socket cannot be bound.
-  explicit TcpTransport(NodeId local, std::uint16_t port = 0);
+  /// `legacy_io` reverts to the pre-zero-copy per-frame I/O (two write
+  /// syscalls per send, a fresh zero-initialized receive buffer per frame
+  /// instead of the arena) — kept so the serial-copy baseline measured by
+  /// bench/runtime_stream is the true pre-change data plane end to end.
+  explicit TcpTransport(NodeId local, std::uint16_t port = 0,
+                        bool legacy_io = false);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -57,10 +68,10 @@ class TcpTransport final : public Transport {
 
   NodeId local_node() const override { return node_; }
   Address open_mailbox(MailboxId id) override;
-  void send(const Address& to, Payload payload) override;
-  std::optional<Payload> receive(MailboxId id) override;
-  std::optional<Payload> try_receive(MailboxId id) override;
-  RecvStatus receive_for(MailboxId id, int timeout_ms, Payload& out) override;
+  void send(const Address& to, Frame frame) override;
+  std::optional<Frame> receive(MailboxId id) override;
+  std::optional<Frame> try_receive(MailboxId id) override;
+  RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override;
   void shutdown() override;
 
  private:
@@ -71,8 +82,8 @@ class TcpTransport final : public Transport {
     bool dead = false; ///< a connect/write failed; drop further sends
   };
 
-  runtime::Mailbox<Payload>* find_mailbox(MailboxId id);
-  void deliver_local(MailboxId id, Payload payload);
+  runtime::Mailbox<Frame>* find_mailbox(MailboxId id);
+  void deliver_local(MailboxId id, Frame frame);
   void accept_loop();
   void rx_loop(int fd);
   /// Returns a connected fd for `peer` or -1; caller holds peer.mu.
@@ -80,12 +91,14 @@ class TcpTransport final : public Transport {
 
   NodeId node_;
   std::uint16_t port_ = 0;
+  bool legacy_io_ = false;
+  FrameArena rx_arena_;  ///< recycled receive buffers, shared by rx threads
   int listen_fd_ = -1;
   std::thread accept_thread_;
 
   mutable std::mutex mu_;  ///< guards mailboxes_, peers_ map shape, rx bookkeeping
   bool down_ = false;
-  std::map<MailboxId, std::unique_ptr<runtime::Mailbox<Payload>>> mailboxes_;
+  std::map<MailboxId, std::unique_ptr<runtime::Mailbox<Frame>>> mailboxes_;
   std::map<NodeId, std::unique_ptr<Peer>> peers_;
   std::vector<int> rx_fds_;
   std::vector<std::thread> rx_threads_;

@@ -2,12 +2,19 @@
 //
 // Mailbox-layer semantics in the style of RethinkDB's rpc/mailbox: a node
 // opens numbered mailboxes, and anyone holding an Address can `send()` to it.
-// send() never blocks and silently drops the payload if the destination
+// send() never blocks and silently drops the frame if the destination
 // mailbox does not exist or the peer is unreachable/dead — delivery is
 // at-most-once, and anything stronger is the caller's protocol concern
 // (the cluster runtime layers ack/retransmit/dedup on top, DESIGN.md
 // §fault-model). receive_for() bounds a wait so callers can implement
 // liveness timeouts instead of stalling on a dead counterparty forever.
+//
+// Messages travel as rpc::Frame — refcounted byte buffers. A sender that
+// keeps a reference (retransmitter outbox) shares the allocation with the
+// in-flight send; an in-process hop moves the refcount, never the bytes; a
+// received frame's buffer is borrowed by zero-copy decodes (rpc::ChunkView)
+// for as long as the frame lives. send() takes its frame by value: the
+// backend may hold it (queues, delay timers) after the call returns.
 //
 // Backends: InProcTransport (shared-memory, zero-copy queues),
 // TcpTransport (length-prefixed frames over POSIX sockets), and
@@ -20,13 +27,11 @@
 #include <vector>
 
 #include "rpc/address.hpp"
+#include "rpc/frame.hpp"
 
 namespace de::rpc {
 
-/// Opaque message body; the cluster runtime fills these via rpc/wire.
-using Payload = std::vector<std::uint8_t>;
-
-/// Outcome of a bounded receive: a payload, nothing within the deadline, or
+/// Outcome of a bounded receive: a frame, nothing within the deadline, or
 /// a transport that shut down (nothing will ever arrive again).
 enum class RecvStatus { kOk, kTimeout, kClosed };
 
@@ -37,26 +42,27 @@ class Transport {
   /// The node this endpoint speaks for.
   virtual NodeId local_node() const = 0;
 
-  /// Opens local mailbox `id` (idempotent). Payloads addressed to
+  /// Opens local mailbox `id` (idempotent). Frames addressed to
   /// {local_node(), id} queue there from this point on; sends to an unopened
   /// mailbox are dropped. Returns the mailbox's address.
   virtual Address open_mailbox(MailboxId id) = 0;
 
-  /// Non-blocking post of `payload` to `to`. Silently fails if the address
-  /// is nil, the mailbox is not open, or the peer is dead.
-  virtual void send(const Address& to, Payload payload) = 0;
+  /// Non-blocking post of `frame` to `to`. Silently fails if the address
+  /// is nil, the mailbox is not open, or the peer is dead. The frame's bytes
+  /// must not be mutated after posting (other holders read them).
+  virtual void send(const Address& to, Frame frame) = 0;
 
-  /// Blocks until a payload arrives in local mailbox `id` or the transport
+  /// Blocks until a frame arrives in local mailbox `id` or the transport
   /// shuts down (nullopt).
-  virtual std::optional<Payload> receive(MailboxId id) = 0;
+  virtual std::optional<Frame> receive(MailboxId id) = 0;
 
   /// Non-blocking poll of local mailbox `id`; nullopt when empty or closed.
-  virtual std::optional<Payload> try_receive(MailboxId id) = 0;
+  virtual std::optional<Frame> try_receive(MailboxId id) = 0;
 
-  /// Blocks up to `timeout_ms` for a payload in local mailbox `id`. Fills
+  /// Blocks up to `timeout_ms` for a frame in local mailbox `id`. Fills
   /// `out` on kOk; kTimeout means keep waiting (or give up — caller's
   /// policy), kClosed means the mailbox/transport is gone.
-  virtual RecvStatus receive_for(MailboxId id, int timeout_ms, Payload& out) = 0;
+  virtual RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) = 0;
 
   /// Graceful teardown: wakes blocked receivers (they return nullopt), stops
   /// accepting traffic, and joins any backend threads. Idempotent.

@@ -50,6 +50,27 @@ MsgType peek_type(std::span<const std::uint8_t> frame) {
   return read_header(r).type;
 }
 
+namespace {
+
+void encode_chunk_body(core::ByteWriter& w, MsgType type, std::int32_t seq,
+                       std::int32_t volume, std::int32_t row_offset,
+                       NodeId from_node, std::uint32_t chunk_id,
+                       std::int32_t h, std::int32_t ww, std::int32_t c,
+                       std::span<const float> rows) {
+  write_header(w, type);
+  w.i32(seq);
+  w.i32(volume);
+  w.i32(row_offset);
+  w.i32(from_node);
+  w.u32(chunk_id);
+  w.i32(h);
+  w.i32(ww);
+  w.i32(c);
+  w.f32_span(rows);
+}
+
+}  // namespace
+
 Payload encode_chunk(const ChunkMsg& msg) {
   DE_REQUIRE(is_chunk_type(msg.type), "wire: not a chunk message type");
   DE_REQUIRE(msg.rows.size() ==
@@ -58,17 +79,32 @@ Payload encode_chunk(const ChunkMsg& msg) {
                      static_cast<std::size_t>(msg.rows.c),
              "wire: tensor extents disagree with data size");
   core::ByteWriter w;
-  write_header(w, msg.type);
-  w.i32(msg.seq);
-  w.i32(msg.volume);
-  w.i32(msg.row_offset);
-  w.i32(msg.from_node);
-  w.u32(msg.chunk_id);
-  w.i32(msg.rows.h);
-  w.i32(msg.rows.w);
-  w.i32(msg.rows.c);
-  w.f32_span(msg.rows.data);
+  encode_chunk_body(w, msg.type, msg.seq, msg.volume, msg.row_offset,
+                    msg.from_node, msg.chunk_id, msg.rows.h, msg.rows.w,
+                    msg.rows.c, msg.rows.data);
   return w.take();
+}
+
+std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
+                              std::int32_t volume, NodeId from_node,
+                              std::uint32_t chunk_id, const cnn::Tensor& src,
+                              int src_offset, cnn::RowInterval rows) {
+  DE_REQUIRE(is_chunk_type(type), "wire: not a chunk message type");
+  DE_REQUIRE(!rows.empty(), "wire: empty row range");
+  DE_REQUIRE(rows.begin >= src_offset && rows.end - src_offset <= src.h,
+             "wire: row range outside the source tensor");
+  const std::size_t row_floats =
+      static_cast<std::size_t>(src.w) * static_cast<std::size_t>(src.c);
+  const std::span<const float> payload(
+      src.data.data() +
+          static_cast<std::size_t>(rows.begin - src_offset) * row_floats,
+      static_cast<std::size_t>(rows.size()) * row_floats);
+  Payload& bytes = frame.bytes();
+  bytes.clear();
+  core::ByteWriter w(bytes);
+  encode_chunk_body(w, type, seq, volume, rows.begin, from_node, chunk_id,
+                    rows.size(), src.w, src.c, payload);
+  return payload.size() * 4;
 }
 
 Payload encode_halo_request(const HaloRequestMsg& msg) {
@@ -105,45 +141,87 @@ Payload encode_nack(const NackMsg& msg) {
   return w.take();
 }
 
-ChunkMsg decode_chunk(std::span<const std::uint8_t> frame) {
+ChunkView decode_chunk_view(std::span<const std::uint8_t> frame) {
   core::ByteReader r(frame);
   const Header header = read_header(r);
-  ChunkMsg msg;
-  msg.type = header.type;
-  DE_REQUIRE(is_chunk_type(msg.type), "wire: frame is not a tensor chunk");
-  msg.seq = r.i32();
-  msg.volume = r.i32();
-  msg.row_offset = r.i32();
+  ChunkView view;
+  view.type = header.type;
+  DE_REQUIRE(is_chunk_type(view.type), "wire: frame is not a tensor chunk");
+  view.seq = r.i32();
+  view.volume = r.i32();
+  view.row_offset = r.i32();
   if (header.version >= 2) {
-    msg.from_node = r.i32();
-    msg.chunk_id = r.u32();
-    DE_REQUIRE(msg.from_node >= kNilNode, "wire: malformed chunk sender");
-    DE_REQUIRE(msg.chunk_id == 0 || msg.from_node != kNilNode,
+    view.from_node = r.i32();
+    view.chunk_id = r.u32();
+    DE_REQUIRE(view.from_node >= kNilNode, "wire: malformed chunk sender");
+    DE_REQUIRE(view.chunk_id == 0 || view.from_node != kNilNode,
                "wire: tracked chunk without a sender");
   }
-  const std::int32_t h = r.i32();
-  const std::int32_t w = r.i32();
-  const std::int32_t c = r.i32();
-  DE_REQUIRE(msg.seq >= 0 && msg.volume >= 0 && msg.row_offset >= 0,
+  view.h = r.i32();
+  view.w = r.i32();
+  view.c = r.i32();
+  DE_REQUIRE(view.seq >= 0 && view.volume >= 0 && view.row_offset >= 0,
              "wire: negative chunk coordinates");
-  DE_REQUIRE(h > 0 && w > 0 && c > 0, "wire: non-positive tensor extents");
+  DE_REQUIRE(view.h > 0 && view.w > 0 && view.c > 0,
+             "wire: non-positive tensor extents");
   // Overflow-safe product: bound h*w before multiplying in c, so a crafted
   // triple whose full product wraps mod 2^64 (e.g. 2^21 * 2^21 * 2^22)
   // cannot slip past the cap as a tiny wrapped value.
   constexpr std::size_t kMaxElems =
       std::numeric_limits<std::int32_t>::max() / 4;
   const std::size_t plane =
-      static_cast<std::size_t>(h) * static_cast<std::size_t>(w);
+      static_cast<std::size_t>(view.h) * static_cast<std::size_t>(view.w);
   DE_REQUIRE(plane <= kMaxElems, "wire: tensor extents overflow");
-  const std::size_t elems = plane * static_cast<std::size_t>(c);
+  const std::size_t elems = plane * static_cast<std::size_t>(view.c);
   DE_REQUIRE(elems <= kMaxElems, "wire: tensor extents overflow");
-  // Size check before the allocation: a frame claiming huge extents is
-  // rejected here, so hostile input can never drive a huge allocation.
+  // Size check before anyone allocates for this frame: a frame claiming
+  // huge extents is rejected here, so hostile input can never drive a huge
+  // allocation downstream.
   DE_REQUIRE(r.remaining() == elems * 4,
              "wire: payload size disagrees with tensor extents");
-  msg.rows = cnn::Tensor(h, w, c);
-  r.f32_span(msg.rows.data);
+  view.payload = frame.data() + (frame.size() - r.remaining());
+  return view;
+}
+
+cnn::Tensor ChunkView::to_tensor() const {
+  cnn::Tensor rows(h, w, c);
+  core::ByteReader r(std::span<const std::uint8_t>(payload, payload_bytes()));
+  r.f32_span(rows.data);
+  return rows;
+}
+
+ChunkMsg decode_chunk(std::span<const std::uint8_t> frame) {
+  const ChunkView view = decode_chunk_view(frame);
+  ChunkMsg msg;
+  msg.type = view.type;
+  msg.seq = view.seq;
+  msg.volume = view.volume;
+  msg.row_offset = view.row_offset;
+  msg.from_node = view.from_node;
+  msg.chunk_id = view.chunk_id;
+  msg.rows = view.to_tensor();
   return msg;
+}
+
+void copy_rows_to(const ChunkView& view, int src_begin, int src_end,
+                  cnn::Tensor& dst, int dst_offset) {
+  DE_ASSERT(dst.w == view.w && dst.c == view.c, "wire blit extent mismatch");
+  DE_ASSERT(src_begin >= view.row_offset &&
+                src_end <= view.row_offset + view.h &&
+                src_begin - dst_offset >= 0 &&
+                src_end - dst_offset <= dst.h,
+            "wire blit row range out of bounds");
+  const std::size_t row_floats =
+      static_cast<std::size_t>(view.w) * static_cast<std::size_t>(view.c);
+  const std::uint8_t* src =
+      view.payload +
+      static_cast<std::size_t>(src_begin - view.row_offset) * row_floats * 4;
+  core::ByteReader r(std::span<const std::uint8_t>(
+      src, static_cast<std::size_t>(src_end - src_begin) * row_floats * 4));
+  r.f32_span(std::span<float>(
+      dst.data.data() +
+          static_cast<std::size_t>(src_begin - dst_offset) * row_floats,
+      static_cast<std::size_t>(src_end - src_begin) * row_floats));
 }
 
 HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame) {

@@ -96,6 +96,34 @@ struct NackMsg {
   std::int32_t volume = 0;
 };
 
+/// Borrowed decode of a tensor-chunk frame: every header field plus a
+/// pointer to the row payload *inside* the frame bytes — no allocation and
+/// no copy. Validation is identical to decode_chunk (which is implemented
+/// on top of this view, so the two can never disagree). The view is valid
+/// only while the frame bytes it was decoded from stay alive; a Frame's
+/// buffer is stable across moves and refcount shares, so stashing
+/// {Frame, ChunkView} pairs is safe.
+struct ChunkView {
+  MsgType type = MsgType::kHaloRows;
+  std::int32_t seq = 0;
+  std::int32_t volume = 0;
+  std::int32_t row_offset = 0;
+  NodeId from_node = kNilNode;
+  std::uint32_t chunk_id = 0;
+  std::int32_t h = 0;
+  std::int32_t w = 0;
+  std::int32_t c = 0;
+  const std::uint8_t* payload = nullptr;  ///< h*w*c little-endian f32
+
+  std::size_t payload_bytes() const {
+    return static_cast<std::size_t>(h) * static_cast<std::size_t>(w) *
+           static_cast<std::size_t>(c) * 4;
+  }
+  /// Materializes the rows as an owning tensor (one copy; legacy path and
+  /// tests — the zero-copy path blits with copy_rows_to instead).
+  cnn::Tensor to_tensor() const;
+};
+
 /// Header peek without decoding the body; throws on bad magic/version.
 MsgType peek_type(std::span<const std::uint8_t> frame);
 
@@ -109,9 +137,27 @@ Payload encode_shutdown();
 Payload encode_ack(const AckMsg& msg);
 Payload encode_nack(const NackMsg& msg);
 
+/// Zero-copy chunk encode: writes into `frame`'s (reusable) buffer the
+/// exact bytes encode_chunk would produce for a ChunkMsg carrying absolute
+/// rows [rows.begin, rows.end) of `src` (whose row 0 is absolute row
+/// `src_offset`, and whose wire row_offset becomes rows.begin) — one header
+/// write plus one contiguous row-range copy, no sliced temporary tensor.
+/// Returns the payload byte count (the frame is header + payload).
+std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
+                              std::int32_t volume, NodeId from_node,
+                              std::uint32_t chunk_id, const cnn::Tensor& src,
+                              int src_offset, cnn::RowInterval rows);
+
 ChunkMsg decode_chunk(std::span<const std::uint8_t> frame);
+ChunkView decode_chunk_view(std::span<const std::uint8_t> frame);
 HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame);
 AckMsg decode_ack(std::span<const std::uint8_t> frame);
 NackMsg decode_nack(std::span<const std::uint8_t> frame);
+
+/// Blits the view's absolute rows [src_begin, src_end) straight from the
+/// wire bytes into `dst`, whose row 0 is absolute row `dst_offset` —
+/// bit-exact with materializing a tensor and copying, minus that tensor.
+void copy_rows_to(const ChunkView& view, int src_begin, int src_end,
+                  cnn::Tensor& dst, int dst_offset);
 
 }  // namespace de::rpc

@@ -1,0 +1,52 @@
+#include "runtime/chunk_sender.hpp"
+
+namespace de::runtime {
+
+ChunkSender::ChunkSender(rpc::Transport& transport) : transport_(transport) {
+  thread_ = std::thread([this] { loop(); });
+}
+
+ChunkSender::~ChunkSender() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ChunkSender::post(const rpc::Address& to, rpc::Frame frame,
+                       Retransmitter* rtx, std::uint32_t chunk_id) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(Pending{to, std::move(frame), rtx, chunk_id});
+  }
+  cv_.notify_one();
+}
+
+void ChunkSender::drain() {
+  std::unique_lock lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && !sending_; });
+}
+
+void ChunkSender::loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    // Drain-before-stop: frames posted before the destructor still go out.
+    if (queue_.empty()) return;
+    Pending item = std::move(queue_.front());
+    queue_.pop_front();
+    sending_ = true;
+    lk.unlock();  // the write may block; never hold the queue across it
+    // Register for retransmission only now, next to the actual send, so
+    // the rto clock starts when the frame hits the wire.
+    if (item.rtx != nullptr) item.rtx->track(item.to, item.chunk_id, item.frame);
+    transport_.send(item.to, std::move(item.frame));
+    lk.lock();
+    sending_ = false;
+    if (queue_.empty()) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace de::runtime

@@ -1,0 +1,64 @@
+// Dedicated per-provider send thread — the communication half of the
+// halo-first overlap (DESIGN.md §halo-first-schedule). The compute thread
+// encodes a chunk into a shared frame and enqueues it here; this thread
+// pays for the (potentially blocking) transport write, so a TCP send of one
+// boundary band overlaps the SSE compute of the interior bands. Frames are
+// sent in FIFO order per sender; the data plane tolerates any inter-link
+// reordering (receivers stash and count), so one queue serves all links.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "rpc/transport.hpp"
+#include "runtime/reliable.hpp"
+
+namespace de::runtime {
+
+class ChunkSender {
+ public:
+  /// Starts the send loop on `transport` (not owned; must outlive this
+  /// object — destroy the sender before tearing the transport down).
+  explicit ChunkSender(rpc::Transport& transport);
+  /// Drains everything already posted, then stops and joins.
+  ~ChunkSender();
+
+  ChunkSender(const ChunkSender&) = delete;
+  ChunkSender& operator=(const ChunkSender&) = delete;
+
+  /// Enqueues `frame` for delivery to `to`. Never blocks on the network;
+  /// the frame's bytes must not be mutated after posting. When `rtx` is
+  /// given, the chunk (already stamped with `chunk_id`) is registered for
+  /// retransmission on this thread immediately before the wire write — not
+  /// at enqueue time, so a backed-up queue cannot age entries past the rto
+  /// and trigger retransmits of frames that never left the node.
+  void post(const rpc::Address& to, rpc::Frame frame,
+            Retransmitter* rtx = nullptr, std::uint32_t chunk_id = 0);
+
+  /// Blocks until every frame posted so far has been handed to the
+  /// transport (delivery remains the transport's at-most-once business).
+  void drain();
+
+ private:
+  void loop();
+
+  rpc::Transport& transport_;
+  std::mutex mu_;
+  std::condition_variable cv_;       ///< wakes the send loop
+  std::condition_variable idle_cv_;  ///< wakes drain()
+  struct Pending {
+    rpc::Address to;
+    rpc::Frame frame;
+    Retransmitter* rtx = nullptr;
+    std::uint32_t chunk_id = 0;
+  };
+  std::deque<Pending> queue_;
+  bool sending_ = false;  ///< a frame is popped but not yet handed over
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace de::runtime

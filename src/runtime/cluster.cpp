@@ -22,13 +22,15 @@ ClusterResult run_once(const cnn::CnnModel& model,
              "the chunk accounting — enable RunOptions::reliability");
   const auto plan = build_transfer_plan(model, strategy, n_devices);
 
-  auto fabric = make_fabric(n_devices, use_tcp, options.faults);
+  auto fabric = make_fabric(n_devices, use_tcp, options.faults,
+                            options.data_plane);
   DataPlaneStats stats;
   auto threads = spawn_providers(fabric, model, strategy, weights, plan,
                                  /*n_images=*/1, stats, options.reliability,
-                                 options.exec);
+                                 options.exec, options.data_plane);
 
-  RequesterContext ctx(fabric.requester(), plan, stats, options.reliability);
+  RequesterContext ctx(fabric.requester(), plan, stats, options.reliability,
+                       options.data_plane);
   std::unique_ptr<Retransmitter> rtx;
   if (options.reliability.enabled) {
     rtx = std::make_unique<Retransmitter>(fabric.requester(),
@@ -63,10 +65,16 @@ ClusterResult run_once(const cnn::CnnModel& model,
   if (rtx) rtx->stop();
   fabric.shutdown_all();
 
+  stats.frame_allocs.fetch_add(ctx.arena.stats().allocated,
+                               std::memory_order_relaxed);
+
   ClusterResult result;
   result.output = std::move(output);
   result.messages_exchanged = stats.messages.load();
   result.bytes_moved = stats.bytes.load();
+  result.wire_bytes = stats.wire_bytes.load();
+  result.bytes_copied = stats.bytes_copied.load();
+  result.frame_allocs = stats.frame_allocs.load();
   result.retransmits = stats.retransmits.load();
   result.duplicates_dropped = stats.duplicates_dropped.load();
   result.recv_timeouts = stats.recv_timeouts.load();

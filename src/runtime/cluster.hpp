@@ -20,6 +20,7 @@
 #include "cnn/exec_engine.hpp"
 #include "rpc/fault_transport.hpp"
 #include "runtime/reliable.hpp"
+#include "runtime/worker.hpp"
 #include "sim/exec_sim.hpp"
 
 namespace de::runtime {
@@ -35,12 +36,19 @@ struct RunOptions {
   /// gathered output is engine-independent; it defaults on so every worker
   /// uses the packed kernels + shared-pool row bands.
   cnn::ExecContext exec = cnn::ExecContext::fast_shared();
+  /// Chunk path: halo-first zero-copy (default) or the PR-3 serial copying
+  /// baseline. Both are bit-exact; the baseline exists for in-run A/B
+  /// benches and the conformance tests.
+  DataPlaneMode data_plane = DataPlaneMode::kOverlapZeroCopy;
 };
 
 struct ClusterResult {
   cnn::Tensor output;        ///< stitched output of the last volume
   int messages_exchanged = 0;
   Bytes bytes_moved = 0;     ///< payload bytes across all chunk messages
+  Bytes wire_bytes = 0;      ///< frame bytes on the wire, headers included
+  Bytes bytes_copied = 0;    ///< userspace copies on the chunk path
+  std::int64_t frame_allocs = 0;  ///< frame buffers the arenas had to malloc
   int retransmits = 0;       ///< chunk resends by the reliability layer
   int duplicates_dropped = 0;///< repeats absorbed by receive-side dedup
   int recv_timeouts = 0;     ///< bounded waits that expired (nack rounds)

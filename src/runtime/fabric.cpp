@@ -9,14 +9,16 @@ void ClusterFabric::shutdown_all() {
 }
 
 ClusterFabric make_fabric(int n_devices, bool use_tcp,
-                          const rpc::FaultSpec* faults) {
+                          const rpc::FaultSpec* faults, DataPlaneMode mode) {
   ClusterFabric fabric;
   const int n_nodes = n_devices + 1;
   if (use_tcp) {
     std::map<rpc::NodeId, rpc::PeerEndpoint> directory;
     fabric.tcp_nodes.reserve(static_cast<std::size_t>(n_nodes));
     for (rpc::NodeId node = 0; node < n_nodes; ++node) {
-      fabric.tcp_nodes.push_back(std::make_unique<rpc::TcpTransport>(node));
+      fabric.tcp_nodes.push_back(std::make_unique<rpc::TcpTransport>(
+          node, /*port=*/0,
+          /*legacy_io=*/mode == DataPlaneMode::kSerialCopy));
       directory[node] =
           rpc::PeerEndpoint{"127.0.0.1", fabric.tcp_nodes.back()->port()};
     }
@@ -50,16 +52,17 @@ std::vector<std::thread> spawn_providers(
     const sim::RawStrategy& strategy,
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
     int n_images, DataPlaneStats& stats,
-    const ReliabilityOptions& reliability, const cnn::ExecContext& exec) {
+    const ReliabilityOptions& reliability, const cnn::ExecContext& exec,
+    DataPlaneMode mode) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(plan.n_devices));
   for (int i = 0; i < plan.n_devices; ++i) {
     threads.emplace_back([&fabric, &model, &strategy, &weights, &plan,
-                          n_images, &stats, reliability, exec, i] {
+                          n_images, &stats, reliability, exec, mode, i] {
       try {
         provider_loop(*fabric.endpoints[static_cast<std::size_t>(i)], i, model,
                       strategy, weights, plan, n_images, stats, reliability,
-                      exec);
+                      exec, mode);
       } catch (...) {
         // Tear down the whole fabric, not just the requester: a downed
         // requester transport drops the end-of-stream frames, which would

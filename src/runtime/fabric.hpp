@@ -35,9 +35,12 @@ struct ClusterFabric {
 /// node's data and control mailboxes are open before this returns, so no
 /// scatter can race mailbox creation. With `faults` set every endpoint is
 /// wrapped in a FaultInjectingTransport sharing that spec (fault decisions
-/// still differ per link — the hash keys on src/dst node ids).
+/// still differ per link — the hash keys on src/dst node ids). In
+/// kSerialCopy mode TCP endpoints run their legacy per-frame I/O, so the
+/// A/B baseline is the pre-change plane down to the syscalls.
 ClusterFabric make_fabric(int n_devices, bool use_tcp,
-                          const rpc::FaultSpec* faults = nullptr);
+                          const rpc::FaultSpec* faults = nullptr,
+                          DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy);
 
 /// One provider thread per device. An exception escaping a provider would
 /// std::terminate the process; the barrier instead shuts the whole fabric
@@ -48,6 +51,7 @@ std::vector<std::thread> spawn_providers(
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
     int n_images, DataPlaneStats& stats,
     const ReliabilityOptions& reliability = {},
-    const cnn::ExecContext& exec = {});
+    const cnn::ExecContext& exec = {},
+    DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy);
 
 }  // namespace de::runtime

@@ -37,7 +37,7 @@ std::uint32_t Retransmitter::next_chunk_id(rpc::NodeId to) {
 }
 
 void Retransmitter::track(const rpc::Address& to, std::uint32_t chunk_id,
-                          rpc::Payload frame) {
+                          rpc::Frame frame) {
   std::lock_guard lk(mu_);
   outbox_.emplace(LinkChunk{to.node, chunk_id},
                   Entry{to, std::move(frame), 1,
@@ -53,12 +53,14 @@ Retransmitter::Resend Retransmitter::stage_resend_locked(Entry& entry) {
   ++entry.attempts;
   entry.last_send = std::chrono::steady_clock::now();
   stats_.retransmits.fetch_add(1, std::memory_order_relaxed);
-  return Resend{entry.to, entry.frame};  // copy: the outbox keeps the frame
+  stats_.wire_bytes.fetch_add(static_cast<Bytes>(entry.frame.size()),
+                              std::memory_order_relaxed);
+  return Resend{entry.to, entry.frame};  // refcount share with the outbox
 }
 
 void Retransmitter::ctrl_loop() {
   while (!stop_.load(std::memory_order_acquire)) {
-    rpc::Payload payload;
+    rpc::Frame payload;
     const auto status =
         transport_.receive_for(rpc::kCtrlMailbox, options_.rto_ms, payload);
     if (stop_.load(std::memory_order_acquire)) return;
@@ -144,7 +146,7 @@ void Retransmitter::stop() {
   // Best-effort wake-up so the join does not wait out a full rto: an empty
   // frame fails to decode and is discarded by the loop.
   transport_.send(rpc::Address{transport_.local_node(), rpc::kCtrlMailbox},
-                  rpc::Payload{});
+                  rpc::Frame{});
   if (thread_.joinable()) thread_.join();
 }
 

@@ -53,6 +53,14 @@ struct ReliabilityOptions {
 struct DataPlaneStats {
   std::atomic<int> messages{0};
   std::atomic<Bytes> bytes{0};  ///< tensor payload bytes (not frame bytes)
+  std::atomic<Bytes> wire_bytes{0};    ///< full frame bytes (headers included)
+  /// Userspace bytes memcpy'd on the chunk path (slice/encode/decode/blit).
+  /// bytes_copied / bytes is the observable copies-per-halo-byte figure the
+  /// zero-copy plane keeps at <= 2 (encode into the frame + blit out of it).
+  std::atomic<Bytes> bytes_copied{0};
+  /// Frame-buffer heap allocations by the data-plane arenas; steady-state
+  /// streaming reuses warm buffers, so this stays flat per extra image.
+  std::atomic<std::int64_t> frame_allocs{0};
   std::atomic<int> retransmits{0};
   std::atomic<int> acks{0};
   std::atomic<int> duplicates_dropped{0};
@@ -98,9 +106,11 @@ class Retransmitter {
   /// per-sender sequence and its dedup watermark can advance.
   std::uint32_t next_chunk_id(rpc::NodeId to);
 
-  /// Registers an already-sent frame for retransmission until acked.
+  /// Registers a frame for retransmission until acked. Shares the caller's
+  /// buffer by refcount — the outbox entry and the in-flight send are the
+  /// same allocation, never a second copy.
   void track(const rpc::Address& to, std::uint32_t chunk_id,
-             rpc::Payload frame);
+             rpc::Frame frame);
 
   /// True when every tracked frame has been acked or abandoned.
   bool idle() const;
@@ -112,7 +122,7 @@ class Retransmitter {
  private:
   struct Entry {
     rpc::Address to;
-    rpc::Payload frame;
+    rpc::Frame frame;  ///< shared with the original send (refcount, no copy)
     int attempts = 1;  ///< the original send counts as the first attempt
     std::chrono::steady_clock::time_point last_send;
   };
@@ -123,7 +133,7 @@ class Retransmitter {
   /// A frame staged for resend under mu_ and sent after releasing it.
   struct Resend {
     rpc::Address to;
-    rpc::Payload frame;
+    rpc::Frame frame;
   };
 
   void ctrl_loop();

@@ -25,17 +25,19 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   const auto plan = build_transfer_plan(model, strategy, n_devices);
   const int n_images = static_cast<int>(inputs.size());
 
-  auto fabric = make_fabric(n_devices, options.use_tcp, options.faults);
+  auto fabric = make_fabric(n_devices, options.use_tcp, options.faults,
+                            options.data_plane);
   DataPlaneStats stats;
   auto threads = spawn_providers(fabric, model, strategy, weights, plan,
                                  /*n_images=*/-1, stats, options.reliability,
-                                 options.exec);
+                                 options.exec, options.data_plane);
 
   ServeResult result;
   result.images = n_images;
   result.per_image.reserve(static_cast<std::size_t>(n_images));
 
-  RequesterContext ctx(fabric.requester(), plan, stats, options.reliability);
+  RequesterContext ctx(fabric.requester(), plan, stats, options.reliability,
+                       options.data_plane);
   std::unique_ptr<Retransmitter> rtx;
   if (options.reliability.enabled) {
     rtx = std::make_unique<Retransmitter>(fabric.requester(),
@@ -86,8 +88,13 @@ ServeResult serve_stream(const cnn::CnnModel& model,
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
   result.measured_ips =
       result.wall_s > 0 ? static_cast<double>(n_images) / result.wall_s : 0.0;
+  stats.frame_allocs.fetch_add(ctx.arena.stats().allocated,
+                               std::memory_order_relaxed);
   result.messages_exchanged = stats.messages.load();
   result.bytes_moved = stats.bytes.load();
+  result.wire_bytes = stats.wire_bytes.load();
+  result.bytes_copied = stats.bytes_copied.load();
+  result.frame_allocs = stats.frame_allocs.load();
   result.retransmits = stats.retransmits.load();
   result.duplicates_dropped = stats.duplicates_dropped.load();
   result.recv_timeouts = stats.recv_timeouts.load();

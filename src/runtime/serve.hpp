@@ -37,6 +37,11 @@ struct ServeOptions {
   /// fast default is what makes measured IPS track what the hardware allows).
   cnn::ExecContext exec = cnn::ExecContext::fast_shared();
 
+  /// Chunk path: halo-first zero-copy (default) or the PR-3 serial copying
+  /// baseline — bit-exact either way; bench/runtime_stream A/Bs the two in
+  /// one run.
+  DataPlaneMode data_plane = DataPlaneMode::kOverlapZeroCopy;
+
   /// When both are set, `predicted_ips` is filled from sim::stream_images
   /// (sequential-stream semantics — the pipeline should beat it). A fault
   /// plan is mirrored into the simulator's analytic loss model so the
@@ -52,6 +57,9 @@ struct ServeResult {
   double predicted_ips = 0;  ///< 0 when no simulator inputs were given
   int messages_exchanged = 0;
   Bytes bytes_moved = 0;
+  Bytes wire_bytes = 0;      ///< frame bytes on the wire, headers included
+  Bytes bytes_copied = 0;    ///< userspace copies on the chunk path
+  std::int64_t frame_allocs = 0;  ///< frame buffers the arenas had to malloc
   /// Reliability-layer totals across the stream (all zero on a clean run).
   int retransmits = 0;
   int duplicates_dropped = 0;

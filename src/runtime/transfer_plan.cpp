@@ -40,6 +40,77 @@ cnn::Tensor slice_rows(const cnn::Tensor& src, int src_offset, int begin, int en
   return out;
 }
 
+PartSchedule plan_part_schedule(const TransferPlan& plan, int l, int i,
+                                int max_gather_bands) {
+  DE_REQUIRE(l >= 0 && l < plan.num_volumes() && i >= 0 && i < plan.n_devices,
+             "part schedule indices out of range");
+  DE_REQUIRE(max_gather_bands >= 1, "need at least one gather band");
+  const auto& part =
+      plan.parts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+  PartSchedule sched;
+  if (part.empty()) return sched;
+
+  if (l + 1 == plan.num_volumes()) {
+    // Final volume: stream the part to the requester band by band, so the
+    // first output rows cross the wire while the rest still compute.
+    const int nb = std::clamp(part.size() / 4, 1, max_gather_bands);
+    for (int b = 0; b < nb; ++b) {
+      const cnn::RowInterval band{part.begin + part.size() * b / nb,
+                                  part.begin + part.size() * (b + 1) / nb};
+      sched.bands.push_back(band);
+      sched.sends.push_back(OutboundChunk{plan.requester_node(), band, b});
+    }
+    return sched;
+  }
+
+  // Intermediate volume: the rows some neighbor's next-volume need overlaps
+  // are the boundary; cut the part at every neighbor-need edge so each
+  // segment is either fully boundary or fully interior.
+  std::vector<OutboundChunk> sends;
+  std::vector<int> cuts{part.begin, part.end};
+  for (int k = 0; k < plan.n_devices; ++k) {
+    if (k == i) continue;
+    const auto need = plan.needs[static_cast<std::size_t>(l + 1)]
+                                [static_cast<std::size_t>(k)]
+                          .intersect(part);
+    if (need.empty()) continue;
+    sends.push_back(OutboundChunk{k, need, 0});
+    cuts.push_back(need.begin);
+    cuts.push_back(need.end);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  std::vector<cnn::RowInterval> interior;
+  for (std::size_t s = 0; s + 1 < cuts.size(); ++s) {
+    const cnn::RowInterval seg{cuts[s], cuts[s + 1]};
+    const bool boundary =
+        std::any_of(sends.begin(), sends.end(), [&](const OutboundChunk& o) {
+          return !o.rows.intersect(seg).empty();
+        });
+    (boundary ? sched.bands : interior).push_back(seg);
+  }
+  sched.bands.insert(sched.bands.end(), interior.begin(), interior.end());
+
+  // A halo chunk is ready once every band its rows touch has computed;
+  // bands run in listed order, so that is the largest such band index. The
+  // sends are then ordered by readiness so the worker flushes a prefix
+  // after each band.
+  for (auto& send : sends) {
+    for (std::size_t b = 0; b < sched.bands.size(); ++b) {
+      if (!send.rows.intersect(sched.bands[b]).empty()) {
+        send.ready_after_band = static_cast<int>(b);
+      }
+    }
+  }
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const OutboundChunk& a, const OutboundChunk& b) {
+                     return a.ready_after_band < b.ready_after_band;
+                   });
+  sched.sends = std::move(sends);
+  return sched;
+}
+
 void validate_cluster_inputs(const cnn::CnnModel& model,
                              const std::vector<cnn::ConvWeights>& weights,
                              const cnn::Tensor& input) {

@@ -37,6 +37,36 @@ TransferPlan build_transfer_plan(const cnn::CnnModel& model,
                                  const sim::RawStrategy& strategy,
                                  int n_devices);
 
+/// One outbound chunk of a (volume, device) part under the halo-first
+/// schedule: destination node (a provider for halos, the requester for
+/// gather bands), the absolute output rows it carries, and the index of the
+/// last compute band it waits on — the chunk may ship the moment bands
+/// [0, ready_after_band] are done.
+struct OutboundChunk {
+  rpc::NodeId to = rpc::kNilNode;
+  cnn::RowInterval rows;
+  int ready_after_band = 0;
+};
+
+/// Halo-first compute/send schedule of parts[l][i]. `bands` is a disjoint
+/// row partition of the part in compute order: rows some neighbor's next-
+/// volume need intersects ("boundary") first, interior rows last, so every
+/// halo chunk is in flight while the interior still computes. For the final
+/// volume the part instead streams to the requester as roughly equal gather
+/// bands (each its own OutboundChunk). Executing the bands in order is
+/// bit-exact with one whole-part call — bands only re-cut the row loop.
+/// Depends only on the plan, so it is computed once per run, never per
+/// image. Empty parts yield an empty schedule.
+struct PartSchedule {
+  std::vector<cnn::RowInterval> bands;
+  std::vector<OutboundChunk> sends;
+};
+
+/// `max_gather_bands` caps the final volume's streamed bands (small parts
+/// collapse to one band — a band under ~4 rows is all header overhead).
+PartSchedule plan_part_schedule(const TransferPlan& plan, int l, int i,
+                                int max_gather_bands = 4);
+
 /// Shared precondition checks of every cluster entry point: one weight
 /// entry per layer, input extents matching the model.
 void validate_cluster_inputs(const cnn::CnnModel& model,

@@ -1,9 +1,11 @@
 #include "runtime/worker.hpp"
 
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/require.hpp"
+#include "runtime/chunk_sender.hpp"
 
 namespace de::runtime {
 
@@ -24,8 +26,8 @@ struct RxState {
   ChunkDedup& dedup;
 };
 
-RxKind receive_frame(RxState& rx, rpc::ChunkMsg& out) {
-  rpc::Payload payload;
+RxKind receive_frame(RxState& rx, RxChunk& out) {
+  rpc::Frame payload;
   if (!rx.reliability.enabled) {
     auto received = rx.transport.receive(rpc::kDataMailbox);
     if (!received.has_value()) return RxKind::kStop;  // transport shut down
@@ -47,16 +49,21 @@ RxKind receive_frame(RxState& rx, rpc::ChunkMsg& out) {
     if (!rpc::is_chunk_type(type)) {
       return RxKind::kSkip;  // halo requests (push-based plan), stray control
     }
-    out = rpc::decode_chunk(payload);
+    // Borrowed decode: the view aliases the frame's buffer, which stays
+    // put when the frame is moved into the result.
+    out.view = rpc::decode_chunk_view(payload);
+    out.frame = std::move(payload);
   } catch (const Error&) {
     return RxKind::kSkip;  // malformed frame: drop, keep the node alive
   }
-  if (out.chunk_id > 0 && out.from_node != rpc::kNilNode) {
+  if (out.view.chunk_id > 0 && out.view.from_node != rpc::kNilNode) {
     // Ack before dedup: a repeat usually means our previous ack was lost.
-    rx.transport.send(ctrl_addr(out.from_node),
-                      rpc::encode_ack(rpc::AckMsg{
-                          rx.transport.local_node(), out.chunk_id}));
-    if (!rx.dedup.fresh(out.from_node, out.chunk_id)) {
+    rpc::Frame ack(rpc::encode_ack(
+        rpc::AckMsg{rx.transport.local_node(), out.view.chunk_id}));
+    rx.stats.wire_bytes.fetch_add(static_cast<Bytes>(ack.size()),
+                                  std::memory_order_relaxed);
+    rx.transport.send(ctrl_addr(out.view.from_node), std::move(ack));
+    if (!rx.dedup.fresh(out.view.from_node, out.view.chunk_id)) {
       rx.stats.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
       return RxKind::kSkip;
     }
@@ -72,12 +79,14 @@ RxKind receive_frame(RxState& rx, rpc::ChunkMsg& out) {
 void broadcast_nack(rpc::Transport& transport, const TransferPlan& plan,
                     int seq, int volume, DataPlaneStats& stats) {
   const auto self = transport.local_node();
-  const auto frame =
-      rpc::encode_nack(rpc::NackMsg{self, seq, volume});
+  const rpc::Frame frame(
+      rpc::encode_nack(rpc::NackMsg{self, seq, volume}));
   for (rpc::NodeId node = 0; node <= plan.requester_node(); ++node) {
     if (node == self) continue;
     if (node < plan.n_devices && !plan.device_active(node)) continue;
-    transport.send(ctrl_addr(node), frame);
+    stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                               std::memory_order_relaxed);
+    transport.send(ctrl_addr(node), frame);  // refcount share per peer
   }
   stats.nacks.fetch_add(1, std::memory_order_relaxed);
 }
@@ -87,25 +96,25 @@ void broadcast_nack(rpc::Transport& transport, const TransferPlan& plan,
 /// transport closes. Bounded either way — unreachable receivers exhaust the
 /// attempt budget and the entries are abandoned.
 void drain_outbox(RxState& rx, Retransmitter& rtx) {
-  rpc::ChunkMsg ignored;
+  RxChunk ignored;
   while (!rtx.idle()) {
     if (receive_frame(rx, ignored) == RxKind::kStop) return;
   }
 }
 
-/// True when `msg`'s rows are sane to blit into a destination of width `w`,
-/// channels `c`, covering absolute rows `bounds`. Wire decoding only proves
-/// the frame is self-consistent; a frame from a mismatched plan (or a
-/// hostile loopback connection) can still claim rows far outside the
+/// True when the chunk's rows are sane to blit into a destination of width
+/// `w`, channels `c`, covering absolute rows `bounds`. Wire decoding only
+/// proves the frame is self-consistent; a frame from a mismatched plan (or
+/// a hostile loopback connection) can still claim rows far outside the
 /// destination, which would write out of bounds. Because such a chunk
-/// occupies a *counted* slot, silently dropping it would hang the run —
+/// occupies counted rows/slots, silently dropping it would hang the run —
 /// callers fail the image loudly instead.
-bool chunk_fits(const rpc::ChunkMsg& msg, const cnn::RowInterval& bounds,
+bool chunk_fits(const rpc::ChunkView& view, const cnn::RowInterval& bounds,
                 int w, int c) {
   // 64-bit sum: row_offset near INT32_MAX decodes fine, and a signed int
   // overflow here would wrap negative and let the hostile chunk through.
-  return msg.rows.w == w && msg.rows.c == c && msg.row_offset >= bounds.begin &&
-         static_cast<std::int64_t>(msg.row_offset) + msg.rows.h <= bounds.end;
+  return view.w == w && view.c == c && view.row_offset >= bounds.begin &&
+         static_cast<std::int64_t>(view.row_offset) + view.h <= bounds.end;
 }
 
 /// Farthest ahead of the current image a stashed chunk may be. Legitimate
@@ -114,11 +123,12 @@ bool chunk_fits(const rpc::ChunkMsg& msg, const cnn::RowInterval& bounds,
 /// without bound.
 constexpr int kMaxImagesAhead = 4096;
 
-[[noreturn]] void fail_geometry(const rpc::ChunkMsg& msg) {
+[[noreturn]] void fail_geometry(const rpc::ChunkView& view) {
   throw Error("chunk geometry disagrees with the local transfer plan (seq " +
-              std::to_string(msg.seq) + ", volume " + std::to_string(msg.volume) +
-              ", rows [" + std::to_string(msg.row_offset) + ", " +
-              std::to_string(msg.row_offset + msg.rows.h) +
+              std::to_string(view.seq) + ", volume " +
+              std::to_string(view.volume) + ", rows [" +
+              std::to_string(view.row_offset) + ", " +
+              std::to_string(view.row_offset + view.h) +
               ")) — mismatched strategy or hostile peer");
 }
 
@@ -129,23 +139,93 @@ constexpr int kMaxImagesAhead = 4096;
               " timeout rounds) — peer dead or link severed past recovery");
 }
 
+/// Blits a received chunk into `dst`. The zero-copy path reads the wire
+/// bytes in place (one copy); the serial path first materializes the legacy
+/// owning tensor and then blits it — the pre-change double copy, preserved
+/// so the A/B baseline pays its true cost. Both count into bytes_copied.
+void blit_chunk(const RxChunk& chunk, cnn::Tensor& dst, int dst_offset,
+                DataPlaneMode mode, DataPlaneStats& stats) {
+  const auto& v = chunk.view;
+  const auto payload = static_cast<Bytes>(v.payload_bytes());
+  if (mode == DataPlaneMode::kOverlapZeroCopy) {
+    rpc::copy_rows_to(v, v.row_offset, v.row_offset + v.h, dst, dst_offset);
+    stats.bytes_copied.fetch_add(payload, std::memory_order_relaxed);
+    return;
+  }
+  const cnn::Tensor rows = v.to_tensor();
+  blit_rows(rows, v.row_offset, v.row_offset, v.row_offset + v.h, dst,
+            dst_offset);
+  stats.bytes_copied.fetch_add(2 * payload, std::memory_order_relaxed);
+}
+
+/// Resizes `t` to (h, w, c) reusing its heap buffer (no zero fill — callers
+/// overwrite every row; the transfer plan guarantees full coverage).
+void reshape(cnn::Tensor& t, int h, int w, int c) {
+  t.h = h;
+  t.w = w;
+  t.c = c;
+  t.data.resize(static_cast<std::size_t>(h) * static_cast<std::size_t>(w) *
+                static_cast<std::size_t>(c));
+}
+
+/// Zero-copy chunk post: encodes rows straight out of `src` into an arena
+/// frame, stamps reliability handles, shares the frame with the outbox when
+/// tracked, and hands it to the sender thread (provider) or the transport
+/// (requester).
+void post_rows(rpc::Transport& transport, const rpc::Address& to,
+               rpc::MsgType type, int seq, int volume, const cnn::Tensor& src,
+               int src_offset, cnn::RowInterval rows, rpc::FrameArena& arena,
+               DataPlaneStats& stats, Retransmitter* rtx,
+               ChunkSender* sender) {
+  rpc::NodeId from = rpc::kNilNode;
+  std::uint32_t chunk_id = 0;
+  if (rtx != nullptr) {
+    from = transport.local_node();
+    chunk_id = rtx->next_chunk_id(to.node);
+  }
+  rpc::Frame frame = arena.acquire();
+  const std::size_t payload = rpc::encode_chunk_into(
+      frame, type, seq, volume, from, chunk_id, src, src_offset, rows);
+  stats.messages.fetch_add(1, std::memory_order_relaxed);
+  stats.bytes.fetch_add(static_cast<Bytes>(payload), std::memory_order_relaxed);
+  stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                             std::memory_order_relaxed);
+  stats.bytes_copied.fetch_add(static_cast<Bytes>(payload),
+                               std::memory_order_relaxed);
+  if (sender != nullptr) {
+    // The sender thread registers tracked chunks right before the wire
+    // write; tracking here would start the rto while the frame still sits
+    // in the queue and turn backpressure into spurious retransmits.
+    sender->post(to, std::move(frame), rtx, chunk_id);
+  } else {
+    if (rtx != nullptr) rtx->track(to, chunk_id, frame);
+    transport.send(to, std::move(frame));
+  }
+}
+
 }  // namespace
 
 void post_chunk(rpc::Transport& transport, const rpc::Address& to,
                 rpc::ChunkMsg msg, DataPlaneStats& stats, Retransmitter* rtx) {
+  const auto payload =
+      static_cast<Bytes>(msg.rows.size()) * static_cast<Bytes>(sizeof(float));
   stats.messages.fetch_add(1, std::memory_order_relaxed);
-  stats.bytes.fetch_add(
-      static_cast<Bytes>(msg.rows.size()) * static_cast<Bytes>(sizeof(float)),
-      std::memory_order_relaxed);
+  stats.bytes.fetch_add(payload, std::memory_order_relaxed);
+  stats.bytes_copied.fetch_add(payload, std::memory_order_relaxed);  // encode
   if (rtx != nullptr) {
     msg.from_node = transport.local_node();
     msg.chunk_id = rtx->next_chunk_id(to.node);
-    auto frame = rpc::encode_chunk(msg);
-    rtx->track(to, msg.chunk_id, frame);  // keeps its own copy
+    rpc::Frame frame(rpc::encode_chunk(msg));
+    stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                               std::memory_order_relaxed);
+    rtx->track(to, msg.chunk_id, frame);  // refcount share, not a copy
     transport.send(to, std::move(frame));
     return;
   }
-  transport.send(to, rpc::encode_chunk(msg));
+  rpc::Frame frame(rpc::encode_chunk(msg));
+  stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                             std::memory_order_relaxed);
+  transport.send(to, std::move(frame));
 }
 
 void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
@@ -154,9 +234,10 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const TransferPlan& plan, int n_images,
                    DataPlaneStats& stats,
                    const ReliabilityOptions& reliability,
-                   const cnn::ExecContext& exec) {
+                   const cnn::ExecContext& exec, DataPlaneMode mode) {
   const int n_volumes = plan.num_volumes();
   const bool active = plan.device_active(i);
+  const bool overlap = mode == DataPlaneMode::kOverlapZeroCopy;
   ChunkDedup dedup;
   RxState rx{transport, reliability, stats, dedup};
 
@@ -164,7 +245,7 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
     if (n_images >= 0) return;  // finite run: nothing will ever arrive
     // Streaming run: wait for the requester's shutdown frame (timeouts on
     // an idle device are expected, not starvation).
-    rpc::ChunkMsg ignored;
+    RxChunk ignored;
     while (receive_frame(rx, ignored) != RxKind::kStop) {}
     return;
   }
@@ -179,12 +260,44 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
   cnn::ExecContext exec_ctx = exec;
   exec_ctx.cache = &exec_cache;
 
+  // Per-run overlap state: recycled frame buffers, the dedicated sender
+  // thread, the (plan-only) halo-first schedules, and reusable crop/part
+  // tensors — steady-state images allocate nothing on the chunk path.
+  rpc::FrameArena arena;
+  std::optional<ChunkSender> sender;
+  std::vector<PartSchedule> schedules;
+  if (overlap) {
+    sender.emplace(transport);
+    schedules.reserve(static_cast<std::size_t>(n_volumes));
+    for (int l = 0; l < n_volumes; ++l) {
+      schedules.push_back(plan_part_schedule(plan, l, i));
+    }
+  }
+  cnn::Tensor crop_buf;
+  cnn::Tensor out_bufs[2];
+  int cur_buf = 0;
+
+  // The loop below returns from several places (stream shutdown arrives in
+  // the middle of an image); the sender must drain and the arena's
+  // allocation count must fold into the shared stats on every path.
+  struct Cleanup {
+    std::optional<ChunkSender>& sender;
+    rpc::FrameArena& arena;
+    DataPlaneStats& stats;
+    ~Cleanup() {
+      if (sender) sender->drain();
+      stats.frame_allocs.fetch_add(arena.stats().allocated,
+                                   std::memory_order_relaxed);
+    }
+  } cleanup{sender, arena, stats};
+
   // Chunks that arrived ahead of their (image, volume) slot.
-  std::map<std::pair<int, int>, std::vector<rpc::ChunkMsg>> stash;
+  std::map<std::pair<int, int>, std::vector<RxChunk>> stash;
 
   for (int seq = 0; n_images < 0 || seq < n_images; ++seq) {
-    cnn::Tensor prev_out;              // output rows of my last part
-    cnn::RowInterval prev_rows{0, 0};  // which rows those are
+    cnn::Tensor legacy_prev;           // serial mode's previous-part output
+    const cnn::Tensor* prev_out = nullptr;
+    cnn::RowInterval prev_rows{0, 0};  // which absolute rows prev_out holds
 
     for (int l = 0; l < n_volumes; ++l) {
       const auto volume = strategy.volumes[static_cast<std::size_t>(l)];
@@ -193,81 +306,123 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
           plan.parts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
       const auto need =
           plan.needs[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+      const auto weights_span =
+          std::span<const cnn::ConvWeights>(weights).subspan(
+              static_cast<std::size_t>(volume.first),
+              static_cast<std::size_t>(volume.size()));
 
-      cnn::Tensor out;
-      if (!part.empty()) {
-        const auto& first_layer = model.layer(volume.first);
-        cnn::Tensor crop(need.size(), first_layer.in_w, first_layer.in_c);
-
-        // Local contribution from my previous part.
-        if (l > 0 && !prev_rows.empty()) {
-          const auto own = need.intersect(prev_rows);
-          if (!own.empty()) {
-            blit_rows(prev_out, prev_rows.begin, own.begin, own.end, crop,
-                      need.begin);
-          }
-        }
-        // Remote chunks (may arrive interleaved with later slots).
-        int remaining =
-            plan.expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-        if (auto it = stash.find({seq, l}); it != stash.end()) {
-          for (auto& msg : it->second) {
-            if (!chunk_fits(msg, need, crop.w, crop.c)) fail_geometry(msg);
-            blit_rows(msg.rows, msg.row_offset, msg.row_offset,
-                      msg.row_offset + msg.rows.h, crop, need.begin);
-            --remaining;
-          }
-          stash.erase(it);
-        }
-        int timeout_rounds = 0;
-        while (remaining > 0) {
-          rpc::ChunkMsg msg;
-          switch (receive_frame(rx, msg)) {
-            case RxKind::kStop:
-              return;  // shutdown mid-inference: abandon the image
-            case RxKind::kSkip:
-              continue;
-            case RxKind::kTimeout:
-              stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
-              broadcast_nack(transport, plan, seq, l, stats);
-              if (++timeout_rounds > reliability.max_recv_timeouts) {
-                fail_starved(i, seq, l, timeout_rounds);
-              }
-              continue;
-            case RxKind::kChunk:
-              break;
-          }
-          timeout_rounds = 0;
-          // Chunks that can never be consumed would park in the stash for
-          // the life of the stream; treat them as protocol violations.
-          const bool off_plan =
-              msg.volume >= n_volumes ||
-              plan.expected[static_cast<std::size_t>(msg.volume)]
-                           [static_cast<std::size_t>(i)] == 0 ||
-              msg.seq < seq || (msg.seq == seq && msg.volume < l) ||
-              (n_images >= 0 && msg.seq >= n_images) ||
-              msg.seq - seq > kMaxImagesAhead;
-          if (off_plan) fail_geometry(msg);
-          if (msg.seq != seq || msg.volume != l) {
-            stash[{msg.seq, msg.volume}].push_back(std::move(msg));
-            continue;
-          }
-          if (!chunk_fits(msg, need, crop.w, crop.c)) fail_geometry(msg);
-          blit_rows(msg.rows, msg.row_offset, msg.row_offset,
-                    msg.row_offset + msg.rows.h, crop, need.begin);
-          --remaining;
-        }
-
-        out = cnn::volume_forward_rows(
-            layers, crop, need.begin, part,
-            std::span<const cnn::ConvWeights>(weights).subspan(
-                static_cast<std::size_t>(volume.first),
-                static_cast<std::size_t>(volume.size())),
-            exec_ctx);
+      if (part.empty()) {
+        prev_out = nullptr;
+        prev_rows = part;
+        continue;
       }
 
-      // Ship my output where the next stage needs it.
-      if (!part.empty()) {
+      const auto& first_layer = model.layer(volume.first);
+      cnn::Tensor legacy_crop;
+      if (overlap) {
+        reshape(crop_buf, need.size(), first_layer.in_w, first_layer.in_c);
+      } else {
+        legacy_crop =
+            cnn::Tensor(need.size(), first_layer.in_w, first_layer.in_c);
+      }
+      cnn::Tensor& crop = overlap ? crop_buf : legacy_crop;
+
+      // Local contribution from my previous part (never crossed the wire,
+      // so it counts toward neither halo bytes nor halo-byte copies).
+      if (l > 0 && prev_out != nullptr && !prev_rows.empty()) {
+        const auto own = need.intersect(prev_rows);
+        if (!own.empty()) {
+          blit_rows(*prev_out, prev_rows.begin, own.begin, own.end, crop,
+                    need.begin);
+        }
+      }
+      // Remote chunks (may arrive interleaved with later slots).
+      int remaining =
+          plan.expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+      if (auto it = stash.find({seq, l}); it != stash.end()) {
+        for (auto& chunk : it->second) {
+          if (!chunk_fits(chunk.view, need, crop.w, crop.c)) {
+            fail_geometry(chunk.view);
+          }
+          blit_chunk(chunk, crop, need.begin, mode, stats);
+          --remaining;
+        }
+        stash.erase(it);
+      }
+      int timeout_rounds = 0;
+      while (remaining > 0) {
+        RxChunk chunk;
+        switch (receive_frame(rx, chunk)) {
+          case RxKind::kStop:
+            return;  // shutdown mid-inference: abandon the image
+          case RxKind::kSkip:
+            continue;
+          case RxKind::kTimeout:
+            stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
+            broadcast_nack(transport, plan, seq, l, stats);
+            if (++timeout_rounds > reliability.max_recv_timeouts) {
+              fail_starved(i, seq, l, timeout_rounds);
+            }
+            continue;
+          case RxKind::kChunk:
+            break;
+        }
+        timeout_rounds = 0;
+        const auto& v = chunk.view;
+        // Chunks that can never be consumed would park in the stash for
+        // the life of the stream; treat them as protocol violations.
+        const bool off_plan =
+            v.volume >= n_volumes ||
+            plan.expected[static_cast<std::size_t>(v.volume)]
+                         [static_cast<std::size_t>(i)] == 0 ||
+            v.seq < seq || (v.seq == seq && v.volume < l) ||
+            (n_images >= 0 && v.seq >= n_images) ||
+            v.seq - seq > kMaxImagesAhead;
+        if (off_plan) fail_geometry(v);
+        if (v.seq != seq || v.volume != l) {
+          stash[{v.seq, v.volume}].push_back(std::move(chunk));
+          continue;
+        }
+        if (!chunk_fits(v, need, crop.w, crop.c)) fail_geometry(v);
+        blit_chunk(chunk, crop, need.begin, mode, stats);
+        --remaining;
+      }
+
+      if (overlap) {
+        // Halo-first banded compute: boundary bands land in `out` first and
+        // their chunks ship through the sender thread while the interior
+        // bands still run — the transport writes overlap the SSE kernels.
+        cnn::Tensor& out = out_bufs[cur_buf];
+        reshape(out, part.size(), layers.back().out_w(), layers.back().out_c);
+        const auto& sched = schedules[static_cast<std::size_t>(l)];
+        std::size_t next_send = 0;
+        for (std::size_t b = 0; b < sched.bands.size(); ++b) {
+          cnn::volume_forward_rows_into(layers, crop, need.begin,
+                                        sched.bands[b], weights_span, exec_ctx,
+                                        out, part.begin);
+          for (; next_send < sched.sends.size() &&
+                 sched.sends[next_send].ready_after_band <=
+                     static_cast<int>(b);
+               ++next_send) {
+            const auto& send = sched.sends[next_send];
+            const bool gather = l + 1 == n_volumes;
+            post_rows(transport, data_addr(send.to),
+                      gather ? rpc::MsgType::kGather : rpc::MsgType::kHaloRows,
+                      seq, gather ? n_volumes : l + 1, out, part.begin,
+                      send.rows, arena, stats, rtx.get(), &*sender);
+          }
+        }
+        prev_out = &out;
+        cur_buf ^= 1;
+      } else {
+        // Serial baseline: whole-part compute, then copying sends from this
+        // thread (slice temporary + encode copy), exactly the PR-3 path —
+        // including the crop copy PR-3's volume entry made on the way in
+        // (the _into rewrite removed it from the shared compute path, so
+        // the baseline pays it here to stay a faithful pre-change measure).
+        const cnn::Tensor legacy_cur = crop;
+        cnn::Tensor out = cnn::volume_forward_rows(
+            layers, legacy_cur, need.begin, part, weights_span, exec_ctx);
         if (l + 1 < n_volumes) {
           for (int k = 0; k < plan.n_devices; ++k) {
             if (k == i) continue;
@@ -275,6 +430,9 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                                           [static_cast<std::size_t>(k)];
             const auto chunk = kneed.intersect(part);
             if (chunk.empty()) continue;
+            stats.bytes_copied.fetch_add(  // the sliced temporary
+                static_cast<Bytes>(chunk.size()) * out.w * out.c * 4,
+                std::memory_order_relaxed);
             post_chunk(transport, data_addr(k),
                        rpc::ChunkMsg{rpc::MsgType::kHaloRows, seq, l + 1,
                                      chunk.begin, rpc::kNilNode, 0,
@@ -290,14 +448,17 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                                    std::move(out)},
                      stats, rtx.get());
         }
+        legacy_prev = std::move(out);
+        prev_out = &legacy_prev;
       }
-      prev_out = std::move(out);
       prev_rows = part;
     }
   }
 
   // Finite reliable run: our final gathers may still be unacked; keep the
-  // link serviced until they are (or the budget runs out).
+  // link serviced until they are (or the budget runs out). The sender must
+  // have handed the frames over first (its queue is our side of the story).
+  if (sender) sender->drain();
   if (rtx != nullptr && n_images >= 0) drain_outbox(rx, *rtx);
 }
 
@@ -305,6 +466,17 @@ void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
   for (int i = 0; i < ctx.plan.n_devices; ++i) {
     const auto& need = ctx.plan.needs[0][static_cast<std::size_t>(i)];
     if (need.empty()) continue;
+    if (ctx.mode == DataPlaneMode::kOverlapZeroCopy) {
+      // The scatter rows encode straight out of the caller's input tensor;
+      // no sliced temporary, and the frame buffer is recycled per image.
+      post_rows(ctx.transport, data_addr(i), rpc::MsgType::kScatter, seq, 0,
+                input, 0, need, ctx.arena, ctx.stats, ctx.rtx,
+                /*sender=*/nullptr);
+      continue;
+    }
+    ctx.stats.bytes_copied.fetch_add(  // the sliced temporary
+        static_cast<Bytes>(need.size()) * input.w * input.c * 4,
+        std::memory_order_relaxed);
     post_chunk(ctx.transport, data_addr(i),
                rpc::ChunkMsg{rpc::MsgType::kScatter, seq, 0, need.begin,
                              rpc::kNilNode, 0,
@@ -319,23 +491,26 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
   output = cnn::Tensor(last_layer.out_h(), last_layer.out_w(), last_layer.out_c);
 
   const cnn::RowInterval bounds{0, output.h};
-  int remaining = ctx.plan.holders_of_last();
+  // Row-coverage accounting: the holders' parts partition the output and
+  // each part arrives as one or more disjoint bands, so the gather is done
+  // exactly when `output.h` fresh rows landed — independent of how many
+  // chunks the senders cut them into.
+  int remaining_rows = output.h;
   if (auto it = ctx.stash.find(seq); it != ctx.stash.end()) {
-    for (auto& msg : it->second) {
+    for (auto& chunk : it->second) {
       // Runs on the requester thread with provider threads live, so a
       // geometry mismatch reports failure instead of throwing past them.
-      if (!chunk_fits(msg, bounds, output.w, output.c)) return false;
-      blit_rows(msg.rows, msg.row_offset, msg.row_offset,
-                msg.row_offset + msg.rows.h, output, 0);
-      --remaining;
+      if (!chunk_fits(chunk.view, bounds, output.w, output.c)) return false;
+      blit_chunk(chunk, output, 0, ctx.mode, ctx.stats);
+      remaining_rows -= chunk.view.h;
     }
     ctx.stash.erase(it);
   }
   RxState rx{ctx.transport, ctx.reliability, ctx.stats, ctx.dedup};
   int timeout_rounds = 0;
-  while (remaining > 0) {
-    rpc::ChunkMsg msg;
-    switch (receive_frame(rx, msg)) {
+  while (remaining_rows > 0) {
+    RxChunk chunk;
+    switch (receive_frame(rx, chunk)) {
       case RxKind::kStop:
         return false;
       case RxKind::kSkip:
@@ -351,17 +526,17 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
         break;
     }
     timeout_rounds = 0;
+    const auto& v = chunk.view;
     // Same stash-growth bound as the provider side: a gather for a past
     // image is a duplicate, one absurdly far ahead is off-plan.
-    if (msg.seq < seq || msg.seq - seq > kMaxImagesAhead) return false;
-    if (msg.seq != seq) {
-      ctx.stash[msg.seq].push_back(std::move(msg));
+    if (v.seq < seq || v.seq - seq > kMaxImagesAhead) return false;
+    if (v.seq != seq) {
+      ctx.stash[v.seq].push_back(std::move(chunk));
       continue;
     }
-    if (!chunk_fits(msg, bounds, output.w, output.c)) return false;
-    blit_rows(msg.rows, msg.row_offset, msg.row_offset,
-              msg.row_offset + msg.rows.h, output, 0);
-    --remaining;
+    if (!chunk_fits(v, bounds, output.w, output.c)) return false;
+    blit_chunk(chunk, output, 0, ctx.mode, ctx.stats);
+    remaining_rows -= v.h;
   }
   return true;
 }

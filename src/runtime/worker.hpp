@@ -3,6 +3,20 @@
 // requester's scatter/gather halves. All chunk traffic is wire-encoded, so
 // the same loops run unchanged over shared memory or TCP.
 //
+// Two data-plane variants share these loops (DataPlaneMode):
+//  * kOverlapZeroCopy (default) — chunks are encoded straight out of the
+//    source tensor into arena-recycled frames and blitted straight out of
+//    the received frame bytes (<= 2 userspace copies per halo byte), and
+//    each part computes under the halo-first band schedule: boundary rows
+//    first, halos posted from a dedicated sender thread while the interior
+//    still computes, final-volume output streamed to the requester band by
+//    band.
+//  * kSerialCopy — the PR-3 path (whole-part compute, slice/encode/decode/
+//    blit copies, sends from the compute thread), kept as the in-run A/B
+//    baseline for bench/runtime_stream and the bit-exactness conformance
+//    tests. Both variants produce bit-identical outputs: bands are row
+//    partitions of the same plan and the engine is order-exact per pixel.
+//
 // With ReliabilityOptions::enabled the loops speak the wire-v2 reliability
 // protocol (DESIGN.md §fault-model): every chunk is tracked by a
 // Retransmitter until acked, receivers dedup and ack, data waits are
@@ -14,12 +28,26 @@
 #include <vector>
 
 #include "cnn/exec_engine.hpp"
+#include "rpc/frame.hpp"
 #include "rpc/transport.hpp"
 #include "rpc/wire.hpp"
 #include "runtime/reliable.hpp"
 #include "runtime/transfer_plan.hpp"
 
 namespace de::runtime {
+
+/// Which chunk path the workers run (see file header).
+enum class DataPlaneMode {
+  kSerialCopy,      ///< PR-3 baseline: barrier schedule, copying chunk path
+  kOverlapZeroCopy, ///< halo-first bands + zero-copy frames (default)
+};
+
+/// A received chunk: the owning frame plus the validated borrowed view into
+/// it (frame buffers are address-stable, so the pair may be moved/stashed).
+struct RxChunk {
+  rpc::Frame frame;
+  rpc::ChunkView view;
+};
 
 /// The data-plane address of a cluster node.
 inline rpc::Address data_addr(rpc::NodeId node) {
@@ -44,14 +72,17 @@ void post_chunk(rpc::Transport& transport, const rpc::Address& to,
 /// shuts down. Malformed frames are dropped. With reliability enabled the
 /// provider owns a Retransmitter and, after a finite run, drains its outbox
 /// (bounded by the attempt budget) before returning, so late acks/losses on
-/// its last chunks are still recovered.
+/// its last chunks are still recovered. In kOverlapZeroCopy mode the
+/// provider additionally owns a frame arena, a ChunkSender thread, and the
+/// per-volume halo-first schedules (built once per run).
 void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const sim::RawStrategy& strategy,
                    const std::vector<cnn::ConvWeights>& weights,
                    const TransferPlan& plan, int n_images,
                    DataPlaneStats& stats,
                    const ReliabilityOptions& reliability = {},
-                   const cnn::ExecContext& exec = {});
+                   const cnn::ExecContext& exec = {},
+                   DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy);
 
 /// Per-image reliability events observed by the requester while gathering.
 struct ImageRetryStats {
@@ -63,29 +94,36 @@ struct ImageRetryStats {
 /// Requester-side state reused across the images of one run or stream.
 struct RequesterContext {
   RequesterContext(rpc::Transport& transport_, const TransferPlan& plan_,
-                   DataPlaneStats& stats_, ReliabilityOptions reliability_ = {})
+                   DataPlaneStats& stats_, ReliabilityOptions reliability_ = {},
+                   DataPlaneMode mode_ = DataPlaneMode::kOverlapZeroCopy)
       : transport(transport_), plan(plan_), stats(stats_),
-        reliability(reliability_) {}
+        reliability(reliability_), mode(mode_) {}
 
   rpc::Transport& transport;
   const TransferPlan& plan;
   DataPlaneStats& stats;
   ReliabilityOptions reliability;
+  DataPlaneMode mode;
   Retransmitter* rtx = nullptr;  ///< set by the run owner when reliable
   ChunkDedup dedup;
+  /// Scatter frames are encoded straight from the input tensor into these
+  /// recycled buffers (kOverlapZeroCopy).
+  rpc::FrameArena arena;
   /// Gather chunks of images not yet collected, keyed by seq.
-  std::map<int, std::vector<rpc::ChunkMsg>> stash;
+  std::map<int, std::vector<RxChunk>> stash;
 };
 
 /// Requester half: scatters image `seq`'s volume-0 inputs to the providers.
 void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input);
 
 /// Requester half: collects the holders' kGather chunks of image `seq` into
-/// `output` (sized from `model`). Chunks of other images park in the
-/// context's stash. Returns false if the transport shut down mid-gather, a
-/// peer sent plan-mismatched chunks, or (reliable mode) the gather starved
-/// past the timeout budget. `retry`, when given, receives this image's
-/// timeout/nack counts.
+/// `output` (sized from `model`). Completion is counted by output-row
+/// coverage, so one whole-part chunk per holder (serial mode) and streamed
+/// gather bands (overlap mode) both finish exactly when every row arrived.
+/// Chunks of other images park in the context's stash. Returns false if the
+/// transport shut down mid-gather, a peer sent plan-mismatched chunks, or
+/// (reliable mode) the gather starved past the timeout budget. `retry`,
+/// when given, receives this image's timeout/nack counts.
 bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
                   cnn::Tensor& output, ImageRetryStats* retry = nullptr);
 

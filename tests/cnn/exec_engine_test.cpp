@@ -204,6 +204,63 @@ TEST(ExecEngineVolume, ForwardAndSplitPartsBitExact) {
   }
 }
 
+TEST(ExecEngineVolume, BandedIntoMatchesWholePart) {
+  // The halo-first data plane fills one part tensor band by band through
+  // volume_forward_rows_into; any band partition, in any order, must
+  // reproduce the whole-part call byte for byte — for both engines, with
+  // and without row-band threading.
+  ThreadPool pool(3);
+  Rng rng(21);
+  const auto m = ModelBuilder("mini", 24, 24, 3)
+                     .conv_same(6, 3)
+                     .conv_same(6, 5)
+                     .maxpool(2, 2)
+                     .conv_same(12, 3)
+                     .build();
+  std::vector<ConvWeights> weights;
+  for (const auto& l : m.layers()) {
+    weights.push_back(l.kind == LayerKind::kConv ? ConvWeights::random(l, rng)
+                                                 : ConvWeights{});
+  }
+  const auto in = random_tensor(m.input_h(), m.input_w(), m.input_c(), rng);
+  const std::span<const LayerConfig> layers(m.layers());
+  const std::span<const ConvWeights> wts(weights);
+
+  const int height = layers.back().out_h();
+  const RowInterval part{2, height - 1};  // off-origin on purpose
+  const auto need = required_input_rows(layers, part);
+  Tensor crop(need.size(), in.w, in.c);
+  for (int y = need.begin; y < need.end; ++y)
+    for (int x = 0; x < in.w; ++x)
+      for (int ch = 0; ch < in.c; ++ch)
+        crop.at(y - need.begin, x, ch) = in.at(y, x, ch);
+
+  for (const auto& ctx :
+       {ExecContext::reference(), ExecContext::fast(),
+        ExecContext::fast(&pool)}) {
+    const auto whole =
+        volume_forward_rows(layers, crop, need.begin, part, wts, ctx);
+    for (int n_bands : {1, 3, part.size()}) {
+      Tensor dst(part.size(), whole.w, whole.c);
+      // Boundary-first order: last band, first band, then the middle ones.
+      std::vector<RowInterval> bands;
+      for (int b = 0; b < n_bands; ++b) {
+        bands.push_back(RowInterval{part.begin + part.size() * b / n_bands,
+                                    part.begin + part.size() * (b + 1) / n_bands});
+      }
+      std::rotate(bands.begin(), bands.end() - 1, bands.end());
+      for (const auto& band : bands) {
+        if (band.empty()) continue;
+        volume_forward_rows_into(layers, crop, need.begin, band, wts, ctx,
+                                 dst, part.begin);
+      }
+      expect_bitexact(dst, whole,
+                      std::string(to_string(ctx.engine)) + " bands=" +
+                          std::to_string(n_bands));
+    }
+  }
+}
+
 TEST(ExecEngineProperty, PaddingWiderThanKernelBitExact) {
   // padding >= kernel is legal (validate only requires the kernel to fit the
   // padded input) and makes the outermost output columns consist of zero

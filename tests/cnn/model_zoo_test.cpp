@@ -15,7 +15,10 @@ TEST_P(ZooModel, ValidatesAndHasSaneShape) {
   EXPECT_NO_THROW(m.validate());
   EXPECT_GE(m.num_layers(), 10);
   // Every model in the zoo is at least a GFLOP of work.
-  EXPECT_GT(m.total_ops(), 1'000'000'000LL);
+  // The paper-era models are GFLOP-class; the edge tier (edgenet) is two
+  // orders lighter by design — its job is to stress the data plane.
+  EXPECT_GT(m.total_ops(), m.name() == "edgenet" ? 50'000'000LL
+                                                 : 1'000'000'000LL);
   // Final spatial extent is much smaller than the input (full backbones;
   // OpenPose stays at stride 8 -> 46 rows).
   EXPECT_LE(m.layers().back().out_h(), 64);
@@ -85,7 +88,7 @@ TEST(ModelZoo, ZooNamesRoundTrip) {
   for (const auto& name : zoo_names()) {
     EXPECT_EQ(model_by_name(name).name(), name);
   }
-  EXPECT_EQ(zoo_names().size(), 8u);
+  EXPECT_EQ(zoo_names().size(), 9u);  // 8 paper-era models + the edge tier
 }
 
 }  // namespace

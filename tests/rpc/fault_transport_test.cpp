@@ -86,7 +86,7 @@ TEST(FaultTransport, DelayReordersButDelivers) {
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (order.size() < 60 && std::chrono::steady_clock::now() < deadline) {
-    Payload out;
+    Frame out;
     if (fabric.endpoint(1).receive_for(0, 50, out) == RecvStatus::kOk) {
       order.push_back(out[0]);
     }

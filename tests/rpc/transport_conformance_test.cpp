@@ -175,7 +175,7 @@ TEST_P(TransportConformance, TryReceiveNeverBlocks) {
   EXPECT_FALSE(u->node(1).try_receive(0).has_value());
   u->node(0).send(inbox, bytes({9}));
   // TCP delivery is asynchronous; poll until the frame lands.
-  std::optional<Payload> got;
+  std::optional<Frame> got;
   for (int spin = 0; spin < 2000 && !got.has_value(); ++spin) {
     got = u->node(1).try_receive(0);
     if (!got.has_value()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -188,7 +188,7 @@ TEST_P(TransportConformance, TryReceiveNeverBlocks) {
 TEST_P(TransportConformance, ReceiveForTimesOutThenDelivers) {
   auto u = make(2);
   const auto inbox = u->node(1).open_mailbox(0);
-  Payload out;
+  Frame out;
   EXPECT_EQ(u->node(1).receive_for(0, 10, out), RecvStatus::kTimeout);
   u->node(0).send(inbox, bytes({5}));
   // Generous bound: the frame is already in flight.
@@ -200,7 +200,7 @@ TEST_P(TransportConformance, ReceiveForReportsClosed) {
   auto u = make(1);
   u->node(0).open_mailbox(0);
   u->node(0).shutdown();
-  Payload out;
+  Frame out;
   EXPECT_EQ(u->node(0).receive_for(0, 10, out), RecvStatus::kClosed);
 }
 
@@ -235,7 +235,7 @@ TEST_P(TransportConformance, QueuedFramesSurviveSenderShutdown) {
   // Already-delivered frames must remain readable after the sender dies.
   ASSERT_EQ(u->node(1).receive(0).value(), bytes({1}));
   u->node(0).shutdown();
-  Payload out;
+  Frame out;
   EXPECT_EQ(u->node(1).receive_for(0, 10, out), RecvStatus::kTimeout);
 }
 
