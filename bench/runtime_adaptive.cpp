@@ -1,0 +1,221 @@
+// Adaptive serving on the real data plane, A/B'd in one run: the same
+// image stream is served twice over a shaped loopback-TCP fabric whose
+// device-0 radio collapses partway through (a deterministic two-regime
+// trace — the Fig. 12 situation distilled) —
+//
+//  * static   — the strategy planned for the healthy regime serves the
+//               whole stream (what the runtime did before the control
+//               plane existed);
+//  * adaptive — providers publish kTelemetry every image, the controller
+//               thread aggregates achieved link rates, detects the regime
+//               drift, replans against the refreshed network view, and the
+//               requester swaps strategies mid-stream via a kReconfigure
+//               epoch with zero pipeline drain.
+//
+// Both runs must produce bit-identical outputs (cross-checked here); the
+// adaptive one should finish the stream materially faster because the
+// post-collapse images stop waiting on the dead radio. Results land in
+// BENCH_adaptive.json. Exit status gates on >= 1 reconfiguration and
+// bit-exactness, NOT on the IPS ratio (CI runners are noisy); the ratio is
+// recorded for the log.
+//
+//   bench_runtime_adaptive [--quick] [--out PATH] [--images N]
+//                          [--devices N] [--model NAME] [--inflight K]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cnn/model_zoo.hpp"
+#include "common/require.hpp"
+#include "ctrl/controller.hpp"
+#include "ctrl/planner.hpp"
+#include "device/device.hpp"
+#include "runtime/serve.hpp"
+
+namespace {
+
+using namespace de;
+
+bool outputs_equal(const std::vector<cnn::Tensor>& a,
+                   const std::vector<cnn::Tensor>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if (a[k].data != b[k].data) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_adaptive.json";
+  std::string model_name = "edgenet";
+  int n_images = 0;
+  int n_devices = 4;
+  int inflight = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--images") == 0 && i + 1 < argc) {
+      n_images = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+      n_devices = std::max(2, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--inflight") == 0 && i + 1 < argc) {
+      inflight = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--out PATH] [--images N] "
+                   "[--devices N] [--model NAME] [--inflight K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (n_images == 0) n_images = quick ? 160 : 240;
+
+  const auto model = cnn::model_by_name(model_name);
+  Rng rng(123);
+  const auto weights = runtime::random_weights(model, rng);
+  std::vector<cnn::Tensor> images;
+  images.reserve(static_cast<std::size_t>(n_images));
+  for (int k = 0; k < n_images; ++k) {
+    cnn::Tensor t(model.input_h(), model.input_w(), model.input_c());
+    for (auto& v : t.data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    images.push_back(std::move(t));
+  }
+
+  // Two-regime shaped fabric: every radio holds `hi` except device 0's,
+  // which collapses to `lo` after `collapse_s` of wall time and stays
+  // there (the trace clamps at its end).
+  const Mbps hi = 90.0;
+  const Mbps lo = 6.0;
+  const double collapse_s = quick ? 0.6 : 1.5;
+  rpc::ShapingSpec shaping;
+  shaping.time_scale = 1.0;
+  shaping.node_traces.assign(static_cast<std::size_t>(n_devices) + 1,
+                             net::ThroughputTrace::constant(hi));
+  shaping.node_traces[0] = net::ThroughputTrace(collapse_s, {hi, lo});
+
+  // Planner-facing baseline: the healthy regime. Compute knowledge is the
+  // synthetic Nano model; the controller's calibration rescales it from
+  // telemetry (the host SSE engine is much faster than a Nano).
+  net::Network baseline(n_devices, hi, hi);
+  sim::ClusterLatency latency;
+  for (int i = 0; i < n_devices; ++i) {
+    latency.push_back(device::make_latency_model(device::DeviceType::kNano));
+  }
+  ctrl::BandwidthProportionalPlanner planner;
+  core::PlanContext plan_ctx;
+  plan_ctx.model = &model;
+  plan_ctx.latency = latency;
+  plan_ctx.network = &baseline;
+  const auto initial = planner.plan(plan_ctx).to_raw(model);
+
+  std::printf("model %s: %dx%dx%d, %d layers; %d devices, %d images, K=%d, "
+              "loopback TCP, shaped links\n",
+              model.name().c_str(), model.input_h(), model.input_w(),
+              model.input_c(), model.num_layers(), n_devices, n_images,
+              inflight);
+  std::printf("regime: all radios %.0f Mbps; device 0 collapses to %.0f Mbps "
+              "after %.1f s\n\n",
+              hi, lo, collapse_s);
+
+  const auto serve = [&](bool adaptive) {
+    runtime::ServeOptions serve_options;
+    serve_options.use_tcp = true;
+    serve_options.inflight = inflight;
+    serve_options.keep_outputs = true;
+    serve_options.shaping = &shaping;
+    std::unique_ptr<ctrl::Controller> controller;
+    if (adaptive) {
+      ctrl::ControllerConfig config;
+      config.planner = &planner;
+      config.model = &model;
+      config.latency = latency;
+      config.network = baseline;
+      config.drift_threshold = 0.3;
+      config.min_swap_gap_s = 0.5;
+      controller = std::make_unique<ctrl::Controller>(config);
+      serve_options.controller = controller.get();
+    }
+    auto result = runtime::serve_stream(model, initial, weights, images,
+                                        n_devices, serve_options);
+    if (controller) {
+      const auto stats = controller->stats();
+      std::printf("  controller: %d telemetry frames, %d replans, %d swaps\n",
+                  stats.telemetry_frames, stats.replans, stats.swaps);
+    }
+    return result;
+  };
+
+  std::printf("static (initial strategy for the whole stream):\n");
+  const auto fixed = serve(false);
+  std::printf("  %6.2f IPS  wall %.3f s\n\n", fixed.measured_ips, fixed.wall_s);
+
+  std::printf("adaptive (telemetry -> controller -> live epoch swaps):\n");
+  const auto adaptive = serve(true);
+  std::printf("  %6.2f IPS  wall %.3f s, %d reconfigurations\n",
+              adaptive.measured_ips, adaptive.wall_s,
+              static_cast<int>(adaptive.reconfigurations.size()));
+  for (const auto& event : adaptive.reconfigurations) {
+    std::printf("    epoch %d from image %d at %.2f s (predicted %.1f -> "
+                "%.1f ms/image)\n",
+                event.epoch, event.from_image, event.at_s,
+                event.predicted_serving_ms, event.predicted_next_ms);
+  }
+
+  const bool exact = outputs_equal(fixed.outputs, adaptive.outputs);
+  const bool reconfigured = !adaptive.reconfigurations.empty();
+  const double speedup =
+      fixed.measured_ips > 0 ? adaptive.measured_ips / fixed.measured_ips : 0;
+  std::printf("\nspeedup (adaptive vs static): %.2fx, bit-exact outputs: %s\n",
+              speedup, exact ? "yes" : "NO");
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"runtime_adaptive\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", quick ? "quick" : "full");
+  std::fprintf(f,
+               "  \"workload\": {\"model\": \"%s\", \"images\": %d, "
+               "\"devices\": %d, \"inflight\": %d, \"transport\": "
+               "\"tcp-loopback-shaped\", \"hi_mbps\": %.1f, \"lo_mbps\": "
+               "%.1f, \"collapse_s\": %.2f},\n",
+               model.name().c_str(), n_images, n_devices, inflight, hi, lo,
+               collapse_s);
+  std::fprintf(f, "  \"bit_exact_across_modes\": %s,\n",
+               exact ? "true" : "false");
+  std::fprintf(f,
+               "  \"static_initial_strategy\": {\"ips\": %.3f, \"wall_s\": "
+               "%.4f},\n",
+               fixed.measured_ips, fixed.wall_s);
+  std::fprintf(f,
+               "  \"adaptive\": {\"ips\": %.3f, \"wall_s\": %.4f, "
+               "\"reconfigurations\": [",
+               adaptive.measured_ips, adaptive.wall_s);
+  for (std::size_t k = 0; k < adaptive.reconfigurations.size(); ++k) {
+    const auto& event = adaptive.reconfigurations[k];
+    std::fprintf(f,
+                 "%s{\"epoch\": %d, \"from_image\": %d, \"at_s\": %.3f, "
+                 "\"predicted_serving_ms\": %.3f, \"predicted_next_ms\": "
+                 "%.3f}",
+                 k == 0 ? "" : ", ", event.epoch, event.from_image, event.at_s,
+                 event.predicted_serving_ms, event.predicted_next_ms);
+  }
+  std::fprintf(f, "]},\n");
+  std::fprintf(f, "  \"speedup_adaptive_vs_static\": %.3f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return exact && reconfigured ? 0 : 1;
+}

@@ -1,0 +1,179 @@
+#include "ctrl/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace de::ctrl {
+
+Controller::Controller(ControllerConfig config)
+    : config_(std::move(config)),
+      book_(static_cast<int>(config_.latency.size())) {
+  DE_REQUIRE(config_.planner != nullptr, "controller needs a planner");
+  DE_REQUIRE(config_.model != nullptr, "controller needs the model");
+  DE_REQUIRE(!config_.latency.empty(), "controller needs device knowledge");
+  DE_REQUIRE(config_.network.num_devices() ==
+                 static_cast<int>(config_.latency.size()),
+             "controller network/latency device counts disagree");
+  DE_REQUIRE(config_.drift_threshold > 0, "drift threshold must be positive");
+}
+
+Controller::~Controller() { stop(); }
+
+void Controller::start(rpc::Transport& transport,
+                       const sim::RawStrategy& serving,
+                       rpc::LinkRateSampler* local_links) {
+  DE_REQUIRE(!thread_.joinable(), "controller already started");
+  transport_ = &transport;
+  local_links_ = local_links;
+  serving_ = serving;
+  const int n = static_cast<int>(config_.latency.size());
+  baseline_rates_.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    baseline_rates_[static_cast<std::size_t>(i)] =
+        config_.network.device_rate(i, 0.0);
+  }
+  last_swap_ = std::chrono::steady_clock::now();
+  stop_.store(false);
+  thread_ = std::thread([this] { loop(); });
+}
+
+std::optional<SwapDecision> Controller::take_swap() {
+  std::lock_guard lk(mu_);
+  auto taken = std::move(pending_);
+  pending_.reset();
+  return taken;
+}
+
+void Controller::stop() {
+  stop_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+ControllerStats Controller::stats() const {
+  std::lock_guard lk(mu_);
+  return stats_;
+}
+
+void Controller::loop() {
+  while (!stop_.load()) {
+    rpc::Frame frame;
+    switch (transport_->receive_for(rpc::kTelemetryMailbox, config_.poll_ms,
+                                    frame)) {
+      case rpc::RecvStatus::kClosed:
+        return;  // fabric went down; the serving loop is tearing down too
+      case rpc::RecvStatus::kOk:
+        try {
+          book_.ingest(rpc::decode_telemetry(frame));
+          std::lock_guard lk(mu_);
+          ++stats_.telemetry_frames;
+        } catch (const Error&) {
+          // Malformed control frame: ignore, like the data plane does.
+        }
+        break;
+      case rpc::RecvStatus::kTimeout:
+        break;
+    }
+    if (local_links_ != nullptr) {
+      book_.ingest_links(transport_->local_node(),
+                         local_links_->sample_link_rates());
+    }
+    {
+      std::lock_guard lk(mu_);
+      stats_.device_mbps = book_.device_rates();
+    }
+    try {
+      check_and_plan();
+    } catch (const std::exception&) {
+      // A planner/simulator failure on a degenerate refreshed view must
+      // not take the process down (this thread has no other handler) —
+      // the stream keeps serving the current strategy; the failure is
+      // visible in stats and the next telemetry tick retries.
+      std::lock_guard lk(mu_);
+      ++stats_.plan_failures;
+    }
+  }
+}
+
+void Controller::check_and_plan() {
+  {
+    std::lock_guard lk(mu_);
+    if (pending_.has_value()) return;  // previous decision not yet applied
+  }
+  const int n = static_cast<int>(config_.latency.size());
+  std::vector<Mbps> rates = book_.device_rates();
+  double drift = 0;
+  for (int i = 0; i < n; ++i) {
+    auto& rate = rates[static_cast<std::size_t>(i)];
+    const Mbps base = baseline_rates_[static_cast<std::size_t>(i)];
+    if (rate <= 0) rate = base;  // never observed: assume no drift
+    if (base > 0) drift = std::max(drift, std::abs(rate - base) / base);
+  }
+  if (drift <= config_.drift_threshold) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (std::chrono::duration_cast<std::chrono::duration<double>>(
+          now - last_swap_)
+          .count() < config_.min_swap_gap_s) {
+    return;
+  }
+
+  // The refreshed world view: observed link rates, compute rescaled by the
+  // measured/predicted ratio of the strategy currently serving.
+  const net::Network refreshed = book_.refreshed_network(config_.network);
+  sim::ClusterLatency latency = config_.latency;
+  if (config_.calibrate_compute) {
+    const auto predicted = sim::execute_strategy(*config_.model, serving_,
+                                                 config_.latency, refreshed);
+    const auto measured = book_.compute_ms();
+    std::vector<double> factors(static_cast<std::size_t>(n), 1.0);
+    for (int i = 0; i < n; ++i) {
+      const double expect =
+          predicted.device_compute_ms[static_cast<std::size_t>(i)];
+      const double got = measured[static_cast<std::size_t>(i)];
+      if (expect > 0 && got > 0) {
+        factors[static_cast<std::size_t>(i)] = got / expect;
+      }
+    }
+    latency = scale_latency(config_.latency, factors);
+  }
+
+  core::PlanContext ctx;
+  ctx.model = config_.model;
+  ctx.latency = latency;
+  ctx.network = &refreshed;
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.replans;
+  }
+  core::DistributionStrategy planned = config_.planner->plan(ctx);
+  planned.validate(*config_.model, n);
+  sim::RawStrategy raw = planned.to_raw(*config_.model);
+
+  // Keep the swap only when the event simulator — the same predictor the
+  // paper's controller trusts — says the new strategy beats the serving one
+  // on the refreshed view by the configured margin.
+  const Ms serving_ms =
+      sim::execute_strategy(*config_.model, serving_, latency, refreshed)
+          .total_ms;
+  const Ms next_ms =
+      sim::execute_strategy(*config_.model, raw, latency, refreshed).total_ms;
+  // Either way, this drift level is now the baseline — no replan storm on a
+  // regime the planner has already answered.
+  baseline_rates_ = rates;
+  if (next_ms >= serving_ms * (1.0 - config_.improvement_margin)) return;
+
+  SwapDecision decision;
+  decision.strategy = raw;
+  decision.predicted_serving_ms = serving_ms;
+  decision.predicted_next_ms = next_ms;
+  decision.device_mbps = rates;
+  serving_ = std::move(raw);
+  last_swap_ = now;
+  std::lock_guard lk(mu_);
+  ++stats_.swaps;
+  pending_ = std::move(decision);
+}
+
+}  // namespace de::ctrl

@@ -1,0 +1,118 @@
+// The adaptive controller (DESIGN.md §control-plane): the thread that
+// closes the loop between runtime telemetry and the planners.
+//
+//   telemetry frames ──> TelemetryBook ──> refreshed Network/ClusterLatency
+//        (kTelemetryMailbox)                        │ drift > threshold?
+//                                                   v
+//   serving loop  <── SwapDecision <── planner.plan(refreshed ctx)
+//    (take_swap)        │ keep only if the event simulator predicts the new
+//                       │ strategy beats the serving one on the refreshed
+//                       v view (paper §V-F: the old strategy keeps serving
+//                  while planning runs — the controller thread plans, the
+//                  requester thread swaps at an image boundary)
+//
+// The controller never touches the data plane itself: it drains its own
+// mailbox, plans on its own thread, and publishes at most one pending
+// decision that the serving loop picks up between images and turns into a
+// kReconfigure epoch (runtime::push_epoch).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/planner.hpp"
+#include "ctrl/telemetry.hpp"
+#include "rpc/shaped_transport.hpp"
+#include "rpc/transport.hpp"
+#include "sim/exec_sim.hpp"
+
+namespace de::ctrl {
+
+struct ControllerConfig {
+  core::Planner* planner = nullptr;       ///< required; not owned
+  const cnn::CnnModel* model = nullptr;   ///< required; not owned
+  /// Baseline device knowledge (profiled/synthetic models); telemetry
+  /// rescales it per device when `calibrate_compute` is on.
+  sim::ClusterLatency latency;
+  /// Baseline network view; telemetry replaces observed links with
+  /// constant links at the achieved rate.
+  net::Network network{1};
+  /// Max relative per-device rate drift tolerated before replanning.
+  double drift_threshold = 0.25;
+  /// Predicted one-image-latency gain (fraction) a new strategy must show
+  /// on the refreshed view before it is offered for a swap.
+  double improvement_margin = 0.03;
+  /// Telemetry-mailbox wait per loop tick.
+  int poll_ms = 10;
+  /// Debounce: minimum wall seconds between published swaps.
+  Seconds min_swap_gap_s = 0.25;
+  /// Fold measured/predicted compute ratios into the latency view.
+  bool calibrate_compute = true;
+};
+
+/// A freshly planned strategy the serving loop should cut over to.
+struct SwapDecision {
+  sim::RawStrategy strategy;
+  Ms predicted_serving_ms = 0;  ///< serving strategy, refreshed view
+  Ms predicted_next_ms = 0;     ///< new strategy, same view
+  std::vector<Mbps> device_mbps;  ///< rate estimates planned against
+};
+
+struct ControllerStats {
+  int telemetry_frames = 0;
+  int replans = 0;        ///< planner invocations
+  int swaps = 0;          ///< decisions published
+  int plan_failures = 0;  ///< replan attempts that threw (kept serving)
+  std::vector<Mbps> device_mbps;  ///< latest smoothed estimates
+};
+
+class Controller {
+ public:
+  explicit Controller(ControllerConfig config);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Starts the control loop: drains `transport`'s kTelemetryMailbox
+  /// (which must be open) and replans against drift from the rates
+  /// underlying `serving`. `local_links`, when given, is sampled every
+  /// tick for the controller node's own outgoing links (the scatter
+  /// direction — no wire hop needed). The transport must outlive stop().
+  void start(rpc::Transport& transport, const sim::RawStrategy& serving,
+             rpc::LinkRateSampler* local_links = nullptr);
+
+  /// The serving loop's half: pops the pending decision, if any. Taking it
+  /// commits the controller to the new strategy as its drift baseline.
+  std::optional<SwapDecision> take_swap();
+
+  /// Stops and joins the control loop. Idempotent; also run on destruction.
+  void stop();
+
+  ControllerStats stats() const;
+
+ private:
+  void loop();
+  void check_and_plan();
+
+  ControllerConfig config_;
+  rpc::Transport* transport_ = nullptr;
+  rpc::LinkRateSampler* local_links_ = nullptr;
+
+  TelemetryBook book_;
+  sim::RawStrategy serving_;
+  std::vector<Mbps> baseline_rates_;  ///< rates the serving strategy assumes
+  std::chrono::steady_clock::time_point last_swap_;
+
+  mutable std::mutex mu_;
+  std::optional<SwapDecision> pending_;
+  ControllerStats stats_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace de::ctrl

@@ -1,0 +1,73 @@
+#include "ctrl/planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "cnn/layer_volume.hpp"
+#include "common/require.hpp"
+
+namespace de::ctrl {
+
+BandwidthProportionalPlanner::BandwidthProportionalPlanner(
+    ProportionalConfig config)
+    : config_(config) {
+  DE_REQUIRE(config_.layers_per_volume >= 1, "volume granularity");
+  DE_REQUIRE(config_.min_share >= 0 && config_.min_share < 1, "min share");
+}
+
+core::DistributionStrategy BandwidthProportionalPlanner::plan(
+    const core::PlanContext& ctx) {
+  ctx.validate();
+  const cnn::CnnModel& model = *ctx.model;
+  const int n = ctx.num_devices();
+  const Seconds t = ctx.plan_time_s;
+
+  // Per-device cost of serving the *whole* image alone: full-model compute
+  // at this device's latency knowledge, plus moving the scatter + gather
+  // bytes over its link at the observed rate. Shares go inversely to cost.
+  const auto& first = model.layer(0);
+  const auto& last = model.layer(model.num_layers() - 1);
+  const Bytes scatter_bytes = static_cast<Bytes>(first.in_h) *
+                              static_cast<Bytes>(first.in_w) *
+                              static_cast<Bytes>(first.in_c) * 4;
+  const Bytes gather_bytes = static_cast<Bytes>(last.out_h()) *
+                             static_cast<Bytes>(last.out_w()) *
+                             static_cast<Bytes>(last.out_c) * 4;
+  std::vector<double> weights(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double compute_ms = 0;
+    for (const auto& layer : model.layers()) {
+      compute_ms += ctx.latency[static_cast<std::size_t>(i)]->layer_ms(
+          layer, layer.out_h());
+    }
+    const Ms wire_ms =
+        ctx.network->transfer_ms(net::kRequester, i, scatter_bytes, t) +
+        ctx.network->transfer_ms(i, net::kRequester, gather_bytes, t);
+    weights[static_cast<std::size_t>(i)] = 1.0 / (compute_ms + wire_ms);
+  }
+  // Starve collapsed links entirely: a tiny share still pays the per-image
+  // fixed costs of its device, so below the threshold, zero beats some.
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (auto& w : weights) {
+    if (w < config_.min_share * total / n) w = 0.0;
+  }
+
+  core::DistributionStrategy strategy;
+  for (int l = 0; l < model.num_layers(); l += config_.layers_per_volume) {
+    strategy.boundaries.push_back(l);
+  }
+  strategy.boundaries.push_back(model.num_layers());
+  const auto volumes =
+      cnn::volumes_from_boundaries(strategy.boundaries, model.num_layers());
+  strategy.splits.reserve(volumes.size());
+  for (const auto& volume : volumes) {
+    strategy.splits.push_back(core::proportional_split(
+        cnn::volume_out_height(model, volume), weights));
+  }
+  strategy.validate(model, n);
+  return strategy;
+}
+
+}  // namespace de::ctrl

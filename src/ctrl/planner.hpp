@@ -1,0 +1,39 @@
+// A deliberately cheap online planner for the adaptive control plane: rows
+// split proportionally to each device's effective service rate, where a
+// device's cost per image is its full-model compute time (from the
+// planner's ClusterLatency knowledge) plus the time its link needs to move
+// its share of the scatter + gather traffic at the currently observed rate.
+//
+// This is not DistrEdge's LC-PSS + OSDS — it is the controller's "always
+// affordable" fallback (plans in microseconds, so a replan can run on every
+// telemetry tick), sensitive to exactly the two signals telemetry refreshes:
+// link Mbps and measured compute scale. The controller accepts any
+// core::Planner, so the full DistrEdgePlanner (paper §V-F replan) drops in
+// where its seconds-long fine-tune is acceptable.
+#pragma once
+
+#include "core/planner.hpp"
+
+namespace de::ctrl {
+
+struct ProportionalConfig {
+  /// Boundary every this many layers (the volume granularity; smaller means
+  /// more halo exchanges, larger means coarser load balancing).
+  int layers_per_volume = 2;
+  /// Shares below this fraction of an equal share collapse to zero — a
+  /// device whose link has collapsed is cheaper to drop than to feed.
+  double min_share = 0.15;
+};
+
+class BandwidthProportionalPlanner final : public core::Planner {
+ public:
+  explicit BandwidthProportionalPlanner(ProportionalConfig config = {});
+
+  std::string name() const override { return "bw-proportional"; }
+  core::DistributionStrategy plan(const core::PlanContext& ctx) override;
+
+ private:
+  ProportionalConfig config_;
+};
+
+}  // namespace de::ctrl

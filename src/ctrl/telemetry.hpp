@@ -1,0 +1,92 @@
+// Telemetry aggregation of the adaptive control plane (DESIGN.md
+// §control-plane): wire kTelemetry reports stream in from the providers
+// (plus the requester's own link samples) and this book folds them into a
+// per-device view — achieved link Mbps and measured per-image compute —
+// that refreshes the planner's net::Network / ClusterLatency knowledge.
+//
+// Rate attribution: a sample on link u -> v reports min(rate_u, rate_v) —
+// a *lower bound* on both radios, so naively folding it into both
+// estimates drags a healthy endpoint down whenever its peer collapses.
+// The book therefore only attributes samples from requester links
+// (scatter/gather — the bulk of the stream) to their *device* endpoint:
+// the requester radio is presumed provisioned (the paper's testbed
+// assumption), which makes min(r_dev, r_req) a tight estimate of r_dev.
+// Provider-to-provider halo samples are ambiguous and ignored. Estimates
+// smooth across windows with an EWMA.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "device/latency_model.hpp"
+#include "net/network.hpp"
+#include "rpc/wire.hpp"
+#include "sim/exec_sim.hpp"
+
+namespace de::ctrl {
+
+class TelemetryBook {
+ public:
+  /// `smoothing` is the EWMA weight of a fresh window (1 = no smoothing).
+  explicit TelemetryBook(int n_devices, double smoothing = 0.6);
+
+  int num_devices() const { return static_cast<int>(rate_.size()); }
+
+  /// Folds one wire report in. `reporter` must be the frame's from_node;
+  /// reports from unknown node ids are ignored.
+  void ingest(const rpc::TelemetryMsg& msg);
+
+  /// Folds locally-sampled link rates in (the requester's own shaper —
+  /// no wire hop needed for the node the controller runs on).
+  void ingest_links(rpc::NodeId reporter,
+                    const std::vector<rpc::LinkRateSample>& links);
+
+  /// Current smoothed rate estimate per device (0 = never observed).
+  std::vector<Mbps> device_rates() const;
+  /// Current mean per-image compute per device (0 = never observed).
+  std::vector<double> compute_ms() const;
+
+  /// `baseline` with every observed device link replaced by a constant
+  /// link at the estimated rate; unobserved devices and the requester keep
+  /// their baseline traces.
+  net::Network refreshed_network(const net::Network& baseline) const;
+
+  int reports() const { return reports_; }
+
+ private:
+  void fold(rpc::NodeId device, Mbps rate);
+
+  double smoothing_;
+  std::vector<Mbps> rate_;  ///< one smoothed estimate per device
+  std::vector<double> compute_ms_;
+  int reports_ = 0;
+};
+
+/// A latency model scaled by a constant factor — the cheapest honest way to
+/// fold "device i measured k x its predicted compute" telemetry back into
+/// the planner's ClusterLatency view.
+class ScaledLatencyModel final : public device::LatencyModel {
+ public:
+  ScaledLatencyModel(std::shared_ptr<const device::LatencyModel> base,
+                     double scale)
+      : base_(std::move(base)), scale_(scale) {}
+
+  Ms layer_ms(const cnn::LayerConfig& layer, int out_rows) const override {
+    return scale_ * base_->layer_ms(layer, out_rows);
+  }
+  Ms fc_ms(const cnn::FcConfig& fc) const override {
+    return scale_ * base_->fc_ms(fc);
+  }
+
+ private:
+  std::shared_ptr<const device::LatencyModel> base_;
+  double scale_;
+};
+
+/// Per-device scaled copy of `base`; factors outside [1/32, 32] are clamped
+/// (a synthetic model and real silicon can disagree by a constant without
+/// the *relative* device speeds — what planning runs on — being wrong).
+sim::ClusterLatency scale_latency(const sim::ClusterLatency& base,
+                                  const std::vector<double>& factors);
+
+}  // namespace de::ctrl

@@ -28,6 +28,11 @@ inline constexpr MailboxId kDataMailbox = 0;
 /// behind multi-megabyte tensor chunks.
 inline constexpr MailboxId kCtrlMailbox = 1;
 
+/// The control-plane inbox for kTelemetry frames, drained by the adaptive
+/// controller on the requester node. Separate from kCtrlMailbox because
+/// that one belongs to the Retransmitter's ack/nack loop.
+inline constexpr MailboxId kTelemetryMailbox = 2;
+
 struct Address {
   NodeId node = kNilNode;
   MailboxId mailbox = kNilMailbox;

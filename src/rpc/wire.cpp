@@ -1,5 +1,6 @@
 #include "rpc/wire.hpp"
 
+#include <cmath>
 #include <limits>
 
 #include "common/require.hpp"
@@ -24,13 +25,15 @@ Header read_header(core::ByteReader& r) {
   DE_REQUIRE(r.u32() == kWireMagic, "wire: bad magic");
   Header h;
   h.version = r.u16();
-  DE_REQUIRE(h.version == 1 || h.version == kWireVersion,
+  DE_REQUIRE(h.version >= 1 && h.version <= kWireVersion,
              "wire: unsupported version");
   const auto raw = r.u16();
-  // v1 streams end at kShutdown; the ack/nack control types are v2-only.
-  const auto max_type = h.version == 1
-                            ? static_cast<std::uint16_t>(MsgType::kShutdown)
-                            : static_cast<std::uint16_t>(MsgType::kNack);
+  // v1 streams end at kShutdown; ack/nack are v2; the control-plane
+  // telemetry/reconfigure types are v3-only.
+  const auto max_type =
+      h.version == 1   ? static_cast<std::uint16_t>(MsgType::kShutdown)
+      : h.version == 2 ? static_cast<std::uint16_t>(MsgType::kNack)
+                       : static_cast<std::uint16_t>(MsgType::kReconfigure);
   DE_REQUIRE(raw >= static_cast<std::uint16_t>(MsgType::kScatter) &&
                  raw <= max_type,
              "wire: unknown message type");
@@ -55,14 +58,15 @@ namespace {
 void encode_chunk_body(core::ByteWriter& w, MsgType type, std::int32_t seq,
                        std::int32_t volume, std::int32_t row_offset,
                        NodeId from_node, std::uint32_t chunk_id,
-                       std::int32_t h, std::int32_t ww, std::int32_t c,
-                       std::span<const float> rows) {
+                       std::int32_t epoch, std::int32_t h, std::int32_t ww,
+                       std::int32_t c, std::span<const float> rows) {
   write_header(w, type);
   w.i32(seq);
   w.i32(volume);
   w.i32(row_offset);
   w.i32(from_node);
   w.u32(chunk_id);
+  w.i32(epoch);
   w.i32(h);
   w.i32(ww);
   w.i32(c);
@@ -80,15 +84,16 @@ Payload encode_chunk(const ChunkMsg& msg) {
              "wire: tensor extents disagree with data size");
   core::ByteWriter w;
   encode_chunk_body(w, msg.type, msg.seq, msg.volume, msg.row_offset,
-                    msg.from_node, msg.chunk_id, msg.rows.h, msg.rows.w,
-                    msg.rows.c, msg.rows.data);
+                    msg.from_node, msg.chunk_id, msg.epoch, msg.rows.h,
+                    msg.rows.w, msg.rows.c, msg.rows.data);
   return w.take();
 }
 
 std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
                               std::int32_t volume, NodeId from_node,
-                              std::uint32_t chunk_id, const cnn::Tensor& src,
-                              int src_offset, cnn::RowInterval rows) {
+                              std::uint32_t chunk_id, std::int32_t epoch,
+                              const cnn::Tensor& src, int src_offset,
+                              cnn::RowInterval rows) {
   DE_REQUIRE(is_chunk_type(type), "wire: not a chunk message type");
   DE_REQUIRE(!rows.empty(), "wire: empty row range");
   DE_REQUIRE(rows.begin >= src_offset && rows.end - src_offset <= src.h,
@@ -103,7 +108,7 @@ std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
   bytes.clear();
   core::ByteWriter w(bytes);
   encode_chunk_body(w, type, seq, volume, rows.begin, from_node, chunk_id,
-                    rows.size(), src.w, src.c, payload);
+                    epoch, rows.size(), src.w, src.c, payload);
   return payload.size() * 4;
 }
 
@@ -157,6 +162,10 @@ ChunkView decode_chunk_view(std::span<const std::uint8_t> frame) {
     DE_REQUIRE(view.chunk_id == 0 || view.from_node != kNilNode,
                "wire: tracked chunk without a sender");
   }
+  if (header.version >= 3) {
+    view.epoch = r.i32();
+    DE_REQUIRE(view.epoch >= 0, "wire: negative chunk epoch");
+  }
   view.h = r.i32();
   view.w = r.i32();
   view.c = r.i32();
@@ -199,6 +208,7 @@ ChunkMsg decode_chunk(std::span<const std::uint8_t> frame) {
   msg.row_offset = view.row_offset;
   msg.from_node = view.from_node;
   msg.chunk_id = view.chunk_id;
+  msg.epoch = view.epoch;
   msg.rows = view.to_tensor();
   return msg;
 }
@@ -251,6 +261,123 @@ AckMsg decode_ack(std::span<const std::uint8_t> frame) {
   DE_REQUIRE(r.exhausted(), "wire: trailing bytes after ack");
   DE_REQUIRE(msg.from_node >= 0 && msg.chunk_id > 0,
              "wire: malformed ack fields");
+  return msg;
+}
+
+Payload encode_telemetry(const TelemetryMsg& msg) {
+  core::ByteWriter w;
+  write_header(w, MsgType::kTelemetry);
+  w.i32(msg.from_node);
+  w.f32(static_cast<float>(msg.window_s));
+  w.f32(static_cast<float>(msg.compute_ms));
+  w.i32(msg.images);
+  w.i32(static_cast<std::int32_t>(msg.links.size()));
+  for (const auto& link : msg.links) {
+    w.i32(link.peer);
+    w.f32(static_cast<float>(link.mbps));
+    w.f32(static_cast<float>(link.mbytes));
+  }
+  return w.take();
+}
+
+TelemetryMsg decode_telemetry(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kTelemetry,
+             "wire: frame is not a telemetry report");
+  TelemetryMsg msg;
+  msg.from_node = r.i32();
+  msg.window_s = r.f32();
+  msg.compute_ms = r.f32();
+  msg.images = r.i32();
+  const std::int32_t n_links = r.i32();
+  // NaN fails the >= 0 comparisons on its own; infinities need the
+  // explicit check — an Inf rate would poison every EWMA it touches.
+  DE_REQUIRE(msg.from_node >= 0 && msg.window_s >= 0 && msg.compute_ms >= 0 &&
+                 msg.images >= 0 && n_links >= 0 &&
+                 std::isfinite(msg.window_s) && std::isfinite(msg.compute_ms),
+             "wire: malformed telemetry fields");
+  // Length cross-check before the vector allocation: a hostile link count
+  // cannot drive a huge speculative reserve.
+  DE_REQUIRE(r.remaining() == static_cast<std::size_t>(n_links) * 12,
+             "wire: telemetry size disagrees with link count");
+  msg.links.reserve(static_cast<std::size_t>(n_links));
+  for (std::int32_t k = 0; k < n_links; ++k) {
+    LinkRateSample link;
+    link.peer = r.i32();
+    link.mbps = r.f32();
+    link.mbytes = r.f32();
+    DE_REQUIRE(link.peer >= 0 && link.mbps >= 0 && link.mbytes >= 0 &&
+                   std::isfinite(link.mbps) && std::isfinite(link.mbytes),
+               "wire: malformed telemetry link sample");
+    msg.links.push_back(link);
+  }
+  return msg;
+}
+
+Payload encode_reconfigure(const ReconfigureMsg& msg) {
+  DE_REQUIRE(msg.epoch >= 1 && msg.from_seq >= 0 && msg.n_devices >= 1,
+             "wire: malformed reconfigure message");
+  DE_REQUIRE(!msg.volumes.empty() && msg.volumes.size() == msg.cuts.size(),
+             "wire: reconfigure volume/cut counts disagree");
+  core::ByteWriter w;
+  write_header(w, MsgType::kReconfigure);
+  w.i32(msg.from_node);
+  w.u32(msg.chunk_id);
+  w.i32(msg.epoch);
+  w.i32(msg.from_seq);
+  w.i32(msg.n_devices);
+  w.i32(static_cast<std::int32_t>(msg.volumes.size()));
+  for (std::size_t l = 0; l < msg.volumes.size(); ++l) {
+    DE_REQUIRE(msg.cuts[l].size() ==
+                   static_cast<std::size_t>(msg.n_devices) + 1,
+               "wire: reconfigure cut vector has wrong arity");
+    w.i32(msg.volumes[l].first);
+    w.i32(msg.volumes[l].last);
+    for (const int cut : msg.cuts[l]) w.i32(cut);
+  }
+  return w.take();
+}
+
+ReconfigureMsg decode_reconfigure(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kReconfigure,
+             "wire: frame is not a reconfigure");
+  ReconfigureMsg msg;
+  msg.from_node = r.i32();
+  msg.chunk_id = r.u32();
+  msg.epoch = r.i32();
+  msg.from_seq = r.i32();
+  msg.n_devices = r.i32();
+  const std::int32_t n_volumes = r.i32();
+  DE_REQUIRE(msg.from_node >= kNilNode, "wire: malformed reconfigure sender");
+  DE_REQUIRE(msg.chunk_id == 0 || msg.from_node != kNilNode,
+             "wire: tracked reconfigure without a sender");
+  DE_REQUIRE(msg.epoch >= 1 && msg.from_seq >= 0, "wire: malformed epoch");
+  DE_REQUIRE(msg.n_devices >= 1 && msg.n_devices <= 1 << 16,
+             "wire: hostile reconfigure device count");
+  DE_REQUIRE(n_volumes >= 1 && n_volumes <= 1 << 16,
+             "wire: hostile reconfigure volume count");
+  // Exact length check before any per-volume allocation.
+  const std::size_t per_volume =
+      8 + 4 * (static_cast<std::size_t>(msg.n_devices) + 1);
+  DE_REQUIRE(r.remaining() == static_cast<std::size_t>(n_volumes) * per_volume,
+             "wire: reconfigure size disagrees with its counts");
+  msg.volumes.reserve(static_cast<std::size_t>(n_volumes));
+  msg.cuts.reserve(static_cast<std::size_t>(n_volumes));
+  for (std::int32_t l = 0; l < n_volumes; ++l) {
+    cnn::LayerVolume volume;
+    volume.first = r.i32();
+    volume.last = r.i32();
+    DE_REQUIRE(volume.first >= 0 && volume.last > volume.first,
+               "wire: malformed reconfigure volume");
+    std::vector<int> cuts(static_cast<std::size_t>(msg.n_devices) + 1);
+    for (auto& cut : cuts) {
+      cut = r.i32();
+      DE_REQUIRE(cut >= 0, "wire: negative reconfigure cut");
+    }
+    msg.volumes.push_back(volume);
+    msg.cuts.push_back(std::move(cuts));
+  }
   return msg;
 }
 

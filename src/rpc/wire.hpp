@@ -3,7 +3,8 @@
 // Every payload starts with an 8-byte header:
 //
 //   u32 magic   = 0x44454447  ("DEDG")
-//   u16 version = 1 or 2 (encoders emit kWireVersion = 2; decoders accept both)
+//   u16 version = 1, 2, or 3 (encoders emit kWireVersion = 3; decoders
+//                 accept all three)
 //   u16 type    (MsgType)
 //
 // followed by the type-specific body, all little-endian:
@@ -14,6 +15,7 @@
 //     i32 row_offset   absolute first row within that volume's input/output
 //     [v2] i32 from_node   sending node (kNilNode when untracked)
 //     [v2] u32 chunk_id    per-link id for ack/dedup (0 = untracked)
+//     [v3] i32 epoch       strategy epoch the chunk's image belongs to
 //     i32 h, i32 w, i32 c
 //     f32 * (h*w*c)    row-major HWC floats as raw IEEE-754 bit patterns
 //   kHaloRequest:
@@ -24,25 +26,34 @@
 //     i32 from_node (the acker), u32 chunk_id
 //   kNack (v2):
 //     i32 from_node (the complainer), i32 seq, i32 volume
+//   kTelemetry (v3):
+//     i32 from_node, f32 window_s, f32 compute_ms, i32 images, i32 n_links,
+//     then per link: i32 peer, f32 mbps, f32 mbytes
+//   kReconfigure (v3):
+//     i32 from_node (kNilNode when untracked), u32 chunk_id (0 = untracked),
+//     i32 epoch, i32 from_seq, i32 n_devices, i32 n_volumes,
+//     then per volume: i32 first, i32 last, i32 * (n_devices+1) cuts
 //
 // decode_* throws de::Error on malformed input (bad magic/version/type,
 // truncated body, trailing garbage, negative or overflowing extents); a
-// v2 frame accepted by decode re-encodes to the identical byte string, and
-// chunk decoding never allocates before the claimed extents are proven
-// consistent with the frame length.
+// v3 frame accepted by decode re-encodes to the identical byte string, and
+// chunk/telemetry/reconfigure decoding never allocates before the claimed
+// counts are proven consistent with the frame length.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "cnn/conv_exec.hpp"
+#include "cnn/layer_volume.hpp"
 #include "rpc/address.hpp"
 #include "rpc/transport.hpp"
 
 namespace de::rpc {
 
 inline constexpr std::uint32_t kWireMagic = 0x44454447;  // "DEDG"
-inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::uint16_t kWireVersion = 3;
 
 enum class MsgType : std::uint16_t {
   kScatter = 1,      ///< requester -> provider: volume-0 input rows
@@ -52,6 +63,8 @@ enum class MsgType : std::uint16_t {
   kShutdown = 5,     ///< requester -> provider: end of stream
   kAck = 6,          ///< receiver -> sender: chunk `chunk_id` arrived (v2)
   kNack = 7,         ///< receiver -> peers: still missing (seq, volume) (v2)
+  kTelemetry = 8,    ///< node -> controller: link rates + compute ms (v3)
+  kReconfigure = 9,  ///< requester -> provider: new strategy epoch (v3)
 };
 
 /// A horizontal slice of some volume's tensor, tagged with the image it
@@ -67,6 +80,7 @@ struct ChunkMsg {
   std::int32_t row_offset = 0;
   NodeId from_node = kNilNode;
   std::uint32_t chunk_id = 0;
+  std::int32_t epoch = 0;  ///< strategy epoch of the chunk's image (v3)
   cnn::Tensor rows;
 };
 
@@ -96,6 +110,42 @@ struct NackMsg {
   std::int32_t volume = 0;
 };
 
+/// One link's achieved throughput over a telemetry window, as observed by
+/// the sending endpoint (ctrl-plane ground truth for the online planner).
+struct LinkRateSample {
+  NodeId peer = kNilNode;
+  double mbps = 0;    ///< achieved megabits per second while the link was busy
+  double mbytes = 0;  ///< megabytes moved in the window (sample weight)
+};
+
+/// Periodic control-plane report from one node: per-link achieved rates
+/// plus the node's mean per-image compute time over the window. Published
+/// fire-and-forget to the controller's kTelemetryMailbox — a lost frame
+/// just widens the next window.
+struct TelemetryMsg {
+  NodeId from_node = kNilNode;
+  double window_s = 0;     ///< wall seconds the report covers
+  double compute_ms = 0;   ///< mean per-image compute in the window (0 = idle)
+  std::int32_t images = 0; ///< images finished in the window
+  std::vector<LinkRateSample> links;
+};
+
+/// "From image `from_seq` on, serve strategy epoch `epoch`" — the zero-drain
+/// cutover frame. Sent by the requester to every provider *before* any
+/// epoch-`epoch` chunk, on the data mailbox (per-sender FIFO makes the order
+/// visible); with reliability enabled it is tracked/acked exactly like a
+/// tensor chunk. The strategy travels as plain volumes + cumulative cuts
+/// (the sim::RawStrategy fields) so rpc stays independent of the simulator.
+struct ReconfigureMsg {
+  NodeId from_node = kNilNode;   ///< sender (kNilNode when untracked)
+  std::uint32_t chunk_id = 0;    ///< reliability handle (0 = untracked)
+  std::int32_t epoch = 0;        ///< new epoch id (monotonic, >= 1)
+  std::int32_t from_seq = 0;     ///< first image served under the new epoch
+  std::int32_t n_devices = 0;
+  std::vector<cnn::LayerVolume> volumes;
+  std::vector<std::vector<int>> cuts;  ///< one (n_devices+1) vector per volume
+};
+
 /// Borrowed decode of a tensor-chunk frame: every header field plus a
 /// pointer to the row payload *inside* the frame bytes — no allocation and
 /// no copy. Validation is identical to decode_chunk (which is implemented
@@ -110,6 +160,7 @@ struct ChunkView {
   std::int32_t row_offset = 0;
   NodeId from_node = kNilNode;
   std::uint32_t chunk_id = 0;
+  std::int32_t epoch = 0;
   std::int32_t h = 0;
   std::int32_t w = 0;
   std::int32_t c = 0;
@@ -136,6 +187,8 @@ Payload encode_halo_request(const HaloRequestMsg& msg);
 Payload encode_shutdown();
 Payload encode_ack(const AckMsg& msg);
 Payload encode_nack(const NackMsg& msg);
+Payload encode_telemetry(const TelemetryMsg& msg);
+Payload encode_reconfigure(const ReconfigureMsg& msg);
 
 /// Zero-copy chunk encode: writes into `frame`'s (reusable) buffer the
 /// exact bytes encode_chunk would produce for a ChunkMsg carrying absolute
@@ -145,14 +198,17 @@ Payload encode_nack(const NackMsg& msg);
 /// Returns the payload byte count (the frame is header + payload).
 std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
                               std::int32_t volume, NodeId from_node,
-                              std::uint32_t chunk_id, const cnn::Tensor& src,
-                              int src_offset, cnn::RowInterval rows);
+                              std::uint32_t chunk_id, std::int32_t epoch,
+                              const cnn::Tensor& src, int src_offset,
+                              cnn::RowInterval rows);
 
 ChunkMsg decode_chunk(std::span<const std::uint8_t> frame);
 ChunkView decode_chunk_view(std::span<const std::uint8_t> frame);
 HaloRequestMsg decode_halo_request(std::span<const std::uint8_t> frame);
 AckMsg decode_ack(std::span<const std::uint8_t> frame);
 NackMsg decode_nack(std::span<const std::uint8_t> frame);
+TelemetryMsg decode_telemetry(std::span<const std::uint8_t> frame);
+ReconfigureMsg decode_reconfigure(std::span<const std::uint8_t> frame);
 
 /// Blits the view's absolute rows [src_begin, src_end) straight from the
 /// wire bytes into `dst`, whose row 0 is absolute row `dst_offset` —

@@ -9,7 +9,8 @@ void ClusterFabric::shutdown_all() {
 }
 
 ClusterFabric make_fabric(int n_devices, bool use_tcp,
-                          const rpc::FaultSpec* faults, DataPlaneMode mode) {
+                          const rpc::FaultSpec* faults, DataPlaneMode mode,
+                          const rpc::ShapingSpec* shaping) {
   ClusterFabric fabric;
   const int n_nodes = n_devices + 1;
   if (use_tcp) {
@@ -40,9 +41,22 @@ ClusterFabric make_fabric(int n_devices, bool use_tcp,
       fabric.endpoints[k] = fabric.faulty.back().get();
     }
   }
+  if (shaping != nullptr) {
+    // Outermost decorator: pacing happens before fault injection, like a
+    // radio that spent airtime on a frame the wire then corrupted. One
+    // shared time origin keeps every link's regime switches aligned.
+    const auto start = std::chrono::steady_clock::now();
+    fabric.shaped.reserve(static_cast<std::size_t>(n_nodes));
+    for (std::size_t k = 0; k < fabric.endpoints.size(); ++k) {
+      fabric.shaped.push_back(std::make_unique<rpc::ShapedTransport>(
+          *fabric.endpoints[k], *shaping, start));
+      fabric.endpoints[k] = fabric.shaped.back().get();
+    }
+  }
   for (auto* ep : fabric.endpoints) {
     ep->open_mailbox(rpc::kDataMailbox);
     ep->open_mailbox(rpc::kCtrlMailbox);
+    ep->open_mailbox(rpc::kTelemetryMailbox);
   }
   return fabric;
 }
@@ -53,16 +67,18 @@ std::vector<std::thread> spawn_providers(
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
     int n_images, DataPlaneStats& stats,
     const ReliabilityOptions& reliability, const cnn::ExecContext& exec,
-    DataPlaneMode mode) {
+    DataPlaneMode mode, int telemetry_every) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(plan.n_devices));
   for (int i = 0; i < plan.n_devices; ++i) {
     threads.emplace_back([&fabric, &model, &strategy, &weights, &plan,
-                          n_images, &stats, reliability, exec, mode, i] {
+                          n_images, &stats, reliability, exec, mode,
+                          telemetry_every, i] {
       try {
+        const TelemetryHooks hooks{fabric.sampler(i), telemetry_every};
         provider_loop(*fabric.endpoints[static_cast<std::size_t>(i)], i, model,
                       strategy, weights, plan, n_images, stats, reliability,
-                      exec, mode);
+                      exec, mode, hooks);
       } catch (...) {
         // Tear down the whole fabric, not just the requester: a downed
         // requester transport drops the end-of-stream frames, which would

@@ -13,6 +13,7 @@
 
 #include "rpc/fault_transport.hpp"
 #include "rpc/inproc_transport.hpp"
+#include "rpc/shaped_transport.hpp"
 #include "rpc/tcp_transport.hpp"
 #include "runtime/worker.hpp"
 
@@ -24,27 +25,43 @@ struct ClusterFabric {
   std::vector<std::unique_ptr<rpc::TcpTransport>> tcp_nodes;
   /// Fault decorators, one per node, when the run was built with faults.
   std::vector<std::unique_ptr<rpc::FaultInjectingTransport>> faulty;
+  /// Shaping decorators, one per node, when the run was built with shaping.
+  std::vector<std::unique_ptr<rpc::ShapedTransport>> shaped;
   std::vector<rpc::Transport*> endpoints;  ///< size n_devices + 1
 
   rpc::Transport& requester() { return *endpoints.back(); }
+  /// Node `i`'s achieved-rate source — its shaper when the fabric is
+  /// shaped, null otherwise (an unshaped loopback link has no meaningful
+  /// rate to report).
+  rpc::LinkRateSampler* sampler(rpc::NodeId node) {
+    return shaped.empty() ? nullptr
+                          : shaped[static_cast<std::size_t>(node)].get();
+  }
   void shutdown_all();
 };
 
 /// Builds the fabric for `n_devices` providers plus the requester. TCP nodes
 /// bind ephemeral loopback ports and learn the full peer directory; every
-/// node's data and control mailboxes are open before this returns, so no
-/// scatter can race mailbox creation. With `faults` set every endpoint is
-/// wrapped in a FaultInjectingTransport sharing that spec (fault decisions
-/// still differ per link — the hash keys on src/dst node ids). In
-/// kSerialCopy mode TCP endpoints run their legacy per-frame I/O, so the
-/// A/B baseline is the pre-change plane down to the syscalls.
+/// node's data, control, and telemetry mailboxes are open before this
+/// returns, so no scatter can race mailbox creation. With `faults` set every
+/// endpoint is wrapped in a FaultInjectingTransport sharing that spec (fault
+/// decisions still differ per link — the hash keys on src/dst node ids).
+/// With `shaping` set every endpoint is additionally wrapped (outermost) in
+/// a ShapedTransport, all sharing one trace-time origin so the regime
+/// switches of every link line up. In kSerialCopy mode TCP endpoints run
+/// their legacy per-frame I/O, so the A/B baseline is the pre-change plane
+/// down to the syscalls.
 ClusterFabric make_fabric(int n_devices, bool use_tcp,
                           const rpc::FaultSpec* faults = nullptr,
-                          DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy);
+                          DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
+                          const rpc::ShapingSpec* shaping = nullptr);
 
 /// One provider thread per device. An exception escaping a provider would
 /// std::terminate the process; the barrier instead shuts the whole fabric
-/// down so blocked counterparties fail in an orderly way.
+/// down so blocked counterparties fail in an orderly way. With
+/// `telemetry_every` > 0 each provider publishes a kTelemetry frame to the
+/// requester's telemetry mailbox every that many images (link rates come
+/// from the node's shaper when the fabric is shaped).
 std::vector<std::thread> spawn_providers(
     ClusterFabric& fabric, const cnn::CnnModel& model,
     const sim::RawStrategy& strategy,
@@ -52,6 +69,7 @@ std::vector<std::thread> spawn_providers(
     int n_images, DataPlaneStats& stats,
     const ReliabilityOptions& reliability = {},
     const cnn::ExecContext& exec = {},
-    DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy);
+    DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
+    int telemetry_every = 0);
 
 }  // namespace de::runtime

@@ -1,9 +1,11 @@
 #include "runtime/serve.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <memory>
 
 #include "common/require.hpp"
+#include "ctrl/controller.hpp"
 #include "runtime/fabric.hpp"
 #include "sim/fault_model.hpp"
 
@@ -19,18 +21,28 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   DE_REQUIRE(options.faults == nullptr || options.reliability.enabled,
              "fault injection without the reliability protocol would hang "
              "the chunk accounting — enable ServeOptions::reliability");
+  DE_REQUIRE(std::is_sorted(options.swaps.begin(), options.swaps.end(),
+                            [](const ScriptedSwap& a, const ScriptedSwap& b) {
+                              return a.at_image < b.at_image;
+                            }),
+             "scripted swaps must be sorted by at_image");
   for (const auto& input : inputs) {
     validate_cluster_inputs(model, weights, input);
   }
   const auto plan = build_transfer_plan(model, strategy, n_devices);
   const int n_images = static_cast<int>(inputs.size());
+  const int telemetry_every =
+      options.telemetry_every > 0
+          ? options.telemetry_every
+          : (options.controller != nullptr ? 1 : 0);
 
   auto fabric = make_fabric(n_devices, options.use_tcp, options.faults,
-                            options.data_plane);
+                            options.data_plane, options.shaping);
   DataPlaneStats stats;
   auto threads = spawn_providers(fabric, model, strategy, weights, plan,
                                  /*n_images=*/-1, stats, options.reliability,
-                                 options.exec, options.data_plane);
+                                 options.exec, options.data_plane,
+                                 telemetry_every);
 
   ServeResult result;
   result.images = n_images;
@@ -44,14 +56,69 @@ ServeResult serve_stream(const cnn::CnnModel& model,
                                           options.reliability, stats);
     ctx.rtx = rtx.get();
   }
+  if (options.controller != nullptr) {
+    options.controller->start(fabric.requester(), strategy,
+                              fabric.sampler(plan.requester_node()));
+  }
+
+  // Shared teardown: stop the controller (it reads the requester
+  // transport), release every provider, close the fabric, join. Nothing
+  // may unwind past the live provider threads — a joinable std::thread's
+  // destructor is std::terminate.
+  const auto teardown = [&] {
+    if (options.controller != nullptr) options.controller->stop();
+    if (rtx) rtx->stop();
+    fabric.shutdown_all();
+    for (auto& t : threads) t.join();
+  };
 
   const auto t0 = std::chrono::steady_clock::now();
+  const auto stream_s = [&t0] {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+  // Cut the stream over to `next` starting at the first unscattered image.
+  const auto swap_now = [&](const sim::RawStrategy& next, int from_seq,
+                            Ms pred_serving, Ms pred_next) {
+    const int epoch = push_epoch(ctx, model, next, from_seq);
+    result.reconfigurations.push_back(
+        ReconfigEvent{epoch, from_seq, stream_s(), pred_serving, pred_next});
+  };
+  std::size_t next_scripted = 0;
+
   int next_scatter = 0;
   for (int done = 0; done < n_images; ++done) {
-    while (next_scatter < n_images && next_scatter < done + options.inflight) {
-      scatter_image(ctx, next_scatter,
-                    inputs[static_cast<std::size_t>(next_scatter)]);
-      ++next_scatter;
+    // Epochs that no longer serve any ungathered image are dead history.
+    ctx.epochs.retire(done);
+    try {
+      while (next_scatter < n_images &&
+             next_scatter < done + options.inflight) {
+        // Swaps land exactly here — after image next_scatter-1's scatter,
+        // before image next_scatter's — so every image runs wholly under
+        // one epoch.
+        while (next_scripted < options.swaps.size() &&
+               options.swaps[next_scripted].at_image <= next_scatter) {
+          swap_now(options.swaps[next_scripted].strategy, next_scatter, 0, 0);
+          ++next_scripted;
+        }
+        if (options.controller != nullptr) {
+          if (auto decision = options.controller->take_swap()) {
+            swap_now(decision->strategy, next_scatter,
+                     decision->predicted_serving_ms,
+                     decision->predicted_next_ms);
+          }
+        }
+        scatter_image(ctx, next_scatter,
+                      inputs[static_cast<std::size_t>(next_scatter)]);
+        ++next_scatter;
+      }
+    } catch (...) {
+      // A swap's strategy failed plan building/validation (bad scripted
+      // input or a buggy planner). Tear down before rethrowing — never
+      // unwind past live threads.
+      teardown();
+      throw;
     }
     cnn::Tensor output;
     ImageRetryStats retry;
@@ -59,30 +126,32 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     if (!ok) {
       // A provider failed (its barrier shut the fabric down), a peer sent
       // plan-mismatched chunks, or the gather starved past its timeout
-      // budget. Tear the fabric down and join before throwing — never
-      // unwind past live threads.
-      if (rtx) rtx->stop();
-      fabric.shutdown_all();
-      for (auto& t : threads) t.join();
+      // budget.
+      teardown();
       throw Error("stream transport shut down or starved mid-gather (image " +
                   std::to_string(done) + " of " + std::to_string(n_images) +
                   ")");
     }
     result.per_image.push_back(retry);
     if (options.keep_outputs) result.outputs.push_back(std::move(output));
+    if (telemetry_every > 0 && options.controller == nullptr) {
+      // Telemetry was requested with nobody to read it: drop the frames as
+      // they come, or the mailbox grows for the life of the stream.
+      while (fabric.requester().try_receive(rpc::kTelemetryMailbox)) {
+      }
+    }
   }
   const auto t1 = std::chrono::steady_clock::now();
 
-  // End of stream: tell every provider to stop (best-effort — the frame may
-  // be faulted away), then close the fabric, which releases any provider
-  // that missed the frame. Only then join: a provider blocked on a lost
-  // shutdown frame would otherwise starve for its full timeout budget.
+  // End of stream: announce shutdown to every provider (best-effort — the
+  // frame may be faulted away) before the common teardown closes the
+  // fabric, which releases any provider that missed the frame. Only then
+  // join: a provider blocked on a lost shutdown frame would otherwise
+  // starve for its full timeout budget.
   for (int i = 0; i < n_devices; ++i) {
     fabric.requester().send(data_addr(i), rpc::encode_shutdown());
   }
-  if (rtx) rtx->stop();
-  fabric.shutdown_all();
-  for (auto& t : threads) t.join();
+  teardown();
 
   result.wall_s =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();

@@ -11,17 +11,36 @@
 // land in ServeResult::per_image, and a stream that genuinely cannot make
 // progress (e.g. a link severed past the retransmit budget) fails loudly
 // within a bounded time instead of hanging.
+//
+// The stream's strategy is only its *initial* strategy: scripted swaps
+// (ServeOptions::swaps, tests) and an adaptive controller
+// (ServeOptions::controller, closing the telemetry loop) both cut the
+// stream over to new strategies mid-flight via epoch announcements — no
+// pipeline drain, images in flight finish under the epoch that scattered
+// them, and outputs stay bit-exact throughout (DESIGN.md §control-plane).
 #pragma once
 
 #include <span>
 #include <vector>
 
 #include "net/network.hpp"
+#include "rpc/shaped_transport.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/worker.hpp"
 #include "sim/stream_sim.hpp"
 
+namespace de::ctrl {
+class Controller;
+}  // namespace de::ctrl
+
 namespace de::runtime {
+
+/// A pre-scripted strategy swap: cut over when image `at_image` is about to
+/// be scattered (deterministic epoch boundaries for tests/benches).
+struct ScriptedSwap {
+  int at_image = 0;
+  sim::RawStrategy strategy;
+};
 
 struct ServeOptions {
   int inflight = 4;          ///< K: images concurrently in the pipeline
@@ -48,6 +67,33 @@ struct ServeOptions {
   /// prediction stays comparable to the degraded measurement.
   const sim::ClusterLatency* latency = nullptr;
   const net::Network* network = nullptr;
+
+  /// Trace-driven per-link pacing of every endpoint (not owned; may be
+  /// null). This is what makes a loopback fabric exhibit the Fig. 4/12
+  /// bandwidth regimes the adaptive control plane reacts to.
+  const rpc::ShapingSpec* shaping = nullptr;
+
+  /// Deterministic mid-stream strategy swaps, sorted by at_image (tests
+  /// and benches; applied by the requester at exact image boundaries).
+  std::vector<ScriptedSwap> swaps;
+
+  /// Adaptive controller (not owned; may be null). serve_stream starts it
+  /// on the requester's transport, polls it between images, and turns its
+  /// decisions into epochs. Implies telemetry publishing (see below).
+  ctrl::Controller* controller = nullptr;
+
+  /// Providers publish a kTelemetry frame every this many images
+  /// (0 = off, unless a controller is set — then it defaults to 1).
+  int telemetry_every = 0;
+};
+
+/// One live reconfiguration the stream performed.
+struct ReconfigEvent {
+  int epoch = 0;
+  int from_image = 0;   ///< first image served by the new strategy
+  Seconds at_s = 0;     ///< stream time the announcement went out
+  Ms predicted_serving_ms = 0;  ///< controller swaps: old strategy, new view
+  Ms predicted_next_ms = 0;     ///< controller swaps: new strategy, new view
 };
 
 struct ServeResult {
@@ -69,6 +115,8 @@ struct ServeResult {
   /// Per-image retry/timeout stats observed by the requester's gather.
   std::vector<ImageRetryStats> per_image;
   std::vector<cnn::Tensor> outputs;  ///< filled iff keep_outputs
+  /// Every live strategy swap the stream performed (scripted + adaptive).
+  std::vector<ReconfigEvent> reconfigurations;
 };
 
 /// Streams `inputs` through the cluster with `options.inflight` images in

@@ -1,5 +1,6 @@
 #include "runtime/worker.hpp"
 
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -12,9 +13,10 @@ namespace de::runtime {
 namespace {
 
 /// Receive outcome of one frame: a chunk, end-of-stream, skip (dropped
-/// control/malformed/duplicate frame — caller should keep receiving), or an
-/// expired bounded wait (reliable mode only).
-enum class RxKind { kChunk, kStop, kSkip, kTimeout };
+/// control/malformed/duplicate frame — caller should keep receiving), an
+/// expired bounded wait (reliable mode only), or an epoch announcement
+/// (providers only — the requester is the one sending them).
+enum class RxKind { kChunk, kStop, kSkip, kTimeout, kReconfig };
 
 /// Receive-side state of one node, shared by the provider and gather loops.
 /// The dedup window is borrowed from the loop owner: it must span the whole
@@ -26,7 +28,25 @@ struct RxState {
   ChunkDedup& dedup;
 };
 
-RxKind receive_frame(RxState& rx, RxChunk& out) {
+/// Acks a tracked frame back to its sender's control mailbox and filters
+/// repeats. True when the frame is fresh (first delivery).
+bool ack_and_dedup(RxState& rx, rpc::NodeId from_node, std::uint32_t chunk_id) {
+  if (chunk_id == 0 || from_node == rpc::kNilNode) return true;
+  // Ack before dedup: a repeat usually means our previous ack was lost.
+  rpc::Frame ack(
+      rpc::encode_ack(rpc::AckMsg{rx.transport.local_node(), chunk_id}));
+  rx.stats.wire_bytes.fetch_add(static_cast<Bytes>(ack.size()),
+                                std::memory_order_relaxed);
+  rx.transport.send(ctrl_addr(from_node), std::move(ack));
+  if (!rx.dedup.fresh(from_node, chunk_id)) {
+    rx.stats.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+RxKind receive_frame(RxState& rx, RxChunk& out,
+                     rpc::ReconfigureMsg* reconfig = nullptr) {
   rpc::Frame payload;
   if (!rx.reliability.enabled) {
     auto received = rx.transport.receive(rpc::kDataMailbox);
@@ -46,6 +66,13 @@ RxKind receive_frame(RxState& rx, RxChunk& out) {
   try {
     const auto type = rpc::peek_type(payload);
     if (type == rpc::MsgType::kShutdown) return RxKind::kStop;
+    if (type == rpc::MsgType::kReconfigure && reconfig != nullptr) {
+      *reconfig = rpc::decode_reconfigure(payload);
+      if (!ack_and_dedup(rx, reconfig->from_node, reconfig->chunk_id)) {
+        return RxKind::kSkip;  // retransmitted announcement
+      }
+      return RxKind::kReconfig;
+    }
     if (!rpc::is_chunk_type(type)) {
       return RxKind::kSkip;  // halo requests (push-based plan), stray control
     }
@@ -56,17 +83,8 @@ RxKind receive_frame(RxState& rx, RxChunk& out) {
   } catch (const Error&) {
     return RxKind::kSkip;  // malformed frame: drop, keep the node alive
   }
-  if (out.view.chunk_id > 0 && out.view.from_node != rpc::kNilNode) {
-    // Ack before dedup: a repeat usually means our previous ack was lost.
-    rpc::Frame ack(rpc::encode_ack(
-        rpc::AckMsg{rx.transport.local_node(), out.view.chunk_id}));
-    rx.stats.wire_bytes.fetch_add(static_cast<Bytes>(ack.size()),
-                                  std::memory_order_relaxed);
-    rx.transport.send(ctrl_addr(out.view.from_node), std::move(ack));
-    if (!rx.dedup.fresh(out.view.from_node, out.view.chunk_id)) {
-      rx.stats.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
-      return RxKind::kSkip;
-    }
+  if (!ack_and_dedup(rx, out.view.from_node, out.view.chunk_id)) {
+    return RxKind::kSkip;
   }
   return RxKind::kChunk;
 }
@@ -123,10 +141,16 @@ bool chunk_fits(const rpc::ChunkView& view, const cnn::RowInterval& bounds,
 /// without bound.
 constexpr int kMaxImagesAhead = 4096;
 
+/// Most chunks that may wait for an epoch announcement. Legitimately in
+/// flight at a cutover: at most the inflight window's worth of scatters
+/// plus a few halo/gather bands — never thousands.
+constexpr std::size_t kMaxPendingChunks = 4096;
+
 [[noreturn]] void fail_geometry(const rpc::ChunkView& view) {
   throw Error("chunk geometry disagrees with the local transfer plan (seq " +
               std::to_string(view.seq) + ", volume " +
-              std::to_string(view.volume) + ", rows [" +
+              std::to_string(view.volume) + ", epoch " +
+              std::to_string(view.epoch) + ", rows [" +
               std::to_string(view.row_offset) + ", " +
               std::to_string(view.row_offset + view.h) +
               ")) — mismatched strategy or hostile peer");
@@ -173,10 +197,10 @@ void reshape(cnn::Tensor& t, int h, int w, int c) {
 /// tracked, and hands it to the sender thread (provider) or the transport
 /// (requester).
 void post_rows(rpc::Transport& transport, const rpc::Address& to,
-               rpc::MsgType type, int seq, int volume, const cnn::Tensor& src,
-               int src_offset, cnn::RowInterval rows, rpc::FrameArena& arena,
-               DataPlaneStats& stats, Retransmitter* rtx,
-               ChunkSender* sender) {
+               rpc::MsgType type, int seq, int volume, int epoch,
+               const cnn::Tensor& src, int src_offset, cnn::RowInterval rows,
+               rpc::FrameArena& arena, DataPlaneStats& stats,
+               Retransmitter* rtx, ChunkSender* sender) {
   rpc::NodeId from = rpc::kNilNode;
   std::uint32_t chunk_id = 0;
   if (rtx != nullptr) {
@@ -185,7 +209,7 @@ void post_rows(rpc::Transport& transport, const rpc::Address& to,
   }
   rpc::Frame frame = arena.acquire();
   const std::size_t payload = rpc::encode_chunk_into(
-      frame, type, seq, volume, from, chunk_id, src, src_offset, rows);
+      frame, type, seq, volume, from, chunk_id, epoch, src, src_offset, rows);
   stats.messages.fetch_add(1, std::memory_order_relaxed);
   stats.bytes.fetch_add(static_cast<Bytes>(payload), std::memory_order_relaxed);
   stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
@@ -202,6 +226,98 @@ void post_rows(rpc::Transport& transport, const rpc::Address& to,
     transport.send(to, std::move(frame));
   }
 }
+
+/// Epoch bookkeeping and chunk admission of one provider. Every received
+/// chunk passes through admit(): unknown-epoch chunks park in `pending`
+/// until their announcement registers, known-epoch chunks are validated
+/// against the plan of *their* image's epoch and either consumed, stashed,
+/// or rejected loudly.
+struct ProviderState {
+  int i;
+  int n_images;
+  const cnn::CnnModel& model;
+  EpochTable epochs;
+  /// Chunks that arrived ahead of their (image, volume) slot.
+  std::map<std::pair<int, int>, std::vector<RxChunk>> stash;
+  /// Chunks of epochs not announced to us yet.
+  std::vector<RxChunk> pending;
+  /// Halo-first schedules per epoch id (overlap mode, built on first use).
+  std::map<int, std::vector<PartSchedule>> schedules;
+
+  const std::vector<PartSchedule>& schedules_for(const EpochPlan& ep) {
+    auto [it, inserted] = schedules.try_emplace(ep.epoch);
+    if (inserted) {
+      const int n_volumes = ep.plan.num_volumes();
+      it->second.reserve(static_cast<std::size_t>(n_volumes));
+      for (int l = 0; l < n_volumes; ++l) {
+        it->second.push_back(plan_part_schedule(ep.plan, l, i));
+      }
+    }
+    return it->second;
+  }
+
+  /// Routes one received chunk relative to the current processing point
+  /// (cur_seq, cur_vol). Returns true exactly when the chunk is the one
+  /// being waited on and `allow_consume` is set — it is then left in place
+  /// for the caller to blit; everything else is moved into the park/stash
+  /// queues or rejected loudly.
+  bool admit(RxChunk& chunk, int cur_seq, int cur_vol, bool allow_consume) {
+    const auto& v = chunk.view;
+    if (v.epoch < epochs.oldest()) {
+      // Tagged with retired history: every image that epoch served is long
+      // gathered, so this is a stale duplicate that slipped dedup or a
+      // hostile peer.
+      fail_geometry(v);
+    }
+    if (!epochs.knows(v.epoch)) {
+      // The announcement is still in flight on this same mailbox (under
+      // faults possibly *behind* a later epoch's — deliveries reorder);
+      // park the chunk until it lands. Bounded: a peer tagging chunks
+      // with epochs nobody ever announces must not grow the park queue
+      // (tensor payloads included) for the life of the stream.
+      if (v.seq - cur_seq > kMaxImagesAhead ||
+          pending.size() >= kMaxPendingChunks) {
+        fail_geometry(v);
+      }
+      pending.push_back(std::move(chunk));
+      return false;
+    }
+    const EpochPlan& owner = epochs.at(v.seq);
+    if (v.epoch != owner.epoch) fail_geometry(v);  // stale/foreign epoch tag
+    // Chunks that can never be consumed would park in the stash for the
+    // life of the stream; treat them as protocol violations.
+    const bool off_plan =
+        v.volume >= owner.plan.num_volumes() ||
+        owner.plan.expected[static_cast<std::size_t>(v.volume)]
+                           [static_cast<std::size_t>(i)] == 0 ||
+        v.seq < cur_seq || (v.seq == cur_seq && v.volume < cur_vol) ||
+        (n_images >= 0 && v.seq >= n_images) ||
+        v.seq - cur_seq > kMaxImagesAhead;
+    if (off_plan) fail_geometry(v);
+    if (allow_consume && v.seq == cur_seq && v.volume == cur_vol) return true;
+    stash[{v.seq, v.volume}].push_back(std::move(chunk));
+    return false;
+  }
+
+  /// Registers an announced epoch and re-admits parked chunks it unlocks.
+  /// Returns true when the epoch serving `cur_seq` changed — the caller
+  /// must restart the image under the new plan.
+  bool register_epoch(const rpc::ReconfigureMsg& msg, int cur_seq,
+                      int cur_vol) {
+    const int before = epochs.at(cur_seq).epoch;
+    epochs.add(epoch_from_reconfigure(msg, model));
+    const bool remapped = epochs.at(cur_seq).epoch != before;
+    // Re-admit parked chunks whose epoch is now known. Consumption is
+    // disabled: anything for the current image under a *new* epoch belongs
+    // to the restart path, which re-pulls the stash from volume 0.
+    auto parked = std::move(pending);
+    pending.clear();
+    for (auto& chunk : parked) {
+      admit(chunk, cur_seq, remapped ? 0 : cur_vol, /*allow_consume=*/false);
+    }
+    return remapped;
+  }
+};
 
 }  // namespace
 
@@ -228,27 +344,232 @@ void post_chunk(rpc::Transport& transport, const rpc::Address& to,
   transport.send(to, std::move(frame));
 }
 
+void post_reconfigure(rpc::Transport& transport, const rpc::Address& to,
+                      rpc::ReconfigureMsg msg, DataPlaneStats& stats,
+                      Retransmitter* rtx) {
+  if (rtx != nullptr) {
+    msg.from_node = transport.local_node();
+    msg.chunk_id = rtx->next_chunk_id(to.node);
+  }
+  rpc::Frame frame(rpc::encode_reconfigure(msg));
+  stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                             std::memory_order_relaxed);
+  if (rtx != nullptr) rtx->track(to, msg.chunk_id, frame);
+  transport.send(to, std::move(frame));
+}
+
+namespace {
+
+enum class ImageOutcome { kDone, kRestart, kStop };
+
+/// Executes image `seq` on provider `i` under the epoch currently serving
+/// it. kRestart means an epoch announcement re-mapped this image before any
+/// of it was consumed or computed — rerun under the new plan.
+ImageOutcome process_image(
+    ProviderState& state, RxState& rx, rpc::Transport& transport, int seq,
+    const cnn::CnnModel& model, const std::vector<cnn::ConvWeights>& weights,
+    DataPlaneStats& stats, const ReliabilityOptions& reliability,
+    cnn::ExecContext& exec_ctx, DataPlaneMode mode, rpc::FrameArena& arena,
+    std::optional<ChunkSender>& sender, Retransmitter* rtx,
+    cnn::Tensor& crop_buf, cnn::Tensor (&out_bufs)[2], int& cur_buf,
+    double& compute_ms) {
+  const int i = state.i;
+  const bool overlap = mode == DataPlaneMode::kOverlapZeroCopy;
+  const EpochPlan& ep = state.epochs.at(seq);  // deque-backed: stays valid
+  const TransferPlan& plan = ep.plan;
+  const sim::RawStrategy& strategy = ep.strategy;
+  const int n_volumes = plan.num_volumes();
+
+  cnn::Tensor legacy_prev;           // serial mode's previous-part output
+  const cnn::Tensor* prev_out = nullptr;
+  cnn::RowInterval prev_rows{0, 0};  // which absolute rows prev_out holds
+  bool touched = false;  // consumed a chunk or produced rows for this image
+
+  for (int l = 0; l < n_volumes; ++l) {
+    const auto volume = strategy.volumes[static_cast<std::size_t>(l)];
+    const auto layers = cnn::volume_layers(model, volume);
+    const auto part =
+        plan.parts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+    const auto need =
+        plan.needs[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+    const auto weights_span =
+        std::span<const cnn::ConvWeights>(weights).subspan(
+            static_cast<std::size_t>(volume.first),
+            static_cast<std::size_t>(volume.size()));
+
+    if (part.empty()) {
+      prev_out = nullptr;
+      prev_rows = part;
+      continue;
+    }
+
+    const auto& first_layer = model.layer(volume.first);
+    cnn::Tensor legacy_crop;
+    if (overlap) {
+      reshape(crop_buf, need.size(), first_layer.in_w, first_layer.in_c);
+    } else {
+      legacy_crop =
+          cnn::Tensor(need.size(), first_layer.in_w, first_layer.in_c);
+    }
+    cnn::Tensor& crop = overlap ? crop_buf : legacy_crop;
+
+    // Local contribution from my previous part (never crossed the wire,
+    // so it counts toward neither halo bytes nor halo-byte copies).
+    if (l > 0 && prev_out != nullptr && !prev_rows.empty()) {
+      const auto own = need.intersect(prev_rows);
+      if (!own.empty()) {
+        blit_rows(*prev_out, prev_rows.begin, own.begin, own.end, crop,
+                  need.begin);
+      }
+    }
+    // Remote chunks (may arrive interleaved with later slots).
+    int remaining =
+        plan.expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
+    if (auto it = state.stash.find({seq, l}); it != state.stash.end()) {
+      for (auto& chunk : it->second) {
+        // Stashed tags were validated at admission, but a later epoch may
+        // have re-mapped this image since; a stale tag here means the
+        // requester swapped into already-scattered images.
+        if (chunk.view.epoch != ep.epoch) fail_geometry(chunk.view);
+        if (!chunk_fits(chunk.view, need, crop.w, crop.c)) {
+          fail_geometry(chunk.view);
+        }
+        blit_chunk(chunk, crop, need.begin, mode, stats);
+        touched = true;
+        --remaining;
+      }
+      state.stash.erase(it);
+    }
+    int timeout_rounds = 0;
+    while (remaining > 0) {
+      RxChunk chunk;
+      rpc::ReconfigureMsg rmsg;
+      switch (receive_frame(rx, chunk, &rmsg)) {
+        case RxKind::kStop:
+          return ImageOutcome::kStop;  // shutdown: abandon the image
+        case RxKind::kSkip:
+          continue;
+        case RxKind::kTimeout:
+          stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
+          broadcast_nack(transport, plan, seq, l, stats);
+          if (++timeout_rounds > reliability.max_recv_timeouts) {
+            fail_starved(i, seq, l, timeout_rounds);
+          }
+          continue;
+        case RxKind::kReconfig:
+          if (state.register_epoch(rmsg, seq, l)) {
+            // This image now belongs to a newer epoch. Nothing of it can
+            // have been consumed or computed yet (the requester announces
+            // before any new-epoch traffic, and no old-epoch traffic for
+            // it was ever produced) — anything else is a protocol breach.
+            DE_REQUIRE(!touched,
+                       "epoch re-mapped an image already in progress — "
+                       "reconfigure raced past its cutover boundary");
+            return ImageOutcome::kRestart;
+          }
+          continue;
+        case RxKind::kChunk:
+          break;
+      }
+      timeout_rounds = 0;
+      if (!state.admit(chunk, seq, l, /*allow_consume=*/true)) continue;
+      if (!chunk_fits(chunk.view, need, crop.w, crop.c)) {
+        fail_geometry(chunk.view);
+      }
+      blit_chunk(chunk, crop, need.begin, mode, stats);
+      touched = true;
+      --remaining;
+    }
+
+    double t_compute = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    if (overlap) {
+      // Halo-first banded compute: boundary bands land in `out` first and
+      // their chunks ship through the sender thread while the interior
+      // bands still run — the transport writes overlap the SSE kernels.
+      cnn::Tensor& out = out_bufs[cur_buf];
+      reshape(out, part.size(), layers.back().out_w(), layers.back().out_c);
+      const auto& sched =
+          state.schedules_for(ep)[static_cast<std::size_t>(l)];
+      std::size_t next_send = 0;
+      for (std::size_t b = 0; b < sched.bands.size(); ++b) {
+        cnn::volume_forward_rows_into(layers, crop, need.begin,
+                                      sched.bands[b], weights_span, exec_ctx,
+                                      out, part.begin);
+        for (; next_send < sched.sends.size() &&
+               sched.sends[next_send].ready_after_band <=
+                   static_cast<int>(b);
+             ++next_send) {
+          const auto& send = sched.sends[next_send];
+          const bool gather = l + 1 == n_volumes;
+          post_rows(transport, data_addr(send.to),
+                    gather ? rpc::MsgType::kGather : rpc::MsgType::kHaloRows,
+                    seq, gather ? n_volumes : l + 1, ep.epoch, out, part.begin,
+                    send.rows, arena, stats, rtx, &*sender);
+        }
+      }
+      prev_out = &out;
+      cur_buf ^= 1;
+    } else {
+      // Serial baseline: whole-part compute, then copying sends from this
+      // thread (slice temporary + encode copy), exactly the PR-3 path.
+      const cnn::Tensor legacy_cur = crop;
+      cnn::Tensor out = cnn::volume_forward_rows(
+          layers, legacy_cur, need.begin, part, weights_span, exec_ctx);
+      if (l + 1 < n_volumes) {
+        for (int k = 0; k < plan.n_devices; ++k) {
+          if (k == i) continue;
+          const auto& kneed = plan.needs[static_cast<std::size_t>(l + 1)]
+                                        [static_cast<std::size_t>(k)];
+          const auto chunk = kneed.intersect(part);
+          if (chunk.empty()) continue;
+          stats.bytes_copied.fetch_add(  // the sliced temporary
+              static_cast<Bytes>(chunk.size()) * out.w * out.c * 4,
+              std::memory_order_relaxed);
+          post_chunk(transport, data_addr(k),
+                     rpc::ChunkMsg{rpc::MsgType::kHaloRows, seq, l + 1,
+                                   chunk.begin, rpc::kNilNode, 0, ep.epoch,
+                                   slice_rows(out, part.begin, chunk.begin,
+                                              chunk.end)},
+                     stats, rtx);
+        }
+      } else {
+        // Final volume: `out` is not needed locally again, so move it.
+        post_chunk(transport, data_addr(plan.requester_node()),
+                   rpc::ChunkMsg{rpc::MsgType::kGather, seq, n_volumes,
+                                 part.begin, rpc::kNilNode, 0, ep.epoch,
+                                 std::move(out)},
+                   stats, rtx);
+      }
+      legacy_prev = std::move(out);
+      prev_out = &legacy_prev;
+    }
+    t_compute = std::chrono::duration_cast<std::chrono::duration<double>>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+    compute_ms += t_compute * 1e3;
+    touched = true;
+    prev_rows = part;
+  }
+  return ImageOutcome::kDone;
+}
+
+}  // namespace
+
 void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const sim::RawStrategy& strategy,
                    const std::vector<cnn::ConvWeights>& weights,
                    const TransferPlan& plan, int n_images,
                    DataPlaneStats& stats,
                    const ReliabilityOptions& reliability,
-                   const cnn::ExecContext& exec, DataPlaneMode mode) {
-  const int n_volumes = plan.num_volumes();
-  const bool active = plan.device_active(i);
+                   const cnn::ExecContext& exec, DataPlaneMode mode,
+                   const TelemetryHooks& telemetry) {
   const bool overlap = mode == DataPlaneMode::kOverlapZeroCopy;
   ChunkDedup dedup;
   RxState rx{transport, reliability, stats, dedup};
-
-  if (!active) {
-    if (n_images >= 0) return;  // finite run: nothing will ever arrive
-    // Streaming run: wait for the requester's shutdown frame (timeouts on
-    // an idle device are expected, not starvation).
-    RxChunk ignored;
-    while (receive_frame(rx, ignored) != RxKind::kStop) {}
-    return;
-  }
+  ProviderState state{i, n_images, model,
+                      EpochTable(EpochPlan{0, 0, strategy, plan}),
+                      {}, {}, {}};
 
   std::unique_ptr<Retransmitter> rtx;
   if (reliability.enabled) {
@@ -261,18 +582,11 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
   exec_ctx.cache = &exec_cache;
 
   // Per-run overlap state: recycled frame buffers, the dedicated sender
-  // thread, the (plan-only) halo-first schedules, and reusable crop/part
-  // tensors — steady-state images allocate nothing on the chunk path.
+  // thread, and reusable crop/part tensors — steady-state images allocate
+  // nothing on the chunk path.
   rpc::FrameArena arena;
   std::optional<ChunkSender> sender;
-  std::vector<PartSchedule> schedules;
-  if (overlap) {
-    sender.emplace(transport);
-    schedules.reserve(static_cast<std::size_t>(n_volumes));
-    for (int l = 0; l < n_volumes; ++l) {
-      schedules.push_back(plan_part_schedule(plan, l, i));
-    }
-  }
+  if (overlap) sender.emplace(transport);
   cnn::Tensor crop_buf;
   cnn::Tensor out_bufs[2];
   int cur_buf = 0;
@@ -291,167 +605,90 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
     }
   } cleanup{sender, arena, stats};
 
-  // Chunks that arrived ahead of their (image, volume) slot.
-  std::map<std::pair<int, int>, std::vector<RxChunk>> stash;
+  // Telemetry window accumulators.
+  auto window_start = std::chrono::steady_clock::now();
+  double window_compute_ms = 0;
+  int window_images = 0;
 
-  for (int seq = 0; n_images < 0 || seq < n_images; ++seq) {
-    cnn::Tensor legacy_prev;           // serial mode's previous-part output
-    const cnn::Tensor* prev_out = nullptr;
-    cnn::RowInterval prev_rows{0, 0};  // which absolute rows prev_out holds
+  int seq = 0;
+  while (n_images < 0 || seq < n_images) {
+    // Nothing before `seq` can be referenced again: retire superseded
+    // epoch history (and its schedules) so unbounded streams with many
+    // reconfigurations do not accrete plans. No EpochPlan reference is
+    // held across this point.
+    state.epochs.retire(seq);
+    state.schedules.erase(state.schedules.begin(),
+                          state.schedules.lower_bound(state.epochs.oldest()));
 
-    for (int l = 0; l < n_volumes; ++l) {
-      const auto volume = strategy.volumes[static_cast<std::size_t>(l)];
-      const auto layers = cnn::volume_layers(model, volume);
-      const auto part =
-          plan.parts[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-      const auto need =
-          plan.needs[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-      const auto weights_span =
-          std::span<const cnn::ConvWeights>(weights).subspan(
-              static_cast<std::size_t>(volume.first),
-              static_cast<std::size_t>(volume.size()));
-
-      if (part.empty()) {
-        prev_out = nullptr;
-        prev_rows = part;
+    // Resolve the epoch serving `seq`; while this device is idle under it,
+    // jump to the next known epoch's first image, or — streaming runs —
+    // listen for the announcement that re-activates us (or the shutdown).
+    if (!state.epochs.at(seq).plan.device_active(i)) {
+      if (const EpochPlan* next = state.epochs.after(seq)) {
+        seq = next->from_seq;
         continue;
       }
-
-      const auto& first_layer = model.layer(volume.first);
-      cnn::Tensor legacy_crop;
-      if (overlap) {
-        reshape(crop_buf, need.size(), first_layer.in_w, first_layer.in_c);
-      } else {
-        legacy_crop =
-            cnn::Tensor(need.size(), first_layer.in_w, first_layer.in_c);
-      }
-      cnn::Tensor& crop = overlap ? crop_buf : legacy_crop;
-
-      // Local contribution from my previous part (never crossed the wire,
-      // so it counts toward neither halo bytes nor halo-byte copies).
-      if (l > 0 && prev_out != nullptr && !prev_rows.empty()) {
-        const auto own = need.intersect(prev_rows);
-        if (!own.empty()) {
-          blit_rows(*prev_out, prev_rows.begin, own.begin, own.end, crop,
-                    need.begin);
-        }
-      }
-      // Remote chunks (may arrive interleaved with later slots).
-      int remaining =
-          plan.expected[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)];
-      if (auto it = stash.find({seq, l}); it != stash.end()) {
-        for (auto& chunk : it->second) {
-          if (!chunk_fits(chunk.view, need, crop.w, crop.c)) {
-            fail_geometry(chunk.view);
-          }
-          blit_chunk(chunk, crop, need.begin, mode, stats);
-          --remaining;
-        }
-        stash.erase(it);
-      }
-      int timeout_rounds = 0;
-      while (remaining > 0) {
-        RxChunk chunk;
-        switch (receive_frame(rx, chunk)) {
-          case RxKind::kStop:
-            return;  // shutdown mid-inference: abandon the image
-          case RxKind::kSkip:
-            continue;
-          case RxKind::kTimeout:
-            stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
-            broadcast_nack(transport, plan, seq, l, stats);
-            if (++timeout_rounds > reliability.max_recv_timeouts) {
-              fail_starved(i, seq, l, timeout_rounds);
-            }
-            continue;
-          case RxKind::kChunk:
-            break;
-        }
-        timeout_rounds = 0;
-        const auto& v = chunk.view;
-        // Chunks that can never be consumed would park in the stash for
-        // the life of the stream; treat them as protocol violations.
-        const bool off_plan =
-            v.volume >= n_volumes ||
-            plan.expected[static_cast<std::size_t>(v.volume)]
-                         [static_cast<std::size_t>(i)] == 0 ||
-            v.seq < seq || (v.seq == seq && v.volume < l) ||
-            (n_images >= 0 && v.seq >= n_images) ||
-            v.seq - seq > kMaxImagesAhead;
-        if (off_plan) fail_geometry(v);
-        if (v.seq != seq || v.volume != l) {
-          stash[{v.seq, v.volume}].push_back(std::move(chunk));
+      if (n_images >= 0) return;  // finite run: nothing will ever change
+      RxChunk chunk;
+      rpc::ReconfigureMsg rmsg;
+      switch (receive_frame(rx, chunk, &rmsg)) {
+        case RxKind::kStop:
+          return;
+        case RxKind::kSkip:
+        case RxKind::kTimeout:
+          // Timeouts on an idle device are expected, not starvation.
           continue;
-        }
-        if (!chunk_fits(v, need, crop.w, crop.c)) fail_geometry(v);
-        blit_chunk(chunk, crop, need.begin, mode, stats);
-        --remaining;
+        case RxKind::kReconfig:
+          state.register_epoch(rmsg, seq, 0);
+          continue;
+        case RxKind::kChunk:
+          state.admit(chunk, seq, 0, /*allow_consume=*/false);
+          continue;
       }
+      continue;
+    }
 
-      if (overlap) {
-        // Halo-first banded compute: boundary bands land in `out` first and
-        // their chunks ship through the sender thread while the interior
-        // bands still run — the transport writes overlap the SSE kernels.
-        cnn::Tensor& out = out_bufs[cur_buf];
-        reshape(out, part.size(), layers.back().out_w(), layers.back().out_c);
-        const auto& sched = schedules[static_cast<std::size_t>(l)];
-        std::size_t next_send = 0;
-        for (std::size_t b = 0; b < sched.bands.size(); ++b) {
-          cnn::volume_forward_rows_into(layers, crop, need.begin,
-                                        sched.bands[b], weights_span, exec_ctx,
-                                        out, part.begin);
-          for (; next_send < sched.sends.size() &&
-                 sched.sends[next_send].ready_after_band <=
-                     static_cast<int>(b);
-               ++next_send) {
-            const auto& send = sched.sends[next_send];
-            const bool gather = l + 1 == n_volumes;
-            post_rows(transport, data_addr(send.to),
-                      gather ? rpc::MsgType::kGather : rpc::MsgType::kHaloRows,
-                      seq, gather ? n_volumes : l + 1, out, part.begin,
-                      send.rows, arena, stats, rtx.get(), &*sender);
-          }
-        }
-        prev_out = &out;
-        cur_buf ^= 1;
-      } else {
-        // Serial baseline: whole-part compute, then copying sends from this
-        // thread (slice temporary + encode copy), exactly the PR-3 path —
-        // including the crop copy PR-3's volume entry made on the way in
-        // (the _into rewrite removed it from the shared compute path, so
-        // the baseline pays it here to stay a faithful pre-change measure).
-        const cnn::Tensor legacy_cur = crop;
-        cnn::Tensor out = cnn::volume_forward_rows(
-            layers, legacy_cur, need.begin, part, weights_span, exec_ctx);
-        if (l + 1 < n_volumes) {
-          for (int k = 0; k < plan.n_devices; ++k) {
-            if (k == i) continue;
-            const auto& kneed = plan.needs[static_cast<std::size_t>(l + 1)]
-                                          [static_cast<std::size_t>(k)];
-            const auto chunk = kneed.intersect(part);
-            if (chunk.empty()) continue;
-            stats.bytes_copied.fetch_add(  // the sliced temporary
-                static_cast<Bytes>(chunk.size()) * out.w * out.c * 4,
-                std::memory_order_relaxed);
-            post_chunk(transport, data_addr(k),
-                       rpc::ChunkMsg{rpc::MsgType::kHaloRows, seq, l + 1,
-                                     chunk.begin, rpc::kNilNode, 0,
-                                     slice_rows(out, part.begin, chunk.begin,
-                                                chunk.end)},
-                       stats, rtx.get());
-          }
-        } else {
-          // Final volume: `out` is not needed locally again, so move it.
-          post_chunk(transport, data_addr(plan.requester_node()),
-                     rpc::ChunkMsg{rpc::MsgType::kGather, seq, n_volumes,
-                                   part.begin, rpc::kNilNode, 0,
-                                   std::move(out)},
-                     stats, rtx.get());
-        }
-        legacy_prev = std::move(out);
-        prev_out = &legacy_prev;
+    double compute_ms = 0;
+    switch (process_image(state, rx, transport, seq, model, weights, stats,
+                          reliability, exec_ctx, mode, arena, sender,
+                          rtx.get(), crop_buf, out_bufs, cur_buf,
+                          compute_ms)) {
+      case ImageOutcome::kStop:
+        return;
+      case ImageOutcome::kRestart:
+        continue;  // same seq, new epoch
+      case ImageOutcome::kDone:
+        break;
+    }
+    window_compute_ms += compute_ms;
+    ++window_images;
+    ++seq;
+
+    if (telemetry.every_images > 0 &&
+        window_images >= telemetry.every_images) {
+      const auto now = std::chrono::steady_clock::now();
+      rpc::TelemetryMsg report;
+      report.from_node = i;
+      report.window_s =
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              now - window_start)
+              .count();
+      report.compute_ms = window_compute_ms / window_images;
+      report.images = window_images;
+      if (telemetry.links != nullptr) {
+        report.links = telemetry.links->sample_link_rates();
       }
-      prev_rows = part;
+      rpc::Frame frame(rpc::encode_telemetry(report));
+      stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                                 std::memory_order_relaxed);
+      // Fire-and-forget: a lost report just widens the next window. The
+      // requester's node id is the same under every epoch (device count is
+      // fixed for the life of a stream).
+      transport.send(rpc::Address{plan.requester_node(), rpc::kTelemetryMailbox},
+                     std::move(frame));
+      window_start = now;
+      window_compute_ms = 0;
+      window_images = 0;
     }
   }
 
@@ -462,15 +699,36 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
   if (rtx != nullptr && n_images >= 0) drain_outbox(rx, *rtx);
 }
 
+int push_epoch(RequesterContext& ctx, const cnn::CnnModel& model,
+               const sim::RawStrategy& strategy, int from_seq) {
+  EpochPlan next;
+  next.epoch = ctx.epochs.latest() + 1;
+  next.from_seq = from_seq;
+  next.strategy = strategy;
+  next.plan = build_transfer_plan(model, strategy,
+                                  ctx.epochs.latest_plan().plan.n_devices);
+  rpc::ReconfigureMsg msg = reconfigure_from_epoch(next);
+  const int n_devices = next.plan.n_devices;
+  const int epoch = next.epoch;
+  ctx.epochs.add(std::move(next));
+  // Announce to every provider — the idle ones too: an epoch may activate
+  // a device the previous one never used.
+  for (int k = 0; k < n_devices; ++k) {
+    post_reconfigure(ctx.transport, data_addr(k), msg, ctx.stats, ctx.rtx);
+  }
+  return epoch;
+}
+
 void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
-  for (int i = 0; i < ctx.plan.n_devices; ++i) {
-    const auto& need = ctx.plan.needs[0][static_cast<std::size_t>(i)];
+  const EpochPlan& ep = ctx.epochs.at(seq);
+  for (int i = 0; i < ep.plan.n_devices; ++i) {
+    const auto& need = ep.plan.needs[0][static_cast<std::size_t>(i)];
     if (need.empty()) continue;
     if (ctx.mode == DataPlaneMode::kOverlapZeroCopy) {
       // The scatter rows encode straight out of the caller's input tensor;
       // no sliced temporary, and the frame buffer is recycled per image.
       post_rows(ctx.transport, data_addr(i), rpc::MsgType::kScatter, seq, 0,
-                input, 0, need, ctx.arena, ctx.stats, ctx.rtx,
+                ep.epoch, input, 0, need, ctx.arena, ctx.stats, ctx.rtx,
                 /*sender=*/nullptr);
       continue;
     }
@@ -479,7 +737,7 @@ void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
         std::memory_order_relaxed);
     post_chunk(ctx.transport, data_addr(i),
                rpc::ChunkMsg{rpc::MsgType::kScatter, seq, 0, need.begin,
-                             rpc::kNilNode, 0,
+                             rpc::kNilNode, 0, ep.epoch,
                              slice_rows(input, 0, need.begin, need.end)},
                ctx.stats, ctx.rtx);
   }
@@ -491,6 +749,12 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
   output = cnn::Tensor(last_layer.out_h(), last_layer.out_w(), last_layer.out_c);
 
   const cnn::RowInterval bounds{0, output.h};
+  // The requester knows every epoch (it creates them), so a gather chunk's
+  // tag must match the epoch serving its image exactly.
+  const auto epoch_ok = [&ctx](const rpc::ChunkView& v) {
+    return v.epoch <= ctx.epochs.latest() &&
+           ctx.epochs.at(v.seq).epoch == v.epoch;
+  };
   // Row-coverage accounting: the holders' parts partition the output and
   // each part arrives as one or more disjoint bands, so the gather is done
   // exactly when `output.h` fresh rows landed — independent of how many
@@ -500,6 +764,7 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
     for (auto& chunk : it->second) {
       // Runs on the requester thread with provider threads live, so a
       // geometry mismatch reports failure instead of throwing past them.
+      if (!epoch_ok(chunk.view)) return false;
       if (!chunk_fits(chunk.view, bounds, output.w, output.c)) return false;
       blit_chunk(chunk, output, 0, ctx.mode, ctx.stats);
       remaining_rows -= chunk.view.h;
@@ -507,6 +772,7 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
     ctx.stash.erase(it);
   }
   RxState rx{ctx.transport, ctx.reliability, ctx.stats, ctx.dedup};
+  const EpochPlan& ep = ctx.epochs.at(seq);
   int timeout_rounds = 0;
   while (remaining_rows > 0) {
     RxChunk chunk;
@@ -514,10 +780,11 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
       case RxKind::kStop:
         return false;
       case RxKind::kSkip:
+      case RxKind::kReconfig:  // unreachable: requester sends these
         continue;
       case RxKind::kTimeout:
         ctx.stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
-        broadcast_nack(ctx.transport, ctx.plan, seq, ctx.plan.num_volumes(),
+        broadcast_nack(ctx.transport, ep.plan, seq, ep.plan.num_volumes(),
                        ctx.stats);
         if (retry != nullptr) ++retry->recv_timeouts;
         if (++timeout_rounds > ctx.reliability.max_recv_timeouts) return false;
@@ -530,6 +797,7 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
     // Same stash-growth bound as the provider side: a gather for a past
     // image is a duplicate, one absurdly far ahead is off-plan.
     if (v.seq < seq || v.seq - seq > kMaxImagesAhead) return false;
+    if (!epoch_ok(v)) return false;
     if (v.seq != seq) {
       ctx.stash[v.seq].push_back(std::move(chunk));
       continue;

@@ -22,6 +22,15 @@
 // Retransmitter until acked, receivers dedup and ack, data waits are
 // bounded by recv_timeout_ms with nack rounds in between, and a starved
 // wait fails loudly after max_recv_timeouts rounds instead of hanging.
+//
+// Both loops are *epoch-aware* (DESIGN.md §control-plane): the strategy a
+// stream starts with is only epoch 0. A kReconfigure frame announces
+// "epoch E serves images from_seq onward"; every chunk carries its image's
+// epoch tag, a provider that meets a tag it does not know yet parks the
+// chunk and waits for the announcement (it is already in flight on the same
+// mailbox), and images of the old epoch complete under the old plan while
+// the new epoch's images are already being scattered — a live, drain-free,
+// bit-exact cutover.
 #pragma once
 
 #include <map>
@@ -29,8 +38,10 @@
 
 #include "cnn/exec_engine.hpp"
 #include "rpc/frame.hpp"
+#include "rpc/shaped_transport.hpp"
 #include "rpc/transport.hpp"
 #include "rpc/wire.hpp"
+#include "runtime/epoch.hpp"
 #include "runtime/reliable.hpp"
 #include "runtime/transfer_plan.hpp"
 
@@ -65,6 +76,24 @@ void post_chunk(rpc::Transport& transport, const rpc::Address& to,
                 rpc::ChunkMsg msg, DataPlaneStats& stats,
                 Retransmitter* rtx = nullptr);
 
+/// Encodes and posts an epoch announcement, updating `stats`. With `rtx`
+/// set the frame is stamped and tracked exactly like a tensor chunk (the
+/// receiver acks it on the same path), so a reconfigure survives the same
+/// faults the data it gates does.
+void post_reconfigure(rpc::Transport& transport, const rpc::Address& to,
+                      rpc::ReconfigureMsg msg, DataPlaneStats& stats,
+                      Retransmitter* rtx = nullptr);
+
+/// Control-plane publishing knobs of one provider (all off by default).
+struct TelemetryHooks {
+  /// Per-link achieved-rate source (the node's ShapedTransport decorator);
+  /// may be null — telemetry then reports compute times only.
+  rpc::LinkRateSampler* links = nullptr;
+  /// Publish a kTelemetry frame to the requester's telemetry mailbox every
+  /// this many finished images (0 = never).
+  int every_images = 0;
+};
+
 /// Provider event loop for device `i`: executes its split-parts image after
 /// image, pulling inputs from the data mailbox and pushing halos/gathers.
 /// Processes exactly `n_images` images when n_images >= 0; with
@@ -74,7 +103,11 @@ void post_chunk(rpc::Transport& transport, const rpc::Address& to,
 /// (bounded by the attempt budget) before returning, so late acks/losses on
 /// its last chunks are still recovered. In kOverlapZeroCopy mode the
 /// provider additionally owns a frame arena, a ChunkSender thread, and the
-/// per-volume halo-first schedules (built once per run).
+/// per-volume halo-first schedules (built once per epoch).
+///
+/// `strategy`/`plan` seed epoch 0; kReconfigure frames append later epochs
+/// at image boundaries. A device idle under the current epoch keeps
+/// listening (a later epoch may activate it) instead of returning.
 void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    const sim::RawStrategy& strategy,
                    const std::vector<cnn::ConvWeights>& weights,
@@ -82,7 +115,8 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    DataPlaneStats& stats,
                    const ReliabilityOptions& reliability = {},
                    const cnn::ExecContext& exec = {},
-                   DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy);
+                   DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
+                   const TelemetryHooks& telemetry = {});
 
 /// Per-image reliability events observed by the requester while gathering.
 struct ImageRetryStats {
@@ -91,16 +125,20 @@ struct ImageRetryStats {
   int recv_timeouts = 0;
 };
 
-/// Requester-side state reused across the images of one run or stream.
+/// Requester-side state reused across the images of one run or stream. The
+/// plan passed at construction seeds epoch 0; push_epoch() appends later
+/// regimes (and announces them to every provider).
 struct RequesterContext {
   RequesterContext(rpc::Transport& transport_, const TransferPlan& plan_,
                    DataPlaneStats& stats_, ReliabilityOptions reliability_ = {},
                    DataPlaneMode mode_ = DataPlaneMode::kOverlapZeroCopy)
-      : transport(transport_), plan(plan_), stats(stats_),
+      : transport(transport_),
+        epochs(EpochPlan{0, 0, {}, plan_}),
+        stats(stats_),
         reliability(reliability_), mode(mode_) {}
 
   rpc::Transport& transport;
-  const TransferPlan& plan;
+  EpochTable epochs;
   DataPlaneStats& stats;
   ReliabilityOptions reliability;
   DataPlaneMode mode;
@@ -113,7 +151,17 @@ struct RequesterContext {
   std::map<int, std::vector<RxChunk>> stash;
 };
 
-/// Requester half: scatters image `seq`'s volume-0 inputs to the providers.
+/// Live strategy swap: registers `strategy` as the next epoch, effective
+/// from image `from_seq` (which must not have been scattered yet), and
+/// posts the kReconfigure announcement to every provider — *before* any
+/// epoch-tagged traffic of the new regime, so per-sender FIFO (or, under
+/// faults, retransmission + the receivers' park-unknown-epochs rule) makes
+/// the cutover race-free. Returns the new epoch id.
+int push_epoch(RequesterContext& ctx, const cnn::CnnModel& model,
+               const sim::RawStrategy& strategy, int from_seq);
+
+/// Requester half: scatters image `seq`'s volume-0 inputs to the providers
+/// under the epoch serving `seq`.
 void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input);
 
 /// Requester half: collects the holders' kGather chunks of image `seq` into

@@ -36,8 +36,45 @@ TEST(Trace, MeanOverWindow) {
 
 TEST(Trace, RejectsBadConstruction) {
   EXPECT_THROW(ThroughputTrace(0.0, {1.0}), Error);
-  EXPECT_THROW(ThroughputTrace(1.0, {}), Error);
+  EXPECT_THROW(ThroughputTrace(1.0, {}), Error);  // an empty trace is no trace
   EXPECT_THROW(ThroughputTrace(1.0, {1.0, 0.0}), Error);
+}
+
+// --- Edge cases the control plane's shaper leans on (ShapedTransport
+// samples traces at arbitrary scaled times; clamping must hold at both
+// ends and mean() must stay finite on any window). ---
+
+TEST(Trace, SingleSlotActsAsConstant) {
+  ThroughputTrace trace(60.0, {55.5});
+  EXPECT_DOUBLE_EQ(trace.duration(), 60.0);
+  EXPECT_DOUBLE_EQ(trace.at(0.0), 55.5);
+  EXPECT_DOUBLE_EQ(trace.at(59.999), 55.5);
+  EXPECT_DOUBLE_EQ(trace.at(1e9), 55.5);   // clamped past the end
+  EXPECT_DOUBLE_EQ(trace.at(-1e9), 55.5);  // clamped before the start
+  EXPECT_DOUBLE_EQ(trace.mean(0.0, 1e6), 55.5);
+}
+
+TEST(Trace, MeanOverWindowsPastDurationClampsToLastSlot) {
+  ThroughputTrace trace(60.0, {10.0, 30.0});
+  // Window entirely beyond the trace: every sample clamps to the last slot.
+  EXPECT_DOUBLE_EQ(trace.mean(500.0, 1000.0), 30.0);
+  // Window straddling the end: the overhang keeps sampling the last slot,
+  // so the mean is pulled toward it but stays within the sample range.
+  const Mbps straddle = trace.mean(60.0, 60.0 + 4 * 60.0);
+  EXPECT_GE(straddle, 10.0);
+  EXPECT_LE(straddle, 30.0);
+  EXPECT_DOUBLE_EQ(straddle, 30.0);  // all samples land in/after slot 1
+}
+
+TEST(Trace, MeanAndAtClampAtTimeZero) {
+  ThroughputTrace trace(1.0, {5.0, 50.0});
+  EXPECT_DOUBLE_EQ(trace.at(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(trace.at(-3.0), 5.0);
+  // A window starting before t=0 samples the clamped first slot.
+  EXPECT_DOUBLE_EQ(trace.mean(-2.0, 0.5), 5.0);
+  // Sub-slot windows sample their containing slot exactly once.
+  EXPECT_DOUBLE_EQ(trace.mean(0.0, 0.25), 5.0);
+  EXPECT_DOUBLE_EQ(trace.mean(1.25, 1.5), 50.0);
 }
 
 TEST(StableWifi, StatisticsMatchFig4) {

@@ -1,0 +1,144 @@
+// ShapedTransport contract: frames are paced at the trace-prescribed link
+// rate (min of the two endpoint radios), per-link FIFO survives the pacer,
+// trace playback honours time_scale, the sampled telemetry equals the rate
+// actually enforced, and shutdown never hangs on a backlogged link.
+#include "rpc/shaped_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/require.hpp"
+#include "rpc/inproc_transport.hpp"
+
+namespace de::rpc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Payload filler(std::size_t bytes, std::uint8_t tag = 0) {
+  Payload p(bytes, tag);
+  return p;
+}
+
+struct ShapedPair {
+  InProcFabric fabric{2};
+  ShapingSpec spec;
+  std::unique_ptr<ShapedTransport> a;
+  std::unique_ptr<ShapedTransport> b;
+
+  explicit ShapedPair(ShapingSpec s) : spec(std::move(s)) {
+    const auto start = Clock::now();
+    a = std::make_unique<ShapedTransport>(fabric.endpoint(0), spec, start);
+    b = std::make_unique<ShapedTransport>(fabric.endpoint(1), spec, start);
+    b->open_mailbox(0);
+    a->open_mailbox(0);
+  }
+};
+
+TEST(ShapedTransport, PacesAtTheConfiguredRate) {
+  // 8 Mbit/s link, 10 frames x 10 KB = 800 kbit => >= 100 ms of airtime.
+  ShapedPair net(ShapingSpec::uniform(2, 8.0));
+  const auto t0 = Clock::now();
+  for (int k = 0; k < 10; ++k) net.a->send(Address{1, 0}, filler(10'000));
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(net.b->receive(0).has_value());
+  }
+  const double elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                t0)
+          .count();
+  // Lower bound only (CI machines stall, they don't speed up); allow the
+  // scheduler a little slack below the ideal 0.1 s.
+  EXPECT_GT(elapsed, 0.07);
+  // The sampled telemetry reports the enforced rate exactly (virtual-clock
+  // accounting, immune to scheduler noise).
+  const auto samples = net.a->sample_link_rates();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].peer, 1);
+  EXPECT_NEAR(samples[0].mbps, 8.0, 1e-6);
+  EXPECT_NEAR(samples[0].mbytes, 0.1, 0.01);
+  // Sampling resets the window.
+  EXPECT_TRUE(net.a->sample_link_rates().empty());
+}
+
+TEST(ShapedTransport, LinkRateIsMinOfBothRadios) {
+  ShapingSpec spec;
+  spec.node_traces = {net::ThroughputTrace::constant(100.0),
+                      net::ThroughputTrace::constant(10.0)};
+  ShapedPair net(spec);
+  EXPECT_NEAR(net.a->link_rate(1, Clock::now()), 10.0, 1e-9);
+  EXPECT_NEAR(net.b->link_rate(0, Clock::now()), 10.0, 1e-9);
+  net.a->send(Address{1, 0}, filler(5'000));
+  ASSERT_TRUE(net.b->receive(0).has_value());
+  const auto samples = net.a->sample_link_rates();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_NEAR(samples[0].mbps, 10.0, 1e-6);
+}
+
+TEST(ShapedTransport, TimeScaleSweepsTraceRegimes) {
+  // Two trace slots of 1 *trace* minute each; at time_scale 600 a slot
+  // lasts 100 wall ms. Frames sent in the second slot must be paced (and
+  // reported) at the second regime's rate.
+  ShapingSpec spec;
+  spec.node_traces.assign(
+      2, net::ThroughputTrace(60.0, {200.0, 20.0}));
+  spec.time_scale = 600.0;
+  ShapedPair net(spec);
+
+  net.a->send(Address{1, 0}, filler(2'000));
+  ASSERT_TRUE(net.b->receive(0).has_value());
+  auto first = net.a->sample_link_rates();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_NEAR(first[0].mbps, 200.0, 1e-6);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(130));
+  net.a->send(Address{1, 0}, filler(2'000));
+  ASSERT_TRUE(net.b->receive(0).has_value());
+  auto second = net.a->sample_link_rates();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_NEAR(second[0].mbps, 20.0, 1e-6);
+}
+
+TEST(ShapedTransport, PerLinkFifoSurvivesThePacer) {
+  ShapedPair net(ShapingSpec::uniform(2, 50.0));
+  for (std::uint8_t k = 0; k < 60; ++k) {
+    net.a->send(Address{1, 0}, Payload{k, k});
+  }
+  for (std::uint8_t k = 0; k < 60; ++k) {
+    const auto got = net.b->receive(0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ((*got)[0], k) << "frame " << int(k) << " out of order";
+  }
+}
+
+TEST(ShapedTransport, LoopbackBypassesShaping) {
+  // A node's traffic to itself never crosses its radio: instant, unsampled.
+  ShapedPair net(ShapingSpec::uniform(2, 0.001));  // brutally slow radio
+  net.a->send(Address{0, 0}, filler(100'000));
+  ASSERT_TRUE(net.a->receive(0).has_value());
+  EXPECT_TRUE(net.a->sample_link_rates().empty());
+}
+
+TEST(ShapedTransport, ShutdownDropsBacklogWithoutHanging) {
+  ShapedPair net(ShapingSpec::uniform(2, 0.01));  // ~8 s per 10 KB frame
+  for (int k = 0; k < 5; ++k) net.a->send(Address{1, 0}, filler(10'000));
+  net.a->shutdown();  // must return promptly, backlog lost with the link
+  net.b->shutdown();
+}
+
+TEST(ShapedTransport, RejectsBadSpecs) {
+  InProcFabric fabric(2);
+  EXPECT_THROW(ShapedTransport(fabric.endpoint(0), ShapingSpec{}), Error);
+  ShapingSpec bad = ShapingSpec::uniform(2, 10.0);
+  bad.time_scale = 0.0;
+  EXPECT_THROW(ShapedTransport(fabric.endpoint(0), bad), Error);
+  // Local node outside the per-node trace vector.
+  EXPECT_THROW(ShapedTransport(fabric.endpoint(1),
+                               ShapingSpec::uniform(1, 10.0)),
+               Error);
+}
+
+}  // namespace
+}  // namespace de::rpc

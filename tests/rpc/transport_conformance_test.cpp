@@ -1,9 +1,11 @@
 // Backend-agnostic Transport conformance suite: one parameterized set of
 // contract tests run against InProcTransport, TcpTransport (ephemeral
-// loopback ports), and FaultInjectingTransport wrapping InProc with a
+// loopback ports), FaultInjectingTransport wrapping InProc with a
 // zero-fault spec (the decorator must be observationally transparent when
-// its probabilities are zero). Covers addressed delivery, per-sender FIFO,
-// non-blocking and bounded receives, graceful shutdown, and the silent
+// its probabilities are zero), and ShapedTransport wrapping InProc with a
+// near-infinite link rate (pacing at memory speed must also be
+// transparent). Covers addressed delivery, per-sender FIFO, non-blocking
+// and bounded receives, graceful shutdown, and the silent
 // send-to-dead-peer semantics every protocol above relies on.
 #include <gtest/gtest.h>
 
@@ -15,6 +17,7 @@
 
 #include "rpc/fault_transport.hpp"
 #include "rpc/inproc_transport.hpp"
+#include "rpc/shaped_transport.hpp"
 #include "rpc/tcp_transport.hpp"
 
 namespace de::rpc {
@@ -73,6 +76,26 @@ class FaultyInProcUniverse : public Universe {
   std::vector<std::unique_ptr<FaultInjectingTransport>> wrapped_;
 };
 
+class ShapedInProcUniverse : public Universe {
+ public:
+  explicit ShapedInProcUniverse(int n) : fabric_(n) {
+    // A terabit radio: the pacer thread is on the path for every frame,
+    // but transmission times are sub-microsecond — the decorator must be
+    // observationally equivalent to the bare transport.
+    const auto spec = ShapingSpec::uniform(n, 1e6);
+    const auto start = std::chrono::steady_clock::now();
+    for (NodeId id = 0; id < n; ++id) {
+      wrapped_.push_back(std::make_unique<ShapedTransport>(
+          fabric_.endpoint(id), spec, start));
+    }
+  }
+  Transport& node(int i) override { return *wrapped_[static_cast<std::size_t>(i)]; }
+
+ private:
+  InProcFabric fabric_;
+  std::vector<std::unique_ptr<ShapedTransport>> wrapped_;
+};
+
 struct Backend {
   const char* name;
   std::unique_ptr<Universe> (*make)(int n);
@@ -90,6 +113,10 @@ const Backend kBackends[] = {
     {"FaultInjectingInProc",
      [](int n) -> std::unique_ptr<Universe> {
        return std::make_unique<FaultyInProcUniverse>(n);
+     }},
+    {"ShapedInProc",
+     [](int n) -> std::unique_ptr<Universe> {
+       return std::make_unique<ShapedInProcUniverse>(n);
      }},
 };
 

@@ -46,6 +46,46 @@ void decode_must_not_crash(const Payload& frame) {
   probe([](const Payload& f) { decode_halo_request(f); });
   probe([](const Payload& f) { decode_ack(f); });
   probe([](const Payload& f) { decode_nack(f); });
+  probe([](const Payload& f) { decode_telemetry(f); });
+  probe([](const Payload& f) { decode_reconfigure(f); });
+}
+
+TelemetryMsg sample_telemetry(Rng& rng) {
+  TelemetryMsg msg;
+  msg.from_node = rng.uniform_int(0, 4);
+  msg.window_s = rng.uniform(0.0, 10.0);
+  msg.compute_ms = rng.uniform(0.0, 50.0);
+  msg.images = rng.uniform_int(0, 100);
+  const int n_links = rng.uniform_int(0, 5);
+  for (int k = 0; k < n_links; ++k) {
+    msg.links.push_back({rng.uniform_int(0, 6), rng.uniform(0.1, 300.0),
+                         rng.uniform(0.0, 64.0)});
+  }
+  return msg;
+}
+
+ReconfigureMsg sample_reconfigure(Rng& rng) {
+  ReconfigureMsg msg;
+  msg.epoch = rng.uniform_int(1, 50);
+  msg.from_seq = rng.uniform_int(0, 5000);
+  msg.n_devices = rng.uniform_int(1, 6);
+  const int n_volumes = rng.uniform_int(1, 5);
+  int layer = 0;
+  for (int l = 0; l < n_volumes; ++l) {
+    const int next = layer + rng.uniform_int(1, 3);
+    msg.volumes.push_back({layer, next});
+    layer = next;
+    std::vector<int> cuts{0};
+    for (int d = 0; d < msg.n_devices; ++d) {
+      cuts.push_back(cuts.back() + rng.uniform_int(0, 12));
+    }
+    msg.cuts.push_back(std::move(cuts));
+  }
+  if (rng.uniform_int(0, 1) == 1) {
+    msg.from_node = rng.uniform_int(0, 6);
+    msg.chunk_id = static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 20));
+  }
+  return msg;
 }
 
 TEST(WireFuzz, RandomTruncationAlwaysErrors) {
@@ -100,8 +140,8 @@ TEST(WireFuzz, GarbageWithValidHeaderNeverCrashes) {
   for (int iter = 0; iter < 600; ++iter) {
     core::ByteWriter w;
     w.u32(kWireMagic);
-    w.u16(rng.uniform_int(0, 1) == 0 ? 1 : kWireVersion);
-    w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 9)));
+    w.u16(static_cast<std::uint16_t>(rng.uniform_int(1, kWireVersion)));
+    w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 11)));
     const int body = rng.uniform_int(0, 48);
     for (int k = 0; k < body; ++k) {
       w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff)));
@@ -161,6 +201,92 @@ TEST(WireFuzz, ExtentOverflowRejected) {
   // A neighbouring triple that wraps to a nonzero value is equally hostile.
   EXPECT_THROW(decode_chunk(hostile_frame(1 << 21, 1 << 21, (1 << 22) + 1)),
                Error);
+}
+
+TEST(WireFuzz, ControlPlaneFramesSurviveTruncationAndFlips) {
+  Rng rng(808);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto frame = iter % 2 == 0
+                           ? encode_telemetry(sample_telemetry(rng))
+                           : encode_reconfigure(sample_reconfigure(rng));
+    // Every truncation point must error, never crash or misread.
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(frame.size()) - 1));
+    const Payload truncated(frame.begin(),
+                            frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_telemetry(truncated), Error);
+    EXPECT_THROW(decode_reconfigure(truncated), Error);
+    decode_must_not_crash(truncated);
+    // Bit flips anywhere in the frame.
+    auto mutated = frame;
+    for (int f = rng.uniform_int(1, 6); f > 0; --f) {
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(mutated.size()) - 1));
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    decode_must_not_crash(mutated);
+  }
+}
+
+TEST(WireFuzz, HostileControlPlaneCountsRejectedBeforeAllocation) {
+  // Claimed link/volume/device counts far beyond the actual payload: the
+  // exact-length cross-check must fire before any vector reserve. If the
+  // decoders allocated from the claims, these frames would demand huge
+  // buffers for ~20 real bytes each.
+  Rng rng(606);
+  for (int iter = 0; iter < 200; ++iter) {
+    {
+      core::ByteWriter w;
+      w.u32(kWireMagic);
+      w.u16(kWireVersion);
+      w.u16(static_cast<std::uint16_t>(MsgType::kTelemetry));
+      w.i32(0);                                  // from_node
+      w.f32(1.0f);                               // window_s
+      w.f32(1.0f);                               // compute_ms
+      w.i32(1);                                  // images
+      w.i32(rng.uniform_int(1 << 20, 1 << 30));  // hostile n_links
+      w.f32(0.0f);                               // a few stray bytes
+      EXPECT_THROW(decode_telemetry(w.bytes()), Error);
+    }
+    {
+      core::ByteWriter w;
+      w.u32(kWireMagic);
+      w.u16(kWireVersion);
+      w.u16(static_cast<std::uint16_t>(MsgType::kReconfigure));
+      w.i32(-1);                                 // from_node (untracked)
+      w.u32(0);                                  // chunk_id
+      w.i32(1);                                  // epoch
+      w.i32(0);                                  // from_seq
+      w.i32(rng.uniform_int(1 << 10, 1 << 16));  // hostile n_devices
+      w.i32(rng.uniform_int(1 << 10, 1 << 16));  // hostile n_volumes
+      w.i32(0);
+      EXPECT_THROW(decode_reconfigure(w.bytes()), Error);
+    }
+  }
+  // Counts beyond the sanity caps are rejected outright.
+  core::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(MsgType::kReconfigure));
+  w.i32(-1);
+  w.u32(0);
+  w.i32(1);
+  w.i32(0);
+  w.i32((1 << 16) + 1);  // n_devices over the cap
+  w.i32(1);
+  EXPECT_THROW(decode_reconfigure(w.bytes()), Error);
+}
+
+TEST(WireFuzz, ControlPlaneRoundTripsAreExact) {
+  Rng rng(909);
+  for (int iter = 0; iter < 100; ++iter) {
+    const auto telemetry = sample_telemetry(rng);
+    const auto t_frame = encode_telemetry(telemetry);
+    EXPECT_EQ(encode_telemetry(decode_telemetry(t_frame)), t_frame);
+    const auto reconfigure = sample_reconfigure(rng);
+    const auto r_frame = encode_reconfigure(reconfigure);
+    EXPECT_EQ(encode_reconfigure(decode_reconfigure(r_frame)), r_frame);
+  }
 }
 
 TEST(WireFuzz, TruncatedControlFramesError) {

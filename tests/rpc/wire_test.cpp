@@ -21,6 +21,7 @@ ChunkMsg sample_chunk(MsgType type) {
   msg.seq = 7;
   msg.volume = 2;
   msg.row_offset = 11;
+  msg.epoch = 3;
   msg.rows = cnn::Tensor(3, 4, 2);
   for (std::size_t i = 0; i < msg.rows.data.size(); ++i) {
     msg.rows.data[i] = 0.25f * static_cast<float>(i) - 1.5f;
@@ -39,6 +40,7 @@ TEST(Wire, ChunkRoundTripsBitExact) {
     EXPECT_EQ(back.seq, msg.seq);
     EXPECT_EQ(back.volume, msg.volume);
     EXPECT_EQ(back.row_offset, msg.row_offset);
+    EXPECT_EQ(back.epoch, msg.epoch);
     ASSERT_EQ(back.rows.h, msg.rows.h);
     ASSERT_EQ(back.rows.w, msg.rows.w);
     ASSERT_EQ(back.rows.c, msg.rows.c);
@@ -149,6 +151,105 @@ TEST(Wire, V1ChunkStillDecodes) {
   EXPECT_EQ(back.rows.data, msg.rows.data);
 }
 
+TEST(Wire, V2ChunkStillDecodes) {
+  // A v2 peer's chunk (no epoch field) must decode with the epoch
+  // defaulted to 0 — the pre-control-plane regime.
+  const auto msg = sample_chunk(MsgType::kHaloRows);
+  core::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(2);  // wire version 2
+  w.u16(static_cast<std::uint16_t>(MsgType::kHaloRows));
+  w.i32(msg.seq);
+  w.i32(msg.volume);
+  w.i32(msg.row_offset);
+  w.i32(3);   // from_node
+  w.u32(42);  // chunk_id
+  w.i32(msg.rows.h);
+  w.i32(msg.rows.w);
+  w.i32(msg.rows.c);
+  w.f32_span(msg.rows.data);
+  const auto back = decode_chunk(w.bytes());
+  EXPECT_EQ(back.seq, msg.seq);
+  EXPECT_EQ(back.from_node, 3);
+  EXPECT_EQ(back.chunk_id, 42u);
+  EXPECT_EQ(back.epoch, 0);
+  EXPECT_EQ(back.rows.data, msg.rows.data);
+}
+
+TEST(Wire, TelemetryRoundTrips) {
+  TelemetryMsg msg;
+  msg.from_node = 2;
+  msg.window_s = 1.5;
+  msg.compute_ms = 7.25;
+  msg.images = 12;
+  msg.links = {{4, 93.5, 2.25}, {0, 41.0, 0.5}};
+  const auto frame = encode_telemetry(msg);
+  EXPECT_EQ(peek_type(frame), MsgType::kTelemetry);
+  const auto back = decode_telemetry(frame);
+  EXPECT_EQ(back.from_node, 2);
+  EXPECT_DOUBLE_EQ(back.window_s, 1.5);
+  EXPECT_DOUBLE_EQ(back.compute_ms, 7.25);
+  EXPECT_EQ(back.images, 12);
+  ASSERT_EQ(back.links.size(), 2u);
+  EXPECT_EQ(back.links[0].peer, 4);
+  EXPECT_DOUBLE_EQ(back.links[0].mbps, 93.5);
+  EXPECT_DOUBLE_EQ(back.links[0].mbytes, 2.25);
+  EXPECT_EQ(back.links[1].peer, 0);
+  // A telemetry report with no links (compute only) is legal.
+  msg.links.clear();
+  EXPECT_TRUE(decode_telemetry(encode_telemetry(msg)).links.empty());
+  // Non-finite rates would poison every EWMA they touch: rejected.
+  msg.links = {{1, std::numeric_limits<double>::infinity(), 1.0}};
+  EXPECT_THROW(decode_telemetry(encode_telemetry(msg)), Error);
+  msg.links = {{1, std::numeric_limits<double>::quiet_NaN(), 1.0}};
+  EXPECT_THROW(decode_telemetry(encode_telemetry(msg)), Error);
+}
+
+TEST(Wire, ReconfigureRoundTrips) {
+  ReconfigureMsg msg;
+  msg.from_node = 4;
+  msg.chunk_id = 9;
+  msg.epoch = 2;
+  msg.from_seq = 57;
+  msg.n_devices = 3;
+  msg.volumes = {{0, 2}, {2, 5}};
+  msg.cuts = {{0, 4, 9, 14}, {0, 3, 8, 12}};
+  const auto frame = encode_reconfigure(msg);
+  EXPECT_EQ(peek_type(frame), MsgType::kReconfigure);
+  const auto back = decode_reconfigure(frame);
+  EXPECT_EQ(back.from_node, 4);
+  EXPECT_EQ(back.chunk_id, 9u);
+  EXPECT_EQ(back.epoch, 2);
+  EXPECT_EQ(back.from_seq, 57);
+  EXPECT_EQ(back.n_devices, 3);
+  EXPECT_EQ(back.volumes, msg.volumes);
+  EXPECT_EQ(back.cuts, msg.cuts);
+  // Re-encode identity, like every other v3 frame.
+  EXPECT_EQ(encode_reconfigure(back), frame);
+  // Untracked announcements are legal; tracked-by-nobody is not.
+  msg.from_node = kNilNode;
+  msg.chunk_id = 0;
+  EXPECT_EQ(decode_reconfigure(encode_reconfigure(msg)).chunk_id, 0u);
+  auto hostile = encode_reconfigure(msg);
+  hostile[12] = 1;  // chunk_id lives at bytes 12-15: track without a sender
+  EXPECT_THROW(decode_reconfigure(hostile), Error);
+}
+
+TEST(Wire, V2RejectsV3ControlTypes) {
+  // kTelemetry/kReconfigure did not exist before v3; older frames claiming
+  // them are malformed.
+  for (const std::uint16_t version : {std::uint16_t{1}, std::uint16_t{2}}) {
+    for (const auto type : {MsgType::kTelemetry, MsgType::kReconfigure}) {
+      core::ByteWriter w;
+      w.u32(kWireMagic);
+      w.u16(version);
+      w.u16(static_cast<std::uint16_t>(type));
+      w.i32(0);
+      EXPECT_THROW(peek_type(w.bytes()), Error);
+    }
+  }
+}
+
 TEST(Wire, V1RejectsV2ControlTypes) {
   // kAck/kNack did not exist in v1; a v1 frame claiming one is malformed.
   core::ByteWriter w;
@@ -201,15 +302,15 @@ TEST(Wire, RejectsTrailingGarbage) {
 
 TEST(Wire, RejectsHostileTensorExtents) {
   auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
-  // In a v2 chunk h lives at bytes 28-31 (after seq, volume, row_offset,
-  // from_node, chunk_id); claim a huge height with the same tiny payload.
-  frame[28] = 0xff;
-  frame[29] = 0xff;
-  frame[30] = 0xff;
-  frame[31] = 0x00;
+  // In a v3 chunk h lives at bytes 32-35 (after seq, volume, row_offset,
+  // from_node, chunk_id, epoch); claim a huge height, same tiny payload.
+  frame[32] = 0xff;
+  frame[33] = 0xff;
+  frame[34] = 0xff;
+  frame[35] = 0x00;
   EXPECT_THROW(decode_chunk(frame), Error);
   // A negative height must be rejected too, not wrapped into a size_t.
-  frame[31] = 0xff;
+  frame[35] = 0xff;
   EXPECT_THROW(decode_chunk(frame), Error);
 }
 

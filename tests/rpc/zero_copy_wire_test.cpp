@@ -1,7 +1,7 @@
 // Conformance suite of the zero-copy chunk codec: encode_chunk_into must
 // produce byte-identical frames to the legacy tensor-slicing encode_chunk,
 // and decode_chunk_view must agree field-for-field and float-for-float with
-// the owning decode_chunk — over fuzzed geometries, v1 and v2 frames, and
+// the owning decode_chunk — over fuzzed geometries, v1/v2/v3 frames, and
 // recycled arena buffers. The whole zero-copy invariant of the data plane
 // rests on these equivalences: if they hold, swapping the copying path for
 // the borrowing one cannot change a single wire byte or blitted float.
@@ -55,13 +55,14 @@ TEST(ZeroCopyWire, EncodeIntoMatchesLegacyBytesFuzzed) {
     msg.row_offset = rows.begin;
     msg.from_node = from;
     msg.chunk_id = id;
+    msg.epoch = rng.uniform_int(0, 9);
     msg.rows = runtime::slice_rows(src, src_offset, rows.begin, rows.end);
     const Payload legacy = encode_chunk(msg);
 
     Frame frame = arena.acquire();  // recycled across iterations on purpose
     const std::size_t payload_bytes =
-        encode_chunk_into(frame, msg.type, msg.seq, msg.volume, from, id, src,
-                          src_offset, rows);
+        encode_chunk_into(frame, msg.type, msg.seq, msg.volume, from, id,
+                          msg.epoch, src, src_offset, rows);
     EXPECT_EQ(payload_bytes, msg.rows.size() * 4);
     ASSERT_EQ(frame.size(), legacy.size());
     EXPECT_TRUE(frame == legacy) << "iter " << iter;
@@ -82,6 +83,7 @@ TEST(ZeroCopyWire, ViewAgreesWithOwningDecodeFuzzed) {
       msg.from_node = rng.uniform_int(0, 4);
       msg.chunk_id = static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
     }
+    msg.epoch = rng.uniform_int(0, 5);
     const Payload frame = encode_chunk(msg);
 
     const ChunkMsg owning = decode_chunk(frame);
@@ -92,6 +94,8 @@ TEST(ZeroCopyWire, ViewAgreesWithOwningDecodeFuzzed) {
     EXPECT_EQ(view.row_offset, owning.row_offset);
     EXPECT_EQ(view.from_node, owning.from_node);
     EXPECT_EQ(view.chunk_id, owning.chunk_id);
+    EXPECT_EQ(view.epoch, owning.epoch);
+    EXPECT_EQ(view.epoch, msg.epoch);
     EXPECT_EQ(view.h, owning.rows.h);
     EXPECT_EQ(view.w, owning.rows.w);
     EXPECT_EQ(view.c, owning.rows.c);
@@ -124,6 +128,7 @@ TEST(ZeroCopyWire, ViewDecodesV1Frames) {
   EXPECT_EQ(view.row_offset, 11);
   EXPECT_EQ(view.from_node, kNilNode);
   EXPECT_EQ(view.chunk_id, 0u);
+  EXPECT_EQ(view.epoch, 0);
   EXPECT_EQ(view.to_tensor().data, rows.data);
 }
 
@@ -160,19 +165,19 @@ TEST(ZeroCopyWire, EncodeIntoRejectsBadRanges) {
   const auto src = random_tensor(4, 3, 2, rng);
   Frame frame;
   // Empty range.
-  EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0,
+  EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0, 0,
                                  src, 10, cnn::RowInterval{12, 12}),
                Error);
   // Range outside the tensor.
-  EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0,
+  EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0, 0,
                                  src, 10, cnn::RowInterval{9, 12}),
                Error);
-  EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0,
+  EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0, 0,
                                  src, 10, cnn::RowInterval{12, 15}),
                Error);
   // Non-chunk type.
-  EXPECT_THROW(encode_chunk_into(frame, MsgType::kAck, 0, 0, kNilNode, 0, src,
-                                 10, cnn::RowInterval{10, 12}),
+  EXPECT_THROW(encode_chunk_into(frame, MsgType::kAck, 0, 0, kNilNode, 0, 0,
+                                 src, 10, cnn::RowInterval{10, 12}),
                Error);
 }
 
