@@ -1,8 +1,10 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <string>
 
 #include "common/require.hpp"
+#include "obs/trace.hpp"
 
 namespace de {
 
@@ -20,7 +22,7 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
   }
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -65,6 +67,8 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
         try {
+          obs::SpanScope span(obs::Cat::kPoolTask, -1, -1, -1,
+                              static_cast<std::int64_t>(i));
           fn(i);
         } catch (...) {
           std::lock_guard lk(err_mu);
@@ -82,7 +86,8 @@ ThreadPool& ThreadPool::shared() {
   return pool;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  obs::bind_thread("pool-" + std::to_string(index));
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -40,7 +40,7 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::deque<std::packaged_task<void()>> queue_;

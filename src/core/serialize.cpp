@@ -21,6 +21,14 @@ void ByteWriter::u32(std::uint32_t v) {
 
 void ByteWriter::i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
 
+void ByteWriter::u64(std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_->push_back(static_cast<std::uint8_t>((v >> shift) & 0xff));
+  }
+}
+
+void ByteWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
 void ByteWriter::f32(float v) { u32(std::bit_cast<std::uint32_t>(v)); }
 
 void ByteWriter::f32_span(std::span<const float> values) {
@@ -65,6 +73,19 @@ std::uint32_t ByteReader::u32() {
 }
 
 std::int32_t ByteReader::i32() { return static_cast<std::int32_t>(u32()); }
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t ByteReader::i64() { return static_cast<std::int64_t>(u64()); }
 
 float ByteReader::f32() { return std::bit_cast<float>(u32()); }
 

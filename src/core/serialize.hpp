@@ -44,6 +44,8 @@ class ByteWriter {
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
   void i32(std::int32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
   void f32(float v);
   void f32_span(std::span<const float> values);
 
@@ -64,6 +66,8 @@ class ByteReader {
   std::uint16_t u16();
   std::uint32_t u32();
   std::int32_t i32();
+  std::uint64_t u64();
+  std::int64_t i64();
   float f32();
   void f32_span(std::span<float> out);
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "obs/trace.hpp"
 
 namespace de::ctrl {
 
@@ -58,6 +59,8 @@ ControllerStats Controller::stats() const {
 }
 
 void Controller::loop() {
+  obs::bind_thread("ctrl", transport_ != nullptr ? transport_->local_node()
+                                                 : -1);
   while (!stop_.load()) {
     rpc::Frame frame;
     switch (transport_->receive_for(rpc::kTelemetryMailbox, config_.poll_ms,
@@ -66,7 +69,15 @@ void Controller::loop() {
         return;  // fabric went down; the serving loop is tearing down too
       case rpc::RecvStatus::kOk:
         try {
-          book_.ingest(rpc::decode_telemetry(frame));
+          const rpc::TelemetryMsg msg = rpc::decode_telemetry(frame);
+          if (config_.clock_sync != nullptr && msg.steady_now_us > 0) {
+            config_.clock_sync->ingest(
+                msg.from_node, msg.steady_now_us,
+                obs::now_us() - config_.clock_origin_us);
+          }
+          obs::trace_instant(obs::Cat::kDriftSample, -1, -1, -1,
+                             msg.from_node);
+          book_.ingest(msg);
           std::lock_guard lk(mu_);
           ++stats_.telemetry_frames;
         } catch (const Error&) {
@@ -147,6 +158,8 @@ void Controller::check_and_plan() {
     std::lock_guard lk(mu_);
     ++stats_.replans;
   }
+  obs::SpanScope replan(obs::Cat::kReplan, -1, -1, -1,
+                        static_cast<std::int64_t>(drift * 1000));
   core::DistributionStrategy planned = config_.planner->plan(ctx);
   planned.validate(*config_.model, n);
   sim::RawStrategy raw = planned.to_raw(*config_.model);
@@ -164,6 +177,8 @@ void Controller::check_and_plan() {
   baseline_rates_ = rates;
   if (next_ms >= serving_ms * (1.0 - config_.improvement_margin)) return;
 
+  obs::trace_instant(obs::Cat::kSwapDecision, -1, -1, -1,
+                     static_cast<std::int64_t>(next_ms * 1000));
   SwapDecision decision;
   decision.strategy = raw;
   decision.predicted_serving_ms = serving_ms;

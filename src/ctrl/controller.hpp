@@ -25,6 +25,7 @@
 
 #include "core/planner.hpp"
 #include "ctrl/telemetry.hpp"
+#include "obs/trace_export.hpp"
 #include "rpc/shaped_transport.hpp"
 #include "rpc/transport.hpp"
 #include "sim/exec_sim.hpp"
@@ -51,6 +52,14 @@ struct ControllerConfig {
   Seconds min_swap_gap_s = 0.25;
   /// Fold measured/predicted compute ratios into the latency view.
   bool calibrate_compute = true;
+  /// Optional trace-merge clock book (not owned). The controller is the
+  /// thread that drains telemetry, so it is also the natural collector of
+  /// the kTelemetry steady-clock samples (wire v4): each frame's
+  /// `steady_now_us` is ingested as (reported, received-on-our-clock).
+  obs::ClockSyncBook* clock_sync = nullptr;
+  /// The collector node's own clock origin, subtracted from the receive
+  /// timestamp so both sides of a sample are node-local clocks.
+  std::int64_t clock_origin_us = 0;
 };
 
 /// A freshly planned strategy the serving loop should cut over to.
@@ -84,6 +93,14 @@ class Controller {
   /// direction — no wire hop needed). The transport must outlive stop().
   void start(rpc::Transport& transport, const sim::RawStrategy& serving,
              rpc::LinkRateSampler* local_links = nullptr);
+
+  /// Wires the trace-merge clock book (see ControllerConfig::clock_sync)
+  /// after construction — serve_stream calls this for traced runs, because
+  /// only it knows the fabric's clock origins. Must precede start().
+  void set_clock_sync(obs::ClockSyncBook* book, std::int64_t origin_us) {
+    config_.clock_sync = book;
+    config_.clock_origin_us = origin_us;
+  }
 
   /// The serving loop's half: pops the pending decision, if any. Taking it
   /// commits the controller to the new strategy as its drift baseline.

@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace de::obs {
+
+std::size_t Histogram::bucket_of(std::int64_t v) {
+  if (v <= 0) return 0;
+  return static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(v)));
+}
+
+std::pair<std::int64_t, std::int64_t> Histogram::bucket_range(std::size_t k) {
+  if (k == 0) return {0, 1};
+  const std::int64_t lo = std::int64_t{1} << (k - 1);
+  // Bucket 63 is open-ended; clamp its hi to int64 max.
+  const std::int64_t hi =
+      k >= 63 ? std::numeric_limits<std::int64_t>::max()
+              : (std::int64_t{1} << k);
+  return {lo, hi};
+}
+
+void Histogram::record(std::int64_t v) {
+  if (v < 0) v = 0;
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+    snap.counts[k] = buckets_[k].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count <= 0) return 0;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the target sample, 1-based: p50 of 4 samples is sample 2.
+  const double rank = p * static_cast<double>(count);
+  std::int64_t cumulative = 0;
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+    if (counts[k] == 0) continue;
+    const std::int64_t before = cumulative;
+    cumulative += counts[k];
+    if (static_cast<double>(cumulative) < rank) continue;
+    const auto [lo, hi] = Histogram::bucket_range(k);
+    if (k == 0) return 0;  // the zero bucket is exact
+    // Linear interpolation by the fraction of the bucket's samples below
+    // the rank: samples are assumed uniform across [lo, hi).
+    const double frac =
+        counts[k] > 0
+            ? (rank - static_cast<double>(before)) /
+                  static_cast<double>(counts[k])
+            : 0.0;
+    return static_cast<double>(lo) +
+           frac * static_cast<double>(hi - lo);
+  }
+  return 0;
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name) const {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::int64_t MetricsSnapshot::counter(std::string_view name) const {
+  const auto* s = find(name);
+  return s != nullptr ? s->count : 0;
+}
+
+std::vector<std::string> MetricsSnapshot::names() const {
+  std::vector<std::string> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.name);
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  char buf[160];
+  bool first = true;
+  for (const auto& s : snapshot.samples) {
+    if (!first) out += ",";
+    first = false;
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "\n  \"%s\": %lld", s.name.c_str(),
+                      static_cast<long long>(s.count));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), "\n  \"%s\": %.6g", s.name.c_str(),
+                      s.value);
+        out += buf;
+        break;
+      case MetricKind::kHistogram:
+        std::snprintf(
+            buf, sizeof(buf),
+            "\n  \"%s\": {\"count\": %lld, \"sum\": %lld, \"mean\": %.3f, "
+            "\"p50\": %.1f, \"p95\": %.1f, \"p99\": %.1f}",
+            s.name.c_str(), static_cast<long long>(s.hist.count),
+            static_cast<long long>(s.hist.sum), s.hist.mean(),
+            s.hist.percentile(0.50), s.hist.percentile(0.95),
+            s.hist.percentile(0.99));
+        out += buf;
+        break;
+    }
+  }
+  out += "\n}";
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry(std::string_view name,
+                                               MetricKind kind) {
+  std::lock_guard lk(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{kind, nullptr, nullptr,
+                                                   nullptr}).first;
+    switch (kind) {
+      case MetricKind::kCounter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        it->second.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  DE_REQUIRE(it->second.kind == kind,
+             "metric '" + std::string(name) +
+                 "' already registered with a different kind");
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *entry(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *entry(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *entry(name, MetricKind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lk(mu_);
+  MetricsSnapshot snap;
+  snap.samples.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {  // std::map: name-ordered
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.count = e.counter->value();
+        s.value = static_cast<double>(s.count);
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.hist = e.histogram->snapshot();
+        s.count = s.hist.count;
+        s.value = s.hist.mean();
+        break;
+    }
+    snap.samples.push_back(std::move(s));
+  }
+  return snap;
+}
+
+}  // namespace de::obs

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "obs/trace.hpp"
 
 namespace de::rpc {
 
@@ -99,6 +100,7 @@ std::vector<LinkRateSample> ShapedTransport::sample_link_rates() {
 }
 
 void ShapedTransport::pacer_loop() {
+  obs::bind_thread("pacer", inner_.local_node());
   std::unique_lock lk(mu_);
   for (;;) {
     if (stop_) return;
@@ -115,6 +117,8 @@ void ShapedTransport::pacer_loop() {
     Held item = std::move(const_cast<Held&>(held_.top()));
     held_.pop();
     lk.unlock();
+    obs::trace_instant(obs::Cat::kPacedSend, -1, -1, -1,
+                       static_cast<std::int64_t>(item.frame.size()));
     inner_.send(item.to, std::move(item.frame));
     lk.lock();
   }

@@ -9,8 +9,10 @@
 
 #include <cerrno>
 #include <cstring>
+#include <string>
 
 #include "common/require.hpp"
+#include "obs/trace.hpp"
 #include "rpc/mailbox_recv.hpp"
 
 namespace de::rpc {
@@ -181,12 +183,16 @@ void TcpTransport::send(const Address& to, Frame frame) {
   iov[0] = {header, sizeof(header)};
   iov[1] = {const_cast<std::uint8_t*>(frame.data()), frame.size()};
   bool ok;
-  if (legacy_io_) {
-    // Pre-change framing: header and payload as separate writes.
-    ok = write_all_vec(fd, iov, 1) &&
-         (frame.empty() || write_all_vec(fd, iov + 1, 1));
-  } else {
-    ok = write_all_vec(fd, iov, frame.empty() ? 1 : 2);
+  {
+    obs::SpanScope span(obs::Cat::kTxSyscall, -1, -1, -1,
+                        static_cast<std::int64_t>(frame.size()));
+    if (legacy_io_) {
+      // Pre-change framing: header and payload as separate writes.
+      ok = write_all_vec(fd, iov, 1) &&
+           (frame.empty() || write_all_vec(fd, iov + 1, 1));
+    } else {
+      ok = write_all_vec(fd, iov, frame.empty() ? 1 : 2);
+    }
   }
   if (!ok) {
     ::close(peer->fd);
@@ -230,6 +236,7 @@ void TcpTransport::accept_loop() {
 }
 
 void TcpTransport::rx_loop(int fd) {
+  obs::bind_thread("tcp-rx-" + std::to_string(node_), node_);
   for (;;) {
     std::uint8_t header[8];
     if (!read_all(fd, header, sizeof(header))) break;
@@ -240,9 +247,20 @@ void TcpTransport::rx_loop(int fd) {
     // frame, the buffer comes back here instead of the heap. (Legacy I/O
     // mode allocates a fresh zero-initialized buffer per frame, as the
     // pre-change transport did.)
+    const auto allocated_before = rx_arena_.stats().allocated;
     Frame frame = legacy_io_ ? Frame(Payload(length)) : rx_arena_.acquire();
+    if (rx_arena_.stats().allocated != allocated_before) {
+      obs::trace_instant(obs::Cat::kFrameAlloc, -1, -1, -1,
+                         static_cast<std::int64_t>(length));
+    }
     frame.bytes().resize(length);
-    if (length > 0 && !read_all(fd, frame.bytes().data(), length)) break;
+    bool ok = true;
+    if (length > 0) {
+      obs::SpanScope span(obs::Cat::kRxSyscall, -1, -1, -1,
+                          static_cast<std::int64_t>(length));
+      ok = read_all(fd, frame.bytes().data(), length);
+    }
+    if (!ok) break;
     deliver_local(static_cast<MailboxId>(mailbox), std::move(frame));
   }
   // Deregister before closing so shutdown() never touches a recycled fd.

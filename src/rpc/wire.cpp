@@ -29,7 +29,7 @@ Header read_header(core::ByteReader& r) {
              "wire: unsupported version");
   const auto raw = r.u16();
   // v1 streams end at kShutdown; ack/nack are v2; the control-plane
-  // telemetry/reconfigure types are v3-only.
+  // telemetry/reconfigure types arrived in v3 (v4 only widens kTelemetry).
   const auto max_type =
       h.version == 1   ? static_cast<std::uint16_t>(MsgType::kShutdown)
       : h.version == 2 ? static_cast<std::uint16_t>(MsgType::kNack)
@@ -271,6 +271,7 @@ Payload encode_telemetry(const TelemetryMsg& msg) {
   w.f32(static_cast<float>(msg.window_s));
   w.f32(static_cast<float>(msg.compute_ms));
   w.i32(msg.images);
+  w.i64(msg.steady_now_us);
   w.i32(static_cast<std::int32_t>(msg.links.size()));
   for (const auto& link : msg.links) {
     w.i32(link.peer);
@@ -282,18 +283,20 @@ Payload encode_telemetry(const TelemetryMsg& msg) {
 
 TelemetryMsg decode_telemetry(std::span<const std::uint8_t> frame) {
   core::ByteReader r(frame);
-  DE_REQUIRE(read_header(r).type == MsgType::kTelemetry,
+  const Header header = read_header(r);
+  DE_REQUIRE(header.type == MsgType::kTelemetry,
              "wire: frame is not a telemetry report");
   TelemetryMsg msg;
   msg.from_node = r.i32();
   msg.window_s = r.f32();
   msg.compute_ms = r.f32();
   msg.images = r.i32();
+  if (header.version >= 4) msg.steady_now_us = r.i64();
   const std::int32_t n_links = r.i32();
   // NaN fails the >= 0 comparisons on its own; infinities need the
   // explicit check — an Inf rate would poison every EWMA it touches.
   DE_REQUIRE(msg.from_node >= 0 && msg.window_s >= 0 && msg.compute_ms >= 0 &&
-                 msg.images >= 0 && n_links >= 0 &&
+                 msg.images >= 0 && msg.steady_now_us >= 0 && n_links >= 0 &&
                  std::isfinite(msg.window_s) && std::isfinite(msg.compute_ms),
              "wire: malformed telemetry fields");
   // Length cross-check before the vector allocation: a hostile link count

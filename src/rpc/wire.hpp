@@ -3,8 +3,8 @@
 // Every payload starts with an 8-byte header:
 //
 //   u32 magic   = 0x44454447  ("DEDG")
-//   u16 version = 1, 2, or 3 (encoders emit kWireVersion = 3; decoders
-//                 accept all three)
+//   u16 version = 1..4 (encoders emit kWireVersion = 4; decoders accept
+//                 all four)
 //   u16 type    (MsgType)
 //
 // followed by the type-specific body, all little-endian:
@@ -27,8 +27,11 @@
 //   kNack (v2):
 //     i32 from_node (the complainer), i32 seq, i32 volume
 //   kTelemetry (v3):
-//     i32 from_node, f32 window_s, f32 compute_ms, i32 images, i32 n_links,
-//     then per link: i32 peer, f32 mbps, f32 mbytes
+//     i32 from_node, f32 window_s, f32 compute_ms, i32 images,
+//     [v4] i64 steady_now_us   sender's node-local steady clock at publish
+//                              (clock-offset alignment for trace merging;
+//                              0 in v3 frames)
+//     i32 n_links, then per link: i32 peer, f32 mbps, f32 mbytes
 //   kReconfigure (v3):
 //     i32 from_node (kNilNode when untracked), u32 chunk_id (0 = untracked),
 //     i32 epoch, i32 from_seq, i32 n_devices, i32 n_volumes,
@@ -53,7 +56,7 @@
 namespace de::rpc {
 
 inline constexpr std::uint32_t kWireMagic = 0x44454447;  // "DEDG"
-inline constexpr std::uint16_t kWireVersion = 3;
+inline constexpr std::uint16_t kWireVersion = 4;
 
 enum class MsgType : std::uint16_t {
   kScatter = 1,      ///< requester -> provider: volume-0 input rows
@@ -127,6 +130,12 @@ struct TelemetryMsg {
   double window_s = 0;     ///< wall seconds the report covers
   double compute_ms = 0;   ///< mean per-image compute in the window (0 = idle)
   std::int32_t images = 0; ///< images finished in the window
+  /// Sender's node-local steady clock (micros) at publish time (v4). Paired
+  /// with the receiver's local clock at ingest, it bounds the inter-node
+  /// clock offset to the one-way delivery delay — the raw material for
+  /// merging per-node traces onto one timeline (obs::ClockSyncBook). 0 in
+  /// frames from v3 encoders.
+  std::int64_t steady_now_us = 0;
   std::vector<LinkRateSample> links;
 };
 

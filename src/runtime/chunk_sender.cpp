@@ -1,5 +1,9 @@
 #include "runtime/chunk_sender.hpp"
 
+#include <string>
+
+#include "obs/trace.hpp"
+
 namespace de::runtime {
 
 ChunkSender::ChunkSender(rpc::Transport& transport) : transport_(transport) {
@@ -30,6 +34,8 @@ void ChunkSender::drain() {
 }
 
 void ChunkSender::loop() {
+  obs::bind_thread("sender-" + std::to_string(transport_.local_node()),
+                   transport_.local_node());
   std::unique_lock lk(mu_);
   for (;;) {
     cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
@@ -42,7 +48,11 @@ void ChunkSender::loop() {
     // Register for retransmission only now, next to the actual send, so
     // the rto clock starts when the frame hits the wire.
     if (item.rtx != nullptr) item.rtx->track(item.to, item.chunk_id, item.frame);
-    transport_.send(item.to, std::move(item.frame));
+    {
+      obs::SpanScope span(obs::Cat::kSenderWrite, -1, -1, -1,
+                          static_cast<std::int64_t>(item.frame.size()));
+      transport_.send(item.to, std::move(item.frame));
+    }
     lk.lock();
     sending_ = false;
     if (queue_.empty()) idle_cv_.notify_all();

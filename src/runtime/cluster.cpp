@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "runtime/fabric.hpp"
+#include "runtime/runtime_metrics.hpp"
 
 namespace de::runtime {
 
@@ -70,14 +71,23 @@ ClusterResult run_once(const cnn::CnnModel& model,
 
   ClusterResult result;
   result.output = std::move(output);
-  result.messages_exchanged = stats.messages.load();
-  result.bytes_moved = stats.bytes.load();
-  result.wire_bytes = stats.wire_bytes.load();
-  result.bytes_copied = stats.bytes_copied.load();
-  result.frame_allocs = stats.frame_allocs.load();
-  result.retransmits = stats.retransmits.load();
-  result.duplicates_dropped = stats.duplicates_dropped.load();
-  result.recv_timeouts = stats.recv_timeouts.load();
+  // One registry per run, snapshotted once: the canonical names are the
+  // result's source of truth, the scalars below are compatibility views.
+  obs::MetricsRegistry registry;
+  fold_data_plane_metrics(stats, registry);
+  result.metrics = registry.snapshot();
+  result.messages_exchanged =
+      static_cast<int>(result.metrics.counter(kMetricMessages));
+  result.bytes_moved = result.metrics.counter(kMetricPayloadBytes);
+  result.wire_bytes = result.metrics.counter(kMetricWireBytes);
+  result.bytes_copied = result.metrics.counter(kMetricBytesCopied);
+  result.frame_allocs = result.metrics.counter(kMetricFrameAllocs);
+  result.retransmits =
+      static_cast<int>(result.metrics.counter(kMetricRetransmits));
+  result.duplicates_dropped =
+      static_cast<int>(result.metrics.counter(kMetricDupsDropped));
+  result.recv_timeouts =
+      static_cast<int>(result.metrics.counter(kMetricRecvTimeouts));
   return result;
 }
 

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cnn/exec_engine.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/fault_transport.hpp"
 #include "runtime/reliable.hpp"
 #include "runtime/worker.hpp"
@@ -44,6 +45,11 @@ struct RunOptions {
 
 struct ClusterResult {
   cnn::Tensor output;        ///< stitched output of the last volume
+  /// Canonical per-run metrics (runtime/runtime_metrics.hpp names). The
+  /// scalar fields below are views into this snapshot, kept for existing
+  /// callers; the snapshot is the source of truth and uses the same names
+  /// as ServeResult::metrics.
+  obs::MetricsSnapshot metrics;
   int messages_exchanged = 0;
   Bytes bytes_moved = 0;     ///< payload bytes across all chunk messages
   Bytes wire_bytes = 0;      ///< frame bytes on the wire, headers included

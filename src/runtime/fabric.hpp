@@ -7,6 +7,7 @@
 // lives in worker.cpp; this file only builds and tears down the plumbing.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -28,6 +29,12 @@ struct ClusterFabric {
   /// Shaping decorators, one per node, when the run was built with shaping.
   std::vector<std::unique_ptr<rpc::ShapedTransport>> shaped;
   std::vector<rpc::Transport*> endpoints;  ///< size n_devices + 1
+  /// Each node's clock origin (process-steady micros at fabric build, one
+  /// sample per node in node order). Every node reports its telemetry
+  /// timestamps relative to its own origin, so in-process "nodes" genuinely
+  /// exercise the trace-merge clock-offset estimation instead of trivially
+  /// sharing one clock.
+  std::vector<std::int64_t> node_origin_us;
 
   rpc::Transport& requester() { return *endpoints.back(); }
   /// Node `i`'s achieved-rate source — its shaper when the fabric is

@@ -1,9 +1,11 @@
 #include "runtime/reliable.hpp"
 
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/require.hpp"
+#include "obs/trace.hpp"
 
 namespace de::runtime {
 
@@ -59,6 +61,8 @@ Retransmitter::Resend Retransmitter::stage_resend_locked(Entry& entry) {
 }
 
 void Retransmitter::ctrl_loop() {
+  obs::bind_thread("retx-" + std::to_string(transport_.local_node()),
+                   transport_.local_node());
   while (!stop_.load(std::memory_order_acquire)) {
     rpc::Frame payload;
     const auto status =
@@ -98,6 +102,8 @@ void Retransmitter::ctrl_loop() {
               burst.push_back(stage_resend_locked(it->second));
               ++it;
             }
+            obs::trace_instant(obs::Cat::kNackResend, nack.seq, -1, -1,
+                               static_cast<std::int64_t>(burst.size()));
             break;
           }
           default:
@@ -128,6 +134,8 @@ void Retransmitter::ctrl_loop() {
           it = outbox_.erase(it);
           continue;
         }
+        obs::trace_instant(obs::Cat::kRtoFire, -1, -1, -1,
+                           static_cast<std::int64_t>(it->first.second));
         burst.push_back(stage_resend_locked(it->second));
         ++it;
       }

@@ -1,0 +1,21 @@
+#include "runtime/runtime_metrics.hpp"
+
+namespace de::runtime {
+
+void fold_data_plane_metrics(const DataPlaneStats& stats,
+                             obs::MetricsRegistry& registry) {
+  registry.counter(kMetricMessages).set(stats.messages.load());
+  registry.counter(kMetricPayloadBytes).set(stats.bytes.load());
+  registry.counter(kMetricWireBytes).set(stats.wire_bytes.load());
+  registry.counter(kMetricBytesCopied).set(stats.bytes_copied.load());
+  registry.counter(kMetricFrameAllocs).set(stats.frame_allocs.load());
+  registry.counter(kMetricRetransmits).set(stats.retransmits.load());
+  registry.counter(kMetricAcks).set(stats.acks.load());
+  registry.counter(kMetricDupsDropped).set(stats.duplicates_dropped.load());
+  registry.counter(kMetricNacks).set(stats.nacks.load());
+  registry.counter(kMetricRecvTimeouts).set(stats.recv_timeouts.load());
+  registry.counter(kMetricChunksAbandoned)
+      .set(stats.chunks_abandoned.load());
+}
+
+}  // namespace de::runtime

@@ -1,0 +1,41 @@
+// The runtime's canonical metric names (DESIGN.md §observability): one
+// fold from the data plane's hot-path counters (DataPlaneStats) into an
+// obs::MetricsRegistry, shared by every entry point — run_distributed,
+// run_distributed_tcp, and serve_stream all report the same names whether
+// the chunk path was serial or zero-copy, so consumers never branch on
+// which mode produced a result.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "runtime/reliable.hpp"
+
+namespace de::runtime {
+
+// Canonical names. Tests assert on these strings; add, never rename.
+inline constexpr const char* kMetricMessages = "data_plane.messages";
+inline constexpr const char* kMetricPayloadBytes = "data_plane.payload_bytes";
+inline constexpr const char* kMetricWireBytes = "data_plane.wire_bytes";
+inline constexpr const char* kMetricBytesCopied = "data_plane.bytes_copied";
+inline constexpr const char* kMetricFrameAllocs = "data_plane.frame_allocs";
+inline constexpr const char* kMetricRetransmits = "reliability.retransmits";
+inline constexpr const char* kMetricAcks = "reliability.acks";
+inline constexpr const char* kMetricDupsDropped =
+    "reliability.duplicates_dropped";
+inline constexpr const char* kMetricNacks = "reliability.nacks";
+inline constexpr const char* kMetricRecvTimeouts = "reliability.recv_timeouts";
+inline constexpr const char* kMetricChunksAbandoned =
+    "reliability.chunks_abandoned";
+// Streaming-only extras (serve_stream).
+inline constexpr const char* kMetricStreamImages = "stream.images";
+inline constexpr const char* kMetricStreamWallS = "stream.wall_s";
+inline constexpr const char* kMetricStreamIps = "stream.measured_ips";
+inline constexpr const char* kMetricStreamReconfigs = "stream.reconfigurations";
+inline constexpr const char* kMetricGatherLatencyUs = "stream.gather_latency_us";
+
+/// Folds one run's DataPlaneStats totals into `registry` under the
+/// canonical names above (counters are *set*, not added: the registry is
+/// per run). Call once, at the end of a run, after every worker joined.
+void fold_data_plane_metrics(const DataPlaneStats& stats,
+                             obs::MetricsRegistry& registry);
+
+}  // namespace de::runtime

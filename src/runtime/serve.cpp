@@ -6,7 +6,9 @@
 
 #include "common/require.hpp"
 #include "ctrl/controller.hpp"
+#include "obs/trace.hpp"
 #include "runtime/fabric.hpp"
+#include "runtime/runtime_metrics.hpp"
 #include "sim/fault_model.hpp"
 
 namespace de::runtime {
@@ -34,7 +36,8 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   const int telemetry_every =
       options.telemetry_every > 0
           ? options.telemetry_every
-          : (options.controller != nullptr ? 1 : 0);
+          : (options.controller != nullptr || options.trace != nullptr ? 1
+                                                                       : 0);
 
   auto fabric = make_fabric(n_devices, options.use_tcp, options.faults,
                             options.data_plane, options.shaping);
@@ -48,6 +51,17 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   result.images = n_images;
   result.per_image.reserve(static_cast<std::size_t>(n_images));
 
+  const int requester_node = plan.requester_node();
+  obs::bind_thread("requester", requester_node);
+  const std::int64_t requester_origin =
+      fabric.node_origin_us[static_cast<std::size_t>(requester_node)];
+
+  // Per-run registry: the data-plane totals fold in at the end; the gather
+  // latency histogram records live (one lookup here, lock-free records).
+  obs::MetricsRegistry registry;
+  obs::Histogram& gather_latency =
+      registry.histogram(kMetricGatherLatencyUs);
+
   RequesterContext ctx(fabric.requester(), plan, stats, options.reliability,
                        options.data_plane);
   std::unique_ptr<Retransmitter> rtx;
@@ -57,6 +71,12 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     ctx.rtx = rtx.get();
   }
   if (options.controller != nullptr) {
+    if (options.trace != nullptr) {
+      // The controller drains the telemetry mailbox, so it must also be the
+      // one collecting the frames' steady-clock samples.
+      options.controller->set_clock_sync(&options.trace->sync,
+                                         requester_origin);
+    }
     options.controller->start(fabric.requester(), strategy,
                               fabric.sampler(plan.requester_node()));
   }
@@ -122,7 +142,9 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     }
     cnn::Tensor output;
     ImageRetryStats retry;
+    const std::int64_t gather_t0 = obs::now_us();
     const bool ok = gather_image(ctx, done, model, output, &retry);
+    gather_latency.record(obs::now_us() - gather_t0);
     if (!ok) {
       // A provider failed (its barrier shut the fabric down), a peer sent
       // plan-mismatched chunks, or the gather starved past its timeout
@@ -135,9 +157,21 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     result.per_image.push_back(retry);
     if (options.keep_outputs) result.outputs.push_back(std::move(output));
     if (telemetry_every > 0 && options.controller == nullptr) {
-      // Telemetry was requested with nobody to read it: drop the frames as
-      // they come, or the mailbox grows for the life of the stream.
-      while (fabric.requester().try_receive(rpc::kTelemetryMailbox)) {
+      // Telemetry was requested with nobody else to read it: drain the
+      // mailbox here (or it grows for the life of the stream). A traced run
+      // mines each frame for its steady-clock sample first.
+      while (auto frame = fabric.requester().try_receive(
+                 rpc::kTelemetryMailbox)) {
+        if (options.trace == nullptr) continue;
+        try {
+          const rpc::TelemetryMsg msg = rpc::decode_telemetry(*frame);
+          if (msg.steady_now_us > 0) {
+            options.trace->sync.ingest(msg.from_node, msg.steady_now_us,
+                                       obs::now_us() - requester_origin);
+          }
+        } catch (const Error&) {
+          // Malformed telemetry: ignore, exactly like the controller does.
+        }
       }
     }
   }
@@ -159,16 +193,39 @@ ServeResult serve_stream(const cnn::CnnModel& model,
       result.wall_s > 0 ? static_cast<double>(n_images) / result.wall_s : 0.0;
   stats.frame_allocs.fetch_add(ctx.arena.stats().allocated,
                                std::memory_order_relaxed);
-  result.messages_exchanged = stats.messages.load();
-  result.bytes_moved = stats.bytes.load();
-  result.wire_bytes = stats.wire_bytes.load();
-  result.bytes_copied = stats.bytes_copied.load();
-  result.frame_allocs = stats.frame_allocs.load();
-  result.retransmits = stats.retransmits.load();
-  result.duplicates_dropped = stats.duplicates_dropped.load();
-  result.recv_timeouts = stats.recv_timeouts.load();
-  result.nacks = stats.nacks.load();
-  result.chunks_abandoned = stats.chunks_abandoned.load();
+
+  // Fold the data-plane totals and the stream extras into the registry,
+  // snapshot once, and fill the compatibility scalars from the snapshot —
+  // the canonical names are the same ones run_distributed{,_tcp} report.
+  fold_data_plane_metrics(stats, registry);
+  registry.counter(kMetricStreamImages).set(n_images);
+  registry.gauge(kMetricStreamWallS).set(result.wall_s);
+  registry.gauge(kMetricStreamIps).set(result.measured_ips);
+  registry.counter(kMetricStreamReconfigs)
+      .set(static_cast<std::int64_t>(result.reconfigurations.size()));
+  result.metrics = registry.snapshot();
+  result.messages_exchanged =
+      static_cast<int>(result.metrics.counter(kMetricMessages));
+  result.bytes_moved = result.metrics.counter(kMetricPayloadBytes);
+  result.wire_bytes = result.metrics.counter(kMetricWireBytes);
+  result.bytes_copied = result.metrics.counter(kMetricBytesCopied);
+  result.frame_allocs = result.metrics.counter(kMetricFrameAllocs);
+  result.retransmits =
+      static_cast<int>(result.metrics.counter(kMetricRetransmits));
+  result.duplicates_dropped =
+      static_cast<int>(result.metrics.counter(kMetricDupsDropped));
+  result.recv_timeouts =
+      static_cast<int>(result.metrics.counter(kMetricRecvTimeouts));
+  result.nacks = static_cast<int>(result.metrics.counter(kMetricNacks));
+  result.chunks_abandoned =
+      static_cast<int>(result.metrics.counter(kMetricChunksAbandoned));
+
+  if (options.trace != nullptr) {
+    // Everything merge_capture needs: the event dump, each node's clock
+    // origin, and the sync samples collected above (or by the controller).
+    options.trace->node_origin_us = fabric.node_origin_us;
+    options.trace->dump = obs::TraceRecorder::instance().snapshot();
+  }
 
   if (options.latency != nullptr && options.network != nullptr) {
     sim::StreamOptions stream;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/trace_export.hpp"
 #include "rpc/shaped_transport.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/worker.hpp"
@@ -85,6 +86,15 @@ struct ServeOptions {
   /// Providers publish a kTelemetry frame every this many images
   /// (0 = off, unless a controller is set — then it defaults to 1).
   int telemetry_every = 0;
+
+  /// Trace collection (not owned; may be null). When set, serve_stream
+  /// snapshots the TraceRecorder into `trace->dump` at end of stream, fills
+  /// `trace->node_origin_us` from the fabric, and feeds every received
+  /// kTelemetry steady-clock sample into `trace->sync` — everything
+  /// obs::merge_capture needs for one cross-node timeline. The caller
+  /// enables/disables the recorder around the stream. Implies telemetry
+  /// publishing (defaults telemetry_every to 1 like a controller does).
+  obs::TraceCapture* trace = nullptr;
 };
 
 /// One live reconfiguration the stream performed.
@@ -97,6 +107,11 @@ struct ReconfigEvent {
 };
 
 struct ServeResult {
+  /// Canonical per-run metrics (runtime/runtime_metrics.hpp names), the
+  /// same names ClusterResult::metrics uses, plus the stream.* extras and
+  /// the gather-latency histogram. The scalar fields below are views into
+  /// this snapshot, kept for existing callers.
+  obs::MetricsSnapshot metrics;
   int images = 0;
   Seconds wall_s = 0;        ///< first scatter -> last gather
   double measured_ips = 0;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "obs/trace.hpp"
 #include "runtime/chunk_sender.hpp"
 
 namespace de::runtime {
@@ -40,6 +41,8 @@ bool ack_and_dedup(RxState& rx, rpc::NodeId from_node, std::uint32_t chunk_id) {
   rx.transport.send(ctrl_addr(from_node), std::move(ack));
   if (!rx.dedup.fresh(from_node, chunk_id)) {
     rx.stats.duplicates_dropped.fetch_add(1, std::memory_order_relaxed);
+    obs::trace_instant(obs::Cat::kDupDrop, -1, -1, -1,
+                       static_cast<std::int64_t>(chunk_id));
     return false;
   }
   return true;
@@ -201,6 +204,7 @@ void post_rows(rpc::Transport& transport, const rpc::Address& to,
                const cnn::Tensor& src, int src_offset, cnn::RowInterval rows,
                rpc::FrameArena& arena, DataPlaneStats& stats,
                Retransmitter* rtx, ChunkSender* sender) {
+  obs::SpanScope span(obs::Cat::kHaloPost, seq, volume, epoch);
   rpc::NodeId from = rpc::kNilNode;
   std::uint32_t chunk_id = 0;
   if (rtx != nullptr) {
@@ -210,6 +214,7 @@ void post_rows(rpc::Transport& transport, const rpc::Address& to,
   rpc::Frame frame = arena.acquire();
   const std::size_t payload = rpc::encode_chunk_into(
       frame, type, seq, volume, from, chunk_id, epoch, src, src_offset, rows);
+  span.set_arg(static_cast<std::int64_t>(payload));
   stats.messages.fetch_add(1, std::memory_order_relaxed);
   stats.bytes.fetch_add(static_cast<Bytes>(payload), std::memory_order_relaxed);
   stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
@@ -279,6 +284,7 @@ struct ProviderState {
           pending.size() >= kMaxPendingChunks) {
         fail_geometry(v);
       }
+      obs::trace_instant(obs::Cat::kParkChunk, v.seq, v.volume, v.epoch);
       pending.push_back(std::move(chunk));
       return false;
     }
@@ -304,6 +310,7 @@ struct ProviderState {
   /// must restart the image under the new plan.
   bool register_epoch(const rpc::ReconfigureMsg& msg, int cur_seq,
                       int cur_vol) {
+    obs::trace_instant(obs::Cat::kEpochRegister, msg.from_seq, -1, msg.epoch);
     const int before = epochs.at(cur_seq).epoch;
     epochs.add(epoch_from_reconfigure(msg, model));
     const bool remapped = epochs.at(cur_seq).epoch != before;
@@ -413,6 +420,13 @@ ImageOutcome process_image(
     }
     cnn::Tensor& crop = overlap ? crop_buf : legacy_crop;
 
+    // Assemble phase: local blit + remote chunk waits, one span per volume.
+    // std::optional so the span closes before the compute span opens.
+    std::optional<obs::SpanScope> assemble;
+    if (obs::trace_enabled()) {
+      assemble.emplace(obs::Cat::kAssemble, seq, l, ep.epoch);
+    }
+
     // Local contribution from my previous part (never crossed the wire,
     // so it counts toward neither halo bytes nor halo-byte copies).
     if (l > 0 && prev_out != nullptr && !prev_rows.empty()) {
@@ -451,6 +465,8 @@ ImageOutcome process_image(
           continue;
         case RxKind::kTimeout:
           stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
+          obs::trace_instant(obs::Cat::kRecvTimeout, seq, l, ep.epoch,
+                             timeout_rounds);
           broadcast_nack(transport, plan, seq, l, stats);
           if (++timeout_rounds > reliability.max_recv_timeouts) {
             fail_starved(i, seq, l, timeout_rounds);
@@ -465,6 +481,7 @@ ImageOutcome process_image(
             DE_REQUIRE(!touched,
                        "epoch re-mapped an image already in progress — "
                        "reconfigure raced past its cutover boundary");
+            obs::trace_instant(obs::Cat::kImageRestart, seq, l, rmsg.epoch);
             return ImageOutcome::kRestart;
           }
           continue;
@@ -481,6 +498,8 @@ ImageOutcome process_image(
       --remaining;
     }
 
+    assemble.reset();  // inputs complete; the rest of the volume is compute
+
     double t_compute = 0;
     const auto t0 = std::chrono::steady_clock::now();
     if (overlap) {
@@ -493,9 +512,13 @@ ImageOutcome process_image(
           state.schedules_for(ep)[static_cast<std::size_t>(l)];
       std::size_t next_send = 0;
       for (std::size_t b = 0; b < sched.bands.size(); ++b) {
-        cnn::volume_forward_rows_into(layers, crop, need.begin,
-                                      sched.bands[b], weights_span, exec_ctx,
-                                      out, part.begin);
+        {
+          obs::SpanScope band(obs::Cat::kComputeBand, seq, l, ep.epoch,
+                              static_cast<std::int64_t>(b));
+          cnn::volume_forward_rows_into(layers, crop, need.begin,
+                                        sched.bands[b], weights_span, exec_ctx,
+                                        out, part.begin);
+        }
         for (; next_send < sched.sends.size() &&
                sched.sends[next_send].ready_after_band <=
                    static_cast<int>(b);
@@ -514,8 +537,12 @@ ImageOutcome process_image(
       // Serial baseline: whole-part compute, then copying sends from this
       // thread (slice temporary + encode copy), exactly the PR-3 path.
       const cnn::Tensor legacy_cur = crop;
-      cnn::Tensor out = cnn::volume_forward_rows(
-          layers, legacy_cur, need.begin, part, weights_span, exec_ctx);
+      cnn::Tensor out;
+      {
+        obs::SpanScope comp(obs::Cat::kCompute, seq, l, ep.epoch);
+        out = cnn::volume_forward_rows(layers, legacy_cur, need.begin, part,
+                                       weights_span, exec_ctx);
+      }
       if (l + 1 < n_volumes) {
         for (int k = 0; k < plan.n_devices; ++k) {
           if (k == i) continue;
@@ -678,6 +705,10 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
       if (telemetry.links != nullptr) {
         report.links = telemetry.links->sample_link_rates();
       }
+      // Node-local steady clock (wire v4): lets the collector estimate this
+      // node's clock offset when merging traces (src/obs/trace_export.hpp).
+      report.steady_now_us = obs::now_us() - telemetry.clock_origin_us;
+      obs::trace_instant(obs::Cat::kTelemetryPub, seq, -1, -1, window_images);
       rpc::Frame frame(rpc::encode_telemetry(report));
       stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
                                  std::memory_order_relaxed);
@@ -710,6 +741,7 @@ int push_epoch(RequesterContext& ctx, const cnn::CnnModel& model,
   rpc::ReconfigureMsg msg = reconfigure_from_epoch(next);
   const int n_devices = next.plan.n_devices;
   const int epoch = next.epoch;
+  obs::trace_instant(obs::Cat::kEpochPush, from_seq, -1, epoch);
   ctx.epochs.add(std::move(next));
   // Announce to every provider — the idle ones too: an epoch may activate
   // a device the previous one never used.
@@ -721,6 +753,7 @@ int push_epoch(RequesterContext& ctx, const cnn::CnnModel& model,
 
 void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
   const EpochPlan& ep = ctx.epochs.at(seq);
+  obs::SpanScope span(obs::Cat::kScatter, seq, 0, ep.epoch);
   for (int i = 0; i < ep.plan.n_devices; ++i) {
     const auto& need = ep.plan.needs[0][static_cast<std::size_t>(i)];
     if (need.empty()) continue;
@@ -773,6 +806,7 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
   }
   RxState rx{ctx.transport, ctx.reliability, ctx.stats, ctx.dedup};
   const EpochPlan& ep = ctx.epochs.at(seq);
+  obs::SpanScope span(obs::Cat::kGather, seq, -1, ep.epoch);
   int timeout_rounds = 0;
   while (remaining_rows > 0) {
     RxChunk chunk;
@@ -784,6 +818,8 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
         continue;
       case RxKind::kTimeout:
         ctx.stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
+        obs::trace_instant(obs::Cat::kRecvTimeout, seq, -1, ep.epoch,
+                           timeout_rounds);
         broadcast_nack(ctx.transport, ep.plan, seq, ep.plan.num_volumes(),
                        ctx.stats);
         if (retry != nullptr) ++retry->recv_timeouts;

@@ -92,6 +92,11 @@ struct TelemetryHooks {
   /// Publish a kTelemetry frame to the requester's telemetry mailbox every
   /// this many finished images (0 = never).
   int every_images = 0;
+  /// This node's clock origin (process-steady micros at node creation).
+  /// Telemetry reports carry `obs::now_us() - clock_origin_us` as the
+  /// node-local steady clock (wire v4), feeding the trace-merge clock-offset
+  /// estimation (src/obs/trace_export.hpp).
+  std::int64_t clock_origin_us = 0;
 };
 
 /// Provider event loop for device `i`: executes its split-parts image after

@@ -1,0 +1,140 @@
+// Metrics plane: log2 bucket boundaries, percentile extraction, registry
+// kind discipline, and the JSON artifact shape.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+
+namespace de::obs {
+namespace {
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 is exactly {0}; bucket k >= 1 spans [2^(k-1), 2^k).
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_of(1024), 11u);
+  // Negative samples clamp to the zero bucket.
+  EXPECT_EQ(Histogram::bucket_of(-5), 0u);
+
+  EXPECT_EQ(Histogram::bucket_range(0).first, 0);
+  EXPECT_EQ(Histogram::bucket_range(0).second, 1);
+  EXPECT_EQ(Histogram::bucket_range(1).first, 1);
+  EXPECT_EQ(Histogram::bucket_range(1).second, 2);
+  EXPECT_EQ(Histogram::bucket_range(5).first, 16);
+  EXPECT_EQ(Histogram::bucket_range(5).second, 32);
+
+  // Every power-of-two boundary lands in its own bucket's range.
+  for (int k = 0; k < 40; ++k) {
+    const std::int64_t v = std::int64_t{1} << k;
+    const auto b = Histogram::bucket_of(v);
+    const auto [lo, hi] = Histogram::bucket_range(b);
+    EXPECT_GE(v, lo) << "v=" << v;
+    EXPECT_LT(v, hi) << "v=" << v;
+    // The value just below the boundary lands one bucket earlier.
+    const auto prev = Histogram::bucket_of(v - 1);
+    EXPECT_EQ(prev, v == 1 ? 0u : b - 1) << "v=" << v;
+  }
+}
+
+TEST(Histogram, CountSumMeanExact) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100);
+  EXPECT_EQ(snap.sum, 5050);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.5);
+}
+
+TEST(Histogram, PercentileZeroBucketIsExact) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.record(0);
+  for (int i = 0; i < 50; ++i) h.record(1000);
+  const auto snap = h.snapshot();
+  // Half the mass is exactly zero, so p50 must report exactly 0.
+  EXPECT_DOUBLE_EQ(snap.percentile(0.50), 0.0);
+  // p95 falls in the bucket holding 1000: [512, 1024).
+  EXPECT_GE(snap.percentile(0.95), 512.0);
+  EXPECT_LE(snap.percentile(0.95), 1024.0);
+}
+
+TEST(Histogram, PercentilesAreMonotoneAndBucketBounded) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(i);
+  const auto snap = h.snapshot();
+  const double p50 = snap.percentile(0.50);
+  const double p95 = snap.percentile(0.95);
+  const double p99 = snap.percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  // True percentiles are 500/950/990; the log-bucket estimate stays inside
+  // the hit bucket, which bounds the relative error by 2x.
+  EXPECT_GE(p50, 256.0);
+  EXPECT_LE(p50, 1024.0);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+}
+
+TEST(Histogram, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.snapshot().percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().mean(), 0.0);
+}
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  MetricsRegistry registry;
+  registry.counter("a.count").add(5);
+  registry.counter("a.count").inc();
+  registry.gauge("b.rate").set(2.5);
+  registry.histogram("c.lat").record(7);
+  registry.histogram("c.lat").record(9);
+
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("a.count"), 6);
+  EXPECT_EQ(snap.counter("missing"), 0);  // absent reads as zero
+  const MetricSample* gauge = snap.find("b.rate");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->kind, MetricKind::kGauge);
+  EXPECT_DOUBLE_EQ(gauge->value, 2.5);
+  const MetricSample* hist = snap.find("c.lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricKind::kHistogram);
+  EXPECT_EQ(hist->hist.count, 2);
+  EXPECT_EQ(hist->hist.sum, 16);
+
+  // Snapshot is name-ordered.
+  const auto names = snap.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.count");
+  EXPECT_EQ(names[1], "b.rate");
+  EXPECT_EQ(names[2], "c.lat");
+}
+
+TEST(MetricsRegistry, NameBoundToKind) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), Error);
+  EXPECT_THROW(registry.histogram("x"), Error);
+  registry.counter("x").inc();  // same kind stays fine
+}
+
+TEST(MetricsRegistry, ToJsonShape) {
+  MetricsRegistry registry;
+  registry.counter("n").set(42);
+  registry.gauge("g").set(1.5);
+  registry.histogram("h").record(10);
+  const std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"n\": 42"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g\": 1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace de::obs

@@ -244,6 +244,7 @@ TEST(WireFuzz, HostileControlPlaneCountsRejectedBeforeAllocation) {
       w.f32(1.0f);                               // window_s
       w.f32(1.0f);                               // compute_ms
       w.i32(1);                                  // images
+      w.i64(0);                                  // steady_now_us (v4)
       w.i32(rng.uniform_int(1 << 20, 1 << 30));  // hostile n_links
       w.f32(0.0f);                               // a few stray bytes
       EXPECT_THROW(decode_telemetry(w.bytes()), Error);

@@ -205,6 +205,34 @@ TEST(Wire, TelemetryRoundTrips) {
   EXPECT_THROW(decode_telemetry(encode_telemetry(msg)), Error);
 }
 
+TEST(Wire, TelemetryCarriesSteadyClockTimestamp) {
+  // v4: the sender's node-local steady clock rides along for clock-offset
+  // estimation; v3 frames (no timestamp field) decode with 0.
+  TelemetryMsg msg;
+  msg.from_node = 1;
+  msg.window_s = 1.0;
+  msg.steady_now_us = 123456789012345;
+  const auto back = decode_telemetry(encode_telemetry(msg));
+  EXPECT_EQ(back.steady_now_us, 123456789012345);
+  // A negative clock reading is malformed.
+  msg.steady_now_us = -1;
+  EXPECT_THROW(decode_telemetry(encode_telemetry(msg)), Error);
+
+  // Hand-build the v3 layout: same fields minus the i64 timestamp.
+  core::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(3);
+  w.u16(static_cast<std::uint16_t>(MsgType::kTelemetry));
+  w.i32(1);      // from_node
+  w.f32(1.0f);   // window_s
+  w.f32(2.0f);   // compute_ms
+  w.i32(3);      // images
+  w.i32(0);      // n_links
+  const auto v3 = decode_telemetry(w.bytes());
+  EXPECT_EQ(v3.images, 3);
+  EXPECT_EQ(v3.steady_now_us, 0);
+}
+
 TEST(Wire, ReconfigureRoundTrips) {
   ReconfigureMsg msg;
   msg.from_node = 4;
