@@ -1,0 +1,157 @@
+// Shared conv-band implementation, instantiated once per ISA translation
+// unit (exec_kernel_<isa>.cpp) over a Traits type providing:
+//
+//   static constexpr int kLanes;    // accumulator lanes per packed block
+//   static constexpr int kMaxCols;  // widest interior column group
+//   template <int C>
+//   static void madd(const float* x, std::size_t x_stride, const float* w,
+//                    int len, float (&acc)[C][kLanes]);
+//
+// madd contracts: acc[c][b] += x[c * x_stride + j] * w[j * kLanes + b] for
+// j in [0, len), each (c, b) an independent chain, each step one IEEE
+// multiply then one IEEE add (never fused — the reference rounds twice per
+// tap and so must every target). Column grouping and lane width only change
+// which independent chains share a register, never any chain's op order, so
+// every instantiation is bit-exact with the scalar reference.
+//
+// This file is an .inl, not a header: it must only ever be included inside
+// the per-ISA TUs, which are the only files built with the matching -m
+// flags (a stray include would let the compiler emit e.g. AVX-512 code into
+// a TU that runs on any host).
+//
+// Structure per band call (rows [band_begin, band_end) × packed blocks
+// [blk_lo, blk_hi)):
+//   gather — per output row, the input patches of a tile of kOxTile output
+//            columns are copied into the thread's persistent panel, valid
+//            ky rows back to back (a whole interior patch is one
+//            contiguous run). Only in-bounds taps are copied; the compute
+//            reads exactly the bytes written.
+//   madd   — per (column group, block): lanes start at the bias and walk
+//            the patch ky→kx→ic ascending — the reference accumulation
+//            order. Interior columns go kMaxCols/4/2/1 at a time sharing
+//            each weight load; boundary columns run per-ky segments.
+
+namespace de::cnn::detail {
+namespace {
+
+template <class Traits>
+void conv_band_t(const ConvBandCall& call) {
+  constexpr int L = Traits::kLanes;
+  const LayerConfig& l = *call.layer;
+  const PackedKernel& pk = *call.pk;
+  const int k = l.kernel;
+  const int in_c = l.in_c;
+  const int out_w = l.out_w();
+  const int out_c = l.out_c;
+  const int row_len = pk.row_len;
+  const std::size_t in_stride = static_cast<std::size_t>(l.in_w) * in_c;
+
+  BandScratch& scratch = thread_band_scratch();
+  float* panel = BandScratch::ensure(
+      scratch.panel, static_cast<std::size_t>(kOxTile) * k * row_len);
+  int seg_lo[kOxTile];
+  int seg_hi[kOxTile];
+
+  // Output columns in [ox_int_lo, ox_int_hi] have their whole kx range in
+  // bounds; everything outside clips against the left/right zero padding.
+  const int ox_int_lo = (l.padding + l.stride - 1) / l.stride;
+  const int ox_int_hi = (l.in_w - k + l.padding) / l.stride;
+
+  for (int oy = call.band_begin; oy < call.band_end; ++oy) {
+    const int y0 = oy * l.stride - l.padding;
+    const int ky_lo = std::clamp(-y0, 0, k);
+    const int ky_hi = std::clamp(l.in_h - y0, ky_lo, k);
+    const int n_ky = ky_hi - ky_lo;
+    float* out_row =
+        call.out + static_cast<std::size_t>(oy - call.out_top) * out_w * out_c;
+
+    for (int tx0 = 0; tx0 < out_w; tx0 += kOxTile) {
+      const int tn = std::min(kOxTile, out_w - tx0);
+
+      for (int t = 0; t < tn; ++t) {
+        const int x0 = (tx0 + t) * l.stride - l.padding;
+        const int kx_lo = std::clamp(-x0, 0, k);
+        const int kx_hi = std::clamp(l.in_w - x0, kx_lo, k);
+        seg_lo[t] = kx_lo;
+        seg_hi[t] = kx_hi;
+        // With padding >= kernel a column can sit entirely in the zero
+        // padding (kx_hi == kx_lo); x0 + kx_lo is then out of bounds, so
+        // don't even form the source address (the reference path likewise
+        // never touches such taps).
+        if (kx_hi <= kx_lo) continue;
+        float* dst = panel + static_cast<std::size_t>(t) * k * row_len;
+        for (int kyi = 0; kyi < n_ky; ++kyi) {
+          const int cy = y0 + ky_lo + kyi - call.in_row_offset;
+          const float* src = call.in + static_cast<std::size_t>(cy) * in_stride +
+                             static_cast<std::size_t>(x0 + kx_lo) * in_c;
+          std::copy_n(src, static_cast<std::size_t>(kx_hi - kx_lo) * in_c,
+                      dst + static_cast<std::size_t>(kyi) * row_len +
+                          static_cast<std::size_t>(kx_lo) * in_c);
+        }
+      }
+
+      // Columns whose full kx range is in bounds form one contiguous
+      // t-range of the tile; their whole patch is a single contiguous run.
+      int il = std::clamp(ox_int_lo - tx0, 0, tn);
+      int ih = std::clamp(ox_int_hi + 1 - tx0, 0, tn);
+      if (ih < il) il = ih = tn;  // no interior columns: all boundary
+
+      // Compute: weight blocks outer so one packed block stays hot across
+      // the whole tile of gathered patches.
+      const std::size_t col_stride = static_cast<std::size_t>(k) * row_len;
+      for (int blk = call.blk_lo; blk < call.blk_hi; ++blk) {
+        const float* wblk = pk.block_weights(blk);
+        const float* wrun = wblk + static_cast<std::size_t>(ky_lo) * row_len * L;
+        const float* bias = pk.block_bias(blk);
+        const int oc0 = blk * L;
+        const int lanes = std::min(L, out_c - oc0);
+
+        const auto finish = [&](const float (&acc)[L], int t) {
+          float* dst = out_row + static_cast<std::size_t>(tx0 + t) * out_c + oc0;
+          if (l.relu) {
+            for (int b = 0; b < lanes; ++b)
+              dst[b] = acc[b] < 0.0f ? 0.0f : acc[b];
+          } else {
+            for (int b = 0; b < lanes; ++b) dst[b] = acc[b];
+          }
+        };
+        const auto interior = [&]<int C>(int t) {
+          float acc[C][L];
+          for (int c = 0; c < C; ++c)
+            for (int b = 0; b < L; ++b) acc[c][b] = bias[b];
+          Traits::template madd<C>(
+              panel + static_cast<std::size_t>(t) * col_stride, col_stride,
+              wrun, n_ky * row_len, acc);
+          for (int c = 0; c < C; ++c) finish(acc[c], t + c);
+        };
+        const auto boundary = [&](int t) {
+          float acc[1][L];
+          for (int b = 0; b < L; ++b) acc[0][b] = bias[b];
+          const float* patch = panel + static_cast<std::size_t>(t) * col_stride;
+          const int jb = seg_lo[t] * in_c;
+          const int seg = (seg_hi[t] - seg_lo[t]) * in_c;
+          for (int kyi = 0; kyi < n_ky; ++kyi) {
+            Traits::template madd<1>(
+                patch + static_cast<std::size_t>(kyi) * row_len + jb, 0,
+                wblk + (static_cast<std::size_t>(ky_lo + kyi) * row_len + jb) * L,
+                seg, acc);
+          }
+          finish(acc[0], t);
+        };
+
+        for (int t = 0; t < il; ++t) boundary(t);
+        int t = il;
+        if constexpr (Traits::kMaxCols >= 8) {
+          for (; t + 8 <= ih; t += 8) interior.template operator()<8>(t);
+        }
+        for (; t + 4 <= ih; t += 4) interior.template operator()<4>(t);
+        for (; t + 2 <= ih; t += 2) interior.template operator()<2>(t);
+        for (; t < ih; ++t) interior.template operator()<1>(t);
+        for (t = ih; t < tn; ++t) boundary(t);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace de::cnn::detail

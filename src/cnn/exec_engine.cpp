@@ -1,33 +1,30 @@
-// Fast conv/pool execution. Kernel structure (DESIGN.md §execution-engine):
+// Fast conv/pool execution front-end (DESIGN.md §execution-engine).
 //
-//   pack   — conv weights [out_c][ky][kx][in_c] are repacked per block of
-//            kOcBlock output channels into [block][ky][kx*in_c][kOcBlock], so
-//            the innermost dimension is independent accumulator lanes the
-//            compiler can keep in one or two vector registers.
-//   gather — per output row, the input patches of a tile of output columns
-//            are copied into a contiguous panel (im2col on a row band). A
-//            panel row holds the valid ky rows back to back, so an interior
-//            column's whole patch is a single contiguous run.
-//   madd   — for each (column, block): lanes start at the bias and run
-//            acc[b] += panel[j] * packed[j][b] over the patch. j walks
-//            ky→kx→ic ascending, i.e. the reference accumulation order.
+// The arithmetic lives in the per-ISA band kernels (exec_kernel_<isa>.cpp,
+// shared body in exec_band.inl): pack weights `lanes` output channels
+// innermost, gather each output row's patches into the executing thread's
+// persistent panel, multiply-accumulate in the reference's per-pixel op
+// order. This file owns everything around the kernel: packed-weight
+// caching (locked first-touch, so contexts may be shared across threads),
+// the 2-D (row bands × oc-block ranges) tile decomposition run across the
+// ThreadPool, the fused conv→relu→maxpool epilogue, and volume chaining.
 //
-// Padding taps are *skipped* exactly like the reference skips them (ky and kx
-// clamp to the in-bounds range), never multiplied in as zeros: x + 0.0f is
-// not an identity for x == -0.0f, and the bit-exactness contract is absolute.
-// The build compiles this directory with -ffp-contract=off so neither engine
-// can be fma-contracted differently from the other.
+// Padding taps are *skipped* exactly like the reference skips them (ky and
+// kx clamp to the in-bounds range), never multiplied in as zeros: x + 0.0f
+// is not an identity for x == -0.0f, and the bit-exactness contract is
+// absolute. The build compiles this directory with -ffp-contract=off so
+// neither engine can be fma-contracted differently from the other, and the
+// SIMD kernels use explicit mul+add intrinsics — never FMA.
 #include "cnn/exec_engine.hpp"
 
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <mutex>
+#include <utility>
 #include <vector>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
+#include "cnn/exec_kernel.hpp"
 #include "common/require.hpp"
 
 namespace de::cnn {
@@ -46,58 +43,13 @@ ExecEngine exec_engine_from_string(const std::string& name) {
   throw Error("unknown exec engine: \"" + name + "\" (want reference|fast)");
 }
 
-namespace detail {
-
-constexpr int kOcBlock = 8;  ///< accumulator lanes per packed weight block
-
-/// Conv weights repacked for the fast kernel: lanes innermost, one block per
-/// kOcBlock output channels, short blocks zero-padded (the junk lanes are
-/// computed and discarded — they share no accumulator with real ones).
-struct PackedKernel {
-  int k = 0;
-  int row_len = 0;  ///< kernel * in_c: one ky row of a patch
-  int blocks = 0;
-  std::vector<float> data;  ///< [block][ky][kx*in_c][kOcBlock]
-  std::vector<float> bias;  ///< [block][kOcBlock]
-
-  const float* block_weights(int blk) const {
-    return &data[static_cast<std::size_t>(blk) * k * row_len * kOcBlock];
-  }
-  const float* block_bias(int blk) const {
-    return &bias[static_cast<std::size_t>(blk) * kOcBlock];
-  }
-};
-
-PackedKernel pack_weights(const LayerConfig& l, const ConvWeights& w) {
-  PackedKernel p;
-  p.k = l.kernel;
-  p.row_len = l.kernel * l.in_c;
-  p.blocks = (l.out_c + kOcBlock - 1) / kOcBlock;
-  p.data.assign(static_cast<std::size_t>(p.blocks) * l.kernel * p.row_len *
-                    kOcBlock,
-                0.0f);
-  p.bias.assign(static_cast<std::size_t>(p.blocks) * kOcBlock, 0.0f);
-  const std::size_t k_in =
-      static_cast<std::size_t>(l.in_c) * l.kernel * l.kernel;
-  for (int oc = 0; oc < l.out_c; ++oc) {
-    const int blk = oc / kOcBlock;
-    const int lane = oc % kOcBlock;
-    p.bias[static_cast<std::size_t>(blk) * kOcBlock + lane] =
-        w.bias[static_cast<std::size_t>(oc)];
-    const float* src = &w.weights[static_cast<std::size_t>(oc) * k_in];
-    for (std::size_t j = 0; j < k_in; ++j) {
-      p.data[(static_cast<std::size_t>(blk) * l.kernel * p.row_len + j) *
-                 kOcBlock +
-             lane] = src[j];
-    }
-  }
-  return p;
-}
-
-}  // namespace detail
-
 struct ExecCache::Impl {
-  std::map<const ConvWeights*, detail::PackedKernel> packed;
+  // Guards first-touch packing: two threads sharing a context must not race
+  // the map insert (the historical hazard cnn_exec_cache_race_test pins).
+  // Entries are packed under the lock and immutable afterwards; the map is
+  // node-based, so returned references stay valid across later inserts.
+  std::mutex mu;
+  std::map<std::pair<const ConvWeights*, int>, detail::PackedKernel> packed;
 };
 
 ExecCache::ExecCache() : impl_(std::make_unique<Impl>()) {}
@@ -107,192 +59,133 @@ ExecCache& ExecCache::operator=(ExecCache&&) noexcept = default;
 
 namespace {
 
-using detail::kOcBlock;
+using detail::BandScratch;
+using detail::ConvBandCall;
+using detail::ConvBandFn;
+using detail::ConvTile;
 using detail::PackedKernel;
 
-constexpr int kOxTile = 48;  ///< output columns gathered per panel
+/// The kernel actually dispatched for `ctx`: explicit ctx.isa, else the
+/// process default. Loud failure (not silent fallback) when the forced
+/// target cannot run here — a conformance run forced to one ISA must never
+/// quietly measure another.
+struct KernelTarget {
+  KernelIsa isa;
+  ConvBandFn fn;
+  int lanes;
+};
 
-/// The packed form of `w`: from the cache when the context carries one
-/// (packing each weights object at most once per cache), else freshly packed
-/// into `scratch`. The cache key is the weights object's address — valid
-/// because a ConvWeights belongs to one layer for its whole life in this
-/// codebase; the extent assert catches a violation of that assumption.
+KernelTarget kernel_target(const ExecContext& ctx) {
+  const KernelIsa isa =
+      ctx.isa == KernelIsa::kAuto ? default_kernel_isa() : ctx.isa;
+  DE_REQUIRE(kernel_isa_supported(isa),
+             std::string("kernel ISA \"") + to_string(isa) +
+                 "\" is not supported on this host/build");
+  return {isa, detail::conv_band_fn(isa), detail::kernel_isa_lanes(isa)};
+}
+
+int exec_threads(const ExecContext& ctx) {
+  return ctx.pool == nullptr ? 1 : static_cast<int>(ctx.pool->size());
+}
+
+/// The packed form of `w` at `lanes` wide blocks: from the cache when the
+/// context carries one (packing each (weights, lanes) pair at most once per
+/// cache, first touch under the cache lock), else packed into the calling
+/// thread's scratch — reused across calls, so the no-cache path allocates
+/// only until the largest layer has been seen. The cache key is the weights
+/// object's address — valid because a ConvWeights belongs to one layer for
+/// its whole life in this codebase; the extent assert catches a violation
+/// of that assumption.
 const PackedKernel& packed_for(const LayerConfig& l, const ConvWeights& w,
-                               const ExecContext& ctx, PackedKernel& scratch) {
+                               const ExecContext& ctx, int lanes) {
   if (ctx.cache == nullptr) {
-    scratch = detail::pack_weights(l, w);
+    PackedKernel& scratch = detail::thread_band_scratch().pack;
+    detail::pack_weights_into(scratch, l, w, lanes);
     return scratch;
   }
-  PackedKernel& slot = ctx.cache->impl().packed[&w];
-  if (slot.blocks == 0) slot = detail::pack_weights(l, w);
-  DE_ASSERT(slot.k == l.kernel && slot.row_len == l.kernel * l.in_c &&
-                slot.blocks == (l.out_c + kOcBlock - 1) / kOcBlock,
+  auto& impl = ctx.cache->impl();
+  std::lock_guard lk(impl.mu);
+  PackedKernel& slot = impl.packed[{&w, lanes}];
+  if (slot.blocks == 0) detail::pack_weights_into(slot, l, w, lanes);
+  DE_ASSERT(slot.lanes == lanes && slot.k == l.kernel &&
+                slot.row_len == l.kernel * l.in_c &&
+                slot.blocks == (l.out_c + lanes - 1) / lanes,
             "cached packed weights belong to a different layer config");
   return slot;
 }
 
-/// acc[c][b] += x[c * x_stride + j] * w[j][b] for C output columns at once.
-/// Every (c, b) accumulator is an independent chain — the compiler may
-/// vectorize across b and pipeline across c without reassociating any single
-/// accumulator, so per-pixel accumulation order is untouched. Larger C
-/// amortizes the weight loads and hides the float-add latency behind more
-/// chains; C is capped by register pressure (C=4 → 32 accumulator floats).
-template <int C>
-inline void madd_run(const float* __restrict x, std::size_t x_stride,
-                     const float* __restrict w, int len,
-                     float (&__restrict acc)[C][kOcBlock]) {
-#if defined(__SSE2__)
-  // Hand-placed SSE2 (baseline on x86-64): mulps/addps are plain IEEE
-  // single-precision multiplies and adds — bit-identical to the scalar
-  // reference ops and never fma-contracted. The explicit form matters: GCC's
-  // auto-vectorizer turns the generic loop below into a shuffle-transpose
-  // across j that runs ~5x slower than this.
-  static_assert(kOcBlock == 8, "two 4-lane vectors per block");
-  __m128 a[C][2];
-  for (int c = 0; c < C; ++c) {
-    a[c][0] = _mm_loadu_ps(acc[c]);
-    a[c][1] = _mm_loadu_ps(acc[c] + 4);
+/// Runs the 2-D tile decomposition of one conv call. Tiles write disjoint
+/// (row, channel-block) regions of `dst`; a single-tile plan runs inline on
+/// the calling thread with zero dispatch overhead.
+void run_conv_tiles(const LayerConfig& l, const Tensor& in_crop,
+                    int in_row_offset, RowInterval out_rows,
+                    const PackedKernel& pk, ConvBandFn fn,
+                    const ExecContext& ctx, Tensor& dst, int dst_top) {
+  const auto plan =
+      detail::plan_conv_tiles(out_rows, pk.blocks, exec_threads(ctx));
+  const auto run_tile = [&](int i) {
+    const ConvTile t = plan.tile(i);
+    fn(ConvBandCall{&l, in_crop.data.data(), in_row_offset, t.rows.begin,
+                    t.rows.end, dst_top, t.blk_lo, t.blk_hi, &pk,
+                    dst.data.data()});
+  };
+  if (plan.count() <= 1) {
+    run_tile(0);
+    return;
   }
-  for (int j = 0; j < len; ++j) {
-    const float* wr = w + static_cast<std::size_t>(j) * kOcBlock;
-    const __m128 w0 = _mm_loadu_ps(wr);
-    const __m128 w1 = _mm_loadu_ps(wr + 4);
-    for (int c = 0; c < C; ++c) {
-      const __m128 v = _mm_set1_ps(x[static_cast<std::size_t>(c) * x_stride + j]);
-      a[c][0] = _mm_add_ps(a[c][0], _mm_mul_ps(v, w0));
-      a[c][1] = _mm_add_ps(a[c][1], _mm_mul_ps(v, w1));
-    }
-  }
-  for (int c = 0; c < C; ++c) {
-    _mm_storeu_ps(acc[c], a[c][0]);
-    _mm_storeu_ps(acc[c] + 4, a[c][1]);
-  }
-#else
-  for (int j = 0; j < len; ++j) {
-    const float* wr = w + static_cast<std::size_t>(j) * kOcBlock;
-    for (int c = 0; c < C; ++c) {
-      const float v = x[static_cast<std::size_t>(c) * x_stride + j];
-      for (int b = 0; b < kOcBlock; ++b) acc[c][b] += v * wr[b];
-    }
-  }
-#endif
+  ctx.pool->parallel_for(static_cast<std::size_t>(plan.count()),
+                         [&](std::size_t i) { run_tile(static_cast<int>(i)); });
 }
 
-/// Fast conv of output rows `band` into `out`, whose row 0 is absolute
-/// output row `out_top`. Rows of distinct bands are disjoint, so concurrent
-/// band calls on one `out` never touch the same bytes.
-void conv_band(const LayerConfig& l, const Tensor& in_crop, int in_row_offset,
-               RowInterval band, int out_top, const PackedKernel& pk,
-               Tensor& out) {
-  const int k = l.kernel;
-  const int in_c = l.in_c;
-  const int out_w = l.out_w();
-  const int out_c = l.out_c;
-  const int row_len = pk.row_len;
+/// Fused conv→(relu)→maxpool tile: pool output rows `t.rows` × conv packed
+/// blocks [t.blk_lo, t.blk_hi). Conv rows are produced on demand by the
+/// band kernel into the thread's rolling window of pool.kernel rows (slot =
+/// conv row % window height — rows alive together always span less than
+/// one window, so slots never collide), then pooled with exactly the
+/// reference's comparison order over the tile's channel range.
+void conv_pool_tile(const LayerConfig& cl, const LayerConfig& pl,
+                    const Tensor& in_crop, int in_row_offset, ConvTile t,
+                    int out_top, const PackedKernel& pk, ConvBandFn fn,
+                    Tensor& dst) {
+  const int s = pl.stride;
+  const int kp = pl.kernel;
+  const int conv_h = cl.out_h();
+  const int cw = cl.out_w();
+  const int cc = cl.out_c;
+  const int pw = pl.out_w();
+  const std::size_t row_floats = static_cast<std::size_t>(cw) * cc;
+  BandScratch& scratch = detail::thread_band_scratch();
+  float* ring = BandScratch::ensure(scratch.ring,
+                                    static_cast<std::size_t>(kp) * row_floats);
+  const int ch_lo = t.blk_lo * pk.lanes;
+  const int ch_hi = std::min(cc, t.blk_hi * pk.lanes);
 
-  std::vector<float> panel(static_cast<std::size_t>(kOxTile) * k * row_len);
-  int seg_lo[kOxTile];
-  int seg_hi[kOxTile];
+  int next_row = t.rows.begin * s;  // lowest conv row not yet in the window
+  for (int oy = t.rows.begin; oy < t.rows.end; ++oy) {
+    const int lo = oy * s;
+    const int hi = std::min(lo + kp, conv_h);
+    for (int cy = std::max(lo, next_row); cy < hi; ++cy) {
+      const int slot = cy % kp;
+      fn(ConvBandCall{&cl, in_crop.data.data(), in_row_offset, cy, cy + 1,
+                      cy - slot, t.blk_lo, t.blk_hi, &pk, ring});
+    }
+    next_row = std::max(next_row, hi);
 
-  // Output columns in [ox_int_lo, ox_int_hi] have their whole kx range in
-  // bounds; everything outside clips against the left/right zero padding.
-  const int ox_int_lo = (l.padding + l.stride - 1) / l.stride;
-  const int ox_int_hi = (l.in_w - k + l.padding) / l.stride;
-
-  for (int oy = band.begin; oy < band.end; ++oy) {
-    const int y0 = oy * l.stride - l.padding;
-    const int ky_lo = std::clamp(-y0, 0, k);
-    const int ky_hi = std::clamp(l.in_h - y0, ky_lo, k);
-    const int n_ky = ky_hi - ky_lo;
-    float* out_row =
-        &out.data[static_cast<std::size_t>(oy - out_top) * out_w * out_c];
-
-    for (int tx0 = 0; tx0 < out_w; tx0 += kOxTile) {
-      const int tn = std::min(kOxTile, out_w - tx0);
-
-      // Gather the tile's patches. Only in-bounds taps are copied; the
-      // compute below reads exactly the bytes written here.
-      for (int t = 0; t < tn; ++t) {
-        const int x0 = (tx0 + t) * l.stride - l.padding;
-        const int kx_lo = std::clamp(-x0, 0, k);
-        const int kx_hi = std::clamp(l.in_w - x0, kx_lo, k);
-        seg_lo[t] = kx_lo;
-        seg_hi[t] = kx_hi;
-        // With padding >= kernel a column can sit entirely in the zero
-        // padding (kx_hi == kx_lo); x0 + kx_lo is then out of bounds, so
-        // don't even form the source address (the reference path likewise
-        // never touches such taps).
-        if (kx_hi <= kx_lo) continue;
-        float* dst = &panel[static_cast<std::size_t>(t) * k * row_len];
-        for (int kyi = 0; kyi < n_ky; ++kyi) {
-          const int cy = y0 + ky_lo + kyi - in_row_offset;
-          const float* src =
-              &in_crop.data[(static_cast<std::size_t>(cy) * l.in_w + x0 +
-                             kx_lo) *
-                            in_c];
-          std::copy_n(src, static_cast<std::size_t>(kx_hi - kx_lo) * in_c,
-                      dst + static_cast<std::size_t>(kyi) * row_len +
-                          static_cast<std::size_t>(kx_lo) * in_c);
+    float* drow = &dst.data[static_cast<std::size_t>(oy - out_top) * pw * cc];
+    for (int ox = 0; ox < pw; ++ox) {
+      for (int ch = ch_lo; ch < ch_hi; ++ch) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (int ky = 0; ky < kp; ++ky) {
+          const int iy = oy * s + ky;
+          if (iy >= conv_h) continue;
+          const float* rrow = ring + static_cast<std::size_t>(iy % kp) * row_floats;
+          for (int kx = 0; kx < kp; ++kx) {
+            const int ix = ox * s + kx;
+            if (ix >= cw) continue;
+            best = std::max(best, rrow[static_cast<std::size_t>(ix) * cc + ch]);
+          }
         }
-      }
-
-      // Columns whose full kx range is in bounds (`seg_lo == 0 && seg_hi ==
-      // k`) form one contiguous t-range of the tile; their whole patch is a
-      // single contiguous run, computed in groups of 4/2/1 columns.
-      int il = std::clamp(ox_int_lo - tx0, 0, tn);
-      int ih = std::clamp(ox_int_hi + 1 - tx0, 0, tn);
-      if (ih < il) il = ih = tn;  // no interior columns: all boundary
-
-      // Compute: weight blocks outer so one packed block stays hot across
-      // the whole tile of gathered patches.
-      const std::size_t col_stride = static_cast<std::size_t>(k) * row_len;
-      for (int blk = 0; blk < pk.blocks; ++blk) {
-        const float* wblk = pk.block_weights(blk);
-        const float* wrun =
-            wblk + static_cast<std::size_t>(ky_lo) * row_len * kOcBlock;
-        const float* bias = pk.block_bias(blk);
-        const int oc0 = blk * kOcBlock;
-        const int lanes = std::min(kOcBlock, out_c - oc0);
-
-        const auto finish = [&](const float (&acc)[kOcBlock], int t) {
-          float* dst = out_row + static_cast<std::size_t>(tx0 + t) * out_c + oc0;
-          if (l.relu) {
-            for (int b = 0; b < lanes; ++b)
-              dst[b] = acc[b] < 0.0f ? 0.0f : acc[b];
-          } else {
-            for (int b = 0; b < lanes; ++b) dst[b] = acc[b];
-          }
-        };
-        const auto interior = [&]<int C>(int t) {
-          float acc[C][kOcBlock];
-          for (int c = 0; c < C; ++c)
-            for (int b = 0; b < kOcBlock; ++b) acc[c][b] = bias[b];
-          madd_run<C>(&panel[static_cast<std::size_t>(t) * col_stride],
-                      col_stride, wrun, n_ky * row_len, acc);
-          for (int c = 0; c < C; ++c) finish(acc[c], t + c);
-        };
-        const auto boundary = [&](int t) {
-          float acc[1][kOcBlock];
-          for (int b = 0; b < kOcBlock; ++b) acc[0][b] = bias[b];
-          const float* patch = &panel[static_cast<std::size_t>(t) * col_stride];
-          const int jb = seg_lo[t] * in_c;
-          const int seg = (seg_hi[t] - seg_lo[t]) * in_c;
-          for (int kyi = 0; kyi < n_ky; ++kyi) {
-            madd_run<1>(
-                patch + static_cast<std::size_t>(kyi) * row_len + jb, 0,
-                wblk + (static_cast<std::size_t>(ky_lo + kyi) * row_len + jb) *
-                           kOcBlock,
-                seg, acc);
-          }
-          finish(acc[0], t);
-        };
-
-        for (int t = 0; t < il; ++t) boundary(t);
-        int t = il;
-        for (; t + 4 <= ih; t += 4) interior.operator()<4>(t);
-        for (; t + 2 <= ih; t += 2) interior.operator()<2>(t);
-        for (; t < ih; ++t) interior.operator()<1>(t);
-        for (t = ih; t < tn; ++t) boundary(t);
+        drow[static_cast<std::size_t>(ox) * cc + ch] = best;
       }
     }
   }
@@ -324,8 +217,9 @@ void maxpool_band(const LayerConfig& l, const Tensor& in_crop,
   }
 }
 
-/// Splits `rows` output rows into bands for `ctx.pool`. A few bands per
-/// worker lets the pool's dynamic chunking absorb uneven band cost.
+/// Splits `rows` output rows into bands for `ctx.pool` (pool layers — no
+/// channel-block dimension to tile). A few bands per worker lets the pool's
+/// dynamic chunking absorb uneven band cost.
 int band_count(const ExecContext& ctx, int rows) {
   if (ctx.pool == nullptr || ctx.pool->size() <= 1) return 1;
   return std::min(rows, static_cast<int>(ctx.pool->size()) * 4);
@@ -393,11 +287,10 @@ Tensor conv_forward_rows(const LayerConfig& layer, const Tensor& in_crop,
   require_crop_covers(layer, in_crop, in_row_offset, out_rows);
 
   Tensor out(out_rows.size(), layer.out_w(), layer.out_c);
-  PackedKernel scratch;
-  const PackedKernel& pk = packed_for(layer, w, ctx, scratch);
-  run_banded(ctx, out_rows, [&](RowInterval band) {
-    conv_band(layer, in_crop, in_row_offset, band, out_rows.begin, pk, out);
-  });
+  const KernelTarget target = kernel_target(ctx);
+  const PackedKernel& pk = packed_for(layer, w, ctx, target.lanes);
+  run_conv_tiles(layer, in_crop, in_row_offset, out_rows, pk, target.fn, ctx,
+                 out, out_rows.begin);
   return out;
 }
 
@@ -431,11 +324,10 @@ void conv_forward_rows_into(const LayerConfig& layer, const Tensor& in_crop,
   }
   DE_REQUIRE(layer.kind == LayerKind::kConv, "conv_forward_rows on non-conv");
   require_crop_covers(layer, in_crop, in_row_offset, out_rows);
-  PackedKernel scratch;
-  const PackedKernel& pk = packed_for(layer, w, ctx, scratch);
-  run_banded(ctx, out_rows, [&](RowInterval band) {
-    conv_band(layer, in_crop, in_row_offset, band, dst_top, pk, dst);
-  });
+  const KernelTarget target = kernel_target(ctx);
+  const PackedKernel& pk = packed_for(layer, w, ctx, target.lanes);
+  run_conv_tiles(layer, in_crop, in_row_offset, out_rows, pk, target.fn, ctx,
+                 dst, dst_top);
 }
 
 void maxpool_forward_rows_into(const LayerConfig& layer, const Tensor& in_crop,
@@ -457,6 +349,58 @@ void maxpool_forward_rows_into(const LayerConfig& layer, const Tensor& in_crop,
   });
 }
 
+bool can_fuse_conv_pool(const LayerConfig& conv, const LayerConfig& pool) {
+  return conv.kind == LayerKind::kConv && pool.kind == LayerKind::kMaxPool &&
+         pool.in_w == conv.out_w() && pool.in_h == conv.out_h() &&
+         pool.in_c == conv.out_c && pool.padding == 0;
+}
+
+void conv_pool_forward_rows_into(const LayerConfig& conv,
+                                 const LayerConfig& pool, const Tensor& in_crop,
+                                 int in_row_offset, RowInterval out_rows,
+                                 const ConvWeights& w, const ExecContext& ctx,
+                                 Tensor& dst, int dst_top) {
+  DE_REQUIRE(can_fuse_conv_pool(conv, pool),
+             "conv_pool_forward_rows on a pair that does not fuse");
+  DE_REQUIRE(!out_rows.empty(), "empty output interval");
+  require_dst_covers(pool, dst, dst_top, out_rows);
+  const RowInterval conv_rows = input_rows_for(pool, out_rows);
+  if (ctx.engine == ExecEngine::kReference) {
+    const Tensor conv_out =
+        conv_forward_rows(conv, in_crop, in_row_offset, conv_rows, w);
+    const Tensor pooled =
+        maxpool_forward_rows(pool, conv_out, conv_rows.begin, out_rows);
+    copy_band(pooled, out_rows.begin, out_rows, dst, dst_top);
+    return;
+  }
+  require_crop_covers(conv, in_crop, in_row_offset, conv_rows);
+  const KernelTarget target = kernel_target(ctx);
+  const PackedKernel& pk = packed_for(conv, w, ctx, target.lanes);
+  const auto plan =
+      detail::plan_conv_tiles(out_rows, pk.blocks, exec_threads(ctx));
+  const auto run_tile = [&](int i) {
+    conv_pool_tile(conv, pool, in_crop, in_row_offset, plan.tile(i), dst_top,
+                   pk, target.fn, dst);
+  };
+  if (plan.count() <= 1) {
+    run_tile(0);
+    return;
+  }
+  ctx.pool->parallel_for(static_cast<std::size_t>(plan.count()),
+                         [&](std::size_t i) { run_tile(static_cast<int>(i)); });
+}
+
+Tensor conv_pool_forward_rows(const LayerConfig& conv, const LayerConfig& pool,
+                              const Tensor& in_crop, int in_row_offset,
+                              RowInterval out_rows, const ConvWeights& w,
+                              const ExecContext& ctx) {
+  DE_REQUIRE(!out_rows.empty(), "empty output interval");
+  Tensor out(out_rows.size(), pool.out_w(), pool.out_c);
+  conv_pool_forward_rows_into(conv, pool, in_crop, in_row_offset, out_rows, w,
+                              ctx, out, out_rows.begin);
+  return out;
+}
+
 void volume_forward_rows_into(std::span<const LayerConfig> volume,
                               const Tensor& in_crop, int in_row_offset,
                               RowInterval last_out,
@@ -476,25 +420,40 @@ void volume_forward_rows_into(std::span<const LayerConfig> volume,
 
   // The first layer reads the caller's crop in place; only intermediate
   // layers own their activations, and the last lands in `dst` — the volume
-  // adds zero copies of its own.
+  // adds zero copies of its own. Conv layers whose entire output feeds the
+  // next maxpool are fused: the conv activation is never materialized at
+  // all (see conv_pool_forward_rows).
   const Tensor* cur = &in_crop;
   Tensor held;
   int offset = in_row_offset;
-  for (std::size_t i = 0; i + 1 < volume.size(); ++i) {
-    const RowInterval out_rows = per_layer[i];
-    held = volume[i].kind == LayerKind::kConv
+  std::size_t i = 0;
+  for (;;) {
+    const bool fuse = ctx.fuse_conv_pool && i + 1 < volume.size() &&
+                      can_fuse_conv_pool(volume[i], volume[i + 1]);
+    const std::size_t last_i = fuse ? i + 1 : i;
+    if (last_i + 1 == volume.size()) {
+      if (fuse) {
+        conv_pool_forward_rows_into(volume[i], volume[i + 1], *cur, offset,
+                                    last_out, weights[i], ctx, dst, dst_top);
+      } else if (volume[i].kind == LayerKind::kConv) {
+        conv_forward_rows_into(volume[i], *cur, offset, last_out, weights[i],
+                               ctx, dst, dst_top);
+      } else {
+        maxpool_forward_rows_into(volume[i], *cur, offset, last_out, ctx, dst,
+                                  dst_top);
+      }
+      return;
+    }
+    const RowInterval out_rows = per_layer[last_i];
+    held = fuse ? conv_pool_forward_rows(volume[i], volume[i + 1], *cur,
+                                         offset, out_rows, weights[i], ctx)
+           : volume[i].kind == LayerKind::kConv
                ? conv_forward_rows(volume[i], *cur, offset, out_rows,
                                    weights[i], ctx)
                : maxpool_forward_rows(volume[i], *cur, offset, out_rows, ctx);
     cur = &held;
     offset = out_rows.begin;
-  }
-  const auto& last = volume.back();
-  if (last.kind == LayerKind::kConv) {
-    conv_forward_rows_into(last, *cur, offset, last_out, weights.back(), ctx,
-                           dst, dst_top);
-  } else {
-    maxpool_forward_rows_into(last, *cur, offset, last_out, ctx, dst, dst_top);
+    i = last_i + 1;
   }
 }
 
@@ -528,5 +487,7 @@ Tensor volume_forward(std::span<const LayerConfig> volume, const Tensor& in,
                              RowInterval{0, volume.back().out_h()}, weights,
                              ctx);
 }
+
+std::uint64_t exec_scratch_allocs() { return detail::scratch_grow_count(); }
 
 }  // namespace de::cnn

@@ -1,47 +1,60 @@
 // Convolution execution engines: the naive reference path and a fast path
-// (packed kernels + im2col-style row panels + ThreadPool row bands) that is
-// bit-exact with it.
+// (packed kernels + im2col-style row panels + 2-D tiled ThreadPool
+// decomposition + runtime ISA dispatch) that is bit-exact with it.
 //
 // kReference is the scalar 7-deep loop of conv_exec.cpp — the numerical
 // ground truth. kFast repacks the conv weights so output channels are the
 // innermost (vector-lane) dimension, gathers each output row's input patches
-// into a contiguous panel, and runs a cache-tiled multiply-accumulate over
-// both. Bit-exactness is by construction, not by tolerance: for every output
-// pixel the fast kernel performs exactly the reference's float operations in
-// exactly the reference's order — bias first, then ky→kx→ic ascending with
-// the same zero-padding taps *skipped* (never added as +0.0f) — and the only
-// reordering is across independent output pixels / channels, which share no
-// accumulator. Row-band parallelism partitions output rows across a
-// ThreadPool; bands write disjoint rows, so threading cannot change results
-// either. DESIGN.md §execution-engine has the full argument.
+// into a per-thread reusable panel, and runs a cache-tiled
+// multiply-accumulate over both. Bit-exactness is by construction, not by
+// tolerance: for every output pixel the fast kernel performs exactly the
+// reference's float operations in exactly the reference's order — bias
+// first, then ky→kx→ic ascending with the same zero-padding taps *skipped*
+// (never added as +0.0f) — and the only reordering is across independent
+// output pixels / channels, which share no accumulator.
+//
+// Parallelism is a 2-D tiling: output rows × output-channel block ranges
+// partition each call into tiles run across a ThreadPool; tiles write
+// disjoint bytes, so threading cannot change results either. The
+// multiply-accumulate micro-kernel is selected once per process from cpuid
+// (generic scalar / SSE2 / AVX2 / AVX-512 — see kernel_isa.hpp), every
+// target bit-exact by the same argument: lane width is packing layout, and
+// no target uses FMA contraction. A fused conv→ReLU→maxpool epilogue
+// computes pooling from a rolling window of conv rows without materializing
+// the conv tensor; the pooled result is bitwise the same because max over
+// identical values in identical order is. DESIGN.md §execution-engine has
+// the full argument.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "cnn/conv_exec.hpp"
+#include "cnn/kernel_isa.hpp"
 #include "common/thread_pool.hpp"
 
 namespace de::cnn {
 
 enum class ExecEngine {
   kReference,  ///< conv_exec.cpp scalar loops, single-threaded
-  kFast,       ///< packed kernels + row panels + optional row-band threading
+  kFast,       ///< packed kernels + panels + 2-D tiled threading + ISA dispatch
 };
 
 const char* to_string(ExecEngine engine);
 /// Parses "reference" / "fast" (as printed by to_string). Throws on unknown.
 ExecEngine exec_engine_from_string(const std::string& name);
 
-/// Per-worker cache of packed conv weights, keyed by ConvWeights identity
-/// (object address). Packing is cheap next to one band's FLOPs but not next
-/// to a whole stream's: with a cache the data plane packs each layer once
-/// per run instead of once per image. Every weights object used through a
-/// cache-bearing context must outlive the cache — a weights object that dies
-/// and another allocated at its address would alias its entry (a geometry
-/// mismatch is caught by an assert; same-shape aliasing is not). Not
-/// thread-safe — give each worker thread its own; the row-band tasks only
-/// read entries the owning thread already populated.
+/// Cache of packed conv weights, keyed by ConvWeights identity (object
+/// address) and packed lane width. Packing is cheap next to one band's
+/// FLOPs but not next to a whole stream's: with a cache the data plane
+/// packs each layer once per run instead of once per image. Every weights
+/// object used through a cache-bearing context must outlive the cache — a
+/// weights object that dies and another allocated at its address would
+/// alias its entry (a geometry mismatch is caught by an assert; same-shape
+/// aliasing is not). First-touch packing is serialized by an internal lock,
+/// so threads may share one cache-bearing context (cnn_exec_cache_race_test
+/// is the TSan regression); packed entries are immutable once inserted.
 class ExecCache {
  public:
   ExecCache();
@@ -58,13 +71,17 @@ class ExecCache {
 };
 
 /// How to execute conv/pool forwards: which engine, (fast engine only) which
-/// pool to spread output-row bands across, and an optional packed-weight
-/// cache. A null pool runs the fast kernel single-threaded; the reference
-/// engine never threads and never packs.
+/// pool to spread tiles across, an optional packed-weight cache, which ISA
+/// micro-kernel (kAuto = the process default from cpuid / DE_KERNEL_ISA),
+/// and whether volume execution may fuse conv→relu→pool pairs. A null pool
+/// runs the fast kernel single-threaded; the reference engine never
+/// threads, never packs, never fuses.
 struct ExecContext {
   ExecEngine engine = ExecEngine::kReference;
-  ThreadPool* pool = nullptr;   ///< not owned; row-band parallelism when set
-  ExecCache* cache = nullptr;   ///< not owned; packed-weight reuse when set
+  ThreadPool* pool = nullptr;  ///< not owned; tile parallelism when set
+  ExecCache* cache = nullptr;  ///< not owned; packed-weight reuse when set
+  KernelIsa isa = KernelIsa::kAuto;  ///< force a dispatch target (testing)
+  bool fuse_conv_pool = true;  ///< volume fusion epilogue (fast engine only)
 
   static ExecContext reference() { return {}; }
   static ExecContext fast(ThreadPool* pool = nullptr) {
@@ -119,5 +136,33 @@ void volume_forward_rows_into(std::span<const LayerConfig> volume,
                               std::span<const ConvWeights> weights,
                               const ExecContext& ctx, Tensor& dst,
                               int dst_top);
+
+/// True when `pool` consumes exactly `conv`'s output (extents and channels
+/// chain, no pool padding) — the shape volume execution fuses.
+bool can_fuse_conv_pool(const LayerConfig& conv, const LayerConfig& pool);
+
+/// Fused conv→(relu)→maxpool: produces `pool` output rows `out_rows` from
+/// `conv`'s *input* crop, computing conv rows into a per-thread rolling
+/// window of pool.kernel rows instead of materializing the conv tensor.
+/// Bit-exact with the unfused two-layer chain: the conv rows are produced
+/// by the same band kernel, and pooling performs identical comparisons in
+/// identical order on identical values. With the reference engine the pair
+/// is materialized layer by layer (ground truth unchanged).
+Tensor conv_pool_forward_rows(const LayerConfig& conv, const LayerConfig& pool,
+                              const Tensor& in_crop, int in_row_offset,
+                              RowInterval out_rows, const ConvWeights& w,
+                              const ExecContext& ctx);
+void conv_pool_forward_rows_into(const LayerConfig& conv,
+                                 const LayerConfig& pool, const Tensor& in_crop,
+                                 int in_row_offset, RowInterval out_rows,
+                                 const ConvWeights& w, const ExecContext& ctx,
+                                 Tensor& dst, int dst_top);
+
+/// Process-wide count of fast-path scratch buffer growths (panel / packed /
+/// fused-window, across all threads). Steady state is flat: once every
+/// participating thread has executed a given geometry, repeated calls must
+/// not move this counter (asserted in the banded-equivalence test — the
+/// engine-side analogue of the data plane's frame_allocs).
+std::uint64_t exec_scratch_allocs();
 
 }  // namespace de::cnn

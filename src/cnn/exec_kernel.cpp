@@ -1,0 +1,98 @@
+#include "cnn/exec_kernel.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace de::cnn::detail {
+
+namespace {
+std::atomic<std::uint64_t> g_scratch_grows{0};
+}  // namespace
+
+float* BandScratch::ensure(std::vector<float>& v, std::size_t n) {
+  if (v.size() < n) {
+    if (v.capacity() < n) {
+      g_scratch_grows.fetch_add(1, std::memory_order_relaxed);
+    }
+    v.resize(n);
+  }
+  return v.data();
+}
+
+BandScratch& thread_band_scratch() {
+  thread_local BandScratch scratch;
+  return scratch;
+}
+
+std::uint64_t scratch_grow_count() {
+  return g_scratch_grows.load(std::memory_order_relaxed);
+}
+
+void pack_weights_into(PackedKernel& p, const LayerConfig& l,
+                       const ConvWeights& w, int lanes) {
+  p.k = l.kernel;
+  p.row_len = l.kernel * l.in_c;
+  p.blocks = (l.out_c + lanes - 1) / lanes;
+  p.lanes = lanes;
+  const std::size_t dn =
+      static_cast<std::size_t>(p.blocks) * l.kernel * p.row_len * lanes;
+  const std::size_t bn = static_cast<std::size_t>(p.blocks) * lanes;
+  float* data = BandScratch::ensure(p.data, dn);
+  float* bias = BandScratch::ensure(p.bias, bn);
+  std::fill(data, data + dn, 0.0f);  // junk lanes of short final blocks
+  std::fill(bias, bias + bn, 0.0f);
+  const std::size_t k_in =
+      static_cast<std::size_t>(l.in_c) * l.kernel * l.kernel;
+  for (int oc = 0; oc < l.out_c; ++oc) {
+    const int blk = oc / lanes;
+    const int lane = oc % lanes;
+    bias[static_cast<std::size_t>(blk) * lanes + lane] =
+        w.bias[static_cast<std::size_t>(oc)];
+    const float* src = &w.weights[static_cast<std::size_t>(oc) * k_in];
+    for (std::size_t j = 0; j < k_in; ++j) {
+      data[(static_cast<std::size_t>(blk) * l.kernel * p.row_len + j) * lanes +
+           lane] = src[j];
+    }
+  }
+}
+
+int kernel_isa_lanes(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kGeneric:
+    case KernelIsa::kSse2:
+    case KernelIsa::kAvx2:
+      return 8;
+    case KernelIsa::kAvx512:
+      return 16;
+    case KernelIsa::kAuto:
+      break;
+  }
+  throw Error("kernel_isa_lanes on non-concrete ISA");
+}
+
+ConvBandFn conv_band_fn(KernelIsa isa) {
+  switch (isa) {
+    case KernelIsa::kGeneric: return kConvBandGeneric;
+    case KernelIsa::kSse2: return kConvBandSse2;
+    case KernelIsa::kAvx2: return kConvBandAvx2;
+    case KernelIsa::kAvx512: return kConvBandAvx512;
+    case KernelIsa::kAuto: break;
+  }
+  return nullptr;
+}
+
+ConvTilePlan plan_conv_tiles(RowInterval out_rows, int blocks, int threads) {
+  ConvTilePlan plan{out_rows, std::max(1, blocks), 1, 1};
+  const int rows = out_rows.size();
+  if (threads <= 1 || rows <= 0) return plan;
+  const int target = threads * 4;
+  plan.n_bands = std::min(rows, target);
+  if (plan.n_bands < target) {
+    plan.oc_tiles = std::min(
+        plan.blocks, (target + plan.n_bands - 1) / plan.n_bands);
+  }
+  return plan;
+}
+
+}  // namespace de::cnn::detail

@@ -1,0 +1,62 @@
+// AVX2 conv-band target: one 8-lane ymm per block. Deliberately mul+add,
+// NOT vfmadd — an FMA rounds a*b+c once where the reference rounds the
+// product and the sum separately, so FMA would break the absolute
+// bit-exactness contract. The AVX2 win over SSE2 is purely executing one
+// 8-wide op where SSE2 needs two 4-wide ones (and eight independent
+// accumulator chains per group to hide vaddps latency).
+//
+// This TU is the only one compiled with -mavx2 (see CMakeLists); it must
+// stay behind runtime dispatch — nothing here may run unless
+// kernel_isa_supported(kAvx2).
+#include <algorithm>
+#include <cstddef>
+
+#include "cnn/exec_kernel.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+#include "cnn/exec_band.inl"
+
+namespace de::cnn::detail {
+namespace {
+
+struct Avx2Traits {
+  static constexpr int kLanes = 8;
+  // C=8 -> 8 ymm accumulators + 1 weight vector + 1 broadcast out of 16:
+  // eight independent add chains per weight load.
+  static constexpr int kMaxCols = 8;
+
+  template <int C>
+  static inline void madd(const float* __restrict x, std::size_t x_stride,
+                          const float* __restrict w, int len,
+                          float (&__restrict acc)[C][kLanes]) {
+    __m256 a[C];
+    for (int c = 0; c < C; ++c) a[c] = _mm256_loadu_ps(acc[c]);
+    for (int j = 0; j < len; ++j) {
+      const __m256 w0 = _mm256_loadu_ps(w + static_cast<std::size_t>(j) * kLanes);
+      for (int c = 0; c < C; ++c) {
+        const __m256 v =
+            _mm256_set1_ps(x[static_cast<std::size_t>(c) * x_stride + j]);
+        a[c] = _mm256_add_ps(a[c], _mm256_mul_ps(v, w0));
+      }
+    }
+    for (int c = 0; c < C; ++c) _mm256_storeu_ps(acc[c], a[c]);
+  }
+};
+
+void conv_band_avx2(const ConvBandCall& call) { conv_band_t<Avx2Traits>(call); }
+
+}  // namespace
+
+const ConvBandFn kConvBandAvx2 = &conv_band_avx2;
+
+}  // namespace de::cnn::detail
+
+#else  // !__AVX2__
+
+namespace de::cnn::detail {
+const ConvBandFn kConvBandAvx2 = nullptr;
+}
+
+#endif

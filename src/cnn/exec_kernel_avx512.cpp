@@ -1,0 +1,62 @@
+// AVX-512F conv-band target: one 16-lane zmm per block, so the packed
+// layout is 16 channels wide (PackedKernel::lanes == 16 — a layout change
+// only; every lane remains an independent accumulator chain in reference
+// order). Like AVX2, strictly vmulps+vaddps — no FMA, which would round
+// a*b+c once where the reference rounds twice.
+//
+// This TU is the only one compiled with -mavx512f (see CMakeLists); it must
+// stay behind runtime dispatch — nothing here may run unless
+// kernel_isa_supported(kAvx512).
+#include <algorithm>
+#include <cstddef>
+
+#include "cnn/exec_kernel.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+#include "cnn/exec_band.inl"
+
+namespace de::cnn::detail {
+namespace {
+
+struct Avx512Traits {
+  static constexpr int kLanes = 16;
+  // C=8 -> 8 zmm accumulators + 1 weight vector + 1 broadcast out of 32.
+  static constexpr int kMaxCols = 8;
+
+  template <int C>
+  static inline void madd(const float* __restrict x, std::size_t x_stride,
+                          const float* __restrict w, int len,
+                          float (&__restrict acc)[C][kLanes]) {
+    __m512 a[C];
+    for (int c = 0; c < C; ++c) a[c] = _mm512_loadu_ps(acc[c]);
+    for (int j = 0; j < len; ++j) {
+      const __m512 w0 = _mm512_loadu_ps(w + static_cast<std::size_t>(j) * kLanes);
+      for (int c = 0; c < C; ++c) {
+        const __m512 v =
+            _mm512_set1_ps(x[static_cast<std::size_t>(c) * x_stride + j]);
+        a[c] = _mm512_add_ps(a[c], _mm512_mul_ps(v, w0));
+      }
+    }
+    for (int c = 0; c < C; ++c) _mm512_storeu_ps(acc[c], a[c]);
+  }
+};
+
+void conv_band_avx512(const ConvBandCall& call) {
+  conv_band_t<Avx512Traits>(call);
+}
+
+}  // namespace
+
+const ConvBandFn kConvBandAvx512 = &conv_band_avx512;
+
+}  // namespace de::cnn::detail
+
+#else  // !__AVX512F__
+
+namespace de::cnn::detail {
+const ConvBandFn kConvBandAvx512 = nullptr;
+}
+
+#endif

@@ -1,0 +1,40 @@
+// Portable scalar conv-band target: plain IEEE single multiply/add per tap,
+// 8 independent lanes, no intrinsics. The fallback on any architecture and
+// the simplest statement of the arithmetic every SIMD target must match.
+#include <algorithm>
+#include <cstddef>
+
+#include "cnn/exec_kernel.hpp"
+
+#include "cnn/exec_band.inl"
+
+namespace de::cnn::detail {
+namespace {
+
+struct GenericTraits {
+  static constexpr int kLanes = 8;
+  static constexpr int kMaxCols = 4;
+
+  template <int C>
+  static inline void madd(const float* __restrict x, std::size_t x_stride,
+                          const float* __restrict w, int len,
+                          float (&__restrict acc)[C][kLanes]) {
+    for (int j = 0; j < len; ++j) {
+      const float* wr = w + static_cast<std::size_t>(j) * kLanes;
+      for (int c = 0; c < C; ++c) {
+        const float v = x[static_cast<std::size_t>(c) * x_stride + j];
+        for (int b = 0; b < kLanes; ++b) acc[c][b] += v * wr[b];
+      }
+    }
+  }
+};
+
+void conv_band_generic(const ConvBandCall& call) {
+  conv_band_t<GenericTraits>(call);
+}
+
+}  // namespace
+
+const ConvBandFn kConvBandGeneric = &conv_band_generic;
+
+}  // namespace de::cnn::detail

@@ -1,7 +1,9 @@
 #include "common/thread_pool.hpp"
 
 #include <atomic>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "common/require.hpp"
 #include "obs/trace.hpp"
@@ -36,18 +38,19 @@ ThreadPool::~ThreadPool() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> fn) {
-  std::packaged_task<void()> task(std::move(fn));
-  auto fut = task.get_future();
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  auto fut = task->get_future();
   {
     std::lock_guard lk(mu_);
     DE_REQUIRE(!stop_, "submit on stopped pool");
-    queue_.push_back(std::move(task));
+    queue_.push_back([task = std::move(task)] { (*task)(); });
   }
   cv_.notify_one();
   return fut;
 }
 
-void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   // Run inline for small loops (dispatch overhead) and when already inside a
   // pool worker (re-entering could deadlock with all workers blocked).
@@ -55,30 +58,64 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex err_mu;
-  const std::size_t n_tasks = std::min(n, workers_.size());
-  std::vector<std::future<void>> futs;
-  futs.reserve(n_tasks);
-  for (std::size_t t = 0; t < n_tasks; ++t) {
-    futs.push_back(submit([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          obs::SpanScope span(obs::Cat::kPoolTask, -1, -1, -1,
-                              static_cast<std::int64_t>(i));
-          fn(i);
-        } catch (...) {
-          std::lock_guard lk(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
+
+  // All state lives on the caller's stack; `live` counts enqueued tasks that
+  // have not finished, and the caller blocks until it hits zero — which is
+  // also the guarantee that no task can touch this frame afterwards. The
+  // finishing task notifies while still holding the mutex: notifying after
+  // unlocking would race the caller waking, seeing live == 0, and returning
+  // (destroying the condition variable mid-notify).
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::size_t live = 0;
+    std::mutex mu;
+    std::condition_variable done;
+    std::exception_ptr first_error;
+  } st;
+
+  const auto run_claims = [&] {
+    for (;;) {
+      const std::size_t i = st.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        obs::SpanScope span(obs::Cat::kPoolTask, -1, -1, -1,
+                            static_cast<std::int64_t>(i));
+        fn(i);
+      } catch (...) {
+        std::lock_guard lk(st.mu);
+        if (!st.first_error) st.first_error = std::current_exception();
       }
-    }));
+    }
+  };
+
+  const std::size_t n_tasks = std::min(n, workers_.size());
+  st.live = n_tasks;
+  {
+    std::lock_guard lk(mu_);
+    DE_REQUIRE(!stop_, "parallel_for on stopped pool");
+    for (std::size_t t = 0; t < n_tasks; ++t) {
+      queue_.push_back([&st, &run_claims] {
+        run_claims();
+        std::lock_guard lk(st.mu);
+        if (--st.live == 0) st.done.notify_all();
+      });
+    }
   }
-  for (auto& f : futs) f.wait();
-  if (first_error) std::rethrow_exception(first_error);
+  if (n_tasks >= workers_.size()) {
+    cv_.notify_all();
+  } else {
+    for (std::size_t t = 0; t < n_tasks; ++t) cv_.notify_one();
+  }
+
+  // The caller claims iterations too instead of idling — with one spare
+  // thread of work this halves the wall time, and it guarantees progress
+  // even if every worker is busy with unrelated submits.
+  run_claims();
+  {
+    std::unique_lock lk(st.mu);
+    st.done.wait(lk, [&] { return st.live == 0; });
+  }
+  if (st.first_error) std::rethrow_exception(st.first_error);
 }
 
 ThreadPool& ThreadPool::shared() {
@@ -89,7 +126,7 @@ ThreadPool& ThreadPool::shared() {
 void ThreadPool::worker_loop(std::size_t index) {
   obs::bind_thread("pool-" + std::to_string(index));
   for (;;) {
-    std::packaged_task<void()> task;
+    std::function<void()> task;
     {
       std::unique_lock lk(mu_);
       cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });

@@ -1,9 +1,10 @@
 // Fixed-size thread pool with a parallel_for helper.
 //
 // Used for (i) scoring the |Rs| random splits inside LC-PSS, (ii) running
-// planner x scenario matrices in the benches, and (iii) any other
-// embarrassingly-parallel sweeps. Tasks must not throw out of the pool;
-// parallel_for rethrows the first captured exception on the caller thread.
+// planner x scenario matrices in the benches, (iii) the execution engine's
+// 2-D conv tile decomposition, and (iv) any other embarrassingly-parallel
+// sweeps. Tasks must not throw out of the pool; parallel_for rethrows the
+// first captured exception on the caller thread.
 #pragma once
 
 #include <condition_variable>
@@ -33,7 +34,11 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> fn);
 
   /// Run fn(i) for i in [0, n) across the pool; blocks until all done.
-  /// Rethrows the first exception thrown by any iteration.
+  /// Workers claim indices dynamically, so uneven iteration cost balances
+  /// itself. Rethrows the first exception thrown by any iteration. The
+  /// per-call cost is one queue push per participating worker — no futures
+  /// or per-iteration allocation — so it is cheap enough to sit on the
+  /// per-band conv hot path.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Process-wide shared pool (lazily constructed, hardware concurrency).
@@ -43,7 +48,7 @@ class ThreadPool {
   void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
-  std::deque<std::packaged_task<void()>> queue_;
+  std::deque<std::function<void()>> queue_;
   std::mutex mu_;
   std::condition_variable cv_;
   bool stop_ = false;

@@ -1,0 +1,103 @@
+// Regression test for the ExecCache first-touch data race: many threads
+// sharing one cache-bearing ExecContext used to race the map insert +
+// in-place packing when they first saw the same weights (historically the
+// pack happened unsynchronized at packed_for's first touch). The cache now
+// serializes first-touch packing behind an internal lock; this test is the
+// TSan witness — run under -fsanitize=thread it fails on any regression,
+// and in a plain build it still checks every thread's result is bit-exact.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "cnn/exec_engine.hpp"
+
+namespace de::cnn {
+namespace {
+
+Tensor random_tensor(int h, int w, int c, Rng& rng) {
+  Tensor t(h, w, c);
+  for (auto& v : t.data) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(ExecCacheRace, ConcurrentFirstTouchIsSafeAndBitExact) {
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 6;
+  Rng rng(4242);
+  const auto l = LayerConfig::conv(19, 19, 4, 13, 3, 1, 1);
+  const auto in = random_tensor(19, 19, 4, rng);
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Fresh weights every round: every round is a first touch, and a fresh
+    // heap object may reuse a prior round's address — which is exactly the
+    // lifetime contract the cache documents (the old entry is gone with the
+    // old cache).
+    const auto w = ConvWeights::random(l, rng);
+    const auto ref = conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()}, w);
+    ExecCache cache;
+    ExecContext ctx = ExecContext::fast();
+    ctx.cache = &cache;
+
+    std::vector<Tensor> results(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        // All threads race the same first touch, then hammer cache hits.
+        for (int i = 0; i < 4; ++i) {
+          results[t] =
+              conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()}, w, ctx);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kThreads; ++t) {
+      ASSERT_EQ(results[t].size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(results[t].data[i], ref.data[i])
+            << "round " << round << " thread " << t << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ExecCacheRace, DistinctWeightsPackConcurrently) {
+  // Threads first-touching *different* weights through one cache must also
+  // be safe (map inserts race each other, not just the same entry).
+  constexpr int kThreads = 8;
+  Rng rng(777);
+  const auto l = LayerConfig::conv(11, 11, 3, 9, 3, 1, 1);
+  const auto in = random_tensor(11, 11, 3, rng);
+  std::vector<ConvWeights> weights;
+  std::vector<Tensor> refs;
+  for (int t = 0; t < kThreads; ++t) {
+    weights.push_back(ConvWeights::random(l, rng));
+    refs.push_back(
+        conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()}, weights[t]));
+  }
+  ExecCache cache;
+  ExecContext ctx = ExecContext::fast();
+  ctx.cache = &cache;
+
+  std::vector<Tensor> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t] = conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()},
+                                     weights[t], ctx);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), refs[t].size());
+    for (std::size_t i = 0; i < refs[t].size(); ++i) {
+      ASSERT_EQ(results[t].data[i], refs[t].data[i])
+          << "thread " << t << " index " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace de::cnn

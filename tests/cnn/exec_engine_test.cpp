@@ -2,15 +2,19 @@
 // tensor the fast path produces must be bit-identical (ASSERT_EQ on floats,
 // no tolerance) to the reference scalar path — across every distinct conv
 // layer configuration in the model zoo, across randomized layer geometries,
-// and across degenerate row bands (1-row intervals, boundary rows, slack
-// crops), with and without ThreadPool row-band parallelism.
+// across degenerate row bands (1-row intervals, boundary rows, slack crops),
+// with and without ThreadPool tiling, for EVERY ISA dispatch target this
+// host supports (generic / SSE2 / AVX2 / AVX-512), and with the fused
+// conv→relu→maxpool epilogue on and off.
 #include "cnn/exec_engine.hpp"
 
 #include <gtest/gtest.h>
 
+#include <latch>
 #include <map>
 #include <string>
 
+#include "cnn/exec_kernel.hpp"
 #include "cnn/layer_volume.hpp"
 #include "cnn/model.hpp"
 #include "cnn/model_zoo.hpp"
@@ -38,8 +42,8 @@ void expect_bitexact(const Tensor& got, const Tensor& want,
 }
 
 /// Runs one conv layer over `out_rows` with the minimal required crop (plus
-/// `slack` extra leading rows) and checks fast == reference, both serially
-/// and banded across `pool`.
+/// `slack` extra leading rows) and checks fast == reference — serially and
+/// tiled across `pool`, for every ISA dispatch target this host supports.
 void check_conv_rows(const LayerConfig& l, RowInterval out_rows, Rng& rng,
                      ThreadPool* pool, const std::string& what,
                      int slack = 0) {
@@ -52,14 +56,65 @@ void check_conv_rows(const LayerConfig& l, RowInterval out_rows, Rng& rng,
   const auto w = ConvWeights::random(l, rng);
 
   const auto ref = conv_forward_rows(l, crop, offset, out_rows, w);
-  const auto fast =
-      conv_forward_rows(l, crop, offset, out_rows, w, ExecContext::fast());
-  expect_bitexact(fast, ref, what + " serial");
-  if (pool != nullptr) {
-    const auto banded =
-        conv_forward_rows(l, crop, offset, out_rows, w, ExecContext::fast(pool));
-    expect_bitexact(banded, ref, what + " banded");
+  for (const KernelIsa isa : supported_kernel_isas()) {
+    ExecContext ctx = ExecContext::fast();
+    ctx.isa = isa;
+    const auto fast = conv_forward_rows(l, crop, offset, out_rows, w, ctx);
+    expect_bitexact(fast, ref,
+                    what + " serial [" + to_string(isa) + "]");
+    if (pool != nullptr) {
+      ctx.pool = pool;
+      const auto tiled = conv_forward_rows(l, crop, offset, out_rows, w, ctx);
+      expect_bitexact(tiled, ref,
+                      what + " tiled [" + to_string(isa) + "]");
+    }
   }
+}
+
+/// Fused conv→pool epilogue over `out_rows` (pool rows) against the unfused
+/// two-layer reference chain — per ISA, serial and tiled, plus the fast
+/// unfused path (ctx.fuse_conv_pool = false) as a third witness.
+void check_conv_pool_rows(const LayerConfig& conv, const LayerConfig& pool_l,
+                          RowInterval out_rows, Rng& rng, ThreadPool* pool,
+                          const std::string& what) {
+  ASSERT_TRUE(can_fuse_conv_pool(conv, pool_l)) << what;
+  const RowInterval conv_rows = input_rows_for(pool_l, out_rows);
+  const auto need = input_rows_for(conv, conv_rows);
+  const auto crop =
+      random_tensor(std::max(1, need.size()), conv.in_w, conv.in_c, rng);
+  const auto w = ConvWeights::random(conv, rng);
+
+  const auto conv_ref =
+      conv_forward_rows(conv, crop, need.begin, conv_rows, w);
+  const auto ref =
+      maxpool_forward_rows(pool_l, conv_ref, conv_rows.begin, out_rows);
+
+  for (const KernelIsa isa : supported_kernel_isas()) {
+    ExecContext ctx = ExecContext::fast();
+    ctx.isa = isa;
+    expect_bitexact(conv_pool_forward_rows(conv, pool_l, crop, need.begin,
+                                           out_rows, w, ctx),
+                    ref, what + " fused serial [" + to_string(isa) + "]");
+    if (pool != nullptr) {
+      ctx.pool = pool;
+      expect_bitexact(conv_pool_forward_rows(conv, pool_l, crop, need.begin,
+                                             out_rows, w, ctx),
+                      ref, what + " fused tiled [" + to_string(isa) + "]");
+    }
+  }
+  // The volume path with fusion disabled must agree too (same layers run as
+  // two separate fast calls).
+  const LayerConfig layers[] = {conv, pool_l};
+  const ConvWeights wts[] = {w, ConvWeights{}};
+  ExecContext unfused = ExecContext::fast(pool);
+  unfused.fuse_conv_pool = false;
+  expect_bitexact(volume_forward_rows(layers, crop, need.begin, out_rows, wts,
+                                      unfused),
+                  ref, what + " unfused volume");
+  ExecContext fused = ExecContext::fast(pool);
+  expect_bitexact(volume_forward_rows(layers, crop, need.begin, out_rows, wts,
+                                      fused),
+                  ref, what + " fused volume");
 }
 
 // Every distinct conv configuration that appears anywhere in the paper's
@@ -309,6 +364,245 @@ TEST(ExecEngine, CachedPackedWeightsStayBitExact) {
                     "cached rows [" + std::to_string(rows.begin) + "," +
                         std::to_string(rows.end) + ")");
   }
+}
+
+// Every adjacent conv→pool pair in the zoo fuses (the models interleave
+// conv blocks with 2x2 pools); each pair must produce bit-identical pool
+// rows through the fused epilogue on first / mid / last bands.
+TEST(ExecEngineFused, EveryZooConvPoolPairBitExact) {
+  ThreadPool pool(3);
+  Rng rng(31337);
+  std::map<std::string, std::pair<LayerConfig, LayerConfig>> pairs;
+  for (const auto& name : zoo_names()) {
+    const auto m = model_by_name(name);
+    const auto& layers = m.layers();
+    for (std::size_t i = 0; i + 1 < layers.size(); ++i) {
+      if (can_fuse_conv_pool(layers[i], layers[i + 1])) {
+        pairs.emplace(device::layer_signature(layers[i]) + "+" +
+                          device::layer_signature(layers[i + 1]),
+                      std::make_pair(layers[i], layers[i + 1]));
+      }
+    }
+  }
+  ASSERT_GT(pairs.size(), 5u);  // fusion opportunities genuinely exist
+  for (const auto& [sig, pair] : pairs) {
+    const int out_h = pair.second.out_h();
+    check_conv_pool_rows(pair.first, pair.second, RowInterval{0, 1}, rng,
+                         nullptr, sig + " first-row");
+    const int mid = out_h / 2;
+    check_conv_pool_rows(pair.first, pair.second,
+                         RowInterval{mid, std::min(out_h, mid + 2)}, rng,
+                         &pool, sig + " mid-band");
+    check_conv_pool_rows(pair.first, pair.second,
+                         RowInterval{out_h - 1, out_h}, rng, nullptr,
+                         sig + " last-row");
+  }
+}
+
+// Randomized fused geometries the zoo never hits: pool kernels 2 and 3,
+// strides 2 and 3 including the overlapping k=3/s=2 window, odd conv output
+// extents (bottom/right pool windows clamp), relu on and off, channel
+// counts off the lane width.
+TEST(ExecEngineFused, RandomizedConvPoolBitExact) {
+  ThreadPool pool(3);
+  Rng rng(0xBEEF);
+  int ran = 0;
+  for (int iter = 0; iter < 40; ++iter) {
+    const int kernel = rng.uniform_int(1, 4);
+    const int padding = rng.uniform_int(0, kernel - 1);
+    const int in_c = rng.uniform_int(1, 5);
+    const int out_c = rng.uniform_int(1, 19);
+    const int in_h = rng.uniform_int(kernel + 4, 22);
+    const int in_w = rng.uniform_int(kernel + 4, 22);
+    const int pk = rng.uniform_int(2, 3);
+    const int ps = rng.uniform_int(2, 3);
+    LayerConfig conv, pl;
+    try {
+      conv = LayerConfig::conv(in_w, in_h, in_c, out_c, kernel, /*stride=*/1,
+                               padding, /*relu=*/iter % 2 == 0);
+      conv.validate();
+      pl = LayerConfig::maxpool(conv.out_w(), conv.out_h(), conv.out_c, pk, ps);
+      pl.validate();
+    } catch (const Error&) {
+      continue;
+    }
+    if (!can_fuse_conv_pool(conv, pl)) continue;
+    ++ran;
+    const int out_h = pl.out_h();
+    const std::string what = "iter " + std::to_string(iter) + " pk" +
+                             std::to_string(pk) + " ps" + std::to_string(ps);
+    const int a = rng.uniform_int(0, out_h - 1);
+    const int b = rng.uniform_int(a + 1, out_h);
+    check_conv_pool_rows(conv, pl, RowInterval{a, b}, rng, &pool,
+                         what + " rand-band");
+    check_conv_pool_rows(conv, pl, RowInterval{out_h - 1, out_h}, rng, nullptr,
+                         what + " last-row");
+  }
+  ASSERT_GT(ran, 15);  // the sweep exercised real geometries
+}
+
+// Overlapping pool windows (k=3, s=2): adjacent fused bands recompute the
+// shared conv rows independently; a band partition of the _into destination
+// must still be byte-identical to one whole call.
+TEST(ExecEngineFused, BandedIntoMatchesWholeCall) {
+  ThreadPool pool(3);
+  Rng rng(55);
+  const auto conv = LayerConfig::conv(21, 21, 3, 10, 3, 1, 1);
+  const auto pl =
+      LayerConfig::maxpool(conv.out_w(), conv.out_h(), conv.out_c, 3, 2);
+  ASSERT_TRUE(can_fuse_conv_pool(conv, pl));
+  const auto crop = random_tensor(conv.in_h, conv.in_w, conv.in_c, rng);
+  const auto w = ConvWeights::random(conv, rng);
+  const int out_h = pl.out_h();
+  const RowInterval part{0, out_h};
+
+  for (const KernelIsa isa : supported_kernel_isas()) {
+    ExecContext ctx = ExecContext::fast(&pool);
+    ctx.isa = isa;
+    const auto whole =
+        conv_pool_forward_rows(conv, pl, crop, 0, part, w, ctx);
+    for (int n_bands : {2, 3, out_h}) {
+      Tensor dst(out_h, pl.out_w(), pl.out_c);
+      for (int b = 0; b < n_bands; ++b) {
+        const RowInterval band{out_h * b / n_bands,
+                               out_h * (b + 1) / n_bands};
+        if (band.empty()) continue;
+        conv_pool_forward_rows_into(conv, pl, crop, 0, band, w, ctx, dst, 0);
+      }
+      expect_bitexact(dst, whole,
+                      std::string("fused bands=") + std::to_string(n_bands) +
+                          " [" + to_string(isa) + "]");
+    }
+  }
+}
+
+// The 2-D tile plan must partition rows × blocks exactly: every (row, block)
+// cell covered once, no overlaps, no gaps — for awkward row/block/thread
+// combinations.
+TEST(ExecEngineTiles, PlanPartitionsExactly) {
+  for (const int rows : {1, 2, 3, 7, 16, 61}) {
+    for (const int blocks : {1, 2, 5, 13}) {
+      for (const int threads : {1, 2, 3, 4, 8, 40}) {
+        const RowInterval out_rows{3, 3 + rows};
+        const auto plan = detail::plan_conv_tiles(out_rows, blocks, threads);
+        std::vector<int> hits(static_cast<std::size_t>(rows) * blocks, 0);
+        for (int i = 0; i < plan.count(); ++i) {
+          const auto t = plan.tile(i);
+          ASSERT_LE(out_rows.begin, t.rows.begin);
+          ASSERT_LE(t.rows.end, out_rows.end);
+          ASSERT_LE(0, t.blk_lo);
+          ASSERT_LE(t.blk_hi, blocks);
+          for (int r = t.rows.begin; r < t.rows.end; ++r) {
+            for (int b = t.blk_lo; b < t.blk_hi; ++b) {
+              ++hits[static_cast<std::size_t>(r - out_rows.begin) * blocks + b];
+            }
+          }
+        }
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+          ASSERT_EQ(hits[i], 1)
+              << "rows=" << rows << " blocks=" << blocks
+              << " threads=" << threads << " cell " << i;
+        }
+      }
+    }
+  }
+}
+
+// Steady-state flatness: once every participating thread has executed a
+// geometry, repeated banded and fused calls must never touch the allocator
+// for scratch (the engine-side analogue of the data plane's frame_allocs
+// assertion). Warm-up is made deterministic by running the warm call once
+// on each pool worker directly (submit + latch) and once on this thread —
+// dynamic tile claiming could otherwise leave a worker cold.
+TEST(ExecEngineScratch, SteadyStateAllocFlat) {
+  ThreadPool pool(3);
+  Rng rng(123);
+  const auto conv = LayerConfig::conv(24, 24, 3, 12, 3, 1, 1);
+  const auto pl =
+      LayerConfig::maxpool(conv.out_w(), conv.out_h(), conv.out_c, 2, 2);
+  const auto crop = random_tensor(conv.in_h, conv.in_w, conv.in_c, rng);
+  const auto w = ConvWeights::random(conv, rng);
+  ExecCache cache;
+  ExecContext ctx = ExecContext::fast(&pool);
+  ctx.cache = &cache;
+
+  const auto warm_one = [&] {
+    ExecContext serial = ctx;
+    serial.pool = nullptr;  // inline: warms exactly the calling thread
+    (void)conv_forward_rows(conv, crop, 0, RowInterval{0, conv.out_h()}, w,
+                            serial);
+    (void)conv_pool_forward_rows(conv, pl, crop, 0, RowInterval{0, pl.out_h()},
+                                 w, serial);
+  };
+  std::latch ready(static_cast<std::ptrdiff_t>(pool.size()));
+  std::latch go(1);
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    // Hold every worker until all have a warm task, so one worker cannot
+    // drain them all and leave siblings cold.
+    (void)pool.submit([&] {
+      warm_one();
+      ready.count_down();
+      go.wait();
+    });
+  }
+  ready.wait();
+  go.count_down();
+  warm_one();  // parallel_for's caller thread claims tiles too
+
+  const std::uint64_t before = exec_scratch_allocs();
+  for (int rep = 0; rep < 5; ++rep) {
+    (void)conv_forward_rows(conv, crop, 0, RowInterval{0, conv.out_h()}, w,
+                            ctx);
+    (void)conv_pool_forward_rows(conv, pl, crop, 0, RowInterval{0, pl.out_h()},
+                                 w, ctx);
+  }
+  EXPECT_EQ(exec_scratch_allocs(), before)
+      << "steady-state fast-path calls grew scratch buffers";
+}
+
+// One cache serving two packed lane widths (e.g. AVX2's 8 and AVX-512's 16)
+// must keep distinct entries per width — results stay bit-exact for both.
+TEST(ExecEngine, CacheKeepsPerLaneWidthEntries) {
+  const auto isas = supported_kernel_isas();
+  Rng rng(64);
+  const auto l = LayerConfig::conv(15, 15, 4, 17, 3, 1, 1);
+  const auto in = random_tensor(15, 15, 4, rng);
+  const auto w = ConvWeights::random(l, rng);
+  const auto ref = conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()}, w);
+  ExecCache cache;
+  for (int rep = 0; rep < 2; ++rep) {  // second pass is all cache hits
+    for (const KernelIsa isa : isas) {
+      ExecContext ctx = ExecContext::fast();
+      ctx.cache = &cache;
+      ctx.isa = isa;
+      expect_bitexact(conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()},
+                                        w, ctx),
+                      ref,
+                      std::string("cache rep ") + std::to_string(rep) + " [" +
+                          to_string(isa) + "]");
+    }
+  }
+}
+
+TEST(ExecEngine, UnsupportedForcedIsaIsALoudError) {
+  // Forcing a target the host/build cannot run must throw, never silently
+  // fall back (a conformance run forced to one ISA must not measure another).
+  Rng rng(5);
+  const auto l = LayerConfig::conv(8, 8, 2, 3, 3, 1, 1);
+  const auto in = random_tensor(8, 8, 2, rng);
+  const auto w = ConvWeights::random(l, rng);
+  for (const KernelIsa isa :
+       {KernelIsa::kSse2, KernelIsa::kAvx2, KernelIsa::kAvx512}) {
+    if (kernel_isa_supported(isa)) continue;
+    ExecContext ctx = ExecContext::fast();
+    ctx.isa = isa;
+    EXPECT_THROW(
+        conv_forward_rows(l, in, 0, RowInterval{0, l.out_h()}, w, ctx), Error);
+  }
+  // And the supported list always has the generic target, first.
+  const auto isas = supported_kernel_isas();
+  ASSERT_FALSE(isas.empty());
+  EXPECT_EQ(isas.front(), KernelIsa::kGeneric);
 }
 
 TEST(ExecEngine, ReferenceContextIsTheReferencePath) {
