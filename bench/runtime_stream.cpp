@@ -164,10 +164,11 @@ int main(int argc, char** argv) {
             ? static_cast<double>(r.serve.bytes_copied) /
                   static_cast<double>(r.serve.bytes_moved)
             : 0.0;
-    std::printf("%-18s: %7.2f IPS  wall %.3fs  %d msgs  %.2f MiB payload  "
+    std::printf("%-18s: %7.2f IPS  wall %.3fs  %lld msgs  %.2f MiB payload  "
                 "%.2f MiB wire  %.2f copies/halo-byte  %lld frame allocs "
                 "(%.2f/image)\n",
-                name, r.ips, r.wall_s, r.serve.messages_exchanged,
+                name, r.ips, r.wall_s,
+                static_cast<long long>(r.serve.messages_exchanged),
                 static_cast<double>(r.serve.bytes_moved) / (1 << 20),
                 static_cast<double>(r.serve.wire_bytes) / (1 << 20), copies,
                 static_cast<long long>(r.serve.frame_allocs),
@@ -201,11 +202,12 @@ int main(int argc, char** argv) {
   const auto emit = [&](const char* key, const ModeResult& r, double copies) {
     std::fprintf(f,
                  "  \"%s\": {\"ips\": %.3f, \"wall_s\": %.4f, "
-                 "\"messages\": %d, \"payload_bytes\": %lld, "
+                 "\"messages\": %lld, \"payload_bytes\": %lld, "
                  "\"wire_bytes\": %lld, \"bytes_copied\": %lld, "
                  "\"copies_per_halo_byte\": %.3f, \"frame_allocs\": %lld, "
                  "\"frame_allocs_per_image\": %.3f}",
-                 key, r.ips, r.wall_s, r.serve.messages_exchanged,
+                 key, r.ips, r.wall_s,
+                 static_cast<long long>(r.serve.messages_exchanged),
                  static_cast<long long>(r.serve.bytes_moved),
                  static_cast<long long>(r.serve.wire_bytes),
                  static_cast<long long>(r.serve.bytes_copied), copies,

@@ -41,6 +41,42 @@ void Controller::start(rpc::Transport& transport,
   thread_ = std::thread([this] { loop(); });
 }
 
+void Controller::start_external(const sim::RawStrategy& serving) {
+  DE_REQUIRE(!thread_.joinable() && !external_, "controller already started");
+  external_ = true;
+  serving_ = serving;
+  const int n = static_cast<int>(config_.latency.size());
+  baseline_rates_.assign(static_cast<std::size_t>(n), 0.0);
+  for (int i = 0; i < n; ++i) {
+    baseline_rates_[static_cast<std::size_t>(i)] =
+        config_.network.device_rate(i, 0.0);
+  }
+  last_swap_ = std::chrono::steady_clock::now();
+}
+
+void Controller::ingest(const rpc::TelemetryMsg& msg) {
+  DE_REQUIRE(external_, "ingest() requires start_external()");
+  if (config_.clock_sync != nullptr && msg.steady_now_us > 0) {
+    config_.clock_sync->ingest(msg.from_node, msg.steady_now_us,
+                               obs::now_us() - config_.clock_origin_us);
+  }
+  obs::trace_instant(obs::Cat::kDriftSample, -1, -1, -1, msg.from_node);
+  book_.ingest(msg);
+  {
+    std::lock_guard lk(mu_);
+    ++stats_.telemetry_frames;
+    stats_.device_mbps = book_.device_rates();
+  }
+  try {
+    check_and_plan();
+  } catch (const std::exception&) {
+    // Same containment as the threaded loop: a planner failure on a
+    // degenerate view keeps the stream serving its current strategy.
+    std::lock_guard lk(mu_);
+    ++stats_.plan_failures;
+  }
+}
+
 std::optional<SwapDecision> Controller::take_swap() {
   std::lock_guard lk(mu_);
   auto taken = std::move(pending_);

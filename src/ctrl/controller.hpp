@@ -94,6 +94,19 @@ class Controller {
   void start(rpc::Transport& transport, const sim::RawStrategy& serving,
              rpc::LinkRateSampler* local_links = nullptr);
 
+  /// External-feed alternative to start(): no thread and no mailbox of its
+  /// own. The owner pushes each telemetry frame through ingest() and
+  /// planning runs inline on the caller's thread. This is how the serving
+  /// front door runs one controller per tenant stream off the *shared*
+  /// telemetry mailbox: the door drains the mailbox once and fans every
+  /// frame to all tenant controllers (provider compute windows mix the
+  /// tenants' images, so each controller sees the same fleet view).
+  void start_external(const sim::RawStrategy& serving);
+
+  /// Feeds one already-decoded telemetry frame (start_external mode only).
+  /// Cheap when no replan triggers; a planner invocation runs inline.
+  void ingest(const rpc::TelemetryMsg& msg);
+
   /// Wires the trace-merge clock book (see ControllerConfig::clock_sync)
   /// after construction — serve_stream calls this for traced runs, because
   /// only it knows the fabric's clock origins. Must precede start().
@@ -130,6 +143,7 @@ class Controller {
 
   std::atomic<bool> stop_{false};
   std::thread thread_;
+  bool external_ = false;  ///< start_external mode: no thread, ingest()-fed
 };
 
 }  // namespace de::ctrl

@@ -82,7 +82,7 @@ struct TraceEvent {
   std::int64_t arg = 0;     ///< bytes / count / category-specific detail
   std::uint16_t cat = 0;    ///< Cat
   std::int16_t node = -1;   ///< cluster node id (-1 = unbound thread)
-  std::uint32_t pad_ = 0;
+  std::int32_t stream = -1; ///< owning client stream (-1 = not applicable)
 };
 static_assert(sizeof(TraceEvent) == 40, "TraceEvent must stay 5 words");
 static_assert(std::is_trivially_copyable_v<TraceEvent>);
@@ -166,7 +166,8 @@ inline bool trace_enabled() {
 
 /// Records an instant event (dur < 0).
 inline void trace_instant(Cat cat, int seq = -1, int volume = -1,
-                          int epoch = -1, std::int64_t arg = 0) {
+                          int epoch = -1, std::int64_t arg = 0,
+                          int stream = -1) {
   auto& rec = TraceRecorder::instance();
   if (!rec.enabled()) return;
   TraceEvent ev;
@@ -177,6 +178,7 @@ inline void trace_instant(Cat cat, int seq = -1, int volume = -1,
   ev.volume = volume;
   ev.epoch = epoch;
   ev.arg = arg;
+  ev.stream = stream;
   rec.record(ev);
 }
 
@@ -215,6 +217,7 @@ class SpanScope {
   }
   void set_arg(std::int64_t arg) { ev_.arg = arg; }
   void add_arg(std::int64_t delta) { ev_.arg += delta; }
+  void set_stream(int stream) { ev_.stream = stream; }
 
  private:
   bool armed_ = false;

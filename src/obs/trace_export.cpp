@@ -170,8 +170,8 @@ void write_chrome_trace(std::ostream& os, const MergedTrace& merged) {
     line += buf;
     std::snprintf(buf, sizeof(buf),
                   ",\"args\":{\"image\":%d,\"volume\":%d,\"epoch\":%d,"
-                  "\"arg\":%lld}}",
-                  ev.seq, ev.volume, ev.epoch,
+                  "\"stream\":%d,\"arg\":%lld}}",
+                  ev.seq, ev.volume, ev.epoch, ev.stream,
                   static_cast<long long>(ev.arg));
     line += buf;
     emit(line);

@@ -33,6 +33,13 @@ inline constexpr MailboxId kCtrlMailbox = 1;
 /// that one belongs to the Retransmitter's ack/nack loop.
 inline constexpr MailboxId kTelemetryMailbox = 2;
 
+/// The serving front door's client-facing inbox (src/serve/): stream
+/// hello/close handshakes and per-stream submissions arrive here on the
+/// door node; accept/reject replies and result chunks arrive here on the
+/// client's own node. Separate from the fleet mailboxes so tenant traffic
+/// never queues behind (or spoofs) intra-fleet chunk traffic.
+inline constexpr MailboxId kServeMailbox = 3;
+
 struct Address {
   NodeId node = kNilNode;
   MailboxId mailbox = kNilMailbox;

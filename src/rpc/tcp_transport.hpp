@@ -44,6 +44,11 @@ struct PeerEndpoint {
 /// Largest accepted frame payload (64 MiB — far above any chunk we ship).
 inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 
+/// Default listen(2) backlog. A serving front door takes connection bursts
+/// from many clients at once; the old hardcoded 64 overflowed under accept
+/// storms (refused/aborted handshakes). The kernel clamps to somaxconn.
+inline constexpr int kDefaultBacklog = 511;
+
 class TcpTransport final : public Transport {
  public:
   /// Binds a listening socket on 127.0.0.1:`port` (0 = ephemeral) and starts
@@ -52,8 +57,10 @@ class TcpTransport final : public Transport {
   /// syscalls per send, a fresh zero-initialized receive buffer per frame
   /// instead of the arena) — kept so the serial-copy baseline measured by
   /// bench/runtime_stream is the true pre-change data plane end to end.
+  /// `backlog` is the listen(2) queue depth (front doors facing many
+  /// clients may want it even higher than the default).
   explicit TcpTransport(NodeId local, std::uint16_t port = 0,
-                        bool legacy_io = false);
+                        bool legacy_io = false, int backlog = kDefaultBacklog);
   ~TcpTransport() override;
 
   TcpTransport(const TcpTransport&) = delete;
@@ -74,6 +81,11 @@ class TcpTransport final : public Transport {
   RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override;
   void shutdown() override;
 
+  /// Number of accepted connections currently being served by a live rx
+  /// thread. Disconnected peers drop out as the accept loop reaps them, so
+  /// tests can assert sessions do not accrete across client churn.
+  std::size_t live_rx_sessions() const;
+
  private:
   struct Peer {
     PeerEndpoint endpoint;
@@ -88,6 +100,9 @@ class TcpTransport final : public Transport {
   void rx_loop(int fd);
   /// Returns a connected fd for `peer` or -1; caller holds peer.mu.
   int peer_fd_locked(Peer& peer);
+  /// Moves rx threads whose loops have exited into `out` for joining
+  /// outside the lock; caller holds mu_.
+  void reap_finished_locked(std::vector<std::thread>& out);
 
   NodeId node_;
   std::uint16_t port_ = 0;
@@ -102,6 +117,10 @@ class TcpTransport final : public Transport {
   std::map<NodeId, std::unique_ptr<Peer>> peers_;
   std::vector<int> rx_fds_;
   std::vector<std::thread> rx_threads_;
+  /// Ids of rx threads that finished (peer disconnected); the accept loop
+  /// joins and discards them so long-lived transports do not accrete one
+  /// dead thread per past connection.
+  std::vector<std::thread::id> rx_done_;
 };
 
 }  // namespace de::rpc

@@ -29,11 +29,13 @@ Header read_header(core::ByteReader& r) {
              "wire: unsupported version");
   const auto raw = r.u16();
   // v1 streams end at kShutdown; ack/nack are v2; the control-plane
-  // telemetry/reconfigure types arrived in v3 (v4 only widens kTelemetry).
+  // telemetry/reconfigure types arrived in v3 (v4 only widens kTelemetry);
+  // the stream session + dispatch types are v5.
   const auto max_type =
       h.version == 1   ? static_cast<std::uint16_t>(MsgType::kShutdown)
       : h.version == 2 ? static_cast<std::uint16_t>(MsgType::kNack)
-                       : static_cast<std::uint16_t>(MsgType::kReconfigure);
+      : h.version <= 4 ? static_cast<std::uint16_t>(MsgType::kReconfigure)
+                       : static_cast<std::uint16_t>(MsgType::kDispatch);
   DE_REQUIRE(raw >= static_cast<std::uint16_t>(MsgType::kScatter) &&
                  raw <= max_type,
              "wire: unknown message type");
@@ -58,8 +60,9 @@ namespace {
 void encode_chunk_body(core::ByteWriter& w, MsgType type, std::int32_t seq,
                        std::int32_t volume, std::int32_t row_offset,
                        NodeId from_node, std::uint32_t chunk_id,
-                       std::int32_t epoch, std::int32_t h, std::int32_t ww,
-                       std::int32_t c, std::span<const float> rows) {
+                       std::int32_t epoch, std::int32_t stream, std::int32_t h,
+                       std::int32_t ww, std::int32_t c,
+                       std::span<const float> rows) {
   write_header(w, type);
   w.i32(seq);
   w.i32(volume);
@@ -67,6 +70,7 @@ void encode_chunk_body(core::ByteWriter& w, MsgType type, std::int32_t seq,
   w.i32(from_node);
   w.u32(chunk_id);
   w.i32(epoch);
+  w.i32(stream);
   w.i32(h);
   w.i32(ww);
   w.i32(c);
@@ -84,16 +88,16 @@ Payload encode_chunk(const ChunkMsg& msg) {
              "wire: tensor extents disagree with data size");
   core::ByteWriter w;
   encode_chunk_body(w, msg.type, msg.seq, msg.volume, msg.row_offset,
-                    msg.from_node, msg.chunk_id, msg.epoch, msg.rows.h,
-                    msg.rows.w, msg.rows.c, msg.rows.data);
+                    msg.from_node, msg.chunk_id, msg.epoch, msg.stream,
+                    msg.rows.h, msg.rows.w, msg.rows.c, msg.rows.data);
   return w.take();
 }
 
 std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
                               std::int32_t volume, NodeId from_node,
                               std::uint32_t chunk_id, std::int32_t epoch,
-                              const cnn::Tensor& src, int src_offset,
-                              cnn::RowInterval rows) {
+                              std::int32_t stream, const cnn::Tensor& src,
+                              int src_offset, cnn::RowInterval rows) {
   DE_REQUIRE(is_chunk_type(type), "wire: not a chunk message type");
   DE_REQUIRE(!rows.empty(), "wire: empty row range");
   DE_REQUIRE(rows.begin >= src_offset && rows.end - src_offset <= src.h,
@@ -108,7 +112,7 @@ std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
   bytes.clear();
   core::ByteWriter w(bytes);
   encode_chunk_body(w, type, seq, volume, rows.begin, from_node, chunk_id,
-                    epoch, rows.size(), src.w, src.c, payload);
+                    epoch, stream, rows.size(), src.w, src.c, payload);
   return payload.size() * 4;
 }
 
@@ -166,6 +170,10 @@ ChunkView decode_chunk_view(std::span<const std::uint8_t> frame) {
     view.epoch = r.i32();
     DE_REQUIRE(view.epoch >= 0, "wire: negative chunk epoch");
   }
+  if (header.version >= 5) {
+    view.stream = r.i32();
+    DE_REQUIRE(view.stream >= 0, "wire: negative chunk stream");
+  }
   view.h = r.i32();
   view.w = r.i32();
   view.c = r.i32();
@@ -209,6 +217,7 @@ ChunkMsg decode_chunk(std::span<const std::uint8_t> frame) {
   msg.from_node = view.from_node;
   msg.chunk_id = view.chunk_id;
   msg.epoch = view.epoch;
+  msg.stream = view.stream;
   msg.rows = view.to_tensor();
   return msg;
 }
@@ -320,6 +329,8 @@ TelemetryMsg decode_telemetry(std::span<const std::uint8_t> frame) {
 Payload encode_reconfigure(const ReconfigureMsg& msg) {
   DE_REQUIRE(msg.epoch >= 1 && msg.from_seq >= 0 && msg.n_devices >= 1,
              "wire: malformed reconfigure message");
+  DE_REQUIRE(msg.stream >= 0, "wire: negative reconfigure stream");
+  DE_REQUIRE(msg.model_id >= 0, "wire: negative reconfigure model id");
   DE_REQUIRE(!msg.volumes.empty() && msg.volumes.size() == msg.cuts.size(),
              "wire: reconfigure volume/cut counts disagree");
   core::ByteWriter w;
@@ -328,6 +339,8 @@ Payload encode_reconfigure(const ReconfigureMsg& msg) {
   w.u32(msg.chunk_id);
   w.i32(msg.epoch);
   w.i32(msg.from_seq);
+  w.i32(msg.stream);
+  w.i32(msg.model_id);
   w.i32(msg.n_devices);
   w.i32(static_cast<std::int32_t>(msg.volumes.size()));
   for (std::size_t l = 0; l < msg.volumes.size(); ++l) {
@@ -343,19 +356,26 @@ Payload encode_reconfigure(const ReconfigureMsg& msg) {
 
 ReconfigureMsg decode_reconfigure(std::span<const std::uint8_t> frame) {
   core::ByteReader r(frame);
-  DE_REQUIRE(read_header(r).type == MsgType::kReconfigure,
+  const Header header = read_header(r);
+  DE_REQUIRE(header.type == MsgType::kReconfigure,
              "wire: frame is not a reconfigure");
   ReconfigureMsg msg;
   msg.from_node = r.i32();
   msg.chunk_id = r.u32();
   msg.epoch = r.i32();
   msg.from_seq = r.i32();
+  if (header.version >= 5) {
+    msg.stream = r.i32();
+    msg.model_id = r.i32();
+  }
   msg.n_devices = r.i32();
   const std::int32_t n_volumes = r.i32();
   DE_REQUIRE(msg.from_node >= kNilNode, "wire: malformed reconfigure sender");
   DE_REQUIRE(msg.chunk_id == 0 || msg.from_node != kNilNode,
              "wire: tracked reconfigure without a sender");
   DE_REQUIRE(msg.epoch >= 1 && msg.from_seq >= 0, "wire: malformed epoch");
+  DE_REQUIRE(msg.stream >= 0, "wire: negative reconfigure stream");
+  DE_REQUIRE(msg.model_id >= 0, "wire: negative reconfigure model id");
   DE_REQUIRE(msg.n_devices >= 1 && msg.n_devices <= 1 << 16,
              "wire: hostile reconfigure device count");
   DE_REQUIRE(n_volumes >= 1 && n_volumes <= 1 << 16,
@@ -381,6 +401,132 @@ ReconfigureMsg decode_reconfigure(std::span<const std::uint8_t> frame) {
     msg.volumes.push_back(volume);
     msg.cuts.push_back(std::move(cuts));
   }
+  return msg;
+}
+
+Payload encode_stream_hello(const StreamHelloMsg& msg) {
+  DE_REQUIRE(msg.listen_port >= 1 && msg.listen_port <= 65535,
+             "wire: stream hello with no dial-back port");
+  DE_REQUIRE(msg.model_id >= 0 && msg.window >= 0,
+             "wire: malformed stream hello fields");
+  core::ByteWriter w;
+  write_header(w, MsgType::kStreamHello);
+  w.u32(msg.listen_port);
+  w.i32(msg.model_id);
+  w.i32(msg.window);
+  return w.take();
+}
+
+StreamHelloMsg decode_stream_hello(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kStreamHello,
+             "wire: frame is not a stream hello");
+  StreamHelloMsg msg;
+  msg.listen_port = r.u32();
+  msg.model_id = r.i32();
+  msg.window = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after stream hello");
+  DE_REQUIRE(msg.listen_port >= 1 && msg.listen_port <= 65535,
+             "wire: stream hello with no dial-back port");
+  DE_REQUIRE(msg.model_id >= 0 && msg.window >= 0,
+             "wire: malformed stream hello fields");
+  return msg;
+}
+
+Payload encode_stream_accept(const StreamAcceptMsg& msg) {
+  DE_REQUIRE(msg.stream >= 0 && msg.window >= 1,
+             "wire: malformed stream accept fields");
+  core::ByteWriter w;
+  write_header(w, MsgType::kStreamAccept);
+  w.i32(msg.stream);
+  w.i32(msg.window);
+  return w.take();
+}
+
+StreamAcceptMsg decode_stream_accept(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kStreamAccept,
+             "wire: frame is not a stream accept");
+  StreamAcceptMsg msg;
+  msg.stream = r.i32();
+  msg.window = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after stream accept");
+  DE_REQUIRE(msg.stream >= 0 && msg.window >= 1,
+             "wire: malformed stream accept fields");
+  return msg;
+}
+
+Payload encode_stream_reject(const StreamRejectMsg& msg) {
+  DE_REQUIRE(msg.reason >= StreamRejectMsg::kBusy &&
+                 msg.reason <= StreamRejectMsg::kBadRequest,
+             "wire: unknown stream reject reason");
+  core::ByteWriter w;
+  write_header(w, MsgType::kStreamReject);
+  w.i32(msg.reason);
+  return w.take();
+}
+
+StreamRejectMsg decode_stream_reject(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kStreamReject,
+             "wire: frame is not a stream reject");
+  StreamRejectMsg msg;
+  msg.reason = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after stream reject");
+  DE_REQUIRE(msg.reason >= StreamRejectMsg::kBusy &&
+                 msg.reason <= StreamRejectMsg::kBadRequest,
+             "wire: unknown stream reject reason");
+  return msg;
+}
+
+Payload encode_stream_close(const StreamCloseMsg& msg) {
+  DE_REQUIRE(msg.stream >= 0, "wire: negative stream close id");
+  core::ByteWriter w;
+  write_header(w, MsgType::kStreamClose);
+  w.i32(msg.stream);
+  return w.take();
+}
+
+StreamCloseMsg decode_stream_close(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kStreamClose,
+             "wire: frame is not a stream close");
+  StreamCloseMsg msg;
+  msg.stream = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after stream close");
+  DE_REQUIRE(msg.stream >= 0, "wire: negative stream close id");
+  return msg;
+}
+
+Payload encode_dispatch(const DispatchMsg& msg) {
+  DE_REQUIRE(msg.stream >= 0 && msg.seq >= 0 && msg.epoch >= 0,
+             "wire: malformed dispatch fields");
+  core::ByteWriter w;
+  write_header(w, MsgType::kDispatch);
+  w.i32(msg.from_node);
+  w.u32(msg.chunk_id);
+  w.i32(msg.stream);
+  w.i32(msg.seq);
+  w.i32(msg.epoch);
+  return w.take();
+}
+
+DispatchMsg decode_dispatch(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kDispatch,
+             "wire: frame is not a dispatch");
+  DispatchMsg msg;
+  msg.from_node = r.i32();
+  msg.chunk_id = r.u32();
+  msg.stream = r.i32();
+  msg.seq = r.i32();
+  msg.epoch = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after dispatch");
+  DE_REQUIRE(msg.from_node >= kNilNode, "wire: malformed dispatch sender");
+  DE_REQUIRE(msg.chunk_id == 0 || msg.from_node != kNilNode,
+             "wire: tracked dispatch without a sender");
+  DE_REQUIRE(msg.stream >= 0 && msg.seq >= 0 && msg.epoch >= 0,
+             "wire: malformed dispatch fields");
   return msg;
 }
 

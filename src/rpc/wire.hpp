@@ -3,8 +3,8 @@
 // Every payload starts with an 8-byte header:
 //
 //   u32 magic   = 0x44454447  ("DEDG")
-//   u16 version = 1..4 (encoders emit kWireVersion = 4; decoders accept
-//                 all four)
+//   u16 version = 1..5 (encoders emit kWireVersion = 5; decoders accept
+//                 all five)
 //   u16 type    (MsgType)
 //
 // followed by the type-specific body, all little-endian:
@@ -16,6 +16,8 @@
 //     [v2] i32 from_node   sending node (kNilNode when untracked)
 //     [v2] u32 chunk_id    per-link id for ack/dedup (0 = untracked)
 //     [v3] i32 epoch       strategy epoch the chunk's image belongs to
+//     [v5] i32 stream      serving stream (tenant) the image belongs to
+//                          (0 in v1-v4 frames and single-stream runs)
 //     i32 h, i32 w, i32 c
 //     f32 * (h*w*c)    row-major HWC floats as raw IEEE-754 bit patterns
 //   kHaloRequest:
@@ -34,8 +36,21 @@
 //     i32 n_links, then per link: i32 peer, f32 mbps, f32 mbytes
 //   kReconfigure (v3):
 //     i32 from_node (kNilNode when untracked), u32 chunk_id (0 = untracked),
-//     i32 epoch, i32 from_seq, i32 n_devices, i32 n_volumes,
+//     i32 epoch, i32 from_seq, [v5] i32 stream, [v5] i32 model_id,
+//     i32 n_devices, i32 n_volumes,
 //     then per volume: i32 first, i32 last, i32 * (n_devices+1) cuts
+//   kStreamHello (v5):
+//     u32 listen_port (the client's dial-back port), i32 model_id,
+//     i32 window (requested in-flight window; 0 = server default)
+//   kStreamAccept (v5):
+//     i32 stream (door-assigned id), i32 window (granted)
+//   kStreamReject (v5):
+//     i32 reason (StreamRejectMsg::Reason)
+//   kStreamClose (v5):
+//     i32 stream
+//   kDispatch (v5):
+//     i32 from_node (kNilNode when untracked), u32 chunk_id (0 = untracked),
+//     i32 stream, i32 seq (global fleet sequence), i32 epoch
 //
 // decode_* throws de::Error on malformed input (bad magic/version/type,
 // truncated body, trailing garbage, negative or overflowing extents); a
@@ -56,7 +71,7 @@
 namespace de::rpc {
 
 inline constexpr std::uint32_t kWireMagic = 0x44454447;  // "DEDG"
-inline constexpr std::uint16_t kWireVersion = 4;
+inline constexpr std::uint16_t kWireVersion = 5;
 
 enum class MsgType : std::uint16_t {
   kScatter = 1,      ///< requester -> provider: volume-0 input rows
@@ -68,6 +83,11 @@ enum class MsgType : std::uint16_t {
   kNack = 7,         ///< receiver -> peers: still missing (seq, volume) (v2)
   kTelemetry = 8,    ///< node -> controller: link rates + compute ms (v3)
   kReconfigure = 9,  ///< requester -> provider: new strategy epoch (v3)
+  kStreamHello = 10,   ///< client -> door: open a serving stream (v5)
+  kStreamAccept = 11,  ///< door -> client: stream admitted (v5)
+  kStreamReject = 12,  ///< door -> client: stream refused (v5)
+  kStreamClose = 13,   ///< either way: end of a serving stream (v5)
+  kDispatch = 14,      ///< front end -> provider: global seq ownership (v5)
 };
 
 /// A horizontal slice of some volume's tensor, tagged with the image it
@@ -83,7 +103,8 @@ struct ChunkMsg {
   std::int32_t row_offset = 0;
   NodeId from_node = kNilNode;
   std::uint32_t chunk_id = 0;
-  std::int32_t epoch = 0;  ///< strategy epoch of the chunk's image (v3)
+  std::int32_t epoch = 0;   ///< strategy epoch of the chunk's image (v3)
+  std::int32_t stream = 0;  ///< serving stream (tenant) of the image (v5)
   cnn::Tensor rows;
 };
 
@@ -150,9 +171,60 @@ struct ReconfigureMsg {
   std::uint32_t chunk_id = 0;    ///< reliability handle (0 = untracked)
   std::int32_t epoch = 0;        ///< new epoch id (monotonic, >= 1)
   std::int32_t from_seq = 0;     ///< first image served under the new epoch
+  std::int32_t stream = 0;       ///< epoch lane the swap applies to (v5)
+  std::int32_t model_id = 0;     ///< tenant model the lane serves (v5)
   std::int32_t n_devices = 0;
   std::vector<cnn::LayerVolume> volumes;
   std::vector<std::vector<int>> cuts;  ///< one (n_devices+1) vector per volume
+};
+
+/// Client -> front door: open a serving stream. The door dials back to the
+/// client's listener (`listen_port` on the connection's source host) to
+/// deliver the kStreamAccept/kStreamReject answer and, later, output rows —
+/// TcpTransport connections are unidirectional, so a session is one
+/// client->door link plus one door->client link.
+struct StreamHelloMsg {
+  std::uint32_t listen_port = 0;  ///< client's dial-back TCP port
+  std::int32_t model_id = 0;      ///< tenant model index on the fleet
+  std::int32_t window = 0;        ///< requested in-flight window (0 = default)
+};
+
+/// Door -> client: the stream is admitted. `stream` tags every subsequent
+/// frame in both directions; `window` is the granted in-flight cap.
+struct StreamAcceptMsg {
+  std::int32_t stream = 0;
+  std::int32_t window = 0;
+};
+
+/// Door -> client: admission refused.
+struct StreamRejectMsg {
+  enum Reason : std::int32_t {
+    kBusy = 1,          ///< stream cap reached
+    kUnknownModel = 2,  ///< model_id outside the fleet's tenant set
+    kBadRequest = 3,    ///< malformed hello fields
+  };
+  std::int32_t reason = kBadRequest;
+};
+
+/// Either direction: no more images on `stream` (client done, or the door
+/// is evicting the tenant). Outputs already in flight still drain.
+struct StreamCloseMsg {
+  std::int32_t stream = 0;
+};
+
+/// Front end -> provider: "global fleet image `seq` belongs to stream
+/// `stream` and is served under that lane's epoch `epoch`". Broadcast on the
+/// data mailbox before the image's kScatter chunks (per-sender FIFO makes
+/// the order visible); with reliability enabled it is tracked/acked exactly
+/// like a tensor chunk. Providers process images strictly in global-seq
+/// order, so a dispatch announcement is what lets them resolve which
+/// tenant's lane (model, plan, epoch table) image `seq` uses.
+struct DispatchMsg {
+  NodeId from_node = kNilNode;  ///< sender (kNilNode when untracked)
+  std::uint32_t chunk_id = 0;   ///< reliability handle (0 = untracked)
+  std::int32_t stream = 0;
+  std::int32_t seq = 0;   ///< global fleet sequence number
+  std::int32_t epoch = 0; ///< the lane epoch the image is served under
 };
 
 /// Borrowed decode of a tensor-chunk frame: every header field plus a
@@ -170,6 +242,7 @@ struct ChunkView {
   NodeId from_node = kNilNode;
   std::uint32_t chunk_id = 0;
   std::int32_t epoch = 0;
+  std::int32_t stream = 0;
   std::int32_t h = 0;
   std::int32_t w = 0;
   std::int32_t c = 0;
@@ -198,6 +271,11 @@ Payload encode_ack(const AckMsg& msg);
 Payload encode_nack(const NackMsg& msg);
 Payload encode_telemetry(const TelemetryMsg& msg);
 Payload encode_reconfigure(const ReconfigureMsg& msg);
+Payload encode_stream_hello(const StreamHelloMsg& msg);
+Payload encode_stream_accept(const StreamAcceptMsg& msg);
+Payload encode_stream_reject(const StreamRejectMsg& msg);
+Payload encode_stream_close(const StreamCloseMsg& msg);
+Payload encode_dispatch(const DispatchMsg& msg);
 
 /// Zero-copy chunk encode: writes into `frame`'s (reusable) buffer the
 /// exact bytes encode_chunk would produce for a ChunkMsg carrying absolute
@@ -208,8 +286,8 @@ Payload encode_reconfigure(const ReconfigureMsg& msg);
 std::size_t encode_chunk_into(Frame& frame, MsgType type, std::int32_t seq,
                               std::int32_t volume, NodeId from_node,
                               std::uint32_t chunk_id, std::int32_t epoch,
-                              const cnn::Tensor& src, int src_offset,
-                              cnn::RowInterval rows);
+                              std::int32_t stream, const cnn::Tensor& src,
+                              int src_offset, cnn::RowInterval rows);
 
 ChunkMsg decode_chunk(std::span<const std::uint8_t> frame);
 ChunkView decode_chunk_view(std::span<const std::uint8_t> frame);
@@ -218,6 +296,11 @@ AckMsg decode_ack(std::span<const std::uint8_t> frame);
 NackMsg decode_nack(std::span<const std::uint8_t> frame);
 TelemetryMsg decode_telemetry(std::span<const std::uint8_t> frame);
 ReconfigureMsg decode_reconfigure(std::span<const std::uint8_t> frame);
+StreamHelloMsg decode_stream_hello(std::span<const std::uint8_t> frame);
+StreamAcceptMsg decode_stream_accept(std::span<const std::uint8_t> frame);
+StreamRejectMsg decode_stream_reject(std::span<const std::uint8_t> frame);
+StreamCloseMsg decode_stream_close(std::span<const std::uint8_t> frame);
+DispatchMsg decode_dispatch(std::span<const std::uint8_t> frame);
 
 /// Blits the view's absolute rows [src_begin, src_end) straight from the
 /// wire bytes into `dst`, whose row 0 is absolute row `dst_offset` —

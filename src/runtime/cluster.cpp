@@ -76,18 +76,14 @@ ClusterResult run_once(const cnn::CnnModel& model,
   obs::MetricsRegistry registry;
   fold_data_plane_metrics(stats, registry);
   result.metrics = registry.snapshot();
-  result.messages_exchanged =
-      static_cast<int>(result.metrics.counter(kMetricMessages));
+  result.messages_exchanged = result.metrics.counter(kMetricMessages);
   result.bytes_moved = result.metrics.counter(kMetricPayloadBytes);
   result.wire_bytes = result.metrics.counter(kMetricWireBytes);
   result.bytes_copied = result.metrics.counter(kMetricBytesCopied);
   result.frame_allocs = result.metrics.counter(kMetricFrameAllocs);
-  result.retransmits =
-      static_cast<int>(result.metrics.counter(kMetricRetransmits));
-  result.duplicates_dropped =
-      static_cast<int>(result.metrics.counter(kMetricDupsDropped));
-  result.recv_timeouts =
-      static_cast<int>(result.metrics.counter(kMetricRecvTimeouts));
+  result.retransmits = result.metrics.counter(kMetricRetransmits);
+  result.duplicates_dropped = result.metrics.counter(kMetricDupsDropped);
+  result.recv_timeouts = result.metrics.counter(kMetricRecvTimeouts);
   return result;
 }
 

@@ -15,6 +15,7 @@
 // (DESIGN.md).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cnn/exec_engine.hpp"
@@ -50,14 +51,14 @@ struct ClusterResult {
   /// callers; the snapshot is the source of truth and uses the same names
   /// as ServeResult::metrics.
   obs::MetricsSnapshot metrics;
-  int messages_exchanged = 0;
+  std::int64_t messages_exchanged = 0;
   Bytes bytes_moved = 0;     ///< payload bytes across all chunk messages
   Bytes wire_bytes = 0;      ///< frame bytes on the wire, headers included
   Bytes bytes_copied = 0;    ///< userspace copies on the chunk path
   std::int64_t frame_allocs = 0;  ///< frame buffers the arenas had to malloc
-  int retransmits = 0;       ///< chunk resends by the reliability layer
-  int duplicates_dropped = 0;///< repeats absorbed by receive-side dedup
-  int recv_timeouts = 0;     ///< bounded waits that expired (nack rounds)
+  std::int64_t retransmits = 0;        ///< reliability-layer chunk resends
+  std::int64_t duplicates_dropped = 0; ///< repeats absorbed by rx-side dedup
+  std::int64_t recv_timeouts = 0;      ///< expired bounded waits (nack rounds)
 };
 
 /// Runs `strategy` on `n_devices` worker threads over the in-process

@@ -7,7 +7,8 @@
 namespace de::runtime {
 
 EpochTable::EpochTable(EpochPlan initial) {
-  DE_REQUIRE(initial.from_seq == 0, "the initial epoch must start at image 0");
+  DE_REQUIRE(initial.from_seq >= 0,
+             "the initial epoch must start at a valid image");
   epochs_.push_back(std::make_unique<EpochPlan>(std::move(initial)));
 }
 

@@ -39,7 +39,11 @@ struct EpochPlan {
 /// callers prune only at image boundaries where none are held).
 class EpochTable {
  public:
-  /// Starts with `initial` as epoch 0 (its from_seq must be 0).
+  /// Starts with `initial` as the oldest known epoch. from_seq is 0 for a
+  /// stream served from its first image; a multi-tenant lane opened
+  /// mid-stream starts at the global fleet seq its first epoch covers —
+  /// at() on anything older throws (no epoch ever served those images
+  /// here).
   explicit EpochTable(EpochPlan initial);
 
   /// The epoch serving image `seq` under the epochs known so far. A later

@@ -60,6 +60,7 @@ ClusterFabric make_fabric(int n_devices, bool use_tcp,
     ep->open_mailbox(rpc::kDataMailbox);
     ep->open_mailbox(rpc::kCtrlMailbox);
     ep->open_mailbox(rpc::kTelemetryMailbox);
+    ep->open_mailbox(rpc::kServeMailbox);
   }
   // One origin sample per node, taken back-to-back: offsets between them are
   // sub-microsecond, so the trace-merge estimator's error is measurable
@@ -98,6 +99,32 @@ std::vector<std::thread> spawn_providers(
         // requester transport drops the end-of-stream frames, which would
         // leave the other providers blocked in receive() and deadlock the
         // join. shutdown() is idempotent, so racing barriers are fine.
+        fabric.shutdown_all();
+      }
+    });
+  }
+  return threads;
+}
+
+std::vector<std::thread> spawn_providers_multi(
+    ClusterFabric& fabric, int n_devices, std::span<const TenantModel> fleet,
+    DataPlaneStats& stats, const ReliabilityOptions& reliability,
+    const cnn::ExecContext& exec, DataPlaneMode mode, int telemetry_every) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_devices));
+  for (int i = 0; i < n_devices; ++i) {
+    threads.emplace_back([&fabric, fleet, &stats, reliability, exec, mode,
+                          telemetry_every, i] {
+      try {
+        obs::bind_thread("provider-" + std::to_string(i), i);
+        const TelemetryHooks hooks{
+            fabric.sampler(i), telemetry_every,
+            fabric.node_origin_us[static_cast<std::size_t>(i)]};
+        provider_loop_multi(*fabric.endpoints[static_cast<std::size_t>(i)], i,
+                            fleet, stats, reliability, exec, mode, hooks);
+      } catch (...) {
+        // Same barrier as spawn_providers: take the whole fabric down so
+        // blocked counterparties fail in an orderly way.
         fabric.shutdown_all();
       }
     });

@@ -79,4 +79,15 @@ std::vector<std::thread> spawn_providers(
     DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
     int telemetry_every = 0);
 
+/// Multi-tenant variant: each provider runs provider_loop_multi over the
+/// shared tenant registry `fleet` (no seed strategy — epoch lanes arrive by
+/// stream-tagged kReconfigure; `fleet` must outlive the threads). Always
+/// streaming: the front door releases the providers with kShutdown.
+std::vector<std::thread> spawn_providers_multi(
+    ClusterFabric& fabric, int n_devices, std::span<const TenantModel> fleet,
+    DataPlaneStats& stats, const ReliabilityOptions& reliability = {},
+    const cnn::ExecContext& exec = {},
+    DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
+    int telemetry_every = 0);
+
 }  // namespace de::runtime

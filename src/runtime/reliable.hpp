@@ -51,7 +51,7 @@ struct ReliabilityOptions {
 /// fields count every data chunk posted (including retransmissions in
 /// `retransmits`); the rest are reliability-layer events.
 struct DataPlaneStats {
-  std::atomic<int> messages{0};
+  std::atomic<std::int64_t> messages{0};
   std::atomic<Bytes> bytes{0};  ///< tensor payload bytes (not frame bytes)
   std::atomic<Bytes> wire_bytes{0};    ///< full frame bytes (headers included)
   /// Userspace bytes memcpy'd on the chunk path (slice/encode/decode/blit).
@@ -61,12 +61,12 @@ struct DataPlaneStats {
   /// Frame-buffer heap allocations by the data-plane arenas; steady-state
   /// streaming reuses warm buffers, so this stays flat per extra image.
   std::atomic<std::int64_t> frame_allocs{0};
-  std::atomic<int> retransmits{0};
-  std::atomic<int> acks{0};
-  std::atomic<int> duplicates_dropped{0};
-  std::atomic<int> nacks{0};
-  std::atomic<int> recv_timeouts{0};
-  std::atomic<int> chunks_abandoned{0};  ///< gave up after max_attempts
+  std::atomic<std::int64_t> retransmits{0};
+  std::atomic<std::int64_t> acks{0};
+  std::atomic<std::int64_t> duplicates_dropped{0};
+  std::atomic<std::int64_t> nacks{0};
+  std::atomic<std::int64_t> recv_timeouts{0};
+  std::atomic<std::int64_t> chunks_abandoned{0};  ///< gave up after max_attempts
 };
 
 /// Receive-side duplicate filter: tracks (sender, chunk_id) pairs with a

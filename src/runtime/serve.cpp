@@ -204,21 +204,17 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   registry.counter(kMetricStreamReconfigs)
       .set(static_cast<std::int64_t>(result.reconfigurations.size()));
   result.metrics = registry.snapshot();
-  result.messages_exchanged =
-      static_cast<int>(result.metrics.counter(kMetricMessages));
+  result.messages_exchanged = result.metrics.counter(kMetricMessages);
   result.bytes_moved = result.metrics.counter(kMetricPayloadBytes);
   result.wire_bytes = result.metrics.counter(kMetricWireBytes);
   result.bytes_copied = result.metrics.counter(kMetricBytesCopied);
   result.frame_allocs = result.metrics.counter(kMetricFrameAllocs);
-  result.retransmits =
-      static_cast<int>(result.metrics.counter(kMetricRetransmits));
-  result.duplicates_dropped =
-      static_cast<int>(result.metrics.counter(kMetricDupsDropped));
-  result.recv_timeouts =
-      static_cast<int>(result.metrics.counter(kMetricRecvTimeouts));
-  result.nacks = static_cast<int>(result.metrics.counter(kMetricNacks));
+  result.retransmits = result.metrics.counter(kMetricRetransmits);
+  result.duplicates_dropped = result.metrics.counter(kMetricDupsDropped);
+  result.recv_timeouts = result.metrics.counter(kMetricRecvTimeouts);
+  result.nacks = result.metrics.counter(kMetricNacks);
   result.chunks_abandoned =
-      static_cast<int>(result.metrics.counter(kMetricChunksAbandoned));
+      result.metrics.counter(kMetricChunksAbandoned);
 
   if (options.trace != nullptr) {
     // Everything merge_capture needs: the event dump, each node's clock

@@ -20,6 +20,7 @@
 // them, and outputs stay bit-exact throughout (DESIGN.md §control-plane).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -116,17 +117,17 @@ struct ServeResult {
   Seconds wall_s = 0;        ///< first scatter -> last gather
   double measured_ips = 0;
   double predicted_ips = 0;  ///< 0 when no simulator inputs were given
-  int messages_exchanged = 0;
+  std::int64_t messages_exchanged = 0;
   Bytes bytes_moved = 0;
   Bytes wire_bytes = 0;      ///< frame bytes on the wire, headers included
   Bytes bytes_copied = 0;    ///< userspace copies on the chunk path
   std::int64_t frame_allocs = 0;  ///< frame buffers the arenas had to malloc
   /// Reliability-layer totals across the stream (all zero on a clean run).
-  int retransmits = 0;
-  int duplicates_dropped = 0;
-  int recv_timeouts = 0;
-  int nacks = 0;
-  int chunks_abandoned = 0;
+  std::int64_t retransmits = 0;
+  std::int64_t duplicates_dropped = 0;
+  std::int64_t recv_timeouts = 0;
+  std::int64_t nacks = 0;
+  std::int64_t chunks_abandoned = 0;
   /// Per-image retry/timeout stats observed by the requester's gather.
   std::vector<ImageRetryStats> per_image;
   std::vector<cnn::Tensor> outputs;  ///< filled iff keep_outputs

@@ -15,9 +15,10 @@ namespace {
 
 /// Receive outcome of one frame: a chunk, end-of-stream, skip (dropped
 /// control/malformed/duplicate frame — caller should keep receiving), an
-/// expired bounded wait (reliable mode only), or an epoch announcement
-/// (providers only — the requester is the one sending them).
-enum class RxKind { kChunk, kStop, kSkip, kTimeout, kReconfig };
+/// expired bounded wait (reliable mode only), an epoch announcement, or a
+/// stream-dispatch announcement (multi-tenant providers only — the front
+/// door is the one sending both).
+enum class RxKind { kChunk, kStop, kSkip, kTimeout, kReconfig, kDispatch };
 
 /// Receive-side state of one node, shared by the provider and gather loops.
 /// The dedup window is borrowed from the loop owner: it must span the whole
@@ -49,7 +50,8 @@ bool ack_and_dedup(RxState& rx, rpc::NodeId from_node, std::uint32_t chunk_id) {
 }
 
 RxKind receive_frame(RxState& rx, RxChunk& out,
-                     rpc::ReconfigureMsg* reconfig = nullptr) {
+                     rpc::ReconfigureMsg* reconfig = nullptr,
+                     rpc::DispatchMsg* dispatch = nullptr) {
   rpc::Frame payload;
   if (!rx.reliability.enabled) {
     auto received = rx.transport.receive(rpc::kDataMailbox);
@@ -75,6 +77,13 @@ RxKind receive_frame(RxState& rx, RxChunk& out,
         return RxKind::kSkip;  // retransmitted announcement
       }
       return RxKind::kReconfig;
+    }
+    if (type == rpc::MsgType::kDispatch && dispatch != nullptr) {
+      *dispatch = rpc::decode_dispatch(payload);
+      if (!ack_and_dedup(rx, dispatch->from_node, dispatch->chunk_id)) {
+        return RxKind::kSkip;  // retransmitted announcement
+      }
+      return RxKind::kDispatch;
     }
     if (!rpc::is_chunk_type(type)) {
       return RxKind::kSkip;  // halo requests (push-based plan), stray control
@@ -200,7 +209,7 @@ void reshape(cnn::Tensor& t, int h, int w, int c) {
 /// tracked, and hands it to the sender thread (provider) or the transport
 /// (requester).
 void post_rows(rpc::Transport& transport, const rpc::Address& to,
-               rpc::MsgType type, int seq, int volume, int epoch,
+               rpc::MsgType type, int stream, int seq, int volume, int epoch,
                const cnn::Tensor& src, int src_offset, cnn::RowInterval rows,
                rpc::FrameArena& arena, DataPlaneStats& stats,
                Retransmitter* rtx, ChunkSender* sender) {
@@ -212,8 +221,9 @@ void post_rows(rpc::Transport& transport, const rpc::Address& to,
     chunk_id = rtx->next_chunk_id(to.node);
   }
   rpc::Frame frame = arena.acquire();
-  const std::size_t payload = rpc::encode_chunk_into(
-      frame, type, seq, volume, from, chunk_id, epoch, src, src_offset, rows);
+  const std::size_t payload =
+      rpc::encode_chunk_into(frame, type, seq, volume, from, chunk_id, epoch,
+                             stream, src, src_offset, rows);
   span.set_arg(static_cast<std::int64_t>(payload));
   stats.messages.fetch_add(1, std::memory_order_relaxed);
   stats.bytes.fetch_add(static_cast<Bytes>(payload), std::memory_order_relaxed);
@@ -232,25 +242,52 @@ void post_rows(rpc::Transport& transport, const rpc::Address& to,
   }
 }
 
+/// One tenant stream's serving state on a provider: the epoch lane, the
+/// model the lane runs, and the per-epoch halo-first schedules. The legacy
+/// single-tenant loop is the degenerate case of exactly one lane (stream 0)
+/// seeded at construction.
+struct StreamLane {
+  int stream = 0;
+  int model_id = 0;
+  const cnn::CnnModel* model = nullptr;
+  const std::vector<cnn::ConvWeights>* weights = nullptr;
+  EpochTable epochs;
+  /// Halo-first schedules per epoch id (overlap mode, built on first use).
+  std::map<int, std::vector<PartSchedule>> schedules;
+};
+
 /// Epoch bookkeeping and chunk admission of one provider. Every received
-/// chunk passes through admit(): unknown-epoch chunks park in `pending`
-/// until their announcement registers, known-epoch chunks are validated
-/// against the plan of *their* image's epoch and either consumed, stashed,
-/// or rejected loudly.
+/// chunk passes through admit(): chunks of unknown lanes/epochs park in
+/// `pending` until their announcement registers, known-epoch chunks are
+/// validated against the plan of *their* image's epoch and either consumed,
+/// stashed, or rejected loudly. Multi-tenant mode adds the global
+/// seq -> owning-stream dispatch records the front door broadcasts.
 struct ProviderState {
   int i;
   int n_images;
-  const cnn::CnnModel& model;
-  EpochTable epochs;
-  /// Chunks that arrived ahead of their (image, volume) slot.
+  bool multi = false;
+  /// Multi mode: the model registry reconfigure `model_id`s index into.
+  std::span<const TenantModel> fleet;
+  /// Epoch lanes keyed by stream id. Lanes are only ever added (a closed
+  /// stream's lane is a few plans, retire()d down to one; reclaiming the
+  /// map entries themselves needs a close protocol — ROADMAP item).
+  std::map<int, StreamLane> lanes;
+  /// Multi mode: which stream owns each global fleet seq (kDispatch).
+  std::map<int, rpc::DispatchMsg> owners;
+  /// Chunks that arrived ahead of their (image, volume) slot. Seqs are
+  /// global in multi mode, so one map serves every lane.
   std::map<std::pair<int, int>, std::vector<RxChunk>> stash;
-  /// Chunks of epochs not announced to us yet.
+  /// Chunks of lanes/epochs not announced to us yet.
   std::vector<RxChunk> pending;
-  /// Halo-first schedules per epoch id (overlap mode, built on first use).
-  std::map<int, std::vector<PartSchedule>> schedules;
 
-  const std::vector<PartSchedule>& schedules_for(const EpochPlan& ep) {
-    auto [it, inserted] = schedules.try_emplace(ep.epoch);
+  StreamLane* lane_for(int stream) {
+    auto it = lanes.find(stream);
+    return it == lanes.end() ? nullptr : &it->second;
+  }
+
+  const std::vector<PartSchedule>& schedules_for(StreamLane& lane,
+                                                 const EpochPlan& ep) {
+    auto [it, inserted] = lane.schedules.try_emplace(ep.epoch);
     if (inserted) {
       const int n_volumes = ep.plan.num_volumes();
       it->second.reserve(static_cast<std::size_t>(n_volumes));
@@ -262,24 +299,27 @@ struct ProviderState {
   }
 
   /// Routes one received chunk relative to the current processing point
-  /// (cur_seq, cur_vol). Returns true exactly when the chunk is the one
-  /// being waited on and `allow_consume` is set — it is then left in place
-  /// for the caller to blit; everything else is moved into the park/stash
-  /// queues or rejected loudly.
-  bool admit(RxChunk& chunk, int cur_seq, int cur_vol, bool allow_consume) {
+  /// (cur_stream, cur_seq, cur_vol; cur_stream < 0 when the loop is between
+  /// images). Returns true exactly when the chunk is the one being waited
+  /// on and `allow_consume` is set — it is then left in place for the
+  /// caller to blit; everything else is moved into the park/stash queues or
+  /// rejected loudly.
+  bool admit(RxChunk& chunk, int cur_stream, int cur_seq, int cur_vol,
+             bool allow_consume) {
     const auto& v = chunk.view;
-    if (v.epoch < epochs.oldest()) {
+    StreamLane* lane = lane_for(v.stream);
+    if (lane != nullptr && v.epoch < lane->epochs.oldest()) {
       // Tagged with retired history: every image that epoch served is long
       // gathered, so this is a stale duplicate that slipped dedup or a
       // hostile peer.
       fail_geometry(v);
     }
-    if (!epochs.knows(v.epoch)) {
-      // The announcement is still in flight on this same mailbox (under
-      // faults possibly *behind* a later epoch's — deliveries reorder);
-      // park the chunk until it lands. Bounded: a peer tagging chunks
-      // with epochs nobody ever announces must not grow the park queue
-      // (tensor payloads included) for the life of the stream.
+    if (lane == nullptr || !lane->epochs.knows(v.epoch)) {
+      // The lane's announcement is still in flight on this same mailbox
+      // (under faults possibly *behind* a later epoch's — deliveries
+      // reorder); park the chunk until it lands. Bounded: a peer tagging
+      // chunks with streams/epochs nobody ever announces must not grow the
+      // park queue (tensor payloads included) for the life of the stream.
       if (v.seq - cur_seq > kMaxImagesAhead ||
           pending.size() >= kMaxPendingChunks) {
         fail_geometry(v);
@@ -288,8 +328,15 @@ struct ProviderState {
       pending.push_back(std::move(chunk));
       return false;
     }
-    const EpochPlan& owner = epochs.at(v.seq);
+    const EpochPlan& owner = lane->epochs.at(v.seq);
     if (v.epoch != owner.epoch) fail_geometry(v);  // stale/foreign epoch tag
+    if (multi) {
+      // A dispatch we already hold must agree on the seq's owning stream.
+      auto it = owners.find(v.seq);
+      if (it != owners.end() && it->second.stream != v.stream) {
+        fail_geometry(v);
+      }
+    }
     // Chunks that can never be consumed would park in the stash for the
     // life of the stream; treat them as protocol violations.
     const bool off_plan =
@@ -300,29 +347,71 @@ struct ProviderState {
         (n_images >= 0 && v.seq >= n_images) ||
         v.seq - cur_seq > kMaxImagesAhead;
     if (off_plan) fail_geometry(v);
-    if (allow_consume && v.seq == cur_seq && v.volume == cur_vol) return true;
+    if (allow_consume && v.stream == cur_stream && v.seq == cur_seq &&
+        v.volume == cur_vol) {
+      return true;
+    }
     stash[{v.seq, v.volume}].push_back(std::move(chunk));
     return false;
   }
 
-  /// Registers an announced epoch and re-admits parked chunks it unlocks.
-  /// Returns true when the epoch serving `cur_seq` changed — the caller
-  /// must restart the image under the new plan.
-  bool register_epoch(const rpc::ReconfigureMsg& msg, int cur_seq,
-                      int cur_vol) {
+  /// Registers an announced epoch on its stream's lane (creating the lane
+  /// against fleet[model_id] on first sight of the stream) and re-admits
+  /// parked chunks it unlocks. Returns true when the epoch serving the
+  /// image currently being processed changed — the caller must restart it
+  /// under the new plan. Announcements for *other* streams' lanes never
+  /// restart the current image.
+  bool register_epoch(const rpc::ReconfigureMsg& msg, int cur_stream,
+                      int cur_seq, int cur_vol) {
     obs::trace_instant(obs::Cat::kEpochRegister, msg.from_seq, -1, msg.epoch);
-    const int before = epochs.at(cur_seq).epoch;
-    epochs.add(epoch_from_reconfigure(msg, model));
-    const bool remapped = epochs.at(cur_seq).epoch != before;
-    // Re-admit parked chunks whose epoch is now known. Consumption is
+    StreamLane* lane = lane_for(msg.stream);
+    bool remapped = false;
+    if (lane == nullptr) {
+      DE_REQUIRE(multi,
+                 "reconfigure names an unknown stream on a single-tenant "
+                 "provider");
+      DE_REQUIRE(static_cast<std::size_t>(msg.model_id) < fleet.size(),
+                 "reconfigure names an unknown tenant model");
+      const TenantModel& tenant = fleet[static_cast<std::size_t>(msg.model_id)];
+      lanes.emplace(msg.stream,
+                    StreamLane{msg.stream, msg.model_id, tenant.model,
+                               tenant.weights,
+                               EpochTable(epoch_from_reconfigure(
+                                   msg, *tenant.model)),
+                               {}});
+    } else {
+      const bool tracking = msg.stream == cur_stream;
+      const int before = tracking ? lane->epochs.at(cur_seq).epoch : 0;
+      lane->epochs.add(epoch_from_reconfigure(msg, *lane->model));
+      remapped = tracking && lane->epochs.at(cur_seq).epoch != before;
+    }
+    // Re-admit parked chunks whose lane/epoch is now known. Consumption is
     // disabled: anything for the current image under a *new* epoch belongs
     // to the restart path, which re-pulls the stash from volume 0.
     auto parked = std::move(pending);
     pending.clear();
     for (auto& chunk : parked) {
-      admit(chunk, cur_seq, remapped ? 0 : cur_vol, /*allow_consume=*/false);
+      admit(chunk, cur_stream, cur_seq, remapped ? 0 : cur_vol,
+            /*allow_consume=*/false);
     }
     return remapped;
+  }
+
+  /// Records a kDispatch owner binding (multi mode; a single-tenant
+  /// provider receiving one is talking to a mismatched or hostile door).
+  void register_dispatch(const rpc::DispatchMsg& msg, int cur_seq) {
+    DE_REQUIRE(multi, "dispatch announcement on a single-tenant provider");
+    if (msg.seq < cur_seq) return;  // stale repeat of a finished image
+    if (msg.seq - cur_seq > kMaxImagesAhead ||
+        owners.size() >= kMaxPendingChunks) {
+      throw Error("dispatch horizon overflow (seq " + std::to_string(msg.seq) +
+                  " while processing " + std::to_string(cur_seq) +
+                  ") — runaway or hostile front door");
+    }
+    auto [it, inserted] = owners.emplace(msg.seq, msg);
+    DE_REQUIRE(inserted || (it->second.stream == msg.stream &&
+                            it->second.epoch == msg.epoch),
+               "conflicting dispatch announcements for one image");
   }
 };
 
@@ -367,22 +456,40 @@ void post_reconfigure(rpc::Transport& transport, const rpc::Address& to,
 
 namespace {
 
+/// Posts a kDispatch announcement, tracked exactly like a reconfigure.
+void post_dispatch(rpc::Transport& transport, const rpc::Address& to,
+                   rpc::DispatchMsg msg, DataPlaneStats& stats,
+                   Retransmitter* rtx) {
+  if (rtx != nullptr) {
+    msg.from_node = transport.local_node();
+    msg.chunk_id = rtx->next_chunk_id(to.node);
+  }
+  rpc::Frame frame(rpc::encode_dispatch(msg));
+  stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                             std::memory_order_relaxed);
+  if (rtx != nullptr) rtx->track(to, msg.chunk_id, frame);
+  transport.send(to, std::move(frame));
+}
+
 enum class ImageOutcome { kDone, kRestart, kStop };
 
-/// Executes image `seq` on provider `i` under the epoch currently serving
-/// it. kRestart means an epoch announcement re-mapped this image before any
-/// of it was consumed or computed — rerun under the new plan.
+/// Executes image `seq` on provider `i` under the epoch of `lane` (the
+/// stream that owns the image) currently serving it. kRestart means an
+/// epoch announcement re-mapped this image before any of it was consumed or
+/// computed — rerun under the new plan.
 ImageOutcome process_image(
-    ProviderState& state, RxState& rx, rpc::Transport& transport, int seq,
-    const cnn::CnnModel& model, const std::vector<cnn::ConvWeights>& weights,
-    DataPlaneStats& stats, const ReliabilityOptions& reliability,
-    cnn::ExecContext& exec_ctx, DataPlaneMode mode, rpc::FrameArena& arena,
+    ProviderState& state, RxState& rx, rpc::Transport& transport,
+    StreamLane& lane, int seq, DataPlaneStats& stats,
+    const ReliabilityOptions& reliability, cnn::ExecContext& exec_ctx,
+    DataPlaneMode mode, rpc::FrameArena& arena,
     std::optional<ChunkSender>& sender, Retransmitter* rtx,
     cnn::Tensor& crop_buf, cnn::Tensor (&out_bufs)[2], int& cur_buf,
     double& compute_ms) {
   const int i = state.i;
+  const cnn::CnnModel& model = *lane.model;
+  const std::vector<cnn::ConvWeights>& weights = *lane.weights;
   const bool overlap = mode == DataPlaneMode::kOverlapZeroCopy;
-  const EpochPlan& ep = state.epochs.at(seq);  // deque-backed: stays valid
+  const EpochPlan& ep = lane.epochs.at(seq);  // deque-backed: stays valid
   const TransferPlan& plan = ep.plan;
   const sim::RawStrategy& strategy = ep.strategy;
   const int n_volumes = plan.num_volumes();
@@ -458,7 +565,8 @@ ImageOutcome process_image(
     while (remaining > 0) {
       RxChunk chunk;
       rpc::ReconfigureMsg rmsg;
-      switch (receive_frame(rx, chunk, &rmsg)) {
+      rpc::DispatchMsg dmsg;
+      switch (receive_frame(rx, chunk, &rmsg, state.multi ? &dmsg : nullptr)) {
         case RxKind::kStop:
           return ImageOutcome::kStop;  // shutdown: abandon the image
         case RxKind::kSkip:
@@ -472,8 +580,11 @@ ImageOutcome process_image(
             fail_starved(i, seq, l, timeout_rounds);
           }
           continue;
+        case RxKind::kDispatch:
+          state.register_dispatch(dmsg, seq);
+          continue;
         case RxKind::kReconfig:
-          if (state.register_epoch(rmsg, seq, l)) {
+          if (state.register_epoch(rmsg, lane.stream, seq, l)) {
             // This image now belongs to a newer epoch. Nothing of it can
             // have been consumed or computed yet (the requester announces
             // before any new-epoch traffic, and no old-epoch traffic for
@@ -489,7 +600,9 @@ ImageOutcome process_image(
           break;
       }
       timeout_rounds = 0;
-      if (!state.admit(chunk, seq, l, /*allow_consume=*/true)) continue;
+      if (!state.admit(chunk, lane.stream, seq, l, /*allow_consume=*/true)) {
+        continue;
+      }
       if (!chunk_fits(chunk.view, need, crop.w, crop.c)) {
         fail_geometry(chunk.view);
       }
@@ -509,7 +622,7 @@ ImageOutcome process_image(
       cnn::Tensor& out = out_bufs[cur_buf];
       reshape(out, part.size(), layers.back().out_w(), layers.back().out_c);
       const auto& sched =
-          state.schedules_for(ep)[static_cast<std::size_t>(l)];
+          state.schedules_for(lane, ep)[static_cast<std::size_t>(l)];
       std::size_t next_send = 0;
       for (std::size_t b = 0; b < sched.bands.size(); ++b) {
         {
@@ -527,8 +640,8 @@ ImageOutcome process_image(
           const bool gather = l + 1 == n_volumes;
           post_rows(transport, data_addr(send.to),
                     gather ? rpc::MsgType::kGather : rpc::MsgType::kHaloRows,
-                    seq, gather ? n_volumes : l + 1, ep.epoch, out, part.begin,
-                    send.rows, arena, stats, rtx, &*sender);
+                    lane.stream, seq, gather ? n_volumes : l + 1, ep.epoch,
+                    out, part.begin, send.rows, arena, stats, rtx, &*sender);
         }
       }
       prev_out = &out;
@@ -556,6 +669,7 @@ ImageOutcome process_image(
           post_chunk(transport, data_addr(k),
                      rpc::ChunkMsg{rpc::MsgType::kHaloRows, seq, l + 1,
                                    chunk.begin, rpc::kNilNode, 0, ep.epoch,
+                                   lane.stream,
                                    slice_rows(out, part.begin, chunk.begin,
                                               chunk.end)},
                      stats, rtx);
@@ -565,7 +679,7 @@ ImageOutcome process_image(
         post_chunk(transport, data_addr(plan.requester_node()),
                    rpc::ChunkMsg{rpc::MsgType::kGather, seq, n_volumes,
                                  part.begin, rpc::kNilNode, 0, ep.epoch,
-                                 std::move(out)},
+                                 lane.stream, std::move(out)},
                    stats, rtx);
       }
       legacy_prev = std::move(out);
@@ -594,9 +708,11 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
   const bool overlap = mode == DataPlaneMode::kOverlapZeroCopy;
   ChunkDedup dedup;
   RxState rx{transport, reliability, stats, dedup};
-  ProviderState state{i, n_images, model,
-                      EpochTable(EpochPlan{0, 0, strategy, plan}),
-                      {}, {}, {}};
+  ProviderState state{i, n_images, /*multi=*/false, {}, {}, {}, {}, {}};
+  state.lanes.emplace(
+      0, StreamLane{0, 0, &model, &weights,
+                    EpochTable(EpochPlan{0, 0, strategy, plan}), {}});
+  StreamLane& lane = state.lanes.at(0);  // map node: stable address
 
   std::unique_ptr<Retransmitter> rtx;
   if (reliability.enabled) {
@@ -643,15 +759,15 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
     // epoch history (and its schedules) so unbounded streams with many
     // reconfigurations do not accrete plans. No EpochPlan reference is
     // held across this point.
-    state.epochs.retire(seq);
-    state.schedules.erase(state.schedules.begin(),
-                          state.schedules.lower_bound(state.epochs.oldest()));
+    lane.epochs.retire(seq);
+    lane.schedules.erase(lane.schedules.begin(),
+                         lane.schedules.lower_bound(lane.epochs.oldest()));
 
     // Resolve the epoch serving `seq`; while this device is idle under it,
     // jump to the next known epoch's first image, or — streaming runs —
     // listen for the announcement that re-activates us (or the shutdown).
-    if (!state.epochs.at(seq).plan.device_active(i)) {
-      if (const EpochPlan* next = state.epochs.after(seq)) {
+    if (!lane.epochs.at(seq).plan.device_active(i)) {
+      if (const EpochPlan* next = lane.epochs.after(seq)) {
         seq = next->from_seq;
         continue;
       }
@@ -666,17 +782,18 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
           // Timeouts on an idle device are expected, not starvation.
           continue;
         case RxKind::kReconfig:
-          state.register_epoch(rmsg, seq, 0);
+          state.register_epoch(rmsg, lane.stream, seq, 0);
           continue;
+        case RxKind::kDispatch:  // unreachable: dispatch ptr not passed
         case RxKind::kChunk:
-          state.admit(chunk, seq, 0, /*allow_consume=*/false);
+          state.admit(chunk, lane.stream, seq, 0, /*allow_consume=*/false);
           continue;
       }
       continue;
     }
 
     double compute_ms = 0;
-    switch (process_image(state, rx, transport, seq, model, weights, stats,
+    switch (process_image(state, rx, transport, lane, seq, stats,
                           reliability, exec_ctx, mode, arena, sender,
                           rtx.get(), crop_buf, out_bufs, cur_buf,
                           compute_ms)) {
@@ -730,6 +847,156 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
   if (rtx != nullptr && n_images >= 0) drain_outbox(rx, *rtx);
 }
 
+void provider_loop_multi(rpc::Transport& transport, int i,
+                         std::span<const TenantModel> fleet,
+                         DataPlaneStats& stats,
+                         const ReliabilityOptions& reliability,
+                         const cnn::ExecContext& exec, DataPlaneMode mode,
+                         const TelemetryHooks& telemetry) {
+  const bool overlap = mode == DataPlaneMode::kOverlapZeroCopy;
+  ChunkDedup dedup;
+  RxState rx{transport, reliability, stats, dedup};
+  ProviderState state{i, /*n_images=*/-1, /*multi=*/true, fleet,
+                      {}, {}, {}, {}};
+
+  std::unique_ptr<Retransmitter> rtx;
+  if (reliability.enabled) {
+    rtx = std::make_unique<Retransmitter>(transport, reliability, stats);
+  }
+
+  // One packed-weight cache per tenant model: interleaved streams of
+  // different models each pay the packing cost once per run, not per image.
+  std::vector<cnn::ExecCache> caches(fleet.size());
+  cnn::ExecContext exec_ctx = exec;
+
+  rpc::FrameArena arena;
+  std::optional<ChunkSender> sender;
+  if (overlap) sender.emplace(transport);
+  cnn::Tensor crop_buf;
+  cnn::Tensor out_bufs[2];
+  int cur_buf = 0;
+
+  struct Cleanup {
+    std::optional<ChunkSender>& sender;
+    rpc::FrameArena& arena;
+    DataPlaneStats& stats;
+    ~Cleanup() {
+      if (sender) sender->drain();
+      stats.frame_allocs.fetch_add(arena.stats().allocated,
+                                   std::memory_order_relaxed);
+    }
+  } cleanup{sender, arena, stats};
+
+  auto window_start = std::chrono::steady_clock::now();
+  double window_compute_ms = 0;
+  int window_images = 0;
+
+  int seq = 0;  // global fleet sequence, interleaved across streams
+  for (;;) {
+    // Retire history nothing before `seq` can reference again: finished
+    // dispatch records and every lane's superseded epochs + schedules.
+    // (Lane map entries themselves live for the run — see ProviderState.)
+    state.owners.erase(state.owners.begin(), state.owners.lower_bound(seq));
+    for (auto& [id, l] : state.lanes) {
+      l.epochs.retire(seq);
+      l.schedules.erase(l.schedules.begin(),
+                        l.schedules.lower_bound(l.epochs.oldest()));
+    }
+
+    // Resolve which stream owns `seq`. Until its dispatch (and the lane
+    // epoch it names) has been announced, block on the mailbox — the door
+    // tracks both announcements, so they arrive or the stream ends.
+    const auto own = state.owners.find(seq);
+    StreamLane* lane =
+        own == state.owners.end() ? nullptr : state.lane_for(own->second.stream);
+    if (lane == nullptr || !lane->epochs.knows(own->second.epoch)) {
+      RxChunk chunk;
+      rpc::ReconfigureMsg rmsg;
+      rpc::DispatchMsg dmsg;
+      switch (receive_frame(rx, chunk, &rmsg, &dmsg)) {
+        case RxKind::kStop:
+          return;
+        case RxKind::kSkip:
+        case RxKind::kTimeout:
+          // Waiting for a dispatch is idle time, not starvation.
+          continue;
+        case RxKind::kReconfig:
+          state.register_epoch(rmsg, /*cur_stream=*/-1, seq, 0);
+          continue;
+        case RxKind::kDispatch:
+          state.register_dispatch(dmsg, seq);
+          continue;
+        case RxKind::kChunk:
+          state.admit(chunk, /*cur_stream=*/-1, seq, 0,
+                      /*allow_consume=*/false);
+          continue;
+      }
+      continue;
+    }
+
+    const EpochPlan& ep = lane->epochs.at(seq);
+    DE_REQUIRE(ep.epoch == own->second.epoch,
+               "dispatch epoch disagrees with the announced lane history");
+    if (!ep.plan.device_active(i)) {
+      // Inactive for this image under its owner's plan; the dispatch
+      // record is what lets us skip it without waiting for chunks.
+      ++seq;
+      continue;
+    }
+
+    exec_ctx.cache = &caches[static_cast<std::size_t>(lane->model_id)];
+    double compute_ms = 0;
+    switch (process_image(state, rx, transport, *lane, seq, stats,
+                          reliability, exec_ctx, mode, arena, sender,
+                          rtx.get(), crop_buf, out_bufs, cur_buf,
+                          compute_ms)) {
+      case ImageOutcome::kStop:
+        return;
+      case ImageOutcome::kRestart:
+        // The door pins every dispatched image to its epoch (per-stream
+        // swaps take effect at the next *undispatched* global seq), so a
+        // re-map of an in-flight image is a front-door protocol breach.
+        DE_REQUIRE(false, "epoch re-mapped a dispatched image — the front "
+                          "door swapped behind its own dispatch");
+        continue;
+      case ImageOutcome::kDone:
+        break;
+    }
+    window_compute_ms += compute_ms;
+    ++window_images;
+    ++seq;
+
+    if (telemetry.every_images > 0 &&
+        window_images >= telemetry.every_images) {
+      const auto now = std::chrono::steady_clock::now();
+      rpc::TelemetryMsg report;
+      report.from_node = i;
+      report.window_s =
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              now - window_start)
+              .count();
+      report.compute_ms = window_compute_ms / window_images;
+      report.images = window_images;
+      if (telemetry.links != nullptr) {
+        report.links = telemetry.links->sample_link_rates();
+      }
+      report.steady_now_us = obs::now_us() - telemetry.clock_origin_us;
+      obs::trace_instant(obs::Cat::kTelemetryPub, seq, -1, -1, window_images);
+      rpc::Frame frame(rpc::encode_telemetry(report));
+      stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                                 std::memory_order_relaxed);
+      // The requester node id is plan-invariant (device count is fixed for
+      // the life of the fleet), so any lane's current plan works here.
+      transport.send(
+          rpc::Address{ep.plan.requester_node(), rpc::kTelemetryMailbox},
+          std::move(frame));
+      window_start = now;
+      window_compute_ms = 0;
+      window_images = 0;
+    }
+  }
+}
+
 int push_epoch(RequesterContext& ctx, const cnn::CnnModel& model,
                const sim::RawStrategy& strategy, int from_seq) {
   EpochPlan next;
@@ -751,8 +1018,67 @@ int push_epoch(RequesterContext& ctx, const cnn::CnnModel& model,
   return epoch;
 }
 
+int push_stream_epoch(RequesterContext& ctx, int stream, int model_id,
+                      const cnn::CnnModel& model,
+                      const sim::RawStrategy& strategy, int from_seq) {
+  DE_REQUIRE(ctx.multi, "push_stream_epoch on a single-tenant context");
+  DE_REQUIRE(model_id >= 0, "tenant model ids are non-negative");
+  EpochPlan next;
+  next.epoch = ctx.next_epoch++;  // global allocation: lanes never share ids
+  next.from_seq = from_seq;
+  next.strategy = strategy;
+  next.plan = build_transfer_plan(model, strategy, ctx.n_devices);
+  rpc::ReconfigureMsg msg = reconfigure_from_epoch(next);
+  msg.stream = stream;
+  msg.model_id = model_id;
+  const int epoch = next.epoch;
+  obs::trace_instant(obs::Cat::kEpochPush, from_seq, -1, epoch);
+  if (auto it = ctx.lanes.find(stream); it != ctx.lanes.end()) {
+    it->second.add(std::move(next));
+  } else {
+    ctx.lanes.emplace(stream, EpochTable(std::move(next)));
+  }
+  // Announce to every provider — the idle ones too — before any traffic of
+  // the new regime, exactly like the single-tenant push_epoch.
+  for (int k = 0; k < ctx.n_devices; ++k) {
+    post_reconfigure(ctx.transport, data_addr(k), msg, ctx.stats, ctx.rtx);
+  }
+  return epoch;
+}
+
+void dispatch_image(RequesterContext& ctx, int stream, int seq) {
+  DE_REQUIRE(ctx.multi, "dispatch_image on a single-tenant context");
+  const auto lane = ctx.lanes.find(stream);
+  DE_REQUIRE(lane != ctx.lanes.end(),
+             "dispatch for a stream with no epoch lane");
+  const EpochPlan& ep = lane->second.at(seq);
+  DE_REQUIRE(ctx.owner.emplace(seq, stream).second,
+             "global seq already dispatched");
+  const rpc::DispatchMsg msg{rpc::kNilNode, 0, stream, seq, ep.epoch};
+  for (int k = 0; k < ctx.n_devices; ++k) {
+    post_dispatch(ctx.transport, data_addr(k), msg, ctx.stats, ctx.rtx);
+  }
+}
+
+void retire_below(RequesterContext& ctx, int watermark) {
+  if (!ctx.multi) {
+    ctx.epochs.retire(watermark);
+    return;
+  }
+  for (auto& [stream, lane] : ctx.lanes) lane.retire(watermark);
+  ctx.owner.erase(ctx.owner.begin(), ctx.owner.lower_bound(watermark));
+}
+
 void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
-  const EpochPlan& ep = ctx.epochs.at(seq);
+  int stream = 0;
+  const EpochPlan* resolved;
+  if (ctx.multi) {
+    stream = ctx.owner.at(seq);  // dispatch_image must have bound it
+    resolved = &ctx.lanes.at(stream).at(seq);
+  } else {
+    resolved = &ctx.epochs.at(seq);
+  }
+  const EpochPlan& ep = *resolved;
   obs::SpanScope span(obs::Cat::kScatter, seq, 0, ep.epoch);
   for (int i = 0; i < ep.plan.n_devices; ++i) {
     const auto& need = ep.plan.needs[0][static_cast<std::size_t>(i)];
@@ -760,9 +1086,9 @@ void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
     if (ctx.mode == DataPlaneMode::kOverlapZeroCopy) {
       // The scatter rows encode straight out of the caller's input tensor;
       // no sliced temporary, and the frame buffer is recycled per image.
-      post_rows(ctx.transport, data_addr(i), rpc::MsgType::kScatter, seq, 0,
-                ep.epoch, input, 0, need, ctx.arena, ctx.stats, ctx.rtx,
-                /*sender=*/nullptr);
+      post_rows(ctx.transport, data_addr(i), rpc::MsgType::kScatter, stream,
+                seq, 0, ep.epoch, input, 0, need, ctx.arena, ctx.stats,
+                ctx.rtx, /*sender=*/nullptr);
       continue;
     }
     ctx.stats.bytes_copied.fetch_add(  // the sliced temporary
@@ -770,7 +1096,7 @@ void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
         std::memory_order_relaxed);
     post_chunk(ctx.transport, data_addr(i),
                rpc::ChunkMsg{rpc::MsgType::kScatter, seq, 0, need.begin,
-                             rpc::kNilNode, 0, ep.epoch,
+                             rpc::kNilNode, 0, ep.epoch, stream,
                              slice_rows(input, 0, need.begin, need.end)},
                ctx.stats, ctx.rtx);
   }
@@ -783,10 +1109,20 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
 
   const cnn::RowInterval bounds{0, output.h};
   // The requester knows every epoch (it creates them), so a gather chunk's
-  // tag must match the epoch serving its image exactly.
+  // tag must match the epoch serving its image exactly — and, in
+  // multi-tenant mode, its stream tag must match the image's dispatched
+  // owner (owner records exist exactly for the dispatched-not-yet-retired
+  // window, so their lanes always cover the seq).
   const auto epoch_ok = [&ctx](const rpc::ChunkView& v) {
-    return v.epoch <= ctx.epochs.latest() &&
-           ctx.epochs.at(v.seq).epoch == v.epoch;
+    if (!ctx.multi) {
+      return v.epoch <= ctx.epochs.latest() &&
+             ctx.epochs.at(v.seq).epoch == v.epoch;
+    }
+    const auto o = ctx.owner.find(v.seq);
+    if (o == ctx.owner.end() || o->second != v.stream) return false;
+    const auto l = ctx.lanes.find(v.stream);
+    return l != ctx.lanes.end() && v.epoch <= l->second.latest() &&
+           l->second.at(v.seq).epoch == v.epoch;
   };
   // Row-coverage accounting: the holders' parts partition the output and
   // each part arrives as one or more disjoint bands, so the gather is done
@@ -805,7 +1141,9 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
     ctx.stash.erase(it);
   }
   RxState rx{ctx.transport, ctx.reliability, ctx.stats, ctx.dedup};
-  const EpochPlan& ep = ctx.epochs.at(seq);
+  const EpochPlan& ep = ctx.multi
+                            ? ctx.lanes.at(ctx.owner.at(seq)).at(seq)
+                            : ctx.epochs.at(seq);
   obs::SpanScope span(obs::Cat::kGather, seq, -1, ep.epoch);
   int timeout_rounds = 0;
   while (remaining_rows > 0) {
@@ -815,6 +1153,7 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
         return false;
       case RxKind::kSkip:
       case RxKind::kReconfig:  // unreachable: requester sends these
+      case RxKind::kDispatch:  // unreachable: dispatch ptr not passed
         continue;
       case RxKind::kTimeout:
         ctx.stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);

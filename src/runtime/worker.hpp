@@ -34,6 +34,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <vector>
 
 #include "cnn/exec_engine.hpp"
@@ -123,16 +124,46 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
                    DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
                    const TelemetryHooks& telemetry = {});
 
+/// One model a multi-tenant provider can serve (not owned; must outlive the
+/// provider threads). A reconfigure's `model_id` indexes this registry.
+struct TenantModel {
+  const cnn::CnnModel* model = nullptr;
+  const std::vector<cnn::ConvWeights>* weights = nullptr;
+};
+
+/// Multi-tenant provider event loop (DESIGN.md §serving-front-door): serves
+/// any number of concurrent client streams, each with its own epoch lane.
+/// The loop starts with no lanes at all — a kReconfigure tagged with a
+/// (stream, model_id) pair creates the lane against `fleet[model_id]` — and
+/// processes images in *global* fleet sequence order: a kDispatch frame
+/// announces which stream owns each global seq (sent by the front door
+/// before that image's scatter), the provider resolves the owner's lane and
+/// runs the image under it, and chunks of later seqs stash exactly like the
+/// single-tenant loop. Always streaming: runs until kShutdown or transport
+/// close. Weight packing is cached per tenant model, so interleaved streams
+/// of different models pay the packing cost once each, not per image.
+void provider_loop_multi(rpc::Transport& transport, int i,
+                         std::span<const TenantModel> fleet,
+                         DataPlaneStats& stats,
+                         const ReliabilityOptions& reliability = {},
+                         const cnn::ExecContext& exec = {},
+                         DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
+                         const TelemetryHooks& telemetry = {});
+
 /// Per-image reliability events observed by the requester while gathering.
 struct ImageRetryStats {
   /// Bounded data waits that expired; each expiry also broadcast one nack
   /// round to the providers.
-  int recv_timeouts = 0;
+  std::int64_t recv_timeouts = 0;
 };
 
 /// Requester-side state reused across the images of one run or stream. The
 /// plan passed at construction seeds epoch 0; push_epoch() appends later
-/// regimes (and announces them to every provider).
+/// regimes (and announces them to every provider). The multi-tenant
+/// constructor instead starts with no epoch lanes at all — the front door
+/// opens one per admitted stream with push_stream_epoch(), and every global
+/// fleet seq is bound to its owning stream by dispatch_image() before that
+/// image's scatter.
 struct RequesterContext {
   RequesterContext(rpc::Transport& transport_, const TransferPlan& plan_,
                    DataPlaneStats& stats_, ReliabilityOptions reliability_ = {},
@@ -140,13 +171,27 @@ struct RequesterContext {
       : transport(transport_),
         epochs(EpochPlan{0, 0, {}, plan_}),
         stats(stats_),
-        reliability(reliability_), mode(mode_) {}
+        reliability(reliability_), mode(mode_),
+        n_devices(plan_.n_devices) {}
+
+  /// Multi-tenant front-door context over `n_devices_` shared providers.
+  /// The legacy single-lane `epochs` table is unused in this mode.
+  RequesterContext(rpc::Transport& transport_, int n_devices_,
+                   DataPlaneStats& stats_, ReliabilityOptions reliability_ = {},
+                   DataPlaneMode mode_ = DataPlaneMode::kOverlapZeroCopy)
+      : transport(transport_),
+        epochs(EpochPlan{}),
+        stats(stats_),
+        reliability(reliability_), mode(mode_),
+        multi(true), n_devices(n_devices_) {}
 
   rpc::Transport& transport;
   EpochTable epochs;
   DataPlaneStats& stats;
   ReliabilityOptions reliability;
   DataPlaneMode mode;
+  bool multi = false;    ///< multi-tenant mode: lanes/owner, not `epochs`
+  int n_devices = 0;
   Retransmitter* rtx = nullptr;  ///< set by the run owner when reliable
   ChunkDedup dedup;
   /// Scatter frames are encoded straight from the input tensor into these
@@ -154,6 +199,15 @@ struct RequesterContext {
   rpc::FrameArena arena;
   /// Gather chunks of images not yet collected, keyed by seq.
   std::map<int, std::vector<RxChunk>> stash;
+  /// Multi-tenant mode: one epoch lane per admitted stream, and the global
+  /// seq -> owning stream binding established by dispatch_image().
+  std::map<int, EpochTable> lanes;
+  std::map<int, int> owner;
+  /// Epoch ids are allocated globally across lanes, so each lane's history
+  /// stays id-monotone and two lanes never share an id. Starts at 1: epoch
+  /// 0 is the legacy implicit seed and the wire codec rejects it in a
+  /// kReconfigure announcement.
+  int next_epoch = 1;
 };
 
 /// Live strategy swap: registers `strategy` as the next epoch, effective
@@ -164,6 +218,28 @@ struct RequesterContext {
 /// the cutover race-free. Returns the new epoch id.
 int push_epoch(RequesterContext& ctx, const cnn::CnnModel& model,
                const sim::RawStrategy& strategy, int from_seq);
+
+/// Multi-tenant half of push_epoch: registers `strategy` as stream
+/// `stream`'s next epoch (creating the stream's lane on first call) and
+/// announces it to every provider tagged with (stream, model_id), so
+/// providers bind the lane to `fleet[model_id]`. `from_seq` is the *global*
+/// fleet seq the epoch takes effect at — it must not have been dispatched
+/// yet. Swapping one stream never touches any other stream's lane. Returns
+/// the new (globally allocated) epoch id.
+int push_stream_epoch(RequesterContext& ctx, int stream, int model_id,
+                      const cnn::CnnModel& model,
+                      const sim::RawStrategy& strategy, int from_seq);
+
+/// Multi-tenant: binds global fleet seq `seq` to `stream` and broadcasts
+/// the kDispatch announcement to every provider. Must precede the image's
+/// scatter_image call (per-sender FIFO, or tracked retransmission under
+/// faults, then guarantees providers learn the owner before they need it).
+void dispatch_image(RequesterContext& ctx, int stream, int seq);
+
+/// Drops history no ungathered image references: the epoch table (each
+/// lane's, in multi mode) and the seq->stream dispatch records below
+/// `watermark`.
+void retire_below(RequesterContext& ctx, int watermark);
 
 /// Requester half: scatters image `seq`'s volume-0 inputs to the providers
 /// under the epoch serving `seq`.

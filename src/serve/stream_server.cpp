@@ -1,0 +1,317 @@
+#include "serve/stream_server.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/require.hpp"
+#include "obs/trace.hpp"
+
+namespace de::serve {
+
+StreamServer::StreamServer(rpc::Transport& door, int n_devices,
+                           std::span<const TenantSpec> fleet,
+                           runtime::DataPlaneStats& stats,
+                           StreamServerOptions options)
+    : door_(door),
+      n_devices_(n_devices),
+      fleet_(fleet.begin(), fleet.end()),
+      stats_(stats),
+      options_(options) {
+  DE_REQUIRE(n_devices_ > 0, "a serving fleet needs at least one provider");
+  DE_REQUIRE(!fleet_.empty(), "a serving fleet needs at least one tenant");
+  DE_REQUIRE(options_.max_streams > 0 && options_.default_window > 0,
+             "stream cap and default window must be positive");
+  pump_thread_ = std::thread([this] { pump(); });
+}
+
+StreamServer::~StreamServer() { close(); }
+
+bool StreamServer::down() const {
+  std::lock_guard lk(mu_);
+  return down_;
+}
+
+int StreamServer::open_stream(int model_id, int window) {
+  std::lock_guard lk(mu_);
+  if (closing_ || down_) return -1;
+  if (model_id < 0 || model_id >= static_cast<int>(fleet_.size())) return -1;
+  if (window < 0) return -1;
+  int open = 0;
+  for (const auto& [id, s] : streams_) open += s.closed ? 0 : 1;
+  if (open >= options_.max_streams) return -1;
+  const int id = next_stream_++;
+  Stream s;
+  s.model_id = model_id;
+  s.window = window == 0 ? options_.default_window : window;
+  s.credits = s.window;
+  streams_.emplace(id, std::move(s));
+  return id;
+}
+
+void StreamServer::attach_controller(int stream, ctrl::Controller* controller) {
+  std::lock_guard lk(mu_);
+  streams_.at(stream).controller = controller;
+}
+
+bool StreamServer::submit(int stream, cnn::Tensor input) {
+  std::unique_lock lk(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return false;
+  Stream& s = it->second;
+  // The window counts images anywhere between submit and pop. Dispatched-
+  // but-unpopped images hold (window - credits), so the queue may only grow
+  // while it still fits in the remaining credits.
+  cv_client_.wait(lk, [&] {
+    return down_ || s.closed || static_cast<int>(s.inputs.size()) < s.credits;
+  });
+  if (down_ || s.closed) return false;
+  s.inputs.emplace_back(std::move(input), Clock::now());
+  ++s.submitted;
+  cv_pump_.notify_one();
+  return true;
+}
+
+std::optional<cnn::Tensor> StreamServer::pop(int stream) {
+  std::unique_lock lk(mu_);
+  Stream& s = streams_.at(stream);
+  cv_client_.wait(lk, [&] {
+    return !s.outputs.empty() || down_ ||
+           (s.closed && s.inputs.empty() && s.credits == s.window);
+  });
+  if (s.outputs.empty()) return std::nullopt;  // drained or down
+  cnn::Tensor out = std::move(s.outputs.front());
+  s.outputs.pop_front();
+  ++s.credits;
+  ++s.delivered;
+  // The returned credit may unblock both a submit() waiter on this stream
+  // and the pump (which skips credit-starved streams).
+  cv_client_.notify_all();
+  cv_pump_.notify_one();
+  return out;
+}
+
+void StreamServer::swap_strategy(int stream, const sim::RawStrategy& strategy) {
+  std::lock_guard lk(mu_);
+  streams_.at(stream).pending_swap = strategy;
+}
+
+void StreamServer::close_stream(int stream) {
+  std::lock_guard lk(mu_);
+  auto it = streams_.find(stream);
+  if (it == streams_.end()) return;
+  it->second.closed = true;
+  cv_client_.notify_all();
+  cv_pump_.notify_one();
+}
+
+void StreamServer::close() {
+  {
+    std::lock_guard lk(mu_);
+    closing_ = true;
+    for (auto& [id, s] : streams_) s.closed = true;
+    cv_client_.notify_all();
+    cv_pump_.notify_one();
+  }
+  if (pump_thread_.joinable()) pump_thread_.join();
+}
+
+StreamSnapshot StreamServer::snapshot(int stream) const {
+  std::lock_guard lk(mu_);
+  const Stream& s = streams_.at(stream);
+  StreamSnapshot snap;
+  snap.model_id = s.model_id;
+  snap.window = s.window;
+  snap.epochs_pushed = s.epochs_pushed;
+  snap.submitted = s.submitted;
+  snap.delivered = s.delivered;
+  snap.latency_ms = s.latency_ms;
+  return snap;
+}
+
+void StreamServer::prepare_lane(runtime::RequesterContext& ctx, int id,
+                                int from_seq) {
+  int model_id = 0;
+  bool lane_open = false;
+  std::optional<sim::RawStrategy> swap;
+  ctrl::Controller* controller = nullptr;
+  {
+    std::lock_guard lk(mu_);
+    Stream& s = streams_.at(id);
+    model_id = s.model_id;
+    lane_open = s.lane_open;
+    swap = std::move(s.pending_swap);
+    s.pending_swap.reset();
+    controller = s.controller;
+  }
+  // An attached per-tenant controller's decision wins over an older
+  // explicit swap_strategy() registration — it planned against fresher
+  // telemetry.
+  if (controller != nullptr) {
+    if (auto decision = controller->take_swap()) {
+      swap = std::move(decision->strategy);
+    }
+  }
+  const TenantSpec& tenant = fleet_[static_cast<std::size_t>(model_id)];
+  if (!lane_open) {
+    const sim::RawStrategy& strategy = swap ? *swap : tenant.strategy;
+    runtime::push_stream_epoch(ctx, id, model_id, *tenant.model, strategy,
+                               from_seq);
+    std::lock_guard lk(mu_);
+    Stream& s = streams_.at(id);
+    s.lane_open = true;
+    ++s.epochs_pushed;
+  } else if (swap) {
+    runtime::push_stream_epoch(ctx, id, model_id, *tenant.model, *swap,
+                               from_seq);
+    std::lock_guard lk(mu_);
+    ++streams_.at(id).epochs_pushed;
+  }
+}
+
+void StreamServer::pump() {
+  obs::bind_thread("serve-door", n_devices_);
+  runtime::RequesterContext ctx(door_, n_devices_, stats_,
+                                options_.reliability, options_.mode);
+  std::unique_ptr<runtime::Retransmitter> rtx;
+  if (options_.reliability.enabled) {
+    rtx = std::make_unique<runtime::Retransmitter>(door_, options_.reliability,
+                                                   stats_);
+    ctx.rtx = rtx.get();
+  }
+
+  struct Job {
+    int stream = 0;
+    int model_id = 0;
+    cnn::Tensor input;
+    Clock::time_point t0;
+  };
+  struct InFlight {
+    int stream = 0;
+    int model_id = 0;
+    int seq = 0;
+    Clock::time_point t0;
+  };
+  std::deque<InFlight> inflight;
+  int next_seq = 0;
+  bool failed = false;
+
+  try {
+    for (;;) {
+      // 1. Fan fleet telemetry to the attached per-tenant controllers.
+      //    Every controller sees every frame (a provider's compute/link
+      //    report concerns all tenants sharing it); each controller's own
+      //    planner decides whether its tenant should move.
+      while (auto frame = door_.try_receive(rpc::kTelemetryMailbox)) {
+        try {
+          const rpc::TelemetryMsg msg = rpc::decode_telemetry(*frame);
+          std::vector<ctrl::Controller*> sinks;
+          {
+            std::lock_guard lk(mu_);
+            for (auto& [id, s] : streams_) {
+              if (s.controller != nullptr) sinks.push_back(s.controller);
+            }
+          }
+          for (auto* sink : sinks) sink->ingest(msg);
+        } catch (const Error&) {
+          // Malformed telemetry: drop, like the in-thread controller does.
+        }
+      }
+
+      // 2. Cross-stream batch: round-robin over streams with both queued
+      //    input and window credits, so no stream monopolises the fleet and
+      //    a credit-starved (slow-consumer) stream is skipped without
+      //    stalling the others. Credits are consumed here, at dispatch.
+      std::vector<Job> batch;
+      {
+        std::lock_guard lk(mu_);
+        bool progress = true;
+        while (progress) {
+          progress = false;
+          for (auto& [id, s] : streams_) {
+            if (s.credits <= 0 || s.inputs.empty()) continue;
+            batch.push_back(Job{id, s.model_id,
+                                std::move(s.inputs.front().first),
+                                s.inputs.front().second});
+            s.inputs.pop_front();
+            --s.credits;
+            progress = true;
+          }
+        }
+      }
+      if (!batch.empty()) cv_client_.notify_all();  // queue room freed
+      for (auto& job : batch) {
+        prepare_lane(ctx, job.stream, next_seq);
+        runtime::dispatch_image(ctx, job.stream, next_seq);
+        runtime::scatter_image(ctx, next_seq, job.input);
+        inflight.push_back(InFlight{job.stream, job.model_id, next_seq,
+                                    job.t0});
+        ++next_seq;
+      }
+
+      // 3. Gather the oldest in-flight image (global seq order; later
+      //    images' chunks park in the context stash meanwhile).
+      if (!inflight.empty()) {
+        InFlight job = std::move(inflight.front());
+        inflight.pop_front();
+        const TenantSpec& tenant =
+            fleet_[static_cast<std::size_t>(job.model_id)];
+        cnn::Tensor out;
+        if (!runtime::gather_image(ctx, job.seq, *tenant.model, out)) {
+          failed = true;
+          break;
+        }
+        runtime::retire_below(ctx, job.seq + 1);
+        const double latency_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - job.t0)
+                .count();
+        {
+          std::lock_guard lk(mu_);
+          Stream& s = streams_.at(job.stream);
+          s.outputs.push_back(std::move(out));
+          s.latency_ms.push_back(latency_ms);
+        }
+        cv_client_.notify_all();
+        continue;
+      }
+
+      // 4. Idle: wait for a dispatchable submission or shutdown. Streams
+      //    whose consumers stopped popping hold queued inputs but no
+      //    credits; they are not dispatchable and cannot hold the pump (or
+      //    the other streams) hostage.
+      std::unique_lock lk(mu_);
+      const auto dispatchable = [&] {
+        for (const auto& [id, s] : streams_) {
+          if (!s.inputs.empty() && s.credits > 0) return true;
+        }
+        return false;
+      };
+      if (closing_ && !dispatchable()) break;
+      cv_pump_.wait(lk, [&] { return closing_ || dispatchable(); });
+      if (closing_ && !dispatchable()) break;
+    }
+  } catch (...) {
+    failed = true;
+  }
+
+  // End of serving: release the (always-streaming) providers, then stop the
+  // retransmitter while the transport is still up.
+  try {
+    for (int i = 0; i < n_devices_; ++i) {
+      door_.send(runtime::data_addr(i), rpc::encode_shutdown());
+    }
+  } catch (...) {
+    // Transport already down — the providers were torn down with it.
+  }
+  if (rtx) rtx->stop();
+  stats_.frame_allocs.fetch_add(ctx.arena.stats().allocated,
+                                std::memory_order_relaxed);
+  {
+    std::lock_guard lk(mu_);
+    if (failed) down_ = true;
+    closing_ = true;
+    for (auto& [id, s] : streams_) s.closed = true;
+  }
+  cv_client_.notify_all();
+}
+
+}  // namespace de::serve

@@ -1,0 +1,162 @@
+// Multi-tenant serving front door (DESIGN.md §serving-front-door): one
+// process-wide pump thread multiplexes any number of concurrent client
+// streams onto a single shared provider fleet.
+//
+//   clients ──> per-stream input queues ──> pump ──> dispatch + scatter
+//     ^   (admission, window credits)        │        (global fleet seq,
+//     │                                      v         cross-stream batch)
+//   per-stream output queues  <── gather (global-seq order)
+//
+// Each admitted stream gets its own epoch lane (runtime::push_stream_epoch)
+// and an in-flight window of `window` images: a stream may have at most
+// `window` images anywhere between submit() and pop(). Credits are consumed
+// at dispatch and returned at pop, so a consumer that stops popping stalls
+// only its own stream — the pump simply skips streams without credits and
+// keeps batching the others onto the fleet (no cross-stream head-of-line
+// blocking). Per-stream strategy swaps (explicit or from an attached
+// per-tenant controller) take effect at the stream's next dispatched image
+// and never touch any other stream's lane.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "ctrl/controller.hpp"
+#include "runtime/worker.hpp"
+
+namespace de::serve {
+
+/// One tenant model the fleet serves. `strategy` seeds every new stream of
+/// this model; per-stream swaps replace it per lane, never here. The model
+/// and weights are not owned and must outlive the server.
+struct TenantSpec {
+  const cnn::CnnModel* model = nullptr;
+  const std::vector<cnn::ConvWeights>* weights = nullptr;
+  sim::RawStrategy strategy;
+};
+
+struct StreamServerOptions {
+  int max_streams = 16;    ///< admission cap on concurrently open streams
+  int default_window = 4;  ///< per-stream in-flight window when hello says 0
+  runtime::ReliabilityOptions reliability;
+  runtime::DataPlaneMode mode = runtime::DataPlaneMode::kOverlapZeroCopy;
+};
+
+/// Point-in-time view of one stream's serving accounting.
+struct StreamSnapshot {
+  int model_id = 0;
+  int window = 0;
+  int epochs_pushed = 0;  ///< lane epochs announced (1 = never swapped)
+  std::int64_t submitted = 0;
+  std::int64_t delivered = 0;  ///< outputs handed to pop()
+  std::vector<double> latency_ms;  ///< submit -> gather-complete, per image
+};
+
+class StreamServer {
+ public:
+  /// `door` must be the fleet's requester endpoint (node n_devices) with
+  /// the data/ctrl/telemetry/serve mailboxes open and the provider threads
+  /// already running provider_loop_multi over the same `fleet` registry.
+  StreamServer(rpc::Transport& door, int n_devices,
+               std::span<const TenantSpec> fleet,
+               runtime::DataPlaneStats& stats,
+               StreamServerOptions options = {});
+  ~StreamServer();
+
+  StreamServer(const StreamServer&) = delete;
+  StreamServer& operator=(const StreamServer&) = delete;
+
+  /// Admission control: opens a stream of tenant `model_id` with in-flight
+  /// window `window` (0 = options.default_window). Returns the stream id,
+  /// or -1 when the stream cap is reached, the model id is unknown, or the
+  /// request is malformed (negative window).
+  int open_stream(int model_id, int window = 0);
+
+  /// Queues one input image; blocks while the stream's window is full
+  /// (window = images anywhere between submit and pop). False when the
+  /// stream is closed or the server went down.
+  bool submit(int stream, cnn::Tensor input);
+
+  /// Pops the stream's next output in submission order, blocking until one
+  /// is ready. Returns the window credit. nullopt once the stream is
+  /// closed *and* fully drained (or the server went down).
+  std::optional<cnn::Tensor> pop(int stream);
+
+  /// Registers `strategy` as the stream's next epoch, effective at its
+  /// next dispatched image. Other streams' lanes are untouched.
+  void swap_strategy(int stream, const sim::RawStrategy& strategy);
+
+  /// Fans every fleet telemetry frame into `controller` (which must be in
+  /// start_external mode; not owned, must outlive the server) and applies
+  /// its take_swap() decisions to this stream only — the PR-5 adaptive
+  /// loop, per tenant.
+  void attach_controller(int stream, ctrl::Controller* controller);
+
+  /// No more submissions on `stream`; in-flight images still drain to
+  /// pop().
+  void close_stream(int stream);
+
+  /// Ends serving: drains in-flight images, discards queued-but-
+  /// undispatched inputs, releases the providers with kShutdown and joins
+  /// the pump. Idempotent; also run by the destructor. Callers that want
+  /// every output must pop them before closing.
+  void close();
+
+  StreamSnapshot snapshot(int stream) const;
+  int n_devices() const { return n_devices_; }
+  const TenantSpec& tenant(int model_id) const {
+    return fleet_[static_cast<std::size_t>(model_id)];
+  }
+  int fleet_size() const { return static_cast<int>(fleet_.size()); }
+  bool down() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Stream {
+    int model_id = 0;
+    int window = 0;
+    int credits = 0;  ///< window minus images dispatched-but-not-popped
+    bool closed = false;
+    bool lane_open = false;
+    int epochs_pushed = 0;
+    std::optional<sim::RawStrategy> pending_swap;
+    ctrl::Controller* controller = nullptr;
+    std::deque<std::pair<cnn::Tensor, Clock::time_point>> inputs;
+    std::deque<cnn::Tensor> outputs;
+    std::int64_t submitted = 0;
+    std::int64_t delivered = 0;
+    std::vector<double> latency_ms;
+  };
+
+  void pump();
+  /// Opens/refreshes stream `id`'s lane so the image about to be
+  /// dispatched at `from_seq` runs under the right epoch.
+  void prepare_lane(runtime::RequesterContext& ctx, int id, int from_seq);
+
+  rpc::Transport& door_;
+  const int n_devices_;
+  std::vector<TenantSpec> fleet_;
+  runtime::DataPlaneStats& stats_;
+  const StreamServerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_client_;  ///< wakes submit/pop waiters
+  std::condition_variable cv_pump_;    ///< wakes the pump for new work
+  std::map<int, Stream> streams_;
+  int next_stream_ = 0;
+  bool closing_ = false;
+  bool down_ = false;  ///< pump failed (transport loss / starved gather)
+
+  std::thread pump_thread_;
+};
+
+}  // namespace de::serve

@@ -1,0 +1,238 @@
+#include "serve/tcp_serve.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+#include "obs/trace.hpp"
+#include "rpc/wire.hpp"
+
+namespace de::serve {
+
+TcpServeDoor::TcpServeDoor(rpc::TcpTransport& door, StreamServer& server)
+    : door_(door), server_(server) {
+  service_ = std::thread([this] { service_loop(); });
+}
+
+TcpServeDoor::~TcpServeDoor() { stop(); }
+
+void TcpServeDoor::stop() {
+  std::vector<std::thread> replies;
+  std::map<int, rpc::NodeId> streams;
+  {
+    std::lock_guard lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    replies.swap(replies_);
+    streams = stream_nodes_;
+  }
+  // Close every stream so the reply threads drain their remaining outputs
+  // and exit, then close the server (which needs the transport alive to
+  // release the providers), and only then shut the transport down to wake
+  // the service thread.
+  for (const auto& [stream, node] : streams) server_.close_stream(stream);
+  for (auto& t : replies) t.join();
+  server_.close();
+  door_.shutdown();
+  if (service_.joinable()) service_.join();
+}
+
+void TcpServeDoor::service_loop() {
+  obs::bind_thread("serve-tcp-door", door_.local_node());
+  for (;;) {
+    auto frame = door_.receive(rpc::kServeMailbox);
+    if (!frame) return;  // transport shut down
+    try {
+      switch (rpc::peek_type(*frame)) {
+        case rpc::MsgType::kStreamHello: {
+          const rpc::StreamHelloMsg hello = rpc::decode_stream_hello(*frame);
+          rpc::NodeId client = rpc::kNilNode;
+          {
+            std::lock_guard lk(mu_);
+            if (stopped_) break;
+            client = next_client_++;
+          }
+          // Dial-back link for the answer and all future outputs. The
+          // client dialed us, so it is loopback-reachable the same way.
+          door_.set_peers({{client,
+                            rpc::PeerEndpoint{
+                                "127.0.0.1",
+                                static_cast<std::uint16_t>(hello.listen_port)}}});
+          const rpc::Address reply{client, rpc::kServeMailbox};
+          if (hello.model_id < 0 || hello.model_id >= server_.fleet_size()) {
+            door_.send(reply, rpc::encode_stream_reject(
+                                  {rpc::StreamRejectMsg::kUnknownModel}));
+            break;
+          }
+          if (hello.window < 0 || hello.listen_port == 0 ||
+              hello.listen_port > 0xFFFF) {
+            door_.send(reply, rpc::encode_stream_reject(
+                                  {rpc::StreamRejectMsg::kBadRequest}));
+            break;
+          }
+          const int stream =
+              server_.open_stream(hello.model_id, hello.window);
+          if (stream < 0) {
+            door_.send(reply, rpc::encode_stream_reject(
+                                  {rpc::StreamRejectMsg::kBusy}));
+            break;
+          }
+          door_.send(reply,
+                     rpc::encode_stream_accept(
+                         {stream, server_.snapshot(stream).window}));
+          std::lock_guard lk(mu_);
+          stream_nodes_[stream] = client;
+          replies_.emplace_back(
+              [this, stream, client] { reply_loop(stream, client); });
+          break;
+        }
+        case rpc::MsgType::kScatter: {
+          // A stream-tagged input image. Decoding copies the rows out of
+          // the frame into an owning tensor; submit() blocks while the
+          // stream's window is full, which is exactly the client honoring
+          // its window — a client that overruns it anyway stalls only this
+          // service thread, never the pump.
+          rpc::ChunkMsg msg = rpc::decode_chunk(*frame);
+          server_.submit(msg.stream, std::move(msg.rows));
+          break;
+        }
+        case rpc::MsgType::kStreamClose: {
+          const rpc::StreamCloseMsg close = rpc::decode_stream_close(*frame);
+          server_.close_stream(close.stream);
+          break;
+        }
+        default:
+          break;  // stray frame on the serve mailbox: drop
+      }
+    } catch (const Error&) {
+      // Malformed client frame: drop it, keep serving everyone else.
+    }
+  }
+}
+
+void TcpServeDoor::reply_loop(int stream, rpc::NodeId client) {
+  obs::bind_thread("serve-reply-" + std::to_string(stream),
+                   door_.local_node());
+  const rpc::Address to{client, rpc::kServeMailbox};
+  std::int32_t out_seq = 0;
+  try {
+    while (auto out = server_.pop(stream)) {
+      rpc::ChunkMsg msg;
+      msg.type = rpc::MsgType::kGather;
+      msg.seq = out_seq++;
+      msg.stream = stream;
+      msg.rows = std::move(*out);
+      door_.send(to, rpc::encode_chunk(msg));
+    }
+    // Drained (or the server went down): tell the client it is over.
+    door_.send(to, rpc::encode_stream_close({stream}));
+  } catch (const Error&) {
+    // The dial-back link died — nobody left to notify.
+  }
+}
+
+TcpStreamClient::TcpStreamClient(const std::string& host,
+                                 std::uint16_t door_port, int model_id,
+                                 Options options)
+    : transport_(options.node_id, /*port=*/0) {
+  transport_.open_mailbox(rpc::kServeMailbox);
+  // Node 0 in *our* peer directory is the door; the ids in a frame's
+  // payload are what identify streams, not transport node ids.
+  transport_.set_peers({{0, rpc::PeerEndpoint{host, door_port}}});
+  door_addr_ = rpc::Address{0, rpc::kServeMailbox};
+  try {
+    transport_.send(door_addr_,
+                    rpc::encode_stream_hello(
+                        {transport_.port(), model_id, options.window}));
+    const auto answer = transport_.receive(rpc::kServeMailbox);
+    if (!answer) return;  // link died before the door answered
+    switch (rpc::peek_type(*answer)) {
+      case rpc::MsgType::kStreamAccept: {
+        const rpc::StreamAcceptMsg accept = rpc::decode_stream_accept(*answer);
+        stream_ = accept.stream;
+        window_ = accept.window;
+        break;
+      }
+      case rpc::MsgType::kStreamReject: {
+        const rpc::StreamRejectMsg reject = rpc::decode_stream_reject(*answer);
+        reject_ = static_cast<rpc::StreamRejectMsg::Reason>(reject.reason);
+        break;
+      }
+      default:
+        break;  // protocol violation: treat as rejected
+    }
+  } catch (const Error&) {
+    stream_ = -1;  // door unreachable
+  }
+}
+
+TcpStreamClient::~TcpStreamClient() {
+  close();
+  transport_.shutdown();
+}
+
+bool TcpStreamClient::pump_reply() {
+  auto frame = transport_.receive(rpc::kServeMailbox);
+  if (!frame) return false;  // transport shut down
+  try {
+    switch (rpc::peek_type(*frame)) {
+      case rpc::MsgType::kGather: {
+        rpc::ChunkMsg msg = rpc::decode_chunk(*frame);
+        ready_.push_back(std::move(msg.rows));
+        ++arrived_;
+        return true;
+      }
+      case rpc::MsgType::kStreamClose:
+        peer_closed_ = true;
+        return false;
+      default:
+        return true;  // stray frame: skip
+    }
+  } catch (const Error&) {
+    return true;  // malformed frame: skip
+  }
+}
+
+bool TcpStreamClient::submit(const cnn::Tensor& input) {
+  if (!ok() || closed_ || peer_closed_) return false;
+  // Self-clock against the granted window: while `window_` submissions are
+  // outstanding (not yet arrived back), wait for outputs — they are the
+  // window credits coming home.
+  while (sent_ - arrived_ >= window_) {
+    if (!pump_reply()) return false;
+  }
+  rpc::ChunkMsg msg;
+  msg.type = rpc::MsgType::kScatter;
+  msg.seq = static_cast<std::int32_t>(sent_);
+  msg.stream = stream_;
+  msg.rows = input;
+  try {
+    transport_.send(door_addr_, rpc::encode_chunk(msg));
+  } catch (const Error&) {
+    return false;
+  }
+  ++sent_;
+  return true;
+}
+
+std::optional<cnn::Tensor> TcpStreamClient::receive() {
+  while (ready_.empty()) {
+    if (peer_closed_) return std::nullopt;
+    if (!ok()) return std::nullopt;
+    if (!pump_reply() && ready_.empty()) return std::nullopt;
+  }
+  cnn::Tensor out = std::move(ready_.front());
+  ready_.pop_front();
+  return out;
+}
+
+void TcpStreamClient::close() {
+  if (!ok() || closed_) return;
+  closed_ = true;
+  try {
+    transport_.send(door_addr_, rpc::encode_stream_close({stream_}));
+  } catch (const Error&) {
+    // Link already down; the door will notice the socket close.
+  }
+}
+
+}  // namespace de::serve

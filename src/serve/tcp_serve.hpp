@@ -1,0 +1,125 @@
+// TCP skin over the StreamServer (DESIGN.md §serving-front-door): real
+// clients on real sockets, each stream its own pair of unidirectional
+// TcpTransport sessions (client->door for hello/submissions/close, door->
+// client for accept/reject and output rows).
+//
+//   TcpStreamClient ── kStreamHello{listen_port, model_id, window} ──> door
+//                  <── kStreamAccept{stream, window} (dial-back) ──
+//                  ── kScatter chunks (stream-tagged inputs) ──>
+//                  <── kGather chunks (outputs, submission order) ──
+//                  ── kStreamClose ──>        <── kStreamClose (drained) ──
+//
+// The door runs one service thread (admission + demux of the shared serve
+// mailbox) and one reply thread per admitted stream. A reply thread blocks
+// on its own stream's pop() and its own client's socket backpressure, so a
+// slow reader throttles exactly one stream — the service thread, the pump
+// and every other tenant keep moving.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rpc/tcp_transport.hpp"
+#include "serve/stream_server.hpp"
+
+namespace de::serve {
+
+/// Client node ids handed out by the door, above any plausible fleet node.
+inline constexpr rpc::NodeId kFirstClientNode = 10'000;
+
+/// Serves a StreamServer's front door over `door`'s kServeMailbox.
+/// `door` is the same transport the server pumps the fleet through (its
+/// serve mailbox is untouched by fleet traffic); not owned, must outlive
+/// this object. stop() (also run by the destructor) closes every stream,
+/// drains the reply threads, closes the server, and shuts the transport
+/// down to release the service thread.
+class TcpServeDoor {
+ public:
+  TcpServeDoor(rpc::TcpTransport& door, StreamServer& server);
+  ~TcpServeDoor();
+
+  TcpServeDoor(const TcpServeDoor&) = delete;
+  TcpServeDoor& operator=(const TcpServeDoor&) = delete;
+
+  void stop();
+
+ private:
+  void service_loop();
+  void reply_loop(int stream, rpc::NodeId client);
+
+  rpc::TcpTransport& door_;
+  StreamServer& server_;
+
+  std::mutex mu_;
+  rpc::NodeId next_client_ = kFirstClientNode;
+  std::map<int, rpc::NodeId> stream_nodes_;
+  std::vector<std::thread> replies_;
+  bool stopped_ = false;
+
+  std::thread service_;
+};
+
+/// One tenant's client: dials the door, runs the hello/accept handshake,
+/// then self-clocks submissions against the granted window (outputs that
+/// arrive while submit() waits are buffered for receive()). Single-
+/// threaded; not thread-safe.
+struct ClientOptions {
+  int window = 0;           ///< requested in-flight window (0 = default)
+  rpc::NodeId node_id = 1;  ///< local node id (cosmetic; door assigns ours)
+};
+
+class TcpStreamClient {
+ public:
+  using Options = ClientOptions;
+
+  /// Connects and handshakes; ok() tells whether the door admitted us.
+  TcpStreamClient(const std::string& host, std::uint16_t door_port,
+                  int model_id, Options options = {});
+  ~TcpStreamClient();
+
+  TcpStreamClient(const TcpStreamClient&) = delete;
+  TcpStreamClient& operator=(const TcpStreamClient&) = delete;
+
+  bool ok() const { return stream_ >= 0; }
+  int stream() const { return stream_; }
+  int window() const { return window_; }
+  /// Admission refusal reason (meaningful only when !ok()).
+  rpc::StreamRejectMsg::Reason reject_reason() const { return reject_; }
+
+  /// Sends one input image, blocking (receiving outputs meanwhile) while
+  /// the granted window is full. False once the door closed the stream or
+  /// the link died.
+  bool submit(const cnn::Tensor& input);
+
+  /// The next output in submission order; nullopt once the stream is done
+  /// (door closed it after our close(), or the link died) and the buffer
+  /// is empty.
+  std::optional<cnn::Tensor> receive();
+
+  /// Announces end-of-stream to the door. Outputs still in flight can
+  /// still be receive()d afterwards.
+  void close();
+
+ private:
+  /// Blocks for one door->client frame; false on stream close / link down.
+  bool pump_reply();
+
+  rpc::TcpTransport transport_;
+  rpc::Address door_addr_;
+  int stream_ = -1;
+  int window_ = 0;
+  rpc::StreamRejectMsg::Reason reject_ = rpc::StreamRejectMsg::kBadRequest;
+  std::int64_t sent_ = 0;
+  std::int64_t arrived_ = 0;  ///< outputs received off the wire
+  std::deque<cnn::Tensor> ready_;
+  bool peer_closed_ = false;
+  bool closed_ = false;
+};
+
+}  // namespace de::serve

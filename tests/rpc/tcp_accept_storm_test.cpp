@@ -1,0 +1,168 @@
+// Accept-loop survival (the PR-8 front-door bugfix): the TcpTransport
+// listener must keep accepting after transient accept() failures —
+// connection aborts (a client resetting while still in the backlog) and
+// process fd exhaustion (EMFILE) — instead of silently returning and
+// leaving every later client hanging. Plus: per-connection rx resources
+// are reaped when the peer disconnects, not hoarded until shutdown.
+#include "rpc/tcp_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace de::rpc {
+namespace {
+
+Payload tiny_frame(std::uint8_t tag) { return Payload{tag, 2, 3, 4}; }
+
+/// Connects a raw TCP socket to loopback `port` and resets it immediately
+/// (SO_LINGER {1, 0} makes close() send RST), so the listener sees either
+/// an ECONNABORTED accept or an instantly-dead session.
+void connect_and_reset(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const linger lg{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+}
+
+TEST(TcpAcceptStorm, SurvivesConnectionAbortStorm) {
+  TcpTransport server(0);
+  server.open_mailbox(0);
+
+  // 50 clients connect and slam the door with an RST. Before the fix one
+  // ECONNABORTED return code permanently ended the accept loop.
+  for (int k = 0; k < 50; ++k) connect_and_reset(server.port());
+
+  // A well-behaved client arriving after the storm must still get in.
+  TcpTransport client(1);
+  client.set_peers({{0, PeerEndpoint{"127.0.0.1", server.port()}}});
+  client.send(Address{0, 0}, tiny_frame(7));
+  const auto got = server.receive(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, tiny_frame(7));
+  client.shutdown();
+  server.shutdown();
+}
+
+TEST(TcpAcceptStorm, RecoversFromFdExhaustion) {
+  TcpTransport server(0);
+  server.open_mailbox(0);
+  TcpTransport client(1);
+  client.set_peers({{0, PeerEndpoint{"127.0.0.1", server.port()}}});
+
+  // Tighten the fd table, then hoard every remaining descriptor.
+  rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &old_limit), 0);
+  rlimit tight = old_limit;
+  tight.rlim_cur = 96;
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &tight), 0);
+  std::vector<int> hoard;
+  for (;;) {
+    const int fd = ::dup(STDIN_FILENO);
+    if (fd < 0) break;  // EMFILE: table full
+    hoard.push_back(fd);
+  }
+  ASSERT_FALSE(hoard.empty());
+
+  // One fd back for the client's connecting socket; the kernel completes
+  // the handshake in the backlog, but the server's accept() now fails with
+  // EMFILE — before the fix, fatally; after it, with retry + backoff.
+  ::close(hoard.back());
+  hoard.pop_back();
+  std::thread sender([&client] { client.send(Address{0, 0}, tiny_frame(9)); });
+
+  // Let the accept loop hit EMFILE a number of times to prove it retries.
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  for (const int fd : hoard) ::close(fd);
+  hoard.clear();
+  ASSERT_EQ(::setrlimit(RLIMIT_NOFILE, &old_limit), 0);
+
+  // With descriptors available again the pending connection is accepted
+  // and the frame flows.
+  const auto got = server.receive(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, tiny_frame(9));
+  sender.join();
+
+  // And the listener is still generally alive for brand-new clients.
+  TcpTransport late(2);
+  late.set_peers({{0, PeerEndpoint{"127.0.0.1", server.port()}}});
+  late.send(Address{0, 0}, tiny_frame(11));
+  const auto again = server.receive(0);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, tiny_frame(11));
+
+  client.shutdown();
+  late.shutdown();
+  server.shutdown();
+}
+
+TEST(TcpAcceptStorm, ReapsRxSessionsOnPeerDisconnect) {
+  TcpTransport server(0);
+  server.open_mailbox(0);
+
+  {
+    TcpTransport client(1);
+    client.set_peers({{0, PeerEndpoint{"127.0.0.1", server.port()}}});
+    client.send(Address{0, 0}, tiny_frame(1));
+    ASSERT_TRUE(server.receive(0).has_value());
+    EXPECT_EQ(server.live_rx_sessions(), 1u);
+    client.shutdown();
+  }
+
+  // The peer hung up: its rx session must drain away without any server
+  // shutdown. Bounded wait — the rx thread notices EOF on its own.
+  for (int k = 0; k < 200 && server.live_rx_sessions() != 0; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.live_rx_sessions(), 0u);
+
+  // A fresh client after the reap: exactly one live session again.
+  TcpTransport client2(2);
+  client2.set_peers({{0, PeerEndpoint{"127.0.0.1", server.port()}}});
+  client2.send(Address{0, 0}, tiny_frame(2));
+  const auto got = server.receive(0);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, tiny_frame(2));
+  EXPECT_EQ(server.live_rx_sessions(), 1u);
+  client2.shutdown();
+  server.shutdown();
+}
+
+TEST(TcpAcceptStorm, BacklogIsConfigurable) {
+  // The old hardcoded listen(fd, 64) is now kDefaultBacklog with an
+  // explicit knob; a tiny backlog still serves sequential clients.
+  TcpTransport server(0, /*port=*/0, /*legacy_io=*/false, /*backlog=*/4);
+  server.open_mailbox(0);
+  for (int k = 0; k < 6; ++k) {
+    TcpTransport client(1 + k);
+    client.set_peers({{0, PeerEndpoint{"127.0.0.1", server.port()}}});
+    client.send(Address{0, 0}, tiny_frame(static_cast<std::uint8_t>(k)));
+    const auto got = server.receive(0);
+    ASSERT_TRUE(got.has_value());
+    client.shutdown();
+  }
+  EXPECT_GE(kDefaultBacklog, 128);  // regression: no more backlog-64 stalls
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace de::rpc

@@ -23,6 +23,7 @@ ChunkMsg sample_chunk(Rng& rng) {
   msg.row_offset = rng.uniform_int(0, 50);
   msg.from_node = rng.uniform_int(0, 4);
   msg.chunk_id = static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 20));
+  msg.stream = rng.uniform_int(0, 3);
   msg.rows = cnn::Tensor(rng.uniform_int(1, 6), rng.uniform_int(1, 6),
                          rng.uniform_int(1, 4));
   for (auto& v : msg.rows.data) v = static_cast<float>(rng.uniform(-2.0, 2.0));
@@ -48,6 +49,11 @@ void decode_must_not_crash(const Payload& frame) {
   probe([](const Payload& f) { decode_nack(f); });
   probe([](const Payload& f) { decode_telemetry(f); });
   probe([](const Payload& f) { decode_reconfigure(f); });
+  probe([](const Payload& f) { decode_stream_hello(f); });
+  probe([](const Payload& f) { decode_stream_accept(f); });
+  probe([](const Payload& f) { decode_stream_reject(f); });
+  probe([](const Payload& f) { decode_stream_close(f); });
+  probe([](const Payload& f) { decode_dispatch(f); });
 }
 
 TelemetryMsg sample_telemetry(Rng& rng) {
@@ -68,6 +74,8 @@ ReconfigureMsg sample_reconfigure(Rng& rng) {
   ReconfigureMsg msg;
   msg.epoch = rng.uniform_int(1, 50);
   msg.from_seq = rng.uniform_int(0, 5000);
+  msg.stream = rng.uniform_int(0, 8);
+  msg.model_id = rng.uniform_int(0, 3);
   msg.n_devices = rng.uniform_int(1, 6);
   const int n_volumes = rng.uniform_int(1, 5);
   int layer = 0;
@@ -141,7 +149,7 @@ TEST(WireFuzz, GarbageWithValidHeaderNeverCrashes) {
     core::ByteWriter w;
     w.u32(kWireMagic);
     w.u16(static_cast<std::uint16_t>(rng.uniform_int(1, kWireVersion)));
-    w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 11)));
+    w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 16)));
     const int body = rng.uniform_int(0, 48);
     for (int k = 0; k < body; ++k) {
       w.u16(static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff)));
@@ -258,6 +266,8 @@ TEST(WireFuzz, HostileControlPlaneCountsRejectedBeforeAllocation) {
       w.u32(0);                                  // chunk_id
       w.i32(1);                                  // epoch
       w.i32(0);                                  // from_seq
+      w.i32(0);                                  // stream (v5)
+      w.i32(0);                                  // model_id (v5)
       w.i32(rng.uniform_int(1 << 10, 1 << 16));  // hostile n_devices
       w.i32(rng.uniform_int(1 << 10, 1 << 16));  // hostile n_volumes
       w.i32(0);
@@ -273,6 +283,8 @@ TEST(WireFuzz, HostileControlPlaneCountsRejectedBeforeAllocation) {
   w.u32(0);
   w.i32(1);
   w.i32(0);
+  w.i32(0);  // stream (v5)
+  w.i32(0);  // model_id (v5)
   w.i32((1 << 16) + 1);  // n_devices over the cap
   w.i32(1);
   EXPECT_THROW(decode_reconfigure(w.bytes()), Error);
@@ -288,6 +300,42 @@ TEST(WireFuzz, ControlPlaneRoundTripsAreExact) {
     const auto r_frame = encode_reconfigure(reconfigure);
     EXPECT_EQ(encode_reconfigure(decode_reconfigure(r_frame)), r_frame);
   }
+}
+
+TEST(WireFuzz, StreamSessionFramesRoundTripAndSurviveTruncation) {
+  DispatchMsg d;
+  d.from_node = 2;
+  d.chunk_id = 7;
+  d.stream = 3;
+  d.seq = 41;
+  d.epoch = 2;
+  const auto hello = encode_stream_hello({5555, 1, 8});
+  const auto accept = encode_stream_accept({3, 8});
+  const auto reject = encode_stream_reject({StreamRejectMsg::kBusy});
+  const auto close = encode_stream_close({3});
+  const auto dispatch = encode_dispatch(d);
+  // Exact round trips.
+  EXPECT_EQ(encode_stream_hello(decode_stream_hello(hello)), hello);
+  EXPECT_EQ(encode_stream_accept(decode_stream_accept(accept)), accept);
+  EXPECT_EQ(encode_stream_reject(decode_stream_reject(reject)), reject);
+  EXPECT_EQ(encode_stream_close(decode_stream_close(close)), close);
+  EXPECT_EQ(encode_dispatch(decode_dispatch(dispatch)), dispatch);
+  // Every truncation point of every frame must error, never crash.
+  for (const auto& frame : {hello, accept, reject, close, dispatch}) {
+    for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+      const Payload t(frame.begin(),
+                      frame.begin() + static_cast<std::ptrdiff_t>(cut));
+      decode_must_not_crash(t);
+      EXPECT_THROW(decode_stream_hello(t), Error);
+      EXPECT_THROW(decode_dispatch(t), Error);
+    }
+  }
+  // Hostile field values are rejected.
+  EXPECT_THROW(encode_stream_hello({0, 0, 0}), Error);       // no port
+  EXPECT_THROW(encode_stream_hello({1 << 17, 0, 0}), Error); // port overflow
+  EXPECT_THROW(encode_stream_accept({-1, 8}), Error);
+  EXPECT_THROW(encode_stream_accept({0, 0}), Error);         // zero window
+  EXPECT_THROW(encode_stream_reject({99}), Error);
 }
 
 TEST(WireFuzz, TruncatedControlFramesError) {

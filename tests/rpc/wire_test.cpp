@@ -176,6 +176,48 @@ TEST(Wire, V2ChunkStillDecodes) {
   EXPECT_EQ(back.rows.data, msg.rows.data);
 }
 
+TEST(Wire, V4ChunkStillDecodes) {
+  // A v4 peer's chunk (no stream field) must decode with the stream
+  // defaulted to 0 — the single-tenant regime.
+  const auto msg = sample_chunk(MsgType::kGather);
+  core::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(4);  // wire version 4
+  w.u16(static_cast<std::uint16_t>(MsgType::kGather));
+  w.i32(msg.seq);
+  w.i32(msg.volume);
+  w.i32(msg.row_offset);
+  w.i32(3);          // from_node
+  w.u32(42);         // chunk_id
+  w.i32(msg.epoch);  // epoch
+  w.i32(msg.rows.h);
+  w.i32(msg.rows.w);
+  w.i32(msg.rows.c);
+  w.f32_span(msg.rows.data);
+  const auto back = decode_chunk(w.bytes());
+  EXPECT_EQ(back.seq, msg.seq);
+  EXPECT_EQ(back.epoch, msg.epoch);
+  EXPECT_EQ(back.stream, 0);
+  EXPECT_EQ(back.rows.data, msg.rows.data);
+}
+
+TEST(Wire, ChunkCarriesStreamTag) {
+  auto msg = sample_chunk(MsgType::kScatter);
+  msg.stream = 17;
+  const auto back = decode_chunk(encode_chunk(msg));
+  EXPECT_EQ(back.stream, 17);
+  EXPECT_EQ(decode_chunk_view(encode_chunk(msg)).stream, 17);
+  // v4 frames claiming the v5 session types are malformed.
+  for (const auto type : {MsgType::kStreamHello, MsgType::kDispatch}) {
+    core::ByteWriter w;
+    w.u32(kWireMagic);
+    w.u16(4);
+    w.u16(static_cast<std::uint16_t>(type));
+    w.i32(0);
+    EXPECT_THROW(peek_type(w.bytes()), Error);
+  }
+}
+
 TEST(Wire, TelemetryRoundTrips) {
   TelemetryMsg msg;
   msg.from_node = 2;
@@ -239,6 +281,8 @@ TEST(Wire, ReconfigureRoundTrips) {
   msg.chunk_id = 9;
   msg.epoch = 2;
   msg.from_seq = 57;
+  msg.stream = 5;  // per-tenant epoch lane (v5)
+  msg.model_id = 2;
   msg.n_devices = 3;
   msg.volumes = {{0, 2}, {2, 5}};
   msg.cuts = {{0, 4, 9, 14}, {0, 3, 8, 12}};
@@ -249,6 +293,8 @@ TEST(Wire, ReconfigureRoundTrips) {
   EXPECT_EQ(back.chunk_id, 9u);
   EXPECT_EQ(back.epoch, 2);
   EXPECT_EQ(back.from_seq, 57);
+  EXPECT_EQ(back.stream, 5);
+  EXPECT_EQ(back.model_id, 2);
   EXPECT_EQ(back.n_devices, 3);
   EXPECT_EQ(back.volumes, msg.volumes);
   EXPECT_EQ(back.cuts, msg.cuts);
@@ -330,15 +376,20 @@ TEST(Wire, RejectsTrailingGarbage) {
 
 TEST(Wire, RejectsHostileTensorExtents) {
   auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
-  // In a v3 chunk h lives at bytes 32-35 (after seq, volume, row_offset,
-  // from_node, chunk_id, epoch); claim a huge height, same tiny payload.
-  frame[32] = 0xff;
-  frame[33] = 0xff;
-  frame[34] = 0xff;
-  frame[35] = 0x00;
+  // In a v5 chunk h lives at bytes 36-39 (after seq, volume, row_offset,
+  // from_node, chunk_id, epoch, stream); claim a huge height, same tiny
+  // payload.
+  frame[36] = 0xff;
+  frame[37] = 0xff;
+  frame[38] = 0xff;
+  frame[39] = 0x00;
   EXPECT_THROW(decode_chunk(frame), Error);
   // A negative height must be rejected too, not wrapped into a size_t.
-  frame[35] = 0xff;
+  frame[39] = 0xff;
+  EXPECT_THROW(decode_chunk(frame), Error);
+  // And a negative stream id (bytes 32-35) is malformed.
+  frame = encode_chunk(sample_chunk(MsgType::kScatter));
+  frame[32] = frame[33] = frame[34] = frame[35] = 0xff;
   EXPECT_THROW(decode_chunk(frame), Error);
 }
 

@@ -56,13 +56,14 @@ TEST(ZeroCopyWire, EncodeIntoMatchesLegacyBytesFuzzed) {
     msg.from_node = from;
     msg.chunk_id = id;
     msg.epoch = rng.uniform_int(0, 9);
+    msg.stream = rng.uniform_int(0, 6);
     msg.rows = runtime::slice_rows(src, src_offset, rows.begin, rows.end);
     const Payload legacy = encode_chunk(msg);
 
     Frame frame = arena.acquire();  // recycled across iterations on purpose
     const std::size_t payload_bytes =
         encode_chunk_into(frame, msg.type, msg.seq, msg.volume, from, id,
-                          msg.epoch, src, src_offset, rows);
+                          msg.epoch, msg.stream, src, src_offset, rows);
     EXPECT_EQ(payload_bytes, msg.rows.size() * 4);
     ASSERT_EQ(frame.size(), legacy.size());
     EXPECT_TRUE(frame == legacy) << "iter " << iter;
@@ -84,6 +85,7 @@ TEST(ZeroCopyWire, ViewAgreesWithOwningDecodeFuzzed) {
       msg.chunk_id = static_cast<std::uint32_t>(rng.uniform_int(1, 1000));
     }
     msg.epoch = rng.uniform_int(0, 5);
+    msg.stream = rng.uniform_int(0, 5);
     const Payload frame = encode_chunk(msg);
 
     const ChunkMsg owning = decode_chunk(frame);
@@ -96,6 +98,8 @@ TEST(ZeroCopyWire, ViewAgreesWithOwningDecodeFuzzed) {
     EXPECT_EQ(view.chunk_id, owning.chunk_id);
     EXPECT_EQ(view.epoch, owning.epoch);
     EXPECT_EQ(view.epoch, msg.epoch);
+    EXPECT_EQ(view.stream, owning.stream);
+    EXPECT_EQ(view.stream, msg.stream);
     EXPECT_EQ(view.h, owning.rows.h);
     EXPECT_EQ(view.w, owning.rows.w);
     EXPECT_EQ(view.c, owning.rows.c);
@@ -129,6 +133,7 @@ TEST(ZeroCopyWire, ViewDecodesV1Frames) {
   EXPECT_EQ(view.from_node, kNilNode);
   EXPECT_EQ(view.chunk_id, 0u);
   EXPECT_EQ(view.epoch, 0);
+  EXPECT_EQ(view.stream, 0);
   EXPECT_EQ(view.to_tensor().data, rows.data);
 }
 
@@ -166,18 +171,18 @@ TEST(ZeroCopyWire, EncodeIntoRejectsBadRanges) {
   Frame frame;
   // Empty range.
   EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0, 0,
-                                 src, 10, cnn::RowInterval{12, 12}),
+                                 0, src, 10, cnn::RowInterval{12, 12}),
                Error);
   // Range outside the tensor.
   EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0, 0,
-                                 src, 10, cnn::RowInterval{9, 12}),
+                                 0, src, 10, cnn::RowInterval{9, 12}),
                Error);
   EXPECT_THROW(encode_chunk_into(frame, MsgType::kGather, 0, 0, kNilNode, 0, 0,
-                                 src, 10, cnn::RowInterval{12, 15}),
+                                 0, src, 10, cnn::RowInterval{12, 15}),
                Error);
   // Non-chunk type.
   EXPECT_THROW(encode_chunk_into(frame, MsgType::kAck, 0, 0, kNilNode, 0, 0,
-                                 src, 10, cnn::RowInterval{10, 12}),
+                                 0, src, 10, cnn::RowInterval{10, 12}),
                Error);
 }
 
