@@ -79,7 +79,7 @@ ScalePoint run_point(int n_streams, int n_devices, int images_per_stream,
   auto fabric = runtime::make_fabric(n_devices, /*use_tcp=*/false);
   runtime::DataPlaneStats stats;
   std::vector<runtime::TenantModel> fleet_models{{&m, &w}};
-  auto providers =
+  runtime::Supervisor providers =
       runtime::spawn_providers_multi(fabric, n_devices, fleet_models, stats);
 
   const auto base =
@@ -160,7 +160,7 @@ ScalePoint run_point(int n_streams, int n_devices, int images_per_stream,
     point.pooled_p99_ms = percentile(pooled, 0.99);
     server.close();
   }
-  for (auto& t : providers) t.join();
+  providers.join_all();
   return point;
 }
 

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
   runtime::DataPlaneStats stats;
   std::vector<runtime::TenantModel> fleet_models{{&model_a, &weights_a},
                                                  {&model_b, &weights_b}};
-  auto providers =
+  runtime::Supervisor providers =
       runtime::spawn_providers_multi(fabric, n_devices, fleet_models, stats);
 
   const std::vector<double> even(static_cast<std::size_t>(n_devices), 1.0);
@@ -118,6 +118,6 @@ int main(int argc, char** argv) {
     }
     server.close();
   }
-  for (auto& t : providers) t.join();
+  providers.join_all();
   return 0;
 }

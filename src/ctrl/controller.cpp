@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "ctrl/membership.hpp"
+#include "device/latency_table.hpp"
 #include "obs/trace.hpp"
 
 namespace de::ctrl {
@@ -30,7 +32,9 @@ void Controller::start(rpc::Transport& transport,
   transport_ = &transport;
   local_links_ = local_links;
   serving_ = serving;
+  base_strategy_ = serving;
   const int n = static_cast<int>(config_.latency.size());
+  dead_.assign(static_cast<std::size_t>(n), false);
   baseline_rates_.assign(static_cast<std::size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
     baseline_rates_[static_cast<std::size_t>(i)] =
@@ -45,7 +49,9 @@ void Controller::start_external(const sim::RawStrategy& serving) {
   DE_REQUIRE(!thread_.joinable() && !external_, "controller already started");
   external_ = true;
   serving_ = serving;
+  base_strategy_ = serving;
   const int n = static_cast<int>(config_.latency.size());
+  dead_.assign(static_cast<std::size_t>(n), false);
   baseline_rates_.assign(static_cast<std::size_t>(n), 0.0);
   for (int i = 0; i < n; ++i) {
     baseline_rates_[static_cast<std::size_t>(i)] =
@@ -67,6 +73,7 @@ void Controller::ingest(const rpc::TelemetryMsg& msg) {
     ++stats_.telemetry_frames;
     stats_.device_mbps = book_.device_rates();
   }
+  if (config_.lease_ms > 0) sweep_leases(obs::now_us());
   try {
     check_and_plan();
   } catch (const std::exception&) {
@@ -77,11 +84,41 @@ void Controller::ingest(const rpc::TelemetryMsg& msg) {
   }
 }
 
+void Controller::ingest_heartbeat(const rpc::HeartbeatMsg& msg,
+                                  std::int64_t received_us) {
+  DE_REQUIRE(external_, "ingest_heartbeat() requires start_external()");
+  if (config_.clock_sync != nullptr && msg.steady_now_us > 0) {
+    config_.clock_sync->ingest(msg.from_node, msg.steady_now_us, received_us);
+  }
+  if (book_.ingest_heartbeat(msg.from_node, msg.hb_seq, msg.steady_now_us,
+                             received_us)) {
+    std::lock_guard lk(mu_);
+    ++stats_.heartbeats;
+  }
+  if (config_.lease_ms > 0) sweep_leases(received_us);
+}
+
+void Controller::sweep_leases(std::int64_t now_us) {
+  const auto events = book_.poll_membership(
+      now_us, static_cast<std::int64_t>(config_.lease_ms) * 1000);
+  if (!events.empty()) handle_membership(events);
+}
+
 std::optional<SwapDecision> Controller::take_swap() {
   std::lock_guard lk(mu_);
   auto taken = std::move(pending_);
   pending_.reset();
   return taken;
+}
+
+bool Controller::membership_pending() const {
+  std::lock_guard lk(mu_);
+  return pending_.has_value() && pending_->membership();
+}
+
+bool Controller::death_pending() const {
+  std::lock_guard lk(mu_);
+  return pending_.has_value() && !pending_->died.empty();
 }
 
 void Controller::stop() {
@@ -105,23 +142,41 @@ void Controller::loop() {
         return;  // fabric went down; the serving loop is tearing down too
       case rpc::RecvStatus::kOk:
         try {
-          const rpc::TelemetryMsg msg = rpc::decode_telemetry(frame);
-          if (config_.clock_sync != nullptr && msg.steady_now_us > 0) {
-            config_.clock_sync->ingest(
-                msg.from_node, msg.steady_now_us,
-                obs::now_us() - config_.clock_origin_us);
+          if (rpc::peek_type(frame) == rpc::MsgType::kHeartbeat) {
+            const rpc::HeartbeatMsg hb = rpc::decode_heartbeat(frame);
+            const std::int64_t received_us =
+                obs::now_us() - config_.clock_origin_us;
+            if (config_.clock_sync != nullptr && hb.steady_now_us > 0) {
+              config_.clock_sync->ingest(hb.from_node, hb.steady_now_us,
+                                         received_us);
+            }
+            if (book_.ingest_heartbeat(hb.from_node, hb.hb_seq,
+                                       hb.steady_now_us, received_us)) {
+              std::lock_guard lk(mu_);
+              ++stats_.heartbeats;
+            }
+          } else {
+            const rpc::TelemetryMsg msg = rpc::decode_telemetry(frame);
+            if (config_.clock_sync != nullptr && msg.steady_now_us > 0) {
+              config_.clock_sync->ingest(
+                  msg.from_node, msg.steady_now_us,
+                  obs::now_us() - config_.clock_origin_us);
+            }
+            obs::trace_instant(obs::Cat::kDriftSample, -1, -1, -1,
+                               msg.from_node);
+            book_.ingest(msg);
+            std::lock_guard lk(mu_);
+            ++stats_.telemetry_frames;
           }
-          obs::trace_instant(obs::Cat::kDriftSample, -1, -1, -1,
-                             msg.from_node);
-          book_.ingest(msg);
-          std::lock_guard lk(mu_);
-          ++stats_.telemetry_frames;
         } catch (const Error&) {
           // Malformed control frame: ignore, like the data plane does.
         }
         break;
       case rpc::RecvStatus::kTimeout:
         break;
+    }
+    if (config_.lease_ms > 0) {
+      sweep_leases(obs::now_us() - config_.clock_origin_us);
     }
     if (local_links_ != nullptr) {
       book_.ingest_links(transport_->local_node(),
@@ -142,6 +197,121 @@ void Controller::loop() {
       ++stats_.plan_failures;
     }
   }
+}
+
+void Controller::handle_membership(const std::vector<MembershipEvent>& events) {
+  std::vector<rpc::NodeId> died;
+  std::vector<rpc::NodeId> joined;
+  for (const auto& ev : events) {
+    const auto idx = static_cast<std::size_t>(ev.node);
+    if (idx >= dead_.size()) continue;
+    if (ev.kind == MembershipEvent::kDied) {
+      if (dead_[idx]) continue;
+      dead_[idx] = true;
+      died.push_back(ev.node);
+    } else {
+      if (!dead_[idx]) continue;
+      dead_[idx] = false;
+      joined.push_back(ev.node);
+      // Profile-on-join calibration: measure the model on the joiner and
+      // replace its latency slot before planning over the grown fleet.
+      if (config_.profile_on_join) {
+        try {
+          config_.latency[idx] = std::make_shared<device::LatencyTable>(
+              device::profile_model_measured(*config_.model,
+                                             config_.join_profile));
+        } catch (const std::exception&) {
+          // Keep the baseline table; adoption still proceeds.
+        }
+      }
+      obs::trace_instant(obs::Cat::kJoinAdopt, -1, -1, -1, ev.node);
+    }
+  }
+  if (died.empty() && joined.empty()) return;
+  {
+    std::lock_guard lk(mu_);
+    stats_.deaths += static_cast<int>(died.size());
+    stats_.joins += static_cast<int>(joined.size());
+  }
+
+  // Replan over the survivors. The planner does not know about death, so
+  // dead devices' links are collapsed to a token rate (it starves them of
+  // rows on its own terms) and the result is masked afterwards — empties
+  // are *guaranteed* by the mask, whatever the planner chose. A planner
+  // failure falls back to masking the last full strategy: recovery must
+  // never depend on a planner succeeding under a degenerate view.
+  const int n = static_cast<int>(config_.latency.size());
+  std::vector<Mbps> rates = book_.device_rates();
+  sim::RawStrategy raw = base_strategy_;
+  try {
+    net::Network refreshed = book_.refreshed_network(config_.network);
+    for (int i = 0; i < n; ++i) {
+      if (!dead_[static_cast<std::size_t>(i)]) continue;
+      net::Link link = refreshed.link(i);
+      link.trace = net::ThroughputTrace::constant(0.001);
+      refreshed.set_device_link(i, link);
+    }
+    core::PlanContext ctx;
+    ctx.model = config_.model;
+    ctx.latency = config_.latency;
+    ctx.network = &refreshed;
+    {
+      std::lock_guard lk(mu_);
+      ++stats_.replans;
+    }
+    core::DistributionStrategy planned = config_.planner->plan(ctx);
+    planned.validate(*config_.model, n);
+    raw = planned.to_raw(*config_.model);
+    base_strategy_ = raw;
+  } catch (const std::exception&) {
+    std::lock_guard lk(mu_);
+    ++stats_.plan_failures;
+  }
+  sim::RawStrategy masked = mask_strategy(raw, dead_);
+
+  obs::trace_instant(obs::Cat::kMembershipSwap, -1, -1, -1,
+                     static_cast<std::int64_t>(died.size()));
+  SwapDecision decision;
+  decision.strategy = std::move(masked);
+  decision.device_mbps = rates;
+  decision.died = std::move(died);
+  decision.joined = std::move(joined);
+  serving_ = decision.strategy;
+  baseline_rates_ = std::move(rates);
+  last_swap_ = std::chrono::steady_clock::now();
+  std::lock_guard lk(mu_);
+  ++stats_.swaps;
+  if (pending_.has_value() && pending_->membership()) {
+    // An unapplied membership decision is superseded, not lost: its
+    // died/joined lists merge into the new one so the serving loop learns
+    // about every transition exactly once — one pending decision at a
+    // time, never two concurrent adoptions. A node appearing on BOTH
+    // merged lists flapped entirely inside the unapplied window: from the
+    // fleet's point of view nothing happened, so the pair cancels out —
+    // surfacing the join would jump chunk ids on a node that never
+    // restarted and strand its in-flight traffic below the peers'
+    // fast-forwarded dedup watermarks.
+    auto merge_into = [](std::vector<rpc::NodeId>& dst,
+                         const std::vector<rpc::NodeId>& src) {
+      for (const auto node : src) {
+        if (std::find(dst.begin(), dst.end(), node) == dst.end()) {
+          dst.push_back(node);
+        }
+      }
+    };
+    merge_into(decision.died, pending_->died);
+    merge_into(decision.joined, pending_->joined);
+    for (auto it = decision.died.begin(); it != decision.died.end();) {
+      auto jt = std::find(decision.joined.begin(), decision.joined.end(), *it);
+      if (jt != decision.joined.end()) {
+        decision.joined.erase(jt);
+        it = decision.died.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  pending_ = std::move(decision);
 }
 
 void Controller::check_and_plan() {
@@ -199,6 +369,12 @@ void Controller::check_and_plan() {
   core::DistributionStrategy planned = config_.planner->plan(ctx);
   planned.validate(*config_.model, n);
   sim::RawStrategy raw = planned.to_raw(*config_.model);
+  base_strategy_ = raw;
+  // A drift replan after a death must not resurrect the dead: the planner
+  // has no concept of membership, so its output is re-masked here.
+  if (std::find(dead_.begin(), dead_.end(), true) != dead_.end()) {
+    raw = mask_strategy(raw, dead_);
+  }
 
   // Keep the swap only when the event simulator — the same predictor the
   // paper's controller trusts — says the new strategy beats the serving one

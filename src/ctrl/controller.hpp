@@ -25,6 +25,7 @@
 
 #include "core/planner.hpp"
 #include "ctrl/telemetry.hpp"
+#include "device/profiler.hpp"
 #include "obs/trace_export.hpp"
 #include "rpc/shaped_transport.hpp"
 #include "rpc/transport.hpp"
@@ -60,14 +61,36 @@ struct ControllerConfig {
   /// The collector node's own clock origin, subtracted from the receive
   /// timestamp so both sides of a sample are node-local clocks.
   std::int64_t clock_origin_us = 0;
+  /// Membership lease in milliseconds; 0 disables heartbeat tracking. A
+  /// device whose kHeartbeat renewals stop for longer than this (judged on
+  /// the controller's own arrival clock — clock skew cannot kill a node) is
+  /// declared dead and a membership SwapDecision is published. Death
+  /// decisions bypass the drift threshold, the improvement margin, and the
+  /// swap debounce: a dead device is not a regime to be smoothed over.
+  int lease_ms = 0;
+  /// Adopt-time calibration: profile the model on the joining device
+  /// (device::profile_model_measured) and replace its latency slot before
+  /// replanning. In-process "joiners" share this machine's silicon, so the
+  /// measured table is the honest stand-in for the paper's
+  /// profile-on-register step.
+  bool profile_on_join = false;
+  /// Measured-profile knobs for profile_on_join (granularity/repeats/exec).
+  device::MeasuredProfileOptions join_profile{};
 };
 
-/// A freshly planned strategy the serving loop should cut over to.
+/// A freshly planned strategy the serving loop should cut over to. When
+/// `died`/`joined` are non-empty this is a *membership* decision: the
+/// serving loop must also cancel + re-dispatch the dead devices' in-flight
+/// images and announce the change to the fleet, not just push an epoch.
 struct SwapDecision {
   sim::RawStrategy strategy;
   Ms predicted_serving_ms = 0;  ///< serving strategy, refreshed view
   Ms predicted_next_ms = 0;     ///< new strategy, same view
   std::vector<Mbps> device_mbps;  ///< rate estimates planned against
+  std::vector<rpc::NodeId> died;    ///< devices whose lease lapsed
+  std::vector<rpc::NodeId> joined;  ///< devices adopted by this decision
+
+  bool membership() const { return !died.empty() || !joined.empty(); }
 };
 
 struct ControllerStats {
@@ -75,6 +98,9 @@ struct ControllerStats {
   int replans = 0;        ///< planner invocations
   int swaps = 0;          ///< decisions published
   int plan_failures = 0;  ///< replan attempts that threw (kept serving)
+  int deaths = 0;         ///< devices declared dead (lease expiry)
+  int joins = 0;          ///< devices adopted (revival or fresh joiner)
+  std::int64_t heartbeats = 0;    ///< lease renewals folded in
   std::vector<Mbps> device_mbps;  ///< latest smoothed estimates
 };
 
@@ -119,6 +145,25 @@ class Controller {
   /// commits the controller to the new strategy as its drift baseline.
   std::optional<SwapDecision> take_swap();
 
+  /// True while an unapplied *membership* decision is pending — the serving
+  /// loop polls this between images to trigger recovery promptly.
+  bool membership_pending() const;
+
+  /// True while the unapplied decision declares at least one death. Only
+  /// these may interrupt a *blocked* gather (a dead device's rows are never
+  /// coming, and the interrupted image is about to be cancelled anyway);
+  /// pure joins wait for the next image boundary — an interrupted gather
+  /// cannot resume, so interrupting one for an image that will NOT be
+  /// cancelled would strand its already-consumed chunks.
+  bool death_pending() const;
+
+  /// Feeds one already-decoded heartbeat (start_external mode only — the
+  /// threaded loop drains its own mailbox). `received_us` is the caller's
+  /// receive-time clock; lease expiry is swept against the same clock on
+  /// the next ingest/poll.
+  void ingest_heartbeat(const rpc::HeartbeatMsg& msg,
+                        std::int64_t received_us);
+
   /// Stops and joins the control loop. Idempotent; also run on destruction.
   void stop();
 
@@ -127,6 +172,8 @@ class Controller {
  private:
   void loop();
   void check_and_plan();
+  void sweep_leases(std::int64_t now_us);
+  void handle_membership(const std::vector<MembershipEvent>& events);
 
   ControllerConfig config_;
   rpc::Transport* transport_ = nullptr;
@@ -134,6 +181,10 @@ class Controller {
 
   TelemetryBook book_;
   sim::RawStrategy serving_;
+  /// Last full (unmasked) planner output — the fallback shape membership
+  /// masking redistributes from when a fresh plan fails or is unavailable.
+  sim::RawStrategy base_strategy_;
+  std::vector<bool> dead_;  ///< current dead set, indexed by device
   std::vector<Mbps> baseline_rates_;  ///< rates the serving strategy assumes
   std::chrono::steady_clock::time_point last_swap_;
 

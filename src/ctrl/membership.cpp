@@ -1,0 +1,68 @@
+#include "ctrl/membership.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/require.hpp"
+
+namespace de::ctrl {
+
+sim::RawStrategy mask_strategy(const sim::RawStrategy& strategy,
+                               const std::vector<bool>& dead) {
+  DE_REQUIRE(!strategy.cuts.empty(), "mask_strategy needs a strategy");
+  const std::size_t n_devices = strategy.cuts.front().size() - 1;
+  bool any_alive = false;
+  for (std::size_t i = 0; i < n_devices; ++i) {
+    if (i >= dead.size() || !dead[i]) any_alive = true;
+  }
+  DE_REQUIRE(any_alive, "membership collapse: every device is dead");
+
+  sim::RawStrategy masked = strategy;
+  for (auto& cuts : masked.cuts) {
+    DE_REQUIRE(cuts.size() == n_devices + 1,
+               "mask_strategy: ragged cut vectors");
+    const int total = cuts.back() - cuts.front();
+    // Old part sizes, with dead devices zeroed.
+    std::vector<long long> share(n_devices, 0);
+    long long alive_sum = 0;
+    for (std::size_t i = 0; i < n_devices; ++i) {
+      if (i < dead.size() && dead[i]) continue;
+      share[i] = cuts[i + 1] - cuts[i];
+      alive_sum += share[i];
+    }
+    if (alive_sum == 0) {
+      // The survivors all had empty parts here: split the volume evenly
+      // among them instead of dividing by zero.
+      for (std::size_t i = 0; i < n_devices; ++i) {
+        share[i] = (i < dead.size() && dead[i]) ? 0 : 1;
+        alive_sum += share[i];
+      }
+    }
+    // Largest-remainder apportionment of `total` rows over the shares: the
+    // floors sum to <= total and the remainders hand out the difference, so
+    // the new parts sum to exactly the volume height.
+    std::vector<int> part(n_devices, 0);
+    std::vector<std::pair<long long, std::size_t>> remainder;
+    long long assigned = 0;
+    for (std::size_t i = 0; i < n_devices; ++i) {
+      if (share[i] == 0) continue;
+      const long long exact_num = share[i] * static_cast<long long>(total);
+      part[i] = static_cast<int>(exact_num / alive_sum);
+      assigned += part[i];
+      remainder.emplace_back(exact_num % alive_sum, i);
+    }
+    std::sort(remainder.begin(), remainder.end(), [](auto& a, auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    for (std::size_t k = 0; assigned < total; ++k) {
+      part[remainder[k % remainder.size()].second] += 1;
+      ++assigned;
+    }
+    for (std::size_t i = 0; i < n_devices; ++i) {
+      cuts[i + 1] = cuts[i] + part[i];
+    }
+  }
+  return masked;
+}
+
+}  // namespace de::ctrl

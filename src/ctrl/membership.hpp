@@ -1,0 +1,24 @@
+// Membership replanning helpers (DESIGN.md §membership): pure cut
+// arithmetic the controller and the serve front door share when the fleet
+// changes. Planners are free to give a "dead" device work (their own
+// minimum-share heuristics don't know about death), so the recovery path
+// always masks the chosen strategy afterwards: dead devices end with empty
+// parts in every volume, their rows redistributed over the survivors.
+#pragma once
+
+#include <vector>
+
+#include "sim/exec_sim.hpp"
+
+namespace de::ctrl {
+
+/// Returns `strategy` with every device in `dead` given an empty part in
+/// every volume. Each volume's rows are redistributed over the surviving
+/// devices proportionally to their old shares (largest-remainder rounding
+/// keeps the cut vector exact); survivors that had nothing split the volume
+/// evenly. Cut vectors stay cumulative, sorted, and end at the same total
+/// height. Throws when every device is dead.
+sim::RawStrategy mask_strategy(const sim::RawStrategy& strategy,
+                               const std::vector<bool>& dead);
+
+}  // namespace de::ctrl

@@ -4,15 +4,71 @@
 
 #include "common/require.hpp"
 #include "net/trace.hpp"
+#include "obs/trace.hpp"
 
 namespace de::ctrl {
 
 TelemetryBook::TelemetryBook(int n_devices, double smoothing)
     : smoothing_(smoothing),
       rate_(static_cast<std::size_t>(n_devices), 0.0),
-      compute_ms_(static_cast<std::size_t>(n_devices), 0.0) {
+      compute_ms_(static_cast<std::size_t>(n_devices), 0.0),
+      lease_(static_cast<std::size_t>(n_devices)) {
   DE_REQUIRE(n_devices >= 1, "telemetry book needs at least one device");
   DE_REQUIRE(smoothing > 0 && smoothing <= 1, "EWMA weight in (0, 1]");
+}
+
+bool TelemetryBook::ingest_heartbeat(rpc::NodeId node, std::uint32_t hb_seq,
+                                     std::int64_t sender_steady_us,
+                                     std::int64_t received_us) {
+  if (node < 0 || static_cast<std::size_t>(node) >= lease_.size()) {
+    return false;  // heartbeat from outside this cluster: ignore
+  }
+  Lease& lease = lease_[static_cast<std::size_t>(node)];
+  // Monotone-sequence gate: a reordered/delayed heartbeat from earlier in
+  // this life cannot renew a fresher lease. A dead device's floor was reset
+  // when it died, so a restarted node's counter (starting over at 1) gets
+  // through and will surface as a kJoined transition at the next poll.
+  if (hb_seq <= lease.last_seq) return false;
+  lease.last_seq = hb_seq;
+  lease.last_renewal_us = received_us;
+  lease.last_sender_us = sender_steady_us;
+  ++heartbeats_;
+  return true;
+}
+
+std::vector<MembershipEvent> TelemetryBook::poll_membership(
+    std::int64_t now_us, std::int64_t lease_us) {
+  std::vector<MembershipEvent> events;
+  for (std::size_t i = 0; i < lease_.size(); ++i) {
+    Lease& lease = lease_[i];
+    const auto node = static_cast<rpc::NodeId>(i);
+    if (lease.last_renewal_us < 0) {
+      // Never heard from: start the lease now (grace period) instead of
+      // declaring a still-booting fleet dead at the first poll.
+      lease.last_renewal_us = now_us;
+      continue;
+    }
+    const bool expired = now_us - lease.last_renewal_us > lease_us;
+    if (!lease.dead && expired) {
+      lease.dead = true;
+      // Reset the sequence floor: whatever comes back on this node id is a
+      // new life whose counter starts over.
+      lease.last_seq = 0;
+      events.push_back(MembershipEvent{MembershipEvent::kDied, node});
+      obs::trace_instant(obs::Cat::kLeaseExpire, -1, -1, -1, node);
+    } else if (lease.dead && !expired) {
+      lease.dead = false;
+      events.push_back(MembershipEvent{MembershipEvent::kJoined, node});
+    }
+  }
+  return events;
+}
+
+bool TelemetryBook::alive(rpc::NodeId node) const {
+  if (node < 0 || static_cast<std::size_t>(node) >= lease_.size()) {
+    return false;
+  }
+  return !lease_[static_cast<std::size_t>(node)].dead;
 }
 
 void TelemetryBook::fold(rpc::NodeId device, Mbps rate) {

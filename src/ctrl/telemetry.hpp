@@ -25,6 +25,15 @@
 
 namespace de::ctrl {
 
+/// One membership transition observed by poll_membership(): a device whose
+/// lease lapsed (kDied) or a dead device heard from again (kJoined — the
+/// candidate for profile-on-join adoption).
+struct MembershipEvent {
+  enum Kind { kDied, kJoined };
+  Kind kind = kDied;
+  rpc::NodeId node = rpc::kNilNode;
+};
+
 class TelemetryBook {
  public:
   /// `smoothing` is the EWMA weight of a fresh window (1 = no smoothing).
@@ -53,13 +62,55 @@ class TelemetryBook {
 
   int reports() const { return reports_; }
 
+  // --- Heartbeat / lease tracking (membership layer) -------------------
+  //
+  // Leases are judged on RECEIVER arrival time (`received_us`, the
+  // controller's own clock at ingest), never on the sender's embedded
+  // timestamp — a clock-skewed device renews its lease exactly like a
+  // well-synchronised one, and only silence kills it. `hb_seq` must be
+  // monotone per sender within one life: a delayed or reordered heartbeat
+  // can never renew a lease the sender has since let lapse. A device
+  // declared dead has its sequence floor reset, so a revived (restarted)
+  // node's fresh counter is accepted and surfaces as a kJoined event.
+
+  /// Folds one heartbeat in. Returns true when the heartbeat renewed the
+  /// lease (false: stale hb_seq replay, or unknown node). `sender_steady_us`
+  /// is retained for the caller's clock-offset bookkeeping only.
+  bool ingest_heartbeat(rpc::NodeId node, std::uint32_t hb_seq,
+                        std::int64_t sender_steady_us,
+                        std::int64_t received_us);
+
+  /// Sweeps the leases against `now_us`: a device whose last renewal is
+  /// STRICTLY older than `lease_us` micros dies (a heartbeat landing
+  /// exactly at expiry still saves it); a dead device that has renewed
+  /// since rejoins. Devices never heard from start their lease at the
+  /// first poll (grace period) rather than being declared dead before the
+  /// fleet finished starting. Returns the transitions since the last poll.
+  std::vector<MembershipEvent> poll_membership(std::int64_t now_us,
+                                               std::int64_t lease_us);
+
+  /// True while the device's lease is considered live (also true before
+  /// the first poll — unknown is not dead).
+  bool alive(rpc::NodeId node) const;
+
+  std::int64_t heartbeats() const { return heartbeats_; }
+
  private:
   void fold(rpc::NodeId device, Mbps rate);
+
+  struct Lease {
+    std::uint32_t last_seq = 0;       ///< highest hb_seq this life
+    std::int64_t last_renewal_us = -1; ///< receiver clock; -1 = never
+    std::int64_t last_sender_us = 0;   ///< sender steady clock (diagnostic)
+    bool dead = false;
+  };
 
   double smoothing_;
   std::vector<Mbps> rate_;  ///< one smoothed estimate per device
   std::vector<double> compute_ms_;
+  std::vector<Lease> lease_;
   int reports_ = 0;
+  std::int64_t heartbeats_ = 0;
 };
 
 /// A latency model scaled by a constant factor — the cheapest honest way to

@@ -37,6 +37,13 @@ const char* cat_name(Cat cat) {
     case Cat::kPacedSend: return "paced_send";
     case Cat::kTelemetryPub: return "telemetry_pub";
     case Cat::kFrameAlloc: return "frame_alloc";
+    case Cat::kHeartbeatPub: return "heartbeat_pub";
+    case Cat::kLeaseExpire: return "lease_expire";
+    case Cat::kMembershipSwap: return "membership_swap";
+    case Cat::kImageCancel: return "image_cancel";
+    case Cat::kJoinAdopt: return "join_adopt";
+    case Cat::kRetxCancel: return "retx_cancel";
+    case Cat::kLaneEvictCat: return "lane_evict";
     case Cat::kCount: break;
   }
   return "unknown";

@@ -63,6 +63,13 @@ enum class Cat : std::uint16_t {
   kPacedSend,        ///< shaped transport pacer: one frame released
   kTelemetryPub,     ///< provider: kTelemetry frame published
   kFrameAlloc,       ///< frame arena had to malloc a fresh buffer
+  kHeartbeatPub,     ///< node: kHeartbeat lease renewal published
+  kLeaseExpire,      ///< controller: a device's lease lapsed (declared dead)
+  kMembershipSwap,   ///< requester: membership change announced to the fleet
+  kImageCancel,      ///< in-flight image voided for re-dispatch
+  kJoinAdopt,        ///< controller: joiner calibrated and adopted
+  kRetxCancel,       ///< retransmitter: dead peer's outbox budget cancelled
+  kLaneEvictCat,     ///< provider: retired epoch lane evicted
   kCount
 };
 

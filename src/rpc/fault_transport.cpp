@@ -40,6 +40,8 @@ FaultInjectingTransport::~FaultInjectingTransport() { shutdown(); }
 
 bool FaultInjectingTransport::link_severed_locked(NodeId to,
                                                   std::uint64_t link_seq) const {
+  // A dead node sends nothing, whatever the per-link settings say.
+  if (all_down_) return true;
   // A manual setting fully decides the link while present — down forces a
   // partition, up force-heals through an active scheduled outage window.
   if (auto it = manual_down_.find(to); it != manual_down_.end()) {
@@ -61,6 +63,16 @@ void FaultInjectingTransport::set_link_down(NodeId to, bool down) {
   // must not be shadowed by an older per-link entry.
   if (to == kNilNode) manual_down_.clear();
   manual_down_[to] = down;
+}
+
+void FaultInjectingTransport::kill_node() {
+  std::lock_guard lk(mu_);
+  all_down_ = true;
+}
+
+void FaultInjectingTransport::revive_node() {
+  std::lock_guard lk(mu_);
+  all_down_ = false;
 }
 
 FaultStats FaultInjectingTransport::stats() const {

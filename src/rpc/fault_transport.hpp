@@ -97,6 +97,15 @@ class FaultInjectingTransport final : public Transport {
   /// all per-link settings.
   void set_link_down(NodeId to, bool down);
 
+  /// Chaos-schedule node death: severs every outgoing link of THIS endpoint
+  /// (all_down), composing with — not clobbering — per-link manual settings,
+  /// so several nodes can be killed and revived independently. To make node
+  /// N unreachable cluster-wide, call kill_node on N's own transport (its tx
+  /// half) and set_link_down(N, true) on every peer (the rx half); the
+  /// fabric's set_node_down() helper does both.
+  void kill_node();
+  void revive_node();
+
   FaultStats stats() const;
 
  private:
@@ -117,6 +126,7 @@ class FaultInjectingTransport final : public Transport {
   mutable std::mutex mu_;
   std::map<NodeId, std::uint64_t> link_seq_;  ///< frames offered per link
   std::map<NodeId, bool> manual_down_;
+  bool all_down_ = false;  ///< kill_node(): every outgoing link severed
   FaultStats stats_;
   bool down_ = false;
 

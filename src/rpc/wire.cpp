@@ -30,12 +30,14 @@ Header read_header(core::ByteReader& r) {
   const auto raw = r.u16();
   // v1 streams end at kShutdown; ack/nack are v2; the control-plane
   // telemetry/reconfigure types arrived in v3 (v4 only widens kTelemetry);
-  // the stream session + dispatch types are v5.
+  // the stream session + dispatch types are v5; heartbeat/membership/lane
+  // eviction are v6.
   const auto max_type =
       h.version == 1   ? static_cast<std::uint16_t>(MsgType::kShutdown)
       : h.version == 2 ? static_cast<std::uint16_t>(MsgType::kNack)
       : h.version <= 4 ? static_cast<std::uint16_t>(MsgType::kReconfigure)
-                       : static_cast<std::uint16_t>(MsgType::kDispatch);
+      : h.version == 5 ? static_cast<std::uint16_t>(MsgType::kDispatch)
+                       : static_cast<std::uint16_t>(MsgType::kLaneEvict);
   DE_REQUIRE(raw >= static_cast<std::uint16_t>(MsgType::kScatter) &&
                  raw <= max_type,
              "wire: unknown message type");
@@ -527,6 +529,133 @@ DispatchMsg decode_dispatch(std::span<const std::uint8_t> frame) {
              "wire: tracked dispatch without a sender");
   DE_REQUIRE(msg.stream >= 0 && msg.seq >= 0 && msg.epoch >= 0,
              "wire: malformed dispatch fields");
+  return msg;
+}
+
+Payload encode_heartbeat(const HeartbeatMsg& msg) {
+  DE_REQUIRE(msg.from_node >= 0, "wire: heartbeat needs a sender");
+  DE_REQUIRE(msg.hb_seq > 0, "wire: heartbeat sequence starts at 1");
+  DE_REQUIRE(msg.steady_now_us >= 0, "wire: negative heartbeat clock");
+  core::ByteWriter w;
+  write_header(w, MsgType::kHeartbeat);
+  w.i32(msg.from_node);
+  w.u32(msg.hb_seq);
+  w.i64(msg.steady_now_us);
+  return w.take();
+}
+
+HeartbeatMsg decode_heartbeat(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kHeartbeat,
+             "wire: frame is not a heartbeat");
+  HeartbeatMsg msg;
+  msg.from_node = r.i32();
+  msg.hb_seq = r.u32();
+  msg.steady_now_us = r.i64();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after heartbeat");
+  DE_REQUIRE(msg.from_node >= 0 && msg.hb_seq > 0 && msg.steady_now_us >= 0,
+             "wire: malformed heartbeat fields");
+  return msg;
+}
+
+Payload encode_membership(const MembershipMsg& msg) {
+  DE_REQUIRE(msg.cancel_below >= 0 && msg.resume_seq >= msg.cancel_below,
+             "wire: malformed membership watermarks");
+  DE_REQUIRE(!msg.died.empty() || !msg.joined.empty(),
+             "wire: membership change with no change");
+  core::ByteWriter w;
+  write_header(w, MsgType::kMembership);
+  w.i32(msg.from_node);
+  w.u32(msg.chunk_id);
+  w.i32(msg.cancel_below);
+  w.i32(msg.resume_seq);
+  w.i32(static_cast<std::int32_t>(msg.died.size()));
+  for (const NodeId node : msg.died) {
+    DE_REQUIRE(node >= 0, "wire: negative dead node id");
+    w.i32(node);
+  }
+  w.i32(static_cast<std::int32_t>(msg.joined.size()));
+  for (const MembershipJoin& join : msg.joined) {
+    DE_REQUIRE(join.node >= 0, "wire: negative joined node id");
+    w.i32(join.node);
+    w.u32(join.id_base);
+  }
+  return w.take();
+}
+
+MembershipMsg decode_membership(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kMembership,
+             "wire: frame is not a membership change");
+  MembershipMsg msg;
+  msg.from_node = r.i32();
+  msg.chunk_id = r.u32();
+  msg.cancel_below = r.i32();
+  msg.resume_seq = r.i32();
+  const std::int32_t n_died = r.i32();
+  DE_REQUIRE(msg.from_node >= kNilNode, "wire: malformed membership sender");
+  DE_REQUIRE(msg.chunk_id == 0 || msg.from_node != kNilNode,
+             "wire: tracked membership without a sender");
+  DE_REQUIRE(msg.cancel_below >= 0 && msg.resume_seq >= msg.cancel_below,
+             "wire: malformed membership watermarks");
+  DE_REQUIRE(n_died >= 0 && n_died <= 1 << 16,
+             "wire: hostile membership death count");
+  // The joined count sits after the died array, so prove the died array fits
+  // before walking it, then cross-check the joined length the same way —
+  // never a speculative allocation off either claimed count.
+  DE_REQUIRE(r.remaining() >= static_cast<std::size_t>(n_died) * 4 + 4,
+             "wire: membership size disagrees with death count");
+  msg.died.reserve(static_cast<std::size_t>(n_died));
+  for (std::int32_t k = 0; k < n_died; ++k) {
+    const NodeId node = r.i32();
+    DE_REQUIRE(node >= 0, "wire: negative dead node id");
+    msg.died.push_back(node);
+  }
+  const std::int32_t n_joined = r.i32();
+  DE_REQUIRE(n_joined >= 0 && n_joined <= 1 << 16,
+             "wire: hostile membership join count");
+  DE_REQUIRE(r.remaining() == static_cast<std::size_t>(n_joined) * 8,
+             "wire: membership size disagrees with join count");
+  DE_REQUIRE(n_died > 0 || n_joined > 0,
+             "wire: membership change with no change");
+  msg.joined.reserve(static_cast<std::size_t>(n_joined));
+  for (std::int32_t k = 0; k < n_joined; ++k) {
+    MembershipJoin join;
+    join.node = r.i32();
+    join.id_base = r.u32();
+    DE_REQUIRE(join.node >= 0, "wire: negative joined node id");
+    msg.joined.push_back(join);
+  }
+  return msg;
+}
+
+Payload encode_lane_evict(const LaneEvictMsg& msg) {
+  DE_REQUIRE(msg.stream >= 0 && msg.below_seq >= 0,
+             "wire: malformed lane evict fields");
+  core::ByteWriter w;
+  write_header(w, MsgType::kLaneEvict);
+  w.i32(msg.from_node);
+  w.u32(msg.chunk_id);
+  w.i32(msg.stream);
+  w.i32(msg.below_seq);
+  return w.take();
+}
+
+LaneEvictMsg decode_lane_evict(std::span<const std::uint8_t> frame) {
+  core::ByteReader r(frame);
+  DE_REQUIRE(read_header(r).type == MsgType::kLaneEvict,
+             "wire: frame is not a lane evict");
+  LaneEvictMsg msg;
+  msg.from_node = r.i32();
+  msg.chunk_id = r.u32();
+  msg.stream = r.i32();
+  msg.below_seq = r.i32();
+  DE_REQUIRE(r.exhausted(), "wire: trailing bytes after lane evict");
+  DE_REQUIRE(msg.from_node >= kNilNode, "wire: malformed lane evict sender");
+  DE_REQUIRE(msg.chunk_id == 0 || msg.from_node != kNilNode,
+             "wire: tracked lane evict without a sender");
+  DE_REQUIRE(msg.stream >= 0 && msg.below_seq >= 0,
+             "wire: malformed lane evict fields");
   return msg;
 }
 

@@ -3,8 +3,8 @@
 // Every payload starts with an 8-byte header:
 //
 //   u32 magic   = 0x44454447  ("DEDG")
-//   u16 version = 1..5 (encoders emit kWireVersion = 5; decoders accept
-//                 all five)
+//   u16 version = 1..6 (encoders emit kWireVersion = 6; decoders accept
+//                 all six)
 //   u16 type    (MsgType)
 //
 // followed by the type-specific body, all little-endian:
@@ -51,6 +51,16 @@
 //   kDispatch (v5):
 //     i32 from_node (kNilNode when untracked), u32 chunk_id (0 = untracked),
 //     i32 stream, i32 seq (global fleet sequence), i32 epoch
+//   kHeartbeat (v6):
+//     i32 from_node, u32 hb_seq (per-sender monotone), i64 steady_now_us
+//   kMembership (v6):
+//     i32 from_node (kNilNode when untracked), u32 chunk_id (0 = untracked),
+//     i32 cancel_below (images below this seq are void), i32 resume_seq,
+//     i32 n_died then i32 * n_died dead node ids,
+//     i32 n_joined then per joiner: i32 node, u32 id_base
+//   kLaneEvict (v6):
+//     i32 from_node (kNilNode when untracked), u32 chunk_id (0 = untracked),
+//     i32 stream, i32 below_seq
 //
 // decode_* throws de::Error on malformed input (bad magic/version/type,
 // truncated body, trailing garbage, negative or overflowing extents); a
@@ -71,7 +81,7 @@
 namespace de::rpc {
 
 inline constexpr std::uint32_t kWireMagic = 0x44454447;  // "DEDG"
-inline constexpr std::uint16_t kWireVersion = 5;
+inline constexpr std::uint16_t kWireVersion = 6;
 
 enum class MsgType : std::uint16_t {
   kScatter = 1,      ///< requester -> provider: volume-0 input rows
@@ -88,6 +98,9 @@ enum class MsgType : std::uint16_t {
   kStreamReject = 12,  ///< door -> client: stream refused (v5)
   kStreamClose = 13,   ///< either way: end of a serving stream (v5)
   kDispatch = 14,      ///< front end -> provider: global seq ownership (v5)
+  kHeartbeat = 15,     ///< node -> controller: liveness lease renewal (v6)
+  kMembership = 16,    ///< requester -> provider: fleet changed (v6)
+  kLaneEvict = 17,     ///< requester -> provider: drop a stream's lane (v6)
 };
 
 /// A horizontal slice of some volume's tensor, tagged with the image it
@@ -227,6 +240,59 @@ struct DispatchMsg {
   std::int32_t epoch = 0; ///< the lane epoch the image is served under
 };
 
+/// Node -> controller: "I am alive". Published fire-and-forget on the
+/// controller's kTelemetryMailbox at a fixed period; each arrival renews the
+/// sender's lease in the TelemetryBook. `hb_seq` counts up per sender so a
+/// delayed/reordered heartbeat can never renew a lease the sender has since
+/// let lapse; `steady_now_us` pairs with the receiver's arrival clock to
+/// bound clock skew (ClockSyncBook), but lease expiry itself is judged on
+/// receiver arrival time and is therefore skew-immune.
+struct HeartbeatMsg {
+  NodeId from_node = kNilNode;
+  std::uint32_t hb_seq = 0;        ///< per-sender monotone heartbeat counter
+  std::int64_t steady_now_us = 0;  ///< sender's steady clock at publish
+};
+
+/// One adopted joiner inside a membership change. `id_base` is the joiner's
+/// new outgoing chunk-id incarnation base: every peer fast-forwards its
+/// dedup watermark for `node` to `id_base` so the (restarted) joiner's fresh
+/// ids are never mistaken for replays of its previous life, and the joiner
+/// itself restarts its outgoing ids above the base. Bases strictly increase
+/// per adoption, which also makes re-applied (retransmitted) membership
+/// frames idempotent on the joiner.
+struct MembershipJoin {
+  NodeId node = kNilNode;
+  std::uint32_t id_base = 0;
+};
+
+/// Requester -> provider: the fleet changed. Sent on the data mailbox ahead
+/// of the recovery kReconfigure (per-sender FIFO makes the order visible);
+/// with reliability enabled it is tracked/acked exactly like a tensor chunk.
+/// Receivers drop all state for images with seq < cancel_below (they will be
+/// re-dispatched under fresh seqs >= resume_seq), mark `died` nodes inactive
+/// (no halo pulls, no nacks toward them), and adopt `joined` nodes at the
+/// next epoch boundary.
+struct MembershipMsg {
+  NodeId from_node = kNilNode;   ///< sender (kNilNode when untracked)
+  std::uint32_t chunk_id = 0;    ///< reliability handle (0 = untracked)
+  std::int32_t cancel_below = 0; ///< images below this global seq are void
+  std::int32_t resume_seq = 0;   ///< first seq dispatched after the change
+  std::vector<NodeId> died;
+  std::vector<MembershipJoin> joined;
+};
+
+/// Requester -> provider: stream `stream` is closed and drained below
+/// `below_seq`; evict its epoch lane (schedules, owner rows, epoch history).
+/// A provider whose cursor has not yet passed `below_seq` defers the
+/// eviction until it has — per-sender FIFO means no later frame can revive
+/// the lane. Bounds the epoch history a long-idle or departed tenant pins.
+struct LaneEvictMsg {
+  NodeId from_node = kNilNode;  ///< sender (kNilNode when untracked)
+  std::uint32_t chunk_id = 0;   ///< reliability handle (0 = untracked)
+  std::int32_t stream = 0;
+  std::int32_t below_seq = 0;
+};
+
 /// Borrowed decode of a tensor-chunk frame: every header field plus a
 /// pointer to the row payload *inside* the frame bytes — no allocation and
 /// no copy. Validation is identical to decode_chunk (which is implemented
@@ -276,6 +342,9 @@ Payload encode_stream_accept(const StreamAcceptMsg& msg);
 Payload encode_stream_reject(const StreamRejectMsg& msg);
 Payload encode_stream_close(const StreamCloseMsg& msg);
 Payload encode_dispatch(const DispatchMsg& msg);
+Payload encode_heartbeat(const HeartbeatMsg& msg);
+Payload encode_membership(const MembershipMsg& msg);
+Payload encode_lane_evict(const LaneEvictMsg& msg);
 
 /// Zero-copy chunk encode: writes into `frame`'s (reusable) buffer the
 /// exact bytes encode_chunk would produce for a ChunkMsg carrying absolute
@@ -301,6 +370,9 @@ StreamAcceptMsg decode_stream_accept(std::span<const std::uint8_t> frame);
 StreamRejectMsg decode_stream_reject(std::span<const std::uint8_t> frame);
 StreamCloseMsg decode_stream_close(std::span<const std::uint8_t> frame);
 DispatchMsg decode_dispatch(std::span<const std::uint8_t> frame);
+HeartbeatMsg decode_heartbeat(std::span<const std::uint8_t> frame);
+MembershipMsg decode_membership(std::span<const std::uint8_t> frame);
+LaneEvictMsg decode_lane_evict(std::span<const std::uint8_t> frame);
 
 /// Blits the view's absolute rows [src_begin, src_end) straight from the
 /// wire bytes into `dst`, whose row 0 is absolute row `dst_offset` —

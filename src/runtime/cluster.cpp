@@ -26,9 +26,10 @@ ClusterResult run_once(const cnn::CnnModel& model,
   auto fabric = make_fabric(n_devices, use_tcp, options.faults,
                             options.data_plane);
   DataPlaneStats stats;
-  auto threads = spawn_providers(fabric, model, strategy, weights, plan,
-                                 /*n_images=*/1, stats, options.reliability,
-                                 options.exec, options.data_plane);
+  Supervisor supervisor = spawn_providers(fabric, model, strategy, weights,
+                                          plan, /*n_images=*/1, stats,
+                                          options.reliability, options.exec,
+                                          options.data_plane);
 
   RequesterContext ctx(fabric.requester(), plan, stats, options.reliability,
                        options.data_plane);
@@ -42,15 +43,14 @@ ClusterResult run_once(const cnn::CnnModel& model,
   scatter_image(ctx, /*seq=*/0, input);
 
   cnn::Tensor output;
-  const bool ok = gather_image(ctx, /*seq=*/0, model, output);
-  if (!ok) {
+  if (gather_image(ctx, /*seq=*/0, model, output) != GatherStatus::kOk) {
     // A provider failed (its barrier shut the fabric down), a peer sent
     // plan-mismatched chunks, or the gather starved past its timeout
     // budget. Tear the fabric down and join before throwing — never unwind
     // past live threads.
     if (rtx) rtx->stop();
     fabric.shutdown_all();
-    for (auto& t : threads) t.join();
+    supervisor.join_all();
     throw Error("cluster transport shut down mid-gather");
   }
 
@@ -62,7 +62,7 @@ ClusterResult run_once(const cnn::CnnModel& model,
       fabric.requester().send(data_addr(i), rpc::encode_shutdown());
     }
   }
-  for (auto& t : threads) t.join();
+  supervisor.join_all();
   if (rtx) rtx->stop();
   fabric.shutdown_all();
 

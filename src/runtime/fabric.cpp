@@ -3,12 +3,31 @@
 #include <map>
 #include <string>
 
+#include "common/require.hpp"
 #include "obs/trace.hpp"
 
 namespace de::runtime {
 
 void ClusterFabric::shutdown_all() {
   for (auto* ep : endpoints) ep->shutdown();
+}
+
+void ClusterFabric::set_node_down(rpc::NodeId node, bool down) {
+  DE_REQUIRE(!faulty.empty(), "node death needs a fault-decorated fabric");
+  const auto idx = static_cast<std::size_t>(node);
+  DE_REQUIRE(idx < faulty.size(), "node id outside the fabric");
+  // Tx half: the dead node itself stops sending...
+  if (down) {
+    faulty[idx]->kill_node();
+  } else {
+    faulty[idx]->revive_node();
+  }
+  // ...and rx half: every peer's link toward it is severed, so nothing it
+  // would have received queues up for its resurrection either.
+  for (std::size_t k = 0; k < faulty.size(); ++k) {
+    if (k == idx) continue;
+    faulty[k]->set_link_down(node, down);
+  }
 }
 
 ClusterFabric make_fabric(int n_devices, bool use_tcp,
@@ -73,63 +92,70 @@ ClusterFabric make_fabric(int n_devices, bool use_tcp,
   return fabric;
 }
 
-std::vector<std::thread> spawn_providers(
+namespace {
+
+/// The spawners' escalation policy: tear down the whole fabric, not just
+/// the requester — a downed requester transport drops the end-of-stream
+/// frames, which would leave the other providers blocked in receive() and
+/// deadlock the join. shutdown() is idempotent, so racing escalations from
+/// several threads are fine.
+Supervisor::Options provider_supervision(ClusterFabric& fabric,
+                                         int max_restarts) {
+  Supervisor::Options options;
+  options.max_restarts = max_restarts;
+  options.escalate = [&fabric] { fabric.shutdown_all(); };
+  return options;
+}
+
+}  // namespace
+
+Supervisor spawn_providers(
     ClusterFabric& fabric, const cnn::CnnModel& model,
     const sim::RawStrategy& strategy,
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
     int n_images, DataPlaneStats& stats,
     const ReliabilityOptions& reliability, const cnn::ExecContext& exec,
-    DataPlaneMode mode, int telemetry_every) {
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(plan.n_devices));
+    DataPlaneMode mode, int telemetry_every, int heartbeat_ms,
+    int max_restarts) {
+  Supervisor supervisor(provider_supervision(fabric, max_restarts));
   for (int i = 0; i < plan.n_devices; ++i) {
-    threads.emplace_back([&fabric, &model, &strategy, &weights, &plan,
-                          n_images, &stats, reliability, exec, mode,
-                          telemetry_every, i] {
-      try {
-        obs::bind_thread("provider-" + std::to_string(i), i);
-        const TelemetryHooks hooks{
-            fabric.sampler(i), telemetry_every,
-            fabric.node_origin_us[static_cast<std::size_t>(i)]};
-        provider_loop(*fabric.endpoints[static_cast<std::size_t>(i)], i, model,
-                      strategy, weights, plan, n_images, stats, reliability,
-                      exec, mode, hooks);
-      } catch (...) {
-        // Tear down the whole fabric, not just the requester: a downed
-        // requester transport drops the end-of-stream frames, which would
-        // leave the other providers blocked in receive() and deadlock the
-        // join. shutdown() is idempotent, so racing barriers are fine.
-        fabric.shutdown_all();
-      }
-    });
+    supervisor.spawn(
+        "provider-" + std::to_string(i), i,
+        [&fabric, &model, &strategy, &weights, &plan, n_images, &stats,
+         reliability, exec, mode, telemetry_every, heartbeat_ms, i] {
+          const TelemetryHooks hooks{
+              fabric.sampler(i), telemetry_every,
+              fabric.node_origin_us[static_cast<std::size_t>(i)],
+              heartbeat_ms, plan.requester_node()};
+          provider_loop(*fabric.endpoints[static_cast<std::size_t>(i)], i,
+                        model, strategy, weights, plan, n_images, stats,
+                        reliability, exec, mode, hooks);
+        });
   }
-  return threads;
+  return supervisor;
 }
 
-std::vector<std::thread> spawn_providers_multi(
+Supervisor spawn_providers_multi(
     ClusterFabric& fabric, int n_devices, std::span<const TenantModel> fleet,
     DataPlaneStats& stats, const ReliabilityOptions& reliability,
-    const cnn::ExecContext& exec, DataPlaneMode mode, int telemetry_every) {
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(n_devices));
+    const cnn::ExecContext& exec, DataPlaneMode mode, int telemetry_every,
+    int heartbeat_ms, int max_restarts) {
+  Supervisor supervisor(provider_supervision(fabric, max_restarts));
   for (int i = 0; i < n_devices; ++i) {
-    threads.emplace_back([&fabric, fleet, &stats, reliability, exec, mode,
-                          telemetry_every, i] {
-      try {
-        obs::bind_thread("provider-" + std::to_string(i), i);
-        const TelemetryHooks hooks{
-            fabric.sampler(i), telemetry_every,
-            fabric.node_origin_us[static_cast<std::size_t>(i)]};
-        provider_loop_multi(*fabric.endpoints[static_cast<std::size_t>(i)], i,
-                            fleet, stats, reliability, exec, mode, hooks);
-      } catch (...) {
-        // Same barrier as spawn_providers: take the whole fabric down so
-        // blocked counterparties fail in an orderly way.
-        fabric.shutdown_all();
-      }
-    });
+    supervisor.spawn(
+        "provider-" + std::to_string(i), i,
+        [&fabric, n_devices, fleet, &stats, reliability, exec, mode,
+         telemetry_every, heartbeat_ms, i] {
+          const TelemetryHooks hooks{
+              fabric.sampler(i), telemetry_every,
+              fabric.node_origin_us[static_cast<std::size_t>(i)],
+              heartbeat_ms, static_cast<rpc::NodeId>(n_devices)};
+          provider_loop_multi(*fabric.endpoints[static_cast<std::size_t>(i)],
+                              i, fleet, stats, reliability, exec, mode,
+                              hooks);
+        });
   }
-  return threads;
+  return supervisor;
 }
 
 }  // namespace de::runtime

@@ -16,6 +16,7 @@
 #include "rpc/inproc_transport.hpp"
 #include "rpc/shaped_transport.hpp"
 #include "rpc/tcp_transport.hpp"
+#include "runtime/supervisor.hpp"
 #include "runtime/worker.hpp"
 
 namespace de::runtime {
@@ -45,6 +46,13 @@ struct ClusterFabric {
                           : shaped[static_cast<std::size_t>(node)].get();
   }
   void shutdown_all();
+
+  /// Chaos-schedule node death/revival (fault-decorated fabrics only):
+  /// severs/restores both halves of node's connectivity — its own outgoing
+  /// links (kill_node on its transport) and every peer's link toward it.
+  /// Composable: killing/reviving one node never disturbs the manual link
+  /// state of another.
+  void set_node_down(rpc::NodeId node, bool down);
 };
 
 /// Builds the fabric for `n_devices` providers plus the requester. TCP nodes
@@ -63,13 +71,18 @@ ClusterFabric make_fabric(int n_devices, bool use_tcp,
                           DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
                           const rpc::ShapingSpec* shaping = nullptr);
 
-/// One provider thread per device. An exception escaping a provider would
-/// std::terminate the process; the barrier instead shuts the whole fabric
-/// down so blocked counterparties fail in an orderly way. With
-/// `telemetry_every` > 0 each provider publishes a kTelemetry frame to the
-/// requester's telemetry mailbox every that many images (link rates come
-/// from the node's shaper when the fabric is shaped).
-std::vector<std::thread> spawn_providers(
+/// One provider thread per device, run under a Supervisor. An exception
+/// escaping a provider would std::terminate the process; with the default
+/// max_restarts = 0 the supervisor escalates immediately by shutting the
+/// whole fabric down so blocked counterparties fail in an orderly way (the
+/// classic barrier). Chaos/membership runs pass max_restarts > 0 so a
+/// provider that starved out while its node was "dead" is restarted with a
+/// fresh loop instead. With `telemetry_every` > 0 each provider publishes a
+/// kTelemetry frame to the requester's telemetry mailbox every that many
+/// images (link rates come from the node's shaper when the fabric is
+/// shaped); with `hooks_extra.heartbeat_ms` > 0 it additionally publishes
+/// periodic kHeartbeat lease renewals there.
+Supervisor spawn_providers(
     ClusterFabric& fabric, const cnn::CnnModel& model,
     const sim::RawStrategy& strategy,
     const std::vector<cnn::ConvWeights>& weights, const TransferPlan& plan,
@@ -77,17 +90,17 @@ std::vector<std::thread> spawn_providers(
     const ReliabilityOptions& reliability = {},
     const cnn::ExecContext& exec = {},
     DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
-    int telemetry_every = 0);
+    int telemetry_every = 0, int heartbeat_ms = 0, int max_restarts = 0);
 
 /// Multi-tenant variant: each provider runs provider_loop_multi over the
 /// shared tenant registry `fleet` (no seed strategy — epoch lanes arrive by
 /// stream-tagged kReconfigure; `fleet` must outlive the threads). Always
 /// streaming: the front door releases the providers with kShutdown.
-std::vector<std::thread> spawn_providers_multi(
+Supervisor spawn_providers_multi(
     ClusterFabric& fabric, int n_devices, std::span<const TenantModel> fleet,
     DataPlaneStats& stats, const ReliabilityOptions& reliability = {},
     const cnn::ExecContext& exec = {},
     DataPlaneMode mode = DataPlaneMode::kOverlapZeroCopy,
-    int telemetry_every = 0);
+    int telemetry_every = 0, int heartbeat_ms = 0, int max_restarts = 0);
 
 }  // namespace de::runtime

@@ -19,7 +19,30 @@ bool ChunkDedup::fresh(rpc::NodeId sender, std::uint32_t chunk_id) {
     ++w.contiguous;
     w.sparse.erase(w.sparse.begin());
   }
+  // Bounded sparse window: ids normally arrive gaplessly per link, so a
+  // sparse set this large means the sender jumped its ids (rejoined with a
+  // new incarnation base) and the hole below will never fill. Advance past
+  // the oldest hole rather than growing forever.
+  while (w.sparse.size() > kMaxSparse) {
+    w.contiguous = *w.sparse.begin();
+    w.sparse.erase(w.sparse.begin());
+    while (!w.sparse.empty() && *w.sparse.begin() == w.contiguous + 1) {
+      ++w.contiguous;
+      w.sparse.erase(w.sparse.begin());
+    }
+  }
   return true;
+}
+
+void ChunkDedup::assume(rpc::NodeId sender, std::uint32_t base) {
+  Window& w = seen_[sender];
+  if (base <= w.contiguous) return;
+  w.contiguous = base;
+  w.sparse.erase(w.sparse.begin(), w.sparse.upper_bound(base));
+  while (!w.sparse.empty() && *w.sparse.begin() == w.contiguous + 1) {
+    ++w.contiguous;
+    w.sparse.erase(w.sparse.begin());
+  }
 }
 
 Retransmitter::Retransmitter(rpc::Transport& transport,
@@ -35,7 +58,33 @@ Retransmitter::~Retransmitter() { stop(); }
 
 std::uint32_t Retransmitter::next_chunk_id(rpc::NodeId to) {
   std::lock_guard lk(mu_);
-  return ++next_id_[to];
+  std::uint32_t& id = next_id_[to];
+  if (id < id_base_) id = id_base_;
+  return ++id;
+}
+
+std::size_t Retransmitter::cancel_to(rpc::NodeId to) {
+  std::size_t cancelled = 0;
+  {
+    std::lock_guard lk(mu_);
+    auto it = outbox_.lower_bound(LinkChunk{to, 0});
+    while (it != outbox_.end() && it->first.first == to) {
+      it = outbox_.erase(it);
+      ++cancelled;
+    }
+  }
+  if (cancelled > 0) {
+    stats_.retx_cancelled.fetch_add(static_cast<std::int64_t>(cancelled),
+                                    std::memory_order_relaxed);
+    obs::trace_instant(obs::Cat::kRetxCancel, -1, -1, to,
+                       static_cast<std::int64_t>(cancelled));
+  }
+  return cancelled;
+}
+
+void Retransmitter::set_id_base(std::uint32_t base) {
+  std::lock_guard lk(mu_);
+  if (base > id_base_) id_base_ = base;
 }
 
 void Retransmitter::track(const rpc::Address& to, std::uint32_t chunk_id,

@@ -67,6 +67,15 @@ struct DataPlaneStats {
   std::atomic<std::int64_t> nacks{0};
   std::atomic<std::int64_t> recv_timeouts{0};
   std::atomic<std::int64_t> chunks_abandoned{0};  ///< gave up after max_attempts
+  /// Outbox entries dropped by cancel_to() when the controller declared the
+  /// destination dead — retransmission budget released without burning the
+  /// full rto/attempt schedule.
+  std::atomic<std::int64_t> retx_cancelled{0};
+  /// In-flight images voided by a membership change and re-dispatched under
+  /// fresh seqs (never corrupted, never silently dropped).
+  std::atomic<std::int64_t> images_cancelled{0};
+  /// Retired epoch lanes evicted from providers (stream closed + drained).
+  std::atomic<std::int64_t> lanes_evicted{0};
 };
 
 /// Receive-side duplicate filter: tracks (sender, chunk_id) pairs with a
@@ -79,6 +88,20 @@ class ChunkDedup {
  public:
   /// True exactly once per (sender, chunk_id); false for every repeat.
   bool fresh(rpc::NodeId sender, std::uint32_t chunk_id);
+
+  /// Fast-forwards `sender`'s watermark to at least `base`: every id <= base
+  /// is treated as seen, ids above it as fresh. Applied when a membership
+  /// change announces the sender's new chunk-id incarnation base, so a
+  /// rejoined node's fresh ids are never mistaken for replays of its
+  /// previous life (nor, worse, acked-then-dropped below a stale
+  /// watermark). Never moves the watermark backwards.
+  void assume(rpc::NodeId sender, std::uint32_t base);
+
+  /// Sparse ids tolerated per sender before the window assumes the gap is
+  /// permanent and advances past the oldest hole. Far above any real
+  /// reorder window; reached only when a sender legitimately jumped its ids
+  /// (rejoin) and this receiver missed the membership announcement.
+  static constexpr std::size_t kMaxSparse = 4096;
 
  private:
   struct Window {
@@ -111,6 +134,20 @@ class Retransmitter {
   /// same allocation, never a second copy.
   void track(const rpc::Address& to, std::uint32_t chunk_id,
              rpc::Frame frame);
+
+  /// Drops every outbox entry destined to `to` right now — the fast-fail
+  /// path when the controller declares the peer dead, instead of burning
+  /// each entry's remaining rto/attempt schedule. Returns the number of
+  /// entries cancelled (also accumulated in stats.retx_cancelled). Does NOT
+  /// reset the link's chunk-id counter: ids stay monotone per link forever
+  /// so a revived peer's dedup state can never swallow fresh frames.
+  std::size_t cancel_to(rpc::NodeId to);
+
+  /// Jumps this sender's outgoing chunk-id counters to at least `base` on
+  /// every link. Called by a (re)joining node when its adoption announces a
+  /// new id incarnation base: peers fast-forward their dedup to `base`
+  /// (ChunkDedup::assume), so outgoing ids must restart above it.
+  void set_id_base(std::uint32_t base);
 
   /// True when every tracked frame has been acked or abandoned.
   bool idle() const;
@@ -146,6 +183,7 @@ class Retransmitter {
   mutable std::mutex mu_;
   std::map<LinkChunk, Entry> outbox_;
   std::map<rpc::NodeId, std::uint32_t> next_id_;
+  std::uint32_t id_base_ = 0;  ///< incarnation floor for all outgoing ids
   std::atomic<bool> stop_{false};
   std::thread thread_;
 };

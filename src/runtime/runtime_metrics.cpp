@@ -16,6 +16,10 @@ void fold_data_plane_metrics(const DataPlaneStats& stats,
   registry.counter(kMetricRecvTimeouts).set(stats.recv_timeouts.load());
   registry.counter(kMetricChunksAbandoned)
       .set(stats.chunks_abandoned.load());
+  registry.counter(kMetricRetxCancelled).set(stats.retx_cancelled.load());
+  registry.counter(kMetricImagesCancelled)
+      .set(stats.images_cancelled.load());
+  registry.counter(kMetricLanesEvicted).set(stats.lanes_evicted.load());
 }
 
 }  // namespace de::runtime

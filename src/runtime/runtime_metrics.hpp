@@ -25,6 +25,12 @@ inline constexpr const char* kMetricNacks = "reliability.nacks";
 inline constexpr const char* kMetricRecvTimeouts = "reliability.recv_timeouts";
 inline constexpr const char* kMetricChunksAbandoned =
     "reliability.chunks_abandoned";
+// Membership / churn (all zero on a stable fleet).
+inline constexpr const char* kMetricRetxCancelled =
+    "membership.retx_cancelled";
+inline constexpr const char* kMetricImagesCancelled =
+    "membership.images_cancelled";
+inline constexpr const char* kMetricLanesEvicted = "membership.lanes_evicted";
 // Streaming-only extras (serve_stream).
 inline constexpr const char* kMetricStreamImages = "stream.images";
 inline constexpr const char* kMetricStreamWallS = "stream.wall_s";

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <deque>
 #include <memory>
+#include <utility>
 
 #include "common/require.hpp"
 #include "ctrl/controller.hpp"
@@ -28,6 +30,17 @@ ServeResult serve_stream(const cnn::CnnModel& model,
                               return a.at_image < b.at_image;
                             }),
              "scripted swaps must be sorted by at_image");
+  DE_REQUIRE(std::is_sorted(options.chaos.begin(), options.chaos.end(),
+                            [](const ChaosEvent& a, const ChaosEvent& b) {
+                              return a.at_image < b.at_image;
+                            }),
+             "chaos events must be sorted by at_image");
+  DE_REQUIRE(options.chaos.empty() ||
+                 (options.faults != nullptr && options.controller != nullptr &&
+                  options.heartbeat_ms > 0),
+             "a chaos schedule needs a fault-decorated fabric (the kill "
+             "switch lives on the fault decorators), heartbeats, and a "
+             "lease-tracking controller to observe the deaths");
   for (const auto& input : inputs) {
     validate_cluster_inputs(model, weights, input);
   }
@@ -42,10 +55,11 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   auto fabric = make_fabric(n_devices, options.use_tcp, options.faults,
                             options.data_plane, options.shaping);
   DataPlaneStats stats;
-  auto threads = spawn_providers(fabric, model, strategy, weights, plan,
-                                 /*n_images=*/-1, stats, options.reliability,
-                                 options.exec, options.data_plane,
-                                 telemetry_every);
+  Supervisor supervisor = spawn_providers(
+      fabric, model, strategy, weights, plan,
+      /*n_images=*/-1, stats, options.reliability, options.exec,
+      options.data_plane, telemetry_every, options.heartbeat_ms,
+      options.provider_max_restarts);
 
   ServeResult result;
   result.images = n_images;
@@ -89,7 +103,7 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     if (options.controller != nullptr) options.controller->stop();
     if (rtx) rtx->stop();
     fabric.shutdown_all();
-    for (auto& t : threads) t.join();
+    supervisor.join_all();
   };
 
   const auto t0 = std::chrono::steady_clock::now();
@@ -107,31 +121,139 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   };
   std::size_t next_scripted = 0;
 
-  int next_scatter = 0;
-  for (int done = 0; done < n_images; ++done) {
-    // Epochs that no longer serve any ungathered image are dead history.
-    ctx.epochs.retire(done);
+  // The dispatch state that makes re-dispatch possible: global seqs are
+  // allocated forever forward, and the binding seq -> input index lives in
+  // `inflight` (scatter order). A membership death voids the whole in-flight
+  // window — the same inputs go back to the front of `todo` and out again
+  // under fresh seqs, so no image is ever lost or delivered twice.
+  std::deque<int> todo;  // input indices not yet (re-)dispatched
+  for (int idx = 0; idx < n_images; ++idx) todo.push_back(idx);
+  std::deque<std::pair<int, int>> inflight;  // (global seq, input index)
+  int next_seq = 0;
+  int delivered = 0;
+  int join_count = 0;
+  std::size_t next_chaos = 0;
+  if (options.keep_outputs) result.outputs.resize(inputs.size());
+
+  if (options.controller != nullptr) {
+    // Death decisions may interrupt a *blocked* gather: the rows the gather
+    // is waiting for are on a dead device and will never arrive, and the
+    // interrupted image is about to be cancelled anyway. Pure joins never
+    // interrupt (an interrupted gather cannot resume — its consumed chunks
+    // are gone), they wait for the next image boundary.
+    ctx.interrupt = [&options] {
+      return options.controller->death_pending();
+    };
+  }
+
+  // Membership recovery: cancel the in-flight window, announce the change
+  // to the survivors (the dead get nothing — a tracked frame to them only
+  // churns the retransmit budget), cut the fleet over to the survivor
+  // strategy, and re-dispatch the voided inputs under fresh seqs.
+  const auto recover = [&](const ctrl::SwapDecision& d) {
+    const bool death = !d.died.empty();
+    rpc::MembershipMsg msg;
+    // A death voids every in-flight image (split-compute: the dead device
+    // owned a slice of each); a pure join voids nothing — the floor is
+    // simply the oldest still-ungathered seq, below which everything is
+    // already delivered.
+    msg.cancel_below =
+        death ? next_seq
+              : (inflight.empty() ? next_seq : inflight.front().first);
+    msg.resume_seq = next_seq;
+    msg.died = d.died;
+    for (const auto node : d.joined) {
+      // One fresh chunk-id incarnation per adoption: the joiner's outgoing
+      // ids jump above every id of its previous life, and peers
+      // fast-forward their dedup so the new ids are never mistaken for
+      // replays (or worse, acked-and-dropped below a stale watermark).
+      ++join_count;
+      msg.joined.push_back(rpc::MembershipJoin{
+          node, static_cast<std::uint32_t>(join_count) << 24});
+    }
+    apply_membership_local(ctx, msg);
+    for (int k = 0; k < n_devices; ++k) {
+      const auto node = static_cast<rpc::NodeId>(k);
+      if (std::find(msg.died.begin(), msg.died.end(), node) !=
+          msg.died.end()) {
+        continue;
+      }
+      post_membership(ctx, node, msg);
+    }
+    int cancelled = 0;
+    if (death) {
+      cancelled = static_cast<int>(inflight.size());
+      stats.images_cancelled.fetch_add(cancelled, std::memory_order_relaxed);
+      for (auto it = inflight.rbegin(); it != inflight.rend(); ++it) {
+        todo.push_front(it->second);  // reverse walk keeps dispatch order
+      }
+      inflight.clear();
+    }
+    const int epoch = push_epoch(ctx, model, d.strategy, next_seq);
+    result.reconfigurations.push_back(ReconfigEvent{
+        epoch, next_seq, stream_s(), d.predicted_serving_ms,
+        d.predicted_next_ms, static_cast<int>(d.died.size()),
+        static_cast<int>(d.joined.size()), cancelled});
+  };
+
+  // Pops the controller's pending decision, routing membership decisions
+  // through recovery and plain drift swaps through a regular epoch push.
+  const auto poll_controller = [&] {
+    if (options.controller == nullptr) return;
+    if (auto decision = options.controller->take_swap()) {
+      if (decision->membership()) {
+        recover(*decision);
+      } else {
+        swap_now(decision->strategy, next_seq, decision->predicted_serving_ms,
+                 decision->predicted_next_ms);
+      }
+    }
+  };
+
+  while (delivered < n_images) {
+    // History below the oldest ungathered seq is dead: epochs nothing
+    // references and (after a cancellation) the voided dispatch window.
+    retire_below(ctx, inflight.empty() ? next_seq : inflight.front().first);
+    // Chaos events are keyed on the delivered count, so a schedule is
+    // deterministic under any timing: "kill node 2 after 8 deliveries".
+    while (next_chaos < options.chaos.size() &&
+           options.chaos[next_chaos].at_image <= delivered) {
+      const ChaosEvent& ev = options.chaos[next_chaos];
+      fabric.set_node_down(ev.node, ev.kill);
+      result.chaos_applied_at_s.push_back(stream_s());
+      ++next_chaos;
+    }
     try {
-      while (next_scatter < n_images &&
-             next_scatter < done + options.inflight) {
-        // Swaps land exactly here — after image next_scatter-1's scatter,
-        // before image next_scatter's — so every image runs wholly under
-        // one epoch.
+      if (options.controller != nullptr &&
+          options.controller->membership_pending()) {
+        poll_controller();
+      }
+      while (!todo.empty() &&
+             static_cast<int>(inflight.size()) < options.inflight) {
+        // Swaps land exactly here — between two scatters — so every image
+        // runs wholly under one epoch. Scripted swaps key on the global
+        // scatter count (identical to the input index on a stable fleet).
         while (next_scripted < options.swaps.size() &&
-               options.swaps[next_scripted].at_image <= next_scatter) {
-          swap_now(options.swaps[next_scripted].strategy, next_scatter, 0, 0);
+               options.swaps[next_scripted].at_image <= next_seq) {
+          swap_now(options.swaps[next_scripted].strategy, next_seq, 0, 0);
           ++next_scripted;
         }
         if (options.controller != nullptr) {
           if (auto decision = options.controller->take_swap()) {
-            swap_now(decision->strategy, next_scatter,
+            if (decision->membership()) {
+              recover(*decision);
+              break;  // the in-flight window changed: re-enter the fill loop
+            }
+            swap_now(decision->strategy, next_seq,
                      decision->predicted_serving_ms,
                      decision->predicted_next_ms);
           }
         }
-        scatter_image(ctx, next_scatter,
-                      inputs[static_cast<std::size_t>(next_scatter)]);
-        ++next_scatter;
+        const int idx = todo.front();
+        todo.pop_front();
+        scatter_image(ctx, next_seq, inputs[static_cast<std::size_t>(idx)]);
+        inflight.emplace_back(next_seq, idx);
+        ++next_seq;
       }
     } catch (...) {
       // A swap's strategy failed plan building/validation (bad scripted
@@ -140,22 +262,36 @@ ServeResult serve_stream(const cnn::CnnModel& model,
       teardown();
       throw;
     }
+    if (inflight.empty()) continue;  // recovery emptied the window: refill
+    const auto [seq, idx] = inflight.front();
     cnn::Tensor output;
     ImageRetryStats retry;
     const std::int64_t gather_t0 = obs::now_us();
-    const bool ok = gather_image(ctx, done, model, output, &retry);
+    const GatherStatus gathered = gather_image(ctx, seq, model, output, &retry);
     gather_latency.record(obs::now_us() - gather_t0);
-    if (!ok) {
-      // A provider failed (its barrier shut the fabric down), a peer sent
-      // plan-mismatched chunks, or the gather starved past its timeout
-      // budget.
-      teardown();
-      throw Error("stream transport shut down or starved mid-gather (image " +
-                  std::to_string(done) + " of " + std::to_string(n_images) +
-                  ")");
+    switch (gathered) {
+      case GatherStatus::kInterrupted:
+        continue;  // pending death: the top of the loop runs the recovery
+      case GatherStatus::kFailed:
+        // A provider failed (its barrier shut the fabric down), a peer sent
+        // plan-mismatched chunks, or the gather starved past its timeout
+        // budget.
+        teardown();
+        throw Error(
+            "stream transport shut down or starved mid-gather (image " +
+            std::to_string(idx) + " of " + std::to_string(n_images) + ")");
+      case GatherStatus::kOk:
+        break;
     }
+    inflight.pop_front();
+    ++delivered;
+    result.delivered_at_s.push_back(stream_s());
     result.per_image.push_back(retry);
-    if (options.keep_outputs) result.outputs.push_back(std::move(output));
+    if (options.keep_outputs) {
+      // Indexed by *input*, not delivery order: a re-dispatched image must
+      // land in its own slot for the bit-exactness gate to compare.
+      result.outputs[static_cast<std::size_t>(idx)] = std::move(output);
+    }
     if (telemetry_every > 0 && options.controller == nullptr) {
       // Telemetry was requested with nobody else to read it: drain the
       // mailbox here (or it grows for the life of the stream). A traced run
@@ -215,6 +351,17 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   result.nacks = result.metrics.counter(kMetricNacks);
   result.chunks_abandoned =
       result.metrics.counter(kMetricChunksAbandoned);
+  result.retx_cancelled =
+      stats.retx_cancelled.load(std::memory_order_relaxed);
+  result.images_cancelled =
+      stats.images_cancelled.load(std::memory_order_relaxed);
+  result.provider_restarts = supervisor.stats().restarts;
+  if (options.controller != nullptr) {
+    const auto cstats = options.controller->stats();
+    result.deaths = cstats.deaths;
+    result.joins = cstats.joins;
+    result.heartbeats = cstats.heartbeats;
+  }
 
   if (options.trace != nullptr) {
     // Everything merge_capture needs: the event dump, each node's clock

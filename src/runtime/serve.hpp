@@ -44,6 +44,20 @@ struct ScriptedSwap {
   sim::RawStrategy strategy;
 };
 
+/// One event of a seeded chaos schedule: kill (or revive) device `node`
+/// once `at_image` images have been *delivered*. Kills sever both halves of
+/// the node's connectivity (ClusterFabric::set_node_down) — its heartbeats
+/// stop arriving, the controller's lease lapses, and the membership
+/// machinery must recover every in-flight image without corruption; revives
+/// restore the links, and the node is re-adopted as a fresh joiner at the
+/// next lease poll. Keyed on delivered count so schedules are deterministic
+/// under any timing.
+struct ChaosEvent {
+  int at_image = 0;
+  rpc::NodeId node = rpc::kNilNode;
+  bool kill = true;  ///< false = revive (rejoin as a fresh joiner)
+};
+
 struct ServeOptions {
   int inflight = 4;          ///< K: images concurrently in the pipeline
   bool use_tcp = false;      ///< loopback TCP instead of in-process transport
@@ -96,6 +110,21 @@ struct ServeOptions {
   /// enables/disables the recorder around the stream. Implies telemetry
   /// publishing (defaults telemetry_every to 1 like a controller does).
   obs::TraceCapture* trace = nullptr;
+
+  /// Providers publish a kHeartbeat lease renewal every this many ms
+  /// (0 = off). Meaningful with a controller whose lease_ms is set: the
+  /// lease must comfortably exceed this period plus one scheduling hiccup.
+  int heartbeat_ms = 0;
+
+  /// Supervisor restart budget per provider thread (0 = classic barrier:
+  /// first failure tears the fabric down). Chaos runs raise it so a
+  /// provider that starved out while its node was "dead" restarts instead.
+  int provider_max_restarts = 0;
+
+  /// Seeded kill/revive schedule, sorted by at_image. Requires `faults`
+  /// (the kill switch lives on the fault decorators), reliability, and a
+  /// controller with lease_ms > 0 to detect and recover from the deaths.
+  std::vector<ChaosEvent> chaos;
 };
 
 /// One live reconfiguration the stream performed.
@@ -105,6 +134,9 @@ struct ReconfigEvent {
   Seconds at_s = 0;     ///< stream time the announcement went out
   Ms predicted_serving_ms = 0;  ///< controller swaps: old strategy, new view
   Ms predicted_next_ms = 0;     ///< controller swaps: new strategy, new view
+  int deaths = 0;       ///< devices this swap removed (lease lapsed)
+  int joins = 0;        ///< devices this swap adopted (revival/joiner)
+  int cancelled = 0;    ///< in-flight images voided and re-dispatched
 };
 
 struct ServeResult {
@@ -128,6 +160,18 @@ struct ServeResult {
   std::int64_t recv_timeouts = 0;
   std::int64_t nacks = 0;
   std::int64_t chunks_abandoned = 0;
+  /// Membership-layer totals (all zero on a stable fleet).
+  std::int64_t retx_cancelled = 0;    ///< outbox entries fast-failed at death
+  std::int64_t images_cancelled = 0;  ///< in-flight images voided+re-dispatched
+  int deaths = 0;                     ///< devices removed by lease expiry
+  int joins = 0;                      ///< devices adopted (revival/joiner)
+  std::int64_t heartbeats = 0;        ///< lease renewals the controller folded
+  std::int64_t provider_restarts = 0; ///< supervisor restarts granted
+  /// Stream time (seconds since start) each image was delivered, in
+  /// delivery order — windowed-IPS / recovery-dip analysis (bench_churn).
+  std::vector<double> delivered_at_s;
+  /// Stream time each chaos event was applied, in schedule order.
+  std::vector<double> chaos_applied_at_s;
   /// Per-image retry/timeout stats observed by the requester's gather.
   std::vector<ImageRetryStats> per_image;
   std::vector<cnn::Tensor> outputs;  ///< filled iff keep_outputs

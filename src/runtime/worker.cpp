@@ -1,8 +1,11 @@
 #include "runtime/worker.hpp"
 
 #include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "common/require.hpp"
@@ -15,10 +18,20 @@ namespace {
 
 /// Receive outcome of one frame: a chunk, end-of-stream, skip (dropped
 /// control/malformed/duplicate frame — caller should keep receiving), an
-/// expired bounded wait (reliable mode only), an epoch announcement, or a
-/// stream-dispatch announcement (multi-tenant providers only — the front
-/// door is the one sending both).
-enum class RxKind { kChunk, kStop, kSkip, kTimeout, kReconfig, kDispatch };
+/// expired bounded wait (reliable mode only), an epoch announcement, a
+/// stream-dispatch announcement (multi-tenant providers only), a membership
+/// change, or a lane eviction (multi-tenant) — the requester/front door is
+/// the one sending all of the announcement kinds.
+enum class RxKind {
+  kChunk,
+  kStop,
+  kSkip,
+  kTimeout,
+  kReconfig,
+  kDispatch,
+  kMembership,
+  kLaneEvict,
+};
 
 /// Receive-side state of one node, shared by the provider and gather loops.
 /// The dedup window is borrowed from the loop owner: it must span the whole
@@ -51,7 +64,9 @@ bool ack_and_dedup(RxState& rx, rpc::NodeId from_node, std::uint32_t chunk_id) {
 
 RxKind receive_frame(RxState& rx, RxChunk& out,
                      rpc::ReconfigureMsg* reconfig = nullptr,
-                     rpc::DispatchMsg* dispatch = nullptr) {
+                     rpc::DispatchMsg* dispatch = nullptr,
+                     rpc::MembershipMsg* membership = nullptr,
+                     rpc::LaneEvictMsg* lane_evict = nullptr) {
   rpc::Frame payload;
   if (!rx.reliability.enabled) {
     auto received = rx.transport.receive(rpc::kDataMailbox);
@@ -84,6 +99,20 @@ RxKind receive_frame(RxState& rx, RxChunk& out,
         return RxKind::kSkip;  // retransmitted announcement
       }
       return RxKind::kDispatch;
+    }
+    if (type == rpc::MsgType::kMembership && membership != nullptr) {
+      *membership = rpc::decode_membership(payload);
+      if (!ack_and_dedup(rx, membership->from_node, membership->chunk_id)) {
+        return RxKind::kSkip;  // retransmitted announcement
+      }
+      return RxKind::kMembership;
+    }
+    if (type == rpc::MsgType::kLaneEvict && lane_evict != nullptr) {
+      *lane_evict = rpc::decode_lane_evict(payload);
+      if (!ack_and_dedup(rx, lane_evict->from_node, lane_evict->chunk_id)) {
+        return RxKind::kSkip;  // retransmitted announcement
+      }
+      return RxKind::kLaneEvict;
     }
     if (!rpc::is_chunk_type(type)) {
       return RxKind::kSkip;  // halo requests (push-based plan), stray control
@@ -131,6 +160,69 @@ void drain_outbox(RxState& rx, Retransmitter& rtx) {
     if (receive_frame(rx, ignored) == RxKind::kStop) return;
   }
 }
+
+/// Periodic kHeartbeat publisher (lease renewal) of one provider. Runs on
+/// its own small thread so renewals keep flowing while the provider loop
+/// blocks in a receive or a long compute — the lease answers "is the node
+/// reachable", not "is it idle". Fire-and-forget like telemetry: a lost
+/// heartbeat just shortens the lease margin, and a severed node's
+/// heartbeats are exactly the ones that must go missing for the collector
+/// to declare it dead. hb_seq restarts at 1 per (re)started loop, which the
+/// collector's monotone gate reads as a new life.
+class Heartbeater {
+ public:
+  Heartbeater(rpc::Transport& transport, rpc::NodeId to, int period_ms,
+              std::int64_t clock_origin_us, DataPlaneStats& stats)
+      : transport_(transport), to_(to), period_ms_(period_ms),
+        clock_origin_us_(clock_origin_us), stats_(stats) {
+    if (period_ms_ > 0 && to_ != rpc::kNilNode) {
+      thread_ = std::thread([this] { loop(); });
+    }
+  }
+
+  ~Heartbeater() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  Heartbeater(const Heartbeater&) = delete;
+  Heartbeater& operator=(const Heartbeater&) = delete;
+
+ private:
+  void loop() {
+    std::uint32_t seq = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      rpc::HeartbeatMsg msg{transport_.local_node(), ++seq,
+                            obs::now_us() - clock_origin_us_};
+      rpc::Frame frame(rpc::encode_heartbeat(msg));
+      stats_.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                                  std::memory_order_relaxed);
+      obs::trace_instant(obs::Cat::kHeartbeatPub, -1, -1, -1,
+                         static_cast<std::int64_t>(seq));
+      transport_.send(rpc::Address{to_, rpc::kTelemetryMailbox},
+                      std::move(frame));
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(period_ms_),
+                   [this] { return stop_; });
+    }
+  }
+
+  rpc::Transport& transport_;
+  const rpc::NodeId to_;
+  const int period_ms_;
+  const std::int64_t clock_origin_us_;
+  DataPlaneStats& stats_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
 
 /// True when the chunk's rows are sane to blit into a destination of width
 /// `w`, channels `c`, covering absolute rows `bounds`. Wire decoding only
@@ -279,6 +371,12 @@ struct ProviderState {
   std::map<std::pair<int, int>, std::vector<RxChunk>> stash;
   /// Chunks of lanes/epochs not announced to us yet.
   std::vector<RxChunk> pending;
+  /// Images below this seq were voided by a membership change (kMembership):
+  /// their late chunks are dropped silently, never a geometry failure — the
+  /// requester re-dispatches the same inputs under fresh seqs.
+  int cancel_floor = 0;
+  /// Deferred lane evictions (multi mode): stream -> drained-below seq.
+  std::map<int, int> evictions;
 
   StreamLane* lane_for(int stream) {
     auto it = lanes.find(stream);
@@ -307,6 +405,15 @@ struct ProviderState {
   bool admit(RxChunk& chunk, int cur_stream, int cur_seq, int cur_vol,
              bool allow_consume) {
     const auto& v = chunk.view;
+    if (v.seq < cancel_floor) {
+      // Voided by a membership change: the image's input was re-dispatched
+      // under a fresh seq, so stragglers of its old life (a survivor's
+      // retransmitted halo, a band computed before the announcement landed)
+      // are dropped here — before any plan/epoch check, because the state
+      // those checks would consult may itself be gone.
+      obs::trace_instant(obs::Cat::kImageCancel, v.seq, v.volume, v.epoch);
+      return false;
+    }
     StreamLane* lane = lane_for(v.stream);
     if (lane != nullptr && v.epoch < lane->epochs.oldest()) {
       // Tagged with retired history: every image that epoch served is long
@@ -413,6 +520,72 @@ struct ProviderState {
                             it->second.epoch == msg.epoch),
                "conflicting dispatch announcements for one image");
   }
+
+  /// Applies a membership announcement: joiners' chunk-id incarnations are
+  /// adopted (the dedup window fast-forwards for peers; our own outgoing
+  /// ids jump when *we* are the joiner), retransmissions to the dead are
+  /// cancelled (fast-fail — no point burning their rto/attempt schedule),
+  /// and everything below `cancel_below` is voided: stashed and parked
+  /// chunks dropped, dispatch records erased. Returns true when the image
+  /// at `cur_seq` is among the voided — the caller must abandon it and jump
+  /// its cursor to the cancel floor.
+  bool register_membership(const rpc::MembershipMsg& msg, RxState& rx,
+                           Retransmitter* rtx, int cur_seq) {
+    const auto self = rx.transport.local_node();
+    obs::trace_instant(obs::Cat::kMembershipSwap, msg.cancel_below,
+                       static_cast<int>(msg.died.size()), -1,
+                       static_cast<std::int64_t>(msg.joined.size()));
+    for (const auto& join : msg.joined) {
+      if (join.node == self) {
+        // Our own adoption: restart outgoing ids above the announced base
+        // (idempotent — set_id_base never moves backwards, so a
+        // retransmitted membership frame re-applies harmlessly).
+        if (rtx != nullptr) rtx->set_id_base(join.id_base);
+      } else {
+        rx.dedup.assume(join.node, join.id_base);
+      }
+    }
+    if (rtx != nullptr) {
+      for (const auto node : msg.died) rtx->cancel_to(node);
+    }
+    if (msg.cancel_below > cancel_floor) {
+      cancel_floor = msg.cancel_below;
+      stash.erase(stash.begin(), stash.lower_bound({cancel_floor, 0}));
+      std::erase_if(pending, [this](const RxChunk& c) {
+        return c.view.seq < cancel_floor;
+      });
+      owners.erase(owners.begin(), owners.lower_bound(cancel_floor));
+    }
+    return cur_seq < cancel_floor;
+  }
+
+  /// Records a lane eviction (multi mode); applied by sweep_evictions once
+  /// the global cursor passes the drained watermark.
+  void register_eviction(const rpc::LaneEvictMsg& msg) {
+    DE_REQUIRE(multi, "lane eviction on a single-tenant provider");
+    auto [it, inserted] = evictions.emplace(msg.stream, msg.below_seq);
+    if (!inserted) it->second = std::max(it->second, msg.below_seq);
+  }
+
+  /// Drops the epoch lanes (history, schedules, weights binding) of closed
+  /// streams whose eviction watermark the cursor has passed. Per-sender
+  /// FIFO from the front door means no later frame can legitimately revive
+  /// an evicted lane; a straggler would park in `pending` like any chunk of
+  /// an unannounced stream.
+  void sweep_evictions(int cur_seq, DataPlaneStats& stats) {
+    for (auto it = evictions.begin(); it != evictions.end();) {
+      if (cur_seq >= it->second) {
+        if (lanes.erase(it->first) > 0) {
+          stats.lanes_evicted.fetch_add(1, std::memory_order_relaxed);
+          obs::trace_instant(obs::Cat::kLaneEvictCat, it->second, -1, -1,
+                             it->first);
+        }
+        it = evictions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
 };
 
 }  // namespace
@@ -471,7 +644,7 @@ void post_dispatch(rpc::Transport& transport, const rpc::Address& to,
   transport.send(to, std::move(frame));
 }
 
-enum class ImageOutcome { kDone, kRestart, kStop };
+enum class ImageOutcome { kDone, kRestart, kStop, kCancelled };
 
 /// Executes image `seq` on provider `i` under the epoch of `lane` (the
 /// stream that owns the image) currently serving it. kRestart means an
@@ -566,7 +739,10 @@ ImageOutcome process_image(
       RxChunk chunk;
       rpc::ReconfigureMsg rmsg;
       rpc::DispatchMsg dmsg;
-      switch (receive_frame(rx, chunk, &rmsg, state.multi ? &dmsg : nullptr)) {
+      rpc::MembershipMsg mmsg;
+      rpc::LaneEvictMsg emsg;
+      switch (receive_frame(rx, chunk, &rmsg, state.multi ? &dmsg : nullptr,
+                            &mmsg, state.multi ? &emsg : nullptr)) {
         case RxKind::kStop:
           return ImageOutcome::kStop;  // shutdown: abandon the image
         case RxKind::kSkip:
@@ -582,6 +758,22 @@ ImageOutcome process_image(
           continue;
         case RxKind::kDispatch:
           state.register_dispatch(dmsg, seq);
+          continue;
+        case RxKind::kMembership:
+          if (state.register_membership(mmsg, rx, rtx, seq)) {
+            // This image is among the voided: its owner (possibly us, more
+            // likely a dead peer's halo half) can never complete it, and
+            // the requester already re-dispatched its input under a fresh
+            // seq. Abandoning mid-image is safe — nothing of a cancelled
+            // image reaches the output (the requester drops its late
+            // gather chunks), so partial work cannot corrupt anything.
+            obs::trace_instant(obs::Cat::kImageCancel, seq, l, ep.epoch);
+            stats.images_cancelled.fetch_add(1, std::memory_order_relaxed);
+            return ImageOutcome::kCancelled;
+          }
+          continue;
+        case RxKind::kLaneEvict:
+          state.register_eviction(emsg);
           continue;
         case RxKind::kReconfig:
           if (state.register_epoch(rmsg, lane.stream, seq, l)) {
@@ -719,6 +911,14 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
     rtx = std::make_unique<Retransmitter>(transport, reliability, stats);
   }
 
+  // Lease renewals to the membership collector (off unless configured).
+  Heartbeater heartbeat(transport,
+                        telemetry.heartbeat_to != rpc::kNilNode
+                            ? telemetry.heartbeat_to
+                            : plan.requester_node(),
+                        telemetry.heartbeat_ms, telemetry.clock_origin_us,
+                        stats);
+
   // Pack each conv layer's weights once for the run, not once per image.
   cnn::ExecCache exec_cache;
   cnn::ExecContext exec_ctx = exec;
@@ -774,7 +974,8 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
       if (n_images >= 0) return;  // finite run: nothing will ever change
       RxChunk chunk;
       rpc::ReconfigureMsg rmsg;
-      switch (receive_frame(rx, chunk, &rmsg)) {
+      rpc::MembershipMsg mmsg;
+      switch (receive_frame(rx, chunk, &rmsg, nullptr, &mmsg)) {
         case RxKind::kStop:
           return;
         case RxKind::kSkip:
@@ -784,7 +985,12 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
         case RxKind::kReconfig:
           state.register_epoch(rmsg, lane.stream, seq, 0);
           continue;
-        case RxKind::kDispatch:  // unreachable: dispatch ptr not passed
+        case RxKind::kMembership:
+          state.register_membership(mmsg, rx, rtx.get(), seq);
+          seq = std::max(seq, state.cancel_floor);
+          continue;
+        case RxKind::kDispatch:   // unreachable: dispatch ptr not passed
+        case RxKind::kLaneEvict:  // unreachable: lane-evict ptr not passed
         case RxKind::kChunk:
           state.admit(chunk, lane.stream, seq, 0, /*allow_consume=*/false);
           continue;
@@ -801,6 +1007,9 @@ void provider_loop(rpc::Transport& transport, int i, const cnn::CnnModel& model,
         return;
       case ImageOutcome::kRestart:
         continue;  // same seq, new epoch
+      case ImageOutcome::kCancelled:
+        seq = state.cancel_floor;  // voided: resume at the re-dispatch point
+        continue;
       case ImageOutcome::kDone:
         break;
     }
@@ -864,6 +1073,15 @@ void provider_loop_multi(rpc::Transport& transport, int i,
     rtx = std::make_unique<Retransmitter>(transport, reliability, stats);
   }
 
+  // Lease renewals to the front door. The multi loop has no seed plan to
+  // derive the collector node from, so it must be given explicitly.
+  DE_REQUIRE(telemetry.heartbeat_ms <= 0 ||
+                 telemetry.heartbeat_to != rpc::kNilNode,
+             "multi-tenant heartbeats need an explicit collector node");
+  Heartbeater heartbeat(transport, telemetry.heartbeat_to,
+                        telemetry.heartbeat_ms, telemetry.clock_origin_us,
+                        stats);
+
   // One packed-weight cache per tenant model: interleaved streams of
   // different models each pay the packing cost once per run, not per image.
   std::vector<cnn::ExecCache> caches(fleet.size());
@@ -897,6 +1115,7 @@ void provider_loop_multi(rpc::Transport& transport, int i,
     // dispatch records and every lane's superseded epochs + schedules.
     // (Lane map entries themselves live for the run — see ProviderState.)
     state.owners.erase(state.owners.begin(), state.owners.lower_bound(seq));
+    state.sweep_evictions(seq, stats);
     for (auto& [id, l] : state.lanes) {
       l.epochs.retire(seq);
       l.schedules.erase(l.schedules.begin(),
@@ -913,7 +1132,9 @@ void provider_loop_multi(rpc::Transport& transport, int i,
       RxChunk chunk;
       rpc::ReconfigureMsg rmsg;
       rpc::DispatchMsg dmsg;
-      switch (receive_frame(rx, chunk, &rmsg, &dmsg)) {
+      rpc::MembershipMsg mmsg;
+      rpc::LaneEvictMsg emsg;
+      switch (receive_frame(rx, chunk, &rmsg, &dmsg, &mmsg, &emsg)) {
         case RxKind::kStop:
           return;
         case RxKind::kSkip:
@@ -925,6 +1146,13 @@ void provider_loop_multi(rpc::Transport& transport, int i,
           continue;
         case RxKind::kDispatch:
           state.register_dispatch(dmsg, seq);
+          continue;
+        case RxKind::kMembership:
+          state.register_membership(mmsg, rx, rtx.get(), seq);
+          seq = std::max(seq, state.cancel_floor);
+          continue;
+        case RxKind::kLaneEvict:
+          state.register_eviction(emsg);
           continue;
         case RxKind::kChunk:
           state.admit(chunk, /*cur_stream=*/-1, seq, 0,
@@ -958,6 +1186,9 @@ void provider_loop_multi(rpc::Transport& transport, int i,
         // re-map of an in-flight image is a front-door protocol breach.
         DE_REQUIRE(false, "epoch re-mapped a dispatched image — the front "
                           "door swapped behind its own dispatch");
+        continue;
+      case ImageOutcome::kCancelled:
+        seq = state.cancel_floor;  // voided: resume at the re-dispatch point
         continue;
       case ImageOutcome::kDone:
         break;
@@ -1069,6 +1300,52 @@ void retire_below(RequesterContext& ctx, int watermark) {
   ctx.owner.erase(ctx.owner.begin(), ctx.owner.lower_bound(watermark));
 }
 
+void post_membership(RequesterContext& ctx, rpc::NodeId to,
+                     rpc::MembershipMsg msg) {
+  if (ctx.rtx != nullptr) {
+    msg.from_node = ctx.transport.local_node();
+    msg.chunk_id = ctx.rtx->next_chunk_id(to);
+  }
+  rpc::Frame frame(rpc::encode_membership(msg));
+  ctx.stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                                 std::memory_order_relaxed);
+  if (ctx.rtx != nullptr) ctx.rtx->track(data_addr(to), msg.chunk_id, frame);
+  ctx.transport.send(data_addr(to), std::move(frame));
+}
+
+void post_lane_evict(RequesterContext& ctx, rpc::NodeId to,
+                     rpc::LaneEvictMsg msg) {
+  if (ctx.rtx != nullptr) {
+    msg.from_node = ctx.transport.local_node();
+    msg.chunk_id = ctx.rtx->next_chunk_id(to);
+  }
+  rpc::Frame frame(rpc::encode_lane_evict(msg));
+  ctx.stats.wire_bytes.fetch_add(static_cast<Bytes>(frame.size()),
+                                 std::memory_order_relaxed);
+  if (ctx.rtx != nullptr) ctx.rtx->track(data_addr(to), msg.chunk_id, frame);
+  ctx.transport.send(data_addr(to), std::move(frame));
+}
+
+std::size_t apply_membership_local(RequesterContext& ctx,
+                                   const rpc::MembershipMsg& msg) {
+  std::size_t cancelled = 0;
+  if (ctx.rtx != nullptr) {
+    for (const auto node : msg.died) cancelled += ctx.rtx->cancel_to(node);
+  }
+  for (const auto& join : msg.joined) {
+    ctx.dedup.assume(join.node, join.id_base);
+  }
+  if (msg.cancel_below > ctx.cancel_below) {
+    ctx.cancel_below = msg.cancel_below;
+    // Stashed gather chunks of voided images: partial output of a regime
+    // that can never complete. Dropping them here frees the frames now
+    // instead of at end of stream.
+    ctx.stash.erase(ctx.stash.begin(),
+                    ctx.stash.lower_bound(ctx.cancel_below));
+  }
+  return cancelled;
+}
+
 void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
   int stream = 0;
   const EpochPlan* resolved;
@@ -1102,8 +1379,9 @@ void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input) {
   }
 }
 
-bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
-                  cnn::Tensor& output, ImageRetryStats* retry) {
+GatherStatus gather_image(RequesterContext& ctx, int seq,
+                          const cnn::CnnModel& model, cnn::Tensor& output,
+                          ImageRetryStats* retry) {
   const auto& last_layer = model.layer(model.num_layers() - 1);
   output = cnn::Tensor(last_layer.out_h(), last_layer.out_w(), last_layer.out_c);
 
@@ -1133,8 +1411,10 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
     for (auto& chunk : it->second) {
       // Runs on the requester thread with provider threads live, so a
       // geometry mismatch reports failure instead of throwing past them.
-      if (!epoch_ok(chunk.view)) return false;
-      if (!chunk_fits(chunk.view, bounds, output.w, output.c)) return false;
+      if (!epoch_ok(chunk.view)) return GatherStatus::kFailed;
+      if (!chunk_fits(chunk.view, bounds, output.w, output.c)) {
+        return GatherStatus::kFailed;
+      }
       blit_chunk(chunk, output, 0, ctx.mode, ctx.stats);
       remaining_rows -= chunk.view.h;
     }
@@ -1147,13 +1427,16 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
   obs::SpanScope span(obs::Cat::kGather, seq, -1, ep.epoch);
   int timeout_rounds = 0;
   while (remaining_rows > 0) {
+    if (ctx.interrupt && ctx.interrupt()) return GatherStatus::kInterrupted;
     RxChunk chunk;
     switch (receive_frame(rx, chunk)) {
       case RxKind::kStop:
-        return false;
+        return GatherStatus::kFailed;
       case RxKind::kSkip:
-      case RxKind::kReconfig:  // unreachable: requester sends these
-      case RxKind::kDispatch:  // unreachable: dispatch ptr not passed
+      case RxKind::kReconfig:    // unreachable: requester sends these
+      case RxKind::kDispatch:    // unreachable: dispatch ptr not passed
+      case RxKind::kMembership:  // unreachable: requester sends these
+      case RxKind::kLaneEvict:   // unreachable: lane-evict ptr not passed
         continue;
       case RxKind::kTimeout:
         ctx.stats.recv_timeouts.fetch_add(1, std::memory_order_relaxed);
@@ -1162,26 +1445,38 @@ bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
         broadcast_nack(ctx.transport, ep.plan, seq, ep.plan.num_volumes(),
                        ctx.stats);
         if (retry != nullptr) ++retry->recv_timeouts;
-        if (++timeout_rounds > ctx.reliability.max_recv_timeouts) return false;
+        if (++timeout_rounds > ctx.reliability.max_recv_timeouts) {
+          return GatherStatus::kFailed;
+        }
         continue;
       case RxKind::kChunk:
         break;
     }
     timeout_rounds = 0;
     const auto& v = chunk.view;
+    if (v.seq < ctx.cancel_below) {
+      // Late output of a voided image: its input was re-dispatched under a
+      // fresh seq, so this band is duplicate work to drop, not an error.
+      obs::trace_instant(obs::Cat::kImageCancel, v.seq, v.volume, v.epoch);
+      continue;
+    }
     // Same stash-growth bound as the provider side: a gather for a past
     // image is a duplicate, one absurdly far ahead is off-plan.
-    if (v.seq < seq || v.seq - seq > kMaxImagesAhead) return false;
-    if (!epoch_ok(v)) return false;
+    if (v.seq < seq || v.seq - seq > kMaxImagesAhead) {
+      return GatherStatus::kFailed;
+    }
+    if (!epoch_ok(v)) return GatherStatus::kFailed;
     if (v.seq != seq) {
       ctx.stash[v.seq].push_back(std::move(chunk));
       continue;
     }
-    if (!chunk_fits(v, bounds, output.w, output.c)) return false;
+    if (!chunk_fits(v, bounds, output.w, output.c)) {
+      return GatherStatus::kFailed;
+    }
     blit_chunk(chunk, output, 0, ctx.mode, ctx.stats);
     remaining_rows -= v.h;
   }
-  return true;
+  return GatherStatus::kOk;
 }
 
 }  // namespace de::runtime

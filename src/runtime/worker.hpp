@@ -33,6 +33,7 @@
 // bit-exact cutover.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <span>
 #include <vector>
@@ -98,6 +99,16 @@ struct TelemetryHooks {
   /// node-local steady clock (wire v4), feeding the trace-merge clock-offset
   /// estimation (src/obs/trace_export.hpp).
   std::int64_t clock_origin_us = 0;
+  /// Publish a kHeartbeat lease renewal to `heartbeat_to`'s telemetry
+  /// mailbox every this many milliseconds (0 = never). Heartbeats run on a
+  /// small dedicated thread so they keep flowing while the loop blocks in a
+  /// receive or a long compute — a busy node is not a dead node.
+  int heartbeat_ms = 0;
+  /// Destination of the heartbeats (the collector node). kNilNode on the
+  /// single-tenant loop means "derive from the plan's requester node"; the
+  /// multi-tenant loop has no plan of its own, so it must be set explicitly
+  /// whenever heartbeat_ms > 0.
+  rpc::NodeId heartbeat_to = rpc::kNilNode;
 };
 
 /// Provider event loop for device `i`: executes its split-parts image after
@@ -208,6 +219,15 @@ struct RequesterContext {
   /// 0 is the legacy implicit seed and the wire codec rejects it in a
   /// kReconfigure announcement.
   int next_epoch = 1;
+  /// Images below this global seq were voided by a membership change (their
+  /// inputs re-dispatched under fresh seqs): their late gather chunks are
+  /// silently dropped instead of failing the stream.
+  int cancel_below = 0;
+  /// Polled during bounded gather waits (may be empty). Returning true
+  /// interrupts the gather with GatherStatus::kInterrupted so the owner can
+  /// run membership recovery instead of burning the starvation budget on
+  /// chunks a dead device will never send.
+  std::function<bool()> interrupt;
 };
 
 /// Live strategy swap: registers `strategy` as the next epoch, effective
@@ -241,19 +261,54 @@ void dispatch_image(RequesterContext& ctx, int stream, int seq);
 /// `watermark`.
 void retire_below(RequesterContext& ctx, int watermark);
 
+/// Announces a membership change to provider `to`, tracked for
+/// retransmission like a reconfigure when ctx.rtx is set. Callers send it to
+/// every *surviving* provider (a dead node's copy would only churn the
+/// retransmit budget) before the recovery epoch's kReconfigure — per-sender
+/// FIFO then guarantees providers void the cancelled images before any
+/// re-dispatched traffic of the new regime arrives.
+void post_membership(RequesterContext& ctx, rpc::NodeId to,
+                     rpc::MembershipMsg msg);
+
+/// Announces that stream `msg.stream` is closed and drained below
+/// `msg.below_seq`: multi-tenant providers evict the stream's epoch lane
+/// once their cursor passes the watermark. Tracked like a reconfigure.
+void post_lane_evict(RequesterContext& ctx, rpc::NodeId to,
+                     rpc::LaneEvictMsg msg);
+
+/// Applies a membership change to the requester's own reliability state:
+/// cancels pending retransmissions to the dead nodes (fast-fail — their
+/// budget is released immediately), fast-forwards the dedup window for each
+/// joiner's new chunk-id incarnation, raises `cancel_below`, and drops
+/// stashed gather chunks of the voided images. Returns the number of
+/// retransmission entries cancelled (also counted in stats.retx_cancelled).
+std::size_t apply_membership_local(RequesterContext& ctx,
+                                   const rpc::MembershipMsg& msg);
+
 /// Requester half: scatters image `seq`'s volume-0 inputs to the providers
 /// under the epoch serving `seq`.
 void scatter_image(RequesterContext& ctx, int seq, const cnn::Tensor& input);
+
+/// How a gather ended (see gather_image).
+enum class GatherStatus {
+  kOk,           ///< output complete (and bit-exact by construction)
+  kFailed,       ///< transport shut down, geometry breach, or starved out
+  kInterrupted,  ///< ctx.interrupt() asked the owner to intervene
+};
 
 /// Requester half: collects the holders' kGather chunks of image `seq` into
 /// `output` (sized from `model`). Completion is counted by output-row
 /// coverage, so one whole-part chunk per holder (serial mode) and streamed
 /// gather bands (overlap mode) both finish exactly when every row arrived.
-/// Chunks of other images park in the context's stash. Returns false if the
-/// transport shut down mid-gather, a peer sent plan-mismatched chunks, or
-/// (reliable mode) the gather starved past the timeout budget. `retry`,
-/// when given, receives this image's timeout/nack counts.
-bool gather_image(RequesterContext& ctx, int seq, const cnn::CnnModel& model,
-                  cnn::Tensor& output, ImageRetryStats* retry = nullptr);
+/// Chunks of other images park in the context's stash; chunks of images
+/// below ctx.cancel_below are dropped (late output of a voided image).
+/// Returns kFailed if the transport shut down mid-gather, a peer sent
+/// plan-mismatched chunks, or (reliable mode) the gather starved past the
+/// timeout budget; kInterrupted when ctx.interrupt() reports pending
+/// membership work (the image stays gatherable — call again or cancel it).
+/// `retry`, when given, receives this image's timeout/nack counts.
+GatherStatus gather_image(RequesterContext& ctx, int seq,
+                          const cnn::CnnModel& model, cnn::Tensor& output,
+                          ImageRetryStats* retry = nullptr);
 
 }  // namespace de::runtime

@@ -4,7 +4,9 @@
 #include <utility>
 
 #include "common/require.hpp"
+#include "ctrl/membership.hpp"
 #include "obs/trace.hpp"
+#include "rpc/wire.hpp"
 
 namespace de::serve {
 
@@ -145,8 +147,9 @@ void StreamServer::prepare_lane(runtime::RequesterContext& ctx, int id,
   }
   // An attached per-tenant controller's decision wins over an older
   // explicit swap_strategy() registration — it planned against fresher
-  // telemetry.
-  if (controller != nullptr) {
+  // telemetry. Membership decisions are NOT consumed here: the pump's
+  // recovery step takes those, because they need the in-flight window.
+  if (controller != nullptr && !controller->membership_pending()) {
     if (auto decision = controller->take_swap()) {
       swap = std::move(decision->strategy);
     }
@@ -159,12 +162,15 @@ void StreamServer::prepare_lane(runtime::RequesterContext& ctx, int id,
     std::lock_guard lk(mu_);
     Stream& s = streams_.at(id);
     s.lane_open = true;
+    s.current = strategy;
     ++s.epochs_pushed;
   } else if (swap) {
     runtime::push_stream_epoch(ctx, id, model_id, *tenant.model, *swap,
                                from_seq);
     std::lock_guard lk(mu_);
-    ++streams_.at(id).epochs_pushed;
+    Stream& s = streams_.at(id);
+    s.current = std::move(*swap);
+    ++s.epochs_pushed;
   }
 }
 
@@ -189,31 +195,162 @@ void StreamServer::pump() {
     int stream = 0;
     int model_id = 0;
     int seq = 0;
+    /// Kept until the gather delivers: a membership death voids the whole
+    /// window, and re-dispatch needs the original pixels back.
+    cnn::Tensor input;
     Clock::time_point t0;
   };
   std::deque<InFlight> inflight;
   int next_seq = 0;
+  int join_count = 0;
+  std::vector<bool> dead(static_cast<std::size_t>(n_devices_), false);
   bool failed = false;
+
+  // Fans fleet control frames to the attached per-tenant controllers.
+  // Every controller sees every frame (a provider's compute/link report —
+  // and its lease renewals — concern all tenants sharing it); each
+  // controller's own planner decides whether its tenant should move.
+  const auto drain_control = [&] {
+    while (auto frame = door_.try_receive(rpc::kTelemetryMailbox)) {
+      try {
+        std::vector<ctrl::Controller*> sinks;
+        {
+          std::lock_guard lk(mu_);
+          for (auto& [id, s] : streams_) {
+            if (s.controller != nullptr) sinks.push_back(s.controller);
+          }
+        }
+        if (rpc::peek_type(*frame) == rpc::MsgType::kHeartbeat) {
+          const rpc::HeartbeatMsg hb = rpc::decode_heartbeat(*frame);
+          const std::int64_t received_us = obs::now_us();
+          for (auto* sink : sinks) sink->ingest_heartbeat(hb, received_us);
+        } else {
+          const rpc::TelemetryMsg msg = rpc::decode_telemetry(*frame);
+          for (auto* sink : sinks) sink->ingest(msg);
+        }
+      } catch (const Error&) {
+        // Malformed control frame: drop, like the in-thread controller does.
+      }
+    }
+  };
+  // A gather blocked on a dead device's rows would never see the death
+  // (only the pump drains the control mailbox): the interrupt hook keeps
+  // the lease books fed from inside the gather's receive loop and reports
+  // a pending death so the gather bails out for recovery.
+  ctx.interrupt = [&] {
+    drain_control();
+    std::lock_guard lk(mu_);
+    for (auto& [id, s] : streams_) {
+      if (s.controller != nullptr && s.controller->death_pending()) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Membership recovery, door flavour (DESIGN.md §membership): announce the
+  // change fleet-wide, void the in-flight window on a death and hand those
+  // inputs back to their streams' queues (front, original submit stamps —
+  // they re-dispatch under fresh seqs before anything newer), and re-aim
+  // every live lane at a survivor strategy. The decision's own stream gets
+  // the freshly planned strategy; other streams get their current strategy
+  // masked over the survivors (their controllers, if any, will refine it).
+  const auto recover = [&](int owner_stream, const ctrl::SwapDecision& d) {
+    const bool death = !d.died.empty();
+    rpc::MembershipMsg msg;
+    msg.cancel_below =
+        death ? next_seq
+              : (inflight.empty() ? next_seq : inflight.front().seq);
+    msg.resume_seq = next_seq;
+    msg.died = d.died;
+    for (const auto node : d.joined) {
+      ++join_count;
+      msg.joined.push_back(rpc::MembershipJoin{
+          node, static_cast<std::uint32_t>(join_count) << 24});
+    }
+    for (const auto node : d.died) dead[static_cast<std::size_t>(node)] = true;
+    for (const auto node : d.joined) {
+      dead[static_cast<std::size_t>(node)] = false;
+    }
+    runtime::apply_membership_local(ctx, msg);
+    for (int k = 0; k < n_devices_; ++k) {
+      if (dead[static_cast<std::size_t>(k)]) continue;
+      runtime::post_membership(ctx, static_cast<rpc::NodeId>(k), msg);
+    }
+    std::lock_guard lk(mu_);
+    if (death && !inflight.empty()) {
+      stats_.images_cancelled.fetch_add(
+          static_cast<std::int64_t>(inflight.size()),
+          std::memory_order_relaxed);
+      for (auto it = inflight.rbegin(); it != inflight.rend(); ++it) {
+        Stream& s = streams_.at(it->stream);
+        s.inputs.emplace_front(std::move(it->input), it->t0);
+        ++s.credits;
+      }
+      inflight.clear();
+    }
+    for (auto& [id, s] : streams_) {
+      if (!s.lane_open && s.inputs.empty()) continue;
+      if (id == owner_stream) {
+        s.pending_swap = d.strategy;
+        continue;
+      }
+      const sim::RawStrategy& base =
+          s.current.volumes.empty()
+              ? fleet_[static_cast<std::size_t>(s.model_id)].strategy
+              : s.current;
+      s.pending_swap = ctrl::mask_strategy(base, dead);
+    }
+  };
 
   try {
     for (;;) {
-      // 1. Fan fleet telemetry to the attached per-tenant controllers.
-      //    Every controller sees every frame (a provider's compute/link
-      //    report concerns all tenants sharing it); each controller's own
-      //    planner decides whether its tenant should move.
-      while (auto frame = door_.try_receive(rpc::kTelemetryMailbox)) {
-        try {
-          const rpc::TelemetryMsg msg = rpc::decode_telemetry(*frame);
-          std::vector<ctrl::Controller*> sinks;
-          {
-            std::lock_guard lk(mu_);
-            for (auto& [id, s] : streams_) {
-              if (s.controller != nullptr) sinks.push_back(s.controller);
+      // 1. Feed the per-tenant controllers, then run any membership
+      //    recovery they decided on — before dispatching anything new, so
+      //    re-queued inputs go out under the survivor strategy.
+      drain_control();
+      {
+        std::vector<std::pair<int, ctrl::Controller*>> pending;
+        {
+          std::lock_guard lk(mu_);
+          for (auto& [id, s] : streams_) {
+            if (s.controller != nullptr && s.controller->membership_pending()) {
+              pending.emplace_back(id, s.controller);
             }
           }
-          for (auto* sink : sinks) sink->ingest(msg);
-        } catch (const Error&) {
-          // Malformed telemetry: drop, like the in-thread controller does.
+        }
+        for (auto& [id, controller] : pending) {
+          if (auto decision = controller->take_swap()) {
+            if (decision->membership()) recover(id, *decision);
+          }
+        }
+      }
+
+      // 1b. Lane GC: a closed stream whose window fully drained will never
+      //     dispatch again — reclaim its epoch lane here and tell every
+      //     (live) provider to do the same once its cursor passes the
+      //     stream's last image. Without this, long-gone streams pin their
+      //     whole epoch history for the life of the fleet.
+      {
+        std::vector<int> evictable;
+        {
+          std::lock_guard lk(mu_);
+          for (auto& [id, s] : streams_) {
+            if (s.closed && s.lane_open && !s.evicted && s.inputs.empty() &&
+                s.credits == s.window) {
+              s.evicted = true;
+              evictable.push_back(id);
+            }
+          }
+        }
+        for (const int id : evictable) {
+          ctx.lanes.erase(id);
+          for (int k = 0; k < n_devices_; ++k) {
+            if (dead[static_cast<std::size_t>(k)]) continue;
+            runtime::post_lane_evict(
+                ctx, static_cast<rpc::NodeId>(k),
+                rpc::LaneEvictMsg{0, 0, id, next_seq});
+          }
         }
       }
 
@@ -244,7 +381,7 @@ void StreamServer::pump() {
         runtime::dispatch_image(ctx, job.stream, next_seq);
         runtime::scatter_image(ctx, next_seq, job.input);
         inflight.push_back(InFlight{job.stream, job.model_id, next_seq,
-                                    job.t0});
+                                    std::move(job.input), job.t0});
         ++next_seq;
       }
 
@@ -256,7 +393,15 @@ void StreamServer::pump() {
         const TenantSpec& tenant =
             fleet_[static_cast<std::size_t>(job.model_id)];
         cnn::Tensor out;
-        if (!runtime::gather_image(ctx, job.seq, *tenant.model, out)) {
+        const auto gathered =
+            runtime::gather_image(ctx, job.seq, *tenant.model, out);
+        if (gathered == runtime::GatherStatus::kInterrupted) {
+          // A death is pending: put the image back (its input survives for
+          // re-dispatch) and let the top of the loop run the recovery.
+          inflight.push_front(std::move(job));
+          continue;
+        }
+        if (gathered == runtime::GatherStatus::kFailed) {
           failed = true;
           break;
         }
@@ -277,7 +422,10 @@ void StreamServer::pump() {
       // 4. Idle: wait for a dispatchable submission or shutdown. Streams
       //    whose consumers stopped popping hold queued inputs but no
       //    credits; they are not dispatchable and cannot hold the pump (or
-      //    the other streams) hostage.
+      //    the other streams) hostage. The wait is bounded so an idle door
+      //    still pumps heartbeats into the tenant controllers — a device
+      //    dying (or rejoining) between streams must not go unnoticed until
+      //    the next submission.
       std::unique_lock lk(mu_);
       const auto dispatchable = [&] {
         for (const auto& [id, s] : streams_) {
@@ -286,7 +434,8 @@ void StreamServer::pump() {
         return false;
       };
       if (closing_ && !dispatchable()) break;
-      cv_pump_.wait(lk, [&] { return closing_ || dispatchable(); });
+      cv_pump_.wait_for(lk, std::chrono::milliseconds(5),
+                        [&] { return closing_ || dispatchable(); });
       if (closing_ && !dispatchable()) break;
     }
   } catch (...) {

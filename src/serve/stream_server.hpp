@@ -16,6 +16,15 @@
 // blocking). Per-stream strategy swaps (explicit or from an attached
 // per-tenant controller) take effect at the stream's next dispatched image
 // and never touch any other stream's lane.
+//
+// The door also rides fleet churn (DESIGN.md §membership): kHeartbeat
+// frames on the shared telemetry mailbox feed every attached controller's
+// lease book, a death decision cancels the in-flight window and re-queues
+// those inputs for fresh dispatch under the survivor strategy (outputs stay
+// bit-exact, nothing is silently dropped), and streams without their own
+// controller are re-aimed by masking their current strategy over the
+// survivors. Closed, fully drained streams get their epoch lanes evicted
+// fleet-wide (kLaneEvict), so a long-gone stream pins no history.
 #pragma once
 
 #include <chrono>
@@ -127,7 +136,11 @@ class StreamServer {
     int credits = 0;  ///< window minus images dispatched-but-not-popped
     bool closed = false;
     bool lane_open = false;
+    bool evicted = false;  ///< lane history reclaimed (closed + drained)
     int epochs_pushed = 0;
+    /// Strategy the lane's current epoch runs — the base a fleet-death
+    /// masking redistributes from for streams without their own controller.
+    sim::RawStrategy current;
     std::optional<sim::RawStrategy> pending_swap;
     ctrl::Controller* controller = nullptr;
     std::deque<std::pair<cnn::Tensor, Clock::time_point>> inputs;

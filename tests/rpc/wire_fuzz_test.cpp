@@ -54,6 +54,9 @@ void decode_must_not_crash(const Payload& frame) {
   probe([](const Payload& f) { decode_stream_reject(f); });
   probe([](const Payload& f) { decode_stream_close(f); });
   probe([](const Payload& f) { decode_dispatch(f); });
+  probe([](const Payload& f) { decode_heartbeat(f); });
+  probe([](const Payload& f) { decode_membership(f); });
+  probe([](const Payload& f) { decode_lane_evict(f); });
 }
 
 TelemetryMsg sample_telemetry(Rng& rng) {
@@ -336,6 +339,114 @@ TEST(WireFuzz, StreamSessionFramesRoundTripAndSurviveTruncation) {
   EXPECT_THROW(encode_stream_accept({-1, 8}), Error);
   EXPECT_THROW(encode_stream_accept({0, 0}), Error);         // zero window
   EXPECT_THROW(encode_stream_reject({99}), Error);
+}
+
+MembershipMsg sample_membership(Rng& rng) {
+  MembershipMsg msg;
+  if (rng.uniform_int(0, 1) == 1) {
+    msg.from_node = rng.uniform_int(0, 6);
+    msg.chunk_id = static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 20));
+  }
+  msg.cancel_below = rng.uniform_int(0, 5000);
+  msg.resume_seq = msg.cancel_below + rng.uniform_int(0, 64);
+  const int n_died = rng.uniform_int(0, 3);
+  for (int k = 0; k < n_died; ++k) msg.died.push_back(rng.uniform_int(0, 7));
+  const int n_joined = rng.uniform_int(n_died == 0 ? 1 : 0, 3);
+  for (int k = 0; k < n_joined; ++k) {
+    msg.joined.push_back(
+        {rng.uniform_int(0, 7),
+         static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 28))});
+  }
+  return msg;
+}
+
+TEST(WireFuzz, MembershipFramesSurviveTruncationAndFlips) {
+  Rng rng(1216);
+  for (int iter = 0; iter < 300; ++iter) {
+    const auto frame = encode_membership(sample_membership(rng));
+    EXPECT_EQ(encode_membership(decode_membership(frame)), frame);
+    const auto cut = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(frame.size()) - 1));
+    const Payload truncated(frame.begin(),
+                            frame.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(decode_membership(truncated), Error) << "cut at " << cut;
+    decode_must_not_crash(truncated);
+    auto mutated = frame;
+    for (int f = rng.uniform_int(1, 6); f > 0; --f) {
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(mutated.size()) - 1));
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+    }
+    decode_must_not_crash(mutated);
+  }
+}
+
+TEST(WireFuzz, HostileMembershipCountsRejectedBeforeAllocation) {
+  // Claimed death/join counts far beyond the real payload: the length
+  // cross-check fires before either vector reserve, so a 20-byte frame can
+  // never demand megabytes. Counts past the sanity cap die outright.
+  Rng rng(1717);
+  for (int iter = 0; iter < 200; ++iter) {
+    core::ByteWriter w;
+    w.u32(kWireMagic);
+    w.u16(kWireVersion);
+    w.u16(static_cast<std::uint16_t>(MsgType::kMembership));
+    w.i32(-1);  // from_node (untracked)
+    w.u32(0);   // chunk_id
+    w.i32(0);   // cancel_below
+    w.i32(0);   // resume_seq
+    if (iter % 2 == 0) {
+      w.i32(rng.uniform_int(1 << 10, 1 << 16));  // hostile n_died claim
+      w.i32(1);                                  // a few stray bytes only
+    } else {
+      w.i32(1);                                  // one real death...
+      w.i32(2);                                  // ...node id
+      w.i32(rng.uniform_int(1 << 10, 1 << 16));  // hostile n_joined claim
+    }
+    EXPECT_THROW(decode_membership(w.bytes()), Error);
+  }
+  core::ByteWriter w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(MsgType::kMembership));
+  w.i32(-1);
+  w.u32(0);
+  w.i32(0);
+  w.i32(0);
+  w.i32((1 << 16) + 1);  // n_died over the cap
+  EXPECT_THROW(decode_membership(w.bytes()), Error);
+}
+
+TEST(WireFuzz, HeartbeatAndLaneEvictSurviveTruncationAndGarbage) {
+  Rng rng(622);
+  for (int iter = 0; iter < 200; ++iter) {
+    HeartbeatMsg hb;
+    hb.from_node = rng.uniform_int(0, 7);
+    hb.hb_seq = static_cast<std::uint32_t>(rng.uniform_int(1, 1 << 30));
+    hb.steady_now_us = rng.uniform_int(0, 1 << 30);
+    LaneEvictMsg evict;
+    evict.stream = rng.uniform_int(0, 64);
+    evict.below_seq = rng.uniform_int(0, 5000);
+    for (const auto& frame :
+         {encode_heartbeat(hb), encode_lane_evict(evict)}) {
+      const auto cut = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<int>(frame.size()) - 1));
+      const Payload t(frame.begin(),
+                      frame.begin() + static_cast<std::ptrdiff_t>(cut));
+      EXPECT_THROW(decode_heartbeat(t), Error);
+      EXPECT_THROW(decode_lane_evict(t), Error);
+      decode_must_not_crash(t);
+      auto mutated = frame;
+      mutated[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(mutated.size()) - 1))] ^=
+          static_cast<std::uint8_t>(1u << rng.uniform_int(0, 7));
+      decode_must_not_crash(mutated);
+    }
+    EXPECT_EQ(encode_heartbeat(decode_heartbeat(encode_heartbeat(hb))),
+              encode_heartbeat(hb));
+    EXPECT_EQ(encode_lane_evict(decode_lane_evict(encode_lane_evict(evict))),
+              encode_lane_evict(evict));
+  }
 }
 
 TEST(WireFuzz, TruncatedControlFramesError) {

@@ -335,6 +335,92 @@ TEST(Wire, V1RejectsV2ControlTypes) {
   EXPECT_THROW(peek_type(w.bytes()), Error);
 }
 
+TEST(Wire, HeartbeatRoundTrips) {
+  HeartbeatMsg msg;
+  msg.from_node = 3;
+  msg.hb_seq = 41;
+  msg.steady_now_us = 987654321;
+  const auto frame = encode_heartbeat(msg);
+  EXPECT_EQ(peek_type(frame), MsgType::kHeartbeat);
+  const auto back = decode_heartbeat(frame);
+  EXPECT_EQ(back.from_node, 3);
+  EXPECT_EQ(back.hb_seq, 41u);
+  EXPECT_EQ(back.steady_now_us, 987654321);
+  EXPECT_EQ(encode_heartbeat(back), frame);
+  // Anonymous, zero-seq, or time-travelling heartbeats are malformed: a
+  // lease renewal must name its node and be orderable.
+  EXPECT_THROW(encode_heartbeat({kNilNode, 1, 0}), Error);
+  EXPECT_THROW(encode_heartbeat({3, 0, 0}), Error);
+  EXPECT_THROW(encode_heartbeat({3, 1, -5}), Error);
+}
+
+TEST(Wire, MembershipRoundTrips) {
+  MembershipMsg msg;
+  msg.from_node = 6;
+  msg.chunk_id = 12;
+  msg.cancel_below = 17;
+  msg.resume_seq = 21;
+  msg.died = {1, 4};
+  msg.joined = {{2, 1u << 24}};
+  const auto frame = encode_membership(msg);
+  EXPECT_EQ(peek_type(frame), MsgType::kMembership);
+  const auto back = decode_membership(frame);
+  EXPECT_EQ(back.from_node, 6);
+  EXPECT_EQ(back.chunk_id, 12u);
+  EXPECT_EQ(back.cancel_below, 17);
+  EXPECT_EQ(back.resume_seq, 21);
+  EXPECT_EQ(back.died, msg.died);
+  ASSERT_EQ(back.joined.size(), 1u);
+  EXPECT_EQ(back.joined[0].node, 2);
+  EXPECT_EQ(back.joined[0].id_base, 1u << 24);
+  EXPECT_EQ(encode_membership(back), frame);
+
+  // A membership change that changes nothing is malformed, as is a resume
+  // watermark behind the cancellation floor.
+  MembershipMsg empty;
+  EXPECT_THROW(encode_membership(empty), Error);
+  auto bad = msg;
+  bad.resume_seq = bad.cancel_below - 1;
+  EXPECT_THROW(encode_membership(bad), Error);
+  // Untracked announcements are legal; tracked-by-nobody is not.
+  msg.from_node = kNilNode;
+  msg.chunk_id = 0;
+  EXPECT_EQ(decode_membership(encode_membership(msg)).chunk_id, 0u);
+  auto hostile = encode_membership(msg);
+  hostile[12] = 1;  // chunk_id lives at bytes 12-15
+  EXPECT_THROW(decode_membership(hostile), Error);
+}
+
+TEST(Wire, LaneEvictRoundTrips) {
+  LaneEvictMsg msg;
+  msg.from_node = 0;
+  msg.chunk_id = 7;
+  msg.stream = 3;
+  msg.below_seq = 250;
+  const auto frame = encode_lane_evict(msg);
+  EXPECT_EQ(peek_type(frame), MsgType::kLaneEvict);
+  const auto back = decode_lane_evict(frame);
+  EXPECT_EQ(back.stream, 3);
+  EXPECT_EQ(back.below_seq, 250);
+  EXPECT_EQ(encode_lane_evict(back), frame);
+  EXPECT_THROW(encode_lane_evict({0, 0, -1, 0}), Error);
+  EXPECT_THROW(encode_lane_evict({0, 0, 0, -1}), Error);
+}
+
+TEST(Wire, V5RejectsV6MembershipTypes) {
+  // Heartbeat/membership/lane-evict did not exist before v6; older frames
+  // claiming them are malformed.
+  for (const auto type :
+       {MsgType::kHeartbeat, MsgType::kMembership, MsgType::kLaneEvict}) {
+    core::ByteWriter w;
+    w.u32(kWireMagic);
+    w.u16(5);
+    w.u16(static_cast<std::uint16_t>(type));
+    w.i32(0);
+    EXPECT_THROW(peek_type(w.bytes()), Error);
+  }
+}
+
 TEST(Wire, RejectsBadMagic) {
   auto frame = encode_chunk(sample_chunk(MsgType::kScatter));
   frame[0] ^= 0xff;

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 #include "core/strategy.hpp"
@@ -97,12 +98,13 @@ struct Harness {
   runtime::DataPlaneStats stats;
   std::vector<runtime::TenantModel> fleet_models;
   std::vector<TenantSpec> fleet;
-  std::vector<std::thread> providers;
+  runtime::Supervisor providers;
   std::unique_ptr<StreamServer> server;
 
   Harness(int n_devices_, bool use_tcp, StreamServerOptions options = {},
           const rpc::FaultSpec* faults = nullptr,
-          const rpc::ShapingSpec* shaping = nullptr, int telemetry_every = 0)
+          const rpc::ShapingSpec* shaping = nullptr, int telemetry_every = 0,
+          int heartbeat_ms = 0, int max_restarts = 0)
       : n_devices(n_devices_) {
     Rng rng(23);
     wa = runtime::random_weights(ma, rng);
@@ -115,14 +117,15 @@ struct Harness {
              TenantSpec{&mb, &wb, equal_strategy(mb, {0, 3}, n_devices)}};
     providers = runtime::spawn_providers_multi(
         fabric, n_devices, fleet_models, stats, options.reliability, {},
-        runtime::DataPlaneMode::kOverlapZeroCopy, telemetry_every);
+        runtime::DataPlaneMode::kOverlapZeroCopy, telemetry_every,
+        heartbeat_ms, max_restarts);
     server = std::make_unique<StreamServer>(fabric.requester(), n_devices,
                                             fleet, stats, options);
   }
 
   ~Harness() {
     server->close();
-    for (auto& t : providers) t.join();
+    providers.join_all();
   }
 
   const cnn::CnnModel& model(int id) const { return id == 0 ? ma : mb; }
@@ -362,6 +365,112 @@ TEST(StreamServer, PerTenantControllerFedFromSharedTelemetry) {
   // Providers published one frame per finished image; the door fanned them
   // into the tenant's controller.
   EXPECT_GT(controller.stats().telemetry_frames, 0);
+}
+
+TEST(StreamServer, RetiredLaneIsEvictedAcrossTheFleet) {
+  // Epoch-lane GC: a closed, fully drained stream must not pin its epoch
+  // lane (schedules, owner rows, epoch history) on the providers forever.
+  // The door posts kLaneEvict once the lane is quiescent; every provider
+  // drops the lane as soon as its dispatch cursor passes the watermark.
+  Harness h(2, /*use_tcp=*/false);
+  Rng rng(97);
+  const int sa = h.server->open_stream(0);
+  ASSERT_GE(sa, 0);
+  run_and_check_stream(h, sa, 0, random_inputs(h.ma, 3, rng));
+  h.server->close_stream(sa);
+
+  // Unrelated traffic advances the providers past the eviction watermark.
+  const int sb = h.server->open_stream(1);
+  ASSERT_GE(sb, 0);
+  run_and_check_stream(h, sb, 1, random_inputs(h.mb, 6, rng));
+
+  // Both providers eventually drop tenant A's retired lane.
+  for (int spin = 0; spin < 500 && h.stats.lanes_evicted.load() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(h.stats.lanes_evicted.load(), 2);
+
+  // The fleet is still fully serviceable after the eviction.
+  const int sc = h.server->open_stream(0);
+  ASSERT_GE(sc, 0);
+  run_and_check_stream(h, sc, 0, random_inputs(h.ma, 2, rng));
+}
+
+TEST(StreamServer, StreamsSurviveFleetChurn) {
+  // Front-door churn: a device dies while two tenants are mid-stream, the
+  // attached controller's lease lapses, the pump cancels + re-dispatches
+  // the dead device's in-flight work for EVERY stream (the non-owning
+  // tenant is masked off the dead device too), and when the device comes
+  // back it is adopted as a joiner. Both streams stay bit-exact throughout.
+  rpc::FaultSpec faults;  // zero probabilities: a pure kill switch
+  faults.seed = 5;
+  StreamServerOptions options;
+  options.reliability.enabled = true;
+  Harness h(3, /*use_tcp=*/false, options, &faults, nullptr,
+            /*telemetry_every=*/1, /*heartbeat_ms=*/5, /*max_restarts=*/8);
+
+  ctrl::BandwidthProportionalPlanner planner;
+  ctrl::ControllerConfig config;
+  config.planner = &planner;
+  config.model = &h.ma;
+  for (int i = 0; i < 3; ++i) {
+    config.latency.push_back(
+        device::make_latency_model(device::DeviceType::kNano));
+  }
+  config.network = net::Network(3, 100.0);
+  config.poll_ms = 2;
+  config.lease_ms = 80;
+  config.drift_threshold = 1e9;  // membership decisions only
+  ctrl::Controller controller(config);
+  controller.start_external(h.fleet[0].strategy);
+
+  Rng rng(89);
+  const int sa = h.server->open_stream(0);
+  const int sb = h.server->open_stream(1);
+  ASSERT_GE(sa, 0);
+  ASSERT_GE(sb, 0);
+  h.server->attach_controller(sa, &controller);
+  const auto in_a = random_inputs(h.ma, 12, rng);
+  const auto in_b = random_inputs(h.mb, 12, rng);
+
+  const auto serve_range = [&](int stream, int model_id,
+                               const std::vector<cnn::Tensor>& inputs,
+                               int begin, int end) {
+    for (int k = begin; k < end; ++k) {
+      const auto& input = inputs[static_cast<std::size_t>(k)];
+      ASSERT_TRUE(h.server->submit(stream, input));
+      auto out = h.server->pop(stream);
+      ASSERT_TRUE(out.has_value()) << "stream " << stream << " image " << k;
+      expect_equal(*out,
+                   runtime::run_reference(h.model(model_id),
+                                          h.weights(model_id), input),
+                   "churn stream " + std::to_string(stream) + " image " +
+                       std::to_string(k));
+    }
+  };
+
+  // Healthy fleet.
+  serve_range(sa, 0, in_a, 0, 4);
+  serve_range(sb, 1, in_b, 0, 4);
+
+  // Device 1 dies. The next pops block until the lease lapses and the pump
+  // replans both tenants over the survivors — then complete bit-exact.
+  h.fabric.set_node_down(1, true);
+  serve_range(sa, 0, in_a, 4, 8);
+  serve_range(sb, 1, in_b, 4, 8);
+  EXPECT_EQ(controller.stats().deaths, 1);
+
+  // Device 1 comes back and is adopted as a joiner at an epoch boundary.
+  h.fabric.set_node_down(1, false);
+  for (int spin = 0; spin < 1000 && controller.stats().joins < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(controller.stats().joins, 1);
+  serve_range(sa, 0, in_a, 8, 12);
+  serve_range(sb, 1, in_b, 8, 12);
+
+  EXPECT_EQ(h.server->snapshot(sa).delivered, 12);
+  EXPECT_EQ(h.server->snapshot(sb).delivered, 12);
 }
 
 }  // namespace

@@ -65,7 +65,7 @@ struct TcpHarness {
   runtime::DataPlaneStats stats;
   std::vector<runtime::TenantModel> fleet_models;
   std::vector<TenantSpec> fleet;
-  std::vector<std::thread> providers;
+  runtime::Supervisor providers;
   std::unique_ptr<StreamServer> server;
   std::unique_ptr<TcpServeDoor> door;
 
@@ -88,7 +88,7 @@ struct TcpHarness {
 
   ~TcpHarness() {
     door->stop();
-    for (auto& t : providers) t.join();
+    providers.join_all();
   }
 };
 
