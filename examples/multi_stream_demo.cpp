@@ -4,14 +4,25 @@
 // strategy mid-stream without touching anybody else. Every output is
 // checked bit-exact against the single-device reference.
 //
-//   $ ./example_multi_stream_demo [images_per_stream]
+// With --admin the demo also brings up the live ops plane on an ephemeral
+// loopback port (printed as "admin: listening on 127.0.0.1:PORT"), and
+// after the streams finish it holds the endpoint open for --hold-ms so an
+// external scraper (the CI smoke job, or you with curl) can hit /metrics,
+// /streams, and /healthz against a fully populated door.
+//
+//   $ ./example_multi_stream_demo [images_per_stream] [--admin]
+//                                 [--hold-ms N]
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "core/strategy.hpp"
+#include "obs/admin.hpp"
 #include "runtime/cluster.hpp"
 #include "runtime/fabric.hpp"
 #include "serve/stream_server.hpp"
@@ -37,7 +48,18 @@ de::sim::RawStrategy split_strategy(const de::cnn::CnnModel& m,
 int main(int argc, char** argv) {
   using namespace de;
 
-  const int images = std::max(1, argc > 1 ? std::atoi(argv[1]) : 8);
+  int images = 8;
+  bool with_admin = false;
+  int hold_ms = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--admin") == 0) {
+      with_admin = true;
+    } else if (std::strcmp(argv[i], "--hold-ms") == 0 && i + 1 < argc) {
+      hold_ms = std::max(0, std::atoi(argv[++i]));
+    } else {
+      images = std::max(1, std::atoi(argv[i]));
+    }
+  }
   const int n_devices = 3;
 
   // Two tenants with different models — the fleet serves both at once.
@@ -69,8 +91,24 @@ int main(int argc, char** argv) {
       {&model_a, &weights_a, split_strategy(model_a, {0, 3}, even)},
       {&model_b, &weights_b, split_strategy(model_b, {0, 2}, even)}};
 
+  // The ops plane outlives the server: routes are registered by the server
+  // and come down inside server.close(), but the listener (and the held
+  // scrape window below) is the demo's.
+  std::unique_ptr<obs::AdminServer> admin;
+  if (with_admin) {
+    admin = std::make_unique<obs::AdminServer>();
+    // The CI smoke job parses this exact line for the port.
+    std::cout << "admin: listening on 127.0.0.1:" << admin->port() << "\n"
+              << std::flush;
+  }
+
   {
-    serve::StreamServer server(fabric.requester(), n_devices, fleet, stats);
+    serve::StreamServerOptions server_options;
+    server_options.admin = admin.get();
+    server_options.slo_ms = 500;
+    server_options.node_origins = &fabric.node_origin_us;
+    serve::StreamServer server(fabric.requester(), n_devices, fleet, stats,
+                               server_options);
 
     // Three streams: two on tenant A, one on tenant B.
     const std::vector<int> models = {0, 0, 1};
@@ -116,8 +154,15 @@ int main(int argc, char** argv) {
                 << " epoch(s), "
                 << (exact[s] ? "bit-exact vs reference" : "MISMATCH") << "\n";
     }
+    if (with_admin && hold_ms > 0) {
+      // Hold the fully populated endpoint open for an external scraper —
+      // the streams are drained but still routed until server.close().
+      std::cout << "admin: holding for " << hold_ms << " ms\n" << std::flush;
+      std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+    }
     server.close();
   }
   providers.join_all();
+  if (admin) admin->close();
   return 0;
 }

@@ -131,6 +131,70 @@ ControllerStats Controller::stats() const {
   return stats_;
 }
 
+Controller::MembershipView Controller::membership_view(
+    std::int64_t now_us) const {
+  MembershipView view;
+  // Lease book first (its own lock), then the pending-decision overlay
+  // under mu_ — never both locks at once.
+  const auto leases = book_.lease_snapshot();
+  std::lock_guard lk(mu_);
+  view.swap_pending = pending_.has_value();
+  view.deaths = stats_.deaths;
+  view.joins = stats_.joins;
+  view.swaps = stats_.swaps;
+  view.devices.reserve(leases.size());
+  for (const auto& lease : leases) {
+    MembershipRow row;
+    row.node = lease.node;
+    row.hb_seq = lease.hb_seq;
+    row.lease_age_us =
+        lease.last_renewal_us < 0 ? -1 : now_us - lease.last_renewal_us;
+    row.state = lease.dead ? MembershipRow::State::kDead
+                           : MembershipRow::State::kAlive;
+    if (pending_.has_value() &&
+        std::find(pending_->joined.begin(), pending_->joined.end(),
+                  lease.node) != pending_->joined.end()) {
+      row.state = MembershipRow::State::kJoining;
+    }
+    view.devices.push_back(row);
+  }
+  return view;
+}
+
+std::string membership_json(const Controller::MembershipView& view,
+                            int last_swap_epoch) {
+  const auto state_name = [](Controller::MembershipRow::State s) {
+    switch (s) {
+      case Controller::MembershipRow::State::kAlive: return "alive";
+      case Controller::MembershipRow::State::kDead: return "dead";
+      case Controller::MembershipRow::State::kJoining: return "joining";
+    }
+    return "unknown";
+  };
+  std::string out = "{\"devices\":[";
+  bool first = true;
+  for (const auto& row : view.devices) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"node\":" + std::to_string(row.node) + ",\"state\":\"" +
+           state_name(row.state) +
+           "\",\"hb_seq\":" + std::to_string(row.hb_seq) +
+           ",\"lease_age_ms\":" +
+           (row.lease_age_us < 0
+                ? std::string("-1")
+                : std::to_string(row.lease_age_us / 1000) + "." +
+                      std::to_string((row.lease_age_us % 1000) / 100)) +
+           "}";
+  }
+  out += "],\"swap_pending\":";
+  out += view.swap_pending ? "true" : "false";
+  out += ",\"deaths\":" + std::to_string(view.deaths) +
+         ",\"joins\":" + std::to_string(view.joins) +
+         ",\"swaps\":" + std::to_string(view.swaps) +
+         ",\"last_swap_epoch\":" + std::to_string(last_swap_epoch) + "}\n";
+  return out;
+}
+
 void Controller::loop() {
   obs::bind_thread("ctrl", transport_ != nullptr ? transport_->local_node()
                                                  : -1);

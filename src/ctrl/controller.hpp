@@ -21,6 +21,7 @@
 #include <chrono>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 
 #include "core/planner.hpp"
@@ -169,6 +170,32 @@ class Controller {
 
   ControllerStats stats() const;
 
+  // --- Ops-plane membership view (/membership endpoint) ----------------
+
+  /// One device's live membership row. `lease_age_us` is how long ago the
+  /// lease was last renewed on the controller's receive clock (-1 = never
+  /// heard from, still in the first-poll grace window). kJoining covers
+  /// the gap between the controller adopting a (re)joined device and the
+  /// serving loop applying that decision (take_swap) — the device is
+  /// heartbeating but not yet serving rows.
+  struct MembershipRow {
+    enum class State { kAlive, kDead, kJoining };
+    rpc::NodeId node = rpc::kNilNode;
+    std::uint32_t hb_seq = 0;
+    std::int64_t lease_age_us = -1;
+    State state = State::kAlive;
+  };
+  struct MembershipView {
+    std::vector<MembershipRow> devices;
+    bool swap_pending = false;  ///< an unapplied decision exists
+    int deaths = 0;             ///< cumulative lease expiries
+    int joins = 0;              ///< cumulative adoptions
+    int swaps = 0;              ///< cumulative decisions published
+  };
+  /// Snapshot for scrape threads; `now_us` must be on the same clock the
+  /// caller stamps heartbeat receive times with (obs::now_us() in-process).
+  MembershipView membership_view(std::int64_t now_us) const;
+
  private:
   void loop();
   void check_and_plan();
@@ -196,5 +223,12 @@ class Controller {
   std::thread thread_;
   bool external_ = false;  ///< start_external mode: no thread, ingest()-fed
 };
+
+/// Renders a MembershipView as the ops plane's /membership JSON document.
+/// `last_swap_epoch` is the serving loop's most recently pushed epoch
+/// (-1 = no swap yet) — the controller publishes decisions but only the
+/// serving loop knows the epoch they became.
+std::string membership_json(const Controller::MembershipView& view,
+                            int last_swap_epoch);
 
 }  // namespace de::ctrl

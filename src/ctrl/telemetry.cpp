@@ -20,6 +20,7 @@ TelemetryBook::TelemetryBook(int n_devices, double smoothing)
 bool TelemetryBook::ingest_heartbeat(rpc::NodeId node, std::uint32_t hb_seq,
                                      std::int64_t sender_steady_us,
                                      std::int64_t received_us) {
+  std::lock_guard lk(lease_mu_);
   if (node < 0 || static_cast<std::size_t>(node) >= lease_.size()) {
     return false;  // heartbeat from outside this cluster: ignore
   }
@@ -39,6 +40,7 @@ bool TelemetryBook::ingest_heartbeat(rpc::NodeId node, std::uint32_t hb_seq,
 std::vector<MembershipEvent> TelemetryBook::poll_membership(
     std::int64_t now_us, std::int64_t lease_us) {
   std::vector<MembershipEvent> events;
+  std::lock_guard lk(lease_mu_);
   for (std::size_t i = 0; i < lease_.size(); ++i) {
     Lease& lease = lease_[i];
     const auto node = static_cast<rpc::NodeId>(i);
@@ -65,10 +67,23 @@ std::vector<MembershipEvent> TelemetryBook::poll_membership(
 }
 
 bool TelemetryBook::alive(rpc::NodeId node) const {
+  std::lock_guard lk(lease_mu_);
   if (node < 0 || static_cast<std::size_t>(node) >= lease_.size()) {
     return false;
   }
   return !lease_[static_cast<std::size_t>(node)].dead;
+}
+
+std::vector<TelemetryBook::LeaseInfo> TelemetryBook::lease_snapshot() const {
+  std::vector<LeaseInfo> out;
+  std::lock_guard lk(lease_mu_);
+  out.reserve(lease_.size());
+  for (std::size_t i = 0; i < lease_.size(); ++i) {
+    const Lease& lease = lease_[i];
+    out.push_back({static_cast<rpc::NodeId>(i), lease.last_seq,
+                   lease.last_renewal_us, lease.dead});
+  }
+  return out;
 }
 
 void TelemetryBook::fold(rpc::NodeId device, Mbps rate) {

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "device/latency_model.hpp"
@@ -95,6 +96,20 @@ class TelemetryBook {
 
   std::int64_t heartbeats() const { return heartbeats_; }
 
+  /// Read-only copy of one device's lease, for the ops plane's /membership
+  /// endpoint. `last_renewal_us` is on the receiver (controller) clock;
+  /// -1 = never heard from (still in its first-poll grace period).
+  struct LeaseInfo {
+    rpc::NodeId node = rpc::kNilNode;
+    std::uint32_t hb_seq = 0;
+    std::int64_t last_renewal_us = -1;
+    bool dead = false;
+  };
+  /// Every device's lease, ordered by node id. Thread-safe: the lease
+  /// state (alone) is mutex-guarded so a scrape thread can snapshot it
+  /// while the controller ingests heartbeats.
+  std::vector<LeaseInfo> lease_snapshot() const;
+
  private:
   void fold(rpc::NodeId device, Mbps rate);
 
@@ -108,6 +123,10 @@ class TelemetryBook {
   double smoothing_;
   std::vector<Mbps> rate_;  ///< one smoothed estimate per device
   std::vector<double> compute_ms_;
+  /// Guards lease_ only: heartbeats are low-rate (ms cadence) and the ops
+  /// plane snapshots leases from scrape threads; the rate/compute books
+  /// stay controller-thread-only as before.
+  mutable std::mutex lease_mu_;
   std::vector<Lease> lease_;
   int reports_ = 0;
   std::int64_t heartbeats_ = 0;

@@ -1,0 +1,98 @@
+// Live ops plane front door (DESIGN.md §observability, "Ops plane"): a
+// tiny HTTP/1.0 server on a loopback listener, serving GET requests from a
+// thread-safe route table. One server instance is shared by whatever wants
+// to expose state — serve_stream registers /metrics, /healthz, /membership,
+// /streams and /trace/dump for its run's lifetime; the front door
+// (serve::StreamServer) registers the same set for its tenants.
+//
+// This is deliberately not a web framework: HTTP/1.0, GET only, one
+// request per connection, Connection: close. What it does inherit is the
+// PR-8 accept-path hardening from rpc::TcpTransport — the accept loop
+// retries EINTR/ECONNABORTED/EPROTO, backs off 2 ms on
+// EMFILE/ENFILE/ENOBUFS/ENOMEM instead of dying, finished connection
+// threads are reaped on the next accept wakeup (a long-lived endpoint must
+// not accrete one dead thread per past scrape), and shutdown wakes the
+// blocked accept with ::shutdown *before* closing the listener fd so the
+// accept thread never reads a recycled fd number. Connections additionally
+// carry a receive timeout so a stalled scraper cannot wedge a serving
+// thread forever.
+//
+// Handlers run on connection threads: they must be safe to call
+// concurrently with the owning runtime (scrape-time snapshots, not locks
+// over hot paths). A handler registered with route() stays callable until
+// unroute() or close() returns — callers that capture stack state must
+// unroute before that state dies (runtime/serve.cpp uses a scope guard).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace de::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// A GET handler; `query` is the raw string after '?' ("" when absent).
+using AdminHandler = std::function<HttpResponse(std::string_view query)>;
+
+class AdminServer {
+ public:
+  /// Binds a loopback listener (port 0 = kernel-assigned ephemeral port,
+  /// readable via port() immediately) and starts the accept thread.
+  explicit AdminServer(std::uint16_t port = 0);
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Registers (or replaces) the handler for `path` (exact match, no
+  /// query). Thread-safe.
+  void route(const std::string& path, AdminHandler handler);
+  /// Drops `path`'s handler. After unroute() returns, no connection thread
+  /// is inside the old handler and none will enter it. Thread-safe.
+  void unroute(const std::string& path);
+
+  /// Stops accepting, joins all connection threads, closes the listener.
+  /// Idempotent; the destructor calls it.
+  void close();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked(std::vector<std::thread>& out);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;
+  bool down_ = false;
+  std::map<std::string, AdminHandler, std::less<>> routes_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<std::thread::id> conn_done_;
+};
+
+/// Minimal blocking HTTP GET against 127.0.0.1:`port` — the scrape client
+/// used by tests and bench/obs_overhead's 1 Hz scraper thread.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+/// nullopt on connect/IO failure or unparseable response.
+std::optional<HttpGetResult> http_get(std::uint16_t port,
+                                      const std::string& path);
+
+}  // namespace de::obs

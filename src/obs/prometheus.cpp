@@ -1,0 +1,186 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+namespace de::obs {
+namespace {
+
+bool name_char_ok(char c, bool first) {
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':') {
+    return true;
+  }
+  return !first && std::isdigit(static_cast<unsigned char>(c));
+}
+
+std::string sanitize_name(std::string_view raw) {
+  if (raw.empty()) return "_";
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out.push_back(name_char_ok(raw[i], i == 0) ? raw[i] : '_');
+  }
+  return out;
+}
+
+// Formats doubles the way the exposition format expects: integral values
+// without a fractional part, everything else with enough digits to
+// round-trip.
+std::string format_value(double v) {
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      v > -9.2e18 && v < 9.2e18) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+// Renders `k=v,k2=v2` (no braces) into sanitized/escaped exposition label
+// pairs. A segment with no '=' becomes value of the key "label".
+std::string render_labels(std::string_view inner) {
+  std::string out;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= inner.size()) {
+    std::size_t comma = inner.find(',', pos);
+    if (comma == std::string_view::npos) comma = inner.size();
+    std::string_view item = inner.substr(pos, comma - pos);
+    if (!item.empty()) {
+      std::size_t eq = item.find('=');
+      std::string_view key = eq == std::string_view::npos ? "label"
+                                                          : item.substr(0, eq);
+      std::string_view val =
+          eq == std::string_view::npos ? item : item.substr(eq + 1);
+      if (!first) out += ',';
+      first = false;
+      out += sanitize_name(key);
+      out += "=\"";
+      out += prom_escape_label_value(val);
+      out += '"';
+    }
+    if (comma == inner.size()) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+// Inserts `extra` (a rendered `k="v"` pair) into an already-rendered label
+// block (`{...}` or empty).
+std::string with_extra_label(const std::string& labels,
+                             const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  std::string out = labels;
+  out.insert(out.size() - 1, (labels.size() > 2 ? "," : "") + extra);
+  return out;
+}
+
+}  // namespace
+
+std::string prom_escape_label_value(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+PromName prom_name(std::string_view name) {
+  PromName out;
+  std::size_t brace = name.find('{');
+  if (brace == std::string_view::npos) {
+    out.family = sanitize_name(name);
+    return out;
+  }
+  out.family = sanitize_name(name.substr(0, brace));
+  std::string_view rest = name.substr(brace + 1);
+  if (!rest.empty() && rest.back() == '}') rest.remove_suffix(1);
+  std::string labels = render_labels(rest);
+  if (!labels.empty()) out.labels = "{" + labels + "}";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  // Group samples by sanitized family so each family gets exactly one
+  // # TYPE header even when several labeled series share it. The snapshot
+  // is name-ordered, so series order within a family is deterministic.
+  struct Series {
+    const MetricSample* sample;
+    std::string labels;
+  };
+  std::map<std::string, std::pair<MetricKind, std::vector<Series>>> families;
+  for (const MetricSample& s : snapshot.samples) {
+    PromName pn = prom_name(s.name);
+    auto [it, inserted] = families.try_emplace(
+        pn.family, s.kind, std::vector<Series>{});
+    it->second.second.push_back({&s, std::move(pn.labels)});
+  }
+
+  std::string out;
+  for (const auto& [family, entry] : families) {
+    const auto& [kind, series] = entry;
+    out += "# TYPE " + family + " " + kind_name(kind) + "\n";
+    for (const Series& sr : series) {
+      const MetricSample& s = *sr.sample;
+      switch (s.kind) {
+        case MetricKind::kCounter:
+          out += family + sr.labels + " " + std::to_string(s.count) + "\n";
+          break;
+        case MetricKind::kGauge:
+          out += family + sr.labels + " " + format_value(s.value) + "\n";
+          break;
+        case MetricKind::kHistogram: {
+          // Cumulative log2 buckets: obs::Histogram bucket k holds integer
+          // samples in [2^(k-1), 2^k), so its inclusive upper bound is
+          // 2^k - 1 (bucket 0 is exactly {0}). Emit up to the highest
+          // non-empty bucket, then +Inf = _count.
+          std::size_t top = 0;
+          for (std::size_t k = 0; k < kHistogramBuckets; ++k) {
+            if (s.hist.counts[k] > 0) top = k;
+          }
+          std::int64_t cum = 0;
+          for (std::size_t k = 0; k <= top; ++k) {
+            cum += s.hist.counts[k];
+            const std::uint64_t le =
+                k == 0 ? 0 : (k >= 63 ? UINT64_MAX : (1ull << k) - 1);
+            out += family + "_bucket" +
+                   with_extra_label(sr.labels,
+                                    "le=\"" + std::to_string(le) + "\"") +
+                   " " + std::to_string(cum) + "\n";
+          }
+          out += family + "_bucket" +
+                 with_extra_label(sr.labels, "le=\"+Inf\"") + " " +
+                 std::to_string(s.hist.count) + "\n";
+          out += family + "_sum" + sr.labels + " " +
+                 std::to_string(s.hist.sum) + "\n";
+          out += family + "_count" + sr.labels + " " +
+                 std::to_string(s.hist.count) + "\n";
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace de::obs

@@ -1,0 +1,47 @@
+// Prometheus text exposition (version 0.0.4) of a MetricsSnapshot — the
+// /metrics half of the live ops plane (DESIGN.md §observability, "Ops
+// plane"). The registry stays the single naming authority; this file only
+// translates one snapshot into the scrape format.
+//
+// Naming convention: a registry name is `family` or `family{k=v,k2=v2}`.
+// The family is sanitized into the Prometheus grammar
+// ([a-zA-Z_:][a-zA-Z0-9_:]*, every other byte becomes '_'); label keys are
+// sanitized the same way and label *values* are escaped per the exposition
+// rules (backslash, double-quote, newline). Two registry names that
+// sanitize to the same family must be of the same metric kind — the
+// exporter groups them under one # TYPE header.
+//
+// Kinds map as: Counter -> counter, Gauge -> gauge, Histogram -> histogram
+// with cumulative `le` buckets on the log2 boundaries (bucket k of
+// obs::Histogram holds integer samples in [2^(k-1), 2^k), so its inclusive
+// upper bound is 2^k - 1), a final `+Inf` bucket, and `_sum`/`_count`
+// series. Counters backed by monotone hot-path atomics stay monotone
+// across scrapes — the conformance test in tests/obs/prometheus_test.cpp
+// asserts exactly that.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace de::obs {
+
+/// `name` with its optional `{...}` label block split off and both halves
+/// normalized: family/keys sanitized into the Prometheus name grammar,
+/// label values escaped and double-quoted. Exposed for tests.
+struct PromName {
+  std::string family;  ///< sanitized metric family name
+  std::string labels;  ///< rendered label block incl. braces; "" when none
+};
+PromName prom_name(std::string_view name);
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline get backslash-escaped. Exposed for tests.
+std::string prom_escape_label_value(std::string_view value);
+
+/// Renders `snapshot` in the Prometheus text exposition format, one
+/// `# TYPE` header per family, histograms with cumulative log2 `le`
+/// buckets ending in `+Inf`.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace de::obs

@@ -1,0 +1,60 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace de::obs {
+
+SloWindow::SloWindow(std::size_t capacity, double target_ms)
+    : capacity_(capacity), target_ms_(target_ms) {
+  DE_REQUIRE(capacity > 0, "slo window capacity must be positive");
+  ring_.reserve(capacity_);
+}
+
+void SloWindow::set_target_ms(double target_ms) {
+  std::lock_guard lk(mu_);
+  target_ms_ = target_ms;
+}
+
+void SloWindow::record_ms(double latency_ms) {
+  std::lock_guard lk(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(latency_ms);
+  } else {
+    ring_[next_] = latency_ms;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++count_;
+  if (target_ms_ > 0 && latency_ms > target_ms_) ++violations_;
+}
+
+namespace {
+// Nearest-rank percentile over a sorted window.
+double pct(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+}  // namespace
+
+SloWindow::Stats SloWindow::stats() const {
+  std::vector<double> window;
+  Stats out;
+  {
+    std::lock_guard lk(mu_);
+    window = ring_;
+    out.count = count_;
+    out.violations = violations_;
+    out.target_ms = target_ms_;
+  }
+  out.window = static_cast<std::int64_t>(window.size());
+  std::sort(window.begin(), window.end());
+  out.p50_ms = pct(window, 0.50);
+  out.p95_ms = pct(window, 0.95);
+  out.p99_ms = pct(window, 0.99);
+  return out;
+}
+
+}  // namespace de::obs

@@ -1,0 +1,54 @@
+// Per-stream SLO window (DESIGN.md §observability, "Ops plane"): a small
+// thread-safe ring of the most recent end-to-end image latencies, exposing
+// rolling p50/p95/p99 plus a cumulative violation count against an
+// optional latency target. One instance per client stream; the producer is
+// the stream's delivery path (record once per delivered image), consumers
+// are /streams scrapes.
+//
+// Unlike obs::Histogram (log2 buckets, unbounded history, ~2x percentile
+// error) this keeps exact recent samples: an operator watching a live
+// stream wants "p99 over the last few hundred images", not a since-boot
+// aggregate that old traffic dominates. Both exist on purpose — the
+// histogram feeds /metrics, the window feeds /streams.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace de::obs {
+
+class SloWindow {
+ public:
+  /// `capacity` = samples retained for the rolling percentiles;
+  /// `target_ms` <= 0 means "no SLO set" (violations stay 0).
+  explicit SloWindow(std::size_t capacity = 256, double target_ms = 0);
+
+  void set_target_ms(double target_ms);
+
+  /// Records one delivered image's end-to-end latency. Thread-safe,
+  /// allocation-free after construction.
+  void record_ms(double latency_ms);
+
+  struct Stats {
+    std::int64_t count = 0;       ///< images recorded since construction
+    std::int64_t window = 0;      ///< samples currently in the ring
+    double p50_ms = 0;
+    double p95_ms = 0;
+    double p99_ms = 0;
+    double target_ms = 0;         ///< <= 0: no SLO configured
+    std::int64_t violations = 0;  ///< cumulative samples over target
+  };
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::int64_t count_ = 0;
+  std::int64_t violations_ = 0;
+  double target_ms_;
+};
+
+}  // namespace de::obs

@@ -187,6 +187,23 @@ bool write_chrome_trace(const std::string& path, const MergedTrace& merged) {
   return os.good();
 }
 
+MergedTrace trim_to_window(MergedTrace merged, std::int64_t window_us) {
+  if (window_us <= 0 || merged.events.empty()) return merged;
+  std::int64_t latest = std::numeric_limits<std::int64_t>::min();
+  for (const auto& me : merged.events) {
+    const std::int64_t end =
+        me.event.ts_us + (me.event.dur_us > 0 ? me.event.dur_us : 0);
+    latest = std::max(latest, end);
+  }
+  const std::int64_t cutoff = latest - window_us;
+  std::erase_if(merged.events, [cutoff](const MergedEvent& me) {
+    const std::int64_t end =
+        me.event.ts_us + (me.event.dur_us > 0 ? me.event.dur_us : 0);
+    return end < cutoff;
+  });
+  return merged;
+}
+
 std::vector<CategoryTotal> span_totals_by_node(const MergedTrace& merged) {
   // Dense (node+1) x category accumulation; nodes are tiny ints.
   int max_node = -1;

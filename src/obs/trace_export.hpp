@@ -111,6 +111,14 @@ void write_chrome_trace(std::ostream& os, const MergedTrace& merged);
 /// Same, to a file; returns false when the file cannot be opened.
 bool write_chrome_trace(const std::string& path, const MergedTrace& merged);
 
+/// Flight-recorder window trim: keeps only events whose span *end* falls
+/// within the trailing `window_us` of the merged timeline (measured back
+/// from the latest event end). The rings are already bounded per thread;
+/// this bounds a /trace/dump snapshot in *time* so "the last N seconds"
+/// means the same thing on every track regardless of per-thread event
+/// rates. window_us <= 0 keeps everything.
+MergedTrace trim_to_window(MergedTrace merged, std::int64_t window_us);
+
 /// Aggregate span time per (node, category) — the "where does the
 /// wall-clock go" rollup the trace demo prints. Sorted widest-first within
 /// each node.

@@ -86,6 +86,9 @@ class FaultInjectingTransport final : public Transport {
   RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override {
     return inner_.receive_for(id, timeout_ms, out);
   }
+  std::size_t pending(MailboxId id) const override {
+    return inner_.pending(id);
+  }
 
   /// Stops the delay thread (pending held frames are dropped) and shuts the
   /// inner transport down. Idempotent.

@@ -46,6 +46,13 @@ RecvStatus InProcTransport::receive_for(MailboxId id, int timeout_ms,
   return mailbox_receive_for(find_mailbox(id), timeout_ms, out);
 }
 
+std::size_t InProcTransport::pending(MailboxId id) const {
+  std::lock_guard lk(mu_);
+  if (down_) return 0;
+  auto it = mailboxes_.find(id);
+  return it == mailboxes_.end() ? 0 : it->second->pending();
+}
+
 void InProcTransport::shutdown() {
   std::lock_guard lk(mu_);
   down_ = true;

@@ -27,6 +27,7 @@ class InProcTransport final : public Transport {
   std::optional<Frame> receive(MailboxId id) override;
   std::optional<Frame> try_receive(MailboxId id) override;
   RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override;
+  std::size_t pending(MailboxId id) const override;
   void shutdown() override;
 
  private:

@@ -93,6 +93,9 @@ class ShapedTransport final : public Transport, public LinkRateSampler {
   RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override {
     return inner_.receive_for(id, timeout_ms, out);
   }
+  std::size_t pending(MailboxId id) const override {
+    return inner_.pending(id);
+  }
 
   /// Stops the pacer (frames still in transmission are lost with the link)
   /// and shuts the inner transport down. Idempotent.

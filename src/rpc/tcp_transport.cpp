@@ -221,6 +221,13 @@ RecvStatus TcpTransport::receive_for(MailboxId id, int timeout_ms,
   return mailbox_receive_for(find_mailbox(id), timeout_ms, out);
 }
 
+std::size_t TcpTransport::pending(MailboxId id) const {
+  std::lock_guard lk(mu_);
+  if (down_) return 0;
+  auto it = mailboxes_.find(id);
+  return it == mailboxes_.end() ? 0 : it->second->pending();
+}
+
 void TcpTransport::reap_finished_locked(std::vector<std::thread>& out) {
   for (const auto id : rx_done_) {
     for (auto it = rx_threads_.begin(); it != rx_threads_.end(); ++it) {

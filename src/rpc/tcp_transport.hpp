@@ -79,6 +79,7 @@ class TcpTransport final : public Transport {
   std::optional<Frame> receive(MailboxId id) override;
   std::optional<Frame> try_receive(MailboxId id) override;
   RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) override;
+  std::size_t pending(MailboxId id) const override;
   void shutdown() override;
 
   /// Number of accepted connections currently being served by a live rx

@@ -64,6 +64,15 @@ class Transport {
   /// policy), kClosed means the mailbox/transport is gone.
   virtual RecvStatus receive_for(MailboxId id, int timeout_ms, Frame& out) = 0;
 
+  /// Frames currently queued in local mailbox `id` — the ops plane's
+  /// queue-depth gauge source (rpc.mailbox_depth). 0 for unopened/closed
+  /// mailboxes and for backends that cannot answer. Advisory by nature:
+  /// the depth may change before the caller acts on it.
+  virtual std::size_t pending(MailboxId id) const {
+    (void)id;
+    return 0;
+  }
+
   /// Graceful teardown: wakes blocked receivers (they return nullopt), stops
   /// accepting traffic, and joins any backend threads. Idempotent.
   virtual void shutdown() = 0;

@@ -100,6 +100,14 @@ bool Retransmitter::idle() const {
   return outbox_.empty();
 }
 
+std::map<rpc::NodeId, std::size_t> Retransmitter::outbox_depth_by_peer()
+    const {
+  std::map<rpc::NodeId, std::size_t> out;
+  std::lock_guard lk(mu_);
+  for (const auto& [link, entry] : outbox_) ++out[link.first];
+  return out;
+}
+
 Retransmitter::Resend Retransmitter::stage_resend_locked(Entry& entry) {
   ++entry.attempts;
   entry.last_send = std::chrono::steady_clock::now();

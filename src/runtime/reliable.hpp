@@ -152,6 +152,11 @@ class Retransmitter {
   /// True when every tracked frame has been acked or abandoned.
   bool idle() const;
 
+  /// Unacked outbox entries per destination node — the ops plane's
+  /// reliable.outbox_depth gauge source. Advisory: the depths move as soon
+  /// as the lock is released.
+  std::map<rpc::NodeId, std::size_t> outbox_depth_by_peer() const;
+
   /// Stops the control loop and joins its thread. Unacked entries are
   /// dropped. Idempotent; also run by the destructor.
   void stop();

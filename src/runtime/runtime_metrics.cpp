@@ -22,4 +22,31 @@ void fold_data_plane_metrics(const DataPlaneStats& stats,
   registry.counter(kMetricLanesEvicted).set(stats.lanes_evicted.load());
 }
 
+void sample_queue_depths(const rpc::Transport& transport,
+                         const Retransmitter* rtx,
+                         obs::MetricsRegistry& registry) {
+  static constexpr struct {
+    rpc::MailboxId id;
+    const char* name;
+  } kBoxes[] = {
+      {rpc::kDataMailbox, "data"},
+      {rpc::kCtrlMailbox, "ctrl"},
+      {rpc::kTelemetryMailbox, "telemetry"},
+      {rpc::kServeMailbox, "serve"},
+  };
+  for (const auto& box : kBoxes) {
+    registry
+        .gauge(std::string(kMetricMailboxDepth) + "{name=" + box.name + "}")
+        .set(static_cast<double>(transport.pending(box.id)));
+  }
+  if (rtx != nullptr) {
+    for (const auto& [node, depth] : rtx->outbox_depth_by_peer()) {
+      registry
+          .gauge(std::string(kMetricOutboxDepth) +
+                 "{node=" + std::to_string(node) + "}")
+          .set(static_cast<double>(depth));
+    }
+  }
+}
+
 }  // namespace de::runtime

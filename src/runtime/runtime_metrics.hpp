@@ -37,11 +37,33 @@ inline constexpr const char* kMetricStreamWallS = "stream.wall_s";
 inline constexpr const char* kMetricStreamIps = "stream.measured_ips";
 inline constexpr const char* kMetricStreamReconfigs = "stream.reconfigurations";
 inline constexpr const char* kMetricGatherLatencyUs = "stream.gather_latency_us";
+// Ops-plane extras (serve_stream with an admin endpoint attached).
+inline constexpr const char* kMetricImageLatencyUs = "stream.image_latency_us";
+// Queue-depth gauge families (ROADMAP item 3 baselines). These are label
+// *prefixes* — series are named e.g. "rpc.mailbox_depth{name=data}" and
+// "reliable.outbox_depth{node=2}"; the Prometheus exporter turns the brace
+// block into real labels.
+inline constexpr const char* kMetricMailboxDepth = "rpc.mailbox_depth";
+inline constexpr const char* kMetricOutboxDepth = "reliable.outbox_depth";
+// Attribution exports (gauges, per device node).
+inline constexpr const char* kMetricStragglerScore =
+    "attribution.straggler_score";
 
 /// Folds one run's DataPlaneStats totals into `registry` under the
 /// canonical names above (counters are *set*, not added: the registry is
 /// per run). Call once, at the end of a run, after every worker joined.
+/// Because it sets, re-folding mid-run is safe — the /metrics scrape path
+/// calls it on every hit to serve live values.
 void fold_data_plane_metrics(const DataPlaneStats& stats,
                              obs::MetricsRegistry& registry);
+
+/// Samples the requester-side queue depths into `registry`: one
+/// rpc.mailbox_depth{name=...} gauge per well-known mailbox of `transport`
+/// and one reliable.outbox_depth{node=N} gauge per peer with unacked
+/// frames in `rtx` (nullptr = reliability off, outboxes omitted). Cheap
+/// enough for once-per-image sampling; also run at scrape time.
+void sample_queue_depths(const rpc::Transport& transport,
+                         const Retransmitter* rtx,
+                         obs::MetricsRegistry& registry);
 
 }  // namespace de::runtime

@@ -1,19 +1,48 @@
 #include "runtime/serve.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include "common/require.hpp"
 #include "ctrl/controller.hpp"
+#include "obs/admin.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "runtime/fabric.hpp"
 #include "runtime/runtime_metrics.hpp"
 #include "sim/fault_model.hpp"
 
 namespace de::runtime {
+
+namespace {
+
+/// Registered admin routes, unrouted as a unit before the serving loop's
+/// handler-captured locals die (teardown). unroute() is a barrier: after
+/// release() returns no scrape thread is inside any of these handlers.
+struct RouteGuard {
+  obs::AdminServer* admin = nullptr;
+  std::vector<std::string> paths;
+
+  void add(const std::string& path, obs::AdminHandler handler) {
+    admin->route(path, std::move(handler));
+    paths.push_back(path);
+  }
+  void release() {
+    if (admin == nullptr) return;
+    for (const auto& path : paths) admin->unroute(path);
+    paths.clear();
+  }
+};
+
+}  // namespace
 
 ServeResult serve_stream(const cnn::CnnModel& model,
                          const sim::RawStrategy& strategy,
@@ -75,6 +104,18 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   obs::MetricsRegistry registry;
   obs::Histogram& gather_latency =
       registry.histogram(kMetricGatherLatencyUs);
+  obs::Histogram& image_latency = registry.histogram(kMetricImageLatencyUs);
+  // Live stream counters: written per delivery (lock-free sets) so a
+  // /metrics scrape mid-stream sees current values, re-set at the end with
+  // the final totals.
+  obs::Counter& images_counter = registry.counter(kMetricStreamImages);
+  obs::Gauge& ips_gauge = registry.gauge(kMetricStreamIps);
+  obs::Gauge& wall_gauge = registry.gauge(kMetricStreamWallS);
+  // Ops-plane stream state (scrape threads read, the serving loop writes).
+  obs::SloWindow slo(256, options.slo_ms);
+  std::atomic<int> pub_delivered{0};
+  std::atomic<int> pub_inflight{0};
+  std::atomic<int> pub_last_epoch{-1};
 
   RequesterContext ctx(fabric.requester(), plan, stats, options.reliability,
                        options.data_plane);
@@ -95,11 +136,100 @@ ServeResult serve_stream(const cnn::CnnModel& model,
                               fabric.sampler(plan.requester_node()));
   }
 
-  // Shared teardown: stop the controller (it reads the requester
+  // Live ops plane: register the endpoint routes before the first scatter
+  // so a scraper sees the stream from birth. Handlers capture serving-loop
+  // state by reference — safe because RouteGuard::release() (first act of
+  // teardown) is a barrier past which no scrape thread is inside them.
+  RouteGuard routes{options.admin};
+  if (options.admin != nullptr) {
+    // Flight-recorder mode: arm the always-on rings if nobody has yet, and
+    // deliberately leave them enabled at teardown — the recorder keeps
+    // covering the gap until the next stream (or /trace/dump) wants history.
+    if (!obs::TraceRecorder::instance().enabled()) {
+      obs::TraceRecorder::instance().enable();
+    }
+    // Lease ages must be judged on the clock the controller stamps receive
+    // times with: origin-rebased when the trace sync is wired, raw
+    // obs::now_us() otherwise (clock_origin_us defaults to 0).
+    const std::int64_t hb_origin =
+        options.trace != nullptr && options.controller != nullptr
+            ? requester_origin
+            : 0;
+    routes.add("/healthz", [](std::string_view) {
+      return obs::HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+    });
+    routes.add("/metrics", [&](std::string_view) {
+      // The data-plane fold uses set(), so re-folding per scrape is
+      // idempotent; live stream counters were set at the last delivery.
+      fold_data_plane_metrics(stats, registry);
+      sample_queue_depths(fabric.requester(), ctx.rtx, registry);
+      return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                               obs::to_prometheus(registry.snapshot())};
+    });
+    routes.add("/membership", [&options, &pub_last_epoch,
+                               hb_origin](std::string_view) {
+      if (options.controller == nullptr) {
+        return obs::HttpResponse{200, "application/json; charset=utf-8",
+                                 "{\"devices\":[]}\n"};
+      }
+      const auto view =
+          options.controller->membership_view(obs::now_us() - hb_origin);
+      return obs::HttpResponse{
+          200, "application/json; charset=utf-8",
+          ctrl::membership_json(view,
+                               pub_last_epoch.load(std::memory_order_relaxed))};
+    });
+    routes.add("/streams", [&](std::string_view) {
+      const auto st = slo.stats();
+      std::string body = "{\"streams\":[{\"stream\":0";
+      body += ",\"delivered\":" +
+              std::to_string(pub_delivered.load(std::memory_order_relaxed));
+      body += ",\"inflight\":" +
+              std::to_string(pub_inflight.load(std::memory_order_relaxed));
+      body += ",\"window\":" + std::to_string(options.inflight);
+      body += ",\"p50_ms\":" + std::to_string(st.p50_ms);
+      body += ",\"p95_ms\":" + std::to_string(st.p95_ms);
+      body += ",\"p99_ms\":" + std::to_string(st.p99_ms);
+      body += ",\"slo_ms\":" + std::to_string(st.target_ms);
+      body += ",\"slo_violations\":" + std::to_string(st.violations);
+      body += ",\"credit_stalls\":0}]}\n";
+      return obs::HttpResponse{200, "application/json; charset=utf-8",
+                               std::move(body)};
+    });
+    routes.add("/trace/dump", [&fabric, &options](std::string_view query) {
+      double seconds = 10.0;  // default retention window
+      if (const auto pos = query.find("s="); pos != std::string_view::npos) {
+        seconds = std::atof(std::string(query.substr(pos + 2)).c_str());
+      }
+      // A fresh capture per dump: the recorder rings are snapshot-safe
+      // while writers are live, and the sync book (non-copyable) is rebuilt
+      // from the stream's collected samples so the merge rebases remote
+      // clocks exactly like the end-of-run export does.
+      obs::TraceCapture cap;
+      cap.dump = obs::TraceRecorder::instance().snapshot();
+      cap.node_origin_us = fabric.node_origin_us;
+      if (options.trace != nullptr) {
+        for (const auto& s : options.trace->sync.samples()) {
+          cap.sync.ingest(s.node, s.reported_us, s.received_us);
+        }
+      }
+      auto merged = obs::trim_to_window(
+          obs::merge_capture(cap),
+          seconds > 0 ? static_cast<std::int64_t>(seconds * 1e6) : 0);
+      std::ostringstream os;
+      obs::write_chrome_trace(os, merged);
+      return obs::HttpResponse{200, "application/json; charset=utf-8",
+                               os.str()};
+    });
+  }
+
+  // Shared teardown: unroute the admin handlers (barrier — everything they
+  // capture may die after), stop the controller (it reads the requester
   // transport), release every provider, close the fabric, join. Nothing
   // may unwind past the live provider threads — a joinable std::thread's
   // destructor is std::terminate.
   const auto teardown = [&] {
+    routes.release();
     if (options.controller != nullptr) options.controller->stop();
     if (rtx) rtx->stop();
     fabric.shutdown_all();
@@ -116,6 +246,7 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   const auto swap_now = [&](const sim::RawStrategy& next, int from_seq,
                             Ms pred_serving, Ms pred_next) {
     const int epoch = push_epoch(ctx, model, next, from_seq);
+    pub_last_epoch.store(epoch, std::memory_order_relaxed);
     result.reconfigurations.push_back(
         ReconfigEvent{epoch, from_seq, stream_s(), pred_serving, pred_next});
   };
@@ -128,7 +259,15 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   // under fresh seqs, so no image is ever lost or delivered twice.
   std::deque<int> todo;  // input indices not yet (re-)dispatched
   for (int idx = 0; idx < n_images; ++idx) todo.push_back(idx);
-  std::deque<std::pair<int, int>> inflight;  // (global seq, input index)
+  // One in-flight image: its global seq, its input index, and when its
+  // (first) scatter began — the submit->deliver clock the SLO window and
+  // the stream.image_latency_us histogram run on.
+  struct InflightImage {
+    int seq = 0;
+    int idx = 0;
+    std::int64_t scattered_us = 0;
+  };
+  std::deque<InflightImage> inflight;
   int next_seq = 0;
   int delivered = 0;
   int join_count = 0;
@@ -159,7 +298,7 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     // already delivered.
     msg.cancel_below =
         death ? next_seq
-              : (inflight.empty() ? next_seq : inflight.front().first);
+              : (inflight.empty() ? next_seq : inflight.front().seq);
     msg.resume_seq = next_seq;
     msg.died = d.died;
     for (const auto node : d.joined) {
@@ -185,11 +324,12 @@ ServeResult serve_stream(const cnn::CnnModel& model,
       cancelled = static_cast<int>(inflight.size());
       stats.images_cancelled.fetch_add(cancelled, std::memory_order_relaxed);
       for (auto it = inflight.rbegin(); it != inflight.rend(); ++it) {
-        todo.push_front(it->second);  // reverse walk keeps dispatch order
+        todo.push_front(it->idx);  // reverse walk keeps dispatch order
       }
       inflight.clear();
     }
     const int epoch = push_epoch(ctx, model, d.strategy, next_seq);
+    pub_last_epoch.store(epoch, std::memory_order_relaxed);
     result.reconfigurations.push_back(ReconfigEvent{
         epoch, next_seq, stream_s(), d.predicted_serving_ms,
         d.predicted_next_ms, static_cast<int>(d.died.size()),
@@ -213,7 +353,7 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   while (delivered < n_images) {
     // History below the oldest ungathered seq is dead: epochs nothing
     // references and (after a cancellation) the voided dispatch window.
-    retire_below(ctx, inflight.empty() ? next_seq : inflight.front().first);
+    retire_below(ctx, inflight.empty() ? next_seq : inflight.front().seq);
     // Chaos events are keyed on the delivered count, so a schedule is
     // deterministic under any timing: "kill node 2 after 8 deliveries".
     while (next_chaos < options.chaos.size() &&
@@ -251,8 +391,9 @@ ServeResult serve_stream(const cnn::CnnModel& model,
         }
         const int idx = todo.front();
         todo.pop_front();
+        const std::int64_t scattered_us = obs::now_us();
         scatter_image(ctx, next_seq, inputs[static_cast<std::size_t>(idx)]);
-        inflight.emplace_back(next_seq, idx);
+        inflight.push_back({next_seq, idx, scattered_us});
         ++next_seq;
       }
     } catch (...) {
@@ -263,7 +404,7 @@ ServeResult serve_stream(const cnn::CnnModel& model,
       throw;
     }
     if (inflight.empty()) continue;  // recovery emptied the window: refill
-    const auto [seq, idx] = inflight.front();
+    const auto [seq, idx, scattered_us] = inflight.front();
     cnn::Tensor output;
     ImageRetryStats retry;
     const std::int64_t gather_t0 = obs::now_us();
@@ -287,6 +428,22 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     ++delivered;
     result.delivered_at_s.push_back(stream_s());
     result.per_image.push_back(retry);
+    // Publish the delivery to the ops plane: submit->deliver latency into
+    // the histogram and the SLO window, live stream counters a /metrics or
+    // /streams scrape reads mid-flight.
+    const std::int64_t image_lat_us = obs::now_us() - scattered_us;
+    image_latency.record(image_lat_us);
+    slo.record_ms(static_cast<double>(image_lat_us) / 1000.0);
+    pub_delivered.store(delivered, std::memory_order_relaxed);
+    pub_inflight.store(static_cast<int>(inflight.size()),
+                       std::memory_order_relaxed);
+    images_counter.set(delivered);
+    const double so_far_s = stream_s();
+    wall_gauge.set(so_far_s);
+    ips_gauge.set(so_far_s > 0 ? delivered / so_far_s : 0.0);
+    if (options.admin != nullptr) {
+      sample_queue_depths(fabric.requester(), ctx.rtx, registry);
+    }
     if (options.keep_outputs) {
       // Indexed by *input*, not delivery order: a re-dispatched image must
       // land in its own slot for the bit-exactness gate to compare.
@@ -330,6 +487,24 @@ ServeResult serve_stream(const cnn::CnnModel& model,
   stats.frame_allocs.fetch_add(ctx.arena.stats().allocated,
                                std::memory_order_relaxed);
 
+  if (options.trace != nullptr) {
+    // Everything merge_capture needs: the event dump, each node's clock
+    // origin, and the sync samples collected above (or by the controller).
+    options.trace->node_origin_us = fabric.node_origin_us;
+    options.trace->dump = obs::TraceRecorder::instance().snapshot();
+    // Critical-path attribution runs on the merged timeline; the per-device
+    // straggler scores also land in the registry (before the snapshot
+    // below) so they ride the same /metrics channel as everything else.
+    result.attribution =
+        obs::attribute_critical_paths(obs::merge_capture(*options.trace));
+    for (const auto& dev : result.attribution.devices) {
+      registry
+          .gauge(std::string(kMetricStragglerScore) +
+                 "{node=" + std::to_string(dev.node) + "}")
+          .set(dev.score);
+    }
+  }
+
   // Fold the data-plane totals and the stream extras into the registry,
   // snapshot once, and fill the compatibility scalars from the snapshot —
   // the canonical names are the same ones run_distributed{,_tcp} report.
@@ -361,13 +536,6 @@ ServeResult serve_stream(const cnn::CnnModel& model,
     result.deaths = cstats.deaths;
     result.joins = cstats.joins;
     result.heartbeats = cstats.heartbeats;
-  }
-
-  if (options.trace != nullptr) {
-    // Everything merge_capture needs: the event dump, each node's clock
-    // origin, and the sync samples collected above (or by the controller).
-    options.trace->node_origin_us = fabric.node_origin_us;
-    options.trace->dump = obs::TraceRecorder::instance().snapshot();
   }
 
   if (options.latency != nullptr && options.network != nullptr) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/attribution.hpp"
 #include "obs/trace_export.hpp"
 #include "rpc/shaped_transport.hpp"
 #include "runtime/cluster.hpp"
@@ -34,6 +35,10 @@
 namespace de::ctrl {
 class Controller;
 }  // namespace de::ctrl
+
+namespace de::obs {
+class AdminServer;
+}  // namespace de::obs
 
 namespace de::runtime {
 
@@ -125,6 +130,21 @@ struct ServeOptions {
   /// (the kill switch lives on the fault decorators), reliability, and a
   /// controller with lease_ms > 0 to detect and recover from the deaths.
   std::vector<ChaosEvent> chaos;
+
+  /// Live ops plane (not owned; may be null). When set, serve_stream
+  /// registers /metrics (Prometheus text format), /healthz, /membership,
+  /// /streams, and /trace/dump on the endpoint for the stream's lifetime
+  /// (unrouted at teardown, before any handler-captured state dies), arms
+  /// the TraceRecorder in flight-recorder mode if it is not already
+  /// enabled (always-on rings; /trace/dump?s=N snapshots the last N
+  /// seconds without disturbing the stream), and samples queue-depth
+  /// gauges (rpc.mailbox_depth, reliable.outbox_depth) per delivery and
+  /// per scrape.
+  obs::AdminServer* admin = nullptr;
+
+  /// Per-image end-to-end latency SLO for /streams (submit -> deliver,
+  /// milliseconds; 0 = no target, violations stay 0).
+  double slo_ms = 0;
 };
 
 /// One live reconfiguration the stream performed.
@@ -177,6 +197,11 @@ struct ServeResult {
   std::vector<cnn::Tensor> outputs;  ///< filled iff keep_outputs
   /// Every live strategy swap the stream performed (scripted + adaptive).
   std::vector<ReconfigEvent> reconfigurations;
+  /// Per-image critical-path breakdowns and per-device straggler scores,
+  /// computed from the merged trace when `options.trace` was set (empty
+  /// otherwise). The straggler scores are also exported as
+  /// attribution.straggler_score{node=N} gauges in `metrics`.
+  obs::AttributionReport attribution;
 };
 
 /// Streams `inputs` through the cluster with `options.inflight` images in

@@ -1,12 +1,20 @@
 #include "serve/stream_server.hpp"
 
+#include <cstdlib>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/require.hpp"
 #include "ctrl/membership.hpp"
+#include "obs/admin.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 #include "rpc/wire.hpp"
+#include "runtime/runtime_metrics.hpp"
 
 namespace de::serve {
 
@@ -23,10 +31,148 @@ StreamServer::StreamServer(rpc::Transport& door, int n_devices,
   DE_REQUIRE(!fleet_.empty(), "a serving fleet needs at least one tenant");
   DE_REQUIRE(options_.max_streams > 0 && options_.default_window > 0,
              "stream cap and default window must be positive");
+  register_admin();
   pump_thread_ = std::thread([this] { pump(); });
 }
 
 StreamServer::~StreamServer() { close(); }
+
+void StreamServer::register_admin() {
+  if (options_.admin == nullptr) return;
+  // Flight-recorder mode: a door with an ops plane keeps the recorder
+  // armed for its whole life (and deliberately leaves it on afterwards) so
+  // /trace/dump always has the trailing window.
+  if (!obs::TraceRecorder::instance().enabled()) {
+    obs::TraceRecorder::instance().enable();
+  }
+  const auto add = [this](const std::string& path, obs::AdminHandler h) {
+    options_.admin->route(path, std::move(h));
+    admin_paths_.push_back(path);
+  };
+  add("/healthz", [this](std::string_view) {
+    const bool bad = down();
+    return obs::HttpResponse{bad ? 503 : 200, "text/plain; charset=utf-8",
+                             bad ? "pump down\n" : "ok\n"};
+  });
+  add("/metrics", [this](std::string_view) {
+    runtime::fold_data_plane_metrics(stats_, registry_);
+    {
+      std::lock_guard lk(mu_);
+      runtime::sample_queue_depths(door_, rtx_, registry_);
+      std::int64_t delivered = 0;
+      std::int64_t stalls = 0;
+      for (const auto& [id, s] : streams_) {
+        delivered += s.delivered;
+        stalls += s.credit_stalls;
+      }
+      registry_.counter(runtime::kMetricStreamImages).set(delivered);
+      registry_.counter("door.credit_stalls").set(stalls);
+      registry_.gauge("door.open_streams")
+          .set(static_cast<double>(streams_.size()));
+    }
+    return obs::HttpResponse{200, "text/plain; version=0.0.4; charset=utf-8",
+                             obs::to_prometheus(registry_.snapshot())};
+  });
+  add("/membership", [this](std::string_view) {
+    // The door stamps heartbeat receive times with raw obs::now_us()
+    // (drain_control), so lease ages are judged on the same clock. Every
+    // attached controller sees every heartbeat; the first one's book is as
+    // good as any. The door has no fleet-wide epoch counter (-1).
+    ctrl::Controller* controller = nullptr;
+    {
+      std::lock_guard lk(mu_);
+      for (const auto& [id, s] : streams_) {
+        if (s.controller != nullptr) {
+          controller = s.controller;
+          break;
+        }
+      }
+    }
+    if (controller == nullptr) {
+      return obs::HttpResponse{200, "application/json; charset=utf-8",
+                               "{\"devices\":[]}\n"};
+    }
+    const auto view = controller->membership_view(obs::now_us());
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             ctrl::membership_json(view, -1)};
+  });
+  if (options_.node_origins != nullptr) {
+    add("/trace/dump", [this](std::string_view query) {
+      double seconds = 10.0;  // default retention window
+      if (const auto pos = query.find("s="); pos != std::string_view::npos) {
+        seconds = std::atof(std::string(query.substr(pos + 2)).c_str());
+      }
+      // A fresh capture per dump (the recorder rings are snapshot-safe
+      // while writers are live). No sync book: the door's fabric is
+      // in-process, where origin arithmetic alone rebases exactly.
+      obs::TraceCapture cap;
+      cap.dump = obs::TraceRecorder::instance().snapshot();
+      cap.node_origin_us = *options_.node_origins;
+      auto merged = obs::trim_to_window(
+          obs::merge_capture(cap),
+          seconds > 0 ? static_cast<std::int64_t>(seconds * 1e6) : 0);
+      std::ostringstream os;
+      obs::write_chrome_trace(os, merged);
+      return obs::HttpResponse{200, "application/json; charset=utf-8",
+                               os.str()};
+    });
+  }
+  add("/streams", [this](std::string_view) {
+    struct Row {
+      int id = 0;
+      int model_id = 0;
+      int window = 0;
+      int occupancy = 0;
+      std::int64_t submitted = 0;
+      std::int64_t delivered = 0;
+      std::int64_t credit_stalls = 0;
+      bool closed = false;
+      std::shared_ptr<obs::SloWindow> slo;
+    };
+    std::vector<Row> rows;
+    {
+      std::lock_guard lk(mu_);
+      rows.reserve(streams_.size());
+      for (const auto& [id, s] : streams_) {
+        rows.push_back(Row{id, s.model_id, s.window, s.window - s.credits,
+                           s.submitted, s.delivered, s.credit_stalls,
+                           s.closed, s.slo});
+      }
+    }
+    // Percentiles are computed outside mu_ (SloWindow has its own lock; the
+    // pump records without mu_ held, so there is no order to invert).
+    std::string body = "{\"streams\":[";
+    bool first = true;
+    for (const auto& row : rows) {
+      const auto st = row.slo ? row.slo->stats() : obs::SloWindow::Stats{};
+      if (!first) body += ",";
+      first = false;
+      body += "{\"stream\":" + std::to_string(row.id);
+      body += ",\"model\":" + std::to_string(row.model_id);
+      body += ",\"closed\":" + std::string(row.closed ? "true" : "false");
+      body += ",\"submitted\":" + std::to_string(row.submitted);
+      body += ",\"delivered\":" + std::to_string(row.delivered);
+      body += ",\"inflight\":" + std::to_string(row.occupancy);
+      body += ",\"window\":" + std::to_string(row.window);
+      body += ",\"p50_ms\":" + std::to_string(st.p50_ms);
+      body += ",\"p95_ms\":" + std::to_string(st.p95_ms);
+      body += ",\"p99_ms\":" + std::to_string(st.p99_ms);
+      body += ",\"slo_ms\":" + std::to_string(st.target_ms);
+      body += ",\"slo_violations\":" + std::to_string(st.violations);
+      body += ",\"credit_stalls\":" + std::to_string(row.credit_stalls);
+      body += "}";
+    }
+    body += "]}\n";
+    return obs::HttpResponse{200, "application/json; charset=utf-8",
+                             std::move(body)};
+  });
+}
+
+void StreamServer::unregister_admin() {
+  if (options_.admin == nullptr) return;
+  for (const auto& path : admin_paths_) options_.admin->unroute(path);
+  admin_paths_.clear();
+}
 
 bool StreamServer::down() const {
   std::lock_guard lk(mu_);
@@ -46,6 +192,7 @@ int StreamServer::open_stream(int model_id, int window) {
   s.model_id = model_id;
   s.window = window == 0 ? options_.default_window : window;
   s.credits = s.window;
+  s.slo = std::make_shared<obs::SloWindow>(256, options_.slo_ms);
   streams_.emplace(id, std::move(s));
   return id;
 }
@@ -107,6 +254,9 @@ void StreamServer::close_stream(int stream) {
 }
 
 void StreamServer::close() {
+  // Routes come down first: unroute() is a barrier, so once it returns no
+  // scrape thread is inside a handler that reads the state about to drain.
+  unregister_admin();
   {
     std::lock_guard lk(mu_);
     closing_ = true;
@@ -127,6 +277,7 @@ StreamSnapshot StreamServer::snapshot(int stream) const {
   snap.submitted = s.submitted;
   snap.delivered = s.delivered;
   snap.latency_ms = s.latency_ms;
+  snap.credit_stalls = s.credit_stalls;
   return snap;
 }
 
@@ -183,6 +334,8 @@ void StreamServer::pump() {
     rtx = std::make_unique<runtime::Retransmitter>(door_, options_.reliability,
                                                    stats_);
     ctx.rtx = rtx.get();
+    std::lock_guard lk(mu_);
+    rtx_ = rtx.get();  // /metrics samples the outbox depth while it lives
   }
 
   struct Job {
@@ -361,6 +514,12 @@ void StreamServer::pump() {
       std::vector<Job> batch;
       {
         std::lock_guard lk(mu_);
+        // Credit-stall accounting: one tick per pump round a stream sat
+        // with queued input it had no credits to dispatch (slow consumer —
+        // the pump skips it rather than letting it block the others).
+        for (auto& [id, s] : streams_) {
+          if (s.credits <= 0 && !s.inputs.empty()) ++s.credit_stalls;
+        }
         bool progress = true;
         while (progress) {
           progress = false;
@@ -409,12 +568,18 @@ void StreamServer::pump() {
         const double latency_ms =
             std::chrono::duration<double, std::milli>(Clock::now() - job.t0)
                 .count();
+        std::shared_ptr<obs::SloWindow> slo;
         {
           std::lock_guard lk(mu_);
           Stream& s = streams_.at(job.stream);
           s.outputs.push_back(std::move(out));
           s.latency_ms.push_back(latency_ms);
+          slo = s.slo;
+          runtime::sample_queue_depths(door_, rtx_, registry_);
         }
+        // Recorded outside mu_: SloWindow has its own lock, and holding
+        // both here would order them against the /streams handler.
+        if (slo) slo->record_ms(latency_ms);
         cv_client_.notify_all();
         continue;
       }
@@ -450,6 +615,12 @@ void StreamServer::pump() {
     }
   } catch (...) {
     // Transport already down — the providers were torn down with it.
+  }
+  {
+    // The retransmitter dies with this frame: null the scrape pointer
+    // first, under the same lock the /metrics handler samples through.
+    std::lock_guard lk(mu_);
+    rtx_ = nullptr;
   }
   if (rtx) rtx->stop();
   stats_.frame_allocs.fetch_add(ctx.arena.stats().allocated,

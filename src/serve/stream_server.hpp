@@ -32,14 +32,22 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "ctrl/controller.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "runtime/worker.hpp"
+
+namespace de::obs {
+class AdminServer;
+}  // namespace de::obs
 
 namespace de::serve {
 
@@ -57,6 +65,23 @@ struct StreamServerOptions {
   int default_window = 4;  ///< per-stream in-flight window when hello says 0
   runtime::ReliabilityOptions reliability;
   runtime::DataPlaneMode mode = runtime::DataPlaneMode::kOverlapZeroCopy;
+  /// Live ops plane (not owned; may be null). When set, the door registers
+  /// /metrics (front-door registry: data-plane totals + queue-depth
+  /// gauges), /healthz (503 once the pump failed), /membership (first
+  /// attached tenant controller's lease book), and /streams (per-stream
+  /// delivered/occupancy/latency-percentile/credit-stall accounting) for
+  /// the server's lifetime; routes come down at close(), before the state
+  /// the handlers capture dies.
+  obs::AdminServer* admin = nullptr;
+  /// Per-image submit->pop-ready SLO for every stream's /streams row
+  /// (milliseconds; 0 = no target, violations stay 0).
+  double slo_ms = 0;
+  /// Per-node clock origins (the fabric's node_origin_us; not owned; may
+  /// be null). When set alongside `admin`, the door also serves
+  /// /trace/dump — flight-recorder snapshots merged onto one timeline.
+  /// Without origins the dump cannot rebase provider clocks, so the route
+  /// is not registered.
+  const std::vector<std::int64_t>* node_origins = nullptr;
 };
 
 /// Point-in-time view of one stream's serving accounting.
@@ -67,6 +92,9 @@ struct StreamSnapshot {
   std::int64_t submitted = 0;
   std::int64_t delivered = 0;  ///< outputs handed to pop()
   std::vector<double> latency_ms;  ///< submit -> gather-complete, per image
+  /// Pump rounds that skipped this stream because it held queued input but
+  /// no window credits (slow consumer) — the head-of-line-avoidance signal.
+  std::int64_t credit_stalls = 0;
 };
 
 class StreamServer {
@@ -148,9 +176,18 @@ class StreamServer {
     std::int64_t submitted = 0;
     std::int64_t delivered = 0;
     std::vector<double> latency_ms;
+    /// Rolling-percentile window for /streams (shared_ptr: SloWindow holds
+    /// a mutex, and Stream must stay movable for the map emplace).
+    std::shared_ptr<obs::SloWindow> slo;
+    std::int64_t credit_stalls = 0;  ///< see StreamSnapshot::credit_stalls
   };
 
   void pump();
+  /// Registers/unroutes the ops-plane endpoints (constructor / close()).
+  /// unregister is a handler barrier: after it returns no scrape thread is
+  /// inside a handler, so `this` may die.
+  void register_admin();
+  void unregister_admin();
   /// Opens/refreshes stream `id`'s lane so the image about to be
   /// dispatched at `from_seq` runs under the right epoch.
   void prepare_lane(runtime::RequesterContext& ctx, int id, int from_seq);
@@ -168,6 +205,15 @@ class StreamServer {
   int next_stream_ = 0;
   bool closing_ = false;
   bool down_ = false;  ///< pump failed (transport loss / starved gather)
+  /// Pump's retransmitter while it lives (guarded by mu_): the /metrics
+  /// handler samples its outbox depth, and the pump nulls this before the
+  /// retransmitter dies.
+  runtime::Retransmitter* rtx_ = nullptr;
+
+  /// Front-door metrics registry: data-plane totals folded per scrape,
+  /// queue-depth gauges sampled per scrape and per gathered image.
+  obs::MetricsRegistry registry_;
+  std::vector<std::string> admin_paths_;  ///< registered ops-plane routes
 
   std::thread pump_thread_;
 };

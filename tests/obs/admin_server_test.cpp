@@ -1,0 +1,149 @@
+// AdminServer: routing, query passing, error statuses, the unroute
+// barrier, concurrent scrapes, and SloWindow percentile accounting.
+#include "obs/admin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/slo.hpp"
+
+namespace de::obs {
+namespace {
+
+TEST(AdminServer, RoutesAndStatusCodes) {
+  AdminServer server;
+  ASSERT_GT(server.port(), 0);
+  server.route("/healthz", [](std::string_view) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "ok\n"};
+  });
+
+  const auto ok = http_get(server.port(), "/healthz");
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->status, 200);
+  EXPECT_EQ(ok->body, "ok\n");
+
+  const auto missing = http_get(server.port(), "/nope");
+  ASSERT_TRUE(missing.has_value());
+  EXPECT_EQ(missing->status, 404);
+}
+
+TEST(AdminServer, QueryStringReachesHandler) {
+  AdminServer server;
+  std::string seen;
+  server.route("/echo", [&seen](std::string_view query) {
+    seen = std::string(query);
+    return HttpResponse{200, "text/plain; charset=utf-8",
+                        std::string(query) + "\n"};
+  });
+  const auto r = http_get(server.port(), "/echo?s=2.5&x=1");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(seen, "s=2.5&x=1");
+
+  const auto bare = http_get(server.port(), "/echo");
+  ASSERT_TRUE(bare.has_value());
+  EXPECT_EQ(bare->body, "\n");
+}
+
+TEST(AdminServer, HandlerExceptionBecomes500) {
+  AdminServer server;
+  server.route("/boom", [](std::string_view) -> HttpResponse {
+    throw std::runtime_error("handler bug");
+  });
+  const auto r = http_get(server.port(), "/boom");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 500);
+}
+
+TEST(AdminServer, UnrouteIsABarrier) {
+  AdminServer server;
+  // After unroute() returns, the captured flag must be safe to destroy:
+  // no connection thread may still be inside the handler.
+  std::atomic<bool> alive{true};
+  server.route("/slow", [&alive](std::string_view) {
+    EXPECT_TRUE(alive.load());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_TRUE(alive.load());
+    return HttpResponse{200, "text/plain; charset=utf-8", "done\n"};
+  });
+  std::thread scraper([port = server.port()] {
+    for (int i = 0; i < 5; ++i) (void)http_get(port, "/slow");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  server.unroute("/slow");
+  alive.store(false);  // would trip the handler's EXPECTs if it still ran
+  const auto r = http_get(server.port(), "/slow");
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, 404);
+  scraper.join();
+}
+
+TEST(AdminServer, ConcurrentScrapes) {
+  AdminServer server;
+  std::atomic<int> calls{0};
+  server.route("/metrics", [&calls](std::string_view) {
+    calls.fetch_add(1);
+    return HttpResponse{200, "text/plain; charset=utf-8", "m 1\n"};
+  });
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&ok, port = server.port()] {
+      for (int i = 0; i < 8; ++i) {
+        const auto r = http_get(port, "/metrics");
+        if (r.has_value() && r->status == 200 && r->body == "m 1\n") {
+          ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(ok.load(), 32);
+  EXPECT_EQ(calls.load(), 32);
+}
+
+TEST(AdminServer, CloseIsIdempotentAndScrapesFailAfter) {
+  AdminServer server;
+  const auto port = server.port();
+  server.route("/x", [](std::string_view) {
+    return HttpResponse{200, "text/plain; charset=utf-8", "x"};
+  });
+  ASSERT_TRUE(http_get(port, "/x").has_value());
+  server.close();
+  server.close();
+  EXPECT_FALSE(http_get(port, "/x").has_value());
+}
+
+TEST(SloWindow, PercentilesAndViolations) {
+  SloWindow slo(/*capacity=*/100, /*target_ms=*/50);
+  for (int i = 1; i <= 100; ++i) slo.record_ms(i);
+  const auto st = slo.stats();
+  EXPECT_EQ(st.count, 100);
+  EXPECT_EQ(st.window, 100);
+  EXPECT_NEAR(st.p50_ms, 50, 1.0);
+  EXPECT_NEAR(st.p95_ms, 95, 1.0);
+  EXPECT_NEAR(st.p99_ms, 99, 1.0);
+  EXPECT_EQ(st.target_ms, 50);
+  EXPECT_EQ(st.violations, 50);  // 51..100 exceed the 50 ms target
+}
+
+TEST(SloWindow, RingEvictsOldSamples) {
+  SloWindow slo(/*capacity=*/4, /*target_ms=*/0);
+  for (int i = 0; i < 100; ++i) slo.record_ms(1000);
+  for (int i = 0; i < 4; ++i) slo.record_ms(1);
+  const auto st = slo.stats();
+  EXPECT_EQ(st.count, 104);
+  EXPECT_EQ(st.window, 4);
+  // Only the last four samples remain: every percentile sees the 1s.
+  EXPECT_DOUBLE_EQ(st.p99_ms, 1);
+  EXPECT_EQ(st.violations, 0);  // no target configured
+}
+
+}  // namespace
+}  // namespace de::obs

@@ -1,0 +1,154 @@
+// Prometheus text-format conformance: name/label sanitization and
+// escaping, cumulative log2 `le` buckets ending in +Inf, and counter
+// monotonicity across scrapes of a live registry.
+#include "obs/prometheus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace de::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) out.push_back(line);
+  return out;
+}
+
+TEST(PromName, FamilySanitization) {
+  // Dots (the registry's canonical separator) become underscores.
+  EXPECT_EQ(prom_name("rpc.messages_total").family, "rpc_messages_total");
+  // Colons and underscores survive; anything else is replaced.
+  EXPECT_EQ(prom_name("a:b_c-d e").family, "a:b_c_d_e");
+  // A leading digit is not a valid first character.
+  EXPECT_EQ(prom_name("9lives").family, "_lives");
+  EXPECT_EQ(prom_name("").family, "_");
+  EXPECT_EQ(prom_name("plain").labels, "");
+}
+
+TEST(PromName, LabelRendering) {
+  const PromName pn = prom_name("rpc.mailbox_depth{name=data}");
+  EXPECT_EQ(pn.family, "rpc_mailbox_depth");
+  EXPECT_EQ(pn.labels, "{name=\"data\"}");
+
+  const PromName multi = prom_name("x{a=1,b=two}");
+  EXPECT_EQ(multi.labels, "{a=\"1\",b=\"two\"}");
+
+  // Label keys are sanitized like names; a segment without '=' gets the
+  // fallback key.
+  EXPECT_EQ(prom_name("x{bad-key=v}").labels, "{bad_key=\"v\"}");
+  EXPECT_EQ(prom_name("x{naked}").labels, "{label=\"naked\"}");
+}
+
+TEST(PromEscape, LabelValues) {
+  EXPECT_EQ(prom_escape_label_value("plain"), "plain");
+  EXPECT_EQ(prom_escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape_label_value("two\nlines"), "two\\nlines");
+}
+
+TEST(ToPrometheus, CounterAndGaugeRendering) {
+  MetricsRegistry registry;
+  registry.counter("stream.images").set(42);
+  registry.gauge("stream.ips").set(12.5);
+  registry.gauge("stream.wall_s").set(3);  // integral gauge: no fraction
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE stream_images counter\n"), std::string::npos);
+  EXPECT_NE(text.find("stream_images 42\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE stream_ips gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("stream_ips 12.5\n"), std::string::npos);
+  EXPECT_NE(text.find("stream_wall_s 3\n"), std::string::npos);
+}
+
+TEST(ToPrometheus, OneTypeHeaderPerLabeledFamily) {
+  MetricsRegistry registry;
+  registry.gauge("rpc.mailbox_depth{name=data}").set(1);
+  registry.gauge("rpc.mailbox_depth{name=ctrl}").set(2);
+
+  const std::string text = to_prometheus(registry.snapshot());
+  std::size_t headers = 0;
+  for (const auto& line : lines_of(text)) {
+    if (line.rfind("# TYPE rpc_mailbox_depth ", 0) == 0) ++headers;
+  }
+  EXPECT_EQ(headers, 1u);
+  EXPECT_NE(text.find("rpc_mailbox_depth{name=\"ctrl\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpc_mailbox_depth{name=\"data\"} 1"),
+            std::string::npos);
+}
+
+TEST(ToPrometheus, HistogramCumulativeBucketsEndInInf) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("gather.latency_us");
+  // Bucket 0 = {0}, bucket 1 = {1}, bucket 3 = [4, 8).
+  h.record(0);
+  h.record(1);
+  h.record(5);
+  h.record(6);
+
+  const std::string text = to_prometheus(registry.snapshot());
+  // Cumulative counts on the log2 upper bounds (inclusive: 2^k - 1).
+  EXPECT_NE(text.find("# TYPE gather_latency_us histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gather_latency_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gather_latency_us_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gather_latency_us_bucket{le=\"7\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gather_latency_us_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gather_latency_us_sum 12\n"), std::string::npos);
+  EXPECT_NE(text.find("gather_latency_us_count 4\n"), std::string::npos);
+
+  // The cumulative sequence must be monotone non-decreasing in le order.
+  std::int64_t prev = -1;
+  for (const auto& line : lines_of(text)) {
+    if (line.rfind("gather_latency_us_bucket", 0) != 0) continue;
+    const std::int64_t v = std::stoll(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+  }
+}
+
+TEST(ToPrometheus, CountersMonotoneAcrossScrapes) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("rpc.messages");
+  Histogram& h = registry.histogram("lat.us");
+
+  std::int64_t last_counter = -1;
+  std::int64_t last_hist_count = -1;
+  for (int scrape = 0; scrape < 5; ++scrape) {
+    c.add(scrape + 1);
+    h.record(scrape * 10);
+    const auto snap = registry.snapshot();
+    const std::string text = to_prometheus(snap);
+    std::int64_t counter_now = -1;
+    std::int64_t hist_count_now = -1;
+    for (const auto& line : lines_of(text)) {
+      if (line.rfind("rpc_messages ", 0) == 0) {
+        counter_now = std::stoll(line.substr(line.rfind(' ') + 1));
+      } else if (line.rfind("lat_us_count ", 0) == 0) {
+        hist_count_now = std::stoll(line.substr(line.rfind(' ') + 1));
+      }
+    }
+    ASSERT_GE(counter_now, 0);
+    ASSERT_GE(hist_count_now, 0);
+    EXPECT_GT(counter_now, last_counter);
+    EXPECT_GT(hist_count_now, last_hist_count);
+    last_counter = counter_now;
+    last_hist_count = hist_count_now;
+  }
+}
+
+}  // namespace
+}  // namespace de::obs
