@@ -147,8 +147,13 @@ Controller::MembershipView Controller::membership_view(
     MembershipRow row;
     row.node = lease.node;
     row.hb_seq = lease.hb_seq;
+    // Clamp to >=0: clock skew between hb_origin and our stamping clock can
+    // make the difference negative, which must not collapse into the
+    // "never renewed" -1 sentinel (nor reach the ms formatter signed).
     row.lease_age_us =
-        lease.last_renewal_us < 0 ? -1 : now_us - lease.last_renewal_us;
+        lease.last_renewal_us < 0
+            ? -1
+            : std::max<std::int64_t>(0, now_us - lease.last_renewal_us);
     row.state = lease.dead ? MembershipRow::State::kDead
                            : MembershipRow::State::kAlive;
     if (pending_.has_value() &&

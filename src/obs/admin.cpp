@@ -71,6 +71,23 @@ std::shared_mutex& handler_mu() {
 
 }  // namespace
 
+std::optional<std::string_view> query_param(std::string_view query,
+                                            std::string_view key) {
+  std::size_t pos = 0;
+  while (pos <= query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string_view::npos) amp = query.size();
+    const std::string_view item = query.substr(pos, amp - pos);
+    if (item.size() > key.size() && item[key.size()] == '=' &&
+        item.substr(0, key.size()) == key) {
+      return item.substr(key.size() + 1);
+    }
+    if (amp == query.size()) break;
+    pos = amp + 1;
+  }
+  return std::nullopt;
+}
+
 AdminServer::AdminServer(std::uint16_t port) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   DE_REQUIRE(listen_fd_ >= 0, "admin: socket() failed");
@@ -204,20 +221,22 @@ void AdminServer::serve_connection(int fd) {
         query = target.substr(q + 1);
         target = target.substr(0, q);
       }
-      AdminHandler handler;
+      HttpResponse resp{404, "text/plain; charset=utf-8",
+                        std::string(target) + " not found\n"};
       {
-        std::lock_guard lk(mu_);
-        if (auto it = routes_.find(target); it != routes_.end()) {
-          handler = it->second;
-        }
-      }
-      if (!handler) {
-        write_response(fd, {404, "text/plain; charset=utf-8",
-                            std::string(target) + " not found\n"});
-      } else {
-        HttpResponse resp;
+        // Shared-held across lookup AND invocation: if unroute() wins the
+        // erase our lookup misses; if the lookup wins, unroute()'s
+        // exclusive barrier blocks until the handler returns. Either way
+        // no thread is inside a dropped handler once unroute() returns.
+        std::shared_lock handlers(handler_mu());
+        AdminHandler handler;
         {
-          std::shared_lock handlers(handler_mu());
+          std::lock_guard lk(mu_);
+          if (auto it = routes_.find(target); it != routes_.end()) {
+            handler = it->second;
+          }
+        }
+        if (handler) {
           try {
             resp = handler(query);
           } catch (const std::exception& e) {
@@ -225,8 +244,8 @@ void AdminServer::serve_connection(int fd) {
                     std::string("handler error: ") + e.what() + "\n"};
           }
         }
-        write_response(fd, resp);
       }
+      write_response(fd, resp);
     }
   }
 

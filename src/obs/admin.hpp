@@ -45,6 +45,12 @@ struct HttpResponse {
 /// A GET handler; `query` is the raw string after '?' ("" when absent).
 using AdminHandler = std::function<HttpResponse(std::string_view query)>;
 
+/// Value of `key` in a raw `&`-separated query string, or nullopt when the
+/// key is absent. Matches whole keys only — query_param("ms=500", "s")
+/// misses — unlike a naive find("s="), which would hit the substring.
+std::optional<std::string_view> query_param(std::string_view query,
+                                            std::string_view key);
+
 class AdminServer {
  public:
   /// Binds a loopback listener (port 0 = kernel-assigned ephemeral port,

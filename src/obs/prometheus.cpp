@@ -1,6 +1,7 @@
 #include "obs/prometheus.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <sstream>
@@ -31,6 +32,11 @@ std::string sanitize_name(std::string_view raw) {
 // without a fractional part, everything else with enough digits to
 // round-trip.
 std::string format_value(double v) {
+  // The exposition format spells these exactly so; ostringstream's
+  // "nan"/"inf" would make the whole page unparseable to a conformant
+  // scraper.
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
   if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
       v > -9.2e18 && v < 9.2e18) {
     return std::to_string(static_cast<std::int64_t>(v));

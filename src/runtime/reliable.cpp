@@ -90,6 +90,7 @@ void Retransmitter::set_id_base(std::uint32_t base) {
 void Retransmitter::track(const rpc::Address& to, std::uint32_t chunk_id,
                           rpc::Frame frame) {
   std::lock_guard lk(mu_);
+  tracked_peers_.insert(to.node);
   outbox_.emplace(LinkChunk{to.node, chunk_id},
                   Entry{to, std::move(frame), 1,
                         std::chrono::steady_clock::now()});
@@ -104,6 +105,9 @@ std::map<rpc::NodeId, std::size_t> Retransmitter::outbox_depth_by_peer()
     const {
   std::map<rpc::NodeId, std::size_t> out;
   std::lock_guard lk(mu_);
+  // Seed every ever-tracked peer at 0 so drained outboxes report 0 rather
+  // than silently vanishing (gauges hold their last value otherwise).
+  for (const auto node : tracked_peers_) out[node] = 0;
   for (const auto& [link, entry] : outbox_) ++out[link.first];
   return out;
 }

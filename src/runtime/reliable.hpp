@@ -153,8 +153,10 @@ class Retransmitter {
   bool idle() const;
 
   /// Unacked outbox entries per destination node — the ops plane's
-  /// reliable.outbox_depth gauge source. Advisory: the depths move as soon
-  /// as the lock is released.
+  /// reliable.outbox_depth gauge source. Every peer ever tracked is listed
+  /// (drained peers at 0), so a sampler overwrites stale gauges instead of
+  /// leaving the last nonzero depth on /metrics forever. Advisory: the
+  /// depths move as soon as the lock is released.
   std::map<rpc::NodeId, std::size_t> outbox_depth_by_peer() const;
 
   /// Stops the control loop and joins its thread. Unacked entries are
@@ -187,6 +189,7 @@ class Retransmitter {
 
   mutable std::mutex mu_;
   std::map<LinkChunk, Entry> outbox_;
+  std::set<rpc::NodeId> tracked_peers_;  ///< ever-tracked, for 0-depth rows
   std::map<rpc::NodeId, std::uint32_t> next_id_;
   std::uint32_t id_base_ = 0;  ///< incarnation floor for all outgoing ids
   std::atomic<bool> stop_{false};

@@ -99,8 +99,8 @@ void StreamServer::register_admin() {
   if (options_.node_origins != nullptr) {
     add("/trace/dump", [this](std::string_view query) {
       double seconds = 10.0;  // default retention window
-      if (const auto pos = query.find("s="); pos != std::string_view::npos) {
-        seconds = std::atof(std::string(query.substr(pos + 2)).c_str());
+      if (const auto s = obs::query_param(query, "s"); s.has_value()) {
+        seconds = std::atof(std::string(*s).c_str());
       }
       // A fresh capture per dump (the recorder rings are snapshot-safe
       // while writers are live). No sync book: the door's fabric is

@@ -51,6 +51,19 @@ TEST(AdminServer, QueryStringReachesHandler) {
   EXPECT_EQ(bare->body, "\n");
 }
 
+TEST(QueryParam, WholeKeyMatchOnly) {
+  // "ms=500" must not satisfy a lookup for "s" (substring trap).
+  EXPECT_FALSE(query_param("ms=500", "s").has_value());
+  EXPECT_FALSE(query_param("secs=3", "s").has_value());
+  ASSERT_TRUE(query_param("s=2.5", "s").has_value());
+  EXPECT_EQ(*query_param("s=2.5", "s"), "2.5");
+  EXPECT_EQ(*query_param("ms=500&s=7", "s"), "7");
+  EXPECT_EQ(*query_param("s=7&ms=500", "s"), "7");
+  EXPECT_EQ(*query_param("a=1&s=&b=2", "s"), "");  // present, empty value
+  EXPECT_FALSE(query_param("", "s").has_value());
+  EXPECT_FALSE(query_param("s", "s").has_value());  // bare key, no '='
+}
+
 TEST(AdminServer, HandlerExceptionBecomes500) {
   AdminServer server;
   server.route("/boom", [](std::string_view) -> HttpResponse {

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -67,6 +69,22 @@ TEST(ToPrometheus, CounterAndGaugeRendering) {
   EXPECT_NE(text.find("# TYPE stream_ips gauge\n"), std::string::npos);
   EXPECT_NE(text.find("stream_ips 12.5\n"), std::string::npos);
   EXPECT_NE(text.find("stream_wall_s 3\n"), std::string::npos);
+}
+
+TEST(ToPrometheus, NonFiniteGaugesUseExpositionSpellings) {
+  // The text format requires exactly "NaN"/"+Inf"/"-Inf"; ostream's
+  // "nan"/"inf" would poison the whole page for a conformant scraper.
+  MetricsRegistry registry;
+  registry.gauge("poisoned.nan").set(std::nan(""));
+  registry.gauge("poisoned.pinf").set(std::numeric_limits<double>::infinity());
+  registry.gauge("poisoned.ninf").set(-std::numeric_limits<double>::infinity());
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("poisoned_nan NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("poisoned_pinf +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("poisoned_ninf -Inf\n"), std::string::npos);
+  EXPECT_EQ(text.find("nan\n"), std::string::npos);
+  EXPECT_EQ(text.find(" inf"), std::string::npos);
 }
 
 TEST(ToPrometheus, OneTypeHeaderPerLabeledFamily) {

@@ -102,6 +102,32 @@ TEST(RetransmitterUnit, ChunkIdsCountPerLink) {
   rtx.stop();
 }
 
+TEST(RetransmitterUnit, DrainedOutboxReportsZeroDepth) {
+  // The ops-plane gauge sampler overwrites whatever it gets back, so a
+  // drained peer must still appear (at depth 0) — otherwise the last
+  // nonzero reliable.outbox_depth{node=N} sticks on /metrics forever.
+  rpc::InProcFabric fabric(1);
+  auto& transport = fabric.endpoint(0);
+  transport.open_mailbox(rpc::kCtrlMailbox);
+  DataPlaneStats stats;
+  ReliabilityOptions options;
+  options.enabled = true;
+  Retransmitter rtx(transport, options, stats);
+  EXPECT_TRUE(rtx.outbox_depth_by_peer().empty());
+
+  rtx.track(rpc::Address{1, rpc::kDataMailbox}, rtx.next_chunk_id(1),
+            rpc::Frame(rpc::Payload{1, 2, 3}));
+  auto depths = rtx.outbox_depth_by_peer();
+  ASSERT_EQ(depths.count(1), 1u);
+  EXPECT_EQ(depths[1], 1u);
+
+  EXPECT_EQ(rtx.cancel_to(1), 1u);
+  depths = rtx.outbox_depth_by_peer();
+  ASSERT_EQ(depths.count(1), 1u);  // still listed...
+  EXPECT_EQ(depths[1], 0u);        // ...at zero
+  rtx.stop();
+}
+
 // Acceptance criterion: run_distributed_tcp stays bit-exact vs the
 // single-device reference with 5% frame drop + reordering enabled (seeded).
 TEST(Resilience, TcpBitExactUnderDropAndReorder) {
